@@ -1,0 +1,70 @@
+// Extension benchmark (beyond the paper's figures): scalar AGGREGATE
+// subqueries — Kim's classical type-JA query — evaluated by the same
+// nest+linking-selection machinery, versus native nested iteration.
+//
+//   select o_orderkey, o_orderpriority from orders
+//   where o_orderdate in [window] and o_totalprice > (
+//     select max(l_extendedprice) from lineitem
+//     where l_orderkey = o_orderkey)
+//
+// The shape mirrors Figure 4: the native plan re-aggregates the subquery
+// per outer tuple (random index reads), the NRA plan computes every group's
+// aggregate in one fused pass over one sort.
+
+#include <sstream>
+
+#include "bench_common.h"
+
+namespace nestra {
+namespace bench {
+namespace {
+
+std::string AggQuery(const Catalog& catalog, int64_t outer_rows,
+                     const char* agg) {
+  const auto [lo, hi] = OrderDateWindow(catalog, outer_rows);
+  std::ostringstream q;
+  q << "select o_orderkey, o_orderpriority from orders "
+    << "where o_orderdate >= '" << lo << "' and o_orderdate < '" << hi
+    << "' and o_totalprice > (select " << agg
+    << "(l_extendedprice) from lineitem where l_orderkey = o_orderkey)";
+  return q.str();
+}
+
+void RegisterAll() {
+  const Catalog& catalog = SharedCatalog();
+  RunOracleCheck(catalog, AggQuery(catalog, 400, "max"), "agg-extension");
+
+  for (const int64_t outer : {400L, 800L, 1200L, 1600L}) {
+    for (const char* agg : {"max", "avg"}) {
+      const std::string suffix =
+          std::string(agg) + "/outer=" + std::to_string(outer);
+      benchmark::RegisterBenchmark(
+          ("ExtensionAgg/Native/" + suffix).c_str(),
+          [&catalog, outer, agg](benchmark::State& state) {
+            RunNative(state, catalog, AggQuery(catalog, outer, agg));
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.05);
+      benchmark::RegisterBenchmark(
+          ("ExtensionAgg/NraOptimized/" + suffix).c_str(),
+          [&catalog, outer, agg](benchmark::State& state) {
+            RunNra(state, catalog, AggQuery(catalog, outer, agg),
+                   NraOptions::Optimized());
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.05);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nestra
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  nestra::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 4 of the paper: Query 1 — a one-level ALL subquery over
+// orders/lineitem, sweeping the outer block over 400..1600 rows (the
+// paper's 4K..16K at 1/10 scale) against a fixed inner block.
+//
+// Series:
+//  * Native             — System A without the NOT NULL constraint: nested
+//                         iteration with index access per outer tuple;
+//  * NativeNotNull      — System A WITH the constraint: direct antijoin
+//                         (the Section 5.2 footnote: "the performance is
+//                         about the same as ours");
+//  * NraOriginal        — the nested relational approach, nest and linking
+//                         selection as separate passes;
+//  * NraOptimized       — one sort + one fused pass (§4.2.1–4.2.2).
+//
+// Expected shape: both NRA variants and the antijoin beat nested iteration;
+// all curves grow linearly with the outer block.
+
+#include "bench_common.h"
+
+namespace nestra {
+namespace bench {
+namespace {
+
+constexpr int64_t kOuterSizes[] = {400, 800, 1200, 1600};
+
+std::string Query1At(const Catalog& catalog, int64_t outer_rows) {
+  const auto [lo, hi] = OrderDateWindow(catalog, outer_rows);
+  return MakeQuery1(lo, hi);
+}
+
+void RegisterAll() {
+  const Catalog& plain = SharedCatalog(/*declare_not_null=*/false);
+  const Catalog& with_nn = SharedCatalog(/*declare_not_null=*/true);
+  RunOracleCheck(plain, Query1At(plain, kOuterSizes[0]), "query1");
+
+  for (const int64_t outer : kOuterSizes) {
+    const std::string label = std::to_string(outer);
+    benchmark::RegisterBenchmark(
+        ("Query1/Native/outer=" + label).c_str(),
+        [&plain, outer](benchmark::State& state) {
+          RunNative(state, plain, Query1At(plain, outer));
+        })
+        ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+    benchmark::RegisterBenchmark(
+        ("Query1/NativeNotNull/outer=" + label).c_str(),
+        [&with_nn, outer](benchmark::State& state) {
+          RunNative(state, with_nn, Query1At(with_nn, outer));
+        })
+        ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+    benchmark::RegisterBenchmark(
+        ("Query1/NraOriginal/outer=" + label).c_str(),
+        [&plain, outer](benchmark::State& state) {
+          RunNra(state, plain, Query1At(plain, outer), NraOptions::Original());
+        })
+        ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+    benchmark::RegisterBenchmark(
+        ("Query1/NraOptimized/outer=" + label).c_str(),
+        [&plain, outer](benchmark::State& state) {
+          RunNra(state, plain, Query1At(plain, outer),
+                 NraOptions::Optimized());
+        })
+        ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nestra
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  nestra::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

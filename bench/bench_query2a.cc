@@ -1,0 +1,23 @@
+// Figure 5: Query 2a — two-level LINEAR-correlated query over
+// part/partsupp/lineitem with the MIXED operators `< ANY` + `NOT EXISTS`.
+//
+// System A unnests this bottom-up into an antijoin (NOT EXISTS) followed by
+// a semijoin (ANY) — our native optimizer picks the same pipeline (the
+// label on each Native row shows the chosen plan). The paper finds native
+// slightly ahead of the NR approach here, attributing most of the NR gap to
+// stored-procedure communication overhead that this reimplementation does
+// not have; expect near-parity.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const nestra::Catalog& catalog =
+      nestra::bench::SharedCatalog(/*declare_not_null=*/true);
+  nestra::bench::RegisterQuerySeries(
+      "Query2a", catalog, /*is_query3=*/false, nestra::OuterLink::kAny,
+      nestra::InnerLink::kNotExists, nestra::Query3Variant::kVariantA);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 7: Query 3a — the GENERAL two-level query (the third block is
+// correlated to BOTH outer blocks via p_partkey and ps_suppkey) with the
+// MIXED operators `< ALL` + `EXISTS`, in the three correlated-predicate
+// variants (a) =/=, (b) <>/=, (c) =/<>.
+//
+// System A cannot antijoin here even with NOT NULL constraints (the
+// non-adjacent correlation loses table information), so the native plan is
+// nested iteration over indexes for every variant, while the NR approach
+// stays flat across variants.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const nestra::Catalog& catalog =
+      nestra::bench::SharedCatalog(/*declare_not_null=*/true);
+  nestra::bench::RegisterQuerySeries(
+      "Query3a(a)", catalog, /*is_query3=*/true, nestra::OuterLink::kAll,
+      nestra::InnerLink::kExists, nestra::Query3Variant::kVariantA);
+  nestra::bench::RegisterQuerySeries(
+      "Query3a(b)", catalog, /*is_query3=*/true, nestra::OuterLink::kAll,
+      nestra::InnerLink::kExists, nestra::Query3Variant::kVariantB);
+  nestra::bench::RegisterQuerySeries(
+      "Query3a(c)", catalog, /*is_query3=*/true, nestra::OuterLink::kAll,
+      nestra::InnerLink::kExists, nestra::Query3Variant::kVariantC);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 8: Query 3b — the general two-level query with the NEGATIVE
+// operators `< ALL` + `NOT EXISTS`, three correlated-predicate variants.
+//
+// The native approach performs nested iteration across all three blocks —
+// the paper's worst case for System A — while the NR approach's cost stays
+// at the Figure 7 level.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const nestra::Catalog& catalog =
+      nestra::bench::SharedCatalog(/*declare_not_null=*/true);
+  nestra::bench::RegisterQuerySeries(
+      "Query3b(a)", catalog, /*is_query3=*/true, nestra::OuterLink::kAll,
+      nestra::InnerLink::kNotExists, nestra::Query3Variant::kVariantA);
+  nestra::bench::RegisterQuerySeries(
+      "Query3b(b)", catalog, /*is_query3=*/true, nestra::OuterLink::kAll,
+      nestra::InnerLink::kNotExists, nestra::Query3Variant::kVariantB);
+  nestra::bench::RegisterQuerySeries(
+      "Query3b(c)", catalog, /*is_query3=*/true, nestra::OuterLink::kAll,
+      nestra::InnerLink::kNotExists, nestra::Query3Variant::kVariantC);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,224 @@
+// Interactive SQL shell over the nestra engine.
+//
+//   $ ./examples/nestra_shell
+//   nestra> \gen tpch 0.05
+//   nestra> select o_orderkey from orders where o_totalprice > all (
+//             select l_extendedprice from lineitem
+//             where l_orderkey = o_orderkey) limit 5;
+//   nestra> \explain select ...;
+//
+// Commands:
+//   \gen tpch [scale]          generate + register the TPC-H subset
+//   \load <table> <file.csv> <col:type,...> [pk]
+//                              register a table from CSV
+//                              (types: int, float, string, date)
+//   \save <dir>                persist the catalog (manifest + CSVs)
+//   \open <dir>                load a persisted catalog
+//   \tables                    list registered tables
+//   \schema <table>            show a table's schema and row count
+//   \mode original|optimized   switch the NRA executor configuration
+//   \oracle on|off             cross-check results against nested iteration
+//   \explain <sql>             show the plan without running
+//   \quit                      exit
+// Anything else is SQL, terminated by ';'.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline/nested_iteration.h"
+#include "nra/executor.h"
+#include "nra/explain.h"
+#include "storage/catalog.h"
+#include "storage/catalog_io.h"
+#include "storage/csv_io.h"
+#include "tpch/tpch_gen.h"
+
+using namespace nestra;
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::istringstream iss(line);
+  std::vector<std::string> words;
+  std::string w;
+  while (iss >> w) words.push_back(w);
+  return words;
+}
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Field> fields;
+  std::istringstream iss(spec);
+  std::string item;
+  while (std::getline(iss, item, ',')) {
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("expected col:type, got '" + item + "'");
+    }
+    const std::string name = item.substr(0, colon);
+    const std::string type = item.substr(colon + 1);
+    TypeId id;
+    if (type == "int") {
+      id = TypeId::kInt64;
+    } else if (type == "float") {
+      id = TypeId::kFloat64;
+    } else if (type == "string") {
+      id = TypeId::kString;
+    } else if (type == "date") {
+      id = TypeId::kDate;
+    } else {
+      return Status::InvalidArgument("unknown type '" + type + "'");
+    }
+    fields.emplace_back(name, id, /*nullable=*/true);
+  }
+  if (fields.empty()) return Status::InvalidArgument("empty schema spec");
+  return Schema(std::move(fields));
+}
+
+class Shell {
+ public:
+  int Run() {
+    std::cout << "nestra shell — \\gen tpch to load data, \\quit to exit\n";
+    std::string buffer;
+    while (true) {
+      std::cout << (buffer.empty() ? "nestra> " : "   ...> ") << std::flush;
+      std::string line;
+      if (!std::getline(std::cin, line)) break;
+      if (buffer.empty() && !line.empty() && line[0] == '\\') {
+        if (!HandleCommand(line)) break;
+        continue;
+      }
+      buffer += line + "\n";
+      const size_t semi = buffer.find(';');
+      if (semi == std::string::npos) continue;
+      const std::string sql = buffer.substr(0, semi);
+      buffer.clear();
+      RunSql(sql);
+    }
+    return 0;
+  }
+
+ private:
+  static void Report(const Status& status) {
+    std::cout << status.ToString() << "\n";
+  }
+
+  // Returns false to quit.
+  bool HandleCommand(const std::string& line) {
+    const std::vector<std::string> words = SplitWords(line);
+    const std::string& cmd = words[0];
+    if (cmd == "\\quit" || cmd == "\\q") return false;
+    if (cmd == "\\tables") {
+      for (const std::string& name : catalog_.TableNames()) {
+        std::cout << "  " << name << "\n";
+      }
+      return true;
+    }
+    if (cmd == "\\save" && words.size() >= 2) {
+      Report(SaveCatalog(catalog_, words[1]));
+      return true;
+    }
+    if (cmd == "\\open" && words.size() >= 2) {
+      Report(LoadCatalog(words[1], &catalog_));
+      return true;
+    }
+    if (cmd == "\\gen") {
+      TpchConfig config;
+      config.scale = words.size() > 2 ? std::atof(words[2].c_str()) : 0.05;
+      config.declare_not_null = true;
+      Report(PopulateTpch(&catalog_, config));
+      return true;
+    }
+    if (cmd == "\\schema" && words.size() >= 2) {
+      const Result<const Table*> t = catalog_.GetTable(words[1]);
+      if (!t.ok()) {
+        std::cout << t.status().ToString() << "\n";
+      } else {
+        std::cout << (*t)->schema().ToString() << "  (" << (*t)->num_rows()
+                  << " rows)\n";
+      }
+      return true;
+    }
+    if (cmd == "\\load" && words.size() >= 4) {
+      const Result<Schema> schema = ParseSchemaSpec(words[3]);
+      if (!schema.ok()) {
+        std::cout << schema.status().ToString() << "\n";
+        return true;
+      }
+      const Result<Table> table = ReadCsvFile(words[2], *schema);
+      if (!table.ok()) {
+        std::cout << table.status().ToString() << "\n";
+        return true;
+      }
+      const std::string pk = words.size() > 4 ? words[4] : "";
+      Report(catalog_.RegisterTable(words[1], std::move(*table), pk));
+      return true;
+    }
+    if (cmd == "\\mode" && words.size() >= 2) {
+      if (words[1] == "original") {
+        options_ = NraOptions::Original();
+      } else if (words[1] == "optimized") {
+        options_ = NraOptions::Optimized();
+      } else {
+        std::cout << "unknown mode '" << words[1] << "'\n";
+        return true;
+      }
+      std::cout << options_.ToString() << "\n";
+      return true;
+    }
+    if (cmd == "\\oracle" && words.size() >= 2) {
+      oracle_check_ = words[1] == "on";
+      std::cout << "oracle cross-check " << (oracle_check_ ? "on" : "off")
+                << "\n";
+      return true;
+    }
+    if (cmd == "\\explain") {
+      const size_t sql_at = line.find(' ');
+      if (sql_at == std::string::npos) {
+        std::cout << "usage: \\explain <sql>\n";
+        return true;
+      }
+      std::string sql = line.substr(sql_at + 1);
+      if (!sql.empty() && sql.back() == ';') sql.pop_back();
+      const Result<std::string> plan = ExplainSql(sql, catalog_, options_);
+      std::cout << (plan.ok() ? *plan : plan.status().ToString()) << "\n";
+      return true;
+    }
+    std::cout << "unknown command: " << line << "\n";
+    return true;
+  }
+
+  void RunSql(const std::string& sql) {
+    NraExecutor exec(catalog_, options_);
+    NraStats stats;
+    const Result<Table> result = exec.ExecuteStatementSql(sql, &stats);
+    if (!result.ok()) {
+      std::cout << result.status().ToString() << "\n";
+      return;
+    }
+    std::cout << result->ToString(25);
+    std::cout << result->num_rows() << " row(s); " << stats.ToString() << "\n";
+    if (oracle_check_) {
+      NestedIterationExecutor oracle(catalog_, {.use_indexes = false});
+      const Result<Table> check = oracle.ExecuteSql(sql);
+      if (check.ok()) {
+        std::cout << "oracle: "
+                  << (Table::BagEquals(*result, *check) ? "agrees"
+                                                        : "** DISAGREES **")
+                  << "\n";
+      }
+    }
+  }
+
+  Catalog catalog_;
+  NraOptions options_ = NraOptions::Optimized();
+  bool oracle_check_ = false;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Run();
+}

@@ -1,0 +1,34 @@
+#ifndef NESTRA_BASELINE_COUNT_REWRITE_H_
+#define NESTRA_BASELINE_COUNT_REWRITE_H_
+
+#include "plan/query_block.h"
+#include "storage/catalog.h"
+
+namespace nestra {
+
+/// \brief The classic Kim/Ganski-style aggregate rewrite for inequality-ALL
+/// subqueries:
+///
+///   R.A > ALL (SELECT S.B FROM S WHERE S.G = R.D)
+///     -->
+///   R LOJ (SELECT G, MAX(B) AS m, COUNT(*) AS c FROM S GROUP BY G) ON G = D
+///   WHERE c IS NULL OR A > m
+///
+/// (MIN for </<=). Deliberately reproduces the rewrite's documented
+/// unsoundness in the presence of NULLs — the paper's Section 2 example:
+/// with R.A = 5 and S.B = {2, 3, 4, null}, SQL's `5 > ALL {...}` is UNKNOWN
+/// (row filtered out) but MAX ignores the NULL, compares 5 > 4, and keeps
+/// the row. The divergence tests assert exactly this difference against the
+/// oracle.
+///
+/// Applicability: one-level query, single leaf child, θ ALL link with
+/// θ ∈ {<, <=, >, >=}, all correlated predicates equalities.
+Result<Table> ExecuteAggRewrite(const QueryBlock& root,
+                                const Catalog& catalog);
+
+/// Empty when applicable, else the reason.
+std::string AggRewriteApplicable(const QueryBlock& root);
+
+}  // namespace nestra
+
+#endif  // NESTRA_BASELINE_COUNT_REWRITE_H_

@@ -1,0 +1,45 @@
+#include "baseline/native_optimizer.h"
+
+#include "baseline/unnest_semijoin.h"
+#include "plan/binder.h"
+
+namespace nestra {
+
+NativePlanChoice ChooseNativePlan(const QueryBlock& root,
+                                  const Catalog& catalog) {
+  NativePlanChoice choice;
+  SemiAntiUnnester unnester(catalog);
+  const std::string why_not = unnester.CheckApplicable(root);
+  if (why_not.empty()) {
+    choice.kind = NativePlanKind::kSemiAntiPipeline;
+    choice.explanation = "unnested into a semijoin/antijoin pipeline";
+  } else {
+    choice.kind = NativePlanKind::kNestedIteration;
+    choice.explanation = "nested iteration (" + why_not + ")";
+  }
+  return choice;
+}
+
+Result<Table> ExecuteNative(const QueryBlock& root, const Catalog& catalog,
+                            NestedIterOptions iter_options,
+                            NativePlanChoice* choice,
+                            NestedIterStats* iter_stats) {
+  const NativePlanChoice local = ChooseNativePlan(root, catalog);
+  if (choice != nullptr) *choice = local;
+  if (local.kind == NativePlanKind::kSemiAntiPipeline) {
+    SemiAntiUnnester unnester(catalog);
+    return unnester.Execute(root);
+  }
+  NestedIterationExecutor iter(catalog, iter_options);
+  return iter.Execute(root, iter_stats);
+}
+
+Result<Table> ExecuteNativeSql(const std::string& sql, const Catalog& catalog,
+                               NestedIterOptions iter_options,
+                               NativePlanChoice* choice,
+                               NestedIterStats* iter_stats) {
+  NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr root, ParseAndBind(sql, catalog));
+  return ExecuteNative(*root, catalog, iter_options, choice, iter_stats);
+}
+
+}  // namespace nestra

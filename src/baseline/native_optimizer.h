@@ -1,0 +1,52 @@
+#ifndef NESTRA_BASELINE_NATIVE_OPTIMIZER_H_
+#define NESTRA_BASELINE_NATIVE_OPTIMIZER_H_
+
+#include <string>
+
+#include "baseline/nested_iteration.h"
+#include "plan/query_block.h"
+#include "storage/catalog.h"
+
+namespace nestra {
+
+/// \brief Plan families the modelled commercial optimizer ("System A" in the
+/// paper) chooses among for nested queries with non-aggregate subqueries.
+enum class NativePlanKind {
+  /// Bottom-up semijoin/antijoin pipeline — chosen for linear queries whose
+  /// operators are positive or NOT EXISTS, and for ALL / NOT IN only under
+  /// NOT NULL constraints (Figures 5 and 9, and the Query 1 footnote).
+  kSemiAntiPipeline,
+  /// Tuple-at-a-time nested iteration with index access — the fallback for
+  /// general ALL / NOT IN, mixed operators, and non-adjacent correlation
+  /// (Figures 4, 6, 7, 8).
+  kNestedIteration,
+};
+
+struct NativePlanChoice {
+  NativePlanKind kind = NativePlanKind::kNestedIteration;
+  /// Why the unnested pipeline was or was not chosen (mirrors the paper's
+  /// explanations of System A's behaviour).
+  std::string explanation;
+};
+
+/// Decides the plan the way System A does.
+NativePlanChoice ChooseNativePlan(const QueryBlock& root,
+                                  const Catalog& catalog);
+
+/// \brief Executes a query with the native strategy: semijoin/antijoin
+/// pipeline when legal, nested iteration (with or without indexes per
+/// `iter_options`) otherwise.
+Result<Table> ExecuteNative(const QueryBlock& root, const Catalog& catalog,
+                            NestedIterOptions iter_options = {},
+                            NativePlanChoice* choice = nullptr,
+                            NestedIterStats* iter_stats = nullptr);
+
+/// Parse + bind + ExecuteNative.
+Result<Table> ExecuteNativeSql(const std::string& sql, const Catalog& catalog,
+                               NestedIterOptions iter_options = {},
+                               NativePlanChoice* choice = nullptr,
+                               NestedIterStats* iter_stats = nullptr);
+
+}  // namespace nestra
+
+#endif  // NESTRA_BASELINE_NATIVE_OPTIMIZER_H_

@@ -1,0 +1,46 @@
+#ifndef NESTRA_BASELINE_UNNEST_SEMIJOIN_H_
+#define NESTRA_BASELINE_UNNEST_SEMIJOIN_H_
+
+#include <string>
+
+#include "plan/query_block.h"
+#include "storage/catalog.h"
+
+namespace nestra {
+
+/// \brief The classical unnesting baseline: a bottom-up pipeline of
+/// semijoins (EXISTS / IN / θ SOME) and antijoins (NOT EXISTS, and ALL /
+/// NOT IN via the negated comparison), as System A runs for Query 2a.
+///
+/// Faithful to the literature, including its limitations (Sections 2 and
+/// 5.2 of the paper):
+///  * ALL / NOT IN may only become an antijoin when the linked AND linking
+///    attributes carry NOT NULL constraints — otherwise the antijoin keeps
+///    tuples whose comparison is UNKNOWN and the rewrite is unsound;
+///  * a block correlated to a non-adjacent ancestor cannot be unnested this
+///    way ("either antijoin or semijoin keeps only one table['s]
+///    information ... the other table information required by the further
+///    processing might be lost");
+///  * tree queries are out of scope for the pipeline.
+class SemiAntiUnnester {
+ public:
+  explicit SemiAntiUnnester(const Catalog& catalog) : catalog_(catalog) {}
+
+  /// Empty string when the pipeline applies; otherwise the reason it does
+  /// not (the same reasons System A falls back to nested iteration).
+  std::string CheckApplicable(const QueryBlock& root) const;
+
+  /// Runs the pipeline; fails with InvalidArgument when not applicable.
+  Result<Table> Execute(const QueryBlock& root);
+
+ private:
+  /// Maps a qualified attribute of some block in the query to its base
+  /// table and unqualified column; used for NOT NULL lookups.
+  bool IsAttrNotNull(const QueryBlock& root, const std::string& attr) const;
+
+  const Catalog& catalog_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_BASELINE_UNNEST_SEMIJOIN_H_

@@ -1,0 +1,75 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace nestra {
+
+namespace {
+
+// Howard Hinnant's days-from-civil algorithm (public domain).
+int64_t DaysFromCivilUnchecked(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);          // [0,399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0,365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0,146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+}  // namespace
+
+Result<int64_t> DaysFromCivil(int year, int month, int day) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " +
+                                   std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " + std::to_string(day));
+  }
+  return DaysFromCivilUnchecked(year, month, day);
+}
+
+void CivilFromDays(int64_t days, int* year, int* month, int* day) {
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0,146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0,399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0,365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0,11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1,31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1,12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Result<int64_t> ParseDate(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  char extra = 0;
+  const int n = std::sscanf(text.c_str(), "%d-%d-%d%c", &y, &m, &d, &extra);
+  if (n != 3) {
+    return Status::ParseError("invalid date literal: '" + text +
+                              "' (want YYYY-MM-DD)");
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+std::string FormatDate(int64_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace nestra

@@ -1,0 +1,31 @@
+#ifndef NESTRA_COMMON_DATE_H_
+#define NESTRA_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace nestra {
+
+/// \brief Calendar helpers for the kDate type (days since 1970-01-01).
+///
+/// Supports the proleptic Gregorian calendar over the range the TPC-H
+/// workload needs (1992..1998) and far beyond.
+
+/// Parses 'YYYY-MM-DD' into days since epoch.
+Result<int64_t> ParseDate(const std::string& text);
+
+/// Converts days since epoch back to 'YYYY-MM-DD'.
+std::string FormatDate(int64_t days);
+
+/// Days since epoch for a (year, month 1-12, day 1-31) triple. No range
+/// validation beyond month/day plausibility; invalid input gives an error.
+Result<int64_t> DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+}  // namespace nestra
+
+#endif  // NESTRA_COMMON_DATE_H_

@@ -1,0 +1,68 @@
+#include "common/pretty_print.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/date.h"
+#include "common/table.h"
+
+namespace nestra {
+
+namespace {
+
+std::string RenderCell(const Value& v, TypeId type) {
+  if (v.is_null()) return "null";
+  if (type == TypeId::kDate && v.is_int()) return FormatDate(v.int64());
+  return v.ToString();
+}
+
+}  // namespace
+
+std::string PrettyPrintTable(const Table& table, int max_rows) {
+  const Schema& schema = table.schema();
+  const int ncols = schema.num_fields();
+  const int64_t shown =
+      std::min<int64_t>(table.num_rows(), std::max(max_rows, 0));
+
+  std::vector<std::vector<std::string>> cells;
+  std::vector<size_t> widths(ncols, 0);
+
+  std::vector<std::string> header(ncols);
+  for (int c = 0; c < ncols; ++c) {
+    header[c] = schema.field(c).name;
+    widths[c] = header[c].size();
+  }
+  for (int64_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row(ncols);
+    for (int c = 0; c < ncols; ++c) {
+      row[c] = RenderCell(table.rows()[r][c], schema.field(c).type);
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+    cells.push_back(std::move(row));
+  }
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (int c = 0; c < ncols; ++c) s += std::string(widths[c] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (int c = 0; c < ncols; ++c) {
+      s += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream oss;
+  oss << rule() << line(header) << rule();
+  for (const auto& row : cells) oss << line(row);
+  oss << rule();
+  if (table.num_rows() > shown) {
+    oss << "... (" << (table.num_rows() - shown) << " more rows)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace nestra

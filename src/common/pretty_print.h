@@ -1,0 +1,18 @@
+#ifndef NESTRA_COMMON_PRETTY_PRINT_H_
+#define NESTRA_COMMON_PRETTY_PRINT_H_
+
+#include <string>
+
+namespace nestra {
+
+class Table;
+
+/// \brief Renders a table as an ASCII grid, truncated to `max_rows` data
+/// rows (a trailing "... (N more rows)" line indicates truncation).
+///
+/// Date-typed columns are rendered as YYYY-MM-DD.
+std::string PrettyPrintTable(const Table& table, int max_rows = 50);
+
+}  // namespace nestra
+
+#endif  // NESTRA_COMMON_PRETTY_PRINT_H_

@@ -1,0 +1,86 @@
+#include "common/schema.h"
+
+#include <sstream>
+
+namespace nestra {
+
+std::string UnqualifiedName(const std::string& name) {
+  const size_t dot = name.rfind('.');
+  if (dot == std::string::npos) return name;
+  return name.substr(dot + 1);
+}
+
+int Schema::IndexOfExact(const std::string& name) const {
+  for (int i = 0; i < num_fields(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return -1;
+}
+
+Result<int> Schema::Resolve(const std::string& name) const {
+  const int exact = IndexOfExact(name);
+  if (exact >= 0) {
+    // Exact duplicates are still ambiguous.
+    for (int i = exact + 1; i < num_fields(); ++i) {
+      if (fields_[i].name == name) {
+        return Status::BindError("ambiguous column reference: " + name);
+      }
+    }
+    return exact;
+  }
+  if (name.find('.') != std::string::npos) {
+    return Status::NotFound("column not found: " + name);
+  }
+  // Unqualified: match any "*.name".
+  int found = -1;
+  const std::string suffix = "." + name;
+  for (int i = 0; i < num_fields(); ++i) {
+    const std::string& f = fields_[i].name;
+    if (f.size() > suffix.size() &&
+        f.compare(f.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      if (found >= 0) {
+        return Status::BindError("ambiguous column reference: " + name);
+      }
+      found = i;
+    }
+  }
+  if (found < 0) return Status::NotFound("column not found: " + name);
+  return found;
+}
+
+Schema Schema::Qualify(const std::string& qualifier) const {
+  std::vector<Field> out;
+  out.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    out.emplace_back(qualifier + "." + UnqualifiedName(f.name), f.type,
+                     f.nullable);
+  }
+  return Schema(std::move(out));
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Field> out = left.fields_;
+  out.insert(out.end(), right.fields_.begin(), right.fields_.end());
+  return Schema(std::move(out));
+}
+
+Schema Schema::Select(const std::vector<int>& indices) const {
+  std::vector<Field> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(fields_[i]);
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream oss;
+  oss << "(";
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << fields_[i].name << ": " << TypeIdToString(fields_[i].type);
+    if (!fields_[i].nullable) oss << " NOT NULL";
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace nestra

@@ -1,0 +1,56 @@
+#ifndef NESTRA_COMMON_TABLE_H_
+#define NESTRA_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace nestra {
+
+/// \brief An in-memory flat relation: a schema plus a bag of rows.
+///
+/// Tables are the materialized interchange format between pipeline stages;
+/// the volcano operators stream Rows and only materialize at pipeline
+/// breakers.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& rows() { return rows_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Appends a row; fails if the arity does not match the schema.
+  Status Append(Row row);
+
+  /// Unchecked append for hot paths (arity must match).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Projection onto the named columns (exact or unqualified names).
+  Result<Table> Project(const std::vector<std::string>& columns) const;
+
+  /// Bag equality ignoring row order (sorts copies; O(n log n)).
+  static bool BagEquals(const Table& a, const Table& b);
+
+  /// Rows sorted by full-row total order; used by BagEquals and tests.
+  Table Sorted() const;
+
+  std::string ToString(int max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_COMMON_TABLE_H_

@@ -1,0 +1,13 @@
+#include "exec/distinct.h"
+
+namespace nestra {
+
+Status DistinctNode::Next(Row* out, bool* eof) {
+  while (true) {
+    NESTRA_RETURN_NOT_OK(child_->Next(out, eof));
+    if (*eof) return Status::OK();
+    if (seen_.insert(*out).second) return Status::OK();
+  }
+}
+
+}  // namespace nestra

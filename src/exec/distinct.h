@@ -1,0 +1,49 @@
+#ifndef NESTRA_EXEC_DISTINCT_H_
+#define NESTRA_EXEC_DISTINCT_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "exec/exec_node.h"
+
+namespace nestra {
+
+/// \brief Duplicate elimination over full rows (deep equality, so NULLs
+/// deduplicate like SQL's SELECT DISTINCT).
+class DistinctNode final : public ExecNode {
+ public:
+  explicit DistinctNode(ExecNodePtr child) : child_(std::move(child)) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override {
+    seen_.clear();
+    return child_->Open();
+  }
+  Status Next(Row* out, bool* eof) override;
+  void Close() override {
+    seen_.clear();
+    child_->Close();
+  }
+  std::string name() const override { return "Distinct"; }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const {
+      size_t h = 0xcbf29ce484222325ULL;
+      for (const Value& v : r.values()) {
+        h ^= v.Hash();
+        h *= 0x100000001b3ULL;
+      }
+      return h;
+    }
+  };
+
+  ExecNodePtr child_;
+  std::unordered_set<Row, RowHash> seen_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_DISTINCT_H_

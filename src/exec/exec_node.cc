@@ -1,0 +1,30 @@
+#include "exec/exec_node.h"
+
+namespace nestra {
+
+Result<Table> CollectTable(ExecNode* node) {
+  NESTRA_RETURN_NOT_OK(node->Open());
+  Table out(node->output_schema());
+  Row row;
+  bool eof = false;
+  while (true) {
+    NESTRA_RETURN_NOT_OK(node->Next(&row, &eof));
+    if (eof) break;
+    out.AppendUnchecked(std::move(row));
+    row = Row();
+  }
+  node->Close();
+  return out;
+}
+
+Status TableSourceNode::Next(Row* out, bool* eof) {
+  if (pos_ >= table_.num_rows()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *eof = false;
+  *out = table_.rows()[pos_++];
+  return Status::OK();
+}
+
+}  // namespace nestra

@@ -1,0 +1,73 @@
+#ifndef NESTRA_EXEC_EXEC_NODE_H_
+#define NESTRA_EXEC_EXEC_NODE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace nestra {
+
+/// \brief Volcano-style pull operator.
+///
+/// Protocol: `Open()` once (binds expressions, builds hash tables, sorts —
+/// all pipeline-breaking work), then `Next(&row, &eof)` until `eof`, then
+/// `Close()`. Nodes own their children. Rows flow by value (moved where
+/// possible); pipelined stages never materialize, which is what makes the
+/// paper's fused nest+linking-selection (§4.2.2) a genuine single pass.
+class ExecNode {
+ public:
+  virtual ~ExecNode() = default;
+
+  ExecNode(const ExecNode&) = delete;
+  ExecNode& operator=(const ExecNode&) = delete;
+
+  /// Schema of the rows this node produces. Valid after construction.
+  virtual const Schema& output_schema() const = 0;
+
+  virtual Status Open() = 0;
+
+  /// Produces the next row. Sets `*eof` to true (leaving `*out` untouched)
+  /// when the stream is exhausted.
+  virtual Status Next(Row* out, bool* eof) = 0;
+
+  virtual void Close() = 0;
+
+  /// Operator name for EXPLAIN-style debugging.
+  virtual std::string name() const = 0;
+
+ protected:
+  ExecNode() = default;
+};
+
+using ExecNodePtr = std::unique_ptr<ExecNode>;
+
+/// Drains a node (Open/Next*/Close) into a materialized table.
+Result<Table> CollectTable(ExecNode* node);
+
+/// \brief Leaf node replaying an owned, already-materialized table.
+/// Used wherever an intermediate result re-enters the pipeline.
+class TableSourceNode final : public ExecNode {
+ public:
+  explicit TableSourceNode(Table table) : table_(std::move(table)) {}
+
+  const Schema& output_schema() const override { return table_.schema(); }
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Status Next(Row* out, bool* eof) override;
+  void Close() override {}
+  std::string name() const override { return "TableSource"; }
+
+ private:
+  Table table_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_EXEC_NODE_H_

@@ -1,0 +1,33 @@
+#ifndef NESTRA_EXEC_FILTER_H_
+#define NESTRA_EXEC_FILTER_H_
+
+#include "exec/exec_node.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+
+namespace nestra {
+
+/// \brief Streams rows of the child for which the predicate is definitely
+/// TRUE (SQL WHERE semantics: UNKNOWN filters out).
+class FilterNode final : public ExecNode {
+ public:
+  FilterNode(ExecNodePtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "Filter"; }
+
+ private:
+  ExecNodePtr child_;
+  ExprPtr predicate_;
+  BoundPredicate bound_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_FILTER_H_

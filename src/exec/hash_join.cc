@@ -1,0 +1,193 @@
+#include "exec/hash_join.h"
+
+namespace nestra {
+
+HashJoinNode::HashJoinNode(ExecNodePtr left, ExecNodePtr right,
+                           JoinType join_type, std::vector<EquiPair> equi,
+                           ExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      join_type_(join_type),
+      equi_(std::move(equi)),
+      residual_(std::move(residual)) {
+  // Schema is known at construction: joins never rename.
+  const Schema& ls = left_->output_schema();
+  const Schema& rs = right_->output_schema();
+  if (join_type_ == JoinType::kInner || join_type_ == JoinType::kLeftOuter) {
+    Schema padded = rs;
+    if (join_type_ == JoinType::kLeftOuter) {
+      // Outer padding makes every right field nullable.
+      std::vector<Field> fields = rs.fields();
+      for (Field& f : fields) f.nullable = true;
+      padded = Schema(std::move(fields));
+    }
+    schema_ = Schema::Concat(ls, padded);
+  } else {
+    schema_ = ls;
+  }
+  right_width_ = rs.num_fields();
+}
+
+Status HashJoinNode::Open() {
+  NESTRA_RETURN_NOT_OK(left_->Open());
+  NESTRA_RETURN_NOT_OK(right_->Open());
+
+  const Schema& ls = left_->output_schema();
+  const Schema& rs = right_->output_schema();
+  left_key_idx_.clear();
+  right_key_idx_.clear();
+  for (const EquiPair& p : equi_) {
+    NESTRA_ASSIGN_OR_RETURN(int li, ls.Resolve(p.left));
+    NESTRA_ASSIGN_OR_RETURN(int ri, rs.Resolve(p.right));
+    left_key_idx_.push_back(li);
+    right_key_idx_.push_back(ri);
+  }
+  NESTRA_ASSIGN_OR_RETURN(
+      bound_residual_,
+      BoundPredicate::Make(residual_.get(), Schema::Concat(ls, rs)));
+
+  // Build phase.
+  buckets_.clear();
+  build_has_null_key_ = false;
+  build_rows_ = 0;
+  Row row;
+  bool eof = false;
+  while (true) {
+    NESTRA_RETURN_NOT_OK(right_->Next(&row, &eof));
+    if (eof) break;
+    ++build_rows_;
+    std::vector<Value> key;
+    key.reserve(right_key_idx_.size());
+    bool has_null = false;
+    for (int idx : right_key_idx_) {
+      if (row[idx].is_null()) has_null = true;
+      key.push_back(row[idx]);
+    }
+    if (has_null) {
+      // A NULL build key can never satisfy an equality; remember it for the
+      // null-aware antijoin, drop it otherwise.
+      build_has_null_key_ = true;
+      continue;
+    }
+    buckets_[std::move(key)].push_back(std::move(row));
+    row = Row();
+  }
+
+  left_valid_ = false;
+  probe_count_ = 0;
+  return Status::OK();
+}
+
+Status HashJoinNode::AdvanceLeft(bool* eof) {
+  NESTRA_RETURN_NOT_OK(left_->Next(&left_row_, eof));
+  if (*eof) {
+    left_valid_ = false;
+    return Status::OK();
+  }
+  ++probe_count_;
+  left_valid_ = true;
+  emitted_match_ = false;
+  cand_pos_ = 0;
+  candidates_ = nullptr;
+  std::vector<Value> key;
+  key.reserve(left_key_idx_.size());
+  bool has_null = false;
+  for (int idx : left_key_idx_) {
+    if (left_row_[idx].is_null()) has_null = true;
+    key.push_back(left_row_[idx]);
+  }
+  if (!has_null) {
+    const auto it = buckets_.find(key);
+    if (it != buckets_.end()) candidates_ = &it->second;
+  }
+  return Status::OK();
+}
+
+Status HashJoinNode::Next(Row* out, bool* eof) {
+  while (true) {
+    if (!left_valid_) {
+      bool left_eof = false;
+      NESTRA_RETURN_NOT_OK(AdvanceLeft(&left_eof));
+      if (left_eof) {
+        *eof = true;
+        return Status::OK();
+      }
+    }
+
+    // Scan remaining candidates for this left row.
+    while (candidates_ != nullptr && cand_pos_ < candidates_->size()) {
+      const Row& right_row = (*candidates_)[cand_pos_++];
+      Row combined = Row::Concat(left_row_, right_row);
+      if (!bound_residual_.Matches(combined)) continue;
+      emitted_match_ = true;
+      switch (join_type_) {
+        case JoinType::kInner:
+        case JoinType::kLeftOuter:
+          *out = std::move(combined);
+          *eof = false;
+          return Status::OK();
+        case JoinType::kLeftSemi:
+          *out = left_row_;
+          *eof = false;
+          left_valid_ = false;  // one output per left row
+          return Status::OK();
+        case JoinType::kLeftAnti:
+        case JoinType::kLeftAntiNullAware:
+          // Disqualified; skip remaining candidates.
+          candidates_ = nullptr;
+          break;
+      }
+    }
+
+    // Candidates exhausted: handle per-left-row epilogue.
+    const bool matched = emitted_match_;
+    const Row current = left_row_;
+    left_valid_ = false;
+
+    switch (join_type_) {
+      case JoinType::kInner:
+      case JoinType::kLeftSemi:
+        break;  // nothing to emit
+      case JoinType::kLeftOuter:
+        if (!matched) {
+          *out = Row::Concat(current, Row::Nulls(right_width_));
+          *eof = false;
+          return Status::OK();
+        }
+        break;
+      case JoinType::kLeftAnti:
+        if (!matched) {
+          *out = current;
+          *eof = false;
+          return Status::OK();
+        }
+        break;
+      case JoinType::kLeftAntiNullAware: {
+        if (matched) break;
+        // NOT IN semantics (single conceptual key): empty set keeps the row;
+        // otherwise NULL probe key or NULL in the build keys -> Unknown ->
+        // dropped.
+        if (build_rows_ == 0) {
+          *out = current;
+          *eof = false;
+          return Status::OK();
+        }
+        const bool probe_null = current.AnyNullOn(left_key_idx_);
+        if (!probe_null && !build_has_null_key_) {
+          *out = current;
+          *eof = false;
+          return Status::OK();
+        }
+        break;
+      }
+    }
+  }
+}
+
+void HashJoinNode::Close() {
+  buckets_.clear();
+  left_->Close();
+  right_->Close();
+}
+
+}  // namespace nestra

@@ -1,0 +1,88 @@
+#ifndef NESTRA_EXEC_HASH_JOIN_H_
+#define NESTRA_EXEC_HASH_JOIN_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/exec_node.h"
+#include "exec/join_type.h"
+#include "expr/evaluator.h"
+
+namespace nestra {
+
+/// \brief Hash join: builds on the right input, probes with the left.
+///
+/// The join condition is `AND(equi pairs) AND residual`; the residual (an
+/// arbitrary predicate over the concatenated schema) is evaluated per
+/// candidate match, so conditions like the paper's
+/// `T.K = R.C AND T.L <> S.I` run as a hash join on the equality with the
+/// inequality as residual. With no equi pairs the build degenerates into a
+/// single bucket (a filtered Cartesian product — the paper's "virtual
+/// Cartesian product" for non-correlated subqueries).
+///
+/// For kInner/kLeftOuter the output schema is left ++ right (right side
+/// NULL-padded for unmatched outer rows — this padding is what the nested
+/// relational approach later reads as "empty subquery result" via the inner
+/// relation's primary key). For semi/anti flavors the output schema is the
+/// left schema.
+class HashJoinNode final : public ExecNode {
+ public:
+  HashJoinNode(ExecNodePtr left, ExecNodePtr right, JoinType join_type,
+               std::vector<EquiPair> equi, ExprPtr residual);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override {
+    return std::string("HashJoin[") + JoinTypeToString(join_type_) + "]";
+  }
+
+  /// Number of probe-side rows processed so far (for bench counters).
+  int64_t probe_count() const { return probe_count_; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<Value>& key) const {
+      size_t h = 0xcbf29ce484222325ULL;
+      for (const Value& v : key) {
+        h ^= v.Hash();
+        h *= 0x100000001b3ULL;
+      }
+      return h;
+    }
+  };
+
+  // Advances to the next left row and computes its candidate bucket.
+  Status AdvanceLeft(bool* eof);
+
+  ExecNodePtr left_;
+  ExecNodePtr right_;
+  JoinType join_type_;
+  std::vector<EquiPair> equi_;
+  ExprPtr residual_;
+
+  Schema schema_;
+  int right_width_ = 0;
+
+  std::vector<int> left_key_idx_;
+  std::vector<int> right_key_idx_;
+  BoundPredicate bound_residual_;  // over left ++ right
+
+  std::unordered_map<std::vector<Value>, std::vector<Row>, KeyHash> buckets_;
+  bool build_has_null_key_ = false;  // for kLeftAntiNullAware
+  int64_t build_rows_ = 0;
+
+  // Probe state.
+  Row left_row_;
+  const std::vector<Row>* candidates_ = nullptr;
+  size_t cand_pos_ = 0;
+  bool emitted_match_ = false;  // any residual-passing match for left_row_
+  bool left_valid_ = false;
+  int64_t probe_count_ = 0;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_HASH_JOIN_H_

@@ -1,0 +1,114 @@
+#include "exec/index_join.h"
+
+#include "storage/io_sim.h"
+
+namespace nestra {
+
+IndexJoinNode::IndexJoinNode(ExecNodePtr left, const Table* right_table,
+                             std::string alias, const HashIndex* index,
+                             std::string left_probe_column, JoinType join_type,
+                             ExprPtr residual)
+    : left_(std::move(left)),
+      right_table_(right_table),
+      right_schema_(alias.empty() ? right_table->schema()
+                                  : right_table->schema().Qualify(alias)),
+      index_(index),
+      left_probe_column_(std::move(left_probe_column)),
+      join_type_(join_type),
+      residual_(std::move(residual)) {
+  const Schema& ls = left_->output_schema();
+  if (join_type_ == JoinType::kInner || join_type_ == JoinType::kLeftOuter) {
+    std::vector<Field> fields = right_schema_.fields();
+    if (join_type_ == JoinType::kLeftOuter) {
+      for (Field& f : fields) f.nullable = true;
+    }
+    schema_ = Schema::Concat(ls, Schema(std::move(fields)));
+  } else {
+    schema_ = ls;
+  }
+}
+
+Status IndexJoinNode::Open() {
+  NESTRA_RETURN_NOT_OK(left_->Open());
+  NESTRA_ASSIGN_OR_RETURN(left_probe_idx_,
+                          left_->output_schema().Resolve(left_probe_column_));
+  NESTRA_ASSIGN_OR_RETURN(
+      bound_,
+      BoundPredicate::Make(residual_.get(),
+                           Schema::Concat(left_->output_schema(),
+                                          right_schema_)));
+  left_valid_ = false;
+  probe_count_ = 0;
+  return Status::OK();
+}
+
+Status IndexJoinNode::Next(Row* out, bool* eof) {
+  const int right_width = right_schema_.num_fields();
+  while (true) {
+    if (!left_valid_) {
+      bool left_eof = false;
+      NESTRA_RETURN_NOT_OK(left_->Next(&left_row_, &left_eof));
+      if (left_eof) {
+        *eof = true;
+        return Status::OK();
+      }
+      left_valid_ = true;
+      emitted_match_ = false;
+      cand_pos_ = 0;
+      ++probe_count_;
+      candidates_ = &index_->Lookup(left_row_[left_probe_idx_]);
+    }
+
+    while (cand_pos_ < candidates_->size()) {
+      const int64_t row_id = (*candidates_)[cand_pos_++];
+      if (IoSim* sim = IoSim::Get()) sim->RandomRow(right_table_, row_id);
+      const Row& right_row = right_table_->rows()[row_id];
+      Row combined = Row::Concat(left_row_, right_row);
+      if (!bound_.Matches(combined)) continue;
+      emitted_match_ = true;
+      switch (join_type_) {
+        case JoinType::kInner:
+        case JoinType::kLeftOuter:
+          *out = std::move(combined);
+          *eof = false;
+          return Status::OK();
+        case JoinType::kLeftSemi:
+          *out = left_row_;
+          *eof = false;
+          left_valid_ = false;
+          return Status::OK();
+        case JoinType::kLeftAnti:
+        case JoinType::kLeftAntiNullAware:
+          cand_pos_ = candidates_->size();
+          break;
+      }
+    }
+
+    const bool matched = emitted_match_;
+    const Row current = left_row_;
+    left_valid_ = false;
+
+    switch (join_type_) {
+      case JoinType::kInner:
+      case JoinType::kLeftSemi:
+        break;
+      case JoinType::kLeftOuter:
+        if (!matched) {
+          *out = Row::Concat(current, Row::Nulls(right_width));
+          *eof = false;
+          return Status::OK();
+        }
+        break;
+      case JoinType::kLeftAnti:
+      case JoinType::kLeftAntiNullAware:
+        if (!matched) {
+          *out = current;
+          *eof = false;
+          return Status::OK();
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace nestra

@@ -1,0 +1,41 @@
+#ifndef NESTRA_EXEC_JOIN_TYPE_H_
+#define NESTRA_EXEC_JOIN_TYPE_H_
+
+namespace nestra {
+
+/// \brief Join flavors used across the physical operators.
+///
+/// kLeftAnti is the classical antijoin: a left row survives when NO right
+/// row satisfies the condition. A condition that evaluates to UNKNOWN is
+/// "not satisfied" — which is precisely why an antijoin is NOT equivalent to
+/// `NOT IN` / `θ ALL` under NULLs (Section 2 of the paper).
+/// kLeftAntiNullAware implements true NOT-IN semantics for the uncorrelated
+/// single-key case: a NULL probe key, or any NULL build key, disqualifies
+/// the left row (result Unknown -> filtered).
+enum class JoinType {
+  kInner,
+  kLeftOuter,
+  kLeftSemi,
+  kLeftAnti,
+  kLeftAntiNullAware,
+};
+
+constexpr const char* JoinTypeToString(JoinType t) {
+  switch (t) {
+    case JoinType::kInner:
+      return "Inner";
+    case JoinType::kLeftOuter:
+      return "LeftOuter";
+    case JoinType::kLeftSemi:
+      return "LeftSemi";
+    case JoinType::kLeftAnti:
+      return "LeftAnti";
+    case JoinType::kLeftAntiNullAware:
+      return "LeftAntiNullAware";
+  }
+  return "?";
+}
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_JOIN_TYPE_H_

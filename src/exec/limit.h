@@ -1,0 +1,42 @@
+#ifndef NESTRA_EXEC_LIMIT_H_
+#define NESTRA_EXEC_LIMIT_H_
+
+#include "exec/exec_node.h"
+
+namespace nestra {
+
+/// \brief Emits at most `limit` rows of the child, then reports EOF without
+/// draining it.
+class LimitNode final : public ExecNode {
+ public:
+  LimitNode(ExecNodePtr child, int64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+  Status Next(Row* out, bool* eof) override {
+    if (emitted_ >= limit_) {
+      *eof = true;
+      return Status::OK();
+    }
+    NESTRA_RETURN_NOT_OK(child_->Next(out, eof));
+    if (!*eof) ++emitted_;
+    return Status::OK();
+  }
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "Limit"; }
+
+ private:
+  ExecNodePtr child_;
+  int64_t limit_;
+  int64_t emitted_ = 0;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_LIMIT_H_

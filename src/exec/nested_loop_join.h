@@ -1,0 +1,51 @@
+#ifndef NESTRA_EXEC_NESTED_LOOP_JOIN_H_
+#define NESTRA_EXEC_NESTED_LOOP_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_node.h"
+#include "exec/join_type.h"
+#include "expr/evaluator.h"
+
+namespace nestra {
+
+/// \brief General theta join: materializes the right input and scans it per
+/// left row. The workhorse of the nested-iteration baseline and the fallback
+/// for conditions with no usable equality.
+///
+/// A null condition means a Cartesian product (for kInner/kLeftOuter) or
+/// EXISTS/NOT-EXISTS-on-anything (for semi/anti).
+class NestedLoopJoinNode final : public ExecNode {
+ public:
+  NestedLoopJoinNode(ExecNodePtr left, ExecNodePtr right, JoinType join_type,
+                     ExprPtr condition);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override;
+  std::string name() const override {
+    return std::string("NestedLoopJoin[") + JoinTypeToString(join_type_) + "]";
+  }
+
+ private:
+  ExecNodePtr left_;
+  ExecNodePtr right_;
+  JoinType join_type_;
+  ExprPtr condition_;
+
+  Schema schema_;
+  int right_width_ = 0;
+  BoundPredicate bound_;
+
+  std::vector<Row> right_rows_;
+  Row left_row_;
+  size_t right_pos_ = 0;
+  bool left_valid_ = false;
+  bool emitted_match_ = false;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_NESTED_LOOP_JOIN_H_

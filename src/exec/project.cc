@@ -1,0 +1,39 @@
+#include "exec/project.h"
+
+namespace nestra {
+
+ProjectNode::ProjectNode(ExecNodePtr child, std::vector<std::string> columns,
+                         std::vector<std::string> output_names)
+    : child_(std::move(child)),
+      columns_(std::move(columns)),
+      output_names_(std::move(output_names)) {}
+
+Status ProjectNode::Open() {
+  NESTRA_RETURN_NOT_OK(child_->Open());
+  if (!output_names_.empty() && output_names_.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "projection rename list length mismatches column list");
+  }
+  const Schema& in = child_->output_schema();
+  indices_.clear();
+  std::vector<Field> fields;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    NESTRA_ASSIGN_OR_RETURN(int idx, in.Resolve(columns_[i]));
+    indices_.push_back(idx);
+    Field f = in.field(idx);
+    if (!output_names_.empty()) f.name = output_names_[i];
+    fields.push_back(std::move(f));
+  }
+  schema_ = Schema(std::move(fields));
+  return Status::OK();
+}
+
+Status ProjectNode::Next(Row* out, bool* eof) {
+  Row in;
+  NESTRA_RETURN_NOT_OK(child_->Next(&in, eof));
+  if (*eof) return Status::OK();
+  *out = in.Select(indices_);
+  return Status::OK();
+}
+
+}  // namespace nestra

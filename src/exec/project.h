@@ -1,0 +1,37 @@
+#ifndef NESTRA_EXEC_PROJECT_H_
+#define NESTRA_EXEC_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_node.h"
+
+namespace nestra {
+
+/// \brief Column projection (and optional renaming). No expression
+/// projection is needed anywhere in the paper's plans.
+class ProjectNode final : public ExecNode {
+ public:
+  /// `columns` are resolved against the child schema (exact or unqualified).
+  /// `output_names`, if non-empty, renames positionally and must match
+  /// `columns` in length.
+  ProjectNode(ExecNodePtr child, std::vector<std::string> columns,
+              std::vector<std::string> output_names = {});
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "Project"; }
+
+ private:
+  ExecNodePtr child_;
+  std::vector<std::string> columns_;
+  std::vector<std::string> output_names_;
+  std::vector<int> indices_;
+  Schema schema_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_PROJECT_H_

@@ -1,0 +1,23 @@
+#include "exec/scan.h"
+
+#include "storage/io_sim.h"
+
+namespace nestra {
+
+ScanNode::ScanNode(const Table* table, const std::string& alias)
+    : table_(table),
+      schema_(alias.empty() ? table->schema()
+                            : table->schema().Qualify(alias)) {}
+
+Status ScanNode::Next(Row* out, bool* eof) {
+  if (pos_ >= table_->num_rows()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *eof = false;
+  if (IoSim* sim = IoSim::Get()) sim->SeqRow(table_, pos_);
+  *out = table_->rows()[pos_++];
+  return Status::OK();
+}
+
+}  // namespace nestra

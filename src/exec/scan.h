@@ -1,0 +1,36 @@
+#ifndef NESTRA_EXEC_SCAN_H_
+#define NESTRA_EXEC_SCAN_H_
+
+#include <string>
+
+#include "exec/exec_node.h"
+
+namespace nestra {
+
+/// \brief Full scan over a borrowed base table, qualifying column names with
+/// an alias ("orders.o_orderkey" or "o.o_orderkey").
+///
+/// The table must outlive the node (tables are owned by the Catalog).
+class ScanNode final : public ExecNode {
+ public:
+  /// `alias` may be empty, in which case field names pass through unchanged.
+  ScanNode(const Table* table, const std::string& alias);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Status Next(Row* out, bool* eof) override;
+  void Close() override {}
+  std::string name() const override { return "Scan"; }
+
+ private:
+  const Table* table_;
+  Schema schema_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_SCAN_H_

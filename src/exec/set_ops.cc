@@ -1,0 +1,87 @@
+#include "exec/set_ops.h"
+
+#include <unordered_set>
+
+namespace nestra {
+
+namespace {
+
+struct RowHash {
+  size_t operator()(const Row& r) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const Value& v : r.values()) {
+      h ^= v.Hash();
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+using RowSet = std::unordered_set<Row, RowHash>;
+
+}  // namespace
+
+Status CheckSetOpCompatible(const Schema& left, const Schema& right) {
+  if (left.num_fields() != right.num_fields()) {
+    return Status::InvalidArgument(
+        "set operation inputs have different arities: " +
+        std::to_string(left.num_fields()) + " vs " +
+        std::to_string(right.num_fields()));
+  }
+  for (int i = 0; i < left.num_fields(); ++i) {
+    if (left.field(i).type != right.field(i).type) {
+      return Status::TypeError(
+          "set operation column " + std::to_string(i) + " types differ: " +
+          TypeIdToString(left.field(i).type) + " vs " +
+          TypeIdToString(right.field(i).type));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> UnionAll(Table left, const Table& right) {
+  NESTRA_RETURN_NOT_OK(CheckSetOpCompatible(left.schema(), right.schema()));
+  left.Reserve(static_cast<size_t>(left.num_rows() + right.num_rows()));
+  for (const Row& r : right.rows()) left.AppendUnchecked(r);
+  return left;
+}
+
+Result<Table> UnionDistinct(const Table& left, const Table& right) {
+  NESTRA_RETURN_NOT_OK(CheckSetOpCompatible(left.schema(), right.schema()));
+  Table out{left.schema()};
+  RowSet seen;
+  for (const Table* t : {&left, &right}) {
+    for (const Row& r : t->rows()) {
+      if (seen.insert(r).second) out.AppendUnchecked(r);
+    }
+  }
+  return out;
+}
+
+Result<Table> Intersect(const Table& left, const Table& right) {
+  NESTRA_RETURN_NOT_OK(CheckSetOpCompatible(left.schema(), right.schema()));
+  RowSet right_rows(right.rows().begin(), right.rows().end());
+  Table out{left.schema()};
+  RowSet emitted;
+  for (const Row& r : left.rows()) {
+    if (right_rows.count(r) > 0 && emitted.insert(r).second) {
+      out.AppendUnchecked(r);
+    }
+  }
+  return out;
+}
+
+Result<Table> Except(const Table& left, const Table& right) {
+  NESTRA_RETURN_NOT_OK(CheckSetOpCompatible(left.schema(), right.schema()));
+  RowSet right_rows(right.rows().begin(), right.rows().end());
+  Table out{left.schema()};
+  RowSet emitted;
+  for (const Row& r : left.rows()) {
+    if (right_rows.count(r) == 0 && emitted.insert(r).second) {
+      out.AppendUnchecked(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace nestra

@@ -1,0 +1,25 @@
+#ifndef NESTRA_EXEC_SET_OPS_H_
+#define NESTRA_EXEC_SET_OPS_H_
+
+#include "common/table.h"
+
+namespace nestra {
+
+/// \brief Bag/set combinators over materialized tables, with SQL set
+/// semantics: UNION / INTERSECT / EXCEPT deduplicate (NULLs compare equal
+/// for this purpose, as in SQL's set operations); UNION ALL concatenates.
+///
+/// The inputs must have the same arity and field types (names may differ;
+/// the left input's schema names the result).
+
+Result<Table> UnionAll(Table left, const Table& right);
+Result<Table> UnionDistinct(const Table& left, const Table& right);
+Result<Table> Intersect(const Table& left, const Table& right);
+Result<Table> Except(const Table& left, const Table& right);
+
+/// Schema compatibility check shared by the combinators.
+Status CheckSetOpCompatible(const Schema& left, const Schema& right);
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_SET_OPS_H_

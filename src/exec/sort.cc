@@ -1,0 +1,50 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+namespace nestra {
+
+Status SortNode::Open() {
+  NESTRA_RETURN_NOT_OK(child_->Open());
+  key_indices_.clear();
+  key_asc_.clear();
+  for (const SortKey& k : keys_) {
+    NESTRA_ASSIGN_OR_RETURN(int idx, child_->output_schema().Resolve(k.column));
+    key_indices_.push_back(idx);
+    key_asc_.push_back(k.ascending);
+  }
+  rows_.clear();
+  pos_ = 0;
+  Row row;
+  bool eof = false;
+  while (true) {
+    NESTRA_RETURN_NOT_OK(child_->Next(&row, &eof));
+    if (eof) break;
+    rows_.push_back(std::move(row));
+    row = Row();
+  }
+  // stable_sort keeps input order within equal keys, which makes nested
+  // groups deterministic for tests.
+  std::stable_sort(rows_.begin(), rows_.end(), [this](const Row& a,
+                                                      const Row& b) {
+    for (size_t i = 0; i < key_indices_.size(); ++i) {
+      const int c =
+          Value::TotalOrderCompare(a[key_indices_[i]], b[key_indices_[i]]);
+      if (c != 0) return key_asc_[i] ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  return Status::OK();
+}
+
+Status SortNode::Next(Row* out, bool* eof) {
+  if (pos_ >= rows_.size()) {
+    *eof = true;
+    return Status::OK();
+  }
+  *eof = false;
+  *out = std::move(rows_[pos_++]);
+  return Status::OK();
+}
+
+}  // namespace nestra

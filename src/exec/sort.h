@@ -1,0 +1,48 @@
+#ifndef NESTRA_EXEC_SORT_H_
+#define NESTRA_EXEC_SORT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_node.h"
+
+namespace nestra {
+
+/// \brief One ORDER BY key: column name + direction. NULLs sort first in
+/// ascending order (per Value::TotalOrderCompare), last in descending.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// \brief Pipeline-breaking multi-key sort. This is the operator the
+/// sort-based nest rides on: the "only the deepest nesting involves true
+/// physical reordering" optimization (§4.2.1) is one SortNode for all levels.
+class SortNode final : public ExecNode {
+ public:
+  SortNode(ExecNodePtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open() override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override {
+    rows_.clear();
+    child_->Close();
+  }
+  std::string name() const override { return "Sort"; }
+
+ private:
+  ExecNodePtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<int> key_indices_;
+  std::vector<bool> key_asc_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_SORT_H_

@@ -1,0 +1,84 @@
+#include "expr/evaluator.h"
+
+namespace nestra {
+
+std::vector<ExprPtr> SplitConjunction(ExprPtr expr) {
+  std::vector<ExprPtr> out;
+  if (auto* a = dynamic_cast<AndExpr*>(expr.get())) {
+    for (ExprPtr& c : a->TakeChildren()) {
+      // Children may themselves be ANDs if built without MakeAnd.
+      std::vector<ExprPtr> sub = SplitConjunction(std::move(c));
+      for (ExprPtr& s : sub) out.push_back(std::move(s));
+    }
+  } else {
+    out.push_back(std::move(expr));
+  }
+  return out;
+}
+
+bool ReferencesOnly(const Expr& expr, const Schema& schema) {
+  std::vector<std::string> cols;
+  expr.CollectColumns(&cols);
+  for (const std::string& c : cols) {
+    if (!schema.Resolve(c).ok()) return false;
+  }
+  return true;
+}
+
+bool ReferencesAny(const Expr& expr, const Schema& schema) {
+  std::vector<std::string> cols;
+  expr.CollectColumns(&cols);
+  for (const std::string& c : cols) {
+    if (schema.Resolve(c).ok()) return true;
+  }
+  return false;
+}
+
+JoinCondition DecomposeJoinCondition(std::vector<ExprPtr> conjuncts,
+                                     const Schema& left,
+                                     const Schema& right) {
+  JoinCondition out;
+  std::vector<ExprPtr> residuals;
+  for (ExprPtr& c : conjuncts) {
+    const auto* cmp = dynamic_cast<const Comparison*>(c.get());
+    if (cmp != nullptr && cmp->op() == CmpOp::kEq) {
+      const auto* l = dynamic_cast<const ColumnRef*>(&cmp->lhs());
+      const auto* r = dynamic_cast<const ColumnRef*>(&cmp->rhs());
+      if (l != nullptr && r != nullptr) {
+        const bool l_left = left.Resolve(l->name()).ok();
+        const bool l_right = right.Resolve(l->name()).ok();
+        const bool r_left = left.Resolve(r->name()).ok();
+        const bool r_right = right.Resolve(r->name()).ok();
+        // Require an unambiguous side assignment.
+        if (l_left && !l_right && r_right && !r_left) {
+          out.equi.push_back({l->name(), r->name()});
+          continue;
+        }
+        if (l_right && !l_left && r_left && !r_right) {
+          out.equi.push_back({r->name(), l->name()});
+          continue;
+        }
+      }
+    }
+    residuals.push_back(std::move(c));
+  }
+  if (!residuals.empty()) out.residual = MakeAnd(std::move(residuals));
+  return out;
+}
+
+Result<BoundPredicate> BoundPredicate::Make(const Expr* expr,
+                                            const Schema& schema) {
+  if (expr == nullptr) return BoundPredicate();
+  return MakeOwned(expr->Clone(), schema);
+}
+
+Result<BoundPredicate> BoundPredicate::MakeOwned(ExprPtr expr,
+                                                 const Schema& schema) {
+  BoundPredicate out;
+  if (expr == nullptr) return out;
+  NESTRA_RETURN_NOT_OK(expr->Bind(schema));
+  out.expr_ = std::shared_ptr<const Expr>(std::move(expr));
+  return out;
+}
+
+}  // namespace nestra

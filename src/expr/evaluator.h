@@ -1,0 +1,72 @@
+#ifndef NESTRA_EXPR_EVALUATOR_H_
+#define NESTRA_EXPR_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace nestra {
+
+/// \brief Analysis and planning helpers over expression trees.
+
+/// Splits a predicate into its top-level AND conjuncts (a non-AND expression
+/// yields a single conjunct). Consumes the input.
+std::vector<ExprPtr> SplitConjunction(ExprPtr expr);
+
+/// True if every column referenced by `expr` resolves in `schema`.
+bool ReferencesOnly(const Expr& expr, const Schema& schema);
+
+/// True if `expr` references at least one column that resolves in `schema`.
+bool ReferencesAny(const Expr& expr, const Schema& schema);
+
+/// \brief One `l = r` join-key pair pulled out of a join condition, with `l`
+/// resolving on the left input and `r` on the right input.
+struct EquiPair {
+  std::string left;
+  std::string right;
+};
+
+/// \brief Join condition decomposition: hashable equality pairs plus a
+/// residual predicate (bound against the concatenated schema by the join).
+struct JoinCondition {
+  std::vector<EquiPair> equi;
+  ExprPtr residual;  // nullptr when no residual
+
+  bool HasResidual() const { return residual != nullptr; }
+};
+
+/// Decomposes `conjuncts` into equi pairs (Comparison kEq between a column of
+/// `left` and a column of `right`, either orientation) and a residual with
+/// everything else. Consumes the input.
+JoinCondition DecomposeJoinCondition(std::vector<ExprPtr> conjuncts,
+                                     const Schema& left, const Schema& right);
+
+/// \brief A predicate cloned and bound against a fixed schema, ready for
+/// repeated row evaluation. The expression may be null, meaning "TRUE".
+class BoundPredicate {
+ public:
+  BoundPredicate() = default;
+
+  /// Clones `expr` (if non-null) and binds it against `schema`.
+  static Result<BoundPredicate> Make(const Expr* expr, const Schema& schema);
+
+  /// Takes ownership of `expr` and binds it.
+  static Result<BoundPredicate> MakeOwned(ExprPtr expr, const Schema& schema);
+
+  TriBool EvalBool(const Row& row) const {
+    return expr_ ? expr_->EvalBool(row) : TriBool::kTrue;
+  }
+  bool Matches(const Row& row) const { return IsTrue(EvalBool(row)); }
+  bool always_true() const { return expr_ == nullptr; }
+
+  std::string ToString() const { return expr_ ? expr_->ToString() : "TRUE"; }
+
+ private:
+  std::shared_ptr<const Expr> expr_;  // shared so BoundPredicate is copyable
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXPR_EVALUATOR_H_

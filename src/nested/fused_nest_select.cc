@@ -1,0 +1,179 @@
+#include "nested/fused_nest_select.h"
+
+namespace nestra {
+
+FusedNestSelectNode::FusedNestSelectNode(ExecNodePtr child,
+                                         std::vector<FusedLevelSpec> levels)
+    : child_(std::move(child)), specs_(std::move(levels)) {
+  // Output schema: the outermost level's nesting attributes. Resolution
+  // errors surface at Open(); construct a best-effort schema here.
+  const Schema& in = child_->output_schema();
+  std::vector<Field> fields;
+  if (!specs_.empty()) {
+    for (const std::string& a : specs_[0].nesting_attrs) {
+      const Result<int> idx = in.Resolve(a);
+      fields.push_back(idx.ok() ? in.field(*idx) : Field(a, TypeId::kInt64));
+    }
+  }
+  schema_ = Schema(std::move(fields));
+}
+
+Status FusedNestSelectNode::Open() {
+  NESTRA_RETURN_NOT_OK(child_->Open());
+  if (specs_.empty()) {
+    return Status::InvalidArgument("FusedNestSelect requires >= 1 level");
+  }
+  const Schema& in = child_->output_schema();
+
+  levels_.clear();
+  levels_.resize(specs_.size());
+  groups_closed_.assign(specs_.size(), 0);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    LevelState& st = levels_[i];
+    for (const std::string& a : specs_[i].nesting_attrs) {
+      NESTRA_ASSIGN_OR_RETURN(int idx, in.Resolve(a));
+      st.key_idx.push_back(idx);
+    }
+    const LinkingPredicate& p = specs_[i].pred;
+    NESTRA_ASSIGN_OR_RETURN(st.member_key_idx, in.Resolve(p.member_key_attr));
+    if (p.kind == LinkingPredicate::Kind::kQuantified ||
+        p.kind == LinkingPredicate::Kind::kAggregate) {
+      if (!p.linking_is_const) {
+        NESTRA_ASSIGN_OR_RETURN(st.linking_idx, in.Resolve(p.linking_attr));
+      }
+      if (!p.linked_attr.empty()) {  // empty for COUNT(*)
+        NESTRA_ASSIGN_OR_RETURN(st.linked_idx, in.Resolve(p.linked_attr));
+      }
+    }
+    st.acc = LinkingAccumulator(p);
+    // Containment check: each level's keys must include the previous
+    // level's keys (prefix property of §4.2.1).
+    if (i > 0) {
+      for (int k : levels_[i - 1].key_idx) {
+        bool found = false;
+        for (int k2 : st.key_idx) found = found || (k2 == k);
+        if (!found) {
+          return Status::InvalidArgument(
+              "FusedNestSelect: level " + std::to_string(i) +
+              " nesting attributes do not contain level " +
+              std::to_string(i - 1) + "'s");
+        }
+      }
+    }
+  }
+
+  output_idx_ = levels_[0].key_idx;
+  // Pad positions are indices into the OUTPUT row (level-0 prefix).
+  for (const std::string& a : specs_[0].pad_attrs) {
+    NESTRA_ASSIGN_OR_RETURN(int flat, in.Resolve(a));
+    for (size_t k = 0; k < output_idx_.size(); ++k) {
+      if (output_idx_[k] == flat) {
+        levels_[0].pad_idx.push_back(static_cast<int>(k));
+      }
+    }
+  }
+  has_prev_ = false;
+  input_done_ = false;
+  pending_valid_ = false;
+  return Status::OK();
+}
+
+void FusedNestSelectNode::OpenLevel(int i, const Row& row) {
+  LevelState& st = levels_[i];
+  st.open = true;
+  st.rep = row;
+  st.acc.Reset(st.linking_idx >= 0 ? row[st.linking_idx]
+                                   : specs_[i].pred.linking_const);
+}
+
+bool FusedNestSelectNode::FinalizeLevel(int i) {
+  LevelState& st = levels_[i];
+  st.open = false;
+  ++groups_closed_[i];
+  const TriBool r = st.acc.Result();
+  if (i == 0) {
+    if (IsTrue(r)) {
+      pending_ = st.rep.Select(output_idx_);
+      pending_valid_ = true;
+      return true;
+    }
+    if (specs_[0].mode == SelectionMode::kPseudo) {
+      pending_ = st.rep.Select(output_idx_);
+      for (int k : st.pad_idx) pending_[k] = Value::Null();
+      pending_valid_ = true;
+      return true;
+    }
+    return false;
+  }
+  // Contribute a member to the enclosing level. The member's key and linked
+  // values are this group's constants, read from the representative row; a
+  // failing group contributes nothing (see class comment).
+  LevelState& parent = levels_[i - 1];
+  if (IsTrue(r)) {
+    parent.acc.Add(st.rep[parent.member_key_idx],
+                   parent.linked_idx >= 0 ? st.rep[parent.linked_idx]
+                                          : Value::Null());
+  }
+  return false;
+}
+
+Status FusedNestSelectNode::Next(Row* out, bool* eof) {
+  const int m = static_cast<int>(levels_.size());
+  while (true) {
+    if (pending_valid_) {
+      *out = std::move(pending_);
+      pending_valid_ = false;
+      *eof = false;
+      return Status::OK();
+    }
+    if (input_done_) {
+      *eof = true;
+      return Status::OK();
+    }
+
+    Row row;
+    bool child_eof = false;
+    NESTRA_RETURN_NOT_OK(child_->Next(&row, &child_eof));
+
+    if (child_eof) {
+      input_done_ = true;
+      if (has_prev_) {
+        // Close everything, innermost first.
+        for (int i = m - 1; i >= 0; --i) FinalizeLevel(i);
+      }
+      continue;  // pending_ may now hold the last output
+    }
+
+    if (!has_prev_) {
+      for (int i = 0; i < m; ++i) OpenLevel(i, row);
+      // The innermost level's members are the stream rows themselves.
+      LevelState& inner = levels_[m - 1];
+      inner.acc.Add(row[inner.member_key_idx],
+                    inner.linked_idx >= 0 ? row[inner.linked_idx]
+                                          : Value::Null());
+      prev_row_ = std::move(row);
+      has_prev_ = true;
+      continue;
+    }
+
+    // Outermost level whose group key changed.
+    int boundary = m;  // m = no change anywhere
+    for (int i = 0; i < m; ++i) {
+      if (Row::CompareOn(prev_row_, row, levels_[i].key_idx) != 0) {
+        boundary = i;
+        break;
+      }
+    }
+    if (boundary < m) {
+      for (int i = m - 1; i >= boundary; --i) FinalizeLevel(i);
+      for (int i = boundary; i < m; ++i) OpenLevel(i, row);
+    }
+    LevelState& inner = levels_[m - 1];
+    inner.acc.Add(row[inner.member_key_idx],
+                  inner.linked_idx >= 0 ? row[inner.linked_idx]
+                                        : Value::Null());
+    prev_row_ = std::move(row);
+  }
+}
+
+}  // namespace nestra

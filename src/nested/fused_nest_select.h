@@ -1,0 +1,104 @@
+#ifndef NESTRA_NESTED_FUSED_NEST_SELECT_H_
+#define NESTRA_NESTED_FUSED_NEST_SELECT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_node.h"
+#include "nested/linking_predicate.h"
+#include "nested/linking_selection.h"
+
+namespace nestra {
+
+/// \brief One nesting level of the fused evaluator. Levels are listed
+/// outermost first; each level's `nesting_attrs` must be a superset of the
+/// previous level's (the paper's observation that "higher levels nest by a
+/// prefix of the nesting attributes used by lower levels", §4.2.1), and the
+/// input stream must be sorted by the innermost level's nesting attributes.
+///
+/// The linking predicate's attribute names all refer to columns of the flat
+/// input schema: `linking_attr` must be functionally determined by this
+/// level's nesting attributes, and `linked_attr`/`member_key_attr` by the
+/// next level's (they are read from the representative row of the inner
+/// group when it closes).
+struct FusedLevelSpec {
+  std::vector<std::string> nesting_attrs;
+  LinkingPredicate pred;
+  SelectionMode mode = SelectionMode::kPseudo;
+  /// Outermost level only: in kPseudo mode a failing group is still emitted,
+  /// with these columns (names within `nesting_attrs`) nulled — the
+  /// streaming form of the pseudo-selection, used when the fused evaluator
+  /// runs as one stage of a larger (tree-query) pipeline. Inner levels need
+  /// no pad list: a failing inner group simply contributes no member.
+  std::vector<std::string> pad_attrs;
+};
+
+/// \brief The optimized nested relational evaluator: all nest operations in
+/// a single (external) sort, then one streaming pass that pipelines every
+/// nest with its linking selection (§4.2.1 + §4.2.2).
+///
+/// Group boundaries are detected by key-prefix change; when an inner group
+/// closes, its predicate result decides whether the group contributes a
+/// member to the enclosing level:
+///  * result TRUE  -> contributes (member key, linked value) read from the
+///                    group's representative row;
+///  * otherwise    -> contributes nothing. (For a pseudo-selection this is
+///    the NULL-padded member whose NULL key excludes it from the
+///    quantification; for a strict selection the tuple is dropped — in the
+///    streaming form both reduce to "no member", and the outer group still
+///    exists because its rows were seen. The two modes therefore coincide
+///    here, which is exactly why the paper restricts strict mode to
+///    positions where the distinction cannot matter.)
+///
+/// The outermost level emits its nesting-attribute prefix for groups whose
+/// predicate is TRUE. Output schema = outermost nesting attributes.
+class FusedNestSelectNode final : public ExecNode {
+ public:
+  /// `child` must produce rows sorted by `levels.back().nesting_attrs`.
+  FusedNestSelectNode(ExecNodePtr child, std::vector<FusedLevelSpec> levels);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Status Next(Row* out, bool* eof) override;
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "FusedNestSelect"; }
+
+  /// Groups closed at each level so far (bench counter; index 0 = outermost).
+  const std::vector<int64_t>& groups_closed() const { return groups_closed_; }
+
+ private:
+  struct LevelState {
+    std::vector<int> key_idx;    // group key columns (flat schema)
+    int linking_idx = -1;        // pred's outer attribute (flat schema)
+    int linked_idx = -1;         // pred's member attribute (flat schema)
+    int member_key_idx = -1;     // pred's member primary key (flat schema)
+    std::vector<int> pad_idx;    // output positions to null on pseudo fail
+    LinkingAccumulator acc;
+    Row rep;                     // representative (first) row of open group
+    bool open = false;
+  };
+
+  // Closes level `i`, feeding the member upward or emitting at level 0.
+  // Returns true if an output row was produced (stored in pending_).
+  bool FinalizeLevel(int i);
+
+  // Opens a group at level `i` with `row` as representative.
+  void OpenLevel(int i, const Row& row);
+
+  ExecNodePtr child_;
+  std::vector<FusedLevelSpec> specs_;
+  Schema schema_;
+  std::vector<int> output_idx_;  // outermost nesting attrs in flat schema
+
+  std::vector<LevelState> levels_;
+  Row prev_row_;
+  bool has_prev_ = false;
+  bool input_done_ = false;
+  bool pending_valid_ = false;
+  Row pending_;
+  std::vector<int64_t> groups_closed_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_NESTED_FUSED_NEST_SELECT_H_

@@ -1,0 +1,47 @@
+#ifndef NESTRA_NESTED_LINKING_SELECTION_H_
+#define NESTRA_NESTED_LINKING_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "nested/linking_predicate.h"
+#include "nested/nested_relation.h"
+
+namespace nestra {
+
+/// \brief Which selection of Definition 5 to apply.
+///
+/// kStrict is the usual selection σ_C: keep exactly the tuples where C is
+/// TRUE. kPseudo is the pseudo-selection σ̄_{C,A}: keep passing tuples
+/// unchanged, and keep *failing* tuples too but with the attributes in A
+/// padded to NULL. The paper uses kPseudo whenever a negative or mixed
+/// linking predicate still has enclosing predicates to compute (a failing
+/// inner set must not delete the outer tuple — it must merely not count as a
+/// member at the next level, which the NULLed primary key achieves), and
+/// kStrict for the last unfinished predicate or when all remaining
+/// predicates are positive.
+enum class SelectionMode { kStrict, kPseudo };
+
+/// \brief Applies the linking selection for `pred` to a nested relation and
+/// consumes the predicate's group: the output contains the input's atom
+/// attributes only (the paper composes each linking selection with a
+/// projection onto the atoms, cf. Figures 2(b)/2(c) where "the projection
+/// operation ... is omitted").
+///
+/// `pad_attrs` (atom attribute names) is only used in kPseudo mode.
+/// The relation must be one-level with exactly the predicate's group.
+Result<Table> LinkingSelect(const NestedRelation& input,
+                            const LinkingPredicate& pred, SelectionMode mode,
+                            const std::vector<std::string>& pad_attrs = {});
+
+/// \brief Non-consuming variant used by the paper-figure tests: returns the
+/// nested relation with failing tuples dropped (kStrict) or padded
+/// (kPseudo), groups retained.
+Result<NestedRelation> LinkingSelectNested(
+    const NestedRelation& input, const LinkingPredicate& pred,
+    SelectionMode mode, const std::vector<std::string>& pad_attrs = {});
+
+}  // namespace nestra
+
+#endif  // NESTRA_NESTED_LINKING_SELECTION_H_

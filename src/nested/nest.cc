@@ -1,0 +1,123 @@
+#include "nested/nest.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace nestra {
+
+namespace {
+
+struct KeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const Value& v : key) {
+      h ^= v.Hash();
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+Result<std::vector<int>> ResolveAll(const Schema& schema,
+                                    const std::vector<std::string>& names) {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    NESTRA_ASSIGN_OR_RETURN(int idx, schema.Resolve(n));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<NestedRelation> Nest(const NestedRelation& input,
+                            const std::vector<std::string>& nesting_attrs,
+                            const std::vector<std::string>& nested_attrs,
+                            const std::string& group_name, NestMethod method) {
+  const Schema& atoms = input.schema().atoms();
+  NESTRA_ASSIGN_OR_RETURN(std::vector<int> n1, ResolveAll(atoms, nesting_attrs));
+  NESTRA_ASSIGN_OR_RETURN(std::vector<int> n2, ResolveAll(atoms, nested_attrs));
+  for (int i : n1) {
+    for (int j : n2) {
+      if (i == j) {
+        return Status::InvalidArgument(
+            "nest: N1 and N2 must be disjoint; both contain " +
+            atoms.field(i).name);
+      }
+    }
+  }
+
+  // Member schema: N2 atoms plus the input's existing groups (consecutive
+  // nests deepen the relation).
+  auto member_schema = std::make_shared<NestedSchema>(
+      atoms.Select(n2), input.schema().groups());
+  auto out_schema = std::make_shared<NestedSchema>(atoms.Select(n1));
+  out_schema->AddGroup(group_name, member_schema);
+
+  NestedRelation out(out_schema);
+
+  auto make_member = [&](const NestedTuple& t) {
+    NestedTuple m;
+    m.atoms = t.atoms.Select(n2);
+    m.groups = t.groups;
+    return m;
+  };
+  auto make_key = [&](const NestedTuple& t) {
+    std::vector<Value> key;
+    key.reserve(n1.size());
+    for (int idx : n1) key.push_back(t.atoms[idx]);
+    return key;
+  };
+
+  if (method == NestMethod::kHash) {
+    std::unordered_map<std::vector<Value>, int64_t, KeyHash> group_of;
+    for (const NestedTuple& t : input.tuples()) {
+      std::vector<Value> key = make_key(t);
+      const auto it = group_of.find(key);
+      if (it == group_of.end()) {
+        group_of.emplace(std::move(key),
+                         static_cast<int64_t>(out.tuples().size()));
+        NestedTuple g;
+        g.atoms = t.atoms.Select(n1);
+        g.groups.push_back({make_member(t)});
+        out.tuples().push_back(std::move(g));
+      } else {
+        out.tuples()[it->second].groups[0].push_back(make_member(t));
+      }
+    }
+    return out;
+  }
+
+  // Sort-based: order tuple indices by N1 and cut runs.
+  std::vector<int64_t> order(input.tuples().size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return Row::CompareOn(input.tuples()[a].atoms, input.tuples()[b].atoms,
+                          n1) < 0;
+  });
+  for (size_t i = 0; i < order.size(); ++i) {
+    const NestedTuple& t = input.tuples()[order[i]];
+    const bool new_group =
+        i == 0 ||
+        Row::CompareOn(input.tuples()[order[i - 1]].atoms, t.atoms, n1) != 0;
+    if (new_group) {
+      NestedTuple g;
+      g.atoms = t.atoms.Select(n1);
+      g.groups.push_back({});
+      out.tuples().push_back(std::move(g));
+    }
+    out.tuples().back().groups[0].push_back(make_member(t));
+  }
+  return out;
+}
+
+Result<NestedRelation> Nest(const Table& input,
+                            const std::vector<std::string>& nesting_attrs,
+                            const std::vector<std::string>& nested_attrs,
+                            const std::string& group_name, NestMethod method) {
+  return Nest(NestedRelation::FromTable(input), nesting_attrs, nested_attrs,
+              group_name, method);
+}
+
+}  // namespace nestra

@@ -1,0 +1,46 @@
+#ifndef NESTRA_NESTED_NEST_H_
+#define NESTRA_NESTED_NEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "nested/nested_relation.h"
+
+namespace nestra {
+
+/// \brief Physical implementation choice for the nest operator. The paper
+/// observes nest is "like a group-by: the two obvious options are sorting
+/// and hashing"; the ablation bench compares them.
+enum class NestMethod { kSort, kHash };
+
+/// \brief The paper's redefined nest operator (Definition 3):
+/// `υ_{N1,N2}(r)` — nest `r` by the nesting attributes N1, keeping the
+/// nested attributes N2, with an implicit projection onto N1 ∪ N2.
+///
+/// N1 and N2 must be disjoint attribute lists of `input`'s atoms. Existing
+/// groups of `input` travel into the new members, so two consecutive nests
+/// produce a two-level nested relation exactly as in §4.2.1.
+///
+/// Members are kept as a bag rather than a set: duplicates cannot change any
+/// linking-predicate outcome (quantifications are idempotent per value) and
+/// deduplication would cost an extra hash pass.
+///
+/// kSort produces groups in ascending N1 order; kHash produces them in
+/// first-appearance order. Both yield BagEquals-identical results.
+Result<NestedRelation> Nest(const NestedRelation& input,
+                            const std::vector<std::string>& nesting_attrs,
+                            const std::vector<std::string>& nested_attrs,
+                            const std::string& group_name,
+                            NestMethod method = NestMethod::kSort);
+
+/// Convenience overload for a flat table input.
+Result<NestedRelation> Nest(const Table& input,
+                            const std::vector<std::string>& nesting_attrs,
+                            const std::vector<std::string>& nested_attrs,
+                            const std::string& group_name,
+                            NestMethod method = NestMethod::kSort);
+
+}  // namespace nestra
+
+#endif  // NESTRA_NESTED_NEST_H_

@@ -1,0 +1,125 @@
+#include "nested/nested_relation.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace nestra {
+
+namespace {
+
+// Deep total order on nested tuples (atoms lexicographic, then groups as
+// sorted sequences) used to canonicalize for BagEquals.
+int CompareNestedTuples(const NestedTuple& a, const NestedTuple& b);
+
+int CompareGroups(const std::vector<NestedTuple>& a,
+                  const std::vector<NestedTuple>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = CompareNestedTuples(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+int CompareNestedTuples(const NestedTuple& a, const NestedTuple& b) {
+  const int c = Row::Compare(a.atoms, b.atoms);
+  if (c != 0) return c;
+  const size_t n = std::min(a.groups.size(), b.groups.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int g = CompareGroups(a.groups[i], b.groups[i]);
+    if (g != 0) return g;
+  }
+  if (a.groups.size() != b.groups.size()) {
+    return a.groups.size() < b.groups.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+void Canonicalize(NestedTuple* t) {
+  for (auto& g : t->groups) {
+    for (NestedTuple& child : g) Canonicalize(&child);
+    std::sort(g.begin(), g.end(),
+              [](const NestedTuple& x, const NestedTuple& y) {
+                return CompareNestedTuples(x, y) < 0;
+              });
+  }
+}
+
+void RenderTuple(const NestedTuple& t, std::ostringstream* oss) {
+  *oss << "(";
+  for (int i = 0; i < t.atoms.size(); ++i) {
+    if (i > 0) *oss << ", ";
+    *oss << t.atoms[i].ToString();
+  }
+  for (const auto& g : t.groups) {
+    if (t.atoms.size() > 0 || &g != &t.groups.front()) *oss << ", ";
+    *oss << "{";
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (i > 0) *oss << ", ";
+      RenderTuple(g[i], oss);
+    }
+    *oss << "}";
+  }
+  *oss << ")";
+}
+
+}  // namespace
+
+bool NestedTuple::operator==(const NestedTuple& other) const {
+  return CompareNestedTuples(*this, other) == 0;
+}
+
+NestedRelation NestedRelation::FromTable(const Table& table) {
+  auto schema = std::make_shared<NestedSchema>(table.schema());
+  NestedRelation out(std::move(schema));
+  out.tuples_.reserve(static_cast<size_t>(table.num_rows()));
+  for (const Row& r : table.rows()) {
+    out.tuples_.push_back(NestedTuple{r, {}});
+  }
+  return out;
+}
+
+Result<Table> NestedRelation::ToTable() const {
+  if (schema_->depth() != 0) {
+    return Status::InvalidArgument(
+        "ToTable requires a flat (depth 0) nested relation; depth is " +
+        std::to_string(schema_->depth()));
+  }
+  Table out(schema_->atoms());
+  out.Reserve(tuples_.size());
+  for (const NestedTuple& t : tuples_) out.AppendUnchecked(t.atoms);
+  return out;
+}
+
+bool NestedRelation::BagEquals(const NestedRelation& a,
+                               const NestedRelation& b) {
+  if (!a.schema().Equals(b.schema())) return false;
+  if (a.num_tuples() != b.num_tuples()) return false;
+  std::vector<NestedTuple> ta = a.tuples_;
+  std::vector<NestedTuple> tb = b.tuples_;
+  for (NestedTuple& t : ta) Canonicalize(&t);
+  for (NestedTuple& t : tb) Canonicalize(&t);
+  auto less = [](const NestedTuple& x, const NestedTuple& y) {
+    return CompareNestedTuples(x, y) < 0;
+  };
+  std::sort(ta.begin(), ta.end(), less);
+  std::sort(tb.begin(), tb.end(), less);
+  for (size_t i = 0; i < ta.size(); ++i) {
+    if (CompareNestedTuples(ta[i], tb[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::string NestedRelation::ToString() const {
+  std::ostringstream oss;
+  oss << schema_->ToString() << "\n";
+  for (const NestedTuple& t : tuples_) {
+    RenderTuple(t, &oss);
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace nestra

@@ -1,0 +1,58 @@
+#ifndef NESTRA_NESTED_NESTED_RELATION_H_
+#define NESTRA_NESTED_NESTED_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "nested/nested_schema.h"
+
+namespace nestra {
+
+/// \brief A nested tuple: atomic values plus, per subschema, a set of child
+/// nested tuples (Definition 2). Stored as a vector; set-vs-bag does not
+/// affect any linking predicate, see Nest() docs.
+struct NestedTuple {
+  Row atoms;
+  std::vector<std::vector<NestedTuple>> groups;  // parallel to schema groups
+
+  bool operator==(const NestedTuple& other) const;
+};
+
+/// \brief A finite set of nested tuples over a NestedSchema.
+class NestedRelation {
+ public:
+  NestedRelation() : schema_(std::make_shared<NestedSchema>()) {}
+  explicit NestedRelation(std::shared_ptr<const NestedSchema> schema)
+      : schema_(std::move(schema)) {}
+
+  const NestedSchema& schema() const { return *schema_; }
+  std::shared_ptr<const NestedSchema> shared_schema() const { return schema_; }
+
+  const std::vector<NestedTuple>& tuples() const { return tuples_; }
+  std::vector<NestedTuple>& tuples() { return tuples_; }
+  int64_t num_tuples() const { return static_cast<int64_t>(tuples_.size()); }
+
+  /// A flat table viewed as a depth-0 nested relation.
+  static NestedRelation FromTable(const Table& table);
+
+  /// Back to a flat table; fails unless depth() == 0.
+  Result<Table> ToTable() const;
+
+  /// Order-insensitive deep equality (atoms ordered by total order, groups
+  /// compared as sorted bags). Intended for tests.
+  static bool BagEquals(const NestedRelation& a, const NestedRelation& b);
+
+  /// Multi-line rendering: one line per tuple, groups in braces — the format
+  /// used by the paper-figure golden tests.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const NestedSchema> schema_;
+  std::vector<NestedTuple> tuples_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_NESTED_NESTED_RELATION_H_

@@ -1,0 +1,48 @@
+#include "nested/nested_schema.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nestra {
+
+int NestedSchema::depth() const {
+  int max_child = -1;
+  for (const Group& g : groups_) {
+    max_child = std::max(max_child, g.schema->depth());
+  }
+  return max_child + 1;  // no groups -> depth 0
+}
+
+Result<int> NestedSchema::GroupIndex(const std::string& name) const {
+  for (int i = 0; i < num_groups(); ++i) {
+    if (groups_[i].name == name) return i;
+  }
+  return Status::NotFound("nested group not found: " + name);
+}
+
+bool NestedSchema::Equals(const NestedSchema& other) const {
+  if (!atoms_.Equals(other.atoms_)) return false;
+  if (groups_.size() != other.groups_.size()) return false;
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].name != other.groups_[i].name) return false;
+    if (!groups_[i].schema->Equals(*other.groups_[i].schema)) return false;
+  }
+  return true;
+}
+
+std::string NestedSchema::ToString() const {
+  std::ostringstream oss;
+  oss << "(";
+  for (int i = 0; i < atoms_.num_fields(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << atoms_.field(i).name;
+  }
+  for (const Group& g : groups_) {
+    if (atoms_.num_fields() > 0 || &g != &groups_.front()) oss << ", ";
+    oss << g.name << ": " << g.schema->ToString();
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace nestra

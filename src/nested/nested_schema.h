@@ -1,0 +1,53 @@
+#ifndef NESTRA_NESTED_NESTED_SCHEMA_H_
+#define NESTRA_NESTED_NESTED_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace nestra {
+
+/// \brief A (possibly) nested relational schema, Definition 1 of the paper:
+/// atomic attributes plus named subschemas. depth() is 0 for a flat schema
+/// and 1 + max subschema depth otherwise.
+class NestedSchema {
+ public:
+  struct Group {
+    std::string name;
+    std::shared_ptr<const NestedSchema> schema;
+  };
+
+  NestedSchema() = default;
+  explicit NestedSchema(Schema atoms) : atoms_(std::move(atoms)) {}
+  NestedSchema(Schema atoms, std::vector<Group> groups)
+      : atoms_(std::move(atoms)), groups_(std::move(groups)) {}
+
+  const Schema& atoms() const { return atoms_; }
+  const std::vector<Group>& groups() const { return groups_; }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+
+  /// Definition 1: depth of the schema.
+  int depth() const;
+
+  /// Index of the named group, or error.
+  Result<int> GroupIndex(const std::string& name) const;
+
+  void AddGroup(std::string name, std::shared_ptr<const NestedSchema> schema) {
+    groups_.push_back({std::move(name), std::move(schema)});
+  }
+
+  bool Equals(const NestedSchema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Schema atoms_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_NESTED_NESTED_SCHEMA_H_

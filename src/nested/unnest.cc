@@ -1,0 +1,40 @@
+#include "nested/unnest.h"
+
+namespace nestra {
+
+Result<NestedRelation> Unnest(const NestedRelation& input,
+                              const std::string& group_name) {
+  NESTRA_ASSIGN_OR_RETURN(int gidx, input.schema().GroupIndex(group_name));
+  const NestedSchema& member_schema = *input.schema().groups()[gidx].schema;
+
+  // Output atoms: parent atoms ++ member atoms. Output groups: parent's other
+  // groups, then the member's groups.
+  Schema out_atoms =
+      Schema::Concat(input.schema().atoms(), member_schema.atoms());
+  std::vector<NestedSchema::Group> out_groups;
+  for (int i = 0; i < input.schema().num_groups(); ++i) {
+    if (i != gidx) out_groups.push_back(input.schema().groups()[i]);
+  }
+  const size_t parent_group_count = out_groups.size();
+  for (const auto& g : member_schema.groups()) out_groups.push_back(g);
+
+  auto out_schema = std::make_shared<NestedSchema>(std::move(out_atoms),
+                                                   std::move(out_groups));
+  NestedRelation out(std::move(out_schema));
+
+  for (const NestedTuple& t : input.tuples()) {
+    for (const NestedTuple& m : t.groups[gidx]) {
+      NestedTuple o;
+      o.atoms = Row::Concat(t.atoms, m.atoms);
+      o.groups.reserve(parent_group_count + m.groups.size());
+      for (size_t i = 0; i < t.groups.size(); ++i) {
+        if (static_cast<int>(i) != gidx) o.groups.push_back(t.groups[i]);
+      }
+      for (const auto& g : m.groups) o.groups.push_back(g);
+      out.tuples().push_back(std::move(o));
+    }
+  }
+  return out;
+}
+
+}  // namespace nestra

@@ -1,0 +1,23 @@
+#ifndef NESTRA_NESTED_UNNEST_H_
+#define NESTRA_NESTED_UNNEST_H_
+
+#include <string>
+
+#include "nested/nested_relation.h"
+
+namespace nestra {
+
+/// \brief The inverse of nest: flattens the named group, producing one tuple
+/// per (parent, member) pair. A tuple whose group is empty disappears (the
+/// standard unnest; information loss on empty groups is the classical reason
+/// unnest is only a one-sided inverse of nest).
+///
+/// The member's atoms are appended after the parent atoms; the member's own
+/// groups (if any) become groups of the output, so unnesting a two-level
+/// relation yields a one-level relation.
+Result<NestedRelation> Unnest(const NestedRelation& input,
+                              const std::string& group_name);
+
+}  // namespace nestra
+
+#endif  // NESTRA_NESTED_UNNEST_H_

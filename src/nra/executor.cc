@@ -1,0 +1,359 @@
+#include "nra/executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "exec/distinct.h"
+#include "exec/filter.h"
+#include "exec/project.h"
+#include "exec/set_ops.h"
+#include "exec/sort.h"
+#include "sql/parser.h"
+#include "nested/fused_nest_select.h"
+#include "nested/linking_selection.h"
+#include "nested/nest.h"
+#include "nra/planner.h"
+#include "nra/rewrites.h"
+#include "plan/binder.h"
+
+namespace nestra {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// N2 of the nest for a child link: (linked attribute, key attribute),
+// deduplicated (EXISTS links use the key as the linked attribute; COUNT(*)
+// aggregate links have no linked attribute at all).
+std::vector<std::string> NestedAttrsFor(const QueryBlock& child) {
+  std::vector<std::string> n2;
+  if (!child.linked_attr.empty()) n2.push_back(child.linked_attr);
+  if (child.key_attr != child.linked_attr) n2.push_back(child.key_attr);
+  return n2;
+}
+
+LinkingPredicate PredFor(const QueryBlock& child, const std::string& group) {
+  return child.MakeLinkPredicate(group);
+}
+
+std::vector<SortKey> SortKeysFor(const std::vector<std::string>& attrs) {
+  std::vector<SortKey> keys;
+  keys.reserve(attrs.size());
+  for (const std::string& a : attrs) keys.push_back({a, /*ascending=*/true});
+  return keys;
+}
+
+}  // namespace
+
+Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats) {
+  NraStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = NraStats();
+
+  Result<Table> result = [&]() -> Result<Table> {
+    if (root.children.empty()) {
+      const auto t0 = Clock::now();
+      NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(root, catalog_));
+      stats->join_seconds += Seconds(t0);
+      stats->intermediate_rows = rel.num_rows();
+      return FinishRoot(root, std::move(rel));
+    }
+    if (options_.bottom_up_linear && root.IsLinearCorrelated()) {
+      NESTRA_ASSIGN_OR_RETURN(std::vector<const QueryBlock*> chain,
+                              LinearChain(root));
+      return ExecuteBottomUpLinear(chain, stats);
+    }
+    // The single-sort fused path folds every level into one pass, but it
+    // bypasses the per-child rewrites; when those are requested, route
+    // through the recursive path (which still fuses each level when
+    // options_.fused is set).
+    if (options_.fused && root.IsLinear() && !options_.push_down_nest &&
+        !options_.rewrite_positive) {
+      NESTRA_ASSIGN_OR_RETURN(std::vector<const QueryBlock*> chain,
+                              LinearChain(root));
+      // A non-correlated block in the chain would force the wide join to be
+      // an actual Cartesian product; the recursive path evaluates it as a
+      // virtual one instead.
+      bool all_correlated = true;
+      for (size_t i = 1; i < chain.size(); ++i) {
+        all_correlated = all_correlated && !chain[i]->correlated_preds.empty();
+      }
+      if (all_correlated) return ExecuteFusedLinear(chain, stats);
+    }
+    const auto t0 = Clock::now();
+    NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(root, catalog_));
+    stats->join_seconds += Seconds(t0);
+    std::vector<const QueryBlock*> path{&root};
+    NESTRA_ASSIGN_OR_RETURN(
+        rel, ComputeNode(root, std::move(rel), root.attributes, &path, stats));
+    return FinishRoot(root, std::move(rel));
+  }();
+
+  if (result.ok()) stats->output_rows = result->num_rows();
+  return result;
+}
+
+Result<Table> NraExecutor::ExecuteSql(const std::string& sql,
+                                      NraStats* stats) {
+  NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr root, ParseAndBind(sql, catalog_));
+  return Execute(*root, stats);
+}
+
+Result<Table> NraExecutor::ExecuteStatementSql(const std::string& sql,
+                                               NraStats* stats) {
+  NESTRA_ASSIGN_OR_RETURN(AstStatementPtr stmt, ParseStatement(sql));
+  NraStats total;
+  Table combined;
+  for (size_t i = 0; i < stmt->selects.size(); ++i) {
+    NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr root,
+                            BindQuery(*stmt->selects[i], catalog_));
+    NraStats branch;
+    NESTRA_ASSIGN_OR_RETURN(Table result, Execute(*root, &branch));
+    total.join_seconds += branch.join_seconds;
+    total.nest_select_seconds += branch.nest_select_seconds;
+    total.intermediate_rows =
+        std::max(total.intermediate_rows, branch.intermediate_rows);
+    if (i == 0) {
+      combined = std::move(result);
+      continue;
+    }
+    switch (stmt->ops[i - 1]) {
+      case AstStatement::SetOp::kUnionAll: {
+        NESTRA_ASSIGN_OR_RETURN(combined,
+                                UnionAll(std::move(combined), result));
+        break;
+      }
+      case AstStatement::SetOp::kUnion: {
+        NESTRA_ASSIGN_OR_RETURN(combined, UnionDistinct(combined, result));
+        break;
+      }
+      case AstStatement::SetOp::kIntersect: {
+        NESTRA_ASSIGN_OR_RETURN(combined, Intersect(combined, result));
+        break;
+      }
+      case AstStatement::SetOp::kExcept: {
+        NESTRA_ASSIGN_OR_RETURN(combined, Except(combined, result));
+        break;
+      }
+    }
+  }
+  total.output_rows = combined.num_rows();
+  if (stats != nullptr) *stats = total;
+  return combined;
+}
+
+Result<Table> NraExecutor::ExecuteFusedLinear(
+    const std::vector<const QueryBlock*>& chain, NraStats* stats) {
+  const int n = static_cast<int>(chain.size());
+
+  // Top-down join phase: one wide relation W over all blocks.
+  auto t0 = Clock::now();
+  NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(*chain[0], catalog_));
+  for (int k = 1; k < n; ++k) {
+    NESTRA_ASSIGN_OR_RETURN(Table base, EvalBlockBase(*chain[k], catalog_));
+    if (options_.magic_restriction) {
+      NESTRA_ASSIGN_OR_RETURN(base,
+                              MagicRestrict(rel, std::move(base), *chain[k]));
+    }
+    NESTRA_ASSIGN_OR_RETURN(
+        rel, JoinWithChild(std::move(rel), std::move(base), *chain[k],
+                           JoinType::kLeftOuter));
+  }
+  stats->join_seconds += Seconds(t0);
+  stats->intermediate_rows = rel.num_rows();
+
+  // Bottom-up phase: single sort + single streaming pass over all levels.
+  t0 = Clock::now();
+  std::vector<FusedLevelSpec> levels;
+  std::vector<std::string> prefix;
+  for (int k = 0; k + 1 < n; ++k) {
+    for (const std::string& a : chain[k]->attributes) prefix.push_back(a);
+    FusedLevelSpec spec;
+    spec.nesting_attrs = prefix;
+    spec.pred = PredFor(*chain[k + 1], /*group=*/"");
+    spec.mode = k == 0 ? SelectionMode::kStrict : SelectionMode::kPseudo;
+    levels.push_back(std::move(spec));
+  }
+  auto sort = std::make_unique<SortNode>(
+      std::make_unique<TableSourceNode>(std::move(rel)),
+      SortKeysFor(levels.back().nesting_attrs));
+  auto fused =
+      std::make_unique<FusedNestSelectNode>(std::move(sort), std::move(levels));
+  NESTRA_ASSIGN_OR_RETURN(Table reduced, CollectTable(fused.get()));
+  stats->nest_select_seconds += Seconds(t0);
+
+  return FinishRoot(*chain[0], std::move(reduced));
+}
+
+Result<Table> NraExecutor::ExecuteBottomUpLinear(
+    const std::vector<const QueryBlock*>& chain, NraStats* stats) {
+  const int n = static_cast<int>(chain.size());
+
+  auto t0 = Clock::now();
+  NESTRA_ASSIGN_OR_RETURN(Table cur, EvalBlockBase(*chain[n - 1], catalog_));
+  stats->join_seconds += Seconds(t0);
+
+  for (int k = n - 2; k >= 0; --k) {
+    const QueryBlock& outer = *chain[k];
+    const QueryBlock& child = *chain[k + 1];
+    t0 = Clock::now();
+    NESTRA_ASSIGN_OR_RETURN(Table outer_base, EvalBlockBase(outer, catalog_));
+    stats->join_seconds += Seconds(t0);
+
+    // In the bottom-up order only (outer, child) tuples exist when the
+    // linking predicate is computed, so the strict selection is always
+    // sound: a dropped outer tuple would fail anyway, and padding for an
+    // empty child set still happens via the outer join.
+    std::vector<std::string> okeys, ikeys;
+    if (AllEquiCorrelation(child, outer_base.schema(), cur.schema(), &okeys,
+                           &ikeys)) {
+      t0 = Clock::now();
+      NESTRA_ASSIGN_OR_RETURN(
+          cur, HashLinkSelect(std::move(outer_base), cur, okeys, ikeys, child,
+                              SelectionMode::kStrict, {}));
+      stats->nest_select_seconds += Seconds(t0);
+    } else {
+      t0 = Clock::now();
+      NESTRA_ASSIGN_OR_RETURN(
+          Table joined, JoinWithChild(std::move(outer_base), std::move(cur),
+                                      child, JoinType::kLeftOuter));
+      stats->join_seconds += Seconds(t0);
+      stats->intermediate_rows =
+          std::max(stats->intermediate_rows, joined.num_rows());
+      t0 = Clock::now();
+      NESTRA_ASSIGN_OR_RETURN(
+          NestedRelation nested,
+          Nest(joined, outer.attributes, NestedAttrsFor(child), "g",
+               options_.nest_method));
+      NESTRA_ASSIGN_OR_RETURN(
+          cur, LinkingSelect(nested, PredFor(child, "g"),
+                             SelectionMode::kStrict));
+      stats->nest_select_seconds += Seconds(t0);
+    }
+  }
+  return FinishRoot(*chain[0], std::move(cur));
+}
+
+Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
+                                       const std::vector<std::string>& retained,
+                                       std::vector<const QueryBlock*>* path,
+                                       NraStats* stats) {
+  for (const auto& child_ptr : node.children) {
+    const QueryBlock& child = *child_ptr;
+
+    auto t0 = Clock::now();
+    NESTRA_ASSIGN_OR_RETURN(Table base, EvalBlockBase(child, catalog_));
+    stats->join_seconds += Seconds(t0);
+
+    const bool strict_safe = StrictSafe(*path);
+    const SelectionMode mode =
+        strict_safe ? SelectionMode::kStrict : SelectionMode::kPseudo;
+
+    // §4.2.5: positive leaf link -> semijoin, when dropping is safe.
+    if (options_.rewrite_positive && child.IsLeaf() &&
+        child.LinkIsPositive() && strict_safe) {
+      NESTRA_ASSIGN_OR_RETURN(ExprPtr extra, PositiveLinkJoinCondition(child));
+      t0 = Clock::now();
+      NESTRA_ASSIGN_OR_RETURN(
+          rel, JoinWithChild(std::move(rel), std::move(base), child,
+                             JoinType::kLeftSemi, std::move(extra)));
+      stats->join_seconds += Seconds(t0);
+      continue;
+    }
+
+    // Non-correlated leaf subquery: the paper's "virtual Cartesian
+    // product" — the subquery executes once and its (single, shared) value
+    // set is tested against every outer tuple, instead of materializing an
+    // actual cross join. HashLinkSelect with an empty key list is exactly
+    // that: one group holding the whole subquery result.
+    if (child.IsLeaf() && child.correlated_preds.empty()) {
+      t0 = Clock::now();
+      NESTRA_ASSIGN_OR_RETURN(
+          rel, HashLinkSelect(std::move(rel), base, /*outer_key_cols=*/{},
+                              /*inner_key_cols=*/{}, child, mode,
+                              node.attributes));
+      stats->nest_select_seconds += Seconds(t0);
+      continue;
+    }
+
+    // §4.2.4: equi-correlated leaf -> nest pushed below the join.
+    {
+      std::vector<std::string> okeys, ikeys;
+      if (options_.push_down_nest && child.IsLeaf() &&
+          AllEquiCorrelation(child, rel.schema(), base.schema(), &okeys,
+                             &ikeys)) {
+        t0 = Clock::now();
+        NESTRA_ASSIGN_OR_RETURN(
+            rel, HashLinkSelect(std::move(rel), base, okeys, ikeys, child,
+                                mode, node.attributes));
+        stats->nest_select_seconds += Seconds(t0);
+        continue;
+      }
+    }
+
+    // Algorithm 1, way down: outer join on the correlated predicates.
+    t0 = Clock::now();
+    if (options_.magic_restriction) {
+      NESTRA_ASSIGN_OR_RETURN(base, MagicRestrict(rel, std::move(base), child));
+    }
+    NESTRA_ASSIGN_OR_RETURN(rel,
+                            JoinWithChild(std::move(rel), std::move(base),
+                                          child, JoinType::kLeftOuter));
+    stats->join_seconds += Seconds(t0);
+    stats->intermediate_rows =
+        std::max(stats->intermediate_rows, rel.num_rows());
+
+    // Recurse into the child's own subqueries.
+    std::vector<std::string> retained_child = retained;
+    for (const std::string& a : child.attributes) {
+      retained_child.push_back(a);
+    }
+    path->push_back(&child);
+    NESTRA_ASSIGN_OR_RETURN(rel, ComputeNode(child, std::move(rel),
+                                             retained_child, path, stats));
+    path->pop_back();
+
+    // Algorithm 1, way up: nest by the retained prefix and apply the
+    // linking selection (padding the current node's attributes in pseudo
+    // mode).
+    t0 = Clock::now();
+    if (options_.fused) {
+      FusedLevelSpec spec;
+      spec.nesting_attrs = retained;
+      spec.pred = PredFor(child, /*group=*/"");
+      spec.mode = mode;
+      spec.pad_attrs = node.attributes;
+      auto sort = std::make_unique<SortNode>(
+          std::make_unique<TableSourceNode>(std::move(rel)),
+          SortKeysFor(retained));
+      std::vector<FusedLevelSpec> levels;
+      levels.push_back(std::move(spec));
+      auto fused = std::make_unique<FusedNestSelectNode>(std::move(sort),
+                                                         std::move(levels));
+      NESTRA_ASSIGN_OR_RETURN(rel, CollectTable(fused.get()));
+    } else {
+      NESTRA_ASSIGN_OR_RETURN(
+          NestedRelation nested,
+          Nest(rel, retained, NestedAttrsFor(child), "g",
+               options_.nest_method));
+      NESTRA_ASSIGN_OR_RETURN(
+          rel, LinkingSelect(nested, PredFor(child, "g"), mode,
+                             node.attributes));
+    }
+    stats->nest_select_seconds += Seconds(t0);
+  }
+  return rel;
+}
+
+Result<Table> NraExecutor::FinishRoot(const QueryBlock& root, Table rel) {
+  // The root-key guard drops pseudo-padded root tuples (only produced by
+  // tree queries with negative sibling links): a padded key marks failure.
+  return FinalizeRootOutput(root, std::move(rel),
+                            /*key_filter_attr=*/root.key_attr);
+}
+
+}  // namespace nestra

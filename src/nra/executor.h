@@ -1,0 +1,75 @@
+#ifndef NESTRA_NRA_EXECUTOR_H_
+#define NESTRA_NRA_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "nra/options.h"
+#include "plan/query_block.h"
+#include "storage/catalog.h"
+
+namespace nestra {
+
+/// \brief The nested relational approach (Algorithm 1) with the paper's
+/// optimizations, selected through NraOptions:
+///
+///  * top-down: reduce each block to T_i = σ_i(R_i), then left-outer hash
+///    join the blocks along the (spanning) query tree on their correlated
+///    predicates (a virtual Cartesian product when a subquery is not
+///    correlated);
+///  * bottom-up: nest by the retained attribute prefix keeping the child's
+///    (linked attribute, primary key) and apply the linking selection —
+///    strict when dropping is safe (root level, or every enclosing link
+///    positive), pseudo otherwise;
+///  * the result is the projection of the root's select list, with rows
+///    whose root key was pseudo-padded filtered out.
+///
+/// With options.fused (the paper's "optimized" variant) linear queries run
+/// as ONE sort followed by ONE streaming pass evaluating every level; tree
+/// queries fuse each nest with its linking selection level-by-level.
+class NraExecutor {
+ public:
+  explicit NraExecutor(const Catalog& catalog,
+                       NraOptions options = NraOptions::Optimized())
+      : catalog_(catalog), options_(options) {}
+
+  /// Executes a bound query. `stats`, when non-null, receives the
+  /// join-phase/nest-phase timing split and the intermediate result size.
+  Result<Table> Execute(const QueryBlock& root, NraStats* stats = nullptr);
+
+  /// Parse + bind + execute.
+  Result<Table> ExecuteSql(const std::string& sql, NraStats* stats = nullptr);
+
+  /// Like ExecuteSql but also accepts compound statements
+  /// (`UNION [ALL] | INTERSECT | EXCEPT`); branches execute independently
+  /// and combine left-associatively with SQL set semantics. Stats aggregate
+  /// across branches.
+  Result<Table> ExecuteStatementSql(const std::string& sql,
+                                    NraStats* stats = nullptr);
+
+  const NraOptions& options() const { return options_; }
+
+ private:
+  Result<Table> ExecuteFusedLinear(
+      const std::vector<const QueryBlock*>& chain, NraStats* stats);
+  Result<Table> ExecuteBottomUpLinear(
+      const std::vector<const QueryBlock*>& chain, NraStats* stats);
+
+  /// The recursive body of Algorithm 1 (original / tree-query path).
+  /// `retained` lists the qualified attributes of blocks root..node;
+  /// `path` is the block chain root..node for strict/pseudo decisions.
+  Result<Table> ComputeNode(const QueryBlock& node, Table rel,
+                            const std::vector<std::string>& retained,
+                            std::vector<const QueryBlock*>* path,
+                            NraStats* stats);
+
+  /// Final projection (+ DISTINCT, + root-key NOT NULL guard).
+  Result<Table> FinishRoot(const QueryBlock& root, Table rel);
+
+  const Catalog& catalog_;
+  NraOptions options_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_NRA_EXECUTOR_H_

@@ -1,0 +1,134 @@
+#include "nra/explain.h"
+
+#include <sstream>
+
+#include "baseline/native_optimizer.h"
+#include "nra/planner.h"
+#include "nra/rewrites.h"
+#include "plan/binder.h"
+#include "plan/tree_expr.h"
+
+namespace nestra {
+
+namespace {
+
+// Column-name-level check of the §4.2.4 precondition (the executor's
+// AllEquiCorrelation needs materialized schemas; for EXPLAIN a structural
+// test on the predicate shapes suffices and matches the executor because
+// binding already validated the column sides).
+bool LooksEquiCorrelated(const QueryBlock& child) {
+  if (child.correlated_preds.empty()) return false;
+  for (const ExprPtr& p : child.correlated_preds) {
+    const auto* cmp = dynamic_cast<const Comparison*>(p.get());
+    if (cmp == nullptr || cmp->op() != CmpOp::kEq) return false;
+    if (dynamic_cast<const ColumnRef*>(&cmp->lhs()) == nullptr) return false;
+    if (dynamic_cast<const ColumnRef*>(&cmp->rhs()) == nullptr) return false;
+  }
+  return true;
+}
+
+void ExplainNode(const QueryBlock& node, const NraOptions& options,
+                 std::vector<const QueryBlock*>* path, int indent,
+                 std::ostringstream* oss) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  for (const auto& child_ptr : node.children) {
+    const QueryBlock& child = *child_ptr;
+    const bool strict_safe = StrictSafe(*path);
+    const char* mode = strict_safe ? "strict" : "pseudo";
+
+    *oss << pad << "- link " << LinkingLabel(child) << ": ";
+    if (options.rewrite_positive && child.IsLeaf() &&
+        child.LinkIsPositive() && strict_safe) {
+      *oss << "semijoin rewrite (4.2.5)\n";
+      continue;
+    }
+    if (child.IsLeaf() && child.correlated_preds.empty()) {
+      *oss << "virtual Cartesian product, " << mode << " selection\n";
+      continue;
+    }
+    if (options.push_down_nest && child.IsLeaf() &&
+        LooksEquiCorrelated(child)) {
+      *oss << "nest pushed below join (4.2.4), " << mode << " selection\n";
+      continue;
+    }
+    *oss << "left outer hash join on correlation, "
+         << (options.fused ? "fused nest+select" : "nest then select")
+         << ", " << mode << " mode\n";
+    path->push_back(&child);
+    ExplainNode(child, options, path, indent + 1, oss);
+    path->pop_back();
+  }
+}
+
+}  // namespace
+
+std::string ExplainQuery(const QueryBlock& root, const Catalog& catalog,
+                         const NraOptions& options) {
+  std::ostringstream oss;
+  oss << "=== Query blocks ===\n" << root.ToString();
+  oss << "=== Tree expression ===\n"
+      << TreeExpression::Build(root).ToString();
+
+  oss << "=== Nested relational plan (" << options.ToString() << ") ===\n";
+  if (root.children.empty()) {
+    oss << "flat query: scan + filter + project\n";
+  } else if (options.bottom_up_linear && root.IsLinearCorrelated()) {
+    oss << "bottom-up linear-correlated pipeline (4.2.3): each level "
+           "reduces before joining upward; strict selections throughout\n";
+  } else {
+    bool fused_whole_chain = false;
+    if (options.fused && root.IsLinear() && !options.push_down_nest &&
+        !options.rewrite_positive) {
+      const Result<std::vector<const QueryBlock*>> chain = LinearChain(root);
+      if (chain.ok()) {
+        fused_whole_chain = true;
+        for (size_t i = 1; i < chain->size(); ++i) {
+          fused_whole_chain =
+              fused_whole_chain && !(*chain)[i]->correlated_preds.empty();
+        }
+      }
+    }
+    if (fused_whole_chain) {
+      oss << "single-sort fused pipeline (4.2.1 + 4.2.2): one wide outer "
+             "join, one sort, one streaming pass over all "
+          << (root.NumBlocks() - 1) << " linking predicate(s)\n";
+      std::vector<const QueryBlock*> path{&root};
+      const QueryBlock* node = &root;
+      while (!node->children.empty()) {
+        const QueryBlock& child = *node->children[0];
+        oss << "  - level: " << LinkingLabel(child) << " ("
+            << (StrictSafe(path) ? "strict" : "pseudo") << ")\n";
+        path.push_back(&child);
+        node = &child;
+      }
+    } else {
+      oss << "recursive Algorithm 1:\n";
+      std::vector<const QueryBlock*> path{&root};
+      ExplainNode(root, options, &path, 1, &oss);
+    }
+  }
+  if (!root.order_by.empty() || root.limit >= 0 || root.distinct ||
+      root.IsGrouped()) {
+    oss << "finish:";
+    if (root.IsGrouped()) {
+      oss << " group-by(" << root.aggregates.size() << " aggregate(s))";
+      if (root.having != nullptr) oss << " having";
+    }
+    if (!root.order_by.empty()) oss << " order-by";
+    if (root.distinct) oss << " distinct";
+    if (root.limit >= 0) oss << " limit " << root.limit;
+    oss << "\n";
+  }
+
+  const NativePlanChoice native = ChooseNativePlan(root, catalog);
+  oss << "=== Native (System A) plan ===\n" << native.explanation << "\n";
+  return oss.str();
+}
+
+Result<std::string> ExplainSql(const std::string& sql, const Catalog& catalog,
+                               const NraOptions& options) {
+  NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr root, ParseAndBind(sql, catalog));
+  return ExplainQuery(*root, catalog, options);
+}
+
+}  // namespace nestra

@@ -1,0 +1,31 @@
+#ifndef NESTRA_NRA_EXPLAIN_H_
+#define NESTRA_NRA_EXPLAIN_H_
+
+#include <string>
+
+#include "nra/options.h"
+#include "plan/query_block.h"
+#include "storage/catalog.h"
+
+namespace nestra {
+
+/// \brief Renders the evaluation strategy the nested relational executor
+/// will use for a bound query under `options`, without executing it:
+/// the query-block tree, the paper's tree expression, the chosen pipeline
+/// (single-sort fused / bottom-up linear / recursive) and, per linking
+/// predicate, the selection mode (strict vs pseudo) and any applied rewrite
+/// (virtual Cartesian product, nest push-down, positive semijoin).
+///
+/// Also reports the plan the modelled native optimizer ("System A") would
+/// pick, with its reason — handy for understanding the benchmark series.
+std::string ExplainQuery(const QueryBlock& root, const Catalog& catalog,
+                         const NraOptions& options = NraOptions::Optimized());
+
+/// Parse + bind + explain.
+Result<std::string> ExplainSql(const std::string& sql, const Catalog& catalog,
+                               const NraOptions& options =
+                                   NraOptions::Optimized());
+
+}  // namespace nestra
+
+#endif  // NESTRA_NRA_EXPLAIN_H_

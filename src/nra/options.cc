@@ -1,0 +1,27 @@
+#include "nra/options.h"
+
+#include <sstream>
+
+namespace nestra {
+
+std::string NraOptions::ToString() const {
+  std::ostringstream oss;
+  oss << "NraOptions{fused=" << (fused ? "true" : "false")
+      << ", nest=" << (nest_method == NestMethod::kSort ? "sort" : "hash")
+      << ", push_down_nest=" << (push_down_nest ? "true" : "false")
+      << ", rewrite_positive=" << (rewrite_positive ? "true" : "false")
+      << ", bottom_up_linear=" << (bottom_up_linear ? "true" : "false")
+      << ", magic_restriction=" << (magic_restriction ? "true" : "false")
+      << "}";
+  return oss.str();
+}
+
+std::string NraStats::ToString() const {
+  std::ostringstream oss;
+  oss << "join=" << join_seconds << "s nest+select=" << nest_select_seconds
+      << "s intermediate=" << intermediate_rows << " rows output="
+      << output_rows << " rows";
+  return oss.str();
+}
+
+}  // namespace nestra

@@ -1,0 +1,73 @@
+#ifndef NESTRA_NRA_OPTIONS_H_
+#define NESTRA_NRA_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "nested/nest.h"
+
+namespace nestra {
+
+/// \brief Tuning knobs for the nested relational executor. Each flag maps to
+/// one of the paper's optimization subsections, so ablation benches can
+/// toggle them independently.
+struct NraOptions {
+  /// §4.2.1 + §4.2.2: perform all nesting with one sort and pipeline each
+  /// nest with its linking selection (single streaming pass). Off = the
+  /// "original" approach: one materialized nest + one materialized linking
+  /// selection per level.
+  bool fused = true;
+
+  /// Nest implementation for the non-fused path (§5.1 implements nest by
+  /// sorting; hashing is the stated alternative).
+  NestMethod nest_method = NestMethod::kSort;
+
+  /// §4.2.4: push the nest below the (outer) join when the child is a leaf
+  /// and all its correlated predicates are equalities — the inner relation
+  /// is grouped by its correlation key and the linking predicate is
+  /// evaluated per outer row against its (single) group, avoiding the wide
+  /// intermediate join result.
+  bool push_down_nest = false;
+
+  /// §4.2.5: rewrite a leaf child with a *positive* linking operator into a
+  /// semijoin (R ⋉_{C ∧ AθB} S) when dropping failing tuples is safe.
+  bool rewrite_positive = false;
+
+  /// §4.2.3: evaluate linear-correlated queries bottom-up, so only
+  /// qualified tuples participate in further outer joins.
+  bool bottom_up_linear = false;
+
+  /// Magic-set-style restriction (the decorrelation idea of Seshadri et al.
+  /// the paper cites as [17,18]): before outer-joining a child block, semi-
+  /// join its base relation with the DISTINCT correlation keys of the
+  /// accumulated outer relation, so only inner tuples that can match
+  /// participate. Applies to equality correlations; a no-op otherwise.
+  bool magic_restriction = false;
+
+  /// The paper's two measured configurations.
+  static NraOptions Original() {
+    NraOptions o;
+    o.fused = false;
+    return o;
+  }
+  static NraOptions Optimized() { return NraOptions(); }
+
+  std::string ToString() const;
+};
+
+/// \brief Timing / cardinality breakdown mirroring the paper's reporting:
+/// the join ("unnesting") phase versus the nest + linking-selection phase,
+/// plus the intermediate result size the paper uses as its main parameter.
+struct NraStats {
+  double join_seconds = 0;
+  double nest_select_seconds = 0;
+  int64_t intermediate_rows = 0;
+  int64_t output_rows = 0;
+
+  double total_seconds() const { return join_seconds + nest_select_seconds; }
+  std::string ToString() const;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_NRA_OPTIONS_H_

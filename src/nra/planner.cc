@@ -1,0 +1,220 @@
+#include "nra/planner.h"
+
+#include "exec/aggregate.h"
+#include "exec/distinct.h"
+#include "exec/filter.h"
+#include "exec/hash_join.h"
+#include "exec/limit.h"
+#include "exec/nested_loop_join.h"
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "expr/evaluator.h"
+
+namespace nestra {
+
+Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog) {
+  // Split local conjuncts once; they are attached to the first join where
+  // both sides are available, remaining ones become a final filter.
+  std::vector<ExprPtr> conjuncts;
+  if (block.local_pred != nullptr) {
+    conjuncts = SplitConjunction(block.local_pred->Clone());
+  }
+
+  ExecNodePtr node;
+  for (const QueryBlock::TableRef& ref : block.tables) {
+    NESTRA_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(ref.table));
+    auto scan = std::make_unique<ScanNode>(table, ref.alias);
+    if (node == nullptr) {
+      node = std::move(scan);
+    } else {
+      // Pull in every conjunct that binds against (node ++ scan).
+      const Schema combined =
+          Schema::Concat(node->output_schema(), scan->output_schema());
+      std::vector<ExprPtr> usable;
+      std::vector<ExprPtr> rest;
+      for (ExprPtr& c : conjuncts) {
+        if (ReferencesOnly(*c, combined)) {
+          usable.push_back(std::move(c));
+        } else {
+          rest.push_back(std::move(c));
+        }
+      }
+      conjuncts = std::move(rest);
+      JoinCondition cond = DecomposeJoinCondition(
+          std::move(usable), node->output_schema(), scan->output_schema());
+      node = std::make_unique<HashJoinNode>(std::move(node), std::move(scan),
+                                            JoinType::kInner,
+                                            std::move(cond.equi),
+                                            std::move(cond.residual));
+    }
+  }
+  if (!conjuncts.empty()) {
+    node = std::make_unique<FilterNode>(std::move(node),
+                                        MakeAnd(std::move(conjuncts)));
+  }
+  return CollectTable(node.get());
+}
+
+ExprPtr CloneCorrelatedPreds(const QueryBlock& child) {
+  if (child.correlated_preds.empty()) return nullptr;
+  std::vector<ExprPtr> copies;
+  copies.reserve(child.correlated_preds.size());
+  for (const ExprPtr& p : child.correlated_preds) {
+    copies.push_back(p->Clone());
+  }
+  return MakeAnd(std::move(copies));
+}
+
+Result<Table> JoinWithChild(Table rel, Table child_base,
+                            const QueryBlock& child, JoinType join_type,
+                            ExprPtr extra_condition) {
+  auto left = std::make_unique<TableSourceNode>(std::move(rel));
+  auto right = std::make_unique<TableSourceNode>(std::move(child_base));
+
+  std::vector<ExprPtr> conjuncts;
+  if (ExprPtr corr = CloneCorrelatedPreds(child); corr != nullptr) {
+    for (ExprPtr& c : SplitConjunction(std::move(corr))) {
+      conjuncts.push_back(std::move(c));
+    }
+  }
+  if (extra_condition != nullptr) {
+    for (ExprPtr& c : SplitConjunction(std::move(extra_condition))) {
+      conjuncts.push_back(std::move(c));
+    }
+  }
+
+  if (conjuncts.empty()) {
+    // Non-correlated subquery: virtual Cartesian product. A left outer
+    // cross join keeps padding behaviour for empty subqueries.
+    auto join = std::make_unique<NestedLoopJoinNode>(
+        std::move(left), std::move(right), join_type, nullptr);
+    return CollectTable(join.get());
+  }
+
+  JoinCondition cond = DecomposeJoinCondition(
+      std::move(conjuncts), left->output_schema(), right->output_schema());
+  if (cond.equi.empty()) {
+    // Pure theta correlation (e.g. only inequality predicates): the hash
+    // join would degenerate to one bucket anyway; use the nested loop form
+    // for clarity.
+    auto join = std::make_unique<NestedLoopJoinNode>(
+        std::move(left), std::move(right), join_type,
+        std::move(cond.residual));
+    return CollectTable(join.get());
+  }
+  auto join = std::make_unique<HashJoinNode>(
+      std::move(left), std::move(right), join_type, std::move(cond.equi),
+      std::move(cond.residual));
+  return CollectTable(join.get());
+}
+
+Result<std::vector<const QueryBlock*>> LinearChain(const QueryBlock& root) {
+  std::vector<const QueryBlock*> chain;
+  const QueryBlock* node = &root;
+  while (true) {
+    chain.push_back(node);
+    if (node->children.empty()) break;
+    if (node->children.size() > 1) {
+      return Status::InvalidArgument(
+          "query is a tree query (block " + std::to_string(node->id) +
+          " has " + std::to_string(node->children.size()) + " children)");
+    }
+    node = node->children[0].get();
+  }
+  return chain;
+}
+
+namespace {
+
+AggFunc ToAggFunc(LinkAgg agg) {
+  switch (agg) {
+    case LinkAgg::kCount:
+      return AggFunc::kCount;
+    case LinkAgg::kCountStar:
+      return AggFunc::kCountStar;
+    case LinkAgg::kSum:
+      return AggFunc::kSum;
+    case LinkAgg::kMin:
+      return AggFunc::kMin;
+    case LinkAgg::kMax:
+      return AggFunc::kMax;
+    case LinkAgg::kAvg:
+      return AggFunc::kAvg;
+  }
+  return AggFunc::kCount;
+}
+
+}  // namespace
+
+Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
+                                 const std::string& key_filter_attr) {
+  ExecNodePtr node = std::make_unique<TableSourceNode>(std::move(rel));
+  if (!key_filter_attr.empty()) {
+    node = std::make_unique<FilterNode>(std::move(node),
+                                        IsNotNull(Col(key_filter_attr)));
+  }
+  if (root.IsGrouped()) {
+    std::vector<AggSpec> aggs;
+    aggs.reserve(root.aggregates.size());
+    for (const QueryBlock::RootAgg& a : root.aggregates) {
+      aggs.push_back({ToAggFunc(a.func), a.column, a.output_name});
+    }
+    node = std::make_unique<AggregateNode>(std::move(node), root.group_by,
+                                           std::move(aggs));
+    if (root.having != nullptr) {
+      node = std::make_unique<FilterNode>(std::move(node),
+                                          root.having->Clone());
+    }
+  }
+  if (!root.order_by.empty()) {
+    std::vector<SortKey> keys;
+    keys.reserve(root.order_by.size());
+    for (const QueryBlock::OrderItem& item : root.order_by) {
+      keys.push_back({item.column, item.ascending});
+    }
+    node = std::make_unique<SortNode>(std::move(node), std::move(keys));
+  }
+  node = std::make_unique<ProjectNode>(std::move(node), root.select_list);
+  if (root.distinct) {
+    // DistinctNode emits first occurrences in input order, preserving the
+    // sort above.
+    node = std::make_unique<DistinctNode>(std::move(node));
+  }
+  if (root.limit >= 0) {
+    node = std::make_unique<LimitNode>(std::move(node), root.limit);
+  }
+  return CollectTable(node.get());
+}
+
+bool AllEquiCorrelation(const QueryBlock& child, const Schema& outer_schema,
+                        const Schema& child_schema,
+                        std::vector<std::string>* outer_cols,
+                        std::vector<std::string>* child_cols) {
+  outer_cols->clear();
+  child_cols->clear();
+  if (child.correlated_preds.empty()) return false;
+  for (const ExprPtr& p : child.correlated_preds) {
+    const auto* cmp = dynamic_cast<const Comparison*>(p.get());
+    if (cmp == nullptr || cmp->op() != CmpOp::kEq) return false;
+    const auto* l = dynamic_cast<const ColumnRef*>(&cmp->lhs());
+    const auto* r = dynamic_cast<const ColumnRef*>(&cmp->rhs());
+    if (l == nullptr || r == nullptr) return false;
+    const bool l_outer = outer_schema.Resolve(l->name()).ok();
+    const bool l_child = child_schema.Resolve(l->name()).ok();
+    const bool r_outer = outer_schema.Resolve(r->name()).ok();
+    const bool r_child = child_schema.Resolve(r->name()).ok();
+    if (l_outer && !l_child && r_child && !r_outer) {
+      outer_cols->push_back(l->name());
+      child_cols->push_back(r->name());
+    } else if (r_outer && !r_child && l_child && !l_outer) {
+      outer_cols->push_back(r->name());
+      child_cols->push_back(l->name());
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nestra

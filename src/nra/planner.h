@@ -1,0 +1,60 @@
+#ifndef NESTRA_NRA_PLANNER_H_
+#define NESTRA_NRA_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_node.h"
+#include "exec/join_type.h"
+#include "plan/query_block.h"
+#include "storage/catalog.h"
+
+namespace nestra {
+
+/// \brief Shared plan-construction helpers used by the nested relational
+/// executor and the baselines.
+
+/// Builds T_i = σ_i(R_i): scans the block's tables under their aliases,
+/// joins them on the local equality predicates (hash join; remaining local
+/// conjuncts become filters) and returns the materialized result with fully
+/// qualified column names.
+Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog);
+
+/// Joins `rel` (the accumulated outer relation) with the child block's base
+/// relation using the child's correlated predicates as the join condition:
+///  * equality conjuncts between the two sides become hash-join keys;
+///  * everything else becomes the join residual;
+///  * no correlated predicates at all yields the paper's "virtual Cartesian
+///    product" (a left outer cross join so an empty subquery still pads).
+/// `join_type` is kLeftOuter for the NRA pipeline, kLeftSemi / kLeftAnti for
+/// the rewrite and baseline plans.
+Result<Table> JoinWithChild(Table rel, Table child_base,
+                            const QueryBlock& child, JoinType join_type,
+                            ExprPtr extra_condition = nullptr);
+
+/// Clones and conjoins the child's correlated predicates (nullptr when it
+/// has none).
+ExprPtr CloneCorrelatedPreds(const QueryBlock& child);
+
+/// Extracts the linear chain of blocks (root first). Fails if the query is
+/// a tree query (some block has more than one child).
+Result<std::vector<const QueryBlock*>> LinearChain(const QueryBlock& root);
+
+/// Applies the root block's output decorations to a finished relation:
+/// optional root-key IS NOT NULL guard (`key_filter_attr` non-empty),
+/// ORDER BY (before projection, so non-selected columns can order), the
+/// select-list projection, DISTINCT (order-preserving), and LIMIT.
+Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
+                                 const std::string& key_filter_attr = "");
+
+/// True when every correlated predicate of `child` is a plain equality
+/// `outer_col = child_col` (the §4.2.4 push-down precondition); fills
+/// `outer_cols`/`child_cols` with the pairs when so.
+bool AllEquiCorrelation(const QueryBlock& child, const Schema& outer_schema,
+                        const Schema& child_schema,
+                        std::vector<std::string>* outer_cols,
+                        std::vector<std::string>* child_cols);
+
+}  // namespace nestra
+
+#endif  // NESTRA_NRA_PLANNER_H_

@@ -1,0 +1,171 @@
+#include "nra/rewrites.h"
+
+#include <unordered_map>
+
+#include "exec/distinct.h"
+#include "exec/hash_join.h"
+#include "exec/project.h"
+#include "nested/linking_predicate.h"
+#include "nra/planner.h"
+
+namespace nestra {
+
+namespace {
+
+struct KeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const Value& v : key) {
+      h ^= v.Hash();
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<Table> HashLinkSelect(Table outer, const Table& inner,
+                             const std::vector<std::string>& outer_key_cols,
+                             const std::vector<std::string>& inner_key_cols,
+                             const QueryBlock& child, SelectionMode mode,
+                             const std::vector<std::string>& pad_attrs) {
+  const Schema& os = outer.schema();
+  const Schema& is = inner.schema();
+
+  std::vector<int> okeys, ikeys;
+  for (const std::string& c : outer_key_cols) {
+    NESTRA_ASSIGN_OR_RETURN(int idx, os.Resolve(c));
+    okeys.push_back(idx);
+  }
+  for (const std::string& c : inner_key_cols) {
+    NESTRA_ASSIGN_OR_RETURN(int idx, is.Resolve(c));
+    ikeys.push_back(idx);
+  }
+
+  const LinkingPredicate pred = child.MakeLinkPredicate(/*group_name=*/"g");
+  int linking_idx = -1;
+  int linked_idx = -1;
+  NESTRA_ASSIGN_OR_RETURN(int member_key_idx, is.Resolve(child.key_attr));
+  if (pred.kind == LinkingPredicate::Kind::kQuantified ||
+      pred.kind == LinkingPredicate::Kind::kAggregate) {
+    if (!pred.linking_is_const) {
+      NESTRA_ASSIGN_OR_RETURN(linking_idx, os.Resolve(pred.linking_attr));
+    }
+    if (!pred.linked_attr.empty()) {
+      NESTRA_ASSIGN_OR_RETURN(linked_idx, is.Resolve(pred.linked_attr));
+    }
+  }
+
+  std::vector<int> pad_idx;
+  if (mode == SelectionMode::kPseudo) {
+    for (const std::string& a : pad_attrs) {
+      NESTRA_ASSIGN_OR_RETURN(int idx, os.Resolve(a));
+      pad_idx.push_back(idx);
+    }
+  }
+
+  // The pushed-down nest: group the inner relation by its correlation key,
+  // keeping only (member key, linked value) — the implicit projection of
+  // Definition 3.
+  struct Member {
+    Value key;
+    Value linked;
+  };
+  std::unordered_map<std::vector<Value>, std::vector<Member>, KeyHash> groups;
+  for (const Row& r : inner.rows()) {
+    std::vector<Value> key;
+    key.reserve(ikeys.size());
+    bool has_null = false;
+    for (int idx : ikeys) {
+      if (r[idx].is_null()) has_null = true;
+      key.push_back(r[idx]);
+    }
+    if (has_null) continue;  // can never equal-match an outer key
+    groups[std::move(key)].push_back(
+        {r[member_key_idx],
+         linked_idx >= 0 ? r[linked_idx] : Value::Null()});
+  }
+
+  std::vector<Field> fields = outer.schema().fields();
+  for (int i : pad_idx) fields[i].nullable = true;
+  Table out{Schema(std::move(fields))};
+  out.Reserve(outer.rows().size());
+
+  static const std::vector<Member> kEmpty;
+  LinkingAccumulator acc(pred);
+  for (Row& r : outer.rows()) {
+    const std::vector<Member>* members = &kEmpty;
+    bool probe_null = false;
+    std::vector<Value> key;
+    key.reserve(okeys.size());
+    for (int idx : okeys) {
+      if (r[idx].is_null()) probe_null = true;
+      key.push_back(r[idx]);
+    }
+    if (!probe_null) {
+      const auto it = groups.find(key);
+      if (it != groups.end()) members = &it->second;
+    }
+    acc.Reset(linking_idx >= 0 ? r[linking_idx] : pred.linking_const);
+    for (const Member& m : *members) {
+      acc.Add(m.key, m.linked);
+      if (acc.Decided()) break;
+    }
+    if (IsTrue(acc.Result())) {
+      out.AppendUnchecked(std::move(r));
+    } else if (mode == SelectionMode::kPseudo) {
+      for (int i : pad_idx) r[i] = Value::Null();
+      out.AppendUnchecked(std::move(r));
+    }
+  }
+  return out;
+}
+
+Result<ExprPtr> PositiveLinkJoinCondition(const QueryBlock& child) {
+  switch (child.link_op) {
+    case LinkOp::kExists:
+      return ExprPtr(nullptr);
+    case LinkOp::kIn:
+      return Cmp(CmpOp::kEq, child.LinkingExpr(), Col(child.linked_attr));
+    case LinkOp::kSome:
+      return Cmp(child.link_cmp, child.LinkingExpr(),
+                 Col(child.linked_attr));
+    case LinkOp::kNotExists:
+    case LinkOp::kNotIn:
+    case LinkOp::kAll:
+      return Status::InvalidArgument(
+          "positive-link rewrite requested for negative operator " +
+          std::string(LinkOpToString(child.link_op)));
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<Table> MagicRestrict(const Table& outer, Table child_base,
+                            const QueryBlock& child) {
+  std::vector<std::string> okeys, ikeys;
+  if (!AllEquiCorrelation(child, outer.schema(), child_base.schema(), &okeys,
+                          &ikeys)) {
+    return child_base;
+  }
+  // Magic set: the distinct correlation-key combinations of the outer.
+  ExecNodePtr magic = std::make_unique<ProjectNode>(
+      std::make_unique<TableSourceNode>(outer), okeys);
+  magic = std::make_unique<DistinctNode>(std::move(magic));
+
+  std::vector<EquiPair> equi;
+  for (size_t i = 0; i < ikeys.size(); ++i) equi.push_back({ikeys[i], okeys[i]});
+  HashJoinNode semi(std::make_unique<TableSourceNode>(std::move(child_base)),
+                    std::move(magic), JoinType::kLeftSemi, std::move(equi),
+                    nullptr);
+  return CollectTable(&semi);
+}
+
+bool StrictSafe(const std::vector<const QueryBlock*>& path) {
+  for (size_t i = 1; i < path.size(); ++i) {  // skip the root
+    if (!path[i]->LinkIsPositive()) return false;
+  }
+  return true;
+}
+
+}  // namespace nestra

@@ -1,0 +1,37 @@
+#ifndef NESTRA_PLAN_BINDER_H_
+#define NESTRA_PLAN_BINDER_H_
+
+#include "plan/query_block.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace nestra {
+
+/// \brief Binds a parsed SELECT against the catalog, producing the
+/// QueryBlock tree consumed by the nested relational planner and the
+/// baselines.
+///
+/// Binding performs:
+///  * table/alias resolution (aliases must be unique across all blocks);
+///  * column resolution with SQL scoping (innermost block first, then
+///    enclosing blocks outward), rewriting every reference to its fully
+///    qualified "alias.column" form;
+///  * classification of WHERE conjuncts into local predicates σ_i and
+///    correlated predicates C_ij;
+///  * extraction of linking predicates — subquery predicates must appear as
+///    top-level conjuncts (not under OR or NOT), the standard restriction
+///    for unnesting, satisfied by every query in the paper;
+///  * date literal coercion: a string literal compared against a date
+///    column becomes a date;
+///  * block key attribution: each block's first table must have a primary
+///    key registered in the catalog (the paper's "unique non-null
+///    attribute" assumption).
+Result<QueryBlockPtr> BindQuery(const AstSelect& ast, const Catalog& catalog);
+
+/// Convenience: parse + bind.
+Result<QueryBlockPtr> ParseAndBind(const std::string& sql,
+                                   const Catalog& catalog);
+
+}  // namespace nestra
+
+#endif  // NESTRA_PLAN_BINDER_H_

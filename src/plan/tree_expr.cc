@@ -1,0 +1,224 @@
+#include "plan/tree_expr.h"
+
+#include <map>
+#include <sstream>
+
+namespace nestra {
+
+std::string LinkingLabel(const QueryBlock& child) {
+  std::ostringstream oss;
+  const std::string outer = child.linking_is_const
+                                ? child.linking_const.ToString()
+                                : child.linking_attr;
+  if (child.is_aggregate_link) {
+    oss << outer << " " << CmpOpToString(child.link_cmp) << " "
+        << LinkAggToString(child.agg) << "{" << child.linked_attr << "}";
+    return oss.str();
+  }
+  switch (child.link_op) {
+    case LinkOp::kExists:
+      oss << "EXISTS {" << child.linked_attr << "}";
+      break;
+    case LinkOp::kNotExists:
+      oss << "NOT EXISTS {" << child.linked_attr << "}";
+      break;
+    case LinkOp::kIn:
+      oss << child.linking_attr << " = SOME {" << child.linked_attr << "}";
+      break;
+    case LinkOp::kNotIn:
+      oss << child.linking_attr << " <> ALL {" << child.linked_attr << "}";
+      break;
+    case LinkOp::kSome:
+      oss << outer << " " << CmpOpToString(child.link_cmp)
+          << " SOME {" << child.linked_attr << "}";
+      break;
+    case LinkOp::kAll:
+      oss << outer << " " << CmpOpToString(child.link_cmp)
+          << " ALL {" << child.linked_attr << "}";
+      break;
+  }
+  return oss.str();
+}
+
+namespace {
+
+void CollectDfs(const QueryBlock& block,
+                std::vector<const QueryBlock*>* nodes,
+                std::map<int, const QueryBlock*>* parent_of) {
+  nodes->push_back(&block);
+  for (const auto& c : block.children) {
+    (*parent_of)[c->id] = &block;
+    CollectDfs(*c, nodes, parent_of);
+  }
+}
+
+}  // namespace
+
+TreeExpression TreeExpression::Build(const QueryBlock& root) {
+  TreeExpression out;
+  std::map<int, const QueryBlock*> parent_of;
+  CollectDfs(root, &out.nodes_, &parent_of);
+
+  // Tree edges with linking labels, DFS order.
+  std::map<std::pair<int, int>, size_t> edge_index;
+  for (const QueryBlock* node : out.nodes_) {
+    const auto pit = parent_of.find(node->id);
+    if (pit == parent_of.end()) continue;  // root
+    TreeExprEdge e;
+    e.from_id = pit->second->id;
+    e.to_id = node->id;
+    e.linking_label = LinkingLabel(*node);
+    edge_index[{e.from_id, e.to_id}] = out.edges_.size();
+    out.edges_.push_back(std::move(e));
+  }
+
+  // Correlated predicate placement (Section 4, step 2).
+  for (const QueryBlock* node : out.nodes_) {
+    const auto pit = parent_of.find(node->id);
+    if (pit == parent_of.end()) continue;
+    const int parent_id = pit->second->id;
+    for (size_t k = 0; k < node->correlated_preds.size(); ++k) {
+      const std::string label = node->correlated_preds[k]->ToString();
+      // Which ancestor(s) does this conjunct reference? The binder stores
+      // the union per block; re-derive per-conjunct by checking which
+      // ancestor attribute prefixes appear.
+      // Adjacent (parent) correlation goes on the tree edge directly.
+      bool references_non_parent = false;
+      {
+        std::vector<std::string> cols;
+        node->correlated_preds[k]->CollectColumns(&cols);
+        for (const std::string& c : cols) {
+          // A column of an ancestor other than the parent?
+          bool in_self = false, in_parent = false;
+          for (const std::string& a : node->attributes) {
+            in_self = in_self || a == c;
+          }
+          for (const std::string& a : pit->second->attributes) {
+            in_parent = in_parent || a == c;
+          }
+          if (!in_self && !in_parent) references_non_parent = true;
+        }
+      }
+      if (!references_non_parent) {
+        out.edges_[edge_index[{parent_id, node->id}]]
+            .correlated_labels.push_back(label);
+        continue;
+      }
+      // Non-adjacent correlation: find the outermost referenced ancestor j;
+      // if every tree edge from j down to this node already carries a
+      // correlated predicate, fold the label into the (parent, node) edge;
+      // otherwise add an extra edge j -> node.
+      const QueryBlock* j = nullptr;
+      {
+        std::vector<std::string> cols;
+        node->correlated_preds[k]->CollectColumns(&cols);
+        // Walk ancestors outward; the outermost one owning a referenced
+        // column is j.
+        const QueryBlock* anc = pit->second;
+        while (anc != nullptr) {
+          for (const std::string& c : cols) {
+            for (const std::string& a : anc->attributes) {
+              if (a == c) j = anc;
+            }
+          }
+          const auto ait = parent_of.find(anc->id);
+          anc = ait == parent_of.end() ? nullptr : ait->second;
+        }
+      }
+      if (j == nullptr) j = pit->second;
+      bool all_labeled = true;
+      {
+        const QueryBlock* walk = node;
+        while (walk->id != j->id) {
+          const QueryBlock* p = parent_of.at(walk->id);
+          const auto eit = edge_index.find({p->id, walk->id});
+          if (eit != edge_index.end() &&
+              out.edges_[eit->second].correlated_labels.empty() &&
+              // The label we are about to place may complete this edge.
+              !(p->id == parent_id && walk->id == node->id)) {
+            all_labeled = false;
+          }
+          walk = p;
+        }
+      }
+      if (all_labeled) {
+        out.edges_[edge_index[{parent_id, node->id}]]
+            .correlated_labels.push_back(label);
+      } else {
+        TreeExprEdge e;
+        e.from_id = j->id;
+        e.to_id = node->id;
+        e.extra = true;
+        e.correlated_labels.push_back(label);
+        out.edges_.push_back(std::move(e));
+      }
+    }
+  }
+  return out;
+}
+
+bool TreeExpression::IsGraph() const {
+  for (const TreeExprEdge& e : edges_) {
+    if (e.extra) return true;
+  }
+  return false;
+}
+
+std::string TreeExpression::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    oss << "T" << nodes_[i]->id << ": ";
+    for (size_t t = 0; t < nodes_[i]->tables.size(); ++t) {
+      if (t > 0) oss << ", ";
+      oss << nodes_[i]->tables[t].alias;
+    }
+    oss << "\n";
+  }
+  for (const TreeExprEdge& e : edges_) {
+    oss << "T" << e.from_id << " -> T" << e.to_id;
+    if (e.extra) oss << " [extra]";
+    if (!e.linking_label.empty()) oss << "  L: " << e.linking_label;
+    for (const std::string& c : e.correlated_labels) oss << "  C: " << c;
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+std::string TreeExpression::ToDot() const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  std::ostringstream oss;
+  oss << "digraph tree_expression {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const QueryBlock* node : nodes_) {
+    oss << "  T" << node->id << " [label=\"T" << node->id << ": ";
+    for (size_t t = 0; t < node->tables.size(); ++t) {
+      if (t > 0) oss << ", ";
+      oss << escape(node->tables[t].alias);
+    }
+    oss << "\"];\n";
+  }
+  for (const TreeExprEdge& e : edges_) {
+    // Pieces are escaped individually so the "\n" separators stay DOT
+    // escape sequences.
+    std::string label;
+    if (!e.linking_label.empty()) label += "L: " + escape(e.linking_label);
+    for (const std::string& c : e.correlated_labels) {
+      if (!label.empty()) label += "\\n";
+      label += "C: " + escape(c);
+    }
+    oss << "  T" << e.from_id << " -> T" << e.to_id << " [label=\"" << label
+        << "\"";
+    if (e.extra) oss << ", style=dashed";
+    oss << "];\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace nestra

@@ -1,0 +1,60 @@
+#ifndef NESTRA_PLAN_TREE_EXPR_H_
+#define NESTRA_PLAN_TREE_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/query_block.h"
+
+namespace nestra {
+
+/// \brief One edge of the tree expression (Section 4, step 2). Tree edges
+/// run parent -> child and carry the linking predicate plus any correlated
+/// predicates; `extra` edges are the additional correlation edges added when
+/// a block is correlated to a non-adjacent ancestor and some edge on the
+/// path is unlabeled (in which case the structure is a graph and evaluation
+/// uses its maximal spanning query tree).
+struct TreeExprEdge {
+  int from_id = 0;
+  int to_id = 0;
+  std::string linking_label;  // empty for extra edges
+  std::vector<std::string> correlated_labels;
+  bool extra = false;
+};
+
+/// \brief The paper's tree expression for a bound query: one node per query
+/// block (labeled T_i in DFS left-to-right order), edges as above. Used for
+/// plan explanation and for the tree-structure tests; the executor consults
+/// the QueryBlock tree directly.
+class TreeExpression {
+ public:
+  static TreeExpression Build(const QueryBlock& root);
+
+  /// Blocks in DFS pre-order; nodes()[i] is the paper's T_{i+1}.
+  const std::vector<const QueryBlock*>& nodes() const { return nodes_; }
+  const std::vector<TreeExprEdge>& edges() const { return edges_; }
+
+  /// True when an `extra` correlation edge exists (structure is a graph and
+  /// evaluation uses the maximal spanning query tree).
+  bool IsGraph() const;
+
+  /// Human-readable rendering mirroring Figure 3(a).
+  std::string ToString() const;
+
+  /// Graphviz DOT rendering (tree edges solid, extra correlation edges
+  /// dashed), for documentation and debugging:
+  ///   dot -Tpng <(my_explain_tool) -o tree.png
+  std::string ToDot() const;
+
+ private:
+  std::vector<const QueryBlock*> nodes_;
+  std::vector<TreeExprEdge> edges_;
+};
+
+/// Renders a linking predicate label like "R.B <> ALL {S.E}" for block
+/// `child` (which carries the linking information toward its parent).
+std::string LinkingLabel(const QueryBlock& child);
+
+}  // namespace nestra
+
+#endif  // NESTRA_PLAN_TREE_EXPR_H_

@@ -1,0 +1,131 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace nestra {
+
+std::string AstOperand::ToString() const {
+  if (is_arith) {
+    return "(" + lhs->ToString() + " " + ArithOpToString(arith_op) + " " +
+           rhs->ToString() + ")";
+  }
+  if (is_agg) {
+    if (agg == LinkAgg::kCountStar) return "count(*)";
+    return std::string(LinkAggToString(agg)) + "(" + column + ")";
+  }
+  if (is_column) return column;
+  if (literal.is_string()) return "'" + literal.string() + "'";
+  return literal.ToString();
+}
+
+std::string AstSelectItem::ToString() const {
+  if (!is_agg) return column;
+  if (agg == LinkAgg::kCountStar) return "count(*)";
+  return std::string(LinkAggToString(agg)) + "(" + column + ")";
+}
+
+std::string AstCond::ToString() const {
+  std::ostringstream oss;
+  switch (kind) {
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind == Kind::kAnd ? " AND " : " OR ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) oss << sep;
+        oss << "(" << children[i]->ToString() << ")";
+      }
+      break;
+    }
+    case Kind::kNot:
+      oss << "NOT (" << children[0]->ToString() << ")";
+      break;
+    case Kind::kCompare:
+      oss << lhs.ToString() << " " << CmpOpToString(op) << " "
+          << rhs.ToString();
+      break;
+    case Kind::kIsNull:
+      oss << lhs.ToString() << (negated ? " IS NOT NULL" : " IS NULL");
+      break;
+    case Kind::kExistsSubquery:
+      oss << (negated ? "NOT EXISTS (" : "EXISTS (") << subquery->ToString()
+          << ")";
+      break;
+    case Kind::kInSubquery:
+      oss << lhs.ToString() << (negated ? " NOT IN (" : " IN (")
+          << subquery->ToString() << ")";
+      break;
+    case Kind::kQuantifiedSubquery:
+      oss << lhs.ToString() << " " << CmpOpToString(op) << " "
+          << (quant == Quantifier::kAll ? "ALL" : "ANY") << " ("
+          << subquery->ToString() << ")";
+      break;
+    case Kind::kScalarSubquery:
+      oss << lhs.ToString() << " " << CmpOpToString(op) << " ("
+          << subquery->ToString() << ")";
+      break;
+  }
+  return oss.str();
+}
+
+std::string AstSelect::ToString() const {
+  std::ostringstream oss;
+  oss << "SELECT ";
+  if (distinct) oss << "DISTINCT ";
+  if (select_star) {
+    oss << "*";
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << items[i].ToString();
+    }
+  }
+  oss << " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << from[i].table;
+    if (!from[i].alias.empty()) oss << " " << from[i].alias;
+  }
+  if (where != nullptr) oss << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    oss << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << group_by[i];
+    }
+  }
+  if (having != nullptr) oss << " HAVING " << having->ToString();
+  if (!order_by.empty()) {
+    oss << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << order_by[i].column << (order_by[i].ascending ? "" : " DESC");
+    }
+  }
+  if (limit >= 0) oss << " LIMIT " << limit;
+  return oss.str();
+}
+
+const char* SetOpToString(AstStatement::SetOp op) {
+  switch (op) {
+    case AstStatement::SetOp::kUnionAll:
+      return "UNION ALL";
+    case AstStatement::SetOp::kUnion:
+      return "UNION";
+    case AstStatement::SetOp::kIntersect:
+      return "INTERSECT";
+    case AstStatement::SetOp::kExcept:
+      return "EXCEPT";
+  }
+  return "?";
+}
+
+std::string AstStatement::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < selects.size(); ++i) {
+    if (i > 0) oss << " " << SetOpToString(ops[i - 1]) << " ";
+    oss << selects[i]->ToString();
+  }
+  return oss.str();
+}
+
+}  // namespace nestra

@@ -1,0 +1,172 @@
+#ifndef NESTRA_SQL_AST_H_
+#define NESTRA_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "expr/expr.h"  // ArithOp
+#include "nested/linking_predicate.h"
+
+namespace nestra {
+
+struct AstSelect;
+using AstSelectPtr = std::unique_ptr<AstSelect>;
+
+/// \brief A scalar operand in a condition: a (possibly qualified) column
+/// reference, a literal, an aggregate call `agg(col)` / `count(*)` (HAVING
+/// only), or a binary arithmetic combination of operands. Copyable
+/// (children are shared), since desugaring duplicates operands.
+struct AstOperand {
+  bool is_column = false;
+  std::string column;
+  Value literal;
+  bool is_agg = false;  // HAVING only
+  LinkAgg agg = LinkAgg::kCount;
+  bool is_arith = false;
+  ArithOp arith_op = ArithOp::kAdd;
+  std::shared_ptr<AstOperand> lhs;  // is_arith only
+  std::shared_ptr<AstOperand> rhs;
+
+  static AstOperand Column(std::string name) {
+    AstOperand o;
+    o.is_column = true;
+    o.column = std::move(name);
+    return o;
+  }
+  static AstOperand Lit(Value v) {
+    AstOperand o;
+    o.literal = std::move(v);
+    return o;
+  }
+  static AstOperand Agg(LinkAgg func, std::string column) {
+    AstOperand o;
+    o.is_agg = true;
+    o.agg = func;
+    o.column = std::move(column);  // empty for COUNT(*)
+    return o;
+  }
+  static AstOperand Arith(ArithOp op, AstOperand lhs_in, AstOperand rhs_in) {
+    AstOperand o;
+    o.is_arith = true;
+    o.arith_op = op;
+    o.lhs = std::make_shared<AstOperand>(std::move(lhs_in));
+    o.rhs = std::make_shared<AstOperand>(std::move(rhs_in));
+    return o;
+  }
+
+  std::string ToString() const;
+};
+
+struct AstCond;
+using AstCondPtr = std::unique_ptr<AstCond>;
+
+/// \brief A WHERE-clause condition node. Subquery predicates (IN, EXISTS,
+/// theta ALL/ANY) are first-class atoms here; the binder later requires them
+/// to appear only as top-level conjuncts (the standard unnesting-friendly
+/// form, which covers every query in the paper).
+struct AstCond {
+  enum class Kind {
+    kAnd,
+    kOr,
+    kNot,
+    kCompare,             // lhs op rhs
+    kIsNull,              // lhs IS [NOT] NULL
+    kExistsSubquery,      // [NOT] EXISTS (subquery)
+    kInSubquery,          // lhs [NOT] IN (subquery)
+    kQuantifiedSubquery,  // lhs op ALL|ANY|SOME (subquery)
+    kScalarSubquery,      // lhs op (subquery)   [subquery selects agg(col)]
+  };
+
+  Kind kind = Kind::kCompare;
+  std::vector<AstCondPtr> children;  // kAnd / kOr / kNot
+  CmpOp op = CmpOp::kEq;             // kCompare / kQuantifiedSubquery
+  AstOperand lhs;
+  AstOperand rhs;                          // kCompare only
+  bool negated = false;                    // IS NOT NULL / NOT IN / NOT EXISTS
+  Quantifier quant = Quantifier::kAll;     // kQuantifiedSubquery
+  AstSelectPtr subquery;
+
+  std::string ToString() const;
+};
+
+struct AstTableRef {
+  std::string table;
+  std::string alias;  // empty when none given
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// \brief One ORDER BY item.
+struct AstOrderItem {
+  std::string column;
+  bool ascending = true;
+};
+
+/// \brief One SELECT-list item: a column or an aggregate call. Aggregates
+/// in a multi-item select list require GROUP BY (top-level queries); a
+/// single aggregate item with no GROUP BY is a scalar aggregate (used by
+/// scalar subqueries, or a one-row global aggregate at the top level).
+struct AstSelectItem {
+  bool is_agg = false;
+  LinkAgg agg = LinkAgg::kCount;
+  std::string column;  // column name, or agg argument (empty for COUNT(*))
+
+  std::string ToString() const;
+};
+
+/// \brief A (possibly nested) SELECT statement of the supported subset:
+///   SELECT [DISTINCT] items | * FROM t [alias], ... [WHERE cond]
+///   [GROUP BY col, ...] [HAVING cond]
+///   [ORDER BY col [ASC|DESC], ...] [LIMIT n]
+/// GROUP BY / HAVING / ORDER BY / LIMIT are only allowed on the outermost
+/// query; a subquery's select list is a single column (linking) or a single
+/// aggregate (scalar subquery).
+struct AstSelect {
+  bool distinct = false;
+  bool select_star = false;
+  std::vector<AstSelectItem> items;  // empty iff select_star
+  std::vector<AstTableRef> from;
+  AstCondPtr where;  // may be null
+  std::vector<std::string> group_by;
+  AstCondPtr having;  // may be null; operands may be aggregates
+  std::vector<AstOrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+
+  bool IsSingleAggregate() const {
+    return items.size() == 1 && items[0].is_agg;
+  }
+  bool HasAggregates() const {
+    for (const AstSelectItem& i : items) {
+      if (i.is_agg) return true;
+    }
+    return false;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief A compound statement: one SELECT, or several combined with set
+/// operations (left-associative; ORDER BY / LIMIT are not supported on
+/// compound statements).
+struct AstStatement {
+  enum class SetOp { kUnionAll, kUnion, kIntersect, kExcept };
+
+  std::vector<AstSelectPtr> selects;  // >= 1
+  std::vector<SetOp> ops;             // size == selects.size() - 1
+
+  bool IsCompound() const { return selects.size() > 1; }
+
+  std::string ToString() const;
+};
+
+using AstStatementPtr = std::unique_ptr<AstStatement>;
+
+const char* SetOpToString(AstStatement::SetOp op);
+
+}  // namespace nestra
+
+#endif  // NESTRA_SQL_AST_H_

@@ -1,0 +1,278 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace nestra {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "<eof>";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "integer literal";
+    case TokenKind::kFloatLiteral:
+      return "float literal";
+    case TokenKind::kStringLiteral:
+      return "string literal";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kDot:
+      return ".";
+    case TokenKind::kLParen:
+      return "(";
+    case TokenKind::kRParen:
+      return ")";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kMinus:
+      return "-";
+    case TokenKind::kSlash:
+      return "/";
+    case TokenKind::kEq:
+      return "=";
+    case TokenKind::kNe:
+      return "<>";
+    case TokenKind::kLt:
+      return "<";
+    case TokenKind::kLe:
+      return "<=";
+    case TokenKind::kGt:
+      return ">";
+    case TokenKind::kGe:
+      return ">=";
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kDistinct:
+      return "DISTINCT";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kAs:
+      return "AS";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kNot:
+      return "NOT";
+    case TokenKind::kIn:
+      return "IN";
+    case TokenKind::kExists:
+      return "EXISTS";
+    case TokenKind::kAll:
+      return "ALL";
+    case TokenKind::kAny:
+      return "ANY";
+    case TokenKind::kSome:
+      return "SOME";
+    case TokenKind::kIs:
+      return "IS";
+    case TokenKind::kNull:
+      return "NULL";
+    case TokenKind::kBetween:
+      return "BETWEEN";
+    case TokenKind::kOrder:
+      return "ORDER";
+    case TokenKind::kBy:
+      return "BY";
+    case TokenKind::kAsc:
+      return "ASC";
+    case TokenKind::kDesc:
+      return "DESC";
+    case TokenKind::kLimit:
+      return "LIMIT";
+    case TokenKind::kGroup:
+      return "GROUP";
+    case TokenKind::kHaving:
+      return "HAVING";
+    case TokenKind::kUnion:
+      return "UNION";
+    case TokenKind::kIntersect:
+      return "INTERSECT";
+    case TokenKind::kExcept:
+      return "EXCEPT";
+  }
+  return "?";
+}
+
+namespace {
+
+TokenKind KeywordKind(const std::string& upper) {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"SELECT", TokenKind::kSelect},   {"DISTINCT", TokenKind::kDistinct},
+      {"FROM", TokenKind::kFrom},       {"WHERE", TokenKind::kWhere},
+      {"AS", TokenKind::kAs},           {"AND", TokenKind::kAnd},
+      {"OR", TokenKind::kOr},           {"NOT", TokenKind::kNot},
+      {"IN", TokenKind::kIn},           {"EXISTS", TokenKind::kExists},
+      {"ALL", TokenKind::kAll},         {"ANY", TokenKind::kAny},
+      {"SOME", TokenKind::kSome},       {"IS", TokenKind::kIs},
+      {"NULL", TokenKind::kNull},       {"BETWEEN", TokenKind::kBetween},
+      {"ORDER", TokenKind::kOrder},     {"BY", TokenKind::kBy},
+      {"ASC", TokenKind::kAsc},         {"DESC", TokenKind::kDesc},
+      {"LIMIT", TokenKind::kLimit},     {"GROUP", TokenKind::kGroup},
+      {"HAVING", TokenKind::kHaving}, {"UNION", TokenKind::kUnion},
+      {"INTERSECT", TokenKind::kIntersect},
+      {"EXCEPT", TokenKind::kExcept},
+  };
+  const auto it = kKeywords.find(upper);
+  return it == kKeywords.end() ? TokenKind::kIdent : it->second;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      tok.text = sql.substr(i, j - i);
+      std::string upper = tok.text;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+      tok.kind = KeywordKind(upper);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      tok.text = sql.substr(i, j - i);
+      if (is_float) {
+        tok.kind = TokenKind::kFloatLiteral;
+        tok.float_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kIntLiteral;
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string text;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += sql[j++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at position " +
+                                  std::to_string(i));
+      }
+      tok.kind = TokenKind::kStringLiteral;
+      tok.text = std::move(text);
+      i = j;
+    } else {
+      switch (c) {
+        case ',':
+          tok.kind = TokenKind::kComma;
+          ++i;
+          break;
+        case '.':
+          tok.kind = TokenKind::kDot;
+          ++i;
+          break;
+        case '(':
+          tok.kind = TokenKind::kLParen;
+          ++i;
+          break;
+        case ')':
+          tok.kind = TokenKind::kRParen;
+          ++i;
+          break;
+        case '*':
+          tok.kind = TokenKind::kStar;
+          ++i;
+          break;
+        case '+':
+          tok.kind = TokenKind::kPlus;
+          ++i;
+          break;
+        case '-':
+          tok.kind = TokenKind::kMinus;
+          ++i;
+          break;
+        case '/':
+          tok.kind = TokenKind::kSlash;
+          ++i;
+          break;
+        case '=':
+          tok.kind = TokenKind::kEq;
+          ++i;
+          break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.kind = TokenKind::kNe;
+            i += 2;
+          } else {
+            return Status::ParseError("unexpected '!' at position " +
+                                      std::to_string(i));
+          }
+          break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '>') {
+            tok.kind = TokenKind::kNe;
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '=') {
+            tok.kind = TokenKind::kLe;
+            i += 2;
+          } else {
+            tok.kind = TokenKind::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.kind = TokenKind::kGe;
+            i += 2;
+          } else {
+            tok.kind = TokenKind::kGt;
+            ++i;
+          }
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at position " + std::to_string(i));
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.position = static_cast<int>(n);
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace nestra

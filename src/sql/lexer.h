@@ -1,0 +1,78 @@
+#ifndef NESTRA_SQL_LEXER_H_
+#define NESTRA_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nestra {
+
+/// \brief Token kinds for the SQL subset. Keywords are case-insensitive and
+/// get their own kinds; everything else that looks like a word is kIdent.
+enum class TokenKind {
+  kEof,
+  kIdent,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,  // single-quoted; also used for date literals
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,   // multiplication or SELECT * / COUNT(*)
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,    // =
+  kNe,    // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // Keywords.
+  kSelect,
+  kDistinct,
+  kFrom,
+  kWhere,
+  kAs,
+  kAnd,
+  kOr,
+  kNot,
+  kIn,
+  kExists,
+  kAll,
+  kAny,
+  kSome,
+  kIs,
+  kNull,
+  kBetween,
+  kOrder,
+  kBy,
+  kAsc,
+  kDesc,
+  kLimit,
+  kGroup,
+  kHaving,
+  kUnion,
+  kIntersect,
+  kExcept,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;    // identifier spelling (original case) or literal text
+  int64_t int_value = 0;
+  double float_value = 0;
+  int position = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes `sql`; returns ParseError with position info on bad input.
+/// The token list always ends with a kEof token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace nestra
+
+#endif  // NESTRA_SQL_LEXER_H_

@@ -1,0 +1,301 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+#include <string>
+
+#include "storage/io_sim.h"
+
+namespace nestra {
+
+namespace {
+
+bool Less(const Value& a, const Value& b) {
+  return Value::TotalOrderCompare(a, b) < 0;
+}
+
+}  // namespace
+
+BTreeIndex::BTreeIndex(int max_keys)
+    : max_keys_(std::max(max_keys, 3)), root_(std::make_unique<Node>()) {}
+
+BTreeIndex::BTreeIndex(const Table& table, int column, int max_keys)
+    : BTreeIndex(max_keys) {
+  column_ = column;
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    const Value& v = table.rows()[i][column];
+    if (v.is_null()) continue;
+    Insert(v, i);
+  }
+}
+
+void BTreeIndex::Insert(const Value& key, int64_t row_id) {
+  if (key.is_null()) return;
+  Value separator;
+  std::unique_ptr<Node> sibling =
+      InsertInto(root_.get(), key, row_id, &separator);
+  if (sibling != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+}
+
+std::unique_ptr<BTreeIndex::Node> BTreeIndex::InsertInto(Node* node,
+                                                         const Value& key,
+                                                         int64_t row_id,
+                                                         Value* separator) {
+  if (node->leaf) {
+    const auto it =
+        std::lower_bound(node->keys.begin(), node->keys.end(), key, Less);
+    const size_t pos = static_cast<size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && Value::TotalOrderCompare(*it, key) == 0) {
+      node->rows[pos].push_back(row_id);
+      ++num_entries_;
+      return nullptr;
+    }
+    node->keys.insert(it, key);
+    node->rows.insert(node->rows.begin() + static_cast<long>(pos), {row_id});
+    ++num_keys_;
+    ++num_entries_;
+    if (static_cast<int>(node->keys.size()) <= max_keys_) return nullptr;
+    // Split the leaf: right half moves to the sibling; the separator is the
+    // first key of the right half (B+-tree: it stays in the leaf).
+    const size_t mid = node->keys.size() / 2;
+    auto sibling = std::make_unique<Node>();
+    sibling->leaf = true;
+    sibling->keys.assign(node->keys.begin() + static_cast<long>(mid),
+                         node->keys.end());
+    sibling->rows.assign(node->rows.begin() + static_cast<long>(mid),
+                         node->rows.end());
+    node->keys.resize(mid);
+    node->rows.resize(mid);
+    sibling->next = node->next;
+    node->next = sibling.get();
+    *separator = sibling->keys.front();
+    return sibling;
+  }
+
+  // Internal node: descend.
+  const auto it =
+      std::upper_bound(node->keys.begin(), node->keys.end(), key, Less);
+  const size_t child_idx = static_cast<size_t>(it - node->keys.begin());
+  Value child_sep;
+  std::unique_ptr<Node> child_sibling =
+      InsertInto(node->children[child_idx].get(), key, row_id, &child_sep);
+  if (child_sibling == nullptr) return nullptr;
+  node->keys.insert(node->keys.begin() + static_cast<long>(child_idx),
+                    std::move(child_sep));
+  node->children.insert(
+      node->children.begin() + static_cast<long>(child_idx) + 1,
+      std::move(child_sibling));
+  if (static_cast<int>(node->keys.size()) <= max_keys_) return nullptr;
+  // Split the internal node: the middle key moves UP (not kept).
+  const size_t mid = node->keys.size() / 2;
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = false;
+  *separator = std::move(node->keys[mid]);
+  sibling->keys.assign(
+      std::make_move_iterator(node->keys.begin() + static_cast<long>(mid) + 1),
+      std::make_move_iterator(node->keys.end()));
+  sibling->children.assign(
+      std::make_move_iterator(node->children.begin() +
+                              static_cast<long>(mid) + 1),
+      std::make_move_iterator(node->children.end()));
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  return sibling;
+}
+
+const BTreeIndex::Node* BTreeIndex::FindLeaf(const Value& key) const {
+  const Node* node = root_.get();
+  if (IoSim* sim = IoSim::Get()) {
+    // One page read per tree level (the "index rowid" access cost).
+    for (int d = 0; d < height_; ++d) {
+      sim->IndexProbe(this, key.Hash() + static_cast<size_t>(d),
+                      std::max<int64_t>(num_keys_, 1));
+    }
+  }
+  while (!node->leaf) {
+    const auto it =
+        std::upper_bound(node->keys.begin(), node->keys.end(), key, Less);
+    node = node->children[static_cast<size_t>(it - node->keys.begin())].get();
+  }
+  return node;
+}
+
+const BTreeIndex::Node* BTreeIndex::FirstLeaf() const {
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  return node;
+}
+
+void BTreeIndex::CollectFrom(const Node* leaf, size_t idx, const Value& hi,
+                             bool hi_inclusive,
+                             std::vector<int64_t>* out) const {
+  while (leaf != nullptr) {
+    for (; idx < leaf->keys.size(); ++idx) {
+      if (!hi.is_null()) {
+        const int c = Value::TotalOrderCompare(leaf->keys[idx], hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return;
+      }
+      out->insert(out->end(), leaf->rows[idx].begin(), leaf->rows[idx].end());
+    }
+    leaf = leaf->next;
+    idx = 0;
+  }
+}
+
+std::vector<int64_t> BTreeIndex::Range(const Value& lo, bool lo_inclusive,
+                                       const Value& hi,
+                                       bool hi_inclusive) const {
+  std::vector<int64_t> out;
+  const Node* leaf;
+  size_t idx = 0;
+  if (lo.is_null()) {
+    leaf = FirstLeaf();
+  } else {
+    leaf = FindLeaf(lo);
+    const auto it =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo, Less);
+    idx = static_cast<size_t>(it - leaf->keys.begin());
+    if (!lo_inclusive && it != leaf->keys.end() &&
+        Value::TotalOrderCompare(*it, lo) == 0) {
+      ++idx;
+    }
+    if (idx >= leaf->keys.size()) {
+      leaf = leaf->next;
+      idx = 0;
+    }
+  }
+  CollectFrom(leaf, idx, hi, hi_inclusive, &out);
+  return out;
+}
+
+std::vector<int64_t> BTreeIndex::Lookup(CmpOp op, const Value& key) const {
+  std::vector<int64_t> out;
+  if (key.is_null()) return out;
+  switch (op) {
+    case CmpOp::kEq:
+      return Range(key, true, key, true);
+    case CmpOp::kLt:
+      return Range(Value::Null(), true, key, false);
+    case CmpOp::kLe:
+      return Range(Value::Null(), true, key, true);
+    case CmpOp::kGt:
+      return Range(key, false, Value::Null(), true);
+    case CmpOp::kGe:
+      return Range(key, true, Value::Null(), true);
+    case CmpOp::kNe: {
+      out = Range(Value::Null(), true, key, false);
+      const std::vector<int64_t> above = Range(key, false, Value::Null(), true);
+      out.insert(out.end(), above.begin(), above.end());
+      return out;
+    }
+  }
+  return out;
+}
+
+bool BTreeIndex::Validate(std::string* reason) const {
+  std::string local;
+  std::string* why = reason != nullptr ? reason : &local;
+
+  // Recursive structural check returning the subtree depth, or -1 on error.
+  struct Checker {
+    const BTreeIndex* tree;
+    std::string* why;
+
+    int Check(const Node* node, const Value* lo, const Value* hi) {
+      for (size_t i = 0; i + 1 < node->keys.size(); ++i) {
+        if (Value::TotalOrderCompare(node->keys[i], node->keys[i + 1]) >= 0) {
+          *why = "keys out of order within a node";
+          return -1;
+        }
+      }
+      for (const Value& k : node->keys) {
+        if (lo != nullptr && Value::TotalOrderCompare(k, *lo) < 0) {
+          *why = "key below the subtree lower bound";
+          return -1;
+        }
+        if (hi != nullptr && Value::TotalOrderCompare(k, *hi) >= 0) {
+          if (!(node->leaf && Value::TotalOrderCompare(k, *hi) == 0)) {
+            // B+-tree: separators are copies of leaf keys, so a leaf key
+            // may equal the upper separator only in the LEFT subtree; keys
+            // >= hi are otherwise misplaced.
+            *why = "key at/above the subtree upper bound";
+            return -1;
+          }
+          *why = "leaf key equals upper separator (right-biased split "
+                 "violated)";
+          return -1;
+        }
+      }
+      if (node->leaf) {
+        if (node->rows.size() != node->keys.size()) {
+          *why = "leaf rows/keys size mismatch";
+          return -1;
+        }
+        for (const auto& r : node->rows) {
+          if (r.empty()) {
+            *why = "leaf entry with no row ids";
+            return -1;
+          }
+        }
+        return 1;
+      }
+      if (node->children.size() != node->keys.size() + 1) {
+        *why = "internal fan-out mismatch";
+        return -1;
+      }
+      int depth = -2;
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        const Value* child_lo = i == 0 ? lo : &node->keys[i - 1];
+        const Value* child_hi = i == node->keys.size() ? hi : &node->keys[i];
+        const int d = Check(node->children[i].get(), child_lo, child_hi);
+        if (d < 0) return -1;
+        if (depth == -2) depth = d;
+        if (d != depth) {
+          *why = "leaves at different depths";
+          return -1;
+        }
+      }
+      return depth + 1;
+    }
+  };
+
+  Checker checker{this, why};
+  const int depth = checker.Check(root_.get(), nullptr, nullptr);
+  if (depth < 0) return false;
+  if (depth != height_) {
+    *why = "height bookkeeping mismatch: measured " + std::to_string(depth) +
+           " vs recorded " + std::to_string(height_);
+    return false;
+  }
+
+  // Leaf chain must enumerate all keys in ascending order.
+  int64_t seen_keys = 0;
+  int64_t seen_entries = 0;
+  const Value* prev = nullptr;
+  for (const Node* leaf = FirstLeaf(); leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (prev != nullptr &&
+          Value::TotalOrderCompare(*prev, leaf->keys[i]) >= 0) {
+        *why = "leaf chain out of order";
+        return false;
+      }
+      prev = &leaf->keys[i];
+      ++seen_keys;
+      seen_entries += static_cast<int64_t>(leaf->rows[i].size());
+    }
+  }
+  if (seen_keys != num_keys_ || seen_entries != num_entries_) {
+    *why = "key/entry counters disagree with the leaf chain";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace nestra

@@ -1,0 +1,145 @@
+#include "storage/catalog.h"
+
+namespace nestra {
+
+Status Catalog::RegisterTable(const std::string& name, Table table,
+                              const std::string& primary_key,
+                              std::set<std::string> not_null_columns) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  if (!primary_key.empty() &&
+      table.schema().IndexOfExact(primary_key) < 0) {
+    return Status::InvalidArgument("primary key column '" + primary_key +
+                                   "' not in schema of table " + name);
+  }
+  for (const std::string& c : not_null_columns) {
+    if (table.schema().IndexOfExact(c) < 0) {
+      return Status::InvalidArgument("NOT NULL column '" + c +
+                                     "' not in schema of table " + name);
+    }
+  }
+  Entry e;
+  e.table = std::move(table);
+  e.meta.primary_key = primary_key;
+  e.meta.not_null_columns = std::move(not_null_columns);
+  tables_.emplace(name, std::move(e));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<Catalog::Entry*> Catalog::GetEntry(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return &it->second;
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(name));
+  return const_cast<const Table*>(&e->table);
+}
+
+Result<const TableMetadata*> Catalog::GetMetadata(
+    const std::string& name) const {
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(name));
+  return const_cast<const TableMetadata*>(&e->meta);
+}
+
+bool Catalog::IsNotNull(const std::string& table_name,
+                        const std::string& column) const {
+  const auto it = tables_.find(table_name);
+  if (it == tables_.end()) return false;
+  const TableMetadata& meta = it->second.meta;
+  if (!meta.primary_key.empty() && meta.primary_key == column) return true;
+  return meta.not_null_columns.count(column) > 0;
+}
+
+Status Catalog::AddNotNull(const std::string& table_name,
+                           const std::string& column) {
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(table_name));
+  if (e->table.schema().IndexOfExact(column) < 0) {
+    return Status::InvalidArgument("NOT NULL column '" + column +
+                                   "' not in schema of table " + table_name);
+  }
+  e->meta.not_null_columns.insert(column);
+  return Status::OK();
+}
+
+Status Catalog::DropNotNull(const std::string& table_name,
+                            const std::string& column) {
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(table_name));
+  e->meta.not_null_columns.erase(column);
+  return Status::OK();
+}
+
+Result<const HashIndex*> Catalog::GetHashIndex(const std::string& table_name,
+                                               const std::string& column) const {
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(table_name));
+  auto it = e->hash_indexes.find(column);
+  if (it == e->hash_indexes.end()) {
+    const int col = e->table.schema().IndexOfExact(column);
+    if (col < 0) {
+      return Status::NotFound("column '" + column + "' not in table " +
+                              table_name);
+    }
+    it = e->hash_indexes
+             .emplace(column, std::make_unique<HashIndex>(e->table, col))
+             .first;
+  }
+  return const_cast<const HashIndex*>(it->second.get());
+}
+
+Result<const SortedIndex*> Catalog::GetSortedIndex(
+    const std::string& table_name, const std::string& column) const {
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(table_name));
+  auto it = e->sorted_indexes.find(column);
+  if (it == e->sorted_indexes.end()) {
+    const int col = e->table.schema().IndexOfExact(column);
+    if (col < 0) {
+      return Status::NotFound("column '" + column + "' not in table " +
+                              table_name);
+    }
+    it = e->sorted_indexes
+             .emplace(column, std::make_unique<SortedIndex>(e->table, col))
+             .first;
+  }
+  return const_cast<const SortedIndex*>(it->second.get());
+}
+
+Result<const BTreeIndex*> Catalog::GetBTreeIndex(
+    const std::string& table_name, const std::string& column) const {
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(table_name));
+  auto it = e->btree_indexes.find(column);
+  if (it == e->btree_indexes.end()) {
+    const int col = e->table.schema().IndexOfExact(column);
+    if (col < 0) {
+      return Status::NotFound("column '" + column + "' not in table " +
+                              table_name);
+    }
+    it = e->btree_indexes
+             .emplace(column, std::make_unique<BTreeIndex>(e->table, col))
+             .first;
+  }
+  return const_cast<const BTreeIndex*>(it->second.get());
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace nestra

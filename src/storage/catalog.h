@@ -1,0 +1,103 @@
+#ifndef NESTRA_STORAGE_CATALOG_H_
+#define NESTRA_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "storage/btree_index.h"
+#include "storage/hash_index.h"
+#include "storage/sorted_index.h"
+
+namespace nestra {
+
+/// \brief Constraint and statistics metadata for one base table.
+struct TableMetadata {
+  /// The unique non-NULL key column the paper assumes every relation has
+  /// ("we assume that each relation has a unique non-null attribute served
+  /// as a primary key"). Unqualified name.
+  std::string primary_key;
+  /// Columns (beyond the PK) declared NOT NULL. The native baseline's
+  /// antijoin rewrite is only legal when the relevant columns appear here —
+  /// exactly System A's behaviour in Section 5.2.
+  std::set<std::string> not_null_columns;
+};
+
+/// \brief Named base tables plus lazily built and cached indexes.
+///
+/// The catalog owns table storage; execution operators reference tables by
+/// pointer and must not outlive the catalog.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Non-copyable (indexes hold row ids into owned tables).
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a table. `primary_key` must name a column of `table` (may be
+  /// empty for keyless test tables — then NRA plans add a synthetic row-id
+  /// key at scan time). Fails on duplicate names or unknown PK columns.
+  Status RegisterTable(const std::string& name, Table table,
+                       const std::string& primary_key = "",
+                       std::set<std::string> not_null_columns = {});
+
+  /// Drops a table and its cached indexes.
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<const TableMetadata*> GetMetadata(const std::string& name) const;
+
+  /// True if `column` (unqualified) of `table_name` is declared NOT NULL —
+  /// either the PK or listed in not_null_columns.
+  bool IsNotNull(const std::string& table_name,
+                 const std::string& column) const;
+
+  /// Declares a column NOT NULL after registration (used by benches to
+  /// toggle the paper's "NOT NULL constraint" scenarios).
+  Status AddNotNull(const std::string& table_name, const std::string& column);
+  /// Removes a NOT NULL declaration (cannot remove the PK's implicit one).
+  Status DropNotNull(const std::string& table_name, const std::string& column);
+
+  /// Returns (building and caching on first use) an equality index.
+  Result<const HashIndex*> GetHashIndex(const std::string& table_name,
+                                        const std::string& column) const;
+
+  /// Returns (building and caching on first use) an ordered index.
+  Result<const SortedIndex*> GetSortedIndex(const std::string& table_name,
+                                            const std::string& column) const;
+
+  /// Returns (building and caching on first use) a B+-tree index — the
+  /// structure the modelled System A keeps on base tables; serves ordered
+  /// and inequality probes with per-level simulated I/O.
+  Result<const BTreeIndex*> GetBTreeIndex(const std::string& table_name,
+                                          const std::string& column) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  struct Entry {
+    Table table;
+    TableMetadata meta;
+    // Cached indexes keyed by column name. mutable access via const methods;
+    // single-threaded by design.
+    std::map<std::string, std::unique_ptr<HashIndex>> hash_indexes;
+    std::map<std::string, std::unique_ptr<SortedIndex>> sorted_indexes;
+    std::map<std::string, std::unique_ptr<BTreeIndex>> btree_indexes;
+  };
+
+  Result<Entry*> GetEntry(const std::string& name) const;
+
+  // map (not unordered) for deterministic TableNames() output.
+  mutable std::map<std::string, Entry> tables_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_STORAGE_CATALOG_H_

@@ -1,0 +1,157 @@
+#include "storage/catalog_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "storage/csv_io.h"
+
+namespace nestra {
+
+namespace {
+
+const char* kManifestName = "manifest.nestra";
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kFloat64:
+      return "float64";
+    case TypeId::kString:
+      return "string";
+    case TypeId::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+Result<TypeId> TypeFromName(const std::string& name) {
+  if (name == "int64") return TypeId::kInt64;
+  if (name == "float64") return TypeId::kFloat64;
+  if (name == "string") return TypeId::kString;
+  if (name == "date") return TypeId::kDate;
+  return Status::ParseError("unknown type in manifest: " + name);
+}
+
+}  // namespace
+
+Status SaveCatalog(const Catalog& catalog, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create directory " + directory +
+                                   ": " + ec.message());
+  }
+
+  std::ostringstream manifest;
+  manifest << "# nestra catalog manifest v1\n";
+  for (const std::string& name : catalog.TableNames()) {
+    NESTRA_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+    NESTRA_ASSIGN_OR_RETURN(const TableMetadata* meta,
+                            catalog.GetMetadata(name));
+    manifest << "table " << name << "\n";
+    for (const Field& f : table->schema().fields()) {
+      manifest << "column " << f.name << " " << TypeName(f.type) << " "
+               << (f.nullable ? "null" : "notnull") << "\n";
+    }
+    if (!meta->primary_key.empty()) {
+      manifest << "pk " << meta->primary_key << "\n";
+    }
+    for (const std::string& c : meta->not_null_columns) {
+      manifest << "notnull " << c << "\n";
+    }
+    manifest << "end\n";
+    NESTRA_RETURN_NOT_OK(
+        WriteCsvFile(*table, directory + "/" + name + ".csv"));
+  }
+
+  std::ofstream out(directory + "/" + kManifestName, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot write manifest in " + directory);
+  }
+  out << manifest.str();
+  if (!out.good()) return Status::Internal("manifest write failed");
+  return Status::OK();
+}
+
+Status LoadCatalog(const std::string& directory, Catalog* catalog) {
+  std::ifstream in(directory + "/" + kManifestName, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no catalog manifest in " + directory);
+  }
+
+  std::string line;
+  int line_no = 0;
+  std::string table_name;
+  std::vector<Field> fields;
+  std::string pk;
+  std::set<std::string> not_null;
+  bool in_table = false;
+
+  auto finish_table = [&]() -> Status {
+    Schema schema{fields};
+    NESTRA_ASSIGN_OR_RETURN(
+        Table table, ReadCsvFile(directory + "/" + table_name + ".csv",
+                                 schema));
+    NESTRA_RETURN_NOT_OK(catalog->RegisterTable(table_name, std::move(table),
+                                                pk, std::move(not_null)));
+    table_name.clear();
+    fields.clear();
+    pk.clear();
+    not_null.clear();
+    in_table = false;
+    return Status::OK();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream iss(line);
+    std::string keyword;
+    iss >> keyword;
+    const std::string where =
+        " (manifest line " + std::to_string(line_no) + ")";
+    if (keyword == "table") {
+      if (in_table) {
+        return Status::ParseError("nested 'table' directive" + where);
+      }
+      iss >> table_name;
+      if (table_name.empty()) {
+        return Status::ParseError("missing table name" + where);
+      }
+      in_table = true;
+    } else if (keyword == "column") {
+      if (!in_table) return Status::ParseError("stray 'column'" + where);
+      std::string name, type_name, nullability;
+      iss >> name >> type_name >> nullability;
+      NESTRA_ASSIGN_OR_RETURN(TypeId type, TypeFromName(type_name));
+      if (nullability != "null" && nullability != "notnull") {
+        return Status::ParseError("bad nullability '" + nullability + "'" +
+                                  where);
+      }
+      fields.emplace_back(name, type, nullability == "null");
+    } else if (keyword == "pk") {
+      if (!in_table) return Status::ParseError("stray 'pk'" + where);
+      iss >> pk;
+    } else if (keyword == "notnull") {
+      if (!in_table) return Status::ParseError("stray 'notnull'" + where);
+      std::string col;
+      iss >> col;
+      not_null.insert(col);
+    } else if (keyword == "end") {
+      if (!in_table) return Status::ParseError("stray 'end'" + where);
+      NESTRA_RETURN_NOT_OK(finish_table());
+    } else {
+      return Status::ParseError("unknown manifest directive '" + keyword +
+                                "'" + where);
+    }
+  }
+  if (in_table) {
+    return Status::ParseError("manifest ended inside a table block");
+  }
+  return Status::OK();
+}
+
+}  // namespace nestra

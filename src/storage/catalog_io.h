@@ -1,0 +1,31 @@
+#ifndef NESTRA_STORAGE_CATALOG_IO_H_
+#define NESTRA_STORAGE_CATALOG_IO_H_
+
+#include <string>
+
+#include "storage/catalog.h"
+
+namespace nestra {
+
+/// \brief Directory persistence for a catalog: one CSV file per table plus
+/// a `manifest.nestra` recording schemas (with types and nullability),
+/// primary keys and NOT NULL declarations.
+///
+/// Manifest grammar (line oriented, '#' comments):
+///   table <name>
+///   column <name> <int64|float64|string|date> <null|notnull>
+///   pk <column>          (optional)
+///   notnull <column>     (zero or more)
+///   end
+///
+/// Loading registers every table into `catalog` (which must not already
+/// contain tables of the same names). Round trips preserve NULLs, types and
+/// constraint metadata bit-exactly.
+
+Status SaveCatalog(const Catalog& catalog, const std::string& directory);
+
+Status LoadCatalog(const std::string& directory, Catalog* catalog);
+
+}  // namespace nestra
+
+#endif  // NESTRA_STORAGE_CATALOG_IO_H_

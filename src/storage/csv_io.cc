@@ -1,0 +1,226 @@
+#include "storage/csv_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/date.h"
+
+namespace nestra {
+
+namespace {
+
+// Splits one logical CSV record starting at `*pos`; advances past the
+// terminating newline. Handles quoted fields with embedded separators,
+// quotes ("") and newlines.
+Result<std::vector<std::string>> ParseRecord(const std::string& text,
+                                             size_t* pos,
+                                             std::vector<bool>* quoted) {
+  std::vector<std::string> fields;
+  quoted->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  size_t i = *pos;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      quoted->push_back(was_quoted);
+      field.clear();
+      was_quoted = false;
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      // End of record; consume \r\n or \n.
+      if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    }
+    field += c;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(field));
+  quoted->push_back(was_quoted);
+  *pos = i;
+  return fields;
+}
+
+Result<Value> ParseCell(const std::string& cell, bool was_quoted,
+                        const Field& field, int64_t line) {
+  if (cell.empty() && !was_quoted) return Value::Null();
+  const std::string where =
+      " (line " + std::to_string(line) + ", column '" + field.name + "')";
+  switch (field.type) {
+    case TypeId::kInt64: {
+      char* end = nullptr;
+      const long long v = std::strtoll(cell.c_str(), &end, 10);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::ParseError("invalid integer '" + cell + "'" + where);
+      }
+      return Value::Int64(v);
+    }
+    case TypeId::kFloat64: {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::ParseError("invalid float '" + cell + "'" + where);
+      }
+      return Value::Float64(v);
+    }
+    case TypeId::kDate: {
+      const Result<int64_t> days = ParseDate(cell);
+      if (!days.ok()) {
+        return Status::ParseError("invalid date '" + cell + "'" + where);
+      }
+      return Value::Date(*days);
+    }
+    case TypeId::kString:
+      return Value::String(cell);
+  }
+  return Status::Internal("unhandled type");
+}
+
+std::string RenderCell(const Value& v, TypeId type) {
+  if (v.is_null()) return "";
+  std::string text;
+  if (type == TypeId::kDate && v.is_int()) {
+    text = FormatDate(v.int64());
+  } else if (type == TypeId::kFloat64 && v.is_float()) {
+    // Round-trip precision: Value::ToString is for display (6 significant
+    // digits); persistence must reproduce the double bit-exactly.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.float64());
+    text = buf;
+  } else {
+    text = v.ToString();
+  }
+  if (type == TypeId::kString) {
+    const bool needs_quotes =
+        text.find_first_of(",\"\n\r") != std::string::npos || text.empty();
+    if (needs_quotes) {
+      std::string quoted = "\"";
+      for (const char c : text) {
+        if (c == '"') quoted += '"';
+        quoted += c;
+      }
+      quoted += '"';
+      return quoted;
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& text, const Schema& schema) {
+  size_t pos = 0;
+  std::vector<bool> quoted;
+
+  // Header.
+  if (text.empty()) return Status::ParseError("empty CSV input");
+  NESTRA_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                          ParseRecord(text, &pos, &quoted));
+  if (static_cast<int>(header.size()) != schema.num_fields()) {
+    return Status::ParseError(
+        "CSV header has " + std::to_string(header.size()) +
+        " columns, schema expects " + std::to_string(schema.num_fields()));
+  }
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    if (UnqualifiedName(header[i]) != UnqualifiedName(schema.field(i).name)) {
+      return Status::ParseError("CSV header column " + std::to_string(i) +
+                                " is '" + header[i] + "', schema expects '" +
+                                schema.field(i).name + "'");
+    }
+  }
+
+  Table out{schema};
+  int64_t line = 1;
+  while (pos < text.size()) {
+    ++line;
+    NESTRA_ASSIGN_OR_RETURN(std::vector<std::string> cells,
+                            ParseRecord(text, &pos, &quoted));
+    if (cells.size() == 1 && cells[0].empty() && pos >= text.size()) {
+      break;  // trailing newline
+    }
+    if (static_cast<int>(cells.size()) != schema.num_fields()) {
+      return Status::ParseError("CSV line " + std::to_string(line) + " has " +
+                                std::to_string(cells.size()) +
+                                " columns, schema expects " +
+                                std::to_string(schema.num_fields()));
+    }
+    Row row;
+    row.Reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      NESTRA_ASSIGN_OR_RETURN(
+          Value v, ParseCell(cells[i], quoted[i],
+                             schema.field(static_cast<int>(i)), line));
+      row.Append(std::move(v));
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsv(buffer.str(), schema);
+}
+
+std::string WriteCsv(const Table& table) {
+  std::ostringstream oss;
+  const Schema& schema = table.schema();
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) oss << ',';
+    oss << UnqualifiedName(schema.field(i).name);
+  }
+  oss << '\n';
+  for (const Row& row : table.rows()) {
+    for (int i = 0; i < schema.num_fields(); ++i) {
+      if (i > 0) oss << ',';
+      oss << RenderCell(row[i], schema.field(i).type);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+  out << WriteCsv(table);
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace nestra

@@ -1,0 +1,37 @@
+#ifndef NESTRA_STORAGE_CSV_IO_H_
+#define NESTRA_STORAGE_CSV_IO_H_
+
+#include <string>
+
+#include "common/table.h"
+
+namespace nestra {
+
+/// \brief CSV interchange for tables (RFC-4180-ish: comma separated,
+/// double-quote quoting with "" escapes, a mandatory header row).
+///
+/// Cell syntax on read, driven by the declared schema:
+///  * an empty unquoted cell is NULL;
+///  * kInt64 cells parse as decimal integers, kFloat64 as doubles;
+///  * kDate cells parse as YYYY-MM-DD;
+///  * kString cells are taken verbatim (after unquoting).
+///
+/// On write, NULLs become empty cells, dates render as YYYY-MM-DD, and
+/// strings are quoted when they contain a comma, quote or newline.
+
+/// Parses CSV text whose header must match `schema`'s field names
+/// (unqualified comparison) in order.
+Result<Table> ReadCsv(const std::string& text, const Schema& schema);
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema);
+
+/// Renders a table as CSV text (header + rows).
+std::string WriteCsv(const Table& table);
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace nestra
+
+#endif  // NESTRA_STORAGE_CSV_IO_H_

@@ -1,0 +1,26 @@
+#include "storage/hash_index.h"
+
+#include "storage/io_sim.h"
+
+namespace nestra {
+
+HashIndex::HashIndex(const Table& table, int column) : column_(column) {
+  map_.reserve(static_cast<size_t>(table.num_rows()));
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    const Value& v = table.rows()[i][column];
+    if (v.is_null()) continue;
+    map_[v].push_back(i);
+  }
+}
+
+const std::vector<int64_t>& HashIndex::Lookup(const Value& key) const {
+  if (key.is_null()) return empty_;
+  if (IoSim* sim = IoSim::Get()) {
+    sim->IndexProbe(this, key.Hash(), num_keys());
+  }
+  const auto it = map_.find(key);
+  if (it == map_.end()) return empty_;
+  return it->second;
+}
+
+}  // namespace nestra

@@ -1,0 +1,41 @@
+#ifndef NESTRA_STORAGE_HASH_INDEX_H_
+#define NESTRA_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/table.h"
+
+namespace nestra {
+
+/// \brief Equality index over one column of a table: value -> row ids.
+///
+/// NULL key values are not indexed (an equality probe can never match them
+/// under SQL semantics). Used by the index-nested-loop baseline ("access by
+/// index rowid" in the paper's description of System A); the nested
+/// relational approach itself never requires indexes.
+class HashIndex {
+ public:
+  /// Builds the index over `table.rows()[i][column]` for all i.
+  HashIndex(const Table& table, int column);
+
+  /// Row ids whose key equals `key`; empty for NULL probes.
+  const std::vector<int64_t>& Lookup(const Value& key) const;
+
+  int column() const { return column_; }
+  int64_t num_keys() const { return static_cast<int64_t>(map_.size()); }
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+
+  int column_;
+  std::unordered_map<Value, std::vector<int64_t>, ValueHash> map_;
+  std::vector<int64_t> empty_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_STORAGE_HASH_INDEX_H_

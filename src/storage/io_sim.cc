@@ -1,0 +1,94 @@
+#include "storage/io_sim.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace nestra {
+
+IoSim* IoSim::current_ = nullptr;
+
+void IoSim::RegisterTable(const Table* table) {
+  if (region_base_.count(table) > 0) return;
+  region_base_[table] = next_page_base_;
+  const int64_t pages =
+      (table->num_rows() + config_.rows_per_page - 1) / config_.rows_per_page;
+  next_page_base_ += std::max<int64_t>(pages, 1);
+}
+
+int64_t IoSim::PoolCapacity() const {
+  return std::max<int64_t>(
+      config_.min_pool_pages,
+      static_cast<int64_t>(static_cast<double>(next_page_base_) *
+                           config_.pool_fraction));
+}
+
+void IoSim::Access(int64_t page, bool sequential) {
+  const auto it = in_pool_.find(page);
+  if (it != in_pool_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (sequential) {
+    ++seq_misses_;
+  } else {
+    ++random_misses_;
+  }
+  lru_.push_front(page);
+  in_pool_[page] = lru_.begin();
+  const int64_t capacity = PoolCapacity();
+  while (static_cast<int64_t>(lru_.size()) > capacity) {
+    in_pool_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void IoSim::SeqRow(const Table* table, int64_t row) {
+  const auto it = region_base_.find(table);
+  if (it == region_base_.end()) return;
+  Access(it->second + row / config_.rows_per_page, /*sequential=*/true);
+}
+
+void IoSim::RandomRow(const Table* table, int64_t row) {
+  const auto it = region_base_.find(table);
+  if (it == region_base_.end()) return;
+  Access(it->second + row / config_.rows_per_page, /*sequential=*/false);
+}
+
+void IoSim::IndexProbe(const void* index_id, size_t bucket,
+                       int64_t num_keys) {
+  auto it = region_base_.find(index_id);
+  if (it == region_base_.end()) {
+    // Lazily allocate an index region sized by its key count.
+    const int64_t pages =
+        std::max<int64_t>(1, num_keys / config_.keys_per_page);
+    region_base_[index_id] = next_page_base_;
+    next_page_base_ += pages;
+    it = region_base_.find(index_id);
+  }
+  const int64_t pages =
+      std::max<int64_t>(1, num_keys / config_.keys_per_page);
+  Access(it->second + static_cast<int64_t>(bucket % pages),
+         /*sequential=*/false);
+}
+
+void IoSim::Reset() {
+  lru_.clear();
+  in_pool_.clear();
+  random_misses_ = 0;
+  seq_misses_ = 0;
+  hits_ = 0;
+}
+
+std::string IoSim::ToString() const {
+  std::ostringstream oss;
+  oss << "IoSim{pages=" << next_page_base_ << ", pool=" << PoolCapacity()
+      << ", random_misses=" << random_misses_
+      << ", seq_misses=" << seq_misses_ << ", hits=" << hits_
+      << ", sim=" << SimMillis() << "ms}";
+  return oss.str();
+}
+
+}  // namespace nestra

@@ -1,0 +1,100 @@
+#include "storage/sorted_index.h"
+
+#include <algorithm>
+
+namespace nestra {
+
+SortedIndex::SortedIndex(const Table& table, int column) : column_(column) {
+  entries_.reserve(static_cast<size_t>(table.num_rows()));
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    const Value& v = table.rows()[i][column];
+    if (v.is_null()) continue;
+    entries_.push_back({v, i});
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              const int c = Value::TotalOrderCompare(a.value, b.value);
+              if (c != 0) return c < 0;
+              return a.row < b.row;
+            });
+}
+
+size_t SortedIndex::LowerBound(const Value& key) const {
+  size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Value::TotalOrderCompare(entries_[mid].value, key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t SortedIndex::UpperBound(const Value& key) const {
+  size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Value::TotalOrderCompare(entries_[mid].value, key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<int64_t> SortedIndex::Lookup(CmpOp op, const Value& key) const {
+  std::vector<int64_t> out;
+  if (key.is_null()) return out;  // NULL probes match nothing
+  size_t begin = 0;
+  size_t end = entries_.size();
+  switch (op) {
+    case CmpOp::kEq:
+      begin = LowerBound(key);
+      end = UpperBound(key);
+      break;
+    case CmpOp::kLt:
+      end = LowerBound(key);
+      break;
+    case CmpOp::kLe:
+      end = UpperBound(key);
+      break;
+    case CmpOp::kGt:
+      begin = UpperBound(key);
+      break;
+    case CmpOp::kGe:
+      begin = LowerBound(key);
+      break;
+    case CmpOp::kNe:
+      // Everything except the equal run; two contiguous slices.
+      out.reserve(entries_.size());
+      for (size_t i = 0; i < LowerBound(key); ++i) {
+        out.push_back(entries_[i].row);
+      }
+      for (size_t i = UpperBound(key); i < entries_.size(); ++i) {
+        out.push_back(entries_[i].row);
+      }
+      return out;
+  }
+  out.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) out.push_back(entries_[i].row);
+  return out;
+}
+
+std::vector<int64_t> SortedIndex::Range(const Value& lo, bool lo_inclusive,
+                                        const Value& hi,
+                                        bool hi_inclusive) const {
+  size_t begin = 0;
+  size_t end = entries_.size();
+  if (!lo.is_null()) begin = lo_inclusive ? LowerBound(lo) : UpperBound(lo);
+  if (!hi.is_null()) end = hi_inclusive ? UpperBound(hi) : LowerBound(hi);
+  std::vector<int64_t> out;
+  if (begin >= end) return out;
+  out.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) out.push_back(entries_[i].row);
+  return out;
+}
+
+}  // namespace nestra

@@ -1,0 +1,48 @@
+#ifndef NESTRA_STORAGE_SORTED_INDEX_H_
+#define NESTRA_STORAGE_SORTED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.h"
+
+namespace nestra {
+
+/// \brief Ordered index over one column: supports range probes
+/// (theta in {<, <=, >, >=, =}), modelling a B+-tree leaf scan.
+///
+/// NULL key values are excluded. Entries are (value, row id) sorted by value
+/// then row id.
+class SortedIndex {
+ public:
+  SortedIndex(const Table& table, int column);
+
+  /// Row ids r with table[r][column] theta `key` (theta != kNe; an
+  /// inequality probe would be a full scan and is rejected by returning all
+  /// non-null entries is NOT done — callers handle kNe themselves).
+  std::vector<int64_t> Lookup(CmpOp op, const Value& key) const;
+
+  /// Row ids with lo <= value <= hi (either bound optional via NULL Value).
+  std::vector<int64_t> Range(const Value& lo, bool lo_inclusive,
+                             const Value& hi, bool hi_inclusive) const;
+
+  int column() const { return column_; }
+  int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  struct Entry {
+    Value value;
+    int64_t row;
+  };
+
+  // Index of the first entry >= key (lower bound) / > key (upper bound).
+  size_t LowerBound(const Value& key) const;
+  size_t UpperBound(const Value& key) const;
+
+  int column_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_STORAGE_SORTED_INDEX_H_

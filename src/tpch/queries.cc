@@ -1,0 +1,65 @@
+#include "tpch/queries.h"
+
+#include <sstream>
+
+namespace nestra {
+
+std::string MakeQuery1(const std::string& date_lo,
+                       const std::string& date_hi) {
+  std::ostringstream q;
+  q << "select o_orderkey, o_orderpriority from orders "
+    << "where o_orderdate >= '" << date_lo << "' and o_orderdate < '"
+    << date_hi << "' and o_totalprice > all ("
+    << "select l_extendedprice from lineitem "
+    << "where l_orderkey = o_orderkey and l_commitdate < l_receiptdate "
+    << "and l_shipdate < l_commitdate)";
+  return q.str();
+}
+
+namespace {
+
+const char* OuterLinkSql(OuterLink link) {
+  return link == OuterLink::kAny ? "any" : "all";
+}
+
+const char* InnerLinkSql(InnerLink link) {
+  return link == InnerLink::kExists ? "exists" : "not exists";
+}
+
+}  // namespace
+
+std::string MakeQuery2(int64_t size_lo, int64_t size_hi, int64_t availqty_max,
+                       int64_t quantity, OuterLink outer, InnerLink inner) {
+  std::ostringstream q;
+  q << "select p_partkey, p_name from part "
+    << "where p_size >= " << size_lo << " and p_size <= " << size_hi
+    << " and p_retailprice < " << OuterLinkSql(outer) << " ("
+    << "select ps_supplycost from partsupp "
+    << "where ps_partkey = p_partkey and ps_availqty < " << availqty_max
+    << " and " << InnerLinkSql(inner) << " ("
+    << "select * from lineitem "
+    << "where ps_partkey = l_partkey and ps_suppkey = l_suppkey "
+    << "and l_quantity = " << quantity << "))";
+  return q.str();
+}
+
+std::string MakeQuery3(int64_t size_lo, int64_t size_hi, int64_t availqty_max,
+                       int64_t quantity, OuterLink outer, InnerLink inner,
+                       Query3Variant variant) {
+  const char* part_op = variant == Query3Variant::kVariantB ? "<>" : "=";
+  const char* supp_op = variant == Query3Variant::kVariantC ? "<>" : "=";
+  std::ostringstream q;
+  q << "select p_partkey, p_name from part "
+    << "where p_size >= " << size_lo << " and p_size <= " << size_hi
+    << " and p_retailprice < " << OuterLinkSql(outer) << " ("
+    << "select ps_supplycost from partsupp "
+    << "where ps_partkey = p_partkey and ps_availqty < " << availqty_max
+    << " and " << InnerLinkSql(inner) << " ("
+    << "select * from lineitem "
+    << "where p_partkey " << part_op << " l_partkey "
+    << "and ps_suppkey " << supp_op << " l_suppkey "
+    << "and l_quantity = " << quantity << "))";
+  return q.str();
+}
+
+}  // namespace nestra

@@ -1,0 +1,55 @@
+#ifndef NESTRA_TPCH_QUERIES_H_
+#define NESTRA_TPCH_QUERIES_H_
+
+#include <string>
+
+namespace nestra {
+
+/// \brief Builders for the paper's three experiment queries (Section 5.2),
+/// parameterized by the selectivity-controlling constants (the paper's X1,
+/// X2, Y, Z). Tests, benches and examples share these so the SQL under
+/// measurement is identical everywhere.
+
+/// Query 1: one-level ALL subquery over orders/lineitem.
+///   select o_orderkey, o_orderpriority from orders
+///   where o_orderdate >= X1 and o_orderdate < X2 and o_totalprice > all (
+///     select l_extendedprice from lineitem
+///     where l_orderkey = o_orderkey and l_commitdate < l_receiptdate
+///       and l_shipdate < l_commitdate)
+std::string MakeQuery1(const std::string& date_lo, const std::string& date_hi);
+
+/// Which operator links the first and second block of Query 2/3.
+enum class OuterLink { kAny, kAll };
+/// Which operator links the second and third block.
+enum class InnerLink { kExists, kNotExists };
+
+/// Query 2 (linear correlated): part/partsupp/lineitem.
+///   select p_partkey, p_name from part
+///   where p_size >= X1 and p_size <= X2 and p_retailprice < [any|all] (
+///     select ps_supplycost from partsupp
+///     where ps_partkey = p_partkey and ps_availqty < Y
+///       and [not] exists (
+///         select * from lineitem
+///         where ps_partkey = l_partkey and ps_suppkey = l_suppkey
+///           and l_quantity = Z))
+/// Query 2a = (kAny, kNotExists); Query 2b = (kAll, kNotExists).
+std::string MakeQuery2(int64_t size_lo, int64_t size_hi, int64_t availqty_max,
+                       int64_t quantity, OuterLink outer, InnerLink inner);
+
+/// Correlated-predicate variants of Query 3's third block (Section 5.2):
+///  kVariantA: p_partkey =  l_partkey and ps_suppkey =  l_suppkey
+///  kVariantB: p_partkey <> l_partkey and ps_suppkey =  l_suppkey
+///  kVariantC: p_partkey =  l_partkey and ps_suppkey <> l_suppkey
+enum class Query3Variant { kVariantA, kVariantB, kVariantC };
+
+/// Query 3: like Query 2 but the third block is correlated to BOTH outer
+/// blocks (p_partkey replaces ps_partkey), making it a general two-level
+/// nested query. 3a = (kAll, kExists); 3b = (kAll, kNotExists);
+/// 3c = (kAny, kExists).
+std::string MakeQuery3(int64_t size_lo, int64_t size_hi, int64_t availqty_max,
+                       int64_t quantity, OuterLink outer, InnerLink inner,
+                       Query3Variant variant);
+
+}  // namespace nestra
+
+#endif  // NESTRA_TPCH_QUERIES_H_

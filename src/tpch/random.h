@@ -1,0 +1,32 @@
+#ifndef NESTRA_TPCH_RANDOM_H_
+#define NESTRA_TPCH_RANDOM_H_
+
+#include <cstdint>
+
+namespace nestra {
+
+/// \brief Deterministic xoshiro256**-style PRNG for data generation.
+/// Identical seeds produce identical tables on every platform, which the
+/// experiment harness relies on.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_TPCH_RANDOM_H_

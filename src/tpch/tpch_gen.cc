@@ -1,0 +1,211 @@
+#include "tpch/tpch_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/date.h"
+#include "tpch/random.h"
+
+namespace nestra {
+
+namespace {
+
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+
+int64_t Scaled(int64_t base, double scale) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(
+                                  static_cast<double>(base) * scale)));
+}
+
+}  // namespace
+
+Status PopulateTpch(Catalog* catalog, const TpchConfig& config) {
+  Rng rng(config.seed);
+
+  const int64_t num_orders = Scaled(config.num_orders, config.scale);
+  const int64_t num_parts = Scaled(config.num_parts, config.scale);
+  const int64_t num_suppliers = Scaled(config.num_suppliers, config.scale);
+
+  int64_t date_lo, date_hi;
+  {
+    NESTRA_ASSIGN_OR_RETURN(date_lo, DaysFromCivil(1992, 1, 1));
+    NESTRA_ASSIGN_OR_RETURN(date_hi, DaysFromCivil(1998, 8, 2));
+  }
+
+  // --- orders ---
+  Table orders{Schema({
+      {"o_orderkey", TypeId::kInt64, /*nullable=*/false},
+      {"o_orderdate", TypeId::kDate, false},
+      {"o_totalprice", TypeId::kFloat64, false},
+      {"o_orderpriority", TypeId::kString, false},
+  })};
+  orders.Reserve(static_cast<size_t>(num_orders));
+  for (int64_t k = 1; k <= num_orders; ++k) {
+    Row r;
+    r.Append(Value::Int64(k));
+    r.Append(Value::Date(rng.UniformInt(date_lo, date_hi)));
+    r.Append(Value::Float64(std::round(
+                 rng.UniformDouble(10000.0, 500000.0) * 100.0) /
+             100.0));
+    r.Append(Value::String(kPriorities[rng.UniformInt(0, 4)]));
+    orders.AppendUnchecked(std::move(r));
+  }
+
+  // --- lineitem ---
+  Table lineitem{Schema({
+      {"l_rowid", TypeId::kInt64, false},
+      {"l_orderkey", TypeId::kInt64, false},
+      {"l_partkey", TypeId::kInt64, false},
+      {"l_suppkey", TypeId::kInt64, false},
+      {"l_quantity", TypeId::kInt64, false},
+      {"l_extendedprice", TypeId::kFloat64,
+       config.null_l_extendedprice > 0.0},
+      {"l_shipdate", TypeId::kDate, false},
+      {"l_commitdate", TypeId::kDate, false},
+      {"l_receiptdate", TypeId::kDate, false},
+  })};
+  int64_t rowid = 0;
+  for (int64_t ok = 1; ok <= num_orders; ++ok) {
+    const int64_t count = rng.UniformInt(1, config.max_lineitems_per_order);
+    for (int64_t i = 0; i < count; ++i) {
+      Row r;
+      r.Append(Value::Int64(++rowid));
+      r.Append(Value::Int64(ok));
+      const int64_t partkey = rng.UniformInt(1, num_parts);
+      r.Append(Value::Int64(partkey));
+      // TPC-H picks the supplier from the part's partsupp suppliers; doing
+      // the same keeps the Query 2/3 correlation (ps_suppkey = l_suppkey)
+      // selective but non-empty.
+      const int64_t si = rng.UniformInt(0, config.suppliers_per_part - 1);
+      const int64_t suppkey =
+          (partkey + si * (num_suppliers / config.suppliers_per_part + 1)) %
+              num_suppliers +
+          1;
+      r.Append(Value::Int64(suppkey));
+      r.Append(Value::Int64(rng.UniformInt(1, 50)));
+      if (rng.Bernoulli(config.null_l_extendedprice)) {
+        r.Append(Value::Null());
+      } else {
+        r.Append(Value::Float64(
+            std::round(rng.UniformDouble(900.0, 105000.0) * 100.0) / 100.0));
+      }
+      const int64_t ship = rng.UniformInt(date_lo, date_hi);
+      // commitdate / receiptdate within +/- 30 days of shipdate so the
+      // Query 1 inner conditions (l_shipdate < l_commitdate <
+      // l_receiptdate) have tunable, partial selectivity.
+      r.Append(Value::Date(ship));
+      r.Append(Value::Date(ship + rng.UniformInt(-30, 30)));
+      r.Append(Value::Date(ship + rng.UniformInt(-15, 45)));
+      lineitem.AppendUnchecked(std::move(r));
+    }
+  }
+
+  // --- part ---
+  Table part{Schema({
+      {"p_partkey", TypeId::kInt64, false},
+      {"p_name", TypeId::kString, false},
+      {"p_size", TypeId::kInt64, false},
+      {"p_retailprice", TypeId::kFloat64, false},
+  })};
+  part.Reserve(static_cast<size_t>(num_parts));
+  for (int64_t k = 1; k <= num_parts; ++k) {
+    Row r;
+    r.Append(Value::Int64(k));
+    r.Append(Value::String("part#" + std::to_string(k)));
+    r.Append(Value::Int64(rng.UniformInt(1, 50)));
+    r.Append(Value::Float64(
+        std::round(rng.UniformDouble(900.0, 2000.0) * 100.0) / 100.0));
+    part.AppendUnchecked(std::move(r));
+  }
+
+  // --- partsupp ---
+  Table partsupp{Schema({
+      {"ps_rowid", TypeId::kInt64, false},
+      {"ps_partkey", TypeId::kInt64, false},
+      {"ps_suppkey", TypeId::kInt64, false},
+      {"ps_availqty", TypeId::kInt64, false},
+      {"ps_supplycost", TypeId::kFloat64, config.null_ps_supplycost > 0.0},
+  })};
+  partsupp.Reserve(static_cast<size_t>(num_parts) *
+                   static_cast<size_t>(config.suppliers_per_part));
+  rowid = 0;
+  for (int64_t pk = 1; pk <= num_parts; ++pk) {
+    for (int si = 0; si < config.suppliers_per_part; ++si) {
+      Row r;
+      r.Append(Value::Int64(++rowid));
+      r.Append(Value::Int64(pk));
+      const int64_t suppkey =
+          (pk + si * (num_suppliers / config.suppliers_per_part + 1)) %
+              num_suppliers +
+          1;
+      r.Append(Value::Int64(suppkey));
+      r.Append(Value::Int64(rng.UniformInt(1, 9999)));
+      if (rng.Bernoulli(config.null_ps_supplycost)) {
+        r.Append(Value::Null());
+      } else {
+        r.Append(Value::Float64(
+            std::round(rng.UniformDouble(500.0, 1800.0) * 100.0) / 100.0));
+      }
+      partsupp.AppendUnchecked(std::move(r));
+    }
+  }
+
+  std::set<std::string> lineitem_nn, partsupp_nn;
+  if (config.declare_not_null) {
+    if (config.null_l_extendedprice == 0.0) {
+      lineitem_nn.insert("l_extendedprice");
+    }
+    if (config.null_ps_supplycost == 0.0) {
+      partsupp_nn.insert("ps_supplycost");
+    }
+  }
+  // Correlation/linking columns of TPC-H are NOT NULL by spec; declare them
+  // so the native optimizer's antijoin checks behave like System A's.
+  if (config.declare_not_null) {
+    lineitem_nn.insert({"l_orderkey", "l_partkey", "l_suppkey", "l_quantity"});
+    partsupp_nn.insert({"ps_partkey", "ps_suppkey", "ps_availqty"});
+  }
+
+  NESTRA_RETURN_NOT_OK(
+      catalog->RegisterTable("orders", std::move(orders), "o_orderkey",
+                             config.declare_not_null
+                                 ? std::set<std::string>{"o_orderdate",
+                                                         "o_totalprice"}
+                                 : std::set<std::string>{}));
+  NESTRA_RETURN_NOT_OK(catalog->RegisterTable("lineitem", std::move(lineitem),
+                                              "l_rowid",
+                                              std::move(lineitem_nn)));
+  NESTRA_RETURN_NOT_OK(
+      catalog->RegisterTable("part", std::move(part), "p_partkey",
+                             config.declare_not_null
+                                 ? std::set<std::string>{"p_size",
+                                                         "p_retailprice"}
+                                 : std::set<std::string>{}));
+  NESTRA_RETURN_NOT_OK(catalog->RegisterTable("partsupp", std::move(partsupp),
+                                              "ps_rowid",
+                                              std::move(partsupp_nn)));
+  return Status::OK();
+}
+
+Result<Value> ColumnQuantile(const Table& table, const std::string& column,
+                             double q) {
+  NESTRA_ASSIGN_OR_RETURN(int idx, table.schema().Resolve(column));
+  std::vector<Value> values;
+  values.reserve(static_cast<size_t>(table.num_rows()));
+  for (const Row& r : table.rows()) {
+    if (!r[idx].is_null()) values.push_back(r[idx]);
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("quantile of an all-NULL column");
+  }
+  std::sort(values.begin(), values.end(), [](const Value& a, const Value& b) {
+    return Value::TotalOrderCompare(a, b) < 0;
+  });
+  q = std::clamp(q, 0.0, 1.0);
+  const size_t pos = std::min(values.size() - 1,
+                              static_cast<size_t>(q * (values.size() - 1)));
+  return values[pos];
+}
+
+}  // namespace nestra

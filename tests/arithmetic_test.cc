@@ -1,0 +1,165 @@
+// Arithmetic expressions across the stack: Expr evaluation semantics, the
+// scalar grammar, and end-to-end behaviour inside WHERE / HAVING /
+// correlated predicates.
+
+#include <gtest/gtest.h>
+
+#include "baseline/nested_iteration.h"
+#include "nra/executor.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+using testing_util::RegisterPaperRelations;
+
+Schema TwoIntSchema() {
+  return Schema({{"x", TypeId::kInt64}, {"y", TypeId::kInt64}});
+}
+
+TEST(ArithmeticExprTest, IntegerOps) {
+  ExprPtr e = Arith(ArithOp::kAdd, Col("x"), Col("y"));
+  ASSERT_OK(e->Bind(TwoIntSchema()));
+  EXPECT_EQ(e->Eval(Row({I(2), I(3)})), I(5));
+
+  ExprPtr m = Arith(ArithOp::kMul, Col("x"), LitInt(4));
+  ASSERT_OK(m->Bind(TwoIntSchema()));
+  EXPECT_EQ(m->Eval(Row({I(3), I(0)})), I(12));
+
+  ExprPtr s = Arith(ArithOp::kSub, Col("x"), Col("y"));
+  ASSERT_OK(s->Bind(TwoIntSchema()));
+  EXPECT_EQ(s->Eval(Row({I(2), I(5)})), I(-3));
+}
+
+TEST(ArithmeticExprTest, DivisionAlwaysFloatAndNullOnZero) {
+  ExprPtr d = Arith(ArithOp::kDiv, Col("x"), Col("y"));
+  ASSERT_OK(d->Bind(TwoIntSchema()));
+  const Value v = d->Eval(Row({I(7), I(2)}));
+  ASSERT_TRUE(v.is_float());
+  EXPECT_DOUBLE_EQ(v.float64(), 3.5);
+  EXPECT_TRUE(d->Eval(Row({I(7), I(0)})).is_null());
+}
+
+TEST(ArithmeticExprTest, NullAndNonNumericPropagate) {
+  ExprPtr e = Arith(ArithOp::kAdd, Col("x"), Col("y"));
+  ASSERT_OK(e->Bind(TwoIntSchema()));
+  EXPECT_TRUE(e->Eval(Row({N(), I(1)})).is_null());
+  ExprPtr s = Arith(ArithOp::kAdd, LitString("a"), LitInt(1));
+  ASSERT_OK(s->Bind(TwoIntSchema()));
+  EXPECT_TRUE(s->Eval(Row({I(0), I(0)})).is_null());
+}
+
+TEST(ArithmeticExprTest, MixedTypesPromoteToFloat) {
+  ExprPtr e = Arith(ArithOp::kAdd, LitInt(1), LitFloat(0.5));
+  ASSERT_OK(e->Bind(TwoIntSchema()));
+  const Value v = e->Eval(Row({I(0), I(0)}));
+  ASSERT_TRUE(v.is_float());
+  EXPECT_DOUBLE_EQ(v.float64(), 1.5);
+}
+
+TEST(ArithmeticParserTest, PrecedenceAndParens) {
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel,
+                       ParseSelect("select a from t where a + 2 * 3 = 7"));
+  EXPECT_EQ(sel->where->lhs.ToString(), "(a + (2 * 3))");
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr paren,
+      ParseSelect("select a from t where a = (b + 1) * 2"));
+  EXPECT_EQ(paren->where->rhs.ToString(), "((b + 1) * 2)");
+}
+
+TEST(ArithmeticParserTest, UnaryMinus) {
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel,
+                       ParseSelect("select a from t where a > -5"));
+  EXPECT_EQ(sel->where->rhs.literal, Value::Int64(-5));
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr neg,
+                       ParseSelect("select a from t where -a < 0"));
+  EXPECT_EQ(neg->where->lhs.ToString(), "(0 - a)");
+}
+
+TEST(ArithmeticParserTest, RoundTrip) {
+  const char* sql = "SELECT a FROM t WHERE a * 2 + 1 >= b / 4 - 3";
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel, ParseSelect(sql));
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr again, ParseSelect(sel->ToString()));
+  EXPECT_EQ(again->ToString(), sel->ToString());
+}
+
+class ArithmeticEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterPaperRelations(&catalog_); }
+
+  Table Run(const std::string& sql) {
+    NraExecutor exec(catalog_);
+    Result<Table> r = exec.ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    return r.ok() ? std::move(r).ValueOrDie() : Table();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ArithmeticEndToEndTest, WhereClause) {
+  // r: (a,d) = (1,1),(2,2),(3,3),(null,4). a + d > 4 keeps a=3 (3+3=6);
+  // a=2: 4 not > 4; null propagates to UNKNOWN.
+  ExpectTablesEqual(MakeTable({"r.d"}, {{I(3)}}),
+                    Run("select d from r where a + d > 4"));
+}
+
+TEST_F(ArithmeticEndToEndTest, CorrelatedPredicateWithArithmetic) {
+  const char* sql =
+      "select d from r where exists (select * from s where s.e + 1 = r.b)";
+  // e+1 in {2,3,4,5}; b values 2,3,4 match; null b is UNKNOWN.
+  ExpectTablesEqual(MakeTable({"r.d"}, {{I(1)}, {I(2)}, {I(3)}}), Run(sql));
+  // The oracle agrees.
+  NestedIterationExecutor oracle(catalog_, {.use_indexes = false});
+  ASSERT_OK_AND_ASSIGN(Table expected, oracle.ExecuteSql(sql));
+  ExpectTablesEqual(expected, Run(sql));
+}
+
+TEST_F(ArithmeticEndToEndTest, HavingWithArithmeticOverAggregates) {
+  // Average via sum/count compared against a threshold.
+  const Table out = Run(
+      "select g from s group by g having sum(e) / count(e) >= 3.5");
+  // g=2: (1+2)/2 = 1.5; g=4: (3+4)/2 = 3.5.
+  ExpectTablesEqual(MakeTable({"s.g"}, {{I(4)}}), out);
+}
+
+TEST_F(ArithmeticEndToEndTest, DateArithmetic) {
+  // Dates are epoch days: d + 1 shifts by one day. Register a date table.
+  Table events{Schema({{"k", TypeId::kInt64, false},
+                       {"day", TypeId::kDate, true}})};
+  events.AppendUnchecked(Row({I(1), Value::Date(100)}));
+  events.AppendUnchecked(Row({I(2), Value::Date(200)}));
+  ASSERT_OK(catalog_.RegisterTable("events", std::move(events), "k"));
+  const Table out = Run("select k from events where day + 50 < 200");
+  ExpectTablesEqual(MakeTable({"events.k"}, {{I(1)}}), out);
+}
+
+TEST_F(ArithmeticEndToEndTest, PredicateStartingWithParenthesizedScalar) {
+  // '(' at condition level backtracks from the boolean reading to the
+  // scalar one.
+  ExpectTablesEqual(MakeTable({"r.d"}, {{I(3)}}),
+                    Run("select d from r where (a + d) * 1 > 4"));
+  ExpectTablesEqual(MakeTable({"r.d"}, {{I(1)}, {I(2)}}),
+                    Run("select d from r where (a = 1 or a = 2) and d < 9"));
+}
+
+TEST_F(ArithmeticEndToEndTest, BinderRejectsAggregateInWhere) {
+  EXPECT_FALSE(NraExecutor(catalog_)
+                   .ExecuteSql("select d from r where b > max(c) + 1")
+                   .ok());
+}
+
+TEST_F(ArithmeticEndToEndTest, ArithmeticLinkingSideRejected) {
+  EXPECT_FALSE(NraExecutor(catalog_)
+                   .ExecuteSql("select d from r where b + 1 in "
+                               "(select e from s)")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace nestra

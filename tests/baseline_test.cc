@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "baseline/count_rewrite.h"
+#include "baseline/native_optimizer.h"
+#include "baseline/nested_iteration.h"
+#include "baseline/unnest_semijoin.h"
+#include "plan/binder.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+using testing_util::RegisterPaperRelations;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterPaperRelations(&catalog_); }
+  Catalog catalog_;
+};
+
+TEST_F(BaselineTest, NestedIterationQueryQ) {
+  NestedIterationExecutor exec(catalog_);
+  NestedIterStats stats;
+  ASSERT_OK_AND_ASSIGN(Table out,
+                       exec.ExecuteSql(testing_util::kQueryQ, &stats));
+  ExpectTablesEqual(
+      MakeTable({"r.b", "r.c", "r.d"},
+                {{I(3), I(4), I(2)}, {I(4), I(5), I(3)}}),
+      out);
+  EXPECT_EQ(stats.outer_tuples, 2);  // r.a > 1 leaves r2, r3
+  EXPECT_GT(stats.subquery_evals, 0);
+}
+
+TEST_F(BaselineTest, NestedIterationWithAndWithoutIndexesAgree) {
+  NestedIterationExecutor with_idx(catalog_, {.use_indexes = true});
+  NestedIterationExecutor without_idx(catalog_, {.use_indexes = false});
+  const char* queries[] = {
+      testing_util::kQueryQ,
+      "select b from r where exists (select * from s where s.g = r.d)",
+      "select d from r where c >= all (select h from s where s.g = r.d)",
+      "select l from t where k not in (select h from s)",
+  };
+  for (const char* q : queries) {
+    NestedIterStats s1, s2;
+    ASSERT_OK_AND_ASSIGN(Table a, with_idx.ExecuteSql(q, &s1));
+    ASSERT_OK_AND_ASSIGN(Table b, without_idx.ExecuteSql(q, &s2));
+    EXPECT_TRUE(Table::BagEquals(a, b)) << q;
+  }
+  // The indexed run actually probes indexes on the equi-correlated queries.
+  NestedIterStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      Table out,
+      with_idx.ExecuteSql(
+          "select b from r where exists (select * from s where s.g = r.d)",
+          &stats));
+  EXPECT_GT(stats.index_probes, 0);
+}
+
+TEST_F(BaselineTest, BTreeProbeForInequalityCorrelation) {
+  // No equality correlation: the indexed nested iteration probes a B+-tree
+  // with the flipped comparison and must agree with the plain scan.
+  const char* queries[] = {
+      "select d from r where exists (select * from s where s.e < r.b)",
+      "select d from r where not exists (select * from s where s.e >= r.c)",
+      "select d from r where b > some (select e from s where s.e <= r.d)",
+  };
+  for (const char* q : queries) {
+    NestedIterationExecutor with_idx(catalog_, {.use_indexes = true});
+    NestedIterationExecutor without_idx(catalog_, {.use_indexes = false});
+    NestedIterStats stats;
+    ASSERT_OK_AND_ASSIGN(Table a, with_idx.ExecuteSql(q, &stats));
+    ASSERT_OK_AND_ASSIGN(Table b, without_idx.ExecuteSql(q));
+    EXPECT_TRUE(Table::BagEquals(a, b)) << q;
+    EXPECT_GT(stats.index_probes, 0) << q;  // the B+-tree path actually ran
+  }
+}
+
+TEST_F(BaselineTest, SemiAntiPositivePipeline) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind(
+          "select b from r where exists (select * from s where s.g = r.d)",
+          catalog_));
+  SemiAntiUnnester unnester(catalog_);
+  EXPECT_EQ(unnester.CheckApplicable(*root), "");
+  ASSERT_OK_AND_ASSIGN(Table out, unnester.Execute(*root));
+  ExpectTablesEqual(MakeTable({"r.b"}, {{I(3)}, {N()}}), out);
+}
+
+TEST_F(BaselineTest, SemiAntiNotExists) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select b from r where not exists "
+                   "(select * from s where s.g = r.d)",
+                   catalog_));
+  SemiAntiUnnester unnester(catalog_);
+  EXPECT_EQ(unnester.CheckApplicable(*root), "");
+  ASSERT_OK_AND_ASSIGN(Table out, unnester.Execute(*root));
+  ExpectTablesEqual(MakeTable({"r.b"}, {{I(2)}, {I(4)}}), out);
+}
+
+TEST_F(BaselineTest, AntijoinForAllRequiresNotNull) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind(
+          "select d from r where c >= all (select h from s where s.g = r.d)",
+          catalog_));
+  SemiAntiUnnester unnester(catalog_);
+  // s.h is nullable: System A refuses the antijoin.
+  EXPECT_NE(unnester.CheckApplicable(*root), "");
+  EXPECT_FALSE(unnester.Execute(*root).ok());
+
+  // Declaring NOT NULL (and on the linking side) flips the decision — and
+  // on THIS data the antijoin would give a wrong answer, which is exactly
+  // why the constraint is required; see null_semantics_test.cc.
+  ASSERT_OK(catalog_.AddNotNull("s", "h"));
+  ASSERT_OK(catalog_.AddNotNull("r", "c"));
+  EXPECT_EQ(unnester.CheckApplicable(*root), "");
+}
+
+TEST_F(BaselineTest, SemiAntiRejectsNonAdjacentCorrelation) {
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root,
+                       ParseAndBind(testing_util::kQueryQ, catalog_));
+  SemiAntiUnnester unnester(catalog_);
+  const std::string reason = unnester.CheckApplicable(*root);
+  EXPECT_NE(reason.find("non-adjacent"), std::string::npos) << reason;
+}
+
+TEST_F(BaselineTest, SemiAntiRejectsTreeQueries) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select b from r where "
+                   "exists (select * from s where s.g = r.d) and "
+                   "exists (select * from t where t.k = r.c)",
+                   catalog_));
+  SemiAntiUnnester unnester(catalog_);
+  EXPECT_NE(unnester.CheckApplicable(*root), "");
+}
+
+TEST_F(BaselineTest, NativeOptimizerChoices) {
+  // Positive one-level: pipeline.
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr positive,
+      ParseAndBind(
+          "select b from r where exists (select * from s where s.g = r.d)",
+          catalog_));
+  EXPECT_EQ(ChooseNativePlan(*positive, catalog_).kind,
+            NativePlanKind::kSemiAntiPipeline);
+
+  // ALL over a nullable column: nested iteration.
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr all_q,
+      ParseAndBind(
+          "select d from r where c >= all (select h from s where s.g = r.d)",
+          catalog_));
+  EXPECT_EQ(ChooseNativePlan(*all_q, catalog_).kind,
+            NativePlanKind::kNestedIteration);
+}
+
+TEST_F(BaselineTest, NativeMatchesOracleEverywhere) {
+  NestedIterationExecutor oracle(catalog_, {.use_indexes = false});
+  const char* queries[] = {
+      "select b from r where exists (select * from s where s.g = r.d)",
+      "select b from r where not exists (select * from s where s.g = r.d)",
+      "select d from r where d in (select g from s where g < 3)",
+      testing_util::kQueryQ,
+  };
+  for (const char* q : queries) {
+    ASSERT_OK_AND_ASSIGN(Table expected, oracle.ExecuteSql(q));
+    NativePlanChoice choice;
+    ASSERT_OK_AND_ASSIGN(Table actual,
+                         ExecuteNativeSql(q, catalog_, {}, &choice));
+    EXPECT_TRUE(Table::BagEquals(expected, actual))
+        << q << "\nplan: " << choice.explanation;
+  }
+}
+
+TEST_F(BaselineTest, AggRewriteApplicability) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr good,
+      ParseAndBind(
+          "select d from r where c >= all (select h from s where s.g = r.d)",
+          catalog_));
+  EXPECT_EQ(AggRewriteApplicable(*good), "");
+
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr eq_all,
+      ParseAndBind(
+          "select d from r where c = all (select h from s where s.g = r.d)",
+          catalog_));
+  EXPECT_NE(AggRewriteApplicable(*eq_all), "");
+
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr two_level,
+                       ParseAndBind(testing_util::kQueryQ, catalog_));
+  EXPECT_NE(AggRewriteApplicable(*two_level), "");
+}
+
+TEST_F(BaselineTest, AggRewriteCorrectWithoutNulls) {
+  // Restrict the subquery to non-null h values: rewrite agrees with oracle.
+  const char* q =
+      "select d from r where c >= all "
+      "(select h from s where s.g = r.d and h is not null)";
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root, ParseAndBind(q, catalog_));
+  ASSERT_OK_AND_ASSIGN(Table rewritten, ExecuteAggRewrite(*root, catalog_));
+  NestedIterationExecutor oracle(catalog_, {.use_indexes = false});
+  ASSERT_OK_AND_ASSIGN(Table expected, oracle.ExecuteSql(q));
+  ExpectTablesEqual(expected, rewritten);
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "plan/binder.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::RegisterPaperRelations;
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterPaperRelations(&catalog_); }
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, FlatQuery) {
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root,
+                       ParseAndBind("select b, c from r where a > 1",
+                                    catalog_));
+  EXPECT_EQ(root->id, 1);
+  EXPECT_TRUE(root->IsLeaf());
+  EXPECT_EQ(root->key_attr, "r.d");
+  ASSERT_EQ(root->select_list.size(), 2u);
+  EXPECT_EQ(root->select_list[0], "r.b");
+  ASSERT_NE(root->local_pred, nullptr);
+  EXPECT_TRUE(root->correlated_preds.empty());
+}
+
+TEST_F(BinderTest, QueryQStructure) {
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root,
+                       ParseAndBind(testing_util::kQueryQ, catalog_));
+  EXPECT_EQ(root->NumBlocks(), 3);
+  EXPECT_EQ(root->NestingDepth(), 2);
+  ASSERT_EQ(root->children.size(), 1u);
+  const QueryBlock& s = *root->children[0];
+  EXPECT_EQ(s.id, 2);
+  EXPECT_EQ(s.link_op, LinkOp::kNotIn);
+  EXPECT_EQ(s.linking_attr, "r.b");
+  EXPECT_EQ(s.linked_attr, "s.e");
+  EXPECT_EQ(s.key_attr, "s.i");
+  // Correlated to the root only.
+  ASSERT_EQ(s.correlated_block_ids.size(), 1u);
+  EXPECT_EQ(s.correlated_block_ids[0], 1);
+  ASSERT_EQ(s.children.size(), 1u);
+  const QueryBlock& t = *s.children[0];
+  EXPECT_EQ(t.id, 3);
+  EXPECT_EQ(t.link_op, LinkOp::kAll);
+  EXPECT_EQ(t.link_cmp, CmpOp::kGt);
+  EXPECT_EQ(t.linking_attr, "s.h");
+  EXPECT_EQ(t.linked_attr, "t.j");
+  // T is correlated to both R (t.k = r.c) and S (t.l <> s.i).
+  EXPECT_EQ(t.correlated_block_ids, (std::vector<int>{1, 2}));
+  EXPECT_EQ(t.correlated_preds.size(), 2u);
+  // Structure checks used by the planner.
+  EXPECT_TRUE(root->IsLinear());
+  EXPECT_FALSE(root->IsLinearCorrelated());
+  EXPECT_FALSE(root->AllLinksPositive());
+}
+
+TEST_F(BinderTest, ScopingInnermostFirst) {
+  // "i" resolves in the subquery's own scope (s.i), not an outer one.
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select b from r where exists "
+                   "(select * from s where i = d)",
+                   catalog_));
+  const QueryBlock& s = *root->children[0];
+  ASSERT_EQ(s.correlated_preds.size(), 1u);
+  EXPECT_EQ(s.correlated_preds[0]->ToString(), "s.i = r.d");
+}
+
+TEST_F(BinderTest, ExistsUsesKeyAsLinkedAttr) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select b from r where not exists "
+                   "(select * from s where s.g = r.d)",
+                   catalog_));
+  const QueryBlock& s = *root->children[0];
+  EXPECT_EQ(s.link_op, LinkOp::kNotExists);
+  EXPECT_EQ(s.linked_attr, "s.i");
+  EXPECT_TRUE(s.linking_attr.empty());
+}
+
+TEST_F(BinderTest, SelectStarExpands) {
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root,
+                       ParseAndBind("select * from t", catalog_));
+  EXPECT_EQ(root->select_list,
+            (std::vector<std::string>{"t.j", "t.k", "t.l"}));
+}
+
+TEST_F(BinderTest, Errors) {
+  EXPECT_FALSE(ParseAndBind("select b from missing", catalog_).ok());
+  EXPECT_FALSE(ParseAndBind("select zz from r", catalog_).ok());
+  // Subquery under OR is rejected.
+  EXPECT_FALSE(ParseAndBind("select b from r where a = 1 or "
+                            "b in (select e from s)",
+                            catalog_)
+                   .ok());
+  // Multi-column subquery select list for IN.
+  EXPECT_FALSE(
+      ParseAndBind("select b from r where b in (select e, f from s)",
+                   catalog_)
+          .ok());
+  // Duplicate alias.
+  EXPECT_FALSE(ParseAndBind("select b from r, r", catalog_).ok());
+  // Unresolvable correlation.
+  EXPECT_FALSE(ParseAndBind("select b from r where b in "
+                            "(select e from s where s.g = zz.q)",
+                            catalog_)
+                   .ok());
+}
+
+TEST_F(BinderTest, MissingPrimaryKeyRejected) {
+  Catalog cat;
+  ASSERT_OK(cat.RegisterTable(
+      "nopk", testing_util::MakeTable({"x"}, {{testing_util::I(1)}}), ""));
+  EXPECT_FALSE(ParseAndBind("select x from nopk", cat).ok());
+}
+
+TEST_F(BinderTest, LocalVsCorrelatedClassification) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select b from r where b in "
+                   "(select e from s where f = 5 and g = r.d and h > 2)",
+                   catalog_));
+  const QueryBlock& s = *root->children[0];
+  ASSERT_NE(s.local_pred, nullptr);
+  // f = 5 and h > 2 are local; g = r.d is correlated.
+  EXPECT_NE(s.local_pred->ToString().find("s.f = 5"), std::string::npos);
+  EXPECT_NE(s.local_pred->ToString().find("s.h > 2"), std::string::npos);
+  ASSERT_EQ(s.correlated_preds.size(), 1u);
+  EXPECT_EQ(s.correlated_preds[0]->ToString(), "s.g = r.d");
+}
+
+TEST_F(BinderTest, DateLiteralCoercion) {
+  Catalog cat;
+  Table t{Schema({{"k", TypeId::kInt64, false}, {"dt", TypeId::kDate, true}})};
+  t.AppendUnchecked(Row({Value::Int64(1), Value::Date(9000)}));
+  ASSERT_OK(cat.RegisterTable("events", std::move(t), "k"));
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select k from events where dt >= '1994-06-01'", cat));
+  // The literal must have become a date (int days), not a string.
+  const std::string s = root->local_pred->ToString();
+  EXPECT_EQ(s.find("1994-06"), std::string::npos) << s;
+}
+
+TEST_F(BinderTest, TreeQueryTwoChildren) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select b from r where "
+                   "b in (select e from s where s.g = r.d) and "
+                   "not exists (select * from t where t.k = r.c)",
+                   catalog_));
+  EXPECT_EQ(root->children.size(), 2u);
+  EXPECT_FALSE(root->IsLinear());
+  EXPECT_EQ(root->children[0]->link_op, LinkOp::kIn);
+  EXPECT_EQ(root->children[1]->link_op, LinkOp::kNotExists);
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "storage/btree_index.h"
+#include "tpch/random.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+
+TEST(BTreeTest, EmptyTree) {
+  BTreeIndex tree(4);
+  std::string why;
+  EXPECT_TRUE(tree.Validate(&why)) << why;
+  EXPECT_EQ(tree.num_keys(), 0);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Lookup(CmpOp::kEq, I(1)).empty());
+  EXPECT_TRUE(tree.Range(Value::Null(), true, Value::Null(), true).empty());
+}
+
+TEST(BTreeTest, BasicInsertAndLookup) {
+  BTreeIndex tree(4);
+  for (int64_t k : {5, 1, 9, 3, 7}) tree.Insert(I(k), k * 10);
+  std::string why;
+  ASSERT_TRUE(tree.Validate(&why)) << why;
+  EXPECT_EQ(tree.Lookup(CmpOp::kEq, I(3)), (std::vector<int64_t>{30}));
+  EXPECT_EQ(tree.Lookup(CmpOp::kLt, I(5)).size(), 2u);
+  EXPECT_EQ(tree.Lookup(CmpOp::kLe, I(5)).size(), 3u);
+  EXPECT_EQ(tree.Lookup(CmpOp::kGt, I(5)).size(), 2u);
+  EXPECT_EQ(tree.Lookup(CmpOp::kGe, I(5)).size(), 3u);
+  EXPECT_EQ(tree.Lookup(CmpOp::kNe, I(5)).size(), 4u);
+}
+
+TEST(BTreeTest, DuplicateKeysShareAnEntry) {
+  BTreeIndex tree(4);
+  tree.Insert(I(1), 100);
+  tree.Insert(I(1), 101);
+  tree.Insert(I(1), 102);
+  EXPECT_EQ(tree.num_keys(), 1);
+  EXPECT_EQ(tree.num_entries(), 3);
+  EXPECT_EQ(tree.Lookup(CmpOp::kEq, I(1)).size(), 3u);
+  std::string why;
+  EXPECT_TRUE(tree.Validate(&why)) << why;
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTreeIndex tree(3);  // tiny nodes force deep trees
+  for (int64_t k = 0; k < 200; ++k) tree.Insert(I(k), k);
+  EXPECT_GT(tree.height(), 3);
+  std::string why;
+  ASSERT_TRUE(tree.Validate(&why)) << why;
+  // Full ascending range enumerates everything in order.
+  const std::vector<int64_t> all =
+      tree.Range(Value::Null(), true, Value::Null(), true);
+  ASSERT_EQ(all.size(), 200u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], static_cast<int64_t>(i));
+  }
+}
+
+TEST(BTreeTest, NullKeysIgnored) {
+  const Table t = MakeTable({"k"}, {{I(1)}, {N()}, {I(2)}});
+  const BTreeIndex tree(t, 0, 4);
+  EXPECT_EQ(tree.num_entries(), 2);
+  EXPECT_TRUE(tree.Lookup(CmpOp::kEq, N()).empty());
+}
+
+TEST(BTreeTest, RangeBounds) {
+  BTreeIndex tree(4);
+  for (int64_t k = 1; k <= 10; ++k) tree.Insert(I(k), k);
+  EXPECT_EQ(tree.Range(I(3), true, I(7), true).size(), 5u);
+  EXPECT_EQ(tree.Range(I(3), false, I(7), false).size(), 3u);
+  EXPECT_EQ(tree.Range(I(3), true, I(3), true).size(), 1u);
+  EXPECT_EQ(tree.Range(I(11), true, Value::Null(), true).size(), 0u);
+  EXPECT_EQ(tree.Range(Value::Null(), true, I(0), true).size(), 0u);
+}
+
+class BTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreePropertyTest, AgreesWithReferenceMultimap) {
+  Rng rng(GetParam());
+  const int max_keys = static_cast<int>(rng.UniformInt(3, 16));
+  BTreeIndex tree(max_keys);
+  std::multimap<int64_t, int64_t> reference;
+
+  const int64_t inserts = rng.UniformInt(100, 800);
+  for (int64_t i = 0; i < inserts; ++i) {
+    const int64_t key = rng.UniformInt(-50, 50);
+    tree.Insert(I(key), i);
+    reference.emplace(key, i);
+  }
+  std::string why;
+  ASSERT_TRUE(tree.Validate(&why)) << why << " (max_keys " << max_keys << ")";
+  ASSERT_EQ(tree.num_entries(), static_cast<int64_t>(reference.size()));
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const int64_t probe = rng.UniformInt(-60, 60);
+    // Equality.
+    {
+      std::multiset<int64_t> expected;
+      auto [lo, hi] = reference.equal_range(probe);
+      for (auto it = lo; it != hi; ++it) expected.insert(it->second);
+      const std::vector<int64_t> got = tree.Lookup(CmpOp::kEq, I(probe));
+      EXPECT_EQ(std::multiset<int64_t>(got.begin(), got.end()), expected);
+    }
+    // Order probes.
+    for (const CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe,
+                           CmpOp::kNe}) {
+      std::multiset<int64_t> expected;
+      for (const auto& [k, v] : reference) {
+        if (IsTrue(Value::Apply(op, I(k), I(probe)))) expected.insert(v);
+      }
+      const std::vector<int64_t> got = tree.Lookup(op, I(probe));
+      EXPECT_EQ(std::multiset<int64_t>(got.begin(), got.end()), expected)
+          << "op " << CmpOpToString(op) << " probe " << probe;
+    }
+    // Random range.
+    {
+      int64_t a = rng.UniformInt(-60, 60);
+      int64_t b = rng.UniformInt(-60, 60);
+      if (a > b) std::swap(a, b);
+      const bool lo_inc = rng.Bernoulli(0.5);
+      const bool hi_inc = rng.Bernoulli(0.5);
+      std::multiset<int64_t> expected;
+      for (const auto& [k, v] : reference) {
+        const bool above = lo_inc ? k >= a : k > a;
+        const bool below = hi_inc ? k <= b : k < b;
+        if (above && below) expected.insert(v);
+      }
+      const std::vector<int64_t> got = tree.Range(I(a), lo_inc, I(b), hi_inc);
+      EXPECT_EQ(std::multiset<int64_t>(got.begin(), got.end()), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(BTreeTest, WorksOverStringsAndMixedTotalOrder) {
+  BTreeIndex tree(4);
+  tree.Insert(Value::String("beta"), 1);
+  tree.Insert(Value::String("alpha"), 2);
+  tree.Insert(Value::String("gamma"), 3);
+  std::string why;
+  ASSERT_TRUE(tree.Validate(&why)) << why;
+  EXPECT_EQ(tree.Lookup(CmpOp::kLt, Value::String("beta")),
+            (std::vector<int64_t>{2}));
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "nra/executor.h"
+#include "storage/catalog_io.h"
+#include "tpch/tpch_gen.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::RegisterPaperRelations;
+
+class CatalogIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/nestra_catalog_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(CatalogIoTest, RoundTripPaperRelations) {
+  Catalog original;
+  RegisterPaperRelations(&original);
+  ASSERT_OK(SaveCatalog(original, dir_));
+
+  Catalog loaded;
+  ASSERT_OK(LoadCatalog(dir_, &loaded));
+  EXPECT_EQ(loaded.TableNames(), original.TableNames());
+  for (const std::string& name : original.TableNames()) {
+    ASSERT_OK_AND_ASSIGN(const Table* a, original.GetTable(name));
+    ASSERT_OK_AND_ASSIGN(const Table* b, loaded.GetTable(name));
+    EXPECT_TRUE(a->schema().Equals(b->schema())) << name;
+    EXPECT_TRUE(Table::BagEquals(*a, *b)) << name;
+    ASSERT_OK_AND_ASSIGN(const TableMetadata* ma, original.GetMetadata(name));
+    ASSERT_OK_AND_ASSIGN(const TableMetadata* mb, loaded.GetMetadata(name));
+    EXPECT_EQ(ma->primary_key, mb->primary_key);
+    EXPECT_EQ(ma->not_null_columns, mb->not_null_columns);
+  }
+
+  // Queries behave identically on the reloaded catalog.
+  NraExecutor before(original);
+  NraExecutor after(loaded);
+  ASSERT_OK_AND_ASSIGN(Table r1, before.ExecuteSql(testing_util::kQueryQ));
+  ASSERT_OK_AND_ASSIGN(Table r2, after.ExecuteSql(testing_util::kQueryQ));
+  EXPECT_TRUE(Table::BagEquals(r1, r2));
+}
+
+TEST_F(CatalogIoTest, RoundTripTpchWithNullsAndConstraints) {
+  Catalog original;
+  TpchConfig config;
+  config.scale = 0.01;
+  config.null_l_extendedprice = 0.2;
+  config.declare_not_null = true;  // on partsupp etc.
+  ASSERT_OK(PopulateTpch(&original, config));
+  ASSERT_OK(SaveCatalog(original, dir_));
+
+  Catalog loaded;
+  ASSERT_OK(LoadCatalog(dir_, &loaded));
+  for (const std::string& name : original.TableNames()) {
+    ASSERT_OK_AND_ASSIGN(const Table* a, original.GetTable(name));
+    ASSERT_OK_AND_ASSIGN(const Table* b, loaded.GetTable(name));
+    EXPECT_TRUE(Table::BagEquals(*a, *b)) << name;
+  }
+  EXPECT_TRUE(loaded.IsNotNull("partsupp", "ps_supplycost"));
+  EXPECT_FALSE(loaded.IsNotNull("lineitem", "l_extendedprice"));
+}
+
+TEST_F(CatalogIoTest, LoadErrors) {
+  Catalog c;
+  EXPECT_FALSE(LoadCatalog(dir_ + "/missing", &c).ok());
+
+  // Corrupt manifest.
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream out(dir_ + "/manifest.nestra");
+    out << "table t\ncolumn a int64 null\n";  // no 'end'
+  }
+  EXPECT_FALSE(LoadCatalog(dir_, &c).ok());
+  {
+    std::ofstream out(dir_ + "/manifest.nestra");
+    out << "bogus directive\n";
+  }
+  EXPECT_FALSE(LoadCatalog(dir_, &c).ok());
+  {
+    std::ofstream out(dir_ + "/manifest.nestra");
+    out << "table t\ncolumn a wat null\nend\n";
+  }
+  EXPECT_FALSE(LoadCatalog(dir_, &c).ok());
+}
+
+TEST_F(CatalogIoTest, LoadIntoNonEmptyCatalogDetectsCollisions) {
+  Catalog original;
+  RegisterPaperRelations(&original);
+  ASSERT_OK(SaveCatalog(original, dir_));
+  Catalog loaded;
+  RegisterPaperRelations(&loaded);  // same names already present
+  EXPECT_FALSE(LoadCatalog(dir_, &loaded).ok());
+}
+
+}  // namespace
+}  // namespace nestra

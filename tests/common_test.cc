@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/table.h"
+#include "common/tribool.h"
+#include "common/value.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+
+// ---------- TriBool ----------
+
+TEST(TriBoolTest, KleeneAnd) {
+  EXPECT_EQ(And(TriBool::kTrue, TriBool::kTrue), TriBool::kTrue);
+  EXPECT_EQ(And(TriBool::kTrue, TriBool::kFalse), TriBool::kFalse);
+  EXPECT_EQ(And(TriBool::kTrue, TriBool::kUnknown), TriBool::kUnknown);
+  EXPECT_EQ(And(TriBool::kFalse, TriBool::kUnknown), TriBool::kFalse);
+  EXPECT_EQ(And(TriBool::kUnknown, TriBool::kUnknown), TriBool::kUnknown);
+}
+
+TEST(TriBoolTest, KleeneOr) {
+  EXPECT_EQ(Or(TriBool::kFalse, TriBool::kFalse), TriBool::kFalse);
+  EXPECT_EQ(Or(TriBool::kTrue, TriBool::kUnknown), TriBool::kTrue);
+  EXPECT_EQ(Or(TriBool::kFalse, TriBool::kUnknown), TriBool::kUnknown);
+  EXPECT_EQ(Or(TriBool::kUnknown, TriBool::kUnknown), TriBool::kUnknown);
+}
+
+TEST(TriBoolTest, KleeneNot) {
+  EXPECT_EQ(Not(TriBool::kTrue), TriBool::kFalse);
+  EXPECT_EQ(Not(TriBool::kFalse), TriBool::kTrue);
+  EXPECT_EQ(Not(TriBool::kUnknown), TriBool::kUnknown);
+}
+
+TEST(TriBoolTest, FilterSemantics) {
+  EXPECT_TRUE(IsTrue(TriBool::kTrue));
+  EXPECT_FALSE(IsTrue(TriBool::kUnknown));
+  EXPECT_FALSE(IsTrue(TriBool::kFalse));
+}
+
+// ---------- Value ----------
+
+TEST(ValueTest, NullComparisonsAreUnknown) {
+  EXPECT_EQ(Value::Apply(CmpOp::kEq, N(), I(1)), TriBool::kUnknown);
+  EXPECT_EQ(Value::Apply(CmpOp::kNe, I(1), N()), TriBool::kUnknown);
+  EXPECT_EQ(Value::Apply(CmpOp::kLt, N(), N()), TriBool::kUnknown);
+}
+
+TEST(ValueTest, IntComparisons) {
+  EXPECT_EQ(Value::Apply(CmpOp::kLt, I(1), I(2)), TriBool::kTrue);
+  EXPECT_EQ(Value::Apply(CmpOp::kGe, I(2), I(2)), TriBool::kTrue);
+  EXPECT_EQ(Value::Apply(CmpOp::kNe, I(2), I(2)), TriBool::kFalse);
+  EXPECT_EQ(Value::Apply(CmpOp::kGt, I(5), I(7)), TriBool::kFalse);
+}
+
+TEST(ValueTest, CrossTypeNumericComparison) {
+  EXPECT_EQ(Value::Apply(CmpOp::kEq, I(2), Value::Float64(2.0)),
+            TriBool::kTrue);
+  EXPECT_EQ(Value::Apply(CmpOp::kLt, I(2), Value::Float64(2.5)),
+            TriBool::kTrue);
+}
+
+TEST(ValueTest, StringVsNumericIsUnknown) {
+  EXPECT_EQ(Value::Apply(CmpOp::kEq, Value::String("x"), I(1)),
+            TriBool::kUnknown);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_EQ(Value::Apply(CmpOp::kLt, Value::String("abc"),
+                         Value::String("abd")),
+            TriBool::kTrue);
+  EXPECT_EQ(Value::Apply(CmpOp::kEq, Value::String("a"), Value::String("a")),
+            TriBool::kTrue);
+}
+
+TEST(ValueTest, TotalOrderNullsFirst) {
+  EXPECT_LT(Value::TotalOrderCompare(N(), I(-100)), 0);
+  EXPECT_EQ(Value::TotalOrderCompare(N(), N()), 0);
+  EXPECT_GT(Value::TotalOrderCompare(Value::String("a"), I(5)), 0);
+}
+
+TEST(ValueTest, DeepEqualityTreatsNullEqual) {
+  EXPECT_EQ(N(), N());
+  EXPECT_NE(N(), I(0));
+  EXPECT_NE(I(1), Value::Float64(1.0));  // deep equality is typed
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(I(42).Hash(), I(42).Hash());
+  EXPECT_EQ(N().Hash(), N().Hash());
+  EXPECT_EQ(Value::String("xy").Hash(), Value::String("xy").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(I(7).ToString(), "7");
+  EXPECT_EQ(N().ToString(), "null");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(CmpOpTest, FlipAndNegate) {
+  EXPECT_EQ(FlipCmpOp(CmpOp::kLt), CmpOp::kGt);
+  EXPECT_EQ(FlipCmpOp(CmpOp::kGe), CmpOp::kLe);
+  EXPECT_EQ(FlipCmpOp(CmpOp::kEq), CmpOp::kEq);
+  EXPECT_EQ(NegateCmpOp(CmpOp::kLt), CmpOp::kGe);
+  EXPECT_EQ(NegateCmpOp(CmpOp::kEq), CmpOp::kNe);
+  EXPECT_EQ(NegateCmpOp(CmpOp::kGe), CmpOp::kLt);
+}
+
+// ---------- Date ----------
+
+TEST(DateTest, RoundTrip) {
+  ASSERT_OK_AND_ASSIGN(int64_t days, ParseDate("1995-03-17"));
+  EXPECT_EQ(FormatDate(days), "1995-03-17");
+}
+
+TEST(DateTest, EpochIsZero) {
+  ASSERT_OK_AND_ASSIGN(int64_t days, ParseDate("1970-01-01"));
+  EXPECT_EQ(days, 0);
+}
+
+TEST(DateTest, KnownOffsets) {
+  ASSERT_OK_AND_ASSIGN(int64_t d1, ParseDate("1970-01-02"));
+  EXPECT_EQ(d1, 1);
+  ASSERT_OK_AND_ASSIGN(int64_t d2, ParseDate("1969-12-31"));
+  EXPECT_EQ(d2, -1);
+  ASSERT_OK_AND_ASSIGN(int64_t d3, ParseDate("2000-03-01"));
+  ASSERT_OK_AND_ASSIGN(int64_t d4, ParseDate("2000-02-29"));  // leap year
+  EXPECT_EQ(d3 - d4, 1);
+}
+
+TEST(DateTest, OrderingMatchesCalendar) {
+  ASSERT_OK_AND_ASSIGN(int64_t a, ParseDate("1992-01-01"));
+  ASSERT_OK_AND_ASSIGN(int64_t b, ParseDate("1998-08-02"));
+  EXPECT_LT(a, b);
+}
+
+TEST(DateTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseDate("hello").ok());
+  EXPECT_FALSE(ParseDate("1995-13-01").ok());
+  EXPECT_FALSE(ParseDate("1995-02-30").ok());
+  EXPECT_FALSE(ParseDate("2001-02-29").ok());  // not a leap year
+}
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, ResolveExact) {
+  Schema s({{"r.a", TypeId::kInt64}, {"r.b", TypeId::kInt64}});
+  ASSERT_OK_AND_ASSIGN(int idx, s.Resolve("r.b"));
+  EXPECT_EQ(idx, 1);
+}
+
+TEST(SchemaTest, ResolveUnqualifiedSuffix) {
+  Schema s({{"r.a", TypeId::kInt64}, {"s.b", TypeId::kInt64}});
+  ASSERT_OK_AND_ASSIGN(int idx, s.Resolve("b"));
+  EXPECT_EQ(idx, 1);
+}
+
+TEST(SchemaTest, AmbiguousUnqualified) {
+  Schema s({{"r.a", TypeId::kInt64}, {"s.a", TypeId::kInt64}});
+  const Result<int> r = s.Resolve("a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(SchemaTest, NotFound) {
+  Schema s({{"r.a", TypeId::kInt64}});
+  EXPECT_EQ(s.Resolve("zz").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.Resolve("x.a").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, QualifyReplacesExistingQualifier) {
+  Schema s({{"x.a", TypeId::kInt64}, {"b", TypeId::kString}});
+  const Schema q = s.Qualify("r");
+  EXPECT_EQ(q.field(0).name, "r.a");
+  EXPECT_EQ(q.field(1).name, "r.b");
+}
+
+TEST(SchemaTest, ConcatAndSelect) {
+  Schema a({{"x", TypeId::kInt64}});
+  Schema b({{"y", TypeId::kFloat64}, {"z", TypeId::kString}});
+  const Schema c = Schema::Concat(a, b);
+  EXPECT_EQ(c.num_fields(), 3);
+  const Schema sel = c.Select({2, 0});
+  EXPECT_EQ(sel.field(0).name, "z");
+  EXPECT_EQ(sel.field(1).name, "x");
+}
+
+// ---------- Row / Table ----------
+
+TEST(RowTest, ConcatSelectNulls) {
+  const Row a({I(1), I(2)});
+  const Row b({I(3)});
+  const Row c = Row::Concat(a, b);
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c[2], I(3));
+  const Row n = Row::Nulls(2);
+  EXPECT_TRUE(n[0].is_null());
+  EXPECT_EQ(c.Select({2, 0}), Row({I(3), I(1)}));
+}
+
+TEST(RowTest, CompareOnKeys) {
+  const Row a({I(1), I(9), I(3)});
+  const Row b({I(1), I(0), I(4)});
+  EXPECT_EQ(Row::CompareOn(a, b, {0}), 0);
+  EXPECT_GT(Row::CompareOn(a, b, {1}), 0);
+  EXPECT_LT(Row::CompareOn(a, b, {0, 2}), 0);
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table t{Schema({{"a", TypeId::kInt64}})};
+  EXPECT_OK(t.Append(Row({I(1)})));
+  EXPECT_FALSE(t.Append(Row({I(1), I(2)})).ok());
+}
+
+TEST(TableTest, BagEqualsIgnoresOrder) {
+  const Table a = MakeTable({"x"}, {{I(1)}, {I(2)}, {I(2)}});
+  const Table b = MakeTable({"x"}, {{I(2)}, {I(1)}, {I(2)}});
+  const Table c = MakeTable({"x"}, {{I(2)}, {I(1)}, {I(1)}});
+  EXPECT_TRUE(Table::BagEquals(a, b));
+  EXPECT_FALSE(Table::BagEquals(a, c));
+}
+
+TEST(TableTest, ProjectByName) {
+  const Table t = MakeTable({"r.a", "r.b"}, {{I(1), I(2)}});
+  ASSERT_OK_AND_ASSIGN(Table p, t.Project({"b"}));
+  EXPECT_EQ(p.schema().field(0).name, "r.b");
+  EXPECT_EQ(p.rows()[0][0], I(2));
+}
+
+TEST(TableTest, PrettyPrintTruncates) {
+  Table t = MakeTable({"x"}, {});
+  for (int i = 0; i < 100; ++i) t.AppendUnchecked(Row({I(i)}));
+  const std::string s = t.ToString(5);
+  EXPECT_NE(s.find("(95 more rows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/date.h"
+#include "storage/csv_io.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::I;
+using testing_util::N;
+
+Schema MixedSchema() {
+  return Schema({
+      {"id", TypeId::kInt64, false},
+      {"name", TypeId::kString, true},
+      {"price", TypeId::kFloat64, true},
+      {"day", TypeId::kDate, true},
+  });
+}
+
+TEST(CsvIoTest, RoundTripWithNullsQuotesAndDates) {
+  Table t{MixedSchema()};
+  t.AppendUnchecked(Row({I(1), Value::String("plain"), Value::Float64(1.5),
+                         Value::Date(*ParseDate("1995-03-17"))}));
+  t.AppendUnchecked(Row({I(2), Value::String("comma, quote\" and\nnewline"),
+                         N(), N()}));
+  t.AppendUnchecked(Row({I(3), N(), Value::Float64(-2.25),
+                         Value::Date(*ParseDate("1970-01-01"))}));
+
+  const std::string csv = WriteCsv(t);
+  ASSERT_OK_AND_ASSIGN(Table back, ReadCsv(csv, MixedSchema()));
+  EXPECT_TRUE(Table::BagEquals(t, back)) << csv;
+}
+
+TEST(CsvIoTest, ReadsBasicInput) {
+  const std::string csv =
+      "id,name,price,day\n"
+      "7,widget,3.5,1992-06-01\n"
+      "8,,,\n";
+  ASSERT_OK_AND_ASSIGN(Table t, ReadCsv(csv, MixedSchema()));
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.rows()[0][0], I(7));
+  EXPECT_EQ(t.rows()[0][1], Value::String("widget"));
+  EXPECT_EQ(t.rows()[0][3], Value::Date(*ParseDate("1992-06-01")));
+  EXPECT_TRUE(t.rows()[1][1].is_null());   // empty unquoted -> NULL
+  EXPECT_TRUE(t.rows()[1][2].is_null());
+}
+
+TEST(CsvIoTest, QuotedEmptyStringIsNotNull) {
+  const std::string csv = "id,name,price,day\n1,\"\",,\n";
+  ASSERT_OK_AND_ASSIGN(Table t, ReadCsv(csv, MixedSchema()));
+  ASSERT_FALSE(t.rows()[0][1].is_null());
+  EXPECT_EQ(t.rows()[0][1], Value::String(""));
+}
+
+TEST(CsvIoTest, HeaderValidation) {
+  EXPECT_FALSE(ReadCsv("id,nope,price,day\n", MixedSchema()).ok());
+  EXPECT_FALSE(ReadCsv("id,name\n", MixedSchema()).ok());
+  EXPECT_FALSE(ReadCsv("", MixedSchema()).ok());
+}
+
+TEST(CsvIoTest, QualifiedSchemaNamesMatchUnqualifiedHeader) {
+  const Schema qualified({{"t.id", TypeId::kInt64}});
+  ASSERT_OK_AND_ASSIGN(Table t, ReadCsv("id\n42\n", qualified));
+  EXPECT_EQ(t.rows()[0][0], I(42));
+}
+
+TEST(CsvIoTest, TypeErrors) {
+  EXPECT_FALSE(ReadCsv("id,name,price,day\nxx,a,1,1992-01-01\n",
+                       MixedSchema())
+                   .ok());
+  EXPECT_FALSE(ReadCsv("id,name,price,day\n1,a,zz,1992-01-01\n",
+                       MixedSchema())
+                   .ok());
+  EXPECT_FALSE(ReadCsv("id,name,price,day\n1,a,1,not-a-date\n",
+                       MixedSchema())
+                   .ok());
+}
+
+TEST(CsvIoTest, ArityErrors) {
+  EXPECT_FALSE(ReadCsv("id,name,price,day\n1,a\n", MixedSchema()).ok());
+}
+
+TEST(CsvIoTest, UnterminatedQuote) {
+  EXPECT_FALSE(ReadCsv("id,name,price,day\n1,\"oops,1,\n", MixedSchema()).ok());
+}
+
+TEST(CsvIoTest, FileRoundTrip) {
+  Table t{MixedSchema()};
+  t.AppendUnchecked(Row({I(1), Value::String("x"), N(), N()}));
+  const std::string path = ::testing::TempDir() + "/nestra_csv_test.csv";
+  ASSERT_OK(WriteCsvFile(t, path));
+  ASSERT_OK_AND_ASSIGN(Table back, ReadCsvFile(path, MixedSchema()));
+  EXPECT_TRUE(Table::BagEquals(t, back));
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, MissingFile) {
+  EXPECT_FALSE(ReadCsvFile("/no/such/file.csv", MixedSchema()).ok());
+}
+
+TEST(CsvIoTest, CrlfLineEndings) {
+  ASSERT_OK_AND_ASSIGN(
+      Table t, ReadCsv("id,name,price,day\r\n1,a,2.0,1993-01-01\r\n",
+                       MixedSchema()));
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+}  // namespace
+}  // namespace nestra

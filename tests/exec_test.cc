@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "exec/aggregate.h"
+#include "exec/distinct.h"
+#include "exec/filter.h"
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+
+TEST(ScanTest, QualifiesSchema) {
+  const Table t = MakeTable({"a"}, {{I(1)}, {I(2)}});
+  ScanNode scan(&t, "r");
+  EXPECT_EQ(scan.output_schema().field(0).name, "r.a");
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&scan));
+  EXPECT_EQ(out.num_rows(), 2);
+}
+
+TEST(FilterTest, UnknownFiltersOut) {
+  const Table t = MakeTable({"a"}, {{I(1)}, {N()}, {I(5)}});
+  auto scan = std::make_unique<ScanNode>(&t, "r");
+  FilterNode filter(std::move(scan), Cmp(CmpOp::kGt, Col("a"), LitInt(2)));
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&filter));
+  ExpectTablesEqual(MakeTable({"r.a"}, {{I(5)}}), out);
+}
+
+TEST(ProjectTest, ReorderAndRename) {
+  const Table t = MakeTable({"a", "b"}, {{I(1), I(2)}});
+  auto scan = std::make_unique<ScanNode>(&t, "r");
+  ProjectNode proj(std::move(scan), {"b", "a"}, {"x", "y"});
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&proj));
+  EXPECT_EQ(out.schema().field(0).name, "x");
+  EXPECT_EQ(out.rows()[0], Row({I(2), I(1)}));
+}
+
+TEST(SortTest, MultiKeyWithNullsFirst) {
+  const Table t = MakeTable({"a", "b"},
+                            {{I(2), I(1)}, {N(), I(9)}, {I(1), I(5)},
+                             {I(1), I(2)}});
+  auto scan = std::make_unique<ScanNode>(&t, "");
+  SortNode sort(std::move(scan), {{"a", true}, {"b", false}});
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&sort));
+  EXPECT_TRUE(out.rows()[0][0].is_null());
+  EXPECT_EQ(out.rows()[1], Row({I(1), I(5)}));
+  EXPECT_EQ(out.rows()[2], Row({I(1), I(2)}));
+  EXPECT_EQ(out.rows()[3], Row({I(2), I(1)}));
+}
+
+TEST(SortTest, DescendingPutsNullsLast) {
+  const Table t = MakeTable({"a"}, {{I(1)}, {N()}, {I(3)}});
+  auto scan = std::make_unique<ScanNode>(&t, "");
+  SortNode sort(std::move(scan), {{"a", false}});
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&sort));
+  EXPECT_EQ(out.rows()[0], Row({I(3)}));
+  EXPECT_TRUE(out.rows()[2][0].is_null());
+}
+
+TEST(DistinctTest, DeduplicatesWithNulls) {
+  const Table t =
+      MakeTable({"a"}, {{I(1)}, {N()}, {I(1)}, {N()}, {I(2)}});
+  auto scan = std::make_unique<ScanNode>(&t, "");
+  DistinctNode d(std::move(scan));
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&d));
+  EXPECT_EQ(out.num_rows(), 3);
+}
+
+TEST(AggregateTest, GroupByWithNullGroup) {
+  const Table t = MakeTable({"g", "v"}, {{I(1), I(10)},
+                                         {I(1), I(20)},
+                                         {N(), I(5)},
+                                         {N(), N()},
+                                         {I(2), N()}});
+  auto scan = std::make_unique<ScanNode>(&t, "");
+  AggregateNode agg(std::move(scan), {"g"},
+                    {{AggFunc::kCountStar, "", "cnt"},
+                     {AggFunc::kCount, "v", "cnt_v"},
+                     {AggFunc::kMax, "v", "max_v"},
+                     {AggFunc::kSum, "v", "sum_v"}});
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&agg));
+  ASSERT_EQ(out.num_rows(), 3);
+  // Sorted output: NULL group first.
+  EXPECT_EQ(out.rows()[0], Row({N(), I(2), I(1), I(5), I(5)}));
+  EXPECT_EQ(out.rows()[1], Row({I(1), I(2), I(2), I(20), I(30)}));
+  EXPECT_EQ(out.rows()[2], Row({I(2), I(1), I(0), N(), N()}));
+}
+
+TEST(AggregateTest, ScalarAggregateOverEmptyInput) {
+  const Table t = MakeTable({"v"}, {});
+  auto scan = std::make_unique<ScanNode>(&t, "");
+  AggregateNode agg(std::move(scan), {},
+                    {{AggFunc::kCountStar, "", "cnt"},
+                     {AggFunc::kMax, "v", "max_v"}});
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&agg));
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_EQ(out.rows()[0], Row({I(0), N()}));
+}
+
+TEST(AggregateTest, AvgIsFloat) {
+  const Table t = MakeTable({"v"}, {{I(1)}, {I(2)}});
+  auto scan = std::make_unique<ScanNode>(&t, "");
+  AggregateNode agg(std::move(scan), {}, {{AggFunc::kAvg, "v", "avg_v"}});
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&agg));
+  EXPECT_DOUBLE_EQ(out.rows()[0][0].float64(), 1.5);
+}
+
+TEST(AggregateTest, MinIgnoresNulls) {
+  const Table t = MakeTable({"v"}, {{N()}, {I(4)}, {I(2)}, {N()}});
+  auto scan = std::make_unique<ScanNode>(&t, "");
+  AggregateNode agg(std::move(scan), {}, {{AggFunc::kMin, "v", "m"}});
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&agg));
+  EXPECT_EQ(out.rows()[0][0], I(2));
+}
+
+TEST(TableSourceTest, Replays) {
+  TableSourceNode src(MakeTable({"a"}, {{I(1)}, {I(2)}}));
+  ASSERT_OK_AND_ASSIGN(Table out1, CollectTable(&src));
+  ASSERT_OK_AND_ASSIGN(Table out2, CollectTable(&src));  // reopen
+  EXPECT_EQ(out1.num_rows(), 2);
+  EXPECT_EQ(out2.num_rows(), 2);
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "nra/explain.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::RegisterPaperRelations;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterPaperRelations(&catalog_); }
+
+  std::string Explain(const std::string& sql,
+                      NraOptions options = NraOptions::Optimized()) {
+    Result<std::string> r = ExplainSql(sql, catalog_, options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : std::string();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ExplainTest, FlatQuery) {
+  const std::string plan = Explain("select b from r where a > 1");
+  EXPECT_NE(plan.find("flat query"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, QueryQUsesFusedChain) {
+  const std::string plan = Explain(testing_util::kQueryQ);
+  EXPECT_NE(plan.find("single-sort fused pipeline"), std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("r.b <> ALL {s.e} (strict)"), std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("s.h > ALL {t.j} (pseudo)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("nested iteration"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, OriginalModeUsesRecursivePath) {
+  const std::string plan =
+      Explain(testing_util::kQueryQ, NraOptions::Original());
+  EXPECT_NE(plan.find("recursive Algorithm 1"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("nest then select"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, VirtualCartesianProduct) {
+  const std::string plan =
+      Explain("select d from r where b > some (select e from s)");
+  EXPECT_NE(plan.find("virtual Cartesian product"), std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, PositiveRewriteReported) {
+  NraOptions opts = NraOptions::Optimized();
+  opts.rewrite_positive = true;
+  const std::string plan = Explain(
+      "select b from r where exists (select * from s where s.g = r.d)",
+      opts);
+  EXPECT_NE(plan.find("semijoin rewrite (4.2.5)"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, PushDownReported) {
+  NraOptions opts = NraOptions::Optimized();
+  opts.push_down_nest = true;
+  const std::string plan = Explain(
+      "select b from r where b not in (select e from s where s.g = r.d)",
+      opts);
+  EXPECT_NE(plan.find("nest pushed below join (4.2.4)"), std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, BottomUpReported) {
+  NraOptions opts = NraOptions::Optimized();
+  opts.bottom_up_linear = true;
+  const std::string plan = Explain(
+      "select b from r where b not in (select e from s where s.g = r.d)",
+      opts);
+  EXPECT_NE(plan.find("bottom-up linear-correlated pipeline"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, NativePlanReported) {
+  const std::string plan = Explain(
+      "select b from r where exists (select * from s where s.g = r.d)");
+  EXPECT_NE(plan.find("semijoin/antijoin pipeline"), std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, FinishDecorations) {
+  const std::string plan =
+      Explain("select distinct b from r order by b limit 2");
+  EXPECT_NE(plan.find("order-by"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("distinct"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("limit 2"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, InvalidSqlPropagates) {
+  EXPECT_FALSE(ExplainSql("select nope from r", catalog_).ok());
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::I;
+using testing_util::N;
+
+Schema TwoIntSchema() {
+  return Schema({{"r.a", TypeId::kInt64}, {"r.b", TypeId::kInt64}});
+}
+
+TEST(ExprTest, ColumnRefBindsAndEvaluates) {
+  ExprPtr e = Col("b");
+  ASSERT_OK(e->Bind(TwoIntSchema()));
+  EXPECT_EQ(e->Eval(Row({I(1), I(7)})), I(7));
+}
+
+TEST(ExprTest, ColumnRefBindFailure) {
+  ExprPtr e = Col("nope");
+  EXPECT_FALSE(e->Bind(TwoIntSchema()).ok());
+}
+
+TEST(ExprTest, ComparisonThreeValued) {
+  ExprPtr e = Cmp(CmpOp::kGt, Col("a"), Col("b"));
+  ASSERT_OK(e->Bind(TwoIntSchema()));
+  EXPECT_EQ(e->EvalBool(Row({I(3), I(2)})), TriBool::kTrue);
+  EXPECT_EQ(e->EvalBool(Row({I(2), I(3)})), TriBool::kFalse);
+  EXPECT_EQ(e->EvalBool(Row({N(), I(3)})), TriBool::kUnknown);
+}
+
+TEST(ExprTest, AndShortCircuitsOnFalse) {
+  // a > b AND a = null -> False when a <= b regardless of the Unknown.
+  ExprPtr e = MakeAnd([] {
+    std::vector<ExprPtr> v;
+    v.push_back(Cmp(CmpOp::kGt, Col("a"), Col("b")));
+    v.push_back(Cmp(CmpOp::kEq, Col("a"), Lit(N())));
+    return v;
+  }());
+  ASSERT_OK(e->Bind(TwoIntSchema()));
+  EXPECT_EQ(e->EvalBool(Row({I(1), I(2)})), TriBool::kFalse);
+  EXPECT_EQ(e->EvalBool(Row({I(3), I(2)})), TriBool::kUnknown);
+}
+
+TEST(ExprTest, OrKleene) {
+  std::vector<ExprPtr> v;
+  v.push_back(Cmp(CmpOp::kGt, Col("a"), Col("b")));
+  v.push_back(Cmp(CmpOp::kEq, Col("a"), Lit(N())));
+  ExprPtr e = MakeOr(std::move(v));
+  ASSERT_OK(e->Bind(TwoIntSchema()));
+  EXPECT_EQ(e->EvalBool(Row({I(3), I(2)})), TriBool::kTrue);
+  EXPECT_EQ(e->EvalBool(Row({I(1), I(2)})), TriBool::kUnknown);
+}
+
+TEST(ExprTest, NotUnknownStaysUnknown) {
+  ExprPtr e = MakeNot(Cmp(CmpOp::kEq, Col("a"), Lit(N())));
+  ASSERT_OK(e->Bind(TwoIntSchema()));
+  EXPECT_EQ(e->EvalBool(Row({I(1), I(1)})), TriBool::kUnknown);
+}
+
+TEST(ExprTest, IsNullIsTwoValued) {
+  ExprPtr e = IsNull(Col("a"));
+  ASSERT_OK(e->Bind(TwoIntSchema()));
+  EXPECT_EQ(e->EvalBool(Row({N(), I(1)})), TriBool::kTrue);
+  EXPECT_EQ(e->EvalBool(Row({I(1), I(1)})), TriBool::kFalse);
+  ExprPtr ne = IsNotNull(Col("a"));
+  ASSERT_OK(ne->Bind(TwoIntSchema()));
+  EXPECT_EQ(ne->EvalBool(Row({N(), I(1)})), TriBool::kFalse);
+}
+
+TEST(ExprTest, CloneIsDeepAndRebindable) {
+  ExprPtr e = Cmp(CmpOp::kLt, Col("a"), LitInt(5));
+  ExprPtr c = e->Clone();
+  ASSERT_OK(c->Bind(TwoIntSchema()));
+  EXPECT_EQ(c->EvalBool(Row({I(3), I(0)})), TriBool::kTrue);
+  // Original remains unbound and independent.
+  ASSERT_OK(e->Bind(TwoIntSchema()));
+}
+
+TEST(ExprTest, MakeAndFlattens) {
+  std::vector<ExprPtr> inner;
+  inner.push_back(IsNull(Col("a")));
+  inner.push_back(IsNull(Col("b")));
+  std::vector<ExprPtr> outer;
+  outer.push_back(MakeAnd(std::move(inner)));
+  outer.push_back(IsNotNull(Col("a")));
+  ExprPtr e = MakeAnd(std::move(outer));
+  const auto* a = dynamic_cast<const AndExpr*>(e.get());
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->children().size(), 3u);
+}
+
+TEST(ExprTest, EmptyAndIsTrueEmptyOrIsFalse) {
+  ExprPtr t = MakeAnd({});
+  ExprPtr f = MakeOr({});
+  ASSERT_OK(t->Bind(TwoIntSchema()));
+  ASSERT_OK(f->Bind(TwoIntSchema()));
+  EXPECT_EQ(t->EvalBool(Row({I(1), I(1)})), TriBool::kTrue);
+  EXPECT_EQ(f->EvalBool(Row({I(1), I(1)})), TriBool::kFalse);
+}
+
+TEST(EvaluatorTest, SplitConjunction) {
+  std::vector<ExprPtr> v;
+  v.push_back(IsNull(Col("a")));
+  v.push_back(IsNull(Col("b")));
+  v.push_back(IsNotNull(Col("a")));
+  ExprPtr e = MakeAnd(std::move(v));
+  const std::vector<ExprPtr> parts = SplitConjunction(std::move(e));
+  EXPECT_EQ(parts.size(), 3u);
+}
+
+TEST(EvaluatorTest, SplitNonAndYieldsSingle) {
+  const std::vector<ExprPtr> parts = SplitConjunction(IsNull(Col("a")));
+  EXPECT_EQ(parts.size(), 1u);
+}
+
+TEST(EvaluatorTest, ReferencesOnly) {
+  ExprPtr e = Cmp(CmpOp::kEq, Col("r.a"), Col("s.x"));
+  const Schema r({{"r.a", TypeId::kInt64}});
+  const Schema rs({{"r.a", TypeId::kInt64}, {"s.x", TypeId::kInt64}});
+  EXPECT_FALSE(ReferencesOnly(*e, r));
+  EXPECT_TRUE(ReferencesOnly(*e, rs));
+  EXPECT_TRUE(ReferencesAny(*e, r));
+}
+
+TEST(EvaluatorTest, DecomposeJoinCondition) {
+  const Schema left({{"r.a", TypeId::kInt64}, {"r.b", TypeId::kInt64}});
+  const Schema right({{"s.x", TypeId::kInt64}, {"s.y", TypeId::kInt64}});
+  std::vector<ExprPtr> conjuncts;
+  conjuncts.push_back(Eq(Col("r.a"), Col("s.x")));          // equi
+  conjuncts.push_back(Eq(Col("s.y"), Col("r.b")));          // equi, flipped
+  conjuncts.push_back(Cmp(CmpOp::kNe, Col("r.a"), Col("s.y")));  // residual
+  conjuncts.push_back(Eq(Col("r.a"), Col("r.b")));          // left-only
+  JoinCondition c =
+      DecomposeJoinCondition(std::move(conjuncts), left, right);
+  ASSERT_EQ(c.equi.size(), 2u);
+  EXPECT_EQ(c.equi[0].left, "r.a");
+  EXPECT_EQ(c.equi[0].right, "s.x");
+  EXPECT_EQ(c.equi[1].left, "r.b");
+  EXPECT_EQ(c.equi[1].right, "s.y");
+  EXPECT_TRUE(c.HasResidual());
+}
+
+TEST(EvaluatorTest, BoundPredicateNullIsAlwaysTrue) {
+  ASSERT_OK_AND_ASSIGN(BoundPredicate p,
+                       BoundPredicate::Make(nullptr, TwoIntSchema()));
+  EXPECT_TRUE(p.Matches(Row({N(), N()})));
+  EXPECT_TRUE(p.always_true());
+}
+
+}  // namespace
+}  // namespace nestra

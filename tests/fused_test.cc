@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "exec/sort.h"
+#include "nested/fused_nest_select.h"
+#include "nested/linking_selection.h"
+#include "nested/nest.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+
+// The Temp1 wide relation of the paper (see linking_selection_test.cc).
+Table Temp1() {
+  return MakeTable({"b", "c", "d", "e", "h", "i", "j", "l"},
+                   {
+                       {I(2), I(3), I(1), N(), N(), N(), N(), N()},
+                       {I(3), I(4), I(2), I(1), I(2), I(1), N(), I(2)},
+                       {I(3), I(4), I(2), I(2), I(7), I(2), I(5), I(1)},
+                       {I(4), I(5), I(3), N(), N(), N(), N(), N()},
+                       {N(), I(5), I(4), I(3), I(3), I(3), N(), N()},
+                       {N(), I(5), I(4), I(4), N(), I(4), N(), N()},
+                   });
+}
+
+Result<Table> RunFused(Table input, std::vector<FusedLevelSpec> levels) {
+  auto sort = std::make_unique<SortNode>(
+      std::make_unique<TableSourceNode>(std::move(input)),
+      [&] {
+        std::vector<SortKey> keys;
+        for (const std::string& a : levels.back().nesting_attrs) {
+          keys.push_back({a, true});
+        }
+        return keys;
+      }());
+  FusedNestSelectNode fused(std::move(sort), std::move(levels));
+  return CollectTable(&fused);
+}
+
+TEST(FusedTest, TwoLevelsMatchMaterializedPipelineOnPaperData) {
+  // Fused: single sort + one pass over both Query Q predicates.
+  FusedLevelSpec outer;
+  outer.nesting_attrs = {"b", "c", "d"};
+  outer.pred =
+      MakeLinkingPredicate(LinkOp::kNotIn, CmpOp::kEq, "b", "", "e", "i");
+  outer.mode = SelectionMode::kStrict;
+  FusedLevelSpec inner;
+  inner.nesting_attrs = {"b", "c", "d", "e", "h", "i"};
+  inner.pred =
+      MakeLinkingPredicate(LinkOp::kAll, CmpOp::kGt, "h", "", "j", "l");
+  inner.mode = SelectionMode::kPseudo;
+  ASSERT_OK_AND_ASSIGN(Table fused, RunFused(Temp1(), {outer, inner}));
+
+  ExpectTablesEqual(MakeTable({"b", "c", "d"},
+                              {
+                                  {I(2), I(3), I(1)},
+                                  {I(3), I(4), I(2)},
+                                  {I(4), I(5), I(3)},
+                              }),
+                    fused);
+}
+
+TEST(FusedTest, SingleLevelStrictMatchesLinkingSelect) {
+  const Table input = Temp1();
+  FusedLevelSpec level;
+  level.nesting_attrs = {"b", "c", "d", "e", "h", "i"};
+  level.pred =
+      MakeLinkingPredicate(LinkOp::kAll, CmpOp::kGt, "h", "", "j", "l");
+  level.mode = SelectionMode::kStrict;
+  ASSERT_OK_AND_ASSIGN(Table fused, RunFused(input, {level}));
+
+  ASSERT_OK_AND_ASSIGN(
+      NestedRelation nested,
+      Nest(input, {"b", "c", "d", "e", "h", "i"}, {"j", "l"}, "grp"));
+  ASSERT_OK_AND_ASSIGN(
+      Table materialized,
+      LinkingSelect(nested,
+                    MakeLinkingPredicate(LinkOp::kAll, CmpOp::kGt, "h", "grp",
+                                         "j", "l"),
+                    SelectionMode::kStrict));
+  ExpectTablesEqual(materialized, fused);
+}
+
+TEST(FusedTest, SingleLevelPseudoPadsOutput) {
+  const Table input = Temp1();
+  FusedLevelSpec level;
+  level.nesting_attrs = {"b", "c", "d", "e", "h", "i"};
+  level.pred =
+      MakeLinkingPredicate(LinkOp::kAll, CmpOp::kGt, "h", "", "j", "l");
+  level.mode = SelectionMode::kPseudo;
+  level.pad_attrs = {"e", "h", "i"};
+  ASSERT_OK_AND_ASSIGN(Table fused, RunFused(input, {level}));
+
+  ASSERT_OK_AND_ASSIGN(
+      NestedRelation nested,
+      Nest(input, {"b", "c", "d", "e", "h", "i"}, {"j", "l"}, "grp"));
+  ASSERT_OK_AND_ASSIGN(
+      Table materialized,
+      LinkingSelect(nested,
+                    MakeLinkingPredicate(LinkOp::kAll, CmpOp::kGt, "h", "grp",
+                                         "j", "l"),
+                    SelectionMode::kPseudo, {"e", "h", "i"}));
+  ExpectTablesEqual(materialized, fused);
+}
+
+TEST(FusedTest, EmptyInputYieldsEmptyOutput) {
+  Table input = MakeTable({"a", "b", "k"}, {});
+  FusedLevelSpec level;
+  level.nesting_attrs = {"a"};
+  level.pred =
+      MakeLinkingPredicate(LinkOp::kExists, CmpOp::kEq, "", "", "b", "k");
+  level.mode = SelectionMode::kStrict;
+  ASSERT_OK_AND_ASSIGN(Table out, RunFused(std::move(input), {level}));
+  EXPECT_EQ(out.num_rows(), 0);
+}
+
+TEST(FusedTest, ExistsAndNotExists) {
+  // Outer 1 has a real member, outer 2 only padding.
+  Table input = MakeTable({"a", "b", "k"}, {
+                                               {I(1), I(9), I(1)},
+                                               {I(2), N(), N()},
+                                           });
+  FusedLevelSpec exists;
+  exists.nesting_attrs = {"a"};
+  exists.pred =
+      MakeLinkingPredicate(LinkOp::kExists, CmpOp::kEq, "", "", "b", "k");
+  exists.mode = SelectionMode::kStrict;
+  ASSERT_OK_AND_ASSIGN(Table e, RunFused(input, {exists}));
+  ExpectTablesEqual(MakeTable({"a"}, {{I(1)}}), e);
+
+  FusedLevelSpec not_exists = exists;
+  not_exists.pred =
+      MakeLinkingPredicate(LinkOp::kNotExists, CmpOp::kEq, "", "", "b", "k");
+  ASSERT_OK_AND_ASSIGN(Table ne, RunFused(input, {not_exists}));
+  ExpectTablesEqual(MakeTable({"a"}, {{I(2)}}), ne);
+}
+
+TEST(FusedTest, GroupCountersTrackLevels) {
+  Table input = MakeTable({"a", "b", "k"}, {
+                                               {I(1), I(9), I(1)},
+                                               {I(1), I(8), I(2)},
+                                               {I(2), N(), N()},
+                                           });
+  auto sort = std::make_unique<SortNode>(
+      std::make_unique<TableSourceNode>(std::move(input)),
+      std::vector<SortKey>{{"a", true}});
+  FusedLevelSpec level;
+  level.nesting_attrs = {"a"};
+  level.pred =
+      MakeLinkingPredicate(LinkOp::kExists, CmpOp::kEq, "", "", "b", "k");
+  level.mode = SelectionMode::kStrict;
+  std::vector<FusedLevelSpec> levels{level};
+  FusedNestSelectNode fused(std::move(sort), std::move(levels));
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&fused));
+  EXPECT_EQ(out.num_rows(), 1);
+  ASSERT_EQ(fused.groups_closed().size(), 1u);
+  EXPECT_EQ(fused.groups_closed()[0], 2);
+}
+
+TEST(FusedTest, RejectsNonPrefixLevels) {
+  Table input = MakeTable({"a", "b", "c", "k"}, {{I(1), I(2), I(3), I(4)}});
+  FusedLevelSpec outer;
+  outer.nesting_attrs = {"a"};
+  outer.pred =
+      MakeLinkingPredicate(LinkOp::kExists, CmpOp::kEq, "", "", "b", "k");
+  FusedLevelSpec inner;
+  inner.nesting_attrs = {"b", "c"};  // does not contain "a"
+  inner.pred =
+      MakeLinkingPredicate(LinkOp::kExists, CmpOp::kEq, "", "", "b", "k");
+  auto sort = std::make_unique<SortNode>(
+      std::make_unique<TableSourceNode>(std::move(input)),
+      std::vector<SortKey>{{"b", true}, {"c", true}});
+  FusedNestSelectNode fused(std::move(sort), {outer, inner});
+  EXPECT_FALSE(fused.Open().ok());
+}
+
+}  // namespace
+}  // namespace nestra

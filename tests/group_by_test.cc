@@ -1,0 +1,179 @@
+// Top-level GROUP BY / HAVING / aggregate select lists — applied after the
+// WHERE phase, so they compose with every subquery evaluation strategy
+// (all executors share FinalizeRootOutput).
+
+#include <gtest/gtest.h>
+
+#include "baseline/native_optimizer.h"
+#include "baseline/nested_iteration.h"
+#include "nra/executor.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+using testing_util::RegisterPaperRelations;
+
+TEST(GroupByParserTest, ClauseOrder) {
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr sel,
+      ParseSelect("select g, count(*) from s where f = 5 group by g "
+                  "having count(*) > 1 order by g limit 10"));
+  ASSERT_EQ(sel->items.size(), 2u);
+  EXPECT_FALSE(sel->items[0].is_agg);
+  EXPECT_TRUE(sel->items[1].is_agg);
+  EXPECT_EQ(sel->group_by, (std::vector<std::string>{"g"}));
+  ASSERT_NE(sel->having, nullptr);
+  EXPECT_EQ(sel->having->kind, AstCond::Kind::kCompare);
+  EXPECT_TRUE(sel->having->lhs.is_agg);
+  EXPECT_EQ(sel->limit, 10);
+}
+
+TEST(GroupByParserTest, AggregatesOnlyInHavingNotWhere) {
+  // count(...) in WHERE parses as an unknown-table column reference and
+  // fails to bind, never as an aggregate.
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr sel,
+      ParseSelect("select g from s where f = 5 group by g"));
+  EXPECT_EQ(sel->having, nullptr);
+}
+
+TEST(GroupByParserTest, RoundTrip) {
+  const char* sql =
+      "SELECT g, max(h) FROM s GROUP BY g HAVING count(*) >= 2 ORDER BY g";
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel, ParseSelect(sql));
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr again, ParseSelect(sel->ToString()));
+  EXPECT_EQ(again->ToString(), sel->ToString());
+}
+
+class GroupByTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterPaperRelations(&catalog_); }
+
+  Table Run(const std::string& sql) {
+    NraExecutor exec(catalog_);
+    Result<Table> r = exec.ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    return r.ok() ? std::move(r).ValueOrDie() : Table();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(GroupByTest, BasicGrouping) {
+  // s: g=2 -> {e=1,e=2}, g=4 -> {e=3,e=4}.
+  const Table out = Run("select g, count(*), sum(e) from s group by g");
+  ExpectTablesEqual(
+      MakeTable({"s.g", "count(*)", "sum(s.e)"},
+                {{I(2), I(2), I(3)}, {I(4), I(2), I(7)}}),
+      out);
+}
+
+TEST_F(GroupByTest, AggregatesIgnoreNulls) {
+  // h values: g=2 -> {2,7}; g=4 -> {3,null}.
+  const Table out =
+      Run("select g, count(h), max(h), min(h) from s group by g");
+  ExpectTablesEqual(
+      MakeTable({"s.g", "count(s.h)", "max(s.h)", "min(s.h)"},
+                {{I(2), I(2), I(7), I(2)}, {I(4), I(1), I(3), I(3)}}),
+      out);
+}
+
+TEST_F(GroupByTest, NullsFormTheirOwnGroup) {
+  // r.b: {2, 3, 4, null} with r.a {1,2,3,null}.
+  const Table out = Run("select b, count(*) from r group by b");
+  EXPECT_EQ(out.num_rows(), 4);  // three values + the NULL group
+}
+
+TEST_F(GroupByTest, GlobalAggregateWithoutGroupBy) {
+  const Table out = Run("select count(*), max(h) from s");
+  ExpectTablesEqual(MakeTable({"count(*)", "max(s.h)"}, {{I(4), I(7)}}), out);
+}
+
+TEST_F(GroupByTest, GlobalAggregateOverEmptyInput) {
+  const Table out = Run("select count(*), max(h) from s where f = 99");
+  ExpectTablesEqual(MakeTable({"count(*)", "max(s.h)"}, {{I(0), N()}}), out);
+}
+
+TEST_F(GroupByTest, HavingFilters) {
+  const Table out =
+      Run("select g from s group by g having max(h) > 5");
+  ExpectTablesEqual(MakeTable({"s.g"}, {{I(2)}}), out);
+}
+
+TEST_F(GroupByTest, HavingWithHiddenAggregate) {
+  // The HAVING aggregate is not in the select list.
+  const Table out =
+      Run("select g from s group by g having count(h) < 2 and g is not null");
+  ExpectTablesEqual(MakeTable({"s.g"}, {{I(4)}}), out);
+}
+
+TEST_F(GroupByTest, GroupingComposesWithSubqueries) {
+  // Group the NOT EXISTS survivors of the paper data.
+  const char* sql =
+      "select c, count(*) from r "
+      "where not exists (select * from s where s.g = r.d) "
+      "group by c";
+  // NOT EXISTS keeps r1 (c=3) and r3 (c=5).
+  const Table out = Run(sql);
+  ExpectTablesEqual(
+      MakeTable({"r.c", "count(*)"}, {{I(3), I(1)}, {I(5), I(1)}}), out);
+
+  // And every strategy agrees (they share the finalization).
+  NestedIterationExecutor oracle(catalog_, {.use_indexes = false});
+  ASSERT_OK_AND_ASSIGN(Table oracle_out, oracle.ExecuteSql(sql));
+  ExpectTablesEqual(out, oracle_out);
+  ASSERT_OK_AND_ASSIGN(Table native, ExecuteNativeSql(sql, catalog_));
+  ExpectTablesEqual(out, native);
+}
+
+TEST_F(GroupByTest, OrderByGroupColumnAndLimit) {
+  const Table out =
+      Run("select g, count(*) from s group by g order by g desc limit 1");
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_EQ(out.rows()[0], Row({I(4), I(2)}));
+}
+
+TEST_F(GroupByTest, BinderErrors) {
+  // Non-grouped column in the select list.
+  EXPECT_FALSE(ParseAndBind("select e, count(*) from s group by g",
+                            catalog_)
+                   .ok());
+  // Non-grouped column in HAVING.
+  EXPECT_FALSE(
+      ParseAndBind("select g from s group by g having e > 1", catalog_).ok());
+  // GROUP BY in a subquery.
+  EXPECT_FALSE(ParseAndBind("select b from r where b in "
+                            "(select e from s group by e)",
+                            catalog_)
+                   .ok());
+  // Subquery in HAVING.
+  EXPECT_FALSE(ParseAndBind("select g from s group by g having "
+                            "exists (select * from t)",
+                            catalog_)
+                   .ok());
+  // SELECT * with GROUP BY.
+  EXPECT_FALSE(ParseAndBind("select * from s group by g", catalog_).ok());
+  // ORDER BY a non-grouping column.
+  EXPECT_FALSE(ParseAndBind("select g from s group by g order by e",
+                            catalog_)
+                   .ok());
+}
+
+TEST_F(GroupByTest, DuplicateAggregatesShareOneComputation) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select g, max(h) from s group by g having max(h) > 1",
+                   catalog_));
+  EXPECT_EQ(root->aggregates.size(), 1u);  // deduplicated
+  EXPECT_EQ(root->aggregates[0].output_name, "max(s.h)");
+}
+
+}  // namespace
+}  // namespace nestra

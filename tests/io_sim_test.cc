@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "baseline/nested_iteration.h"
+#include "exec/scan.h"
+#include "nra/executor.h"
+#include "storage/io_sim.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::I;
+using testing_util::MakeTable;
+
+// RAII guard: installs a simulator for the test and removes it after, so
+// other tests are unaffected.
+class SimGuard {
+ public:
+  explicit SimGuard(IoSimConfig config = {}) : sim_(config) {
+    IoSim::Install(&sim_);
+  }
+  ~SimGuard() { IoSim::Install(nullptr); }
+  IoSim* get() { return &sim_; }
+
+ private:
+  IoSim sim_;
+};
+
+Table BigTable(int64_t rows) {
+  Table t = MakeTable({"k", "v"}, {});
+  for (int64_t i = 0; i < rows; ++i) {
+    t.AppendUnchecked(Row({I(i), I(i % 7)}));
+  }
+  return t;
+}
+
+TEST(IoSimTest, UninstalledByDefault) { EXPECT_EQ(IoSim::Get(), nullptr); }
+
+TEST(IoSimTest, SequentialScanChargesOneMissPerPage) {
+  IoSimConfig config;
+  config.rows_per_page = 64;
+  config.pool_fraction = 1.0;  // everything fits; misses are cold only
+  SimGuard guard(config);
+  const Table t = BigTable(640);  // 10 pages
+  guard.get()->RegisterTable(&t);
+
+  ScanNode scan(&t, "");
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&scan));
+  EXPECT_EQ(out.num_rows(), 640);
+  EXPECT_EQ(guard.get()->seq_misses(), 10);
+  EXPECT_EQ(guard.get()->random_misses(), 0);
+  EXPECT_EQ(guard.get()->hits(), 630);  // 63 further rows per page
+}
+
+TEST(IoSimTest, RescanHitsWhenPoolLargeEnough) {
+  IoSimConfig config;
+  config.rows_per_page = 64;
+  config.pool_fraction = 1.0;
+  SimGuard guard(config);
+  const Table t = BigTable(640);
+  guard.get()->RegisterTable(&t);
+  ScanNode scan(&t, "");
+  ASSERT_OK(CollectTable(&scan).status());
+  const int64_t misses_cold = guard.get()->seq_misses();
+  ASSERT_OK(CollectTable(&scan).status());
+  EXPECT_EQ(guard.get()->seq_misses(), misses_cold);  // all hits second time
+}
+
+TEST(IoSimTest, SmallPoolEvictsUnderRescan) {
+  IoSimConfig config;
+  config.rows_per_page = 64;
+  config.pool_fraction = 0.2;  // 2 of 10 pages fit
+  config.min_pool_pages = 1;
+  SimGuard guard(config);
+  const Table t = BigTable(640);
+  guard.get()->RegisterTable(&t);
+  ScanNode scan(&t, "");
+  ASSERT_OK(CollectTable(&scan).status());
+  ASSERT_OK(CollectTable(&scan).status());
+  // LRU over a sequential cycle of 10 pages with capacity 2: every page
+  // access on the second scan misses again.
+  EXPECT_EQ(guard.get()->seq_misses(), 20);
+}
+
+TEST(IoSimTest, IndexProbesChargeRandomMisses) {
+  IoSimConfig config;
+  config.min_pool_pages = 1;
+  config.pool_fraction = 0.01;
+  SimGuard guard(config);
+  const Table t = BigTable(6400);
+  guard.get()->RegisterTable(&t);
+  const HashIndex index(t, 0);
+  for (int64_t k = 0; k < 100; ++k) {
+    (void)index.Lookup(I(k * 17 % 6400));
+  }
+  EXPECT_GT(guard.get()->random_misses(), 0);
+}
+
+TEST(IoSimTest, UnregisteredTablesAreFree) {
+  SimGuard guard;
+  const Table t = BigTable(640);  // NOT registered
+  ScanNode scan(&t, "");
+  ASSERT_OK(CollectTable(&scan).status());
+  EXPECT_EQ(guard.get()->seq_misses() + guard.get()->random_misses() +
+                guard.get()->hits(),
+            0);
+}
+
+TEST(IoSimTest, SimMillisUsesConfiguredCosts) {
+  IoSimConfig config;
+  config.random_miss_ms = 10.0;
+  config.seq_miss_ms = 1.0;
+  SimGuard guard(config);
+  const Table t = BigTable(64);
+  guard.get()->RegisterTable(&t);
+  guard.get()->SeqRow(&t, 0);     // one seq miss
+  guard.get()->RandomRow(&t, 0);  // hit (same page)
+  EXPECT_DOUBLE_EQ(guard.get()->SimMillis(), 1.0);
+  guard.get()->Reset();
+  guard.get()->RandomRow(&t, 0);  // cold again after reset
+  EXPECT_DOUBLE_EQ(guard.get()->SimMillis(), 10.0);
+}
+
+TEST(IoSimTest, ResultsUnaffectedBySimulation) {
+  // Accounting must never change answers.
+  Catalog catalog;
+  testing_util::RegisterPaperRelations(&catalog);
+
+  NraExecutor nra(catalog);
+  NestedIterationExecutor iter(catalog);
+  ASSERT_OK_AND_ASSIGN(Table nra_plain,
+                       nra.ExecuteSql(testing_util::kQueryQ));
+  ASSERT_OK_AND_ASSIGN(Table iter_plain,
+                       iter.ExecuteSql(testing_util::kQueryQ));
+  {
+    SimGuard guard;
+    for (const std::string& name : catalog.TableNames()) {
+      guard.get()->RegisterTable(*catalog.GetTable(name));
+    }
+    ASSERT_OK_AND_ASSIGN(Table nra_sim, nra.ExecuteSql(testing_util::kQueryQ));
+    ASSERT_OK_AND_ASSIGN(Table iter_sim,
+                         iter.ExecuteSql(testing_util::kQueryQ));
+    EXPECT_TRUE(Table::BagEquals(nra_plain, nra_sim));
+    EXPECT_TRUE(Table::BagEquals(iter_plain, iter_sim));
+    EXPECT_GT(guard.get()->seq_misses() + guard.get()->hits(), 0);
+  }
+}
+
+TEST(IoSimTest, ToStringMentionsCounters) {
+  SimGuard guard;
+  const std::string s = guard.get()->ToString();
+  EXPECT_NE(s.find("random_misses"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "exec/hash_join.h"
+#include "exec/index_join.h"
+#include "exec/nested_loop_join.h"
+#include "exec/scan.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+
+// Helper that builds the join over distinctly named columns.
+struct JoinFixture {
+  Table left = MakeTable({"l.k", "l.v"},
+                         {{I(1), I(10)}, {I(2), I(20)}, {N(), I(30)},
+                          {I(4), I(40)}});
+  Table right = MakeTable({"r.k", "r.w"},
+                          {{I(1), I(100)}, {I(1), I(101)}, {N(), I(102)},
+                           {I(4), I(103)}});
+
+  Result<Table> Run(JoinType type, ExprPtr residual = nullptr) {
+    auto l = std::make_unique<TableSourceNode>(left);
+    auto r = std::make_unique<TableSourceNode>(right);
+    HashJoinNode join(std::move(l), std::move(r), type, {{"l.k", "r.k"}},
+                      std::move(residual));
+    return CollectTable(&join);
+  }
+};
+
+TEST(HashJoinTest, InnerSkipsNullKeys) {
+  JoinFixture f;
+  ASSERT_OK_AND_ASSIGN(Table out, f.Run(JoinType::kInner));
+  // (1,1),(1,1),(4,4): 3 matches; NULL keys never match.
+  EXPECT_EQ(out.num_rows(), 3);
+}
+
+TEST(HashJoinTest, LeftOuterPadsNonMatching) {
+  JoinFixture f;
+  ASSERT_OK_AND_ASSIGN(Table out, f.Run(JoinType::kLeftOuter));
+  // 3 matches + padded rows for l.k=2 and l.k=NULL.
+  EXPECT_EQ(out.num_rows(), 5);
+  int padded = 0;
+  for (const Row& r : out.rows()) {
+    if (r[2].is_null() && r[3].is_null()) ++padded;
+  }
+  EXPECT_EQ(padded, 2);
+}
+
+TEST(HashJoinTest, LeftSemiEmitsEachLeftOnce) {
+  JoinFixture f;
+  ASSERT_OK_AND_ASSIGN(Table out, f.Run(JoinType::kLeftSemi));
+  ExpectTablesEqual(MakeTable({"l.k", "l.v"}, {{I(1), I(10)}, {I(4), I(40)}}),
+                    out);
+}
+
+TEST(HashJoinTest, LeftAntiKeepsNullKeyRows) {
+  JoinFixture f;
+  ASSERT_OK_AND_ASSIGN(Table out, f.Run(JoinType::kLeftAnti));
+  // The classical antijoin: UNKNOWN counts as "no match", so the NULL-key
+  // left row survives — the precise behaviour that makes antijoin != NOT IN.
+  ExpectTablesEqual(MakeTable({"l.k", "l.v"}, {{I(2), I(20)}, {N(), I(30)}}),
+                    out);
+}
+
+TEST(HashJoinTest, NullAwareAntiDropsEverythingWhenBuildHasNullKey) {
+  JoinFixture f;
+  // Build side contains a NULL key => NOT IN semantics: every probe row is
+  // UNKNOWN or matched, nothing survives.
+  ASSERT_OK_AND_ASSIGN(Table out, f.Run(JoinType::kLeftAntiNullAware));
+  EXPECT_EQ(out.num_rows(), 0);
+}
+
+TEST(HashJoinTest, NullAwareAntiWithoutBuildNulls) {
+  JoinFixture f;
+  f.right = MakeTable({"r.k", "r.w"}, {{I(1), I(100)}});
+  ASSERT_OK_AND_ASSIGN(Table out, f.Run(JoinType::kLeftAntiNullAware));
+  // l.k=2 and l.k=4 not in {1}: kept. l.k=NULL: UNKNOWN: dropped.
+  ExpectTablesEqual(MakeTable({"l.k", "l.v"}, {{I(2), I(20)}, {I(4), I(40)}}),
+                    out);
+}
+
+TEST(HashJoinTest, NullAwareAntiEmptyBuildKeepsAll) {
+  JoinFixture f;
+  f.right = MakeTable({"r.k", "r.w"}, {});
+  ASSERT_OK_AND_ASSIGN(Table out, f.Run(JoinType::kLeftAntiNullAware));
+  EXPECT_EQ(out.num_rows(), 4);  // NOT IN over the empty set is TRUE
+}
+
+TEST(HashJoinTest, ResidualPredicate) {
+  JoinFixture f;
+  ASSERT_OK_AND_ASSIGN(
+      Table out,
+      f.Run(JoinType::kInner, Cmp(CmpOp::kGt, Col("r.w"), LitInt(100))));
+  // Only (1,101) and (4,103) pass the residual.
+  EXPECT_EQ(out.num_rows(), 2);
+}
+
+TEST(HashJoinTest, NoEquiPairsIsCrossWithCondition) {
+  auto l = std::make_unique<TableSourceNode>(
+      MakeTable({"l.a"}, {{I(1)}, {I(5)}}));
+  auto r = std::make_unique<TableSourceNode>(
+      MakeTable({"r.b"}, {{I(3)}, {I(4)}}));
+  HashJoinNode join(std::move(l), std::move(r), JoinType::kInner, {},
+                    Cmp(CmpOp::kLt, Col("l.a"), Col("r.b")));
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&join));
+  EXPECT_EQ(out.num_rows(), 2);  // (1,3) and (1,4)
+}
+
+TEST(NestedLoopJoinTest, MatchesHashJoinOnEquality) {
+  JoinFixture f;
+  auto l = std::make_unique<TableSourceNode>(f.left);
+  auto r = std::make_unique<TableSourceNode>(f.right);
+  NestedLoopJoinNode nlj(std::move(l), std::move(r), JoinType::kLeftOuter,
+                         Eq(Col("l.k"), Col("r.k")));
+  ASSERT_OK_AND_ASSIGN(Table nlj_out, CollectTable(&nlj));
+  ASSERT_OK_AND_ASSIGN(Table hash_out, f.Run(JoinType::kLeftOuter));
+  EXPECT_TRUE(Table::BagEquals(nlj_out, hash_out));
+}
+
+TEST(NestedLoopJoinTest, CrossProductWithNullCondition) {
+  auto l = std::make_unique<TableSourceNode>(MakeTable({"a"}, {{I(1)}, {I(2)}}));
+  auto r = std::make_unique<TableSourceNode>(MakeTable({"b"}, {{I(3)}}));
+  NestedLoopJoinNode nlj(std::move(l), std::move(r), JoinType::kInner,
+                         nullptr);
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&nlj));
+  EXPECT_EQ(out.num_rows(), 2);
+}
+
+TEST(NestedLoopJoinTest, LeftOuterCrossPadsOnEmptyRight) {
+  auto l = std::make_unique<TableSourceNode>(MakeTable({"a"}, {{I(1)}}));
+  auto r = std::make_unique<TableSourceNode>(MakeTable({"b"}, {}));
+  NestedLoopJoinNode nlj(std::move(l), std::move(r), JoinType::kLeftOuter,
+                         nullptr);
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&nlj));
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_TRUE(out.rows()[0][1].is_null());
+}
+
+TEST(IndexJoinTest, SemiProbesIndex) {
+  const Table right = MakeTable({"k", "w"}, {{I(1), I(7)}, {I(2), I(8)}});
+  const HashIndex index(right, 0);
+  auto l = std::make_unique<TableSourceNode>(
+      MakeTable({"l.k"}, {{I(1)}, {I(3)}, {N()}}));
+  IndexJoinNode join(std::move(l), &right, "r", &index, "l.k",
+                     JoinType::kLeftSemi, nullptr);
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&join));
+  ExpectTablesEqual(MakeTable({"l.k"}, {{I(1)}}), out);
+  EXPECT_EQ(join.probe_count(), 3);
+}
+
+TEST(IndexJoinTest, LeftOuterWithResidual) {
+  const Table right = MakeTable({"k", "w"}, {{I(1), I(7)}, {I(1), I(9)}});
+  const HashIndex index(right, 0);
+  auto l = std::make_unique<TableSourceNode>(MakeTable({"l.k"}, {{I(1)}}));
+  IndexJoinNode join(std::move(l), &right, "r", &index, "l.k",
+                     JoinType::kLeftOuter,
+                     Cmp(CmpOp::kGt, Col("r.w"), LitInt(8)));
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&join));
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_EQ(out.rows()[0][2], I(9));
+}
+
+TEST(IndexJoinTest, AntiJoin) {
+  const Table right = MakeTable({"k"}, {{I(1)}});
+  const HashIndex index(right, 0);
+  auto l = std::make_unique<TableSourceNode>(
+      MakeTable({"l.k"}, {{I(1)}, {I(2)}}));
+  IndexJoinNode join(std::move(l), &right, "r", &index, "l.k",
+                     JoinType::kLeftAnti, nullptr);
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&join));
+  ExpectTablesEqual(MakeTable({"l.k"}, {{I(2)}}), out);
+}
+
+}  // namespace
+}  // namespace nestra

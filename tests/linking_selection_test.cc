@@ -1,0 +1,231 @@
+// Golden tests for the paper's Example 1 (Figures 1 and 2): the relations
+// R, S, T; Temp1 = the projected double left outer join; Temp2 = the nest;
+// Temp3 = the pseudo linking selection; Temp4 = the strict linking
+// selection; plus the second nesting level completing Query Q's predicates.
+
+#include <gtest/gtest.h>
+
+#include "exec/hash_join.h"
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "nested/linking_predicate.h"
+#include "nested/linking_selection.h"
+#include "nested/nest.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+using testing_util::RegisterPaperRelations;
+
+// Temp1(B,C,D,E,H,I,J,L), derived by hand from Figure 1:
+//  * R.D=S.G matches r2->(s1,s2) and r4->(s3,s4); r1, r3 get NULL padding;
+//  * T.K=R.C AND T.L<>S.I matches (r2,s1)->t2 and (r2,s2)->t1 only.
+Table Temp1() {
+  return MakeTable({"b", "c", "d", "e", "h", "i", "j", "l"},
+                   {
+                       {I(2), I(3), I(1), N(), N(), N(), N(), N()},
+                       {I(3), I(4), I(2), I(1), I(2), I(1), N(), I(2)},
+                       {I(3), I(4), I(2), I(2), I(7), I(2), I(5), I(1)},
+                       {I(4), I(5), I(3), N(), N(), N(), N(), N()},
+                       {N(), I(5), I(4), I(3), I(3), I(3), N(), N()},
+                       {N(), I(5), I(4), I(4), N(), I(4), N(), N()},
+                   });
+}
+
+LinkingPredicate InnerPred() {
+  // S.H > ALL {T.J}, emptiness via T.L (NOT the SQL NOT IN yet).
+  return MakeLinkingPredicate(LinkOp::kAll, CmpOp::kGt, "h", "grp", "j", "l");
+}
+
+LinkingPredicate OuterPred() {
+  // R.B NOT IN {S.E}  ==  R.B <> ALL {S.E}, emptiness via S.I.
+  return MakeLinkingPredicate(LinkOp::kNotIn, CmpOp::kEq, "b", "grp", "e",
+                              "i");
+}
+
+TEST(PaperExample, Temp1ViaOuterHashJoins) {
+  Catalog catalog;
+  RegisterPaperRelations(&catalog);
+  ASSERT_OK_AND_ASSIGN(const Table* r, catalog.GetTable("r"));
+  ASSERT_OK_AND_ASSIGN(const Table* s, catalog.GetTable("s"));
+  ASSERT_OK_AND_ASSIGN(const Table* t, catalog.GetTable("t"));
+
+  auto rs = std::make_unique<HashJoinNode>(
+      std::make_unique<ScanNode>(r, ""), std::make_unique<ScanNode>(s, ""),
+      JoinType::kLeftOuter, std::vector<EquiPair>{{"d", "g"}}, nullptr);
+  auto rst = std::make_unique<HashJoinNode>(
+      std::move(rs), std::make_unique<ScanNode>(t, ""), JoinType::kLeftOuter,
+      std::vector<EquiPair>{{"c", "k"}},
+      Cmp(CmpOp::kNe, Col("l"), Col("i")));
+  ProjectNode proj(std::move(rst),
+                   {"b", "c", "d", "e", "h", "i", "j", "l"});
+  ASSERT_OK_AND_ASSIGN(Table temp1, CollectTable(&proj));
+  ExpectTablesEqual(Temp1(), temp1);
+}
+
+TEST(PaperExample, Temp2NestStructure) {
+  ASSERT_OK_AND_ASSIGN(
+      NestedRelation temp2,
+      Nest(Temp1(), {"b", "c", "d", "e", "h", "i"}, {"j", "l"}, "grp"));
+  ASSERT_EQ(temp2.num_tuples(), 6);
+  // Every group has exactly one member here (r2's two S partners each match
+  // exactly one T row; everything else is padding).
+  for (const NestedTuple& t : temp2.tuples()) {
+    EXPECT_EQ(t.groups[0].size(), 1u);
+  }
+}
+
+TEST(PaperExample, Temp3PseudoSelection) {
+  ASSERT_OK_AND_ASSIGN(
+      NestedRelation temp2,
+      Nest(Temp1(), {"b", "c", "d", "e", "h", "i"}, {"j", "l"}, "grp"));
+  ASSERT_OK_AND_ASSIGN(
+      Table temp3,
+      LinkingSelect(temp2, InnerPred(), SelectionMode::kPseudo,
+                    {"e", "h", "i"}));
+  // Figure 2(b): the (3,4,2,1,2,1) tuple fails (2 > ALL {null} is UNKNOWN)
+  // and is kept with S attributes padded; the empty-group tuples pass
+  // because their T.L is NULL; (3,4,2,2,7,2) passes outright (7 > 5).
+  ExpectTablesEqual(MakeTable({"b", "c", "d", "e", "h", "i"},
+                              {
+                                  {I(2), I(3), I(1), N(), N(), N()},
+                                  {I(3), I(4), I(2), N(), N(), N()},
+                                  {I(3), I(4), I(2), I(2), I(7), I(2)},
+                                  {I(4), I(5), I(3), N(), N(), N()},
+                                  {N(), I(5), I(4), I(3), I(3), I(3)},
+                                  {N(), I(5), I(4), I(4), N(), I(4)},
+                              }),
+                    temp3);
+}
+
+TEST(PaperExample, Temp4StrictSelection) {
+  ASSERT_OK_AND_ASSIGN(
+      NestedRelation temp2,
+      Nest(Temp1(), {"b", "c", "d", "e", "h", "i"}, {"j", "l"}, "grp"));
+  ASSERT_OK_AND_ASSIGN(
+      Table temp4,
+      LinkingSelect(temp2, InnerPred(), SelectionMode::kStrict));
+  // Figure 2(c): the failing tuple is discarded outright.
+  ExpectTablesEqual(MakeTable({"b", "c", "d", "e", "h", "i"},
+                              {
+                                  {I(2), I(3), I(1), N(), N(), N()},
+                                  {I(3), I(4), I(2), I(2), I(7), I(2)},
+                                  {I(4), I(5), I(3), N(), N(), N()},
+                                  {N(), I(5), I(4), I(3), I(3), I(3)},
+                                  {N(), I(5), I(4), I(4), N(), I(4)},
+                              }),
+                    temp4);
+}
+
+TEST(PaperExample, SecondLevelCompletesQueryQPredicates) {
+  ASSERT_OK_AND_ASSIGN(
+      NestedRelation temp2,
+      Nest(Temp1(), {"b", "c", "d", "e", "h", "i"}, {"j", "l"}, "grp"));
+  ASSERT_OK_AND_ASSIGN(
+      Table temp3,
+      LinkingSelect(temp2, InnerPred(), SelectionMode::kPseudo,
+                    {"e", "h", "i"}));
+  ASSERT_OK_AND_ASSIGN(NestedRelation nested2,
+                       Nest(temp3, {"b", "c", "d"}, {"e", "i"}, "grp"));
+  ASSERT_OK_AND_ASSIGN(
+      Table result,
+      LinkingSelect(nested2, OuterPred(), SelectionMode::kStrict));
+  // (2,3,1): empty set -> TRUE. (3,4,2): {2} and 3<>2 -> TRUE.
+  // (4,5,3): empty -> TRUE. (null,5,4): null <> 3 UNKNOWN -> dropped.
+  ExpectTablesEqual(MakeTable({"b", "c", "d"},
+                              {
+                                  {I(2), I(3), I(1)},
+                                  {I(3), I(4), I(2)},
+                                  {I(4), I(5), I(3)},
+                              }),
+                    result);
+}
+
+// ------- LinkingAccumulator unit semantics -------
+
+TEST(LinkingAccumulatorTest, AllOverEmptyIsTrue) {
+  LinkingAccumulator acc(
+      MakeLinkingPredicate(LinkOp::kAll, CmpOp::kGt, "a", "g", "b", "k"));
+  acc.Reset(I(5));
+  EXPECT_EQ(acc.Result(), TriBool::kTrue);
+}
+
+TEST(LinkingAccumulatorTest, SomeOverEmptyIsFalse) {
+  LinkingAccumulator acc(
+      MakeLinkingPredicate(LinkOp::kSome, CmpOp::kGt, "a", "g", "b", "k"));
+  acc.Reset(I(5));
+  EXPECT_EQ(acc.Result(), TriBool::kFalse);
+}
+
+TEST(LinkingAccumulatorTest, PaperNullExample) {
+  // 5 > ALL {2, 3, 4, null} is UNKNOWN (Section 2's running example).
+  LinkingAccumulator acc(
+      MakeLinkingPredicate(LinkOp::kAll, CmpOp::kGt, "a", "g", "b", "k"));
+  acc.Reset(I(5));
+  acc.Add(I(1), I(2));
+  acc.Add(I(2), I(3));
+  acc.Add(I(3), I(4));
+  acc.Add(I(4), N());
+  EXPECT_EQ(acc.Result(), TriBool::kUnknown);
+}
+
+TEST(LinkingAccumulatorTest, NullKeyMembersDoNotCount) {
+  LinkingAccumulator acc(
+      MakeLinkingPredicate(LinkOp::kNotExists, CmpOp::kEq, "", "g", "b", "k"));
+  acc.Reset(N());
+  acc.Add(N(), I(1));  // padding member
+  EXPECT_EQ(acc.Result(), TriBool::kTrue);
+  acc.Add(I(7), I(1));  // real member
+  EXPECT_EQ(acc.Result(), TriBool::kFalse);
+}
+
+TEST(LinkingAccumulatorTest, DecidedShortCircuits) {
+  LinkingAccumulator all(
+      MakeLinkingPredicate(LinkOp::kAll, CmpOp::kGt, "a", "g", "b", "k"));
+  all.Reset(I(5));
+  all.Add(I(1), I(9));  // 5 > 9 false
+  EXPECT_TRUE(all.Decided());
+  EXPECT_EQ(all.Result(), TriBool::kFalse);
+
+  LinkingAccumulator some(
+      MakeLinkingPredicate(LinkOp::kIn, CmpOp::kEq, "a", "g", "b", "k"));
+  some.Reset(I(5));
+  some.Add(I(1), I(5));
+  EXPECT_TRUE(some.Decided());
+  EXPECT_EQ(some.Result(), TriBool::kTrue);
+}
+
+TEST(LinkingAccumulatorTest, InWithNullsIsUnknownNotFalse) {
+  // 5 IN {1, null}: unknown (not false) — matters for NOT IN.
+  LinkingAccumulator acc(
+      MakeLinkingPredicate(LinkOp::kIn, CmpOp::kEq, "a", "g", "b", "k"));
+  acc.Reset(I(5));
+  acc.Add(I(1), I(1));
+  acc.Add(I(2), N());
+  EXPECT_EQ(acc.Result(), TriBool::kUnknown);
+}
+
+TEST(LinkingSelectionTest, StrictDropsUnknown) {
+  // One tuple whose predicate is UNKNOWN: strict drops, pseudo pads.
+  const Table flat = MakeTable({"a", "b", "k"}, {{I(5), N(), I(1)}});
+  ASSERT_OK_AND_ASSIGN(NestedRelation nested,
+                       Nest(flat, {"a"}, {"b", "k"}, "grp"));
+  const LinkingPredicate pred =
+      MakeLinkingPredicate(LinkOp::kAll, CmpOp::kGt, "a", "grp", "b", "k");
+  ASSERT_OK_AND_ASSIGN(Table strict,
+                       LinkingSelect(nested, pred, SelectionMode::kStrict));
+  EXPECT_EQ(strict.num_rows(), 0);
+  ASSERT_OK_AND_ASSIGN(
+      Table pseudo,
+      LinkingSelect(nested, pred, SelectionMode::kPseudo, {"a"}));
+  ASSERT_EQ(pseudo.num_rows(), 1);
+  EXPECT_TRUE(pseudo.rows()[0][0].is_null());
+}
+
+}  // namespace
+}  // namespace nestra

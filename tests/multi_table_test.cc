@@ -1,0 +1,129 @@
+// Blocks whose FROM clause names several tables: the block-local join is
+// part of T_i = sigma_i(R_i) and everything else (linking, correlation,
+// emptiness detection via the FIRST table's key) must keep working.
+
+#include <gtest/gtest.h>
+
+#include "baseline/native_optimizer.h"
+#include "baseline/nested_iteration.h"
+#include "nra/executor.h"
+#include "plan/binder.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+
+class MultiTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // customers(ck, region) / accounts(ak, owner_ck, balance) /
+    // flags(fk, f_ck, level)
+    ASSERT_OK(catalog_.RegisterTable(
+        "customers",
+        MakeTable({"ck", "region"},
+                  {{I(1), I(10)}, {I(2), I(10)}, {I(3), I(20)}, {I(4), N()}}),
+        "ck"));
+    ASSERT_OK(catalog_.RegisterTable(
+        "accounts",
+        MakeTable({"ak", "owner_ck", "balance"}, {{I(1), I(1), I(100)},
+                                                  {I(2), I(1), I(250)},
+                                                  {I(3), I(2), N()},
+                                                  {I(4), I(3), I(50)}}),
+        "ak"));
+    ASSERT_OK(catalog_.RegisterTable(
+        "flags",
+        MakeTable({"fk", "f_ck", "level"},
+                  {{I(1), I(1), I(7)}, {I(2), I(3), I(2)}, {I(3), I(9), I(5)}}),
+        "fk"));
+  }
+
+  void CheckAgainstOracle(const std::string& sql) {
+    NestedIterationExecutor oracle(catalog_, {.use_indexes = false});
+    ASSERT_OK_AND_ASSIGN(Table expected, oracle.ExecuteSql(sql));
+    for (const NraOptions& opts :
+         {NraOptions::Original(), NraOptions::Optimized()}) {
+      NraExecutor exec(catalog_, opts);
+      ASSERT_OK_AND_ASSIGN(Table actual, exec.ExecuteSql(sql));
+      EXPECT_TRUE(Table::BagEquals(expected, actual))
+          << sql << "\n"
+          << opts.ToString() << "\nexpected:\n"
+          << expected.ToString() << "actual:\n"
+          << actual.ToString();
+    }
+    ASSERT_OK_AND_ASSIGN(Table native, ExecuteNativeSql(sql, catalog_));
+    EXPECT_TRUE(Table::BagEquals(expected, native)) << sql;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(MultiTableTest, RootJoinTwoTables) {
+  // Plain join in the outer block.
+  NraExecutor exec(catalog_);
+  ASSERT_OK_AND_ASSIGN(
+      Table out,
+      exec.ExecuteSql("select ck, balance from customers, accounts "
+                      "where owner_ck = ck and balance > 80"));
+  ExpectTablesEqual(MakeTable({"customers.ck", "accounts.balance"},
+                              {{I(1), I(100)}, {I(1), I(250)}}),
+                    out);
+}
+
+TEST_F(MultiTableTest, RootJoinWithSubquery) {
+  CheckAgainstOracle(
+      "select ck, ak from customers, accounts "
+      "where owner_ck = ck and "
+      "not exists (select * from flags where f_ck = ck)");
+}
+
+TEST_F(MultiTableTest, SubqueryWithTwoTables) {
+  // The subquery block joins accounts and flags internally; its key is the
+  // FIRST table's PK (accounts.ak).
+  CheckAgainstOracle(
+      "select ck from customers where region > all ("
+      "  select level from accounts, flags "
+      "  where f_ck = owner_ck and owner_ck = ck)");
+}
+
+TEST_F(MultiTableTest, SubqueryTwoTablesPositive) {
+  CheckAgainstOracle(
+      "select ck from customers where ck in ("
+      "  select owner_ck from accounts, flags "
+      "  where f_ck = owner_ck and level > 1)");
+}
+
+TEST_F(MultiTableTest, TwoLevelWithMultiTableMiddleBlock) {
+  CheckAgainstOracle(
+      "select ck from customers where region >= some ("
+      "  select level from flags, accounts "
+      "  where f_ck = owner_ck and owner_ck = ck and "
+      "        balance > all (select ak from accounts a2 "
+      "                       where a2.owner_ck = f_ck))");
+}
+
+TEST_F(MultiTableTest, CartesianInsideBlock) {
+  // No join predicate between the block's tables: a true (block-local)
+  // Cartesian product.
+  CheckAgainstOracle(
+      "select ck from customers where exists ("
+      "  select * from accounts, flags where owner_ck = ck)");
+}
+
+TEST_F(MultiTableTest, BinderQualifiesBothTables) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select ck from customers c, accounts a "
+                   "where a.owner_ck = c.ck",
+                   catalog_));
+  EXPECT_EQ(root->tables.size(), 2u);
+  EXPECT_EQ(root->key_attr, "c.ck");  // first table's PK
+  EXPECT_EQ(root->attributes.size(), 5u);
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "nested/nest.h"
+#include "nested/unnest.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+
+Table Flat() {
+  return MakeTable({"g", "h", "x", "y"}, {
+                                             {I(1), I(1), I(10), I(1)},
+                                             {I(1), I(1), I(20), I(2)},
+                                             {I(2), I(5), I(30), I(3)},
+                                             {N(), I(7), I(40), I(4)},
+                                             {N(), I(7), N(), N()},
+                                         });
+}
+
+TEST(NestTest, SortAndHashAgree) {
+  ASSERT_OK_AND_ASSIGN(NestedRelation by_sort,
+                       Nest(Flat(), {"g", "h"}, {"x", "y"}, "grp",
+                            NestMethod::kSort));
+  ASSERT_OK_AND_ASSIGN(NestedRelation by_hash,
+                       Nest(Flat(), {"g", "h"}, {"x", "y"}, "grp",
+                            NestMethod::kHash));
+  EXPECT_TRUE(NestedRelation::BagEquals(by_sort, by_hash));
+}
+
+TEST(NestTest, GroupsAndImplicitProjection) {
+  ASSERT_OK_AND_ASSIGN(
+      NestedRelation out,
+      Nest(Flat(), {"g"}, {"x"}, "grp", NestMethod::kSort));
+  // Groups: NULL, 1, 2 (NULL keys group together under deep equality).
+  ASSERT_EQ(out.num_tuples(), 3);
+  EXPECT_EQ(out.schema().atoms().num_fields(), 1);  // implicit projection
+  EXPECT_EQ(out.schema().depth(), 1);
+  // Sorted nest: NULL group first.
+  EXPECT_TRUE(out.tuples()[0].atoms[0].is_null());
+  EXPECT_EQ(out.tuples()[0].groups[0].size(), 2u);
+  EXPECT_EQ(out.tuples()[1].atoms[0], I(1));
+  EXPECT_EQ(out.tuples()[1].groups[0].size(), 2u);
+  EXPECT_EQ(out.tuples()[2].groups[0].size(), 1u);
+}
+
+TEST(NestTest, DisjointnessEnforced) {
+  EXPECT_FALSE(Nest(Flat(), {"g"}, {"g", "x"}, "grp").ok());
+}
+
+TEST(NestTest, UnknownAttrRejected) {
+  EXPECT_FALSE(Nest(Flat(), {"zz"}, {"x"}, "grp").ok());
+}
+
+TEST(NestTest, ConsecutiveNestsDeepen) {
+  // υ_{g},{h} after υ_{g,h},{x} gives a two-level relation (§4.2.1).
+  ASSERT_OK_AND_ASSIGN(NestedRelation level1,
+                       Nest(Flat(), {"g", "h"}, {"x"}, "inner"));
+  ASSERT_OK_AND_ASSIGN(NestedRelation level2,
+                       Nest(level1, {"g"}, {"h"}, "outer"));
+  EXPECT_EQ(level2.schema().depth(), 2);
+  // g=1 tuple: one (h=1) member that itself holds two x members.
+  const NestedTuple* g1 = nullptr;
+  for (const NestedTuple& t : level2.tuples()) {
+    if (t.atoms[0] == I(1)) g1 = &t;
+  }
+  ASSERT_NE(g1, nullptr);
+  ASSERT_EQ(g1->groups[0].size(), 1u);
+  EXPECT_EQ(g1->groups[0][0].atoms[0], I(1));            // h value
+  EXPECT_EQ(g1->groups[0][0].groups[0].size(), 2u);      // two x members
+}
+
+TEST(UnnestTest, InverseOfNestModuloEmptyGroups) {
+  const Table flat = Flat();
+  ASSERT_OK_AND_ASSIGN(NestedRelation nested,
+                       Nest(flat, {"g", "h"}, {"x", "y"}, "grp"));
+  ASSERT_OK_AND_ASSIGN(NestedRelation un, Unnest(nested, "grp"));
+  ASSERT_OK_AND_ASSIGN(Table back, un.ToTable());
+  EXPECT_TRUE(Table::BagEquals(flat, back));
+}
+
+TEST(UnnestTest, EmptyGroupTuplesDisappear) {
+  auto member = std::make_shared<NestedSchema>(
+      Schema({{"x", TypeId::kInt64}}));
+  auto schema = std::make_shared<NestedSchema>(
+      Schema({{"g", TypeId::kInt64}}));
+  schema->AddGroup("grp", member);
+  NestedRelation rel(schema);
+  NestedTuple with_member{Row({I(1)}), {{NestedTuple{Row({I(9)}), {}}}}};
+  NestedTuple empty{Row({I(2)}), {{}}};
+  rel.tuples().push_back(with_member);
+  rel.tuples().push_back(empty);
+  ASSERT_OK_AND_ASSIGN(NestedRelation un, Unnest(rel, "grp"));
+  EXPECT_EQ(un.num_tuples(), 1);
+}
+
+TEST(UnnestTest, UnknownGroupRejected) {
+  ASSERT_OK_AND_ASSIGN(NestedRelation nested,
+                       Nest(Flat(), {"g"}, {"x"}, "grp"));
+  EXPECT_FALSE(Unnest(nested, "other").ok());
+}
+
+TEST(NestedRelationTest, FromToTableRoundTrip) {
+  const Table flat = Flat();
+  const NestedRelation rel = NestedRelation::FromTable(flat);
+  EXPECT_EQ(rel.schema().depth(), 0);
+  ASSERT_OK_AND_ASSIGN(Table back, rel.ToTable());
+  EXPECT_TRUE(Table::BagEquals(flat, back));
+}
+
+TEST(NestedRelationTest, ToTableRejectsNested) {
+  ASSERT_OK_AND_ASSIGN(NestedRelation nested,
+                       Nest(Flat(), {"g"}, {"x"}, "grp"));
+  EXPECT_FALSE(nested.ToTable().ok());
+}
+
+TEST(NestedRelationTest, BagEqualsIsOrderInsensitiveDeep) {
+  ASSERT_OK_AND_ASSIGN(NestedRelation a, Nest(Flat(), {"g"}, {"x"}, "grp"));
+  NestedRelation b = a;
+  std::reverse(b.tuples().begin(), b.tuples().end());
+  for (NestedTuple& t : b.tuples()) {
+    std::reverse(t.groups[0].begin(), t.groups[0].end());
+  }
+  EXPECT_TRUE(NestedRelation::BagEquals(a, b));
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "nra/executor.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+using testing_util::RegisterPaperRelations;
+
+class NraTest : public ::testing::TestWithParam<NraOptions> {
+ protected:
+  void SetUp() override { RegisterPaperRelations(&catalog_); }
+
+  Table Run(const std::string& sql) {
+    NraExecutor exec(catalog_, GetParam());
+    Result<Table> r = exec.ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << sql;
+    return r.ok() ? std::move(r).ValueOrDie() : Table();
+  }
+
+  Catalog catalog_;
+};
+
+std::vector<NraOptions> AllConfigs() {
+  std::vector<NraOptions> configs;
+  configs.push_back(NraOptions::Original());
+  configs.push_back(NraOptions::Optimized());
+  NraOptions hash_nest = NraOptions::Original();
+  hash_nest.nest_method = NestMethod::kHash;
+  configs.push_back(hash_nest);
+  NraOptions push_down = NraOptions::Optimized();
+  push_down.push_down_nest = true;
+  configs.push_back(push_down);
+  NraOptions rewrite = NraOptions::Optimized();
+  rewrite.rewrite_positive = true;
+  configs.push_back(rewrite);
+  NraOptions bottom_up = NraOptions::Optimized();
+  bottom_up.bottom_up_linear = true;
+  configs.push_back(bottom_up);
+  NraOptions everything = NraOptions::Optimized();
+  everything.push_down_nest = true;
+  everything.rewrite_positive = true;
+  everything.bottom_up_linear = true;
+  configs.push_back(everything);
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptionConfigs, NraTest,
+                         ::testing::ValuesIn(AllConfigs()));
+
+TEST_P(NraTest, FlatQuery) {
+  ExpectTablesEqual(MakeTable({"r.b", "r.c"}, {{I(3), I(4)}, {I(4), I(5)}}),
+                    Run("select b, c from r where a > 1"));
+}
+
+TEST_P(NraTest, QueryQ) {
+  // Hand-derived in linking_selection_test.cc; with the local predicate
+  // r.a > 1, only r2 and r3 survive.
+  ExpectTablesEqual(
+      MakeTable({"r.b", "r.c", "r.d"}, {{I(3), I(4), I(2)}, {I(4), I(5), I(3)}}),
+      Run(testing_util::kQueryQ));
+}
+
+TEST_P(NraTest, InSubqueryCorrelated) {
+  // r rows whose d matches some s.g with e < 3: s1(e=1,g=2), s2(e=2,g=2).
+  // r2 has d=2 -> {1,2} contains b=3? b must equal some e: 3 not in {1,2}.
+  ExpectTablesEqual(
+      MakeTable({"r.b"}, {}),
+      Run("select b from r where b in (select e from s where s.g = r.d and "
+          "e < 3)"));
+}
+
+TEST_P(NraTest, InSubqueryMatch) {
+  // d in (select g from s where g < 3): the set is {2, 2}; only r2 (d=2)
+  // qualifies, projecting c=4.
+  ExpectTablesEqual(
+      MakeTable({"r.c"}, {{I(4)}}),
+      Run("select c from r where d in (select g from s where g < 3)"));
+}
+
+TEST_P(NraTest, ExistsCorrelated) {
+  ExpectTablesEqual(
+      MakeTable({"r.b"}, {{I(3)}, {N()}}),
+      Run("select b from r where exists (select * from s where s.g = r.d)"));
+}
+
+TEST_P(NraTest, NotExistsCorrelated) {
+  ExpectTablesEqual(
+      MakeTable({"r.b"}, {{I(2)}, {I(4)}}),
+      Run("select b from r where not exists "
+          "(select * from s where s.g = r.d)"));
+}
+
+TEST_P(NraTest, AllWithNullsInSet) {
+  // c >= all (select h from s where s.g = r.d):
+  //  r1: d=1, empty -> TRUE. r2: d=2, {2,7}: 4>=2 true, 4>=7 false -> FALSE.
+  //  r3: d=3, empty -> TRUE. r4: d=4, {3,null}: 5>=3 true, 5>=null unknown
+  //  -> UNKNOWN -> dropped.
+  ExpectTablesEqual(
+      MakeTable({"r.d"}, {{I(1)}, {I(3)}}),
+      Run("select d from r where c >= all (select h from s where s.g = r.d)"));
+}
+
+TEST_P(NraTest, SomeNonCorrelated) {
+  // b > some (select e from s where f = 5): set {1,2,3,4}.
+  // b=2>1 true; b=3 true; b=4 true; b=null unknown.
+  ExpectTablesEqual(
+      MakeTable({"r.d"}, {{I(1)}, {I(2)}, {I(3)}}),
+      Run("select d from r where b > some (select e from s where f = 5)"));
+}
+
+TEST_P(NraTest, NotInNonCorrelatedWithNull) {
+  // k not in (select h from s): {2,7,3,null} — every comparison against the
+  // null member is UNKNOWN, so NO row qualifies (classic NOT IN trap).
+  ExpectTablesEqual(MakeTable({"t.l"}, {}),
+                    Run("select l from t where k not in (select h from s)"));
+}
+
+TEST_P(NraTest, NotInNonCorrelatedWithoutNull) {
+  // k not in (select e from s): {1,2,3,4}; t rows have k=4 -> 4 in set ->
+  // FALSE for both.
+  ExpectTablesEqual(MakeTable({"t.l"}, {}),
+                    Run("select l from t where k not in (select e from s)"));
+  // j not in {1,2,3,4}: j=5 -> TRUE; j=null -> UNKNOWN.
+  ExpectTablesEqual(MakeTable({"t.l"}, {{I(1)}}),
+                    Run("select l from t where j not in (select e from s)"));
+}
+
+TEST_P(NraTest, TreeQueryMixedSiblings) {
+  // Two subqueries directly under the root.
+  //  r2: exists ok, but 3 NOT IN {5, null} is UNKNOWN -> dropped.
+  //  r4: exists ok, c=5 matches no t.k -> empty set -> NOT IN true; b null.
+  ExpectTablesEqual(
+      MakeTable({"r.b"}, {{N()}}),
+      Run("select b from r where "
+          "exists (select * from s where s.g = r.d) and "
+          "b not in (select j from t where t.k = r.c)"));
+}
+
+TEST_P(NraTest, TreeQueryNegativeSiblings) {
+  // Both siblings negative: requires pseudo at the root + final key guard.
+  //  r1: NOT EXISTS true (d=1); b=2 matches no t.k -> NOT IN {} true.
+  //  r3: NOT EXISTS true; 4 NOT IN {5, null} UNKNOWN -> dropped.
+  ExpectTablesEqual(
+      MakeTable({"r.b"}, {{I(2)}}),
+      Run("select b from r where "
+          "not exists (select * from s where s.g = r.d) and "
+          "b not in (select j from t where t.k = r.b)"));
+}
+
+TEST_P(NraTest, DistinctProjection) {
+  ExpectTablesEqual(MakeTable({"s.g"}, {{I(2)}, {I(4)}}),
+                    Run("select distinct g from s"));
+}
+
+TEST_P(NraTest, EmptyOuter) {
+  ExpectTablesEqual(
+      MakeTable({"r.b"}, {}),
+      Run("select b from r where a > 100 and exists "
+          "(select * from s where s.g = r.d)"));
+}
+
+TEST_P(NraTest, EmptyInnerTable) {
+  // Subquery over an empty selection: EXISTS false everywhere, NOT EXISTS
+  // true everywhere.
+  ExpectTablesEqual(
+      MakeTable({"r.d"}, {{I(1)}, {I(2)}, {I(3)}, {I(4)}}),
+      Run("select d from r where not exists "
+          "(select * from s where f = 99 and s.g = r.d)"));
+}
+
+TEST_P(NraTest, ThetaCorrelationOnly) {
+  // Purely non-equi correlation exercises the nested-loop outer join path.
+  // e=1 < b for b in {2,3,4}; r4's NULL b compares UNKNOWN everywhere.
+  ExpectTablesEqual(
+      MakeTable({"r.d"}, {{I(1)}, {I(2)}, {I(3)}}),
+      Run("select d from r where exists (select * from s where s.e < r.b)"));
+}
+
+TEST_P(NraTest, StatsPopulated) {
+  NraExecutor exec(catalog_, GetParam());
+  NraStats stats;
+  ASSERT_OK_AND_ASSIGN(Table out,
+                       exec.ExecuteSql(testing_util::kQueryQ, &stats));
+  EXPECT_EQ(stats.output_rows, out.num_rows());
+  EXPECT_GE(stats.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,161 @@
+// Section 2 of the paper claims the classical rewrites are unsound under
+// NULLs:
+//   "Because of null values, R.A > ALL (select S.B ...) is not equal to an
+//    antijoin of R and S on the condition R.A <= S.B. Furthermore, [it] is
+//    not equal to R.A > (select max(S.B) ...) ... Readers can convince
+//    themselves by assuming that R.A is 5 and S.B is {2, 3, 4, null}."
+// These tests reproduce exactly that scenario and verify that the nested
+// relational approach agrees with SQL (the nested-iteration oracle) while
+// the antijoin and the MAX rewrite do not.
+
+#include <gtest/gtest.h>
+
+#include "baseline/count_rewrite.h"
+#include "baseline/nested_iteration.h"
+#include "baseline/unnest_semijoin.h"
+#include "exec/hash_join.h"
+#include "nra/executor.h"
+#include "plan/binder.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+
+class NullSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // big: one row with A = 5. vals: B = {2, 3, 4, null}, all in group 1.
+    ASSERT_OK(catalog_.RegisterTable(
+        "big", MakeTable({"ka", "va"}, {{I(1), I(5)}}), "ka"));
+    ASSERT_OK(catalog_.RegisterTable(
+        "vals",
+        MakeTable({"kb", "grp", "vb"}, {{I(1), I(1), I(2)},
+                                        {I(2), I(1), I(3)},
+                                        {I(3), I(1), I(4)},
+                                        {I(4), I(1), N()}}),
+        "kb"));
+  }
+
+  const char* kAllQuery =
+      "select va from big where va > all "
+      "(select vb from vals where vals.grp = big.ka)";
+
+  Catalog catalog_;
+};
+
+TEST_F(NullSemanticsTest, SqlSemanticsRejectTheRow) {
+  // 5 > ALL {2,3,4,null} is UNKNOWN: the oracle returns nothing.
+  NestedIterationExecutor oracle(catalog_, {.use_indexes = false});
+  ASSERT_OK_AND_ASSIGN(Table out, oracle.ExecuteSql(kAllQuery));
+  EXPECT_EQ(out.num_rows(), 0);
+}
+
+TEST_F(NullSemanticsTest, NestedRelationalApproachAgreesWithSql) {
+  for (const NraOptions& opts :
+       {NraOptions::Original(), NraOptions::Optimized()}) {
+    NraExecutor exec(catalog_, opts);
+    ASSERT_OK_AND_ASSIGN(Table out, exec.ExecuteSql(kAllQuery));
+    EXPECT_EQ(out.num_rows(), 0) << opts.ToString();
+  }
+}
+
+TEST_F(NullSemanticsTest, AntijoinRewriteKeepsTheRowWrongly) {
+  // Antijoin of big and vals on va <= vb (the negated ALL comparison):
+  // the NULL member compares UNKNOWN = "no match", so the row SURVIVES the
+  // antijoin — differing from SQL. This is the paper's first claim.
+  auto l = std::make_unique<TableSourceNode>(
+      MakeTable({"big.ka", "big.va"}, {{I(1), I(5)}}));
+  auto r = std::make_unique<TableSourceNode>(
+      MakeTable({"vals.grp", "vals.vb"},
+                {{I(1), I(2)}, {I(1), I(3)}, {I(1), I(4)}, {I(1), N()}}));
+  HashJoinNode anti(std::move(l), std::move(r), JoinType::kLeftAnti,
+                    {{"big.ka", "vals.grp"}},
+                    Cmp(CmpOp::kLe, Col("big.va"), Col("vals.vb")));
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&anti));
+  EXPECT_EQ(out.num_rows(), 1);  // wrong vs SQL, by design of the rewrite
+}
+
+TEST_F(NullSemanticsTest, MaxRewriteKeepsTheRowWrongly) {
+  // MAX ignores the NULL: max{2,3,4,null} = 4 and 5 > 4, so the rewrite
+  // keeps the row — the paper's second claim.
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root, ParseAndBind(kAllQuery, catalog_));
+  ASSERT_OK_AND_ASSIGN(Table out, ExecuteAggRewrite(*root, catalog_));
+  EXPECT_EQ(out.num_rows(), 1);  // diverges from the (empty) oracle result
+}
+
+TEST_F(NullSemanticsTest, SystemARefusesAntijoinWithoutNotNull) {
+  // Without a NOT NULL constraint on vals.vb, the modelled System A cannot
+  // use the antijoin (the Query 1 discussion in Section 5.2).
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root, ParseAndBind(kAllQuery, catalog_));
+  SemiAntiUnnester unnester(catalog_);
+  const std::string reason = unnester.CheckApplicable(*root);
+  EXPECT_NE(reason.find("NOT NULL"), std::string::npos) << reason;
+}
+
+TEST_F(NullSemanticsTest, AntijoinIsCorrectWhenColumnsAreNotNull) {
+  // Drop the NULL row and declare the constraint: now ALL == antijoin and
+  // every strategy agrees. 5 > ALL {2,3,4} is TRUE.
+  ASSERT_OK(catalog_.DropTable("vals"));
+  ASSERT_OK(catalog_.RegisterTable(
+      "vals",
+      MakeTable({"kb", "grp", "vb"},
+                {{I(1), I(1), I(2)}, {I(2), I(1), I(3)}, {I(3), I(1), I(4)}}),
+      "kb", {"vb", "grp"}));
+  ASSERT_OK(catalog_.AddNotNull("big", "va"));
+
+  NestedIterationExecutor oracle(catalog_, {.use_indexes = false});
+  ASSERT_OK_AND_ASSIGN(Table expected, oracle.ExecuteSql(kAllQuery));
+  EXPECT_EQ(expected.num_rows(), 1);
+
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root, ParseAndBind(kAllQuery, catalog_));
+  SemiAntiUnnester unnester(catalog_);
+  ASSERT_EQ(unnester.CheckApplicable(*root), "");
+  ASSERT_OK_AND_ASSIGN(Table anti_out, unnester.Execute(*root));
+  ExpectTablesEqual(expected, anti_out);
+
+  NraExecutor nra(catalog_);
+  ASSERT_OK_AND_ASSIGN(Table nra_out, nra.ExecuteSql(kAllQuery));
+  ExpectTablesEqual(expected, nra_out);
+}
+
+TEST_F(NullSemanticsTest, NullLinkingAttributeAlsoBreaksAntijoin) {
+  // A NULL on the OUTER side: null > ALL {2} is UNKNOWN (drop), but the
+  // antijoin's null <= 2 is UNKNOWN = no match (keep).
+  ASSERT_OK(catalog_.DropTable("big"));
+  ASSERT_OK(catalog_.RegisterTable(
+      "big", MakeTable({"ka", "va"}, {{I(1), N()}}), "ka"));
+  NestedIterationExecutor oracle(catalog_, {.use_indexes = false});
+  ASSERT_OK_AND_ASSIGN(Table expected, oracle.ExecuteSql(kAllQuery));
+  EXPECT_EQ(expected.num_rows(), 0);
+  for (const NraOptions& opts :
+       {NraOptions::Original(), NraOptions::Optimized()}) {
+    NraExecutor exec(catalog_, opts);
+    ASSERT_OK_AND_ASSIGN(Table out, exec.ExecuteSql(kAllQuery));
+    EXPECT_EQ(out.num_rows(), 0) << opts.ToString();
+  }
+}
+
+TEST_F(NullSemanticsTest, NotInVersusAntijoinOnNullProbe) {
+  // k NOT IN {...} with a NULL k: SQL drops (UNKNOWN); a plain antijoin
+  // keeps. The NRA pipeline must agree with SQL.
+  ASSERT_OK(catalog_.RegisterTable(
+      "probe", MakeTable({"pk", "pv"}, {{I(1), N()}, {I(2), I(9)}}), "pk"));
+  const char* q =
+      "select pk from probe where pv not in (select vb from vals where vb is "
+      "not null)";
+  NestedIterationExecutor oracle(catalog_, {.use_indexes = false});
+  ASSERT_OK_AND_ASSIGN(Table expected, oracle.ExecuteSql(q));
+  // pv=9: 9 NOT IN {2,3,4} -> TRUE; pv=null -> UNKNOWN.
+  ExpectTablesEqual(MakeTable({"probe.pk"}, {{I(2)}}), expected);
+  NraExecutor nra(catalog_);
+  ASSERT_OK_AND_ASSIGN(Table out, nra.ExecuteSql(q));
+  ExpectTablesEqual(expected, out);
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "baseline/native_optimizer.h"
+#include "baseline/nested_iteration.h"
+#include "nra/executor.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+using testing_util::RegisterPaperRelations;
+
+TEST(OrderLimitParserTest, OrderByForms) {
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr sel,
+      ParseSelect("select a from t order by a desc, b asc, c"));
+  ASSERT_EQ(sel->order_by.size(), 3u);
+  EXPECT_FALSE(sel->order_by[0].ascending);
+  EXPECT_TRUE(sel->order_by[1].ascending);
+  EXPECT_TRUE(sel->order_by[2].ascending);
+  EXPECT_EQ(sel->limit, -1);
+}
+
+TEST(OrderLimitParserTest, Limit) {
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel,
+                       ParseSelect("select a from t limit 7"));
+  EXPECT_EQ(sel->limit, 7);
+}
+
+TEST(OrderLimitParserTest, RoundTrip) {
+  const char* sql = "SELECT a FROM t WHERE a > 1 ORDER BY a DESC, b LIMIT 3";
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel, ParseSelect(sql));
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr again, ParseSelect(sel->ToString()));
+  EXPECT_EQ(again->ToString(), sel->ToString());
+}
+
+TEST(OrderLimitParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("select a from t order a").ok());
+  EXPECT_FALSE(ParseSelect("select a from t limit x").ok());
+  EXPECT_FALSE(ParseSelect("select a from t limit").ok());
+}
+
+class OrderLimitExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterPaperRelations(&catalog_); }
+  Catalog catalog_;
+};
+
+TEST_F(OrderLimitExecTest, SubqueryOrderByRejected) {
+  EXPECT_FALSE(ParseAndBind("select b from r where b in "
+                            "(select e from s order by e)",
+                            catalog_)
+                   .ok());
+  EXPECT_FALSE(ParseAndBind("select b from r where b in "
+                            "(select e from s limit 1)",
+                            catalog_)
+                   .ok());
+}
+
+TEST_F(OrderLimitExecTest, OrderByProducesSortedOutput) {
+  NraExecutor exec(catalog_);
+  ASSERT_OK_AND_ASSIGN(Table out,
+                       exec.ExecuteSql("select d from r order by d desc"));
+  ASSERT_EQ(out.num_rows(), 4);
+  EXPECT_EQ(out.rows()[0][0], I(4));
+  EXPECT_EQ(out.rows()[3][0], I(1));
+}
+
+TEST_F(OrderLimitExecTest, OrderByNonSelectedColumn) {
+  // Order by c while selecting only d: r rows have (c, d) =
+  // (3,1),(4,2),(5,3),(5,4); descending c with key tiebreak is stable.
+  NraExecutor exec(catalog_);
+  ASSERT_OK_AND_ASSIGN(Table out,
+                       exec.ExecuteSql("select d from r order by c, d"));
+  EXPECT_EQ(out.rows()[0][0], I(1));
+  EXPECT_EQ(out.rows()[1][0], I(2));
+  EXPECT_EQ(out.rows()[2][0], I(3));
+  EXPECT_EQ(out.rows()[3][0], I(4));
+}
+
+TEST_F(OrderLimitExecTest, NullsFirstAscending) {
+  NraExecutor exec(catalog_);
+  ASSERT_OK_AND_ASSIGN(Table out,
+                       exec.ExecuteSql("select b from r order by b"));
+  EXPECT_TRUE(out.rows()[0][0].is_null());
+  EXPECT_EQ(out.rows()[3][0], I(4));
+}
+
+TEST_F(OrderLimitExecTest, LimitTruncates) {
+  NraExecutor exec(catalog_);
+  ASSERT_OK_AND_ASSIGN(Table out,
+                       exec.ExecuteSql("select d from r order by d limit 2"));
+  ASSERT_EQ(out.num_rows(), 2);
+  EXPECT_EQ(out.rows()[0][0], I(1));
+  EXPECT_EQ(out.rows()[1][0], I(2));
+}
+
+TEST_F(OrderLimitExecTest, LimitZeroAndOversized) {
+  NraExecutor exec(catalog_);
+  ASSERT_OK_AND_ASSIGN(Table zero,
+                       exec.ExecuteSql("select d from r limit 0"));
+  EXPECT_EQ(zero.num_rows(), 0);
+  ASSERT_OK_AND_ASSIGN(Table all,
+                       exec.ExecuteSql("select d from r limit 999"));
+  EXPECT_EQ(all.num_rows(), 4);
+}
+
+TEST_F(OrderLimitExecTest, WorksWithSubqueriesAcrossStrategies) {
+  const char* sql =
+      "select b, d from r "
+      "where not exists (select * from s where s.g = r.d) "
+      "order by d desc limit 1";
+  // NOT EXISTS keeps r1 (d=1) and r3 (d=3); ordered desc, limit 1 -> d=3.
+  const Table expected = MakeTable({"r.b", "r.d"}, {{I(4), I(3)}});
+
+  NraExecutor nra(catalog_);
+  ASSERT_OK_AND_ASSIGN(Table a, nra.ExecuteSql(sql));
+  EXPECT_EQ(a.rows(), expected.rows());
+
+  NraExecutor orig(catalog_, NraOptions::Original());
+  ASSERT_OK_AND_ASSIGN(Table b, orig.ExecuteSql(sql));
+  EXPECT_EQ(b.rows(), expected.rows());
+
+  NestedIterationExecutor iter(catalog_);
+  ASSERT_OK_AND_ASSIGN(Table c, iter.ExecuteSql(sql));
+  EXPECT_EQ(c.rows(), expected.rows());
+
+  ASSERT_OK_AND_ASSIGN(Table d, ExecuteNativeSql(sql, catalog_));
+  EXPECT_EQ(d.rows(), expected.rows());
+}
+
+TEST_F(OrderLimitExecTest, DistinctPreservesSortOrder) {
+  NraExecutor exec(catalog_);
+  ASSERT_OK_AND_ASSIGN(
+      Table out, exec.ExecuteSql("select distinct g from s order by g desc"));
+  ASSERT_EQ(out.num_rows(), 2);
+  EXPECT_EQ(out.rows()[0][0], I(4));
+  EXPECT_EQ(out.rows()[1][0], I(2));
+}
+
+}  // namespace
+}  // namespace nestra

@@ -1,0 +1,129 @@
+// Set operations: the table-level combinators and compound SQL statements.
+
+#include <gtest/gtest.h>
+
+#include "exec/set_ops.h"
+#include "nra/executor.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+using testing_util::RegisterPaperRelations;
+
+Table A() { return MakeTable({"x"}, {{I(1)}, {I(2)}, {I(2)}, {N()}}); }
+Table B() { return MakeTable({"y"}, {{I(2)}, {I(3)}, {N()}}); }
+
+TEST(SetOpsTest, UnionAllConcatenates) {
+  ASSERT_OK_AND_ASSIGN(Table out, UnionAll(A(), B()));
+  EXPECT_EQ(out.num_rows(), 7);
+  EXPECT_EQ(out.schema().field(0).name, "x");  // left names win
+}
+
+TEST(SetOpsTest, UnionDeduplicatesIncludingNulls) {
+  ASSERT_OK_AND_ASSIGN(Table out, UnionDistinct(A(), B()));
+  ExpectTablesEqual(MakeTable({"x"}, {{I(1)}, {I(2)}, {I(3)}, {N()}}), out);
+}
+
+TEST(SetOpsTest, IntersectIsASet) {
+  ASSERT_OK_AND_ASSIGN(Table out, Intersect(A(), B()));
+  ExpectTablesEqual(MakeTable({"x"}, {{I(2)}, {N()}}), out);
+}
+
+TEST(SetOpsTest, ExceptRemovesAndDeduplicates) {
+  ASSERT_OK_AND_ASSIGN(Table out, Except(A(), B()));
+  ExpectTablesEqual(MakeTable({"x"}, {{I(1)}}), out);
+  ASSERT_OK_AND_ASSIGN(Table other, Except(B(), A()));
+  ExpectTablesEqual(MakeTable({"y"}, {{I(3)}}), other);
+}
+
+TEST(SetOpsTest, IncompatibleInputsRejected) {
+  const Table two_cols = MakeTable({"a", "b"}, {});
+  EXPECT_FALSE(UnionAll(A(), two_cols).ok());
+  Table string_col{Schema({{"s", TypeId::kString}})};
+  EXPECT_FALSE(Intersect(A(), string_col).ok());
+}
+
+TEST(SetOpsParserTest, CompoundForms) {
+  ASSERT_OK_AND_ASSIGN(
+      AstStatementPtr stmt,
+      ParseStatement("select a from t union select b from u union all "
+                     "select c from v except select d from w"));
+  ASSERT_EQ(stmt->selects.size(), 4u);
+  EXPECT_EQ(stmt->ops[0], AstStatement::SetOp::kUnion);
+  EXPECT_EQ(stmt->ops[1], AstStatement::SetOp::kUnionAll);
+  EXPECT_EQ(stmt->ops[2], AstStatement::SetOp::kExcept);
+  // Round trip.
+  ASSERT_OK_AND_ASSIGN(AstStatementPtr again, ParseStatement(stmt->ToString()));
+  EXPECT_EQ(again->ToString(), stmt->ToString());
+}
+
+TEST(SetOpsParserTest, SingleSelectStillWorks) {
+  ASSERT_OK_AND_ASSIGN(AstStatementPtr stmt,
+                       ParseStatement("select a from t where a > 1"));
+  EXPECT_FALSE(stmt->IsCompound());
+}
+
+TEST(SetOpsParserTest, OrderByInCompoundRejected) {
+  EXPECT_FALSE(ParseStatement("select a from t order by a union "
+                              "select b from u")
+                   .ok());
+  EXPECT_FALSE(ParseStatement("select a from t union select b from u "
+                              "limit 3")
+                   .ok());
+}
+
+class CompoundExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterPaperRelations(&catalog_); }
+  Catalog catalog_;
+};
+
+TEST_F(CompoundExecTest, UnionOfSubqueryResults) {
+  NraExecutor exec(catalog_);
+  // NOT EXISTS keeps b {2,4}; EXISTS keeps b {3,null}: union of both is all.
+  ASSERT_OK_AND_ASSIGN(
+      Table out,
+      exec.ExecuteStatementSql(
+          "select b from r where not exists (select * from s where s.g = r.d)"
+          " union "
+          "select b from r where exists (select * from s where s.g = r.d)"));
+  ExpectTablesEqual(MakeTable({"r.b"}, {{I(2)}, {I(3)}, {I(4)}, {N()}}), out);
+}
+
+TEST_F(CompoundExecTest, IntersectAndExcept) {
+  NraExecutor exec(catalog_);
+  ASSERT_OK_AND_ASSIGN(
+      Table inter,
+      exec.ExecuteStatementSql("select g from s intersect select d from r"));
+  ExpectTablesEqual(MakeTable({"s.g"}, {{I(2)}, {I(4)}}), inter);
+  ASSERT_OK_AND_ASSIGN(
+      Table except,
+      exec.ExecuteStatementSql("select d from r except select g from s"));
+  ExpectTablesEqual(MakeTable({"r.d"}, {{I(1)}, {I(3)}}), except);
+}
+
+TEST_F(CompoundExecTest, SingleStatementPathUnchanged) {
+  NraExecutor exec(catalog_);
+  NraStats stats;
+  ASSERT_OK_AND_ASSIGN(Table a,
+                       exec.ExecuteStatementSql(testing_util::kQueryQ, &stats));
+  ASSERT_OK_AND_ASSIGN(Table b, exec.ExecuteSql(testing_util::kQueryQ));
+  EXPECT_TRUE(Table::BagEquals(a, b));
+  EXPECT_EQ(stats.output_rows, a.num_rows());
+}
+
+TEST_F(CompoundExecTest, MismatchedBranchesRejected) {
+  NraExecutor exec(catalog_);
+  EXPECT_FALSE(exec.ExecuteStatementSql("select b, c from r union "
+                                        "select e from s")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace nestra

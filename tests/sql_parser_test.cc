@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> toks,
+                       Tokenize("select a, b from t where a >= 1.5"));
+  ASSERT_EQ(toks.size(), 11u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[1].text, "a");
+  EXPECT_EQ(toks[8].kind, TokenKind::kGe);
+  EXPECT_EQ(toks[9].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(toks[9].float_value, 1.5);
+  EXPECT_EQ(toks.back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> toks, Tokenize("SeLeCt NOT In"));
+  EXPECT_EQ(toks[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(toks[1].kind, TokenKind::kNot);
+  EXPECT_EQ(toks[2].kind, TokenKind::kIn);
+}
+
+TEST(LexerTest, StringLiteralsAndEscapes) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> toks, Tokenize("'it''s'"));
+  EXPECT_EQ(toks[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(toks[0].text, "it's");
+}
+
+TEST(LexerTest, NotEqualsVariants) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> t1, Tokenize("a <> b"));
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> t2, Tokenize("a != b"));
+  EXPECT_EQ(t1[1].kind, TokenKind::kNe);
+  EXPECT_EQ(t2[1].kind, TokenKind::kNe);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel,
+                       ParseSelect("select a, t.b from t where a < 3"));
+  EXPECT_FALSE(sel->distinct);
+  ASSERT_EQ(sel->items.size(), 2u);
+  EXPECT_EQ(sel->items[1].column, "t.b");
+  ASSERT_EQ(sel->from.size(), 1u);
+  ASSERT_NE(sel->where, nullptr);
+  EXPECT_EQ(sel->where->kind, AstCond::Kind::kCompare);
+}
+
+TEST(ParserTest, DistinctStarAndAliases) {
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel,
+                       ParseSelect("select distinct * from t1 x, t2 as y"));
+  EXPECT_TRUE(sel->distinct);
+  EXPECT_TRUE(sel->select_star);
+  ASSERT_EQ(sel->from.size(), 2u);
+  EXPECT_EQ(sel->from[0].alias, "x");
+  EXPECT_EQ(sel->from[1].alias, "y");
+}
+
+TEST(ParserTest, AndOrNotPrecedence) {
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr sel,
+      ParseSelect("select a from t where a = 1 or a = 2 and not a = 3"));
+  // OR is the top node; AND binds tighter; NOT tighter still.
+  ASSERT_EQ(sel->where->kind, AstCond::Kind::kOr);
+  ASSERT_EQ(sel->where->children.size(), 2u);
+  EXPECT_EQ(sel->where->children[1]->kind, AstCond::Kind::kAnd);
+  EXPECT_EQ(sel->where->children[1]->children[1]->kind, AstCond::Kind::kNot);
+}
+
+TEST(ParserTest, InSubquery) {
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr sel,
+      ParseSelect("select a from t where a not in (select b from u)"));
+  ASSERT_EQ(sel->where->kind, AstCond::Kind::kInSubquery);
+  EXPECT_TRUE(sel->where->negated);
+  ASSERT_NE(sel->where->subquery, nullptr);
+  EXPECT_EQ(sel->where->subquery->items[0].column, "b");
+}
+
+TEST(ParserTest, ExistsForms) {
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr s1,
+      ParseSelect("select a from t where exists (select * from u)"));
+  EXPECT_EQ(s1->where->kind, AstCond::Kind::kExistsSubquery);
+  EXPECT_FALSE(s1->where->negated);
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr s2,
+      ParseSelect("select a from t where not exists (select * from u)"));
+  EXPECT_EQ(s2->where->kind, AstCond::Kind::kExistsSubquery);
+  EXPECT_TRUE(s2->where->negated);
+}
+
+TEST(ParserTest, QuantifiedSubqueries) {
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr sel,
+      ParseSelect("select a from t where a > all (select b from u) and "
+                  "a <= any (select b from u) and a = some (select b from u)"));
+  ASSERT_EQ(sel->where->kind, AstCond::Kind::kAnd);
+  const AstCond& all = *sel->where->children[0];
+  EXPECT_EQ(all.kind, AstCond::Kind::kQuantifiedSubquery);
+  EXPECT_EQ(all.quant, Quantifier::kAll);
+  EXPECT_EQ(all.op, CmpOp::kGt);
+  EXPECT_EQ(sel->where->children[1]->quant, Quantifier::kSome);
+  EXPECT_EQ(sel->where->children[2]->quant, Quantifier::kSome);
+}
+
+TEST(ParserTest, BetweenDesugars) {
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr sel,
+      ParseSelect("select a from t where a between 1 and 5"));
+  ASSERT_EQ(sel->where->kind, AstCond::Kind::kAnd);
+  EXPECT_EQ(sel->where->children[0]->op, CmpOp::kGe);
+  EXPECT_EQ(sel->where->children[1]->op, CmpOp::kLe);
+}
+
+TEST(ParserTest, IsNullForms) {
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr sel,
+      ParseSelect("select a from t where a is null and b is not null"));
+  EXPECT_EQ(sel->where->children[0]->kind, AstCond::Kind::kIsNull);
+  EXPECT_FALSE(sel->where->children[0]->negated);
+  EXPECT_TRUE(sel->where->children[1]->negated);
+}
+
+TEST(ParserTest, NestedTwoLevels) {
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel, ParseSelect(testing_util::kQueryQ));
+  ASSERT_EQ(sel->where->kind, AstCond::Kind::kAnd);
+  const AstCond& notin = *sel->where->children[1];
+  ASSERT_EQ(notin.kind, AstCond::Kind::kInSubquery);
+  const AstSelect& sub = *notin.subquery;
+  ASSERT_NE(sub.where, nullptr);
+  // Inner-most block reachable.
+  bool found_all = false;
+  for (const AstCondPtr& c : sub.where->children) {
+    if (c->kind == AstCond::Kind::kQuantifiedSubquery) found_all = true;
+  }
+  EXPECT_TRUE(found_all);
+}
+
+TEST(ParserTest, ParenthesizedConditions) {
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr sel,
+      ParseSelect("select a from t where (a = 1 or a = 2) and b = 3"));
+  ASSERT_EQ(sel->where->kind, AstCond::Kind::kAnd);
+  EXPECT_EQ(sel->where->children[0]->kind, AstCond::Kind::kOr);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("select from t").ok());
+  EXPECT_FALSE(ParseSelect("select a").ok());
+  EXPECT_FALSE(ParseSelect("select a from t where").ok());
+  EXPECT_FALSE(ParseSelect("select a from t where a in select b from u").ok());
+  EXPECT_FALSE(ParseSelect("select a from t where a = 1 1").ok());
+  EXPECT_FALSE(ParseSelect("select a from t where a >").ok());
+}
+
+TEST(ParserTest, InValueListDesugarsToOr) {
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel,
+                       ParseSelect("select a from t where a in (1, 2, 3)"));
+  ASSERT_EQ(sel->where->kind, AstCond::Kind::kOr);
+  EXPECT_EQ(sel->where->children.size(), 3u);
+  EXPECT_EQ(sel->where->children[0]->op, CmpOp::kEq);
+}
+
+TEST(ParserTest, NotInValueListDesugarsToNotOr) {
+  ASSERT_OK_AND_ASSIGN(
+      AstSelectPtr sel,
+      ParseSelect("select a from t where a not in (1, 'x')"));
+  ASSERT_EQ(sel->where->kind, AstCond::Kind::kNot);
+  EXPECT_EQ(sel->where->children[0]->kind, AstCond::Kind::kOr);
+}
+
+TEST(ParserTest, SingleValueInListBecomesComparison) {
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel,
+                       ParseSelect("select a from t where a in (7)"));
+  EXPECT_EQ(sel->where->kind, AstCond::Kind::kCompare);
+}
+
+TEST(ParserTest, ToStringRoundTripParses) {
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr sel, ParseSelect(testing_util::kQueryQ));
+  const std::string rendered = sel->ToString();
+  ASSERT_OK_AND_ASSIGN(AstSelectPtr again, ParseSelect(rendered));
+  EXPECT_EQ(again->ToString(), rendered);
+}
+
+}  // namespace
+}  // namespace nestra

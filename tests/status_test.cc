@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/status.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  const Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "Parse error: bad token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(std::move(r).ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  // Constructing a Result from an OK status is a bug; it must surface as an
+  // error rather than a crash or an empty success.
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+namespace macros {
+
+Status Fails() { return Status::InvalidArgument("boom"); }
+Status Succeeds() { return Status::OK(); }
+Result<int> Gives(int v) { return v; }
+Result<int> Errors() { return Status::NotFound("gone"); }
+
+Status UseReturnNotOk(bool fail) {
+  NESTRA_RETURN_NOT_OK(fail ? Fails() : Succeeds());
+  return Status::OK();
+}
+
+Result<int> UseAssignOrReturn(bool fail) {
+  NESTRA_ASSIGN_OR_RETURN(int a, fail ? Errors() : Gives(1));
+  NESTRA_ASSIGN_OR_RETURN(int b, Gives(2));  // two in one scope: no clash
+  return a + b;
+}
+
+}  // namespace macros
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(macros::UseReturnNotOk(false).ok());
+  EXPECT_EQ(macros::UseReturnNotOk(true).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MacroTest, AssignOrReturnPropagates) {
+  const Result<int> ok = macros::UseAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 3);
+  const Result<int> bad = macros::UseAssignOrReturn(true);
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kTypeError,
+        StatusCode::kParseError, StatusCode::kBindError,
+        StatusCode::kNotImplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace nestra

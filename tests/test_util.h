@@ -1,0 +1,99 @@
+#ifndef NESTRA_TESTS_TEST_UTIL_H_
+#define NESTRA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "storage/catalog.h"
+
+namespace nestra {
+namespace testing_util {
+
+#define ASSERT_OK(expr)                                            \
+  do {                                                             \
+    const ::nestra::Status _st = (expr);                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                       \
+  } while (false)
+
+#define EXPECT_OK(expr)                                            \
+  do {                                                             \
+    const ::nestra::Status _st = (expr);                           \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                       \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                            \
+  ASSERT_OK_AND_ASSIGN_IMPL(NESTRA_CONCAT(_r_, __COUNTER__), lhs, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(result, lhs, expr)               \
+  auto result = (expr);                                            \
+  ASSERT_TRUE(result.ok()) << result.status().ToString();          \
+  lhs = std::move(result).ValueOrDie()
+
+/// Shorthand value constructors for table literals.
+inline Value I(int64_t v) { return Value::Int64(v); }
+inline Value F(double v) { return Value::Float64(v); }
+inline Value S(std::string v) { return Value::String(std::move(v)); }
+inline Value N() { return Value::Null(); }
+
+/// Builds a table of int64 columns (NULLs via N()).
+inline Table MakeTable(const std::vector<std::string>& columns,
+                       const std::vector<std::vector<Value>>& rows) {
+  std::vector<Field> fields;
+  for (const std::string& c : columns) {
+    fields.emplace_back(c, TypeId::kInt64, /*nullable=*/true);
+  }
+  Table t{Schema(std::move(fields))};
+  for (const auto& r : rows) t.AppendUnchecked(Row(r));
+  return t;
+}
+
+/// The paper's Figure 1 base relations. Primary keys: R.D, S.I, T.L.
+/// R(A,B,C,D) = {(1,2,3,1), (2,3,4,2), (3,4,5,3), (null,null,5,4)}
+/// S(E,F,G,H,I) = {(1,5,2,2,1), (2,5,2,7,2), (3,5,4,3,3), (4,5,4,null,4)}
+/// T(J,K,L) = {(5,4,1), (null,4,2)}
+inline void RegisterPaperRelations(Catalog* catalog) {
+  Table r = MakeTable({"a", "b", "c", "d"}, {
+                                                {I(1), I(2), I(3), I(1)},
+                                                {I(2), I(3), I(4), I(2)},
+                                                {I(3), I(4), I(5), I(3)},
+                                                {N(), N(), I(5), I(4)},
+                                            });
+  Table s = MakeTable({"e", "f", "g", "h", "i"},
+                      {
+                          {I(1), I(5), I(2), I(2), I(1)},
+                          {I(2), I(5), I(2), I(7), I(2)},
+                          {I(3), I(5), I(4), I(3), I(3)},
+                          {I(4), I(5), I(4), N(), I(4)},
+                      });
+  Table t = MakeTable({"j", "k", "l"}, {
+                                           {I(5), I(4), I(1)},
+                                           {N(), I(4), I(2)},
+                                       });
+  ASSERT_OK(catalog->RegisterTable("r", std::move(r), "d"));
+  ASSERT_OK(catalog->RegisterTable("s", std::move(s), "i"));
+  ASSERT_OK(catalog->RegisterTable("t", std::move(t), "l"));
+}
+
+/// The paper's two-level Query Q (Section 2) over the figure-1 relations,
+/// spelled in this library's SQL subset.
+inline const char* kQueryQ =
+    "select r.b, r.c, r.d from r "
+    "where r.a > 1 and r.b not in ("
+    "  select s.e from s where s.f = 5 and r.d = s.g and s.h > all ("
+    "    select t.j from t where t.k = r.c and t.l <> s.i))";
+
+/// Expects bag equality and prints both tables on mismatch.
+inline void ExpectTablesEqual(const Table& expected, const Table& actual) {
+  EXPECT_TRUE(Table::BagEquals(expected, actual))
+      << "expected:\n"
+      << expected.ToString() << "actual:\n"
+      << actual.ToString();
+}
+
+}  // namespace testing_util
+}  // namespace nestra
+
+#endif  // NESTRA_TESTS_TEST_UTIL_H_

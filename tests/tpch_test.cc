@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/date.h"
+#include "tpch/random.h"
+#include "tpch/tpch_gen.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(2);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+class TpchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.scale = 0.02;  // tiny for tests
+    ASSERT_OK(PopulateTpch(&catalog_, config_));
+  }
+  TpchConfig config_;
+  Catalog catalog_;
+};
+
+TEST_F(TpchTest, TablesRegisteredWithExpectedCardinalities) {
+  ASSERT_OK_AND_ASSIGN(const Table* orders, catalog_.GetTable("orders"));
+  ASSERT_OK_AND_ASSIGN(const Table* lineitem, catalog_.GetTable("lineitem"));
+  ASSERT_OK_AND_ASSIGN(const Table* part, catalog_.GetTable("part"));
+  ASSERT_OK_AND_ASSIGN(const Table* partsupp, catalog_.GetTable("partsupp"));
+  EXPECT_EQ(orders->num_rows(), 300);
+  EXPECT_EQ(part->num_rows(), 40);
+  EXPECT_EQ(partsupp->num_rows(), 40 * 4);
+  // Lineitem averages (1+7)/2 = 4 rows per order.
+  EXPECT_GT(lineitem->num_rows(), 300 * 2);
+  EXPECT_LT(lineitem->num_rows(), 300 * 7);
+}
+
+TEST_F(TpchTest, PrimaryKeysAreUniqueAndNotNull) {
+  for (const auto& [table_name, pk] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"orders", "o_orderkey"},
+           {"lineitem", "l_rowid"},
+           {"part", "p_partkey"},
+           {"partsupp", "ps_rowid"}}) {
+    ASSERT_OK_AND_ASSIGN(const Table* t, catalog_.GetTable(table_name));
+    ASSERT_OK_AND_ASSIGN(const TableMetadata* meta,
+                         catalog_.GetMetadata(table_name));
+    EXPECT_EQ(meta->primary_key, pk);
+    const int idx = t->schema().IndexOfExact(pk);
+    ASSERT_GE(idx, 0);
+    std::set<int64_t> seen;
+    for (const Row& r : t->rows()) {
+      ASSERT_FALSE(r[idx].is_null());
+      EXPECT_TRUE(seen.insert(r[idx].int64()).second)
+          << "duplicate PK in " << table_name;
+    }
+  }
+}
+
+TEST_F(TpchTest, ReferentialIntegrity) {
+  ASSERT_OK_AND_ASSIGN(const Table* lineitem, catalog_.GetTable("lineitem"));
+  ASSERT_OK_AND_ASSIGN(const Table* orders, catalog_.GetTable("orders"));
+  ASSERT_OK_AND_ASSIGN(const Table* part, catalog_.GetTable("part"));
+  const int64_t max_order = orders->num_rows();
+  const int64_t max_part = part->num_rows();
+  const int ok_idx = lineitem->schema().IndexOfExact("l_orderkey");
+  const int pk_idx = lineitem->schema().IndexOfExact("l_partkey");
+  for (const Row& r : lineitem->rows()) {
+    EXPECT_GE(r[ok_idx].int64(), 1);
+    EXPECT_LE(r[ok_idx].int64(), max_order);
+    EXPECT_GE(r[pk_idx].int64(), 1);
+    EXPECT_LE(r[pk_idx].int64(), max_part);
+  }
+}
+
+TEST_F(TpchTest, LineitemSupplierComesFromPartsupp) {
+  // The Query 2/3 correlation (ps_partkey = l_partkey AND ps_suppkey =
+  // l_suppkey) must be satisfiable: every lineitem (partkey, suppkey) pair
+  // exists in partsupp.
+  ASSERT_OK_AND_ASSIGN(const Table* lineitem, catalog_.GetTable("lineitem"));
+  ASSERT_OK_AND_ASSIGN(const Table* partsupp, catalog_.GetTable("partsupp"));
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  const int pp = partsupp->schema().IndexOfExact("ps_partkey");
+  const int ps = partsupp->schema().IndexOfExact("ps_suppkey");
+  for (const Row& r : partsupp->rows()) {
+    pairs.insert({r[pp].int64(), r[ps].int64()});
+  }
+  const int lp = lineitem->schema().IndexOfExact("l_partkey");
+  const int ls = lineitem->schema().IndexOfExact("l_suppkey");
+  for (const Row& r : lineitem->rows()) {
+    EXPECT_TRUE(pairs.count({r[lp].int64(), r[ls].int64()}) > 0);
+  }
+}
+
+TEST_F(TpchTest, DeterministicForSameSeed) {
+  Catalog again;
+  ASSERT_OK(PopulateTpch(&again, config_));
+  for (const std::string& name : catalog_.TableNames()) {
+    ASSERT_OK_AND_ASSIGN(const Table* a, catalog_.GetTable(name));
+    ASSERT_OK_AND_ASSIGN(const Table* b, again.GetTable(name));
+    EXPECT_TRUE(Table::BagEquals(*a, *b)) << name;
+  }
+}
+
+TEST_F(TpchTest, NullInjection) {
+  TpchConfig cfg = config_;
+  cfg.null_l_extendedprice = 0.3;
+  Catalog with_nulls;
+  ASSERT_OK(PopulateTpch(&with_nulls, cfg));
+  ASSERT_OK_AND_ASSIGN(const Table* lineitem, with_nulls.GetTable("lineitem"));
+  const int idx = lineitem->schema().IndexOfExact("l_extendedprice");
+  int64_t nulls = 0;
+  for (const Row& r : lineitem->rows()) nulls += r[idx].is_null() ? 1 : 0;
+  const double frac =
+      static_cast<double>(nulls) / static_cast<double>(lineitem->num_rows());
+  EXPECT_NEAR(frac, 0.3, 0.08);
+  // Metadata: without declare_not_null nothing is NOT NULL except PKs.
+  EXPECT_FALSE(with_nulls.IsNotNull("lineitem", "l_extendedprice"));
+}
+
+TEST_F(TpchTest, NotNullDeclarations) {
+  TpchConfig cfg = config_;
+  cfg.declare_not_null = true;
+  Catalog c;
+  ASSERT_OK(PopulateTpch(&c, cfg));
+  EXPECT_TRUE(c.IsNotNull("lineitem", "l_extendedprice"));
+  EXPECT_TRUE(c.IsNotNull("partsupp", "ps_supplycost"));
+  EXPECT_TRUE(c.IsNotNull("orders", "o_totalprice"));
+}
+
+TEST_F(TpchTest, ColumnQuantileOrdersDates) {
+  ASSERT_OK_AND_ASSIGN(const Table* orders, catalog_.GetTable("orders"));
+  ASSERT_OK_AND_ASSIGN(Value lo, ColumnQuantile(*orders, "o_orderdate", 0.1));
+  ASSERT_OK_AND_ASSIGN(Value hi, ColumnQuantile(*orders, "o_orderdate", 0.9));
+  EXPECT_LT(lo.int64(), hi.int64());
+  // Count rows in [lo, hi): should be ~80%.
+  const int idx = orders->schema().IndexOfExact("o_orderdate");
+  int64_t count = 0;
+  for (const Row& r : orders->rows()) {
+    if (r[idx].int64() >= lo.int64() && r[idx].int64() < hi.int64()) ++count;
+  }
+  EXPECT_NEAR(static_cast<double>(count) / orders->num_rows(), 0.8, 0.05);
+}
+
+}  // namespace
+}  // namespace nestra

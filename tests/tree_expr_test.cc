@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "plan/binder.h"
+#include "plan/tree_expr.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::RegisterPaperRelations;
+
+class TreeExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterPaperRelations(&catalog_); }
+  Catalog catalog_;
+};
+
+TEST_F(TreeExprTest, QueryQMatchesFigure3a) {
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root,
+                       ParseAndBind(testing_util::kQueryQ, catalog_));
+  const TreeExpression tree = TreeExpression::Build(*root);
+
+  ASSERT_EQ(tree.nodes().size(), 3u);
+  EXPECT_EQ(tree.nodes()[0]->id, 1);  // T1: R
+  EXPECT_EQ(tree.nodes()[1]->id, 2);  // T2: S
+  EXPECT_EQ(tree.nodes()[2]->id, 3);  // T3: T
+
+  // Two tree edges; T3 is correlated to both T2 (adjacent) and T1
+  // (non-adjacent). The T1 correlation folds onto the (T2,T3) edge because
+  // the (T1,T2) edge is already labeled with r.d = s.g — so the structure
+  // stays a tree, exactly as drawn in Figure 3(a).
+  ASSERT_EQ(tree.edges().size(), 2u);
+  EXPECT_FALSE(tree.IsGraph());
+
+  const TreeExprEdge& e12 = tree.edges()[0];
+  EXPECT_EQ(e12.from_id, 1);
+  EXPECT_EQ(e12.to_id, 2);
+  EXPECT_EQ(e12.linking_label, "r.b <> ALL {s.e}");
+  ASSERT_EQ(e12.correlated_labels.size(), 1u);
+  EXPECT_EQ(e12.correlated_labels[0], "r.d = s.g");
+
+  const TreeExprEdge& e23 = tree.edges()[1];
+  EXPECT_EQ(e23.from_id, 2);
+  EXPECT_EQ(e23.to_id, 3);
+  EXPECT_EQ(e23.linking_label, "s.h > ALL {t.j}");
+  EXPECT_EQ(e23.correlated_labels.size(), 2u);
+}
+
+TEST_F(TreeExprTest, NonAdjacentCorrelationWithUnlabeledPathAddsExtraEdge) {
+  // The middle block is NOT correlated; the leaf is correlated to the root
+  // only. The (T1,T2) edge stays unlabeled so an extra T1->T3 edge appears
+  // and the structure is a graph.
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select b from r where b in ("
+                   "  select e from s where h > all ("
+                   "    select j from t where t.k = r.c))",
+                   catalog_));
+  const TreeExpression tree = TreeExpression::Build(*root);
+  ASSERT_EQ(tree.edges().size(), 3u);
+  EXPECT_TRUE(tree.IsGraph());
+  const TreeExprEdge& extra = tree.edges()[2];
+  EXPECT_TRUE(extra.extra);
+  EXPECT_EQ(extra.from_id, 1);
+  EXPECT_EQ(extra.to_id, 3);
+}
+
+TEST_F(TreeExprTest, LinkingLabels) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr root,
+      ParseAndBind("select b from r where "
+                   "exists (select * from s where s.g = r.d) and "
+                   "b not in (select j from t where t.k = r.c)",
+                   catalog_));
+  const TreeExpression tree = TreeExpression::Build(*root);
+  ASSERT_EQ(tree.edges().size(), 2u);
+  EXPECT_EQ(tree.edges()[0].linking_label, "EXISTS {s.i}");
+  EXPECT_EQ(tree.edges()[1].linking_label, "r.b <> ALL {t.j}");
+}
+
+TEST_F(TreeExprTest, ToDotRendersGraph) {
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root,
+                       ParseAndBind(testing_util::kQueryQ, catalog_));
+  const std::string dot = TreeExpression::Build(*root).ToDot();
+  EXPECT_NE(dot.find("digraph tree_expression"), std::string::npos);
+  EXPECT_NE(dot.find("T1 -> T2"), std::string::npos);
+  EXPECT_NE(dot.find("T2 -> T3"), std::string::npos);
+  EXPECT_NE(dot.find("L: r.b <> ALL {s.e}"), std::string::npos) << dot;
+  EXPECT_EQ(dot.find("style=dashed"), std::string::npos);  // tree, no extras
+
+  // The graph case renders the extra edge dashed.
+  ASSERT_OK_AND_ASSIGN(
+      QueryBlockPtr graph,
+      ParseAndBind("select b from r where b in ("
+                   "  select e from s where h > all ("
+                   "    select j from t where t.k = r.c))",
+                   catalog_));
+  const std::string graph_dot = TreeExpression::Build(*graph).ToDot();
+  EXPECT_NE(graph_dot.find("style=dashed"), std::string::npos) << graph_dot;
+}
+
+TEST_F(TreeExprTest, ToStringMentionsAllNodes) {
+  ASSERT_OK_AND_ASSIGN(QueryBlockPtr root,
+                       ParseAndBind(testing_util::kQueryQ, catalog_));
+  const std::string s = TreeExpression::Build(*root).ToString();
+  EXPECT_NE(s.find("T1"), std::string::npos);
+  EXPECT_NE(s.find("T2"), std::string::npos);
+  EXPECT_NE(s.find("T3"), std::string::npos);
+  EXPECT_NE(s.find("L: "), std::string::npos);
+  EXPECT_NE(s.find("C: "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nestra
