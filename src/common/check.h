@@ -1,0 +1,31 @@
+#ifndef NESTRA_COMMON_CHECK_H_
+#define NESTRA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant-checking macros for conditions that indicate a bug in nestra
+/// itself (never for user errors — those go through Status/Result).
+///
+/// NESTRA_CHECK(cond)  — always on; prints the failed expression with its
+///                       location and aborts.
+/// NESTRA_DCHECK(cond) — debug builds only (compiled out under NDEBUG);
+///                       use it on hot paths where the check would cost.
+#define NESTRA_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "NESTRA_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+// Keeps `cond` syntactically checked (and its operands "used") without
+// evaluating it.
+#define NESTRA_DCHECK(cond) ((void)sizeof(!(cond)))
+#else
+#define NESTRA_DCHECK(cond) NESTRA_CHECK(cond)
+#endif
+
+#endif  // NESTRA_COMMON_CHECK_H_

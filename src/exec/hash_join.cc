@@ -1,5 +1,7 @@
 #include "exec/hash_join.h"
 
+#include "common/check.h"
+
 namespace nestra {
 
 HashJoinNode::HashJoinNode(ExecNodePtr left, ExecNodePtr right,
@@ -42,6 +44,8 @@ Status HashJoinNode::Open() {
     left_key_idx_.push_back(li);
     right_key_idx_.push_back(ri);
   }
+  // Equi pairs come in matched (left, right) columns.
+  NESTRA_DCHECK(left_key_idx_.size() == right_key_idx_.size());
   NESTRA_ASSIGN_OR_RETURN(
       bound_residual_,
       BoundPredicate::Make(residual_.get(), Schema::Concat(ls, rs)));
@@ -123,6 +127,9 @@ Status HashJoinNode::Next(Row* out, bool* eof) {
       switch (join_type_) {
         case JoinType::kInner:
         case JoinType::kLeftOuter:
+          // Joins never rename: the concatenated row is exactly as wide as
+          // the schema fixed at construction.
+          NESTRA_DCHECK(combined.size() == schema_.num_fields());
           *out = std::move(combined);
           *eof = false;
           return Status::OK();
@@ -150,6 +157,9 @@ Status HashJoinNode::Next(Row* out, bool* eof) {
         break;  // nothing to emit
       case JoinType::kLeftOuter:
         if (!matched) {
+          // NULL padding must line up with the right side's full width.
+          NESTRA_DCHECK(current.size() + right_width_ ==
+                        schema_.num_fields());
           *out = Row::Concat(current, Row::Nulls(right_width_));
           *eof = false;
           return Status::OK();

@@ -1,5 +1,7 @@
 #include "nested/fused_nest_select.h"
 
+#include <algorithm>
+
 namespace nestra {
 
 FusedNestSelectNode::FusedNestSelectNode(ExecNodePtr child,
@@ -50,8 +52,8 @@ Status FusedNestSelectNode::Open() {
     // level's keys (prefix property of §4.2.1).
     if (i > 0) {
       for (int k : levels_[i - 1].key_idx) {
-        bool found = false;
-        for (int k2 : st.key_idx) found = found || (k2 == k);
+        const bool found = std::find(st.key_idx.begin(), st.key_idx.end(),
+                                     k) != st.key_idx.end();
         if (!found) {
           return Status::InvalidArgument(
               "FusedNestSelect: level " + std::to_string(i) +

@@ -60,6 +60,7 @@ Result<NestedRelation> LinkingSelectNested(
   }
 
   NestedRelation out(input.shared_schema());
+  out.tuples().reserve(static_cast<size_t>(input.num_tuples()));
   for (const NestedTuple& t : input.tuples()) {
     const TriBool r = bound.Eval(t);
     if (IsTrue(r)) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/check.h"
+
 namespace nestra {
 
 namespace {
@@ -73,16 +75,19 @@ Result<NestedRelation> Nest(const NestedRelation& input,
   if (method == NestMethod::kHash) {
     std::unordered_map<std::vector<Value>, int64_t, KeyHash> group_of;
     for (const NestedTuple& t : input.tuples()) {
-      std::vector<Value> key = make_key(t);
-      const auto it = group_of.find(key);
-      if (it == group_of.end()) {
-        group_of.emplace(std::move(key),
-                         static_cast<int64_t>(out.tuples().size()));
+      // Single hash lookup per tuple: try_emplace leaves the key intact when
+      // the group already exists.
+      const auto [it, inserted] = group_of.try_emplace(
+          make_key(t), static_cast<int64_t>(out.tuples().size()));
+      if (inserted) {
         NestedTuple g;
         g.atoms = t.atoms.Select(n1);
         g.groups.push_back({make_member(t)});
         out.tuples().push_back(std::move(g));
       } else {
+        // The group tuple was created with exactly one (new) group level;
+        // members of consecutive nests live inside the member schema.
+        NESTRA_DCHECK(out.tuples()[it->second].groups.size() == 1);
         out.tuples()[it->second].groups[0].push_back(make_member(t));
       }
     }
@@ -107,6 +112,9 @@ Result<NestedRelation> Nest(const NestedRelation& input,
       g.groups.push_back({});
       out.tuples().push_back(std::move(g));
     }
+    // A run boundary always created the group this member lands in.
+    NESTRA_DCHECK(!out.tuples().empty() &&
+                  out.tuples().back().groups.size() == 1);
     out.tuples().back().groups[0].push_back(make_member(t));
   }
   return out;

@@ -54,7 +54,7 @@ void RenderTuple(const NestedTuple& t, std::ostringstream* oss) {
     *oss << t.atoms[i].ToString();
   }
   for (const auto& g : t.groups) {
-    if (t.atoms.size() > 0 || &g != &t.groups.front()) *oss << ", ";
+    if (!t.atoms.empty() || &g != &t.groups.front()) *oss << ", ";
     *oss << "{";
     for (size_t i = 0; i < g.size(); ++i) {
       if (i > 0) *oss << ", ";

@@ -15,6 +15,7 @@
 #include "nra/planner.h"
 #include "nra/rewrites.h"
 #include "plan/binder.h"
+#include "verify/verifier.h"
 
 namespace nestra {
 
@@ -53,6 +54,13 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats) {
   NraStats local;
   if (stats == nullptr) stats = &local;
   *stats = NraStats();
+
+  // Static invariant check before any table is touched: a plan that would
+  // violate the paper's nest / selection-mode / key-survival rules must not
+  // run (it could silently return wrong answers, not just fail).
+  if (options_.verify_plans) {
+    NESTRA_RETURN_NOT_OK(VerifyPlan(root, catalog_, options_));
+  }
 
   Result<Table> result = [&]() -> Result<Table> {
     if (root.children.empty()) {

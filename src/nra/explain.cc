@@ -7,6 +7,7 @@
 #include "nra/rewrites.h"
 #include "plan/binder.h"
 #include "plan/tree_expr.h"
+#include "verify/verifier.h"
 
 namespace nestra {
 
@@ -122,6 +123,15 @@ std::string ExplainQuery(const QueryBlock& root, const Catalog& catalog,
 
   const NativePlanChoice native = ChooseNativePlan(root, catalog);
   oss << "=== Native (System A) plan ===\n" << native.explanation << "\n";
+
+  const PlanVerifier verifier(catalog, options);
+  const VerifyReport report = verifier.Verify(root);
+  oss << "=== Plan verification ===\n";
+  if (report.clean()) {
+    oss << "clean (0 diagnostics)\n";
+  } else {
+    oss << report.ToString();
+  }
   return oss.str();
 }
 

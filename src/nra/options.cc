@@ -12,7 +12,7 @@ std::string NraOptions::ToString() const {
       << ", rewrite_positive=" << (rewrite_positive ? "true" : "false")
       << ", bottom_up_linear=" << (bottom_up_linear ? "true" : "false")
       << ", magic_restriction=" << (magic_restriction ? "true" : "false")
-      << "}";
+      << ", verify_plans=" << (verify_plans ? "true" : "false") << "}";
   return oss.str();
 }
 

@@ -44,6 +44,12 @@ struct NraOptions {
   /// participate. Applies to equality correlations; a no-op otherwise.
   bool magic_restriction = false;
 
+  /// Run the static plan verifier (src/verify/) over the bound block tree
+  /// before execution; any error-severity diagnostic fails the query with
+  /// InvalidArgument instead of executing a plan that would silently break
+  /// the paper's invariants.
+  bool verify_plans = true;
+
   /// The paper's two measured configurations.
   static NraOptions Original() {
     NraOptions o;

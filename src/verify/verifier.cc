@@ -1,0 +1,771 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nestra {
+
+namespace {
+
+// Mirrors the executor's NestedAttrsFor: N2 of the nest for a child link is
+// (linked attribute, key attribute), deduplicated. The verifier recomputes
+// it independently so drift between planner and executor is caught by the
+// outline checks rather than silently inherited.
+std::vector<std::string> NestedAttrsFor(const QueryBlock& child) {
+  std::vector<std::string> n2;
+  if (!child.linked_attr.empty()) n2.push_back(child.linked_attr);
+  if (child.key_attr != child.linked_attr) n2.push_back(child.key_attr);
+  return n2;
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+// Name-resolution schema over a block's qualified attribute list (types are
+// irrelevant for resolution).
+Schema SchemaOf(const std::vector<std::string>& attributes) {
+  std::vector<Field> fields;
+  fields.reserve(attributes.size());
+  for (const std::string& a : attributes) fields.emplace_back(a, TypeId::kInt64);
+  return Schema(std::move(fields));
+}
+
+// True when `name` resolves in some ancestor's attributes (nearest first,
+// matching the binder's scope-chain order).
+const QueryBlock* ResolveInAncestors(
+    const std::string& name, const std::vector<const QueryBlock*>& ancestors) {
+  for (auto it = ancestors.rbegin(); it != ancestors.rend(); ++it) {
+    if (SchemaOf((*it)->attributes).Resolve(name).ok()) return *it;
+  }
+  return nullptr;
+}
+
+// StrictSafe over an explicit path (root..current), recomputed locally: the
+// strict selection may drop tuples only when every link on the path (the
+// links of the non-root blocks) is positive.
+bool PathStrictSafe(const std::vector<const QueryBlock*>& path) {
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (!path[i]->LinkIsPositive()) return false;
+  }
+  return true;
+}
+
+// Structural form of the §4.2.4 equi-correlation test: every correlated
+// predicate is `outer_col = child_col` with the sides resolving exclusively
+// on their own side. `ancestors` is root..parent.
+bool EquiCorrelationSplit(const QueryBlock& child,
+                          const std::vector<const QueryBlock*>& ancestors,
+                          std::vector<std::string>* outer_cols) {
+  outer_cols->clear();
+  if (child.correlated_preds.empty()) return false;
+  const Schema own = SchemaOf(child.attributes);
+  for (const ExprPtr& p : child.correlated_preds) {
+    const auto* cmp = dynamic_cast<const Comparison*>(p.get());
+    if (cmp == nullptr || cmp->op() != CmpOp::kEq) return false;
+    const auto* l = dynamic_cast<const ColumnRef*>(&cmp->lhs());
+    const auto* r = dynamic_cast<const ColumnRef*>(&cmp->rhs());
+    if (l == nullptr || r == nullptr) return false;
+    const bool l_own = own.Resolve(l->name()).ok();
+    const bool r_own = own.Resolve(r->name()).ok();
+    const bool l_anc = ResolveInAncestors(l->name(), ancestors) != nullptr;
+    const bool r_anc = ResolveInAncestors(r->name(), ancestors) != nullptr;
+    if (l_anc && !l_own && r_own && !r_anc) {
+      outer_cols->push_back(l->name());
+    } else if (r_anc && !r_own && l_own && !l_anc) {
+      outer_cols->push_back(r->name());
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+// All correlated predicates are column = column equalities (the shape the
+// executor's AllEquiCorrelation starts from), regardless of how the sides
+// split.
+bool LooksEquiCorrelated(const QueryBlock& child) {
+  if (child.correlated_preds.empty()) return false;
+  for (const ExprPtr& p : child.correlated_preds) {
+    const auto* cmp = dynamic_cast<const Comparison*>(p.get());
+    if (cmp == nullptr || cmp->op() != CmpOp::kEq) return false;
+    if (dynamic_cast<const ColumnRef*>(&cmp->lhs()) == nullptr) return false;
+    if (dynamic_cast<const ColumnRef*>(&cmp->rhs()) == nullptr) return false;
+  }
+  return true;
+}
+
+// Root..leaf chain of a linear query (every block has at most one child).
+std::vector<const QueryBlock*> FlattenLinear(const QueryBlock& root) {
+  std::vector<const QueryBlock*> chain;
+  const QueryBlock* node = &root;
+  while (true) {
+    chain.push_back(node);
+    if (node->children.empty()) break;
+    NESTRA_DCHECK(node->children.size() == 1);
+    node = node->children[0].get();
+  }
+  return chain;
+}
+
+void AddDiagnostic(VerifyReport* report, VerifySeverity severity, int block_id,
+                   const char* rule_id, std::string message) {
+  report->diagnostics.push_back(
+      {severity, block_id, rule_id, std::move(message)});
+}
+
+void AddError(VerifyReport* report, int block_id, const char* rule_id,
+              std::string message) {
+  AddDiagnostic(report, VerifySeverity::kError, block_id, rule_id,
+                std::move(message));
+}
+
+void AddWarning(VerifyReport* report, int block_id, const char* rule_id,
+                std::string message) {
+  AddDiagnostic(report, VerifySeverity::kWarning, block_id, rule_id,
+                std::move(message));
+}
+
+}  // namespace
+
+const char* VerifySeverityToString(VerifySeverity severity) {
+  return severity == VerifySeverity::kError ? "error" : "warning";
+}
+
+std::string VerifyDiagnostic::ToString() const {
+  std::ostringstream oss;
+  oss << VerifySeverityToString(severity) << " [" << rule_id << "] block "
+      << block_id << ": " << message;
+  return oss.str();
+}
+
+bool VerifyReport::ok() const { return num_errors() == 0; }
+
+int VerifyReport::num_errors() const {
+  int n = 0;
+  for (const VerifyDiagnostic& d : diagnostics) {
+    if (d.severity == VerifySeverity::kError) ++n;
+  }
+  return n;
+}
+
+bool VerifyReport::HasRule(const std::string& rule_id) const {
+  for (const VerifyDiagnostic& d : diagnostics) {
+    if (d.rule_id == rule_id) return true;
+  }
+  return false;
+}
+
+std::string VerifyReport::ToString() const {
+  std::ostringstream oss;
+  for (const VerifyDiagnostic& d : diagnostics) oss << d.ToString() << "\n";
+  return oss.str();
+}
+
+Status VerifyReport::ToStatus() const {
+  if (ok()) return Status::OK();
+  std::ostringstream oss;
+  oss << "plan verification failed: ";
+  bool first = true;
+  for (const VerifyDiagnostic& d : diagnostics) {
+    if (d.severity != VerifySeverity::kError) continue;
+    if (!first) oss << "; ";
+    first = false;
+    oss << d.ToString();
+  }
+  return Status::InvalidArgument(oss.str());
+}
+
+VerifyReport PlanVerifier::Verify(const QueryBlock& root) const {
+  VerifyReport report;
+
+  // Alias uniqueness is global: attribute qualification (and with it every
+  // set comparison below) depends on it.
+  {
+    std::set<std::string> aliases;
+    std::vector<const QueryBlock*> stack{&root};
+    while (!stack.empty()) {
+      const QueryBlock* b = stack.back();
+      stack.pop_back();
+      for (const QueryBlock::TableRef& ref : b->tables) {
+        if (!aliases.insert(ref.alias).second) {
+          AddError(&report, b->id, verify_rules::kSchemaResolve,
+                   "table alias '" + ref.alias +
+                       "' is not unique across the query");
+        }
+      }
+      for (const auto& c : b->children) stack.push_back(c.get());
+    }
+  }
+
+  std::vector<const QueryBlock*> ancestors;
+  CheckTree(root, &ancestors, &report);
+  CheckRootOutput(root, &report);
+
+  // §4.2.3: the bottom-up pipeline trusts correlated_block_ids adjacency;
+  // cross-check it against the predicates' actual column references.
+  if (options_.bottom_up_linear && root.IsLinearCorrelated()) {
+    const std::vector<const QueryBlock*> chain = FlattenLinear(root);
+    for (size_t k = 1; k < chain.size(); ++k) {
+      const QueryBlock& block = *chain[k];
+      const Schema own = SchemaOf(block.attributes);
+      const Schema parent = SchemaOf(chain[k - 1]->attributes);
+      for (const ExprPtr& p : block.correlated_preds) {
+        std::vector<std::string> cols;
+        p->CollectColumns(&cols);
+        for (const std::string& c : cols) {
+          if (!own.Resolve(c).ok() && !parent.Resolve(c).ok()) {
+            AddError(&report, block.id, verify_rules::kRewritePrecond,
+                     "bottom-up linear pipeline (4.2.3) requires adjacent "
+                     "correlation, but column '" +
+                         c + "' of block " + std::to_string(block.id) +
+                         " resolves in neither the block nor its parent");
+          }
+        }
+      }
+    }
+  }
+
+  CheckOutline(Outline(root), &report);
+  return report;
+}
+
+void PlanVerifier::CheckTree(const QueryBlock& block,
+                             std::vector<const QueryBlock*>* ancestors,
+                             VerifyReport* report) const {
+  // --- schema-resolve: the block's attribute list matches its FROM tables.
+  bool tables_ok = !block.tables.empty();
+  if (block.tables.empty()) {
+    AddError(report, block.id, verify_rules::kSchemaResolve,
+             "block has no FROM tables");
+  }
+  std::vector<std::string> expected;
+  for (const QueryBlock::TableRef& ref : block.tables) {
+    const Result<const Table*> table = catalog_.GetTable(ref.table);
+    if (!table.ok()) {
+      AddError(report, block.id, verify_rules::kSchemaResolve,
+               "table '" + ref.table + "' is not in the catalog");
+      tables_ok = false;
+      continue;
+    }
+    const Schema qualified = (*table)->schema().Qualify(ref.alias);
+    for (const Field& f : qualified.fields()) expected.push_back(f.name);
+  }
+  if (tables_ok && expected != block.attributes) {
+    AddError(report, block.id, verify_rules::kSchemaResolve,
+             "attribute list does not match the qualified schemas of the "
+             "block's FROM tables");
+  }
+
+  // --- key-survival: the key attribute used for emptiness detection.
+  if (block.key_attr.empty()) {
+    AddError(report, block.id, verify_rules::kKeySurvival,
+             "block has no key attribute; empty-subquery detection via "
+             "NULL-padded keys is impossible");
+  } else {
+    if (!Contains(block.attributes, block.key_attr)) {
+      AddError(report, block.id, verify_rules::kKeySurvival,
+               "key attribute '" + block.key_attr +
+                   "' is not among the block's attributes");
+    }
+    if (tables_ok) {
+      const Result<const TableMetadata*> meta =
+          catalog_.GetMetadata(block.tables[0].table);
+      if (meta.ok()) {
+        const std::string expected_key = (*meta)->primary_key.empty()
+            ? std::string()
+            : block.tables[0].alias + "." + (*meta)->primary_key;
+        if (expected_key.empty()) {
+          AddError(report, block.id, verify_rules::kKeySurvival,
+                   "first FROM table '" + block.tables[0].table +
+                       "' has no declared primary key");
+        } else if (block.key_attr != expected_key) {
+          AddError(report, block.id, verify_rules::kKeySurvival,
+                   "key attribute '" + block.key_attr +
+                       "' is not the first table's primary key ('" +
+                       expected_key + "')");
+        }
+      }
+    }
+  }
+
+  // --- schema-resolve: local predicate columns resolve in the block.
+  const Schema own = SchemaOf(block.attributes);
+  if (block.local_pred != nullptr) {
+    std::vector<std::string> cols;
+    block.local_pred->CollectColumns(&cols);
+    for (const std::string& c : cols) {
+      if (!own.Resolve(c).ok()) {
+        AddError(report, block.id, verify_rules::kSchemaResolve,
+                 "column '" + c +
+                     "' of the local predicate does not resolve in the "
+                     "block's schema");
+      }
+    }
+  }
+
+  // --- schema-resolve: correlated predicates resolve, reference at least
+  // one ancestor, and agree with the cached correlated_block_ids.
+  std::set<int> referenced;
+  for (const ExprPtr& p : block.correlated_preds) {
+    std::vector<std::string> cols;
+    p->CollectColumns(&cols);
+    bool touches_ancestor = false;
+    for (const std::string& c : cols) {
+      if (own.Resolve(c).ok()) continue;  // binder scope order: block first
+      const QueryBlock* anc = ResolveInAncestors(c, *ancestors);
+      if (anc == nullptr) {
+        AddError(report, block.id, verify_rules::kSchemaResolve,
+                 "column '" + c +
+                     "' of a correlated predicate resolves in neither the "
+                     "block nor any ancestor block");
+      } else {
+        referenced.insert(anc->id);
+        touches_ancestor = true;
+      }
+    }
+    if (!touches_ancestor) {
+      AddError(report, block.id, verify_rules::kSchemaResolve,
+               "correlated predicate references no ancestor block (it "
+               "belongs in the local predicate)");
+    }
+  }
+  const std::set<int> cached(block.correlated_block_ids.begin(),
+                             block.correlated_block_ids.end());
+  if (referenced != cached) {
+    AddError(report, block.id, verify_rules::kSchemaResolve,
+             "correlated_block_ids do not match the blocks actually "
+             "referenced by the correlated predicates");
+  }
+
+  if (!ancestors->empty()) {
+    CheckLink(block, *ancestors, report);
+    CheckRewritePreconditions(block, *ancestors, report);
+    if (block.correlated_preds.empty() && !block.IsLeaf()) {
+      AddWarning(report, block.id, verify_rules::kCartesianProduct,
+                 "non-correlated block is not a leaf: its subtree joins "
+                 "with the outer relation as a true Cartesian product");
+    }
+  }
+
+  ancestors->push_back(&block);
+  for (const auto& child : block.children) {
+    CheckTree(*child, ancestors, report);
+  }
+  ancestors->pop_back();
+}
+
+void PlanVerifier::CheckRootOutput(const QueryBlock& root,
+                                   VerifyReport* report) const {
+  const Schema own = SchemaOf(root.attributes);
+  if (root.select_list.empty()) {
+    AddError(report, root.id, verify_rules::kSchemaResolve,
+             "root block has an empty select list");
+  }
+  if (root.IsGrouped()) {
+    std::set<std::string> allowed(root.group_by.begin(), root.group_by.end());
+    for (const QueryBlock::RootAgg& a : root.aggregates) {
+      allowed.insert(a.output_name);
+      if (!a.column.empty() && !own.Resolve(a.column).ok()) {
+        AddError(report, root.id, verify_rules::kSchemaResolve,
+                 "aggregate argument '" + a.column +
+                     "' does not resolve in the root block's schema");
+      }
+    }
+    for (const std::string& g : root.group_by) {
+      if (!own.Resolve(g).ok()) {
+        AddError(report, root.id, verify_rules::kSchemaResolve,
+                 "grouping column '" + g +
+                     "' does not resolve in the root block's schema");
+      }
+    }
+    for (const std::string& s : root.select_list) {
+      if (allowed.count(s) == 0) {
+        AddError(report, root.id, verify_rules::kSchemaResolve,
+                 "select item '" + s +
+                     "' is neither a grouping column nor an aggregate "
+                     "output");
+      }
+    }
+    for (const QueryBlock::OrderItem& o : root.order_by) {
+      if (allowed.count(o.column) == 0) {
+        AddError(report, root.id, verify_rules::kSchemaResolve,
+                 "ORDER BY column '" + o.column +
+                     "' is neither a grouping column nor an aggregate "
+                     "output");
+      }
+    }
+    if (root.having != nullptr) {
+      std::vector<std::string> cols;
+      root.having->CollectColumns(&cols);
+      for (const std::string& c : cols) {
+        if (allowed.count(c) == 0) {
+          AddError(report, root.id, verify_rules::kSchemaResolve,
+                   "HAVING column '" + c +
+                       "' is neither a grouping column nor an aggregate "
+                       "output");
+        }
+      }
+    }
+  } else {
+    for (const std::string& s : root.select_list) {
+      if (!own.Resolve(s).ok()) {
+        AddError(report, root.id, verify_rules::kSchemaResolve,
+                 "select item '" + s +
+                     "' does not resolve in the root block's schema");
+      }
+    }
+    for (const QueryBlock::OrderItem& o : root.order_by) {
+      if (!own.Resolve(o.column).ok()) {
+        AddError(report, root.id, verify_rules::kSchemaResolve,
+                 "ORDER BY column '" + o.column +
+                     "' does not resolve in the root block's schema");
+      }
+    }
+  }
+}
+
+void PlanVerifier::CheckLink(const QueryBlock& block,
+                             const std::vector<const QueryBlock*>& ancestors,
+                             VerifyReport* report) const {
+  const Schema own = SchemaOf(block.attributes);
+  const auto check_linking_side = [&]() {
+    if (block.linking_is_const) return;
+    if (block.linking_attr.empty()) {
+      AddError(report, block.id, verify_rules::kLinkSchema,
+               "link has no outer operand (neither a linking attribute nor "
+               "a constant)");
+      return;
+    }
+    if (ResolveInAncestors(block.linking_attr, ancestors) == nullptr) {
+      AddError(report, block.id, verify_rules::kLinkSchema,
+               "linking attribute '" + block.linking_attr +
+                   "' does not resolve in any ancestor block");
+    }
+  };
+
+  if (block.is_aggregate_link) {
+    if (block.linked_attr.empty()) {
+      if (block.agg != LinkAgg::kCountStar) {
+        AddError(report, block.id, verify_rules::kLinkSchema,
+                 "aggregate link has no argument column (only COUNT(*) may "
+                 "omit it)");
+      }
+    } else if (!own.Resolve(block.linked_attr).ok()) {
+      AddError(report, block.id, verify_rules::kLinkSchema,
+               "aggregate argument '" + block.linked_attr +
+                   "' is not an attribute of the block");
+    }
+    check_linking_side();
+    return;
+  }
+
+  switch (block.link_op) {
+    case LinkOp::kExists:
+    case LinkOp::kNotExists:
+      // Emptiness testing reads the block's key through the nest.
+      if (!block.key_attr.empty() && block.linked_attr != block.key_attr) {
+        AddError(report, block.id, verify_rules::kLinkSchema,
+                 "EXISTS link must use the block's key attribute '" +
+                     block.key_attr + "' as its linked attribute (found '" +
+                     block.linked_attr + "')");
+      }
+      break;
+    case LinkOp::kIn:
+    case LinkOp::kNotIn:
+    case LinkOp::kSome:
+    case LinkOp::kAll:
+      if (block.linked_attr.empty()) {
+        AddError(report, block.id, verify_rules::kLinkSchema,
+                 "quantified link has no linked attribute (the subquery's "
+                 "select item)");
+      } else if (!own.Resolve(block.linked_attr).ok()) {
+        AddError(report, block.id, verify_rules::kLinkSchema,
+                 "linked attribute '" + block.linked_attr +
+                     "' is not an attribute of the block");
+      }
+      check_linking_side();
+      break;
+  }
+}
+
+void PlanVerifier::CheckRewritePreconditions(
+    const QueryBlock& block, const std::vector<const QueryBlock*>& ancestors,
+    VerifyReport* report) const {
+  // §4.2.5 positive-semijoin rewrite: when the executor would take it, the
+  // extra join condition A θ B must be constructible.
+  if (options_.rewrite_positive && block.IsLeaf() && block.LinkIsPositive()) {
+    std::vector<const QueryBlock*> path = ancestors;
+    const bool strict_safe = PathStrictSafe(path);
+    if (strict_safe && !block.is_aggregate_link &&
+        (block.link_op == LinkOp::kIn || block.link_op == LinkOp::kSome)) {
+      if (block.linked_attr.empty()) {
+        AddError(report, block.id, verify_rules::kRewritePrecond,
+                 "positive-semijoin rewrite (4.2.5) needs the link's inner "
+                 "operand, but the block has no linked attribute");
+      }
+      if (!block.linking_is_const && block.linking_attr.empty()) {
+        AddError(report, block.id, verify_rules::kRewritePrecond,
+                 "positive-semijoin rewrite (4.2.5) needs the link's outer "
+                 "operand, but the block has neither a linking attribute "
+                 "nor a constant");
+      }
+    }
+  }
+
+  // §4.2.4 nest push-down: enabled + equality-shaped correlation that does
+  // not split cleanly into outer/inner sides silently falls back to the
+  // outer-join plan — worth a warning, not an error.
+  if (options_.push_down_nest && block.IsLeaf() && LooksEquiCorrelated(block)) {
+    std::vector<std::string> outer_cols;
+    if (!EquiCorrelationSplit(block, ancestors, &outer_cols)) {
+      AddWarning(report, block.id, verify_rules::kRewritePrecond,
+                 "nest push-down (4.2.4) is enabled and the correlation is "
+                 "equality-shaped, but it does not split into outer/inner "
+                 "sides; the executor falls back to the outer-join plan");
+    }
+  }
+}
+
+std::vector<PlanStep> PlanVerifier::Outline(const QueryBlock& root) const {
+  std::vector<PlanStep> steps;
+  if (root.children.empty()) return steps;
+
+  // §4.2.3 bottom-up pipeline (innermost level first; strict throughout).
+  if (options_.bottom_up_linear && root.IsLinearCorrelated()) {
+    const std::vector<const QueryBlock*> chain = FlattenLinear(root);
+    for (int k = static_cast<int>(chain.size()) - 2; k >= 0; --k) {
+      PlanStep s;
+      s.parent = chain[k];
+      s.child = chain[k + 1];
+      s.order = PlanStepOrder::kBottomUp;
+      s.mode = SelectionMode::kStrict;
+      std::vector<std::string> outer_cols;
+      std::vector<const QueryBlock*> path(chain.begin(),
+                                          chain.begin() + k + 1);
+      s.kind = EquiCorrelationSplit(*s.child, path, &outer_cols)
+                   ? PlanStepKind::kHashLinkSelect
+                   : PlanStepKind::kNestSelect;
+      s.nesting_attrs = s.kind == PlanStepKind::kHashLinkSelect
+                            ? outer_cols
+                            : s.parent->attributes;
+      s.nested_attrs = NestedAttrsFor(*s.child);
+      s.path = std::move(path);
+      steps.push_back(std::move(s));
+    }
+    return steps;
+  }
+
+  // §4.2.1 + §4.2.2 single-sort fused pipeline over a whole linear chain.
+  if (options_.fused && root.IsLinear() && !options_.push_down_nest &&
+      !options_.rewrite_positive) {
+    const std::vector<const QueryBlock*> chain = FlattenLinear(root);
+    bool all_correlated = true;
+    for (size_t i = 1; i < chain.size(); ++i) {
+      all_correlated = all_correlated && !chain[i]->correlated_preds.empty();
+    }
+    if (all_correlated) {
+      std::vector<std::string> prefix;
+      for (size_t k = 0; k + 1 < chain.size(); ++k) {
+        for (const std::string& a : chain[k]->attributes) {
+          prefix.push_back(a);
+        }
+        PlanStep s;
+        s.parent = chain[k];
+        s.child = chain[k + 1];
+        s.kind = PlanStepKind::kNestSelect;
+        s.streaming = true;
+        s.mode = k == 0 ? SelectionMode::kStrict : SelectionMode::kPseudo;
+        s.nesting_attrs = prefix;
+        s.nested_attrs = NestedAttrsFor(*s.child);
+        s.path.assign(chain.begin(), chain.begin() + k + 1);
+        steps.push_back(std::move(s));
+      }
+      return steps;
+    }
+  }
+
+  // Recursive Algorithm 1.
+  std::vector<const QueryBlock*> path{&root};
+  OutlineNode(root, root.attributes, &path, &steps);
+  return steps;
+}
+
+void PlanVerifier::OutlineNode(const QueryBlock& node,
+                               std::vector<std::string> retained,
+                               std::vector<const QueryBlock*>* path,
+                               std::vector<PlanStep>* steps) const {
+  for (const auto& child_ptr : node.children) {
+    const QueryBlock& child = *child_ptr;
+    const bool strict_safe = PathStrictSafe(*path);
+    const SelectionMode mode =
+        strict_safe ? SelectionMode::kStrict : SelectionMode::kPseudo;
+
+    PlanStep s;
+    s.parent = &node;
+    s.child = &child;
+    s.mode = mode;
+    s.path = *path;
+
+    if (options_.rewrite_positive && child.IsLeaf() &&
+        child.LinkIsPositive() && strict_safe) {
+      s.kind = PlanStepKind::kSemijoin;
+      s.mode = SelectionMode::kStrict;
+      steps->push_back(std::move(s));
+      continue;
+    }
+
+    if (child.IsLeaf() && child.correlated_preds.empty()) {
+      // Virtual Cartesian product: one shared group, no grouping key.
+      s.kind = PlanStepKind::kHashLinkSelect;
+      s.nested_attrs = NestedAttrsFor(child);
+      s.pad_attrs = node.attributes;
+      steps->push_back(std::move(s));
+      continue;
+    }
+
+    if (options_.push_down_nest && child.IsLeaf()) {
+      std::vector<std::string> outer_cols;
+      if (EquiCorrelationSplit(child, *path, &outer_cols)) {
+        s.kind = PlanStepKind::kHashLinkSelect;
+        s.nesting_attrs = std::move(outer_cols);
+        s.nested_attrs = NestedAttrsFor(child);
+        s.pad_attrs = node.attributes;
+        steps->push_back(std::move(s));
+        continue;
+      }
+    }
+
+    // Outer join, recurse, then nest by the retained prefix + select.
+    std::vector<std::string> retained_child = retained;
+    for (const std::string& a : child.attributes) {
+      retained_child.push_back(a);
+    }
+    path->push_back(&child);
+    OutlineNode(child, std::move(retained_child), path, steps);
+    path->pop_back();
+
+    s.kind = PlanStepKind::kNestSelect;
+    s.nesting_attrs = retained;
+    s.nested_attrs = NestedAttrsFor(child);
+    s.pad_attrs = node.attributes;
+    steps->push_back(std::move(s));
+  }
+}
+
+void PlanVerifier::CheckOutline(const std::vector<PlanStep>& steps,
+                                VerifyReport* report) const {
+  for (const PlanStep& s : steps) {
+    NESTRA_DCHECK(s.parent != nullptr && s.child != nullptr);
+    const QueryBlock& child = *s.child;
+    const QueryBlock& parent = *s.parent;
+
+    if (s.kind == PlanStepKind::kSemijoin) {
+      // The semijoin drops failing tuples outright — it is a strict
+      // selection in disguise and inherits the same soundness condition.
+      if (!child.LinkIsPositive() || !PathStrictSafe(s.path)) {
+        AddError(report, child.id, verify_rules::kLinkMode,
+                 "semijoin rewrite drops failing tuples, but the link (or "
+                 "an enclosing link) is negative; the pseudo-selection "
+                 "plan is required");
+      }
+      continue;
+    }
+
+    // --- link-mode: strict only where no negative operator is pending.
+    const bool negative_pending =
+        s.order == PlanStepOrder::kTopDown && !PathStrictSafe(s.path);
+    if (s.mode == SelectionMode::kStrict && negative_pending) {
+      AddError(report, child.id, verify_rules::kLinkMode,
+               "strict selection for the link of block " +
+                   std::to_string(child.id) +
+                   ", but an enclosing negative linking operator is still "
+                   "pending; the pseudo-selection with NULL padding is "
+                   "required");
+    }
+    if (s.mode == SelectionMode::kPseudo && !s.streaming) {
+      // A must be exactly the enclosing block's attributes, so the padded
+      // tuple's key and linked value read as NULL upward.
+      if (parent.key_attr.empty() ||
+          !Contains(s.pad_attrs, parent.key_attr)) {
+        AddError(report, child.id, verify_rules::kKeySurvival,
+                 "pseudo-selection pad set for the link of block " +
+                     std::to_string(child.id) +
+                     " does not include the enclosing block's key "
+                     "attribute; padded tuples would be undetectable");
+      } else {
+        const std::set<std::string> pad(s.pad_attrs.begin(),
+                                        s.pad_attrs.end());
+        const std::set<std::string> enclosing(parent.attributes.begin(),
+                                              parent.attributes.end());
+        if (pad != enclosing) {
+          AddError(report, child.id, verify_rules::kLinkMode,
+                   "pseudo-selection pad set A must be exactly the "
+                   "enclosing block's attribute set");
+        }
+      }
+    }
+
+    // --- nest-sets: υ_{N1,N2} well-formedness.
+    if (s.nested_attrs.empty()) {
+      AddError(report, child.id, verify_rules::kNestSets,
+               "nest set N2 is empty: the link has neither a linked "
+               "attribute nor a key attribute");
+    }
+    for (const std::string& a : s.nested_attrs) {
+      if (Contains(s.nesting_attrs, a)) {
+        AddError(report, child.id, verify_rules::kNestSets,
+                 "nest sets N1 and N2 overlap on '" + a + "'");
+      }
+      if (!a.empty() && !Contains(child.attributes, a)) {
+        AddError(report, child.id, verify_rules::kNestSets,
+                 "nested attribute '" + a + "' is not an attribute of block " +
+                     std::to_string(child.id));
+      }
+    }
+    for (size_t i = 0; i < s.nesting_attrs.size(); ++i) {
+      for (size_t j = i + 1; j < s.nesting_attrs.size(); ++j) {
+        if (s.nesting_attrs[i] == s.nesting_attrs[j]) {
+          AddError(report, child.id, verify_rules::kNestSets,
+                   "nest set N1 lists '" + s.nesting_attrs[i] +
+                       "' more than once");
+        }
+      }
+    }
+    // Closure under the implicit projection onto N1 ∪ N2: the linking
+    // selection still needs the outer operand after the nest.
+    if (s.kind == PlanStepKind::kNestSelect && !child.linking_is_const &&
+        !child.linking_attr.empty() &&
+        !Contains(s.nesting_attrs, child.linking_attr)) {
+      AddError(report, child.id, verify_rules::kNestSets,
+               "linking attribute '" + child.linking_attr +
+                   "' does not survive the nest's implicit projection "
+                   "(missing from N1)");
+    }
+
+    // --- key-survival at the step level.
+    if (child.key_attr.empty()) {
+      AddError(report, child.id, verify_rules::kKeySurvival,
+               "block " + std::to_string(child.id) +
+                   " has no key attribute; the linking selection cannot "
+                   "distinguish an empty subquery from a padded one");
+    } else if (!Contains(s.nested_attrs, child.key_attr)) {
+      AddError(report, child.id, verify_rules::kKeySurvival,
+               "key attribute '" + child.key_attr + "' of block " +
+                   std::to_string(child.id) +
+                   " does not survive to the linking selection (missing "
+                   "from N2)");
+    }
+  }
+}
+
+Status VerifyPlan(const QueryBlock& root, const Catalog& catalog,
+                  const NraOptions& options) {
+  const PlanVerifier verifier(catalog, options);
+  return verifier.Verify(root).ToStatus();
+}
+
+}  // namespace nestra

@@ -1,0 +1,160 @@
+#ifndef NESTRA_VERIFY_VERIFIER_H_
+#define NESTRA_VERIFY_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nested/linking_selection.h"
+#include "nra/options.h"
+#include "plan/query_block.h"
+#include "storage/catalog.h"
+
+namespace nestra {
+
+/// Rule identifiers, stable across releases (documented in DESIGN.md with
+/// their paper references).
+namespace verify_rules {
+/// Selection-mode consistency: strict σ_C only where no enclosing negative
+/// operator is pending; pseudo σ̄_{C,A} pads exactly the subquery-side
+/// attribute set A (paper §4, Definition of the pseudo-selection).
+inline constexpr const char kLinkMode[] = "link-mode";
+/// Linking predicate well-formedness: the operator's outer/inner operands
+/// exist and resolve on the correct side (paper §2, linking predicates).
+inline constexpr const char kLinkSchema[] = "link-schema";
+/// Nest operator υ_{N1,N2}: N1 ∩ N2 = ∅, N2 non-empty, and every attribute
+/// the linking selection reads survives the implicit projection onto
+/// N1 ∪ N2 (paper §3, nest definition).
+inline constexpr const char kNestSets[] = "nest-sets";
+/// Every outer-joined block contributes a key attribute that survives to
+/// its linking selection, so empty subqueries are detectable through
+/// NULL-padded keys (paper §4, empty-set handling).
+inline constexpr const char kKeySurvival[] = "key-survival";
+/// Schema propagation: every attribute referenced by local / correlated /
+/// linking predicates and the root output resolves at its point of use.
+inline constexpr const char kSchemaResolve[] = "schema-resolve";
+/// Preconditions of the enabled §4.2.3–§4.2.5 rewrites actually hold.
+inline constexpr const char kRewritePrecond[] = "rewrite-precond";
+/// A non-correlated, non-leaf block forces a materialized Cartesian
+/// product (warning: legal but expensive).
+inline constexpr const char kCartesianProduct[] = "cartesian-product";
+}  // namespace verify_rules
+
+enum class VerifySeverity { kWarning, kError };
+
+const char* VerifySeverityToString(VerifySeverity severity);
+
+/// One structured finding of the verifier.
+struct VerifyDiagnostic {
+  VerifySeverity severity = VerifySeverity::kError;
+  int block_id = 0;
+  std::string rule_id;
+  std::string message;
+
+  /// "error [nest-sets] block 2: ..." — one line, no trailing newline.
+  std::string ToString() const;
+};
+
+struct VerifyReport {
+  std::vector<VerifyDiagnostic> diagnostics;
+
+  /// No error-severity diagnostics (warnings allowed).
+  bool ok() const;
+  /// No diagnostics at all.
+  bool clean() const { return diagnostics.empty(); }
+  int num_errors() const;
+  bool HasRule(const std::string& rule_id) const;
+
+  /// One diagnostic per line.
+  std::string ToString() const;
+  /// OK when ok(); otherwise an InvalidArgument carrying every error.
+  Status ToStatus() const;
+};
+
+/// How one linking selection of the plan evaluates its nest + selection.
+enum class PlanStepKind {
+  kNestSelect,      // nest by the retained prefix, then linking selection
+  kHashLinkSelect,  // §4.2.4 push-down / virtual Cartesian product
+  kSemijoin,        // §4.2.5 positive rewrite (no nest at all)
+};
+
+/// Evaluation order of the step relative to its enclosing links. In the
+/// top-down orders an enclosing negative operator may still need a failing
+/// tuple (pseudo mode required); in the §4.2.3 bottom-up order nothing is
+/// pending below, so the strict selection is always sound.
+enum class PlanStepOrder { kTopDown, kBottomUp };
+
+/// \brief One linking-selection step, mirroring NraExecutor's decisions: the
+/// nest υ_{N1,N2} for `child`'s link evaluated against `parent`'s level.
+struct PlanStep {
+  const QueryBlock* parent = nullptr;
+  const QueryBlock* child = nullptr;
+  PlanStepKind kind = PlanStepKind::kNestSelect;
+  PlanStepOrder order = PlanStepOrder::kTopDown;
+  /// True for inner levels of the single-sort fused pipeline (§4.2.1): the
+  /// pseudo-selection's padding is implicit there (a failing group simply
+  /// contributes no member), so no pad list is required.
+  bool streaming = false;
+  SelectionMode mode = SelectionMode::kStrict;
+  std::vector<std::string> nesting_attrs;  // N1
+  std::vector<std::string> nested_attrs;   // N2
+  std::vector<std::string> pad_attrs;      // A (pseudo mode)
+  /// Enclosing blocks, root first, ending at `parent`. CheckOutline
+  /// recomputes the required selection mode from the links on this path.
+  std::vector<const QueryBlock*> path;
+};
+
+/// \brief Static verifier for bound QueryBlock plans (run before execution).
+///
+/// Verify() checks the tree-level invariants (schemas, linking predicates,
+/// keys, rewrite preconditions), derives the plan outline the executor
+/// would choose under `options`, and checks every step of it. Outline() and
+/// CheckOutline() are exposed separately so tests (and future external
+/// planners) can validate a hand-built or mutated plan against a tree.
+class PlanVerifier {
+ public:
+  PlanVerifier(const Catalog& catalog,
+               NraOptions options = NraOptions::Optimized())
+      : catalog_(catalog), options_(options) {}
+
+  VerifyReport Verify(const QueryBlock& root) const;
+
+  /// The linking-selection steps NraExecutor would run for `root` under the
+  /// verifier's options, in evaluation order.
+  std::vector<PlanStep> Outline(const QueryBlock& root) const;
+
+  /// Per-step invariants (link-mode, nest-sets, key-survival) over an
+  /// explicit outline. `steps` may have been produced from a different (or
+  /// since-mutated) tree than the blocks its pointers reference; the
+  /// required selection mode is recomputed from the current link operators.
+  void CheckOutline(const std::vector<PlanStep>& steps,
+                    VerifyReport* report) const;
+
+ private:
+  void CheckTree(const QueryBlock& block,
+                 std::vector<const QueryBlock*>* ancestors,
+                 VerifyReport* report) const;
+  void CheckRootOutput(const QueryBlock& root, VerifyReport* report) const;
+  void CheckLink(const QueryBlock& block,
+                 const std::vector<const QueryBlock*>& ancestors,
+                 VerifyReport* report) const;
+  void CheckRewritePreconditions(const QueryBlock& block,
+                                 const std::vector<const QueryBlock*>& ancestors,
+                                 VerifyReport* report) const;
+  void OutlineNode(const QueryBlock& node,
+                   std::vector<std::string> retained,
+                   std::vector<const QueryBlock*>* path,
+                   std::vector<PlanStep>* steps) const;
+
+  const Catalog& catalog_;
+  NraOptions options_;
+};
+
+/// Convenience wrapper: runs the verifier and converts the report to a
+/// Status (used by NraExecutor::Execute).
+Status VerifyPlan(const QueryBlock& root, const Catalog& catalog,
+                  const NraOptions& options);
+
+}  // namespace nestra
+
+#endif  // NESTRA_VERIFY_VERIFIER_H_

@@ -11,12 +11,28 @@
 #include "sql/parser.h"
 #include "storage/csv_io.h"
 #include "tpch/random.h"
+#include "verify/verifier.h"
 #include "test_util.h"
 
 namespace nestra {
 namespace {
 
 using testing_util::RegisterPaperRelations;
+
+// Whatever the binder accepts, the static verifier must accept too: the
+// binder is supposed to establish exactly the invariants the verifier
+// re-derives, so a verifier error on a successfully-bound fuzz query means
+// one of the two has drifted.
+void ExpectVerifies(const QueryBlock& root, const Catalog& catalog,
+                    const std::string& input) {
+  for (const NraOptions& opts :
+       {NraOptions::Original(), NraOptions::Optimized()}) {
+    const PlanVerifier verifier(catalog, opts);
+    const VerifyReport report = verifier.Verify(root);
+    EXPECT_TRUE(report.ok())
+        << input << "\n(" << opts.ToString() << ")\n" << report.ToString();
+  }
+}
 
 class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -59,7 +75,7 @@ TEST_P(FuzzTest, TokenSoupNeverCrashesParserOrBinder) {
       input += kVocab[rng.UniformInt(0, std::size(kVocab) - 1)];
     }
     const Result<QueryBlockPtr> bound = ParseAndBind(input, catalog);
-    (void)bound;  // either outcome is fine; no crash, no hang
+    if (bound.ok()) ExpectVerifies(**bound, catalog, input);
   }
 }
 
@@ -92,7 +108,7 @@ TEST_P(FuzzTest, MutatedValidQueriesNeverCrash) {
       if (mutated.empty()) mutated = "select";
     }
     const Result<QueryBlockPtr> bound = ParseAndBind(mutated, catalog);
-    (void)bound;
+    if (bound.ok()) ExpectVerifies(**bound, catalog, mutated);
   }
 }
 

@@ -1,0 +1,229 @@
+// Static plan verifier: clean bills of health for the paper / TPC-H query
+// corpora under every option set, and targeted detection of hand-corrupted
+// plans (one per documented rule id).
+
+#include "verify/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "nra/executor.h"
+#include "nra/explain.h"
+#include "plan/binder.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::RegisterPaperRelations;
+using testing_util::kQueryQ;
+
+// Every measured configuration plus each §4.2.x flag in isolation.
+std::vector<NraOptions> AllOptionSets() {
+  std::vector<NraOptions> sets{NraOptions::Original(), NraOptions::Optimized()};
+  NraOptions o = NraOptions::Optimized();
+  o.push_down_nest = true;
+  sets.push_back(o);
+  o = NraOptions::Optimized();
+  o.rewrite_positive = true;
+  sets.push_back(o);
+  o = NraOptions::Optimized();
+  o.bottom_up_linear = true;
+  sets.push_back(o);
+  o = NraOptions::Original();
+  o.nest_method = NestMethod::kHash;
+  o.magic_restriction = true;
+  sets.push_back(o);
+  return sets;
+}
+
+class VerifyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterPaperRelations(&catalog_); }
+
+  QueryBlockPtr Bind(const std::string& sql) {
+    Result<QueryBlockPtr> bound = ParseAndBind(sql, catalog_);
+    EXPECT_TRUE(bound.ok()) << sql << "\n" << bound.status().ToString();
+    return bound.ok() ? std::move(bound).ValueOrDie() : nullptr;
+  }
+
+  Catalog catalog_;
+};
+
+TEST(VerifyDiagnosticTest, Formatting) {
+  const VerifyDiagnostic d{VerifySeverity::kError, 2, verify_rules::kNestSets,
+                           "N1 and N2 overlap on 's.e'"};
+  EXPECT_EQ(d.ToString(), "error [nest-sets] block 2: N1 and N2 overlap on 's.e'");
+
+  VerifyReport report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.clean());
+  EXPECT_OK(report.ToStatus());
+
+  report.diagnostics.push_back({VerifySeverity::kWarning, 3,
+                                verify_rules::kCartesianProduct, "pricey"});
+  EXPECT_TRUE(report.ok());  // warnings do not fail verification
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.num_errors(), 0);
+  EXPECT_OK(report.ToStatus());
+
+  report.diagnostics.push_back(d);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.num_errors(), 1);
+  EXPECT_TRUE(report.HasRule(verify_rules::kNestSets));
+  EXPECT_FALSE(report.HasRule(verify_rules::kKeySurvival));
+  const Status st = report.ToStatus();
+  EXPECT_FALSE(st.ok());
+  // Only error-severity diagnostics surface in the status message.
+  EXPECT_NE(st.ToString().find("nest-sets"), std::string::npos);
+  EXPECT_EQ(st.ToString().find("cartesian-product"), std::string::npos);
+}
+
+TEST_F(VerifyTest, PaperCorpusCleanUnderEveryOptionSet) {
+  const std::vector<std::string> corpus = {
+      kQueryQ,
+      "select r.a from r where r.b in (select s.e from s where s.g = r.d)",
+      "select r.a from r where r.b not in (select s.e from s where s.g = r.d)",
+      "select b from r where exists (select * from s where s.g = r.d)",
+      "select b from r where not exists (select * from s where s.g = r.d)",
+      "select r.a from r where r.c > (select count(*) from s where s.g = r.d)",
+      "select r.a from r where r.b in (select s.e from s)",
+      "select r.a from r where r.b > all (select s.g from s where s.g = r.d)",
+      "select r.c, count(*) from r where r.b in "
+      "(select s.e from s where s.g = r.d) group by r.c order by r.c",
+  };
+  for (const NraOptions& opts : AllOptionSets()) {
+    const PlanVerifier verifier(catalog_, opts);
+    for (const std::string& sql : corpus) {
+      const QueryBlockPtr root = Bind(sql);
+      ASSERT_NE(root, nullptr);
+      const VerifyReport report = verifier.Verify(*root);
+      EXPECT_TRUE(report.clean())
+          << sql << "\n(" << opts.ToString() << ")\n" << report.ToString();
+    }
+  }
+}
+
+TEST_F(VerifyTest, CorruptedOverlappingNestSets) {
+  const QueryBlockPtr root =
+      Bind("select r.a from r where r.b in (select s.e from s where s.g = r.d)");
+  ASSERT_NE(root, nullptr);
+  ASSERT_EQ(root->children.size(), 1u);
+
+  // Point the subquery's linked attribute at an *outer* column: N2 now
+  // intersects the retained prefix N1, violating the nest's disjointness.
+  root->children[0]->linked_attr = "r.b";
+
+  const PlanVerifier verifier(catalog_);
+  const VerifyReport report = verifier.Verify(*root);
+  EXPECT_FALSE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.HasRule(verify_rules::kNestSets)) << report.ToString();
+}
+
+TEST_F(VerifyTest, CorruptedStrictUnderNegativeLink) {
+  // A strict-safe chain: both links positive, so the inner selection is
+  // planned strict. Flipping the middle link to NOT IN *after* outlining
+  // leaves a strict step under a pending negative operator.
+  const QueryBlockPtr root = Bind(
+      "select r.a from r where r.b in (select s.e from s where s.g = r.d and "
+      "s.h in (select t.j from t where t.k = s.i))");
+  ASSERT_NE(root, nullptr);
+
+  const PlanVerifier verifier(catalog_, NraOptions::Original());
+  const std::vector<PlanStep> steps = verifier.Outline(*root);
+  ASSERT_EQ(steps.size(), 2u);
+  {
+    VerifyReport before;
+    verifier.CheckOutline(steps, &before);
+    EXPECT_TRUE(before.clean()) << before.ToString();
+  }
+
+  root->children[0]->link_op = LinkOp::kNotIn;
+
+  VerifyReport report;
+  verifier.CheckOutline(steps, &report);
+  EXPECT_FALSE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.HasRule(verify_rules::kLinkMode)) << report.ToString();
+}
+
+TEST_F(VerifyTest, CorruptedDroppedKeyAttribute) {
+  const QueryBlockPtr root =
+      Bind("select r.a from r where r.b in (select s.e from s where s.g = r.d)");
+  ASSERT_NE(root, nullptr);
+  ASSERT_EQ(root->children.size(), 1u);
+
+  // Without the subquery's key, a NULL-padded tuple is indistinguishable
+  // from a genuinely matching one after the outer join.
+  root->children[0]->key_attr.clear();
+
+  const PlanVerifier verifier(catalog_);
+  const VerifyReport report = verifier.Verify(*root);
+  EXPECT_FALSE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.HasRule(verify_rules::kKeySurvival)) << report.ToString();
+}
+
+TEST_F(VerifyTest, ExecutorRejectsCorruptedPlanUpFront) {
+  const QueryBlockPtr root =
+      Bind("select r.a from r where r.b in (select s.e from s where s.g = r.d)");
+  ASSERT_NE(root, nullptr);
+  root->children[0]->linked_attr = "r.b";
+
+  NraExecutor exec(catalog_, NraOptions::Optimized());
+  const Result<Table> result = exec.Execute(*root);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("plan verification failed"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find("nest-sets"), std::string::npos)
+      << result.status().ToString();
+
+  // With verification disabled the corrupted plan reaches the executor and
+  // fails (or succeeds wrongly) further down — the flag only gates the check.
+  NraOptions unchecked = NraOptions::Optimized();
+  unchecked.verify_plans = false;
+  NraExecutor raw(catalog_, unchecked);
+  const Result<Table> raw_result = raw.Execute(*root);
+  if (!raw_result.ok()) {
+    EXPECT_EQ(raw_result.status().ToString().find("plan verification"),
+              std::string::npos)
+        << raw_result.status().ToString();
+  }
+}
+
+TEST_F(VerifyTest, ExplainReportsVerificationSection) {
+  Result<std::string> text = ExplainSql(kQueryQ, catalog_, NraOptions::Optimized());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("=== Plan verification ==="), std::string::npos) << *text;
+  EXPECT_NE(text->find("clean (0 diagnostics)"), std::string::npos) << *text;
+}
+
+TEST(VerifyTpchTest, ExperimentQueriesClean) {
+  Catalog catalog;
+  TpchConfig config;
+  config.scale = 0.01;
+  ASSERT_OK(PopulateTpch(&catalog, config));
+
+  const std::vector<std::string> corpus = {
+      MakeQuery1("1993-01-01", "1997-01-01"),
+      MakeQuery2(10, 40, 5000, 25, OuterLink::kAny, InnerLink::kNotExists),
+      MakeQuery2(10, 40, 5000, 25, OuterLink::kAll, InnerLink::kNotExists),
+      MakeQuery3(10, 40, 5000, 25, OuterLink::kAll, InnerLink::kExists,
+                 Query3Variant::kVariantA),
+      MakeQuery3(10, 40, 5000, 25, OuterLink::kAny, InnerLink::kNotExists,
+                 Query3Variant::kVariantB),
+  };
+  for (const NraOptions& opts : AllOptionSets()) {
+    const PlanVerifier verifier(catalog, opts);
+    for (const std::string& sql : corpus) {
+      ASSERT_OK_AND_ASSIGN(const QueryBlockPtr root,
+                           ParseAndBind(sql, catalog));
+      const VerifyReport report = verifier.Verify(*root);
+      EXPECT_TRUE(report.clean())
+          << sql << "\n(" << opts.ToString() << ")\n" << report.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nestra
