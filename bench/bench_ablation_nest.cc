@@ -22,7 +22,7 @@ void Register() {
   const Catalog& catalog = SharedCatalog();
 
   struct Config {
-    const char* name;
+    std::string name;
     NraOptions options;
   };
   std::vector<Config> configs;
@@ -36,18 +36,24 @@ void Register() {
     o.nest_method = NestMethod::kHash;
     configs.push_back({"Original-HashNest", o});
   }
-  configs.push_back({"Fused", NraOptions::Optimized()});
+  // The fused configuration sweeps the parallelism degree: its single sort
+  // is where the morsel-parallel merge sort pays off.
+  for (const auto& [tname, tval] : ThreadSweep()) {
+    NraOptions o = NraOptions::Optimized();
+    o.num_threads = tval;
+    configs.push_back({std::string("Fused/threads=") + tname, o});
+  }
 
   for (const int64_t outer : {400L, 800L, 1200L, 1600L}) {
     const auto [lo, hi] = OrderDateWindow(catalog, outer);
     const std::string sql = MakeQuery1(lo, hi);
     for (const Config& c : configs) {
+      const std::string name =
+          "AblationNest/Query1/" + c.name + "/outer=" + std::to_string(outer);
       benchmark::RegisterBenchmark(
-          ("AblationNest/Query1/" + std::string(c.name) +
-           "/outer=" + std::to_string(outer))
-              .c_str(),
-          [&catalog, sql, c](benchmark::State& state) {
-            RunNra(state, catalog, sql, c.options);
+          name.c_str(),
+          [&catalog, sql, c, name](benchmark::State& state) {
+            RunNra(state, catalog, sql, c.options, name);
           })
           ->Unit(benchmark::kMillisecond)->MinTime(0.05);
     }
@@ -58,12 +64,12 @@ void Register() {
         MakeQuery2(1, size_hi, kAvailQtyMax, kQuantity, OuterLink::kAll,
                    InnerLink::kNotExists);
     for (const Config& c : configs) {
+      const std::string name = "AblationNest/Query2b/" + c.name +
+                               "/parts=" + std::to_string(size_hi * 120);
       benchmark::RegisterBenchmark(
-          ("AblationNest/Query2b/" + std::string(c.name) +
-           "/parts=" + std::to_string(size_hi * 120))
-              .c_str(),
-          [&catalog, sql, c](benchmark::State& state) {
-            RunNra(state, catalog, sql, c.options);
+          name.c_str(),
+          [&catalog, sql, c, name](benchmark::State& state) {
+            RunNra(state, catalog, sql, c.options, name);
           })
           ->Unit(benchmark::kMillisecond)->MinTime(0.05);
     }

@@ -17,16 +17,18 @@ namespace {
 void RegisterPair(const char* name, const Catalog& catalog,
                   const std::string& sql, const NraOptions& off,
                   const NraOptions& on) {
+  const std::string off_name = std::string(name) + "/off";
   benchmark::RegisterBenchmark(
-      (std::string(name) + "/off").c_str(),
-      [&catalog, sql, off](benchmark::State& state) {
-        RunNra(state, catalog, sql, off);
+      off_name.c_str(),
+      [&catalog, sql, off, off_name](benchmark::State& state) {
+        RunNra(state, catalog, sql, off, off_name);
       })
       ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+  const std::string on_name = std::string(name) + "/on";
   benchmark::RegisterBenchmark(
-      (std::string(name) + "/on").c_str(),
-      [&catalog, sql, on](benchmark::State& state) {
-        RunNra(state, catalog, sql, on);
+      on_name.c_str(),
+      [&catalog, sql, on, on_name](benchmark::State& state) {
+        RunNra(state, catalog, sql, on, on_name);
       })
       ->Unit(benchmark::kMillisecond)->MinTime(0.05);
 }

@@ -38,18 +38,21 @@ void RegisterAll() {
     for (const char* agg : {"max", "avg"}) {
       const std::string suffix =
           std::string(agg) + "/outer=" + std::to_string(outer);
+      const std::string native_name = "ExtensionAgg/Native/" + suffix;
       benchmark::RegisterBenchmark(
-          ("ExtensionAgg/Native/" + suffix).c_str(),
-          [&catalog, outer, agg](benchmark::State& state) {
-            RunNative(state, catalog, AggQuery(catalog, outer, agg));
+          native_name.c_str(),
+          [&catalog, outer, agg, native_name](benchmark::State& state) {
+            RunNative(state, catalog, AggQuery(catalog, outer, agg),
+                      /*use_indexes=*/true, native_name);
           })
           ->Unit(benchmark::kMillisecond)
           ->MinTime(0.05);
+      const std::string nra_name = "ExtensionAgg/NraOptimized/" + suffix;
       benchmark::RegisterBenchmark(
-          ("ExtensionAgg/NraOptimized/" + suffix).c_str(),
-          [&catalog, outer, agg](benchmark::State& state) {
+          nra_name.c_str(),
+          [&catalog, outer, agg, nra_name](benchmark::State& state) {
             RunNra(state, catalog, AggQuery(catalog, outer, agg),
-                   NraOptions::Optimized());
+                   NraOptions::Optimized(), nra_name);
           })
           ->Unit(benchmark::kMillisecond)
           ->MinTime(0.05);

@@ -35,31 +35,42 @@ void RegisterAll() {
 
   for (const int64_t outer : kOuterSizes) {
     const std::string label = std::to_string(outer);
+    const std::string native_name = "Query1/Native/outer=" + label;
     benchmark::RegisterBenchmark(
-        ("Query1/Native/outer=" + label).c_str(),
-        [&plain, outer](benchmark::State& state) {
-          RunNative(state, plain, Query1At(plain, outer));
+        native_name.c_str(),
+        [&plain, outer, native_name](benchmark::State& state) {
+          RunNative(state, plain, Query1At(plain, outer), /*use_indexes=*/true,
+                    native_name);
         })
         ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+    const std::string nn_name = "Query1/NativeNotNull/outer=" + label;
     benchmark::RegisterBenchmark(
-        ("Query1/NativeNotNull/outer=" + label).c_str(),
-        [&with_nn, outer](benchmark::State& state) {
-          RunNative(state, with_nn, Query1At(with_nn, outer));
+        nn_name.c_str(),
+        [&with_nn, outer, nn_name](benchmark::State& state) {
+          RunNative(state, with_nn, Query1At(with_nn, outer),
+                    /*use_indexes=*/true, nn_name);
         })
         ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+    const std::string original_name = "Query1/NraOriginal/outer=" + label;
     benchmark::RegisterBenchmark(
-        ("Query1/NraOriginal/outer=" + label).c_str(),
-        [&plain, outer](benchmark::State& state) {
-          RunNra(state, plain, Query1At(plain, outer), NraOptions::Original());
+        original_name.c_str(),
+        [&plain, outer, original_name](benchmark::State& state) {
+          RunNra(state, plain, Query1At(plain, outer), NraOptions::Original(),
+                 original_name);
         })
         ->Unit(benchmark::kMillisecond)->MinTime(0.05);
-    benchmark::RegisterBenchmark(
-        ("Query1/NraOptimized/outer=" + label).c_str(),
-        [&plain, outer](benchmark::State& state) {
-          RunNra(state, plain, Query1At(plain, outer),
-                 NraOptions::Optimized());
-        })
-        ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+    for (const auto& [tname, tval] : ThreadSweep()) {
+      NraOptions opts = NraOptions::Optimized();
+      opts.num_threads = tval;
+      const std::string name =
+          "Query1/NraOptimized/outer=" + label + "/threads=" + tname;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&plain, outer, opts, name](benchmark::State& state) {
+            RunNra(state, plain, Query1At(plain, outer), opts, name);
+          })
+          ->Unit(benchmark::kMillisecond)->MinTime(0.05);
+    }
   }
 }
 

@@ -17,9 +17,11 @@ void RegisterRewriteSeries(const char* figure, const nestra::Catalog& catalog,
   using nestra::bench::kQuantity;
   for (const int64_t hi : kPartSizeHis) {
     const std::string label = std::to_string(hi * 120);
+    const std::string name =
+        std::string(figure) + "/NraPositiveRewrite/parts=" + label;
     benchmark::RegisterBenchmark(
-        (std::string(figure) + "/NraPositiveRewrite/parts=" + label).c_str(),
-        [&catalog, hi, variant](benchmark::State& state) {
+        name.c_str(),
+        [&catalog, hi, variant, name](benchmark::State& state) {
           nestra::NraOptions opts = nestra::NraOptions::Optimized();
           opts.rewrite_positive = true;
           nestra::bench::RunNra(
@@ -27,7 +29,7 @@ void RegisterRewriteSeries(const char* figure, const nestra::Catalog& catalog,
               nestra::MakeQuery3(1, hi, kAvailQtyMax, kQuantity,
                                  nestra::OuterLink::kAny,
                                  nestra::InnerLink::kExists, variant),
-              opts);
+              opts, name);
         })
         ->Unit(benchmark::kMillisecond)->MinTime(0.05);
   }

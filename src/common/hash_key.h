@@ -1,0 +1,89 @@
+#ifndef NESTRA_COMMON_HASH_KEY_H_
+#define NESTRA_COMMON_HASH_KEY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/row.h"
+#include "common/value.h"
+
+namespace nestra {
+
+/// \brief Hash/equality functors for SQL-semantics hash-table keys, shared
+/// by every hash-based operator (hash join, hash nest, pushed-down linking
+/// selection, DISTINCT, GROUP BY, set operations, equality indexes).
+///
+/// SQL comparison (`Value::Apply(kEq)`, `Value::TotalOrderCompare`)
+/// promotes int64 to double when the sides' types differ, so `1 = 1.0`
+/// holds — and hash-table keys must agree, or a hash join on an
+/// int-typed column against a float-typed column silently drops every
+/// cross-type match that the nested-loop oracle finds. These functors
+/// therefore equate keys exactly when TotalOrderCompare says 0 and hash
+/// numerics through their double image (Value::SqlHash). NULLs compare
+/// equal here — that is what nest / DISTINCT / GROUP BY need, and the
+/// hash join excludes NULL keys before the table is ever probed.
+
+constexpr size_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr size_t kFnvPrime = 0x100000001b3ULL;
+
+inline size_t SqlKeyHashCombine(size_t h, const Value& v) {
+  h ^= v.SqlHash();
+  h *= kFnvPrime;
+  return h;
+}
+
+/// Combined SQL hash of the values at `idx`, in order — identical to
+/// SqlValueKeyHash over the vector Row::Select(idx) would build, without
+/// materializing the key.
+inline size_t SqlKeyHashOn(const Row& row, const std::vector<int>& idx) {
+  size_t h = kFnvOffsetBasis;
+  for (const int i : idx) h = SqlKeyHashCombine(h, row[i]);
+  return h;
+}
+
+struct SqlValueKeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = kFnvOffsetBasis;
+    for (const Value& v : key) h = SqlKeyHashCombine(h, v);
+    return h;
+  }
+};
+
+struct SqlValueKeyEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (Value::TotalOrderCompare(a[i], b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct SqlValueHash {
+  size_t operator()(const Value& v) const { return v.SqlHash(); }
+};
+
+struct SqlValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    return Value::TotalOrderCompare(a, b) == 0;
+  }
+};
+
+struct SqlRowHash {
+  size_t operator()(const Row& r) const {
+    size_t h = kFnvOffsetBasis;
+    for (const Value& v : r.values()) h = SqlKeyHashCombine(h, v);
+    return h;
+  }
+};
+
+struct SqlRowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    return a.size() == b.size() && Row::Compare(a, b) == 0;
+  }
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_COMMON_HASH_KEY_H_

@@ -1,0 +1,84 @@
+#ifndef NESTRA_COMMON_PARALLEL_SORT_H_
+#define NESTRA_COMMON_PARALLEL_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace nestra {
+
+/// \brief Parallel stable merge sort: sorts `*v` exactly as
+/// std::stable_sort(v->begin(), v->end(), less) would — the stable order is
+/// unique (elements ordered by key, ties by original position), so the
+/// parallel and serial results are element-for-element identical and every
+/// downstream consumer (sort-based nest, fused single-sort evaluator, ORDER
+/// BY) is deterministic across thread counts.
+///
+/// Strategy: split into `num_threads` contiguous runs, stable_sort each on
+/// the pool, then merge adjacent run pairs in parallel rounds (std::merge
+/// takes from the left range on ties, preserving stability). `less` must be
+/// safe to call concurrently; elements are moved, never copied.
+template <typename T, typename Less>
+void ParallelStableSort(std::vector<T>* v, const Less& less,
+                        int num_threads) {
+  const int64_t n = static_cast<int64_t>(v->size());
+  // Below the cutoff the fan-out overhead dominates any win.
+  constexpr int64_t kSerialCutoff = 8192;
+  if (num_threads <= 1 || n < kSerialCutoff) {
+    std::stable_sort(v->begin(), v->end(), less);
+    return;
+  }
+
+  const int64_t runs = std::min<int64_t>(num_threads, n);
+  std::vector<int64_t> bounds(static_cast<size_t>(runs) + 1);
+  const int64_t chunk = (n + runs - 1) / runs;
+  for (int64_t i = 0; i <= runs; ++i) bounds[i] = std::min(n, i * chunk);
+
+  ParallelForEach(runs, num_threads, [&](int64_t r) {
+    std::stable_sort(v->begin() + bounds[r], v->begin() + bounds[r + 1],
+                     less);
+  });
+
+  std::vector<T> scratch(v->size());
+  std::vector<T>* src = v;
+  std::vector<T>* dst = &scratch;
+  while (bounds.size() > 2) {
+    const int64_t pieces = static_cast<int64_t>(bounds.size()) - 1;
+    const int64_t pairs = pieces / 2;
+    const bool odd = (pieces % 2) != 0;
+    ParallelForEach(pairs + (odd ? 1 : 0), num_threads, [&](int64_t p) {
+      if (p < pairs) {
+        const int64_t b0 = bounds[2 * p];
+        const int64_t b1 = bounds[2 * p + 1];
+        const int64_t b2 = bounds[2 * p + 2];
+        std::merge(std::make_move_iterator(src->begin() + b0),
+                   std::make_move_iterator(src->begin() + b1),
+                   std::make_move_iterator(src->begin() + b1),
+                   std::make_move_iterator(src->begin() + b2),
+                   dst->begin() + b0, less);
+      } else {
+        // Odd run out: carry it to the other buffer unchanged.
+        const int64_t b0 = bounds[2 * p];
+        const int64_t b1 = bounds[2 * p + 1];
+        std::move(src->begin() + b0, src->begin() + b1, dst->begin() + b0);
+      }
+    });
+    std::vector<int64_t> merged;
+    merged.reserve(bounds.size() / 2 + 1);
+    for (size_t i = 0; i < bounds.size(); i += 2) merged.push_back(bounds[i]);
+    if (merged.back() != n) merged.push_back(n);
+    bounds = std::move(merged);
+    std::swap(src, dst);
+  }
+  if (src != v) {
+    std::move(scratch.begin(), scratch.end(), v->begin());
+  }
+}
+
+}  // namespace nestra
+
+#endif  // NESTRA_COMMON_PARALLEL_SORT_H_

@@ -1,0 +1,149 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace nestra {
+
+int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_workers) { EnsureWorkers(num_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::EnsureWorkers(int num_workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < num_workers) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool* ThreadPool::Shared() {
+  // Leaked on purpose: workers may still be parked at static-destruction
+  // time and joining them from a destructor would be order-fragile.
+  static ThreadPool* pool =
+      new ThreadPool(std::max(0, ResolveNumThreads(0) - 1));
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared between the caller and its helper tasks; helper tasks hold a
+/// shared_ptr so the state outlives the caller even if a helper is
+/// scheduled after all units were already claimed.
+struct FanOutState {
+  std::function<void(int64_t)> body;
+  int64_t units = 0;
+  std::atomic<int64_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int pending_helpers = 0;
+
+  void RunLoop() {
+    while (true) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= units) return;
+      body(i);
+    }
+  }
+
+  void HelperExit() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--pending_helpers == 0) done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+void ParallelForEach(int64_t units, int num_threads,
+                     const std::function<void(int64_t)>& body) {
+  if (units <= 0) return;
+  if (num_threads <= 1 || units == 1) {
+    for (int64_t i = 0; i < units; ++i) body(i);
+    return;
+  }
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(num_threads - 1, units - 1));
+  ThreadPool* pool = ThreadPool::Shared();
+  pool->EnsureWorkers(helpers);
+
+  auto state = std::make_shared<FanOutState>();
+  state->body = body;
+  state->units = units;
+  state->pending_helpers = helpers;
+  for (int i = 0; i < helpers; ++i) {
+    pool->Submit([state] {
+      state->RunLoop();
+      state->HelperExit();
+    });
+  }
+  state->RunLoop();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->pending_helpers == 0; });
+}
+
+int64_t MorselCount(int64_t total, int num_threads) {
+  if (total <= 0) return 0;
+  if (num_threads <= 1) return 1;
+  // Morsels small enough to balance skew (several per thread), large enough
+  // that claiming and slot bookkeeping stay negligible per row.
+  constexpr int64_t kMinMorselRows = 1024;
+  const int64_t by_grain = (total + kMinMorselRows - 1) / kMinMorselRows;
+  return std::max<int64_t>(
+      1, std::min<int64_t>(by_grain, int64_t{num_threads} * 8));
+}
+
+void ParallelForMorsels(
+    int64_t total, int num_threads,
+    const std::function<void(int64_t, int64_t, int64_t)>& body) {
+  const int64_t morsels = MorselCount(total, num_threads);
+  if (morsels == 0) return;
+  const int64_t chunk = (total + morsels - 1) / morsels;
+  ParallelForEach(morsels, num_threads, [&](int64_t m) {
+    const int64_t begin = m * chunk;
+    const int64_t end = std::min(total, begin + chunk);
+    if (begin < end) body(m, begin, end);
+  });
+}
+
+}  // namespace nestra

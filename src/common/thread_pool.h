@@ -1,0 +1,84 @@
+#ifndef NESTRA_COMMON_THREAD_POOL_H_
+#define NESTRA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nestra {
+
+/// Resolves a user-facing thread-count knob: <= 0 means "use the hardware"
+/// (std::thread::hardware_concurrency, at least 1); anything else is taken
+/// literally. 1 selects the serial code paths everywhere.
+int ResolveNumThreads(int requested);
+
+/// \brief A fixed set of worker threads draining a shared FIFO task queue.
+///
+/// The pool is deliberately minimal: Submit() enqueues a closure and
+/// returns; workers run closures in order. Completion tracking and result
+/// placement are the caller's job — ParallelForEach / ParallelForMorsels
+/// below package the one pattern the engine needs (morsel-driven loops
+/// with deterministic output slots).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  int num_workers() const;
+
+  /// Grows the pool to at least `num_workers` threads (never shrinks).
+  void EnsureWorkers(int num_workers);
+
+  /// The process-wide pool used by the execution engine. Created on first
+  /// use with hardware_concurrency - 1 workers (the query thread itself is
+  /// the remaining lane) and grown on demand when a query requests more
+  /// parallelism than the hardware advertises. Never destroyed.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// \brief Runs `body(i)` for every i in [0, units) from up to `num_threads`
+/// threads (the calling thread participates; helpers come from the shared
+/// pool). Units are claimed dynamically, so `body` must be safe to call
+/// concurrently and must not depend on which thread runs which unit; it
+/// must not throw. Blocks until every unit has finished. Do not nest
+/// parallel loops. With num_threads <= 1 this is a plain serial loop.
+void ParallelForEach(int64_t units, int num_threads,
+                     const std::function<void(int64_t)>& body);
+
+/// Number of morsels ParallelForMorsels will use for a row range of
+/// `total` rows at the given parallelism — call this first to size a
+/// per-morsel output-slot vector.
+int64_t MorselCount(int64_t total, int num_threads);
+
+/// \brief Morsel-driven parallel loop over a row range: splits [0, total)
+/// into MorselCount() contiguous ranges and runs
+/// `body(morsel, begin, end)` for each. Morsel m covers rows
+/// [m*chunk, min(total, (m+1)*chunk)) — ranges partition the input in
+/// order, so writing results into slot `morsel` and concatenating slots in
+/// index order reproduces the serial output exactly, regardless of thread
+/// count or scheduling. Same concurrency contract as ParallelForEach.
+void ParallelForMorsels(
+    int64_t total, int num_threads,
+    const std::function<void(int64_t, int64_t, int64_t)>& body);
+
+}  // namespace nestra
+
+#endif  // NESTRA_COMMON_THREAD_POOL_H_

@@ -1,8 +1,8 @@
 #include "common/value.h"
 
+#include <charconv>
 #include <cmath>
 #include <functional>
-#include <sstream>
 
 namespace nestra {
 
@@ -135,21 +135,38 @@ TriBool Value::Apply(CmpOp op, const Value& a, const Value& b) {
 size_t Value::Hash() const {
   if (is_null()) return 0x9e3779b97f4a7c15ULL;
   if (is_int()) {
-    // Hash int64 via its double-equivalent when it fits, so that 1 and 1.0
-    // do NOT need to collide (operator== distinguishes them anyway).
+    // Deep hash, paired with operator==: int64 1 and double 1.0 are
+    // distinct values here, so they deliberately hash differently. Key
+    // tables that need SQL semantics (1 = 1.0) must use SqlHash instead.
     return std::hash<int64_t>()(int64()) * 0xff51afd7ed558ccdULL;
   }
   if (is_float()) return std::hash<double>()(float64()) ^ 0xc4ceb9fe1a85ec53ULL;
   return std::hash<std::string>()(string());
 }
 
+size_t Value::SqlHash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_string()) return std::hash<std::string>()(string());
+  // Both numeric types hash through the double image so that values equated
+  // by the SQL comparator (1 = 1.0) land in the same bucket. +0.0 and -0.0
+  // compare equal, so canonicalize the sign before hashing.
+  double d = *AsDouble();
+  if (d == 0.0) d = 0.0;
+  return std::hash<double>()(d) ^ 0xc4ceb9fe1a85ec53ULL;
+}
+
 std::string Value::ToString() const {
   if (is_null()) return "null";
   if (is_int()) return std::to_string(int64());
   if (is_float()) {
-    std::ostringstream oss;
-    oss << float64();
-    return oss.str();
+    const double d = float64();
+    if (std::isnan(d)) return "nan";
+    if (std::isinf(d)) return d < 0 ? "-inf" : "inf";
+    // Shortest round-trippable form: parsing the string recovers exactly
+    // this double, so CSV and catalog round-trips are lossless.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    return std::string(buf, res.ptr);
   }
   return string();
 }

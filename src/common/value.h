@@ -84,8 +84,18 @@ class Value {
   /// SQL theta-comparison under three-valued logic.
   static TriBool Apply(CmpOp op, const Value& a, const Value& b);
 
-  /// Hash consistent with operator== (used by hash join / hash nest keys).
+  /// Hash consistent with operator== (deep equality): int64 1 and double
+  /// 1.0 hash differently, just as operator== distinguishes them. NOT for
+  /// hash-table keys compared with SQL semantics — use SqlHash there.
   size_t Hash() const;
+
+  /// Hash consistent with SQL key equality (TotalOrderCompare == 0, and
+  /// therefore with Apply(kEq) on non-NULL operands): numerics hash through
+  /// their double image so int64 1 and double 1.0 collide, as the SQL
+  /// comparator requires. Used by every hash-based operator's key tables
+  /// (see common/hash_key.h). int64 values beyond 2^53 may collide with
+  /// nearby integers; equality disambiguates.
+  size_t SqlHash() const;
 
   std::string ToString() const;
 

@@ -70,7 +70,8 @@ Status AggregateNode::Open() {
     }
   }
 
-  std::unordered_map<std::vector<Value>, std::vector<AggState>, KeyHash>
+  std::unordered_map<std::vector<Value>, std::vector<AggState>,
+                     SqlValueKeyHash, SqlValueKeyEq>
       groups;
   Row row;
   bool eof = false;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash_key.h"
 #include "exec/exec_node.h"
 
 namespace nestra {
@@ -22,8 +23,9 @@ struct AggSpec {
   std::string output_name;  // name of the produced field
 };
 
-/// \brief Hash group-by aggregation. Grouping uses deep value equality, so
-/// NULL group keys form a single group (SQL GROUP BY semantics).
+/// \brief Hash group-by aggregation. Grouping follows the SQL comparator
+/// (common/hash_key.h): NULL group keys form a single group and numerically
+/// equal int64/float64 keys group together (SQL GROUP BY semantics).
 ///
 /// With an empty `group_by` this is a scalar aggregate producing exactly one
 /// row even for empty input (COUNT(*) = 0 etc.), which is exactly the
@@ -45,17 +47,6 @@ class AggregateNode final : public ExecNode {
     double sum = 0;           // numeric running sum
     bool sum_is_int = true;   // emit int64 when all inputs were ints
     Value extreme;            // running MIN/MAX (NULL until first input)
-  };
-
-  struct KeyHash {
-    size_t operator()(const std::vector<Value>& key) const {
-      size_t h = 0xcbf29ce484222325ULL;
-      for (const Value& v : key) {
-        h ^= v.Hash();
-        h *= 0x100000001b3ULL;
-      }
-      return h;
-    }
   };
 
   void Accumulate(std::vector<AggState>* states, const Row& row) const;

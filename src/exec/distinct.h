@@ -4,12 +4,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/hash_key.h"
 #include "exec/exec_node.h"
 
 namespace nestra {
 
-/// \brief Duplicate elimination over full rows (deep equality, so NULLs
-/// deduplicate like SQL's SELECT DISTINCT).
+/// \brief Duplicate elimination over full rows. Equality follows the SQL
+/// comparator (NULLs deduplicate like SELECT DISTINCT, and an int64 value
+/// deduplicates against an equal float64 value just as `=` equates them).
 class DistinctNode final : public ExecNode {
  public:
   explicit DistinctNode(ExecNodePtr child) : child_(std::move(child)) {}
@@ -29,19 +31,8 @@ class DistinctNode final : public ExecNode {
   std::string name() const override { return "Distinct"; }
 
  private:
-  struct RowHash {
-    size_t operator()(const Row& r) const {
-      size_t h = 0xcbf29ce484222325ULL;
-      for (const Value& v : r.values()) {
-        h ^= v.Hash();
-        h *= 0x100000001b3ULL;
-      }
-      return h;
-    }
-  };
-
   ExecNodePtr child_;
-  std::unordered_set<Row, RowHash> seen_;
+  std::unordered_set<Row, SqlRowHash, SqlRowEq> seen_;
 };
 
 }  // namespace nestra

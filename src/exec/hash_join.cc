@@ -1,17 +1,21 @@
 #include "exec/hash_join.h"
 
+#include <utility>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace nestra {
 
 HashJoinNode::HashJoinNode(ExecNodePtr left, ExecNodePtr right,
                            JoinType join_type, std::vector<EquiPair> equi,
-                           ExprPtr residual)
+                           ExprPtr residual, int num_threads)
     : left_(std::move(left)),
       right_(std::move(right)),
       join_type_(join_type),
       equi_(std::move(equi)),
-      residual_(std::move(residual)) {
+      residual_(std::move(residual)),
+      num_threads_(num_threads < 1 ? 1 : num_threads) {
   // Schema is known at construction: joins never rename.
   const Schema& ls = left_->output_schema();
   const Schema& rs = right_->output_schema();
@@ -50,152 +54,223 @@ Status HashJoinNode::Open() {
       bound_residual_,
       BoundPredicate::Make(residual_.get(), Schema::Concat(ls, rs)));
 
-  // Build phase.
-  buckets_.clear();
-  build_has_null_key_ = false;
-  build_rows_ = 0;
-  Row row;
-  bool eof = false;
-  while (true) {
-    NESTRA_RETURN_NOT_OK(right_->Next(&row, &eof));
-    if (eof) break;
-    ++build_rows_;
-    std::vector<Value> key;
-    key.reserve(right_key_idx_.size());
-    bool has_null = false;
-    for (int idx : right_key_idx_) {
-      if (row[idx].is_null()) has_null = true;
-      key.push_back(row[idx]);
-    }
-    if (has_null) {
-      // A NULL build key can never satisfy an equality; remember it for the
-      // null-aware antijoin, drop it otherwise.
-      build_has_null_key_ = true;
-      continue;
-    }
-    buckets_[std::move(key)].push_back(std::move(row));
-    row = Row();
-  }
+  NESTRA_RETURN_NOT_OK(BuildTable());
 
-  left_valid_ = false;
+  pending_.clear();
+  pending_pos_ = 0;
+  left_done_ = false;
   probe_count_ = 0;
+  if (num_threads_ > 1) {
+    NESTRA_RETURN_NOT_OK(ParallelProbe());
+  }
   return Status::OK();
 }
 
-Status HashJoinNode::AdvanceLeft(bool* eof) {
-  NESTRA_RETURN_NOT_OK(left_->Next(&left_row_, eof));
-  if (*eof) {
-    left_valid_ = false;
-    return Status::OK();
+Status HashJoinNode::BuildTable() {
+  build_has_null_key_ = false;
+  build_rows_ = 0;
+
+  // Drain the child serially (Next is a serial protocol), then hash and
+  // partition the materialized rows in parallel.
+  std::vector<Row> rows;
+  {
+    Row row;
+    bool eof = false;
+    while (true) {
+      NESTRA_RETURN_NOT_OK(right_->Next(&row, &eof));
+      if (eof) break;
+      rows.push_back(std::move(row));
+      row = Row();
+    }
   }
-  ++probe_count_;
-  left_valid_ = true;
-  emitted_match_ = false;
-  cand_pos_ = 0;
-  candidates_ = nullptr;
-  std::vector<Value> key;
-  key.reserve(left_key_idx_.size());
-  bool has_null = false;
-  for (int idx : left_key_idx_) {
-    if (left_row_[idx].is_null()) has_null = true;
-    key.push_back(left_row_[idx]);
+  build_rows_ = static_cast<int64_t>(rows.size());
+
+  const int64_t n = build_rows_;
+  const size_t num_parts = num_threads_ > 1 ? static_cast<size_t>(num_threads_)
+                                            : size_t{1};
+  partitions_.assign(num_parts, Buckets{});
+  if (n == 0) return Status::OK();
+
+  std::vector<size_t> hashes(static_cast<size_t>(n));
+  std::vector<uint8_t> has_null(static_cast<size_t>(n), 0);
+  ParallelForMorsels(n, num_threads_, [&](int64_t, int64_t begin,
+                                          int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const Row& r = rows[static_cast<size_t>(i)];
+      bool null_key = false;
+      for (const int idx : right_key_idx_) {
+        if (r[idx].is_null()) null_key = true;
+      }
+      has_null[static_cast<size_t>(i)] = null_key ? 1 : 0;
+      if (!null_key) {
+        hashes[static_cast<size_t>(i)] = SqlKeyHashOn(r, right_key_idx_);
+      }
+    }
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    // A NULL build key can never satisfy an equality; remember it for the
+    // null-aware antijoin, drop it otherwise.
+    if (has_null[static_cast<size_t>(i)] != 0) build_has_null_key_ = true;
   }
-  if (!has_null) {
-    const auto it = buckets_.find(key);
-    if (it != buckets_.end()) candidates_ = &it->second;
+
+  // Each partition owner scans the rows in arrival order and inserts the
+  // ones hashing to it, so bucket candidate order is identical to a serial
+  // build no matter how partitions are scheduled.
+  ParallelForEach(static_cast<int64_t>(num_parts), num_threads_,
+                  [&](int64_t p) {
+                    Buckets& buckets = partitions_[static_cast<size_t>(p)];
+                    for (int64_t i = 0; i < n; ++i) {
+                      const size_t si = static_cast<size_t>(i);
+                      if (has_null[si] != 0) continue;
+                      if (hashes[si] % num_parts !=
+                          static_cast<size_t>(p)) {
+                        continue;
+                      }
+                      Row& row = rows[si];
+                      std::vector<Value> key;
+                      key.reserve(right_key_idx_.size());
+                      for (const int idx : right_key_idx_) {
+                        key.push_back(row[idx]);
+                      }
+                      buckets[std::move(key)].push_back(std::move(row));
+                    }
+                  });
+  return Status::OK();
+}
+
+void HashJoinNode::ProbeRow(const Row& left_row, std::vector<Row>* out) const {
+  const std::vector<Row>* candidates = nullptr;
+  bool probe_null = false;
+  {
+    std::vector<Value> key;
+    key.reserve(left_key_idx_.size());
+    for (const int idx : left_key_idx_) {
+      if (left_row[idx].is_null()) probe_null = true;
+      key.push_back(left_row[idx]);
+    }
+    if (!probe_null) {
+      const size_t h = SqlValueKeyHash{}(key);
+      const Buckets& buckets = partitions_[h % partitions_.size()];
+      const auto it = buckets.find(key);
+      if (it != buckets.end()) candidates = &it->second;
+    }
   }
+
+  bool matched = false;
+  if (candidates != nullptr) {
+    for (const Row& right_row : *candidates) {
+      Row combined = Row::Concat(left_row, right_row);
+      if (!bound_residual_.Matches(combined)) continue;
+      matched = true;
+      if (join_type_ == JoinType::kInner ||
+          join_type_ == JoinType::kLeftOuter) {
+        // Joins never rename: the concatenated row is exactly as wide as
+        // the schema fixed at construction.
+        NESTRA_DCHECK(combined.size() == schema_.num_fields());
+        out->push_back(std::move(combined));
+        continue;
+      }
+      // Semi/anti flavors decide on the first residual-passing match.
+      break;
+    }
+  }
+
+  switch (join_type_) {
+    case JoinType::kInner:
+      break;  // matches already emitted
+    case JoinType::kLeftSemi:
+      if (matched) out->push_back(left_row);
+      break;
+    case JoinType::kLeftOuter:
+      if (!matched) {
+        // NULL padding must line up with the right side's full width.
+        NESTRA_DCHECK(left_row.size() + right_width_ == schema_.num_fields());
+        out->push_back(Row::Concat(left_row, Row::Nulls(right_width_)));
+      }
+      break;
+    case JoinType::kLeftAnti:
+      if (!matched) out->push_back(left_row);
+      break;
+    case JoinType::kLeftAntiNullAware: {
+      if (matched) break;
+      // NOT IN semantics (single conceptual key): empty set keeps the row;
+      // otherwise NULL probe key or NULL in the build keys -> Unknown ->
+      // dropped.
+      if (build_rows_ == 0) {
+        out->push_back(left_row);
+        break;
+      }
+      if (!probe_null && !build_has_null_key_) out->push_back(left_row);
+      break;
+    }
+  }
+}
+
+Status HashJoinNode::ParallelProbe() {
+  std::vector<Row> probe_rows;
+  {
+    Row row;
+    bool eof = false;
+    while (true) {
+      NESTRA_RETURN_NOT_OK(left_->Next(&row, &eof));
+      if (eof) break;
+      probe_rows.push_back(std::move(row));
+      row = Row();
+    }
+  }
+  const int64_t n = static_cast<int64_t>(probe_rows.size());
+  probe_count_ = n;
+  left_done_ = true;
+
+  // Per-morsel output slots, concatenated in morsel order: morsels are
+  // contiguous input ranges, so the result equals the serial probe order.
+  std::vector<std::vector<Row>> slots(
+      static_cast<size_t>(MorselCount(n, num_threads_)));
+  ParallelForMorsels(n, num_threads_,
+                     [&](int64_t m, int64_t begin, int64_t end) {
+                       std::vector<Row>& out = slots[static_cast<size_t>(m)];
+                       for (int64_t i = begin; i < end; ++i) {
+                         ProbeRow(probe_rows[static_cast<size_t>(i)], &out);
+                       }
+                     });
+
+  size_t total = 0;
+  for (const std::vector<Row>& s : slots) total += s.size();
+  pending_.clear();
+  pending_.reserve(total);
+  for (std::vector<Row>& s : slots) {
+    for (Row& r : s) pending_.push_back(std::move(r));
+  }
+  pending_pos_ = 0;
   return Status::OK();
 }
 
 Status HashJoinNode::Next(Row* out, bool* eof) {
-  while (true) {
-    if (!left_valid_) {
-      bool left_eof = false;
-      NESTRA_RETURN_NOT_OK(AdvanceLeft(&left_eof));
-      if (left_eof) {
-        *eof = true;
-        return Status::OK();
-      }
+  while (pending_pos_ >= pending_.size()) {
+    if (left_done_) {
+      *eof = true;
+      return Status::OK();
     }
-
-    // Scan remaining candidates for this left row.
-    while (candidates_ != nullptr && cand_pos_ < candidates_->size()) {
-      const Row& right_row = (*candidates_)[cand_pos_++];
-      Row combined = Row::Concat(left_row_, right_row);
-      if (!bound_residual_.Matches(combined)) continue;
-      emitted_match_ = true;
-      switch (join_type_) {
-        case JoinType::kInner:
-        case JoinType::kLeftOuter:
-          // Joins never rename: the concatenated row is exactly as wide as
-          // the schema fixed at construction.
-          NESTRA_DCHECK(combined.size() == schema_.num_fields());
-          *out = std::move(combined);
-          *eof = false;
-          return Status::OK();
-        case JoinType::kLeftSemi:
-          *out = left_row_;
-          *eof = false;
-          left_valid_ = false;  // one output per left row
-          return Status::OK();
-        case JoinType::kLeftAnti:
-        case JoinType::kLeftAntiNullAware:
-          // Disqualified; skip remaining candidates.
-          candidates_ = nullptr;
-          break;
-      }
+    pending_.clear();
+    pending_pos_ = 0;
+    Row left_row;
+    bool left_eof = false;
+    NESTRA_RETURN_NOT_OK(left_->Next(&left_row, &left_eof));
+    if (left_eof) {
+      left_done_ = true;
+      continue;
     }
-
-    // Candidates exhausted: handle per-left-row epilogue.
-    const bool matched = emitted_match_;
-    const Row current = left_row_;
-    left_valid_ = false;
-
-    switch (join_type_) {
-      case JoinType::kInner:
-      case JoinType::kLeftSemi:
-        break;  // nothing to emit
-      case JoinType::kLeftOuter:
-        if (!matched) {
-          // NULL padding must line up with the right side's full width.
-          NESTRA_DCHECK(current.size() + right_width_ ==
-                        schema_.num_fields());
-          *out = Row::Concat(current, Row::Nulls(right_width_));
-          *eof = false;
-          return Status::OK();
-        }
-        break;
-      case JoinType::kLeftAnti:
-        if (!matched) {
-          *out = current;
-          *eof = false;
-          return Status::OK();
-        }
-        break;
-      case JoinType::kLeftAntiNullAware: {
-        if (matched) break;
-        // NOT IN semantics (single conceptual key): empty set keeps the row;
-        // otherwise NULL probe key or NULL in the build keys -> Unknown ->
-        // dropped.
-        if (build_rows_ == 0) {
-          *out = current;
-          *eof = false;
-          return Status::OK();
-        }
-        const bool probe_null = current.AnyNullOn(left_key_idx_);
-        if (!probe_null && !build_has_null_key_) {
-          *out = current;
-          *eof = false;
-          return Status::OK();
-        }
-        break;
-      }
-    }
+    ++probe_count_;
+    ProbeRow(left_row, &pending_);
   }
+  *out = std::move(pending_[pending_pos_++]);
+  *eof = false;
+  return Status::OK();
 }
 
 void HashJoinNode::Close() {
-  buckets_.clear();
+  partitions_.clear();
+  pending_.clear();
   left_->Close();
   right_->Close();
 }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash_key.h"
 #include "exec/exec_node.h"
 #include "exec/join_type.h"
 #include "expr/evaluator.h"
@@ -26,10 +27,23 @@ namespace nestra {
 /// relational approach later reads as "empty subquery result" via the inner
 /// relation's primary key). For semi/anti flavors the output schema is the
 /// left schema.
+///
+/// Key equality follows SQL comparison semantics (common/hash_key.h): an
+/// int64 key matches a float64 key of equal numeric value, exactly as the
+/// nested-loop join's `Value::Apply(kEq)` would.
+///
+/// With `num_threads > 1` the build hashes the materialized right input in
+/// parallel and inserts into `num_threads` hash-partitioned tables (each
+/// partition scans rows in arrival order, so bucket candidate order — and
+/// therefore output order — matches the serial build exactly); the probe
+/// materializes the left input and probes it in row-range morsels whose
+/// per-morsel outputs are concatenated in morsel order. Both sides are
+/// byte-identical to the serial `num_threads == 1` streaming path.
 class HashJoinNode final : public ExecNode {
  public:
   HashJoinNode(ExecNodePtr left, ExecNodePtr right, JoinType join_type,
-               std::vector<EquiPair> equi, ExprPtr residual);
+               std::vector<EquiPair> equi, ExprPtr residual,
+               int num_threads = 1);
 
   const Schema& output_schema() const override { return schema_; }
   Status Open() override;
@@ -43,25 +57,23 @@ class HashJoinNode final : public ExecNode {
   int64_t probe_count() const { return probe_count_; }
 
  private:
-  struct KeyHash {
-    size_t operator()(const std::vector<Value>& key) const {
-      size_t h = 0xcbf29ce484222325ULL;
-      for (const Value& v : key) {
-        h ^= v.Hash();
-        h *= 0x100000001b3ULL;
-      }
-      return h;
-    }
-  };
+  using Buckets = std::unordered_map<std::vector<Value>, std::vector<Row>,
+                                     SqlValueKeyHash, SqlValueKeyEq>;
 
-  // Advances to the next left row and computes its candidate bucket.
-  Status AdvanceLeft(bool* eof);
+  // Drains the right child and builds the partitioned hash table.
+  Status BuildTable();
+  // Emits every output row produced by one probe row (matches in build
+  // order, then the per-row outer/anti epilogue). Thread-safe.
+  void ProbeRow(const Row& left_row, std::vector<Row>* out) const;
+  // Materializes the left input and probes it with row-range morsels.
+  Status ParallelProbe();
 
   ExecNodePtr left_;
   ExecNodePtr right_;
   JoinType join_type_;
   std::vector<EquiPair> equi_;
   ExprPtr residual_;
+  int num_threads_ = 1;
 
   Schema schema_;
   int right_width_ = 0;
@@ -70,16 +82,16 @@ class HashJoinNode final : public ExecNode {
   std::vector<int> right_key_idx_;
   BoundPredicate bound_residual_;  // over left ++ right
 
-  std::unordered_map<std::vector<Value>, std::vector<Row>, KeyHash> buckets_;
+  std::vector<Buckets> partitions_;
   bool build_has_null_key_ = false;  // for kLeftAntiNullAware
   int64_t build_rows_ = 0;
 
-  // Probe state.
-  Row left_row_;
-  const std::vector<Row>* candidates_ = nullptr;
-  size_t cand_pos_ = 0;
-  bool emitted_match_ = false;  // any residual-passing match for left_row_
-  bool left_valid_ = false;
+  // Probe state: pending_ holds the not-yet-emitted outputs — one probe
+  // row's worth when streaming serially, the whole join result after a
+  // parallel probe (left_done_ is then already set).
+  std::vector<Row> pending_;
+  size_t pending_pos_ = 0;
+  bool left_done_ = false;
   int64_t probe_count_ = 0;
 };
 

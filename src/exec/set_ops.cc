@@ -2,22 +2,16 @@
 
 #include <unordered_set>
 
+#include "common/hash_key.h"
+
 namespace nestra {
 
 namespace {
 
-struct RowHash {
-  size_t operator()(const Row& r) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (const Value& v : r.values()) {
-      h ^= v.Hash();
-      h *= 0x100000001b3ULL;
-    }
-    return h;
-  }
-};
-
-using RowSet = std::unordered_set<Row, RowHash>;
+// SQL-comparator semantics (common/hash_key.h): NULL rows coincide and
+// numerically equal int64/float64 values coincide, matching UNION/EXCEPT/
+// INTERSECT duplicate elimination.
+using RowSet = std::unordered_set<Row, SqlRowHash, SqlRowEq>;
 
 }  // namespace
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel_sort.h"
+
 namespace nestra {
 
 Status SortNode::Open() {
@@ -23,17 +25,20 @@ Status SortNode::Open() {
     rows_.push_back(std::move(row));
     row = Row();
   }
-  // stable_sort keeps input order within equal keys, which makes nested
-  // groups deterministic for tests.
-  std::stable_sort(rows_.begin(), rows_.end(), [this](const Row& a,
-                                                      const Row& b) {
-    for (size_t i = 0; i < key_indices_.size(); ++i) {
-      const int c =
-          Value::TotalOrderCompare(a[key_indices_[i]], b[key_indices_[i]]);
-      if (c != 0) return key_asc_[i] ? c < 0 : c > 0;
-    }
-    return false;
-  });
+  // Stable sort keeps input order within equal keys, which makes nested
+  // groups deterministic for tests — and makes the parallel sort's output
+  // identical to the serial one.
+  ParallelStableSort(
+      &rows_,
+      [this](const Row& a, const Row& b) {
+        for (size_t i = 0; i < key_indices_.size(); ++i) {
+          const int c =
+              Value::TotalOrderCompare(a[key_indices_[i]], b[key_indices_[i]]);
+          if (c != 0) return key_asc_[i] ? c < 0 : c > 0;
+        }
+        return false;
+      },
+      num_threads_);
   return Status::OK();
 }
 

@@ -18,10 +18,16 @@ struct SortKey {
 /// \brief Pipeline-breaking multi-key sort. This is the operator the
 /// sort-based nest rides on: the "only the deepest nesting involves true
 /// physical reordering" optimization (§4.2.1) is one SortNode for all levels.
+///
+/// With `num_threads > 1` the materialized input is sorted by a parallel
+/// stable merge sort; the stable order is unique, so the result is
+/// element-for-element identical to the serial sort.
 class SortNode final : public ExecNode {
  public:
-  SortNode(ExecNodePtr child, std::vector<SortKey> keys)
-      : child_(std::move(child)), keys_(std::move(keys)) {}
+  SortNode(ExecNodePtr child, std::vector<SortKey> keys, int num_threads = 1)
+      : child_(std::move(child)),
+        keys_(std::move(keys)),
+        num_threads_(num_threads < 1 ? 1 : num_threads) {}
 
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -37,6 +43,7 @@ class SortNode final : public ExecNode {
  private:
   ExecNodePtr child_;
   std::vector<SortKey> keys_;
+  int num_threads_ = 1;
   std::vector<int> key_indices_;
   std::vector<bool> key_asc_;
   std::vector<Row> rows_;

@@ -4,21 +4,12 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/hash_key.h"
+#include "common/parallel_sort.h"
 
 namespace nestra {
 
 namespace {
-
-struct KeyHash {
-  size_t operator()(const std::vector<Value>& key) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (const Value& v : key) {
-      h ^= v.Hash();
-      h *= 0x100000001b3ULL;
-    }
-    return h;
-  }
-};
 
 Result<std::vector<int>> ResolveAll(const Schema& schema,
                                     const std::vector<std::string>& names) {
@@ -36,7 +27,8 @@ Result<std::vector<int>> ResolveAll(const Schema& schema,
 Result<NestedRelation> Nest(const NestedRelation& input,
                             const std::vector<std::string>& nesting_attrs,
                             const std::vector<std::string>& nested_attrs,
-                            const std::string& group_name, NestMethod method) {
+                            const std::string& group_name, NestMethod method,
+                            int num_threads) {
   const Schema& atoms = input.schema().atoms();
   NESTRA_ASSIGN_OR_RETURN(std::vector<int> n1, ResolveAll(atoms, nesting_attrs));
   NESTRA_ASSIGN_OR_RETURN(std::vector<int> n2, ResolveAll(atoms, nested_attrs));
@@ -73,7 +65,9 @@ Result<NestedRelation> Nest(const NestedRelation& input,
   };
 
   if (method == NestMethod::kHash) {
-    std::unordered_map<std::vector<Value>, int64_t, KeyHash> group_of;
+    std::unordered_map<std::vector<Value>, int64_t, SqlValueKeyHash,
+                       SqlValueKeyEq>
+        group_of;
     for (const NestedTuple& t : input.tuples()) {
       // Single hash lookup per tuple: try_emplace leaves the key intact when
       // the group already exists.
@@ -94,13 +88,17 @@ Result<NestedRelation> Nest(const NestedRelation& input,
     return out;
   }
 
-  // Sort-based: order tuple indices by N1 and cut runs.
+  // Sort-based: order tuple indices by N1 and cut runs. The stable order is
+  // unique, so the parallel sort reproduces the serial group order exactly.
   std::vector<int64_t> order(input.tuples().size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
-  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-    return Row::CompareOn(input.tuples()[a].atoms, input.tuples()[b].atoms,
-                          n1) < 0;
-  });
+  ParallelStableSort(
+      &order,
+      [&](int64_t a, int64_t b) {
+        return Row::CompareOn(input.tuples()[a].atoms, input.tuples()[b].atoms,
+                              n1) < 0;
+      },
+      num_threads);
   for (size_t i = 0; i < order.size(); ++i) {
     const NestedTuple& t = input.tuples()[order[i]];
     const bool new_group =
@@ -123,9 +121,10 @@ Result<NestedRelation> Nest(const NestedRelation& input,
 Result<NestedRelation> Nest(const Table& input,
                             const std::vector<std::string>& nesting_attrs,
                             const std::vector<std::string>& nested_attrs,
-                            const std::string& group_name, NestMethod method) {
+                            const std::string& group_name, NestMethod method,
+                            int num_threads) {
   return Nest(NestedRelation::FromTable(input), nesting_attrs, nested_attrs,
-              group_name, method);
+              group_name, method, num_threads);
 }
 
 }  // namespace nestra

@@ -27,19 +27,27 @@ enum class NestMethod { kSort, kHash };
 /// deduplication would cost an extra hash pass.
 ///
 /// kSort produces groups in ascending N1 order; kHash produces them in
-/// first-appearance order. Both yield BagEquals-identical results.
+/// first-appearance order. Both yield BagEquals-identical results. Group-key
+/// matching follows the SQL comparator (common/hash_key.h), so both methods
+/// form the same groups even on mixed int64/float64 key columns.
+///
+/// `num_threads > 1` parallelizes the kSort method's sort (the hash build is
+/// inherently order-dependent and stays serial); the output is identical to
+/// the serial run.
 Result<NestedRelation> Nest(const NestedRelation& input,
                             const std::vector<std::string>& nesting_attrs,
                             const std::vector<std::string>& nested_attrs,
                             const std::string& group_name,
-                            NestMethod method = NestMethod::kSort);
+                            NestMethod method = NestMethod::kSort,
+                            int num_threads = 1);
 
 /// Convenience overload for a flat table input.
 Result<NestedRelation> Nest(const Table& input,
                             const std::vector<std::string>& nesting_attrs,
                             const std::vector<std::string>& nested_attrs,
                             const std::string& group_name,
-                            NestMethod method = NestMethod::kSort);
+                            NestMethod method = NestMethod::kSort,
+                            int num_threads = 1);
 
 }  // namespace nestra
 

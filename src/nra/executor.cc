@@ -65,7 +65,7 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats) {
   Result<Table> result = [&]() -> Result<Table> {
     if (root.children.empty()) {
       const auto t0 = Clock::now();
-      NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(root, catalog_));
+      NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(root, catalog_, num_threads_));
       stats->join_seconds += Seconds(t0);
       stats->intermediate_rows = rel.num_rows();
       return FinishRoot(root, std::move(rel));
@@ -93,7 +93,7 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats) {
       if (all_correlated) return ExecuteFusedLinear(chain, stats);
     }
     const auto t0 = Clock::now();
-    NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(root, catalog_));
+    NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(root, catalog_, num_threads_));
     stats->join_seconds += Seconds(t0);
     std::vector<const QueryBlock*> path{&root};
     NESTRA_ASSIGN_OR_RETURN(
@@ -160,16 +160,17 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
 
   // Top-down join phase: one wide relation W over all blocks.
   auto t0 = Clock::now();
-  NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(*chain[0], catalog_));
+  NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(*chain[0], catalog_, num_threads_));
   for (int k = 1; k < n; ++k) {
-    NESTRA_ASSIGN_OR_RETURN(Table base, EvalBlockBase(*chain[k], catalog_));
+    NESTRA_ASSIGN_OR_RETURN(Table base, EvalBlockBase(*chain[k], catalog_, num_threads_));
     if (options_.magic_restriction) {
       NESTRA_ASSIGN_OR_RETURN(base,
                               MagicRestrict(rel, std::move(base), *chain[k]));
     }
     NESTRA_ASSIGN_OR_RETURN(
         rel, JoinWithChild(std::move(rel), std::move(base), *chain[k],
-                           JoinType::kLeftOuter));
+                           JoinType::kLeftOuter, /*extra_condition=*/nullptr,
+                           num_threads_));
   }
   stats->join_seconds += Seconds(t0);
   stats->intermediate_rows = rel.num_rows();
@@ -188,7 +189,7 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
   }
   auto sort = std::make_unique<SortNode>(
       std::make_unique<TableSourceNode>(std::move(rel)),
-      SortKeysFor(levels.back().nesting_attrs));
+      SortKeysFor(levels.back().nesting_attrs), num_threads_);
   auto fused =
       std::make_unique<FusedNestSelectNode>(std::move(sort), std::move(levels));
   NESTRA_ASSIGN_OR_RETURN(Table reduced, CollectTable(fused.get()));
@@ -202,14 +203,14 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
   const int n = static_cast<int>(chain.size());
 
   auto t0 = Clock::now();
-  NESTRA_ASSIGN_OR_RETURN(Table cur, EvalBlockBase(*chain[n - 1], catalog_));
+  NESTRA_ASSIGN_OR_RETURN(Table cur, EvalBlockBase(*chain[n - 1], catalog_, num_threads_));
   stats->join_seconds += Seconds(t0);
 
   for (int k = n - 2; k >= 0; --k) {
     const QueryBlock& outer = *chain[k];
     const QueryBlock& child = *chain[k + 1];
     t0 = Clock::now();
-    NESTRA_ASSIGN_OR_RETURN(Table outer_base, EvalBlockBase(outer, catalog_));
+    NESTRA_ASSIGN_OR_RETURN(Table outer_base, EvalBlockBase(outer, catalog_, num_threads_));
     stats->join_seconds += Seconds(t0);
 
     // In the bottom-up order only (outer, child) tuples exist when the
@@ -222,13 +223,15 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
       t0 = Clock::now();
       NESTRA_ASSIGN_OR_RETURN(
           cur, HashLinkSelect(std::move(outer_base), cur, okeys, ikeys, child,
-                              SelectionMode::kStrict, {}));
+                              SelectionMode::kStrict, {}, num_threads_));
       stats->nest_select_seconds += Seconds(t0);
     } else {
       t0 = Clock::now();
       NESTRA_ASSIGN_OR_RETURN(
           Table joined, JoinWithChild(std::move(outer_base), std::move(cur),
-                                      child, JoinType::kLeftOuter));
+                                      child, JoinType::kLeftOuter,
+                                      /*extra_condition=*/nullptr,
+                                      num_threads_));
       stats->join_seconds += Seconds(t0);
       stats->intermediate_rows =
           std::max(stats->intermediate_rows, joined.num_rows());
@@ -236,7 +239,7 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
       NESTRA_ASSIGN_OR_RETURN(
           NestedRelation nested,
           Nest(joined, outer.attributes, NestedAttrsFor(child), "g",
-               options_.nest_method));
+               options_.nest_method, num_threads_));
       NESTRA_ASSIGN_OR_RETURN(
           cur, LinkingSelect(nested, PredFor(child, "g"),
                              SelectionMode::kStrict));
@@ -254,7 +257,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
     const QueryBlock& child = *child_ptr;
 
     auto t0 = Clock::now();
-    NESTRA_ASSIGN_OR_RETURN(Table base, EvalBlockBase(child, catalog_));
+    NESTRA_ASSIGN_OR_RETURN(Table base, EvalBlockBase(child, catalog_, num_threads_));
     stats->join_seconds += Seconds(t0);
 
     const bool strict_safe = StrictSafe(*path);
@@ -268,7 +271,8 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       t0 = Clock::now();
       NESTRA_ASSIGN_OR_RETURN(
           rel, JoinWithChild(std::move(rel), std::move(base), child,
-                             JoinType::kLeftSemi, std::move(extra)));
+                             JoinType::kLeftSemi, std::move(extra),
+                             num_threads_));
       stats->join_seconds += Seconds(t0);
       continue;
     }
@@ -283,7 +287,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       NESTRA_ASSIGN_OR_RETURN(
           rel, HashLinkSelect(std::move(rel), base, /*outer_key_cols=*/{},
                               /*inner_key_cols=*/{}, child, mode,
-                              node.attributes));
+                              node.attributes, num_threads_));
       stats->nest_select_seconds += Seconds(t0);
       continue;
     }
@@ -297,7 +301,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
         t0 = Clock::now();
         NESTRA_ASSIGN_OR_RETURN(
             rel, HashLinkSelect(std::move(rel), base, okeys, ikeys, child,
-                                mode, node.attributes));
+                                mode, node.attributes, num_threads_));
         stats->nest_select_seconds += Seconds(t0);
         continue;
       }
@@ -310,7 +314,9 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
     }
     NESTRA_ASSIGN_OR_RETURN(rel,
                             JoinWithChild(std::move(rel), std::move(base),
-                                          child, JoinType::kLeftOuter));
+                                          child, JoinType::kLeftOuter,
+                                          /*extra_condition=*/nullptr,
+                                          num_threads_));
     stats->join_seconds += Seconds(t0);
     stats->intermediate_rows =
         std::max(stats->intermediate_rows, rel.num_rows());
@@ -337,7 +343,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       spec.pad_attrs = node.attributes;
       auto sort = std::make_unique<SortNode>(
           std::make_unique<TableSourceNode>(std::move(rel)),
-          SortKeysFor(retained));
+          SortKeysFor(retained), num_threads_);
       std::vector<FusedLevelSpec> levels;
       levels.push_back(std::move(spec));
       auto fused = std::make_unique<FusedNestSelectNode>(std::move(sort),
@@ -347,7 +353,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       NESTRA_ASSIGN_OR_RETURN(
           NestedRelation nested,
           Nest(rel, retained, NestedAttrsFor(child), "g",
-               options_.nest_method));
+               options_.nest_method, num_threads_));
       NESTRA_ASSIGN_OR_RETURN(
           rel, LinkingSelect(nested, PredFor(child, "g"), mode,
                              node.attributes));
@@ -361,7 +367,7 @@ Result<Table> NraExecutor::FinishRoot(const QueryBlock& root, Table rel) {
   // The root-key guard drops pseudo-padded root tuples (only produced by
   // tree queries with negative sibling links): a padded key marks failure.
   return FinalizeRootOutput(root, std::move(rel),
-                            /*key_filter_attr=*/root.key_attr);
+                            /*key_filter_attr=*/root.key_attr, num_threads_);
 }
 
 }  // namespace nestra

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "nra/options.h"
 #include "plan/query_block.h"
 #include "storage/catalog.h"
@@ -31,7 +32,9 @@ class NraExecutor {
  public:
   explicit NraExecutor(const Catalog& catalog,
                        NraOptions options = NraOptions::Optimized())
-      : catalog_(catalog), options_(options) {}
+      : catalog_(catalog),
+        options_(options),
+        num_threads_(ResolveNumThreads(options.num_threads)) {}
 
   /// Executes a bound query. `stats`, when non-null, receives the
   /// join-phase/nest-phase timing split and the intermediate result size.
@@ -68,6 +71,9 @@ class NraExecutor {
 
   const Catalog& catalog_;
   NraOptions options_;
+  // options_.num_threads resolved once (0 = auto -> hardware concurrency)
+  // and passed to every parallel-capable phase.
+  int num_threads_ = 1;
 };
 
 }  // namespace nestra

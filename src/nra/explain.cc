@@ -71,6 +71,15 @@ std::string ExplainQuery(const QueryBlock& root, const Catalog& catalog,
       << TreeExpression::Build(root).ToString();
 
   oss << "=== Nested relational plan (" << options.ToString() << ") ===\n";
+  if (options.num_threads == 1) {
+    oss << "execution: serial\n";
+  } else if (options.num_threads <= 0) {
+    // Machine-independent wording: the resolved count depends on the host.
+    oss << "execution: morsel-parallel (num_threads=auto)\n";
+  } else {
+    oss << "execution: morsel-parallel (num_threads=" << options.num_threads
+        << ")\n";
+  }
   if (root.children.empty()) {
     oss << "flat query: scan + filter + project\n";
   } else if (options.bottom_up_linear && root.IsLinearCorrelated()) {

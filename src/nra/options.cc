@@ -12,7 +12,14 @@ std::string NraOptions::ToString() const {
       << ", rewrite_positive=" << (rewrite_positive ? "true" : "false")
       << ", bottom_up_linear=" << (bottom_up_linear ? "true" : "false")
       << ", magic_restriction=" << (magic_restriction ? "true" : "false")
-      << ", verify_plans=" << (verify_plans ? "true" : "false") << "}";
+      << ", threads=";
+  // "auto" keeps the string machine-independent for golden test output.
+  if (num_threads <= 0) {
+    oss << "auto";
+  } else {
+    oss << num_threads;
+  }
+  oss << ", verify_plans=" << (verify_plans ? "true" : "false") << "}";
   return oss.str();
 }
 

@@ -44,6 +44,14 @@ struct NraOptions {
   /// participate. Applies to equality correlations; a no-op otherwise.
   bool magic_restriction = false;
 
+  /// Morsel-driven parallelism degree for the execution engine: hash-join
+  /// build/probe, the sorts behind SortNode / sort-based nest / the fused
+  /// evaluator's single sort, base-table scan+filter, and the pushed-down
+  /// linking selection. 0 = auto (std::thread::hardware_concurrency);
+  /// 1 = the serial paths, which stay intact as the correctness oracle.
+  /// Results are byte-identical for every setting.
+  int num_threads = 0;
+
   /// Run the static plan verifier (src/verify/) over the bound block tree
   /// before execution; any error-severity diagnostic fails the query with
   /// InvalidArgument instead of executing a plan that would silently break

@@ -1,5 +1,6 @@
 #include "nra/planner.h"
 
+#include "common/thread_pool.h"
 #include "exec/aggregate.h"
 #include "exec/distinct.h"
 #include "exec/filter.h"
@@ -13,7 +14,32 @@
 
 namespace nestra {
 
-Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog) {
+Result<Table> ParallelFilterTable(Table in, const Expr* pred,
+                                  int num_threads) {
+  NESTRA_ASSIGN_OR_RETURN(BoundPredicate bound,
+                          BoundPredicate::Make(pred, in.schema()));
+  Table out{in.schema()};
+  const int64_t n = static_cast<int64_t>(in.rows().size());
+  // Morsels keep row order: slot m holds the survivors of rows
+  // [m*chunk, (m+1)*chunk), concatenated in morsel order below.
+  std::vector<std::vector<Row>> slots(
+      static_cast<size_t>(MorselCount(n, num_threads)));
+  ParallelForMorsels(n, num_threads, [&](int64_t morsel, int64_t begin,
+                                         int64_t end) {
+    std::vector<Row>& slot = slots[static_cast<size_t>(morsel)];
+    for (int64_t i = begin; i < end; ++i) {
+      Row& r = in.rows()[static_cast<size_t>(i)];
+      if (bound.Matches(r)) slot.push_back(std::move(r));
+    }
+  });
+  for (std::vector<Row>& slot : slots) {
+    for (Row& r : slot) out.AppendUnchecked(std::move(r));
+  }
+  return out;
+}
+
+Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
+                            int num_threads) {
   // Split local conjuncts once; they are attached to the first join where
   // both sides are available, remaining ones become a final filter.
   std::vector<ExprPtr> conjuncts;
@@ -43,13 +69,20 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog) {
       conjuncts = std::move(rest);
       JoinCondition cond = DecomposeJoinCondition(
           std::move(usable), node->output_schema(), scan->output_schema());
-      node = std::make_unique<HashJoinNode>(std::move(node), std::move(scan),
-                                            JoinType::kInner,
-                                            std::move(cond.equi),
-                                            std::move(cond.residual));
+      node = std::make_unique<HashJoinNode>(
+          std::move(node), std::move(scan), JoinType::kInner,
+          std::move(cond.equi), std::move(cond.residual), num_threads);
     }
   }
   if (!conjuncts.empty()) {
+    if (num_threads > 1) {
+      // Scan serially (simulated I/O is charged per pulled row and must
+      // stay identical to the serial plan), then filter the materialized
+      // rows in parallel morsels.
+      NESTRA_ASSIGN_OR_RETURN(Table scanned, CollectTable(node.get()));
+      const ExprPtr pred = MakeAnd(std::move(conjuncts));
+      return ParallelFilterTable(std::move(scanned), pred.get(), num_threads);
+    }
     node = std::make_unique<FilterNode>(std::move(node),
                                         MakeAnd(std::move(conjuncts)));
   }
@@ -68,7 +101,7 @@ ExprPtr CloneCorrelatedPreds(const QueryBlock& child) {
 
 Result<Table> JoinWithChild(Table rel, Table child_base,
                             const QueryBlock& child, JoinType join_type,
-                            ExprPtr extra_condition) {
+                            ExprPtr extra_condition, int num_threads) {
   auto left = std::make_unique<TableSourceNode>(std::move(rel));
   auto right = std::make_unique<TableSourceNode>(std::move(child_base));
 
@@ -105,7 +138,7 @@ Result<Table> JoinWithChild(Table rel, Table child_base,
   }
   auto join = std::make_unique<HashJoinNode>(
       std::move(left), std::move(right), join_type, std::move(cond.equi),
-      std::move(cond.residual));
+      std::move(cond.residual), num_threads);
   return CollectTable(join.get());
 }
 
@@ -148,9 +181,15 @@ AggFunc ToAggFunc(LinkAgg agg) {
 }  // namespace
 
 Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
-                                 const std::string& key_filter_attr) {
+                                 const std::string& key_filter_attr,
+                                 int num_threads) {
+  if (!key_filter_attr.empty() && num_threads > 1) {
+    const ExprPtr pred = IsNotNull(Col(key_filter_attr));
+    NESTRA_ASSIGN_OR_RETURN(
+        rel, ParallelFilterTable(std::move(rel), pred.get(), num_threads));
+  }
   ExecNodePtr node = std::make_unique<TableSourceNode>(std::move(rel));
-  if (!key_filter_attr.empty()) {
+  if (!key_filter_attr.empty() && num_threads <= 1) {
     node = std::make_unique<FilterNode>(std::move(node),
                                         IsNotNull(Col(key_filter_attr)));
   }
@@ -173,7 +212,8 @@ Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
     for (const QueryBlock::OrderItem& item : root.order_by) {
       keys.push_back({item.column, item.ascending});
     }
-    node = std::make_unique<SortNode>(std::move(node), std::move(keys));
+    node = std::make_unique<SortNode>(std::move(node), std::move(keys),
+                                      num_threads);
   }
   node = std::make_unique<ProjectNode>(std::move(node), root.select_list);
   if (root.distinct) {

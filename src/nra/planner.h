@@ -17,8 +17,17 @@ namespace nestra {
 /// Builds T_i = σ_i(R_i): scans the block's tables under their aliases,
 /// joins them on the local equality predicates (hash join; remaining local
 /// conjuncts become filters) and returns the materialized result with fully
-/// qualified column names.
-Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog);
+/// qualified column names. `num_threads > 1` runs the hash joins and the
+/// single-table filter in parallel (scans stay serial so simulated I/O
+/// accounting is unchanged); results are identical to the serial pass.
+Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
+                            int num_threads = 1);
+
+/// Filters `in` down to the rows matching `pred` using row-range morsels
+/// (serial when `num_threads <= 1`); row order is preserved, so the result
+/// equals a serial FilterNode pass.
+Result<Table> ParallelFilterTable(Table in, const Expr* pred,
+                                  int num_threads);
 
 /// Joins `rel` (the accumulated outer relation) with the child block's base
 /// relation using the child's correlated predicates as the join condition:
@@ -30,7 +39,8 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog);
 /// the rewrite and baseline plans.
 Result<Table> JoinWithChild(Table rel, Table child_base,
                             const QueryBlock& child, JoinType join_type,
-                            ExprPtr extra_condition = nullptr);
+                            ExprPtr extra_condition = nullptr,
+                            int num_threads = 1);
 
 /// Clones and conjoins the child's correlated predicates (nullptr when it
 /// has none).
@@ -45,7 +55,8 @@ Result<std::vector<const QueryBlock*>> LinearChain(const QueryBlock& root);
 /// ORDER BY (before projection, so non-selected columns can order), the
 /// select-list projection, DISTINCT (order-preserving), and LIMIT.
 Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
-                                 const std::string& key_filter_attr = "");
+                                 const std::string& key_filter_attr = "",
+                                 int num_threads = 1);
 
 /// True when every correlated predicate of `child` is a plain equality
 /// `outer_col = child_col` (the §4.2.4 push-down precondition); fills

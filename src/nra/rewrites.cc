@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/hash_key.h"
+#include "common/thread_pool.h"
 #include "exec/distinct.h"
 #include "exec/hash_join.h"
 #include "exec/project.h"
@@ -10,26 +12,12 @@
 
 namespace nestra {
 
-namespace {
-
-struct KeyHash {
-  size_t operator()(const std::vector<Value>& key) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (const Value& v : key) {
-      h ^= v.Hash();
-      h *= 0x100000001b3ULL;
-    }
-    return h;
-  }
-};
-
-}  // namespace
-
 Result<Table> HashLinkSelect(Table outer, const Table& inner,
                              const std::vector<std::string>& outer_key_cols,
                              const std::vector<std::string>& inner_key_cols,
                              const QueryBlock& child, SelectionMode mode,
-                             const std::vector<std::string>& pad_attrs) {
+                             const std::vector<std::string>& pad_attrs,
+                             int num_threads) {
   const Schema& os = outer.schema();
   const Schema& is = inner.schema();
 
@@ -72,7 +60,9 @@ Result<Table> HashLinkSelect(Table outer, const Table& inner,
     Value key;
     Value linked;
   };
-  std::unordered_map<std::vector<Value>, std::vector<Member>, KeyHash> groups;
+  std::unordered_map<std::vector<Value>, std::vector<Member>, SqlValueKeyHash,
+                     SqlValueKeyEq>
+      groups;
   for (const Row& r : inner.rows()) {
     std::vector<Value> key;
     key.reserve(ikeys.size());
@@ -92,32 +82,46 @@ Result<Table> HashLinkSelect(Table outer, const Table& inner,
   Table out{Schema(std::move(fields))};
   out.Reserve(outer.rows().size());
 
+  // Per-outer-row evaluation in row-range morsels against the read-only
+  // group table. Each morsel owns its accumulator and output slot; slots
+  // concatenated in morsel order reproduce the serial output exactly.
   static const std::vector<Member> kEmpty;
-  LinkingAccumulator acc(pred);
-  for (Row& r : outer.rows()) {
-    const std::vector<Member>* members = &kEmpty;
-    bool probe_null = false;
-    std::vector<Value> key;
-    key.reserve(okeys.size());
-    for (int idx : okeys) {
-      if (r[idx].is_null()) probe_null = true;
-      key.push_back(r[idx]);
+  const int64_t n = static_cast<int64_t>(outer.rows().size());
+  std::vector<std::vector<Row>> slots(
+      static_cast<size_t>(MorselCount(n, num_threads)));
+  ParallelForMorsels(n, num_threads, [&](int64_t morsel, int64_t begin,
+                                         int64_t end) {
+    std::vector<Row>& slot = slots[static_cast<size_t>(morsel)];
+    LinkingAccumulator acc(pred);
+    for (int64_t i = begin; i < end; ++i) {
+      Row& r = outer.rows()[static_cast<size_t>(i)];
+      const std::vector<Member>* members = &kEmpty;
+      bool probe_null = false;
+      std::vector<Value> key;
+      key.reserve(okeys.size());
+      for (int idx : okeys) {
+        if (r[idx].is_null()) probe_null = true;
+        key.push_back(r[idx]);
+      }
+      if (!probe_null) {
+        const auto it = groups.find(key);
+        if (it != groups.end()) members = &it->second;
+      }
+      acc.Reset(linking_idx >= 0 ? r[linking_idx] : pred.linking_const);
+      for (const Member& m : *members) {
+        acc.Add(m.key, m.linked);
+        if (acc.Decided()) break;
+      }
+      if (IsTrue(acc.Result())) {
+        slot.push_back(std::move(r));
+      } else if (mode == SelectionMode::kPseudo) {
+        for (int i : pad_idx) r[i] = Value::Null();
+        slot.push_back(std::move(r));
+      }
     }
-    if (!probe_null) {
-      const auto it = groups.find(key);
-      if (it != groups.end()) members = &it->second;
-    }
-    acc.Reset(linking_idx >= 0 ? r[linking_idx] : pred.linking_const);
-    for (const Member& m : *members) {
-      acc.Add(m.key, m.linked);
-      if (acc.Decided()) break;
-    }
-    if (IsTrue(acc.Result())) {
-      out.AppendUnchecked(std::move(r));
-    } else if (mode == SelectionMode::kPseudo) {
-      for (int i : pad_idx) r[i] = Value::Null();
-      out.AppendUnchecked(std::move(r));
-    }
+  });
+  for (std::vector<Row>& slot : slots) {
+    for (Row& r : slot) out.AppendUnchecked(std::move(r));
   }
   return out;
 }

@@ -21,11 +21,17 @@ namespace nestra {
 /// linking_attr resolve in `outer`; linked_attr/key_attr in `inner`).
 /// In kPseudo mode failing rows are kept with `pad_attrs` nulled; in
 /// kStrict mode they are dropped.
+///
+/// With `num_threads > 1` the per-outer-row evaluation runs over row-range
+/// morsels (each with its own accumulator) against the shared read-only
+/// group table; per-morsel outputs are concatenated in morsel order, so the
+/// result is identical to the serial pass.
 Result<Table> HashLinkSelect(Table outer, const Table& inner,
                              const std::vector<std::string>& outer_key_cols,
                              const std::vector<std::string>& inner_key_cols,
                              const QueryBlock& child, SelectionMode mode,
-                             const std::vector<std::string>& pad_attrs);
+                             const std::vector<std::string>& pad_attrs,
+                             int num_threads = 1);
 
 /// \brief §4.2.5 positive-operator rewrite: builds the extra join condition
 /// `A θ B` for IN / θ SOME links (nullptr for EXISTS, whose semijoin

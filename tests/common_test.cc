@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/date.h"
 #include "common/row.h"
 #include "common/schema.h"
@@ -101,6 +103,21 @@ TEST(ValueTest, ToString) {
   EXPECT_EQ(I(7).ToString(), "7");
   EXPECT_EQ(N().ToString(), "null");
   EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, FloatToStringRoundTrips) {
+  // Shortest-round-trip formatting (not fixed precision): parsing the text
+  // back must reproduce the exact double, including values the old
+  // 6-significant-digit rendering corrupted.
+  for (const double d : {0.1, 1e-17, 1.0 / 3.0, 1e300, -1e300, 2.5e-308,
+                         123456.789, 12345678.901234567, -0.0,
+                         3.141592653589793}) {
+    const std::string s = Value::Float64(d).ToString();
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), d) << "rendered as " << s;
+  }
+  // Integral doubles still render compactly.
+  EXPECT_EQ(Value::Float64(2.0).ToString(), "2");
+  EXPECT_EQ(Value::Float64(-0.5).ToString(), "-0.5");
 }
 
 TEST(CmpOpTest, FlipAndNegate) {

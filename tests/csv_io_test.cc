@@ -35,6 +35,25 @@ TEST(CsvIoTest, RoundTripWithNullsQuotesAndDates) {
   EXPECT_TRUE(Table::BagEquals(t, back)) << csv;
 }
 
+TEST(CsvIoTest, FloatsRoundTripBitExactly) {
+  // Doubles whose shortest decimal form needs the full 17 digits must come
+  // back from a write/read cycle with the identical bit pattern.
+  Table t{MixedSchema()};
+  int64_t id = 0;
+  for (const double d : {0.1, 1e-17, 1.0 / 3.0, 1e300, -2.5e-300,
+                         12345678.901234567, 0.30000000000000004}) {
+    t.AppendUnchecked(Row({I(++id), N(), Value::Float64(d), N()}));
+  }
+  const std::string csv = WriteCsv(t);
+  ASSERT_OK_AND_ASSIGN(Table back, ReadCsv(csv, MixedSchema()));
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    const size_t row = static_cast<size_t>(i);
+    EXPECT_EQ(back.rows()[row][2].float64(), t.rows()[row][2].float64())
+        << csv;
+  }
+}
+
 TEST(CsvIoTest, ReadsBasicInput) {
   const std::string csv =
       "id,name,price,day\n"

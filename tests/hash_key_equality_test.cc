@@ -1,0 +1,244 @@
+// Regression tests for the hash-key equality bug: `Value::Apply(kEq)`
+// equates int64 1 with float64 1.0 (SQL comparison semantics), but the deep
+// `Value::Hash()`/`operator==` pair deliberately does not — and every
+// hash-keyed operator used to key its tables with the deep pair. A probe
+// with a float64 key could therefore miss build rows that the nested-loop
+// join (which compares with Apply(kEq)) matches. All hash-keyed operators
+// now use the SQL comparator from common/hash_key.h; each test pins one of
+// them against its order-insensitive oracle on mixed int64/float64 keys.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/hash_key.h"
+#include "common/value.h"
+#include "exec/aggregate.h"
+#include "exec/distinct.h"
+#include "exec/hash_join.h"
+#include "exec/nested_loop_join.h"
+#include "exec/set_ops.h"
+#include "expr/expr.h"
+#include "nested/nest.h"
+#include "storage/hash_index.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::ExpectTablesEqual;
+using testing_util::F;
+using testing_util::I;
+using testing_util::MakeTable;
+using testing_util::N;
+
+TEST(SqlHashTest, NumericallyEqualValuesHashEqual) {
+  // The invariant every Sql* functor rests on: Apply(kEq) true ⇒ equal
+  // SqlHash.
+  EXPECT_EQ(Value::Int64(1).SqlHash(), Value::Float64(1.0).SqlHash());
+  EXPECT_EQ(Value::Int64(-7).SqlHash(), Value::Float64(-7.0).SqlHash());
+  EXPECT_EQ(Value::Int64(0).SqlHash(), Value::Float64(0.0).SqlHash());
+  EXPECT_EQ(Value::Float64(0.0).SqlHash(), Value::Float64(-0.0).SqlHash());
+  EXPECT_EQ(Value::Null().SqlHash(), Value::Null().SqlHash());
+  EXPECT_EQ(Value::String("ab").SqlHash(), Value::String("ab").SqlHash());
+  // Sanity: the deep pair still distinguishes the representations (that is
+  // its documented contract — see Value::Hash).
+  EXPECT_FALSE(Value::Int64(1) == Value::Float64(1.0));
+}
+
+TEST(SqlHashTest, FunctorsMatchSqlComparison) {
+  const SqlValueEq eq;
+  EXPECT_TRUE(eq(Value::Int64(3), Value::Float64(3.0)));
+  EXPECT_TRUE(eq(Value::Null(), Value::Null()));  // NULL groups together
+  EXPECT_FALSE(eq(Value::Int64(3), Value::Float64(3.5)));
+  EXPECT_FALSE(eq(Value::Int64(3), Value::Null()));
+  const SqlValueKeyEq key_eq;
+  EXPECT_TRUE(key_eq({Value::Int64(1), Value::Null()},
+                     {Value::Float64(1.0), Value::Null()}));
+  EXPECT_FALSE(key_eq({Value::Int64(1)}, {Value::Int64(1), Value::Int64(1)}));
+  const SqlValueKeyHash key_hash;
+  EXPECT_EQ(key_hash({Value::Int64(1), Value::Int64(2)}),
+            key_hash({Value::Float64(1.0), Value::Float64(2.0)}));
+}
+
+// ---------- Hash join vs. nested-loop join ----------
+
+// Left: int64 keys. Right: float64 keys of equal numeric value (plus a
+// fractional key, a NULL, and an unmatched key). The nested-loop join
+// evaluates `l.k = r.k` with Value::Apply and is the semantics oracle.
+struct MixedKeyFixture {
+  Table left = MakeTable({"l.k", "l.v"}, {{I(1), I(10)},
+                                          {I(2), I(20)},
+                                          {N(), I(30)},
+                                          {I(4), I(40)},
+                                          {I(5), I(50)}});
+  Table right = MakeTable({"r.k", "r.w"}, {{F(1.0), I(100)},
+                                           {F(1.0), I(101)},
+                                           {F(2.5), I(102)},
+                                           {N(), I(103)},
+                                           {F(4.0), I(104)},
+                                           {F(9.0), I(105)}});
+
+  Result<Table> RunHash(JoinType type) {
+    auto l = std::make_unique<TableSourceNode>(left);
+    auto r = std::make_unique<TableSourceNode>(right);
+    HashJoinNode join(std::move(l), std::move(r), type, {{"l.k", "r.k"}},
+                      nullptr);
+    return CollectTable(&join);
+  }
+
+  Result<Table> RunNlj(JoinType type) {
+    auto l = std::make_unique<TableSourceNode>(left);
+    auto r = std::make_unique<TableSourceNode>(right);
+    auto cond = std::make_unique<Comparison>(CmpOp::kEq,
+                                             std::make_unique<ColumnRef>("l.k"),
+                                             std::make_unique<ColumnRef>("r.k"));
+    NestedLoopJoinNode join(std::move(l), std::move(r), type, std::move(cond));
+    return CollectTable(&join);
+  }
+};
+
+TEST(HashKeyEqualityTest, HashJoinMatchesNestedLoopOnMixedIntFloatKeys) {
+  // kLeftAntiNullAware is excluded: the nested-loop join treats it as a
+  // plain antijoin (nested_loop_join.cc), so it is not an oracle for the
+  // hash join's NOT-IN semantics. That type gets its own test below.
+  for (const JoinType type :
+       {JoinType::kInner, JoinType::kLeftOuter, JoinType::kLeftSemi,
+        JoinType::kLeftAnti}) {
+    MixedKeyFixture f;
+    ASSERT_OK_AND_ASSIGN(Table hash_out, f.RunHash(type));
+    ASSERT_OK_AND_ASSIGN(Table nlj_out, f.RunNlj(type));
+    EXPECT_TRUE(Table::BagEquals(nlj_out, hash_out))
+        << "join type " << JoinTypeToString(type) << "\nNLJ (oracle):\n"
+        << nlj_out.ToString() << "hash join:\n"
+        << hash_out.ToString();
+  }
+}
+
+TEST(HashKeyEqualityTest, NullAwareAntiJoinUsesNumericEquality) {
+  // NOT-IN semantics: a NULL key on the build side makes `l.k NOT IN right`
+  // UNKNOWN for every probe, and a NULL probe key is likewise dropped.
+  MixedKeyFixture f;
+  ASSERT_OK_AND_ASSIGN(Table with_null, f.RunHash(JoinType::kLeftAntiNullAware));
+  EXPECT_EQ(with_null.num_rows(), 0) << with_null.ToString();
+
+  // With the build-side NULL removed, only probes with no numeric match
+  // survive — int64 5 must be recognized as matching nothing, while int64
+  // 1 and 4 must hash-match the float64 build keys 1.0 and 4.0. The NULL
+  // probe still drops (NULL NOT IN {non-empty} is UNKNOWN).
+  MixedKeyFixture no_null;
+  no_null.right = MakeTable({"r.k", "r.w"}, {{F(1.0), I(100)},
+                                             {F(2.5), I(102)},
+                                             {F(4.0), I(104)}});
+  ASSERT_OK_AND_ASSIGN(Table out, no_null.RunHash(JoinType::kLeftAntiNullAware));
+  ASSERT_EQ(out.num_rows(), 2) << out.ToString();
+  EXPECT_EQ(out.rows()[0][0], I(2));
+  EXPECT_EQ(out.rows()[1][0], I(5));
+
+  // NOT IN over an empty build side keeps every probe, NULL included.
+  MixedKeyFixture empty;
+  empty.right = MakeTable({"r.k", "r.w"}, {});
+  ASSERT_OK_AND_ASSIGN(Table all, empty.RunHash(JoinType::kLeftAntiNullAware));
+  EXPECT_EQ(all.num_rows(), 5) << all.ToString();
+}
+
+TEST(HashKeyEqualityTest, InnerJoinFindsFloatMatchesForIntProbes) {
+  // The concrete pre-fix failure: int64 probes missed float64 build keys.
+  MixedKeyFixture f;
+  ASSERT_OK_AND_ASSIGN(Table out, f.RunHash(JoinType::kInner));
+  EXPECT_EQ(out.num_rows(), 3);  // 1↔1.0 (twice), 4↔4.0
+}
+
+// ---------- Nest (hash method vs. sort method) ----------
+
+TEST(HashKeyEqualityTest, HashNestMatchesSortNestOnMixedKeys) {
+  // Rows 0 and 1 carry numerically equal keys in different representations;
+  // sort-based nest (TotalOrderCompare) always grouped them together, the
+  // hash-based nest must now agree.
+  const Table input = MakeTable({"k", "v"}, {{I(1), I(10)},
+                                             {F(1.0), I(11)},
+                                             {I(2), I(20)},
+                                             {F(2.5), I(25)},
+                                             {N(), I(30)},
+                                             {N(), I(31)}});
+  ASSERT_OK_AND_ASSIGN(NestedRelation by_sort,
+                       Nest(input, {"k"}, {"v"}, "g", NestMethod::kSort));
+  ASSERT_OK_AND_ASSIGN(NestedRelation by_hash,
+                       Nest(input, {"k"}, {"v"}, "g", NestMethod::kHash));
+  EXPECT_EQ(by_sort.num_tuples(), 4);  // {1,1.0}, {2}, {2.5}, {NULL,NULL}
+  EXPECT_EQ(by_hash.num_tuples(), 4);
+  EXPECT_TRUE(NestedRelation::BagEquals(by_sort, by_hash))
+      << "sort:\n" << by_sort.ToString() << "hash:\n" << by_hash.ToString();
+}
+
+// ---------- Distinct / aggregate / set ops / index ----------
+
+TEST(HashKeyEqualityTest, DistinctDeduplicatesAcrossRepresentations) {
+  // Row::Compare (the SQL comparator) says (1) == (1.0); DistinctNode's
+  // hash set must agree with it.
+  auto src = std::make_unique<TableSourceNode>(
+      MakeTable({"k"}, {{I(1)}, {F(1.0)}, {I(2)}, {N()}, {N()}}));
+  DistinctNode distinct(std::move(src));
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&distinct));
+  EXPECT_EQ(out.num_rows(), 3);  // {1}, {2}, {NULL}
+}
+
+TEST(HashKeyEqualityTest, GroupByMergesNumericallyEqualKeys) {
+  auto src = std::make_unique<TableSourceNode>(MakeTable(
+      {"k", "v"}, {{I(1), I(10)}, {F(1.0), I(32)}, {I(3), I(100)}}));
+  AggregateNode agg(std::move(src), {"k"},
+                    {{AggFunc::kSum, "v", "total"}});
+  ASSERT_OK_AND_ASSIGN(Table out, CollectTable(&agg));
+  ASSERT_EQ(out.num_rows(), 2);
+  // One group holds 10 + 32, keyed by whichever representation arrived
+  // first; the other holds 100.
+  bool saw_42 = false;
+  for (const Row& r : out.rows()) {
+    if (r[1].AsDouble().value_or(0) == 42.0) saw_42 = true;
+  }
+  EXPECT_TRUE(saw_42) << out.ToString();
+}
+
+TEST(HashKeyEqualityTest, SetOpsCompareNumerically) {
+  const Table ints = MakeTable({"k"}, {{I(1)}, {I(2)}, {I(3)}});
+  const Table floats = MakeTable({"k"}, {{F(1.0)}, {F(2.5)}, {F(3.0)}});
+  ASSERT_OK_AND_ASSIGN(Table inter, Intersect(ints, floats));
+  EXPECT_EQ(inter.num_rows(), 2);  // 1 and 3
+  ASSERT_OK_AND_ASSIGN(Table except, Except(ints, floats));
+  EXPECT_EQ(except.num_rows(), 1);  // only 2 survives
+  ASSERT_OK_AND_ASSIGN(Table uni, UnionDistinct(ints, floats));
+  EXPECT_EQ(uni.num_rows(), 4);  // 1, 2, 2.5, 3
+}
+
+TEST(HashKeyEqualityTest, HashIndexAnswersCrossRepresentationProbes) {
+  const Table t = MakeTable({"k", "v"}, {{I(1), I(10)}, {I(2), I(20)},
+                                         {I(1), I(11)}, {N(), I(30)}});
+  const HashIndex index(t, /*column=*/0);
+  EXPECT_EQ(index.Lookup(Value::Float64(1.0)).size(), 2u);
+  EXPECT_EQ(index.Lookup(Value::Int64(2)).size(), 1u);
+  EXPECT_EQ(index.Lookup(Value::Float64(2.5)).size(), 0u);
+  EXPECT_EQ(index.Lookup(Value::Null()).size(), 0u);  // never indexed
+}
+
+// ---------- Value::ToString round trips (satellite bugfix) ----------
+
+TEST(ValueToStringTest, DoublesRoundTripExactly) {
+  // The old "%.6g"-style formatting lost precision, corrupting CSV and
+  // catalog round trips. Shortest-round-trip formatting must parse back to
+  // the identical bit pattern.
+  for (const double d :
+       {0.1, 1e-17, 1.0 / 3.0, 1e300, -2.5e-300, 12345678.91011121,
+        123456.789, -0.0, 3.141592653589793}) {
+    const std::string s = Value::Float64(d).ToString();
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), d) << "formatted as " << s;
+  }
+  EXPECT_EQ(Value::Float64(1.0).ToString(), "1");
+  EXPECT_EQ(Value::Float64(0.1).ToString(), "0.1");
+}
+
+}  // namespace
+}  // namespace nestra

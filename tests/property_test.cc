@@ -12,175 +12,13 @@
 #include "baseline/native_optimizer.h"
 #include "baseline/nested_iteration.h"
 #include "nra/executor.h"
-#include "tpch/random.h"
+#include "query_generator.h"
 #include "test_util.h"
 
 namespace nestra {
 namespace {
 
-using testing_util::MakeTable;
-
-class QueryGenerator {
- public:
-  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
-
-  void PopulateTables(Catalog* catalog) {
-    for (const char* name : {"u", "v", "w", "x"}) {
-      const int64_t rows = rng_.UniformInt(4, 24);
-      const std::string prefix(1, name[0]);
-      Table t = MakeTable({prefix + "k", prefix + "1", prefix + "2"}, {});
-      for (int64_t i = 1; i <= rows; ++i) {
-        Row r;
-        r.Append(Value::Int64(i));
-        r.Append(RandomCell());
-        r.Append(RandomCell());
-        t.AppendUnchecked(std::move(r));
-      }
-      ASSERT_OK(catalog->RegisterTable(name, std::move(t), prefix + "k"));
-    }
-  }
-
-  std::string RandomQuery() {
-    const int shape = static_cast<int>(rng_.UniformInt(0, 4));
-    switch (shape) {
-      case 0:
-        return OneLevel();
-      case 1:
-        return TwoLevelLinear();
-      case 2:
-        return TreeQuery();
-      case 3:
-        return ThreeLevelLinear();
-      default:
-        return ChainUnderTree();
-    }
-  }
-
- private:
-  Value RandomCell() {
-    if (rng_.Bernoulli(0.15)) return Value::Null();
-    return Value::Int64(rng_.UniformInt(0, 6));
-  }
-
-  std::string RandomCmp() {
-    static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">="};
-    return kOps[rng_.UniformInt(0, 5)];
-  }
-
-  // A linking predicate for `outer_col` against a subquery body. The outer
-  // side is occasionally a constant, and the link is occasionally a scalar
-  // aggregate (which needs the body's select item replaced).
-  std::string Link(const std::string& outer_col, const std::string& body) {
-    const std::string outer = rng_.Bernoulli(0.15)
-                                  ? std::to_string(rng_.UniformInt(0, 6))
-                                  : outer_col;
-    switch (rng_.UniformInt(0, 6)) {
-      case 0:
-        return "exists (" + body + ")";
-      case 1:
-        return "not exists (" + body + ")";
-      case 2:
-        return outer + " in (" + body + ")";
-      case 3:
-        return outer + " not in (" + body + ")";
-      case 4:
-        return outer + " " + RandomCmp() + " any (" + body + ")";
-      case 5:
-        return outer + " " + RandomCmp() + " all (" + body + ")";
-      default: {
-        static const char* kAggs[] = {"count", "sum", "min", "max", "avg"};
-        std::string agg(kAggs[rng_.UniformInt(0, 4)]);
-        // Rewrite "select <col> from ..." into "select agg(<col>) from ...".
-        const size_t sel = body.find("select ") + 7;
-        const size_t end = body.find(" from");
-        std::string column = body.substr(sel, end - sel);
-        if (agg == "count" && rng_.Bernoulli(0.3)) column = "*";
-        return outer + " " + RandomCmp() + " (" + body.substr(0, sel) + agg +
-               "(" + column + ")" + body.substr(end) + ")";
-      }
-    }
-  }
-
-  // Optional correlated predicate tying `inner` to `outer`.
-  std::string MaybeCorrelation(const std::string& inner,
-                               const std::string& outer) {
-    switch (rng_.UniformInt(0, 3)) {
-      case 0:
-        return "";  // non-correlated
-      case 1:
-        return " and " + inner + "1 = " + outer + "2";
-      case 2:
-        return " and " + inner + "1 " + RandomCmp() + " " + outer + "2";
-      default:
-        return " and " + inner + "2 = " + outer + "1";
-    }
-  }
-
-  std::string MaybeLocal(const std::string& t) {
-    if (rng_.Bernoulli(0.5)) return "";
-    return " and " + t + "2 " + RandomCmp() + " " +
-           std::to_string(rng_.UniformInt(0, 6));
-  }
-
-  std::string OneLevel() {
-    std::ostringstream q;
-    q << "select uk from u where uk >= 0" << MaybeLocal("u") << " and "
-      << Link("u1", "select v1 from v where vk >= 0" + MaybeLocal("v") +
-                        MaybeCorrelation("v", "u"));
-    return q.str();
-  }
-
-  std::string TwoLevelLinear() {
-    const std::string inner = "select w1 from w where wk >= 0" +
-                              MaybeLocal("w") + MaybeCorrelation("w", "v");
-    const std::string middle = "select v1 from v where vk >= 0" +
-                               MaybeLocal("v") + MaybeCorrelation("v", "u") +
-                               " and " + Link("v2", inner);
-    return "select uk from u where uk >= 0" + MaybeLocal("u") + " and " +
-           Link("u1", middle);
-  }
-
-  // u -> v -> w -> x, including occasional non-adjacent correlation of the
-  // innermost block back to u (the Query-3 pattern).
-  std::string ThreeLevelLinear() {
-    std::string innermost = "select x1 from x where xk >= 0" +
-                            MaybeLocal("x") + MaybeCorrelation("x", "w");
-    if (rng_.Bernoulli(0.4)) innermost += " and x2 = u1";
-    const std::string inner = "select w1 from w where wk >= 0" +
-                              MaybeLocal("w") + MaybeCorrelation("w", "v") +
-                              " and " + Link("w2", innermost);
-    const std::string middle = "select v1 from v where vk >= 0" +
-                               MaybeLocal("v") + MaybeCorrelation("v", "u") +
-                               " and " + Link("v2", inner);
-    return "select uk from u where uk >= 0" + MaybeLocal("u") + " and " +
-           Link("u1", middle);
-  }
-
-  // Two siblings under the root, one of which has its own nested chain.
-  std::string ChainUnderTree() {
-    const std::string deep_inner = "select w1 from w where wk >= 0" +
-                                   MaybeLocal("w") +
-                                   MaybeCorrelation("w", "v");
-    const std::string chain_child = "select v1 from v where vk >= 0" +
-                                    MaybeCorrelation("v", "u") + " and " +
-                                    Link("v2", deep_inner);
-    const std::string flat_child = "select x1 from x where xk >= 0" +
-                                   MaybeLocal("x") + MaybeCorrelation("x", "u");
-    return "select uk from u where uk >= 0 and " + Link("u1", chain_child) +
-           " and " + Link("u2", flat_child);
-  }
-
-  std::string TreeQuery() {
-    const std::string sub1 = "select v1 from v where vk >= 0" +
-                             MaybeLocal("v") + MaybeCorrelation("v", "u");
-    const std::string sub2 = "select w1 from w where wk >= 0" +
-                             MaybeLocal("w") + MaybeCorrelation("w", "u");
-    return "select uk from u where uk >= 0" + MaybeLocal("u") + " and " +
-           Link("u1", sub1) + " and " + Link("u2", sub2);
-  }
-
-  Rng rng_;
-};
+using testing_util::QueryGenerator;
 
 class PropertyTest : public ::testing::TestWithParam<uint64_t> {};
 

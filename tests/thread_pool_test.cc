@@ -1,0 +1,164 @@
+// The morsel-parallel substrate: the shared ThreadPool, the ParallelForEach
+// / ParallelForMorsels fan-out primitives, and the parallel stable merge
+// sort. The load-bearing property everywhere is determinism: results must
+// be identical to the serial path for every thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel_sort.h"
+#include "common/thread_pool.h"
+#include "tpch/random.h"
+
+namespace nestra {
+namespace {
+
+TEST(ResolveNumThreadsTest, Resolution) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+  EXPECT_GE(ResolveNumThreads(0), 1);   // auto: at least one thread
+  EXPECT_GE(ResolveNumThreads(-3), 1);  // negative behaves like auto
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  std::atomic<int> counter{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (counter.fetch_add(1) + 1 == kTasks) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return counter.load() == kTasks; });
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  pool.EnsureWorkers(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  pool.EnsureWorkers(2);
+  EXPECT_EQ(pool.num_workers(), 4);
+}
+
+TEST(ThreadPoolTest, SharedPoolExists) {
+  ThreadPool* shared = ThreadPool::Shared();
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared, ThreadPool::Shared());  // same instance every time
+}
+
+TEST(ParallelForEachTest, CoversEveryUnitExactlyOnce) {
+  for (const int threads : {1, 2, 5, 8}) {
+    for (const int64_t units : {0L, 1L, 7L, 100L, 1000L}) {
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(units));
+      for (auto& h : hits) h.store(0);
+      ParallelForEach(units, threads,
+                      [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+      for (int64_t i = 0; i < units; ++i) {
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+            << "unit " << i << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(MorselCountTest, Bounds) {
+  EXPECT_EQ(MorselCount(0, 8), 0);
+  EXPECT_EQ(MorselCount(-5, 8), 0);
+  EXPECT_EQ(MorselCount(100, 1), 1);   // serial: one morsel
+  EXPECT_EQ(MorselCount(100, 8), 1);   // under the 1024-row grain
+  EXPECT_GE(MorselCount(100000, 4), 4);
+  EXPECT_LE(MorselCount(100000, 4), 4 * 8);
+  EXPECT_EQ(MorselCount(1, 8), 1);
+}
+
+TEST(ParallelForMorselsTest, RangesPartitionTheInputInOrder) {
+  for (const int threads : {1, 3, 8}) {
+    for (const int64_t total : {0L, 1L, 1023L, 1024L, 10000L, 50001L}) {
+      const int64_t morsels = MorselCount(total, threads);
+      std::vector<std::pair<int64_t, int64_t>> ranges(
+          static_cast<size_t>(morsels), {-1, -1});
+      ParallelForMorsels(total, threads,
+                         [&](int64_t m, int64_t begin, int64_t end) {
+                           ranges[static_cast<size_t>(m)] = {begin, end};
+                         });
+      int64_t expected_begin = 0;
+      for (const auto& [begin, end] : ranges) {
+        if (begin < 0) continue;  // empty trailing morsel never invoked
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LT(begin, end);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, total < 0 ? 0 : total)
+          << "threads=" << threads << " total=" << total;
+    }
+  }
+}
+
+TEST(ParallelStableSortTest, MatchesSerialStableSortExactly) {
+  Rng rng(20050614);
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const int64_t n : {0L, 1L, 100L, 8192L, 50000L}) {
+      std::vector<int64_t> serial;
+      serial.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) serial.push_back(rng.UniformInt(0, 99));
+      std::vector<int64_t> parallel = serial;
+      const auto less = [](int64_t a, int64_t b) { return a < b; };
+      std::stable_sort(serial.begin(), serial.end(), less);
+      ParallelStableSort(&parallel, less, threads);
+      EXPECT_EQ(parallel, serial) << "threads=" << threads << " n=" << n;
+    }
+  }
+}
+
+TEST(ParallelStableSortTest, PreservesInputOrderWithinEqualKeys) {
+  // Elements carry (key, original index); sorting by key only must keep the
+  // indices ascending inside every key run — for every thread count, which
+  // is exactly what makes the parallel sort's output unique.
+  Rng rng(7);
+  constexpr int64_t kN = 40000;  // above the serial cutoff
+  std::vector<std::pair<int64_t, int64_t>> input;
+  input.reserve(kN);
+  for (int64_t i = 0; i < kN; ++i) input.push_back({rng.UniformInt(0, 9), i});
+  for (const int threads : {2, 8}) {
+    std::vector<std::pair<int64_t, int64_t>> v = input;
+    ParallelStableSort(
+        &v, [](const auto& a, const auto& b) { return a.first < b.first; },
+        threads);
+    for (size_t i = 1; i < v.size(); ++i) {
+      ASSERT_LE(v[i - 1].first, v[i].first);
+      if (v[i - 1].first == v[i].first) {
+        ASSERT_LT(v[i - 1].second, v[i].second) << "instability at " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelStableSortTest, MoveOnlyElements) {
+  // The sort moves elements (never copies); unique_ptr payloads prove it.
+  constexpr int64_t kN = 20000;
+  std::vector<std::unique_ptr<int64_t>> v;
+  v.reserve(kN);
+  for (int64_t i = 0; i < kN; ++i) {
+    v.push_back(std::make_unique<int64_t>(kN - i));
+  }
+  ParallelStableSort(
+      &v, [](const auto& a, const auto& b) { return *a < *b; }, 4);
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_NE(v[static_cast<size_t>(i)], nullptr);
+    EXPECT_EQ(*v[static_cast<size_t>(i)], i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace nestra
