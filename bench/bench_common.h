@@ -17,6 +17,7 @@
 #include "common/date.h"
 #include "common/thread_pool.h"
 #include "nra/executor.h"
+#include "nra/profile.h"
 #include "plan/binder.h"
 #include "storage/catalog.h"
 #include "storage/io_sim.h"
@@ -73,6 +74,61 @@ class BenchJsonRecorder {
         std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
       }
       std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+  std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+/// Collects one QueryProfile JSON document per recorded NRA benchmark and,
+/// when `NESTRA_PROFILE_JSON` names a file, writes them there at process
+/// exit (schema "nestra-profile-trajectory-v1"). The profile is taken from
+/// one dedicated profiled run per benchmark — the timed iterations run with
+/// profiling off, so the recorded wall_ms is unaffected.
+class ProfileJsonRecorder {
+ public:
+  static ProfileJsonRecorder& Get() {
+    static ProfileJsonRecorder* recorder = [] {
+      auto* r = new ProfileJsonRecorder();
+      std::atexit(&ProfileJsonRecorder::WriteAtExit);
+      return r;
+    }();
+    return *recorder;
+  }
+
+  static bool Enabled() {
+    const char* path = std::getenv("NESTRA_PROFILE_JSON");
+    return path != nullptr && path[0] != '\0';
+  }
+
+  void Record(const std::string& name, std::string profile_json) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back({name, std::move(profile_json)});
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string profile_json;  // already-valid JSON from QueryProfile::ToJson
+  };
+
+  static void WriteAtExit() {
+    const char* path = std::getenv("NESTRA_PROFILE_JSON");
+    if (path == nullptr || path[0] == '\0') return;
+    ProfileJsonRecorder& self = Get();
+    std::lock_guard<std::mutex> lock(self.mu_);
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"schema\": \"nestra-profile-trajectory-v1\",\n");
+    std::fprintf(f, "  \"entries\": [");
+    for (size_t i = 0; i < self.entries_.size(); ++i) {
+      const Entry& e = self.entries_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"profile\": %s}",
+                   i == 0 ? "" : ",", e.name.c_str(),
+                   e.profile_json.c_str());
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
@@ -199,16 +255,43 @@ inline void RunNra(benchmark::State& state, const Catalog& catalog,
     state.counters["sim_io_ms"] = sim_ms / static_cast<double>(iters);
     state.counters["t2005_ms"] =
         (sim_ms + wall_ms) / static_cast<double>(iters);
+    std::vector<std::pair<std::string, double>> counters = {
+        {"out_rows", static_cast<double>(rows)},
+        {"intermediate_rows", static_cast<double>(stats.intermediate_rows)},
+        {"nest_select_ms", stats.nest_select_seconds * 1e3},
+        {"join_ms", stats.join_seconds * 1e3},
+        {"sim_io_ms", sim_ms / static_cast<double>(iters)},
+        {"num_threads",
+         static_cast<double>(ResolveNumThreads(options.num_threads))}};
+    // One extra profiled run, outside the timed loop: the per-phase
+    // breakdown rides along in BENCH_*.json and the full per-operator
+    // profile goes to the NESTRA_PROFILE_JSON sink when set.
     if (!bench_name.empty()) {
+      NraOptions popts = options;
+      popts.profile = true;
+      NraExecutor profiled_exec(catalog, popts);
+      QueryProfile profile;
+      if (sim != nullptr) sim->Reset();
+      Result<Table> r = profiled_exec.ExecuteSql(sql, nullptr, &profile);
+      if (r.ok()) {
+        counters.push_back(
+            {"phase_unnest_join_ms",
+             profile.PhaseSeconds(QueryPhase::kUnnestJoin) * 1e3});
+        counters.push_back(
+            {"phase_nest_ms", profile.PhaseSeconds(QueryPhase::kNest) * 1e3});
+        counters.push_back(
+            {"phase_linking_selection_ms",
+             profile.PhaseSeconds(QueryPhase::kLinkingSelection) * 1e3});
+        counters.push_back(
+            {"phase_post_processing_ms",
+             profile.PhaseSeconds(QueryPhase::kPostProcessing) * 1e3});
+        if (ProfileJsonRecorder::Enabled()) {
+          ProfileJsonRecorder::Get().Record(bench_name, profile.ToJson());
+        }
+      }
       BenchJsonRecorder::Get().Record(
           bench_name, wall_ms / static_cast<double>(iters),
-          {{"out_rows", static_cast<double>(rows)},
-           {"intermediate_rows", static_cast<double>(stats.intermediate_rows)},
-           {"nest_select_ms", stats.nest_select_seconds * 1e3},
-           {"join_ms", stats.join_seconds * 1e3},
-           {"sim_io_ms", sim_ms / static_cast<double>(iters)},
-           {"num_threads",
-            static_cast<double>(ResolveNumThreads(options.num_threads))}});
+          std::move(counters));
     }
   }
 }

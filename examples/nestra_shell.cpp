@@ -20,8 +20,11 @@
 //   \oracle on|off             cross-check results against nested iteration
 //   \explain <sql>             show the plan without running
 //   \quit                      exit
-// Anything else is SQL, terminated by ';'.
+// Anything else is SQL, terminated by ';'. A statement may start with
+// `EXPLAIN <select...>` (plan only) or `EXPLAIN ANALYZE <select...>`
+// (execute with profiling and print the per-operator profile).
 
+#include <cctype>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -38,6 +41,26 @@
 using namespace nestra;
 
 namespace {
+
+// Strips a leading case-insensitive keyword (followed by whitespace) and
+// returns true when it was present.
+bool ConsumeKeyword(std::string* sql, const std::string& keyword) {
+  size_t at = sql->find_first_not_of(" \t\n\r");
+  if (at == std::string::npos) return false;
+  if (sql->size() - at < keyword.size() + 1) return false;
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>((*sql)[at + i])) !=
+        keyword[i]) {
+      return false;
+    }
+  }
+  const char next = (*sql)[at + keyword.size()];
+  if (next != ' ' && next != '\t' && next != '\n' && next != '\r') {
+    return false;
+  }
+  sql->erase(0, at + keyword.size() + 1);
+  return true;
+}
 
 std::vector<std::string> SplitWords(const std::string& line) {
   std::istringstream iss(line);
@@ -189,7 +212,15 @@ class Shell {
     return true;
   }
 
-  void RunSql(const std::string& sql) {
+  void RunSql(std::string sql) {
+    if (ConsumeKeyword(&sql, "EXPLAIN")) {
+      const bool analyze = ConsumeKeyword(&sql, "ANALYZE");
+      const Result<std::string> text =
+          analyze ? ExplainAnalyzeSql(sql, catalog_, options_)
+                  : ExplainSql(sql, catalog_, options_);
+      std::cout << (text.ok() ? *text : text.status().ToString()) << "\n";
+      return;
+    }
     NraExecutor exec(catalog_, options_);
     NraStats stats;
     const Result<Table> result = exec.ExecuteStatementSql(sql, &stats);

@@ -2,10 +2,28 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <utility>
 
 namespace nestra {
+
+namespace {
+// Process-wide pool usage counters (see GlobalPoolStats). Wait time is kept
+// in nanoseconds so the counter can stay a lock-free integer.
+std::atomic<int64_t> g_parallel_loops{0};
+std::atomic<int64_t> g_tasks_submitted{0};
+std::atomic<int64_t> g_wait_nanos{0};
+}  // namespace
+
+PoolStatsSnapshot GlobalPoolStats() {
+  PoolStatsSnapshot snap;
+  snap.parallel_loops = g_parallel_loops.load(std::memory_order_relaxed);
+  snap.tasks_submitted = g_tasks_submitted.load(std::memory_order_relaxed);
+  snap.wait_seconds =
+      static_cast<double>(g_wait_nanos.load(std::memory_order_relaxed)) * 1e-9;
+  return snap;
+}
 
 int ResolveNumThreads(int requested) {
   if (requested > 0) return requested;
@@ -107,6 +125,9 @@ void ParallelForEach(int64_t units, int num_threads,
   ThreadPool* pool = ThreadPool::Shared();
   pool->EnsureWorkers(helpers);
 
+  g_parallel_loops.fetch_add(1, std::memory_order_relaxed);
+  g_tasks_submitted.fetch_add(helpers, std::memory_order_relaxed);
+
   auto state = std::make_shared<FanOutState>();
   state->body = body;
   state->units = units;
@@ -118,8 +139,15 @@ void ParallelForEach(int64_t units, int num_threads,
     });
   }
   state->RunLoop();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] { return state->pending_helpers == 0; });
+  const auto wait_start = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->pending_helpers == 0; });
+  }
+  g_wait_nanos.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - wait_start)
+                             .count(),
+                         std::memory_order_relaxed);
 }
 
 int64_t MorselCount(int64_t total, int num_threads) {

@@ -79,6 +79,25 @@ void ParallelForMorsels(
     int64_t total, int num_threads,
     const std::function<void(int64_t, int64_t, int64_t)>& body);
 
+/// \brief Monotonic counters describing shared-pool usage since process
+/// start. Profilers snapshot these before and after a stage and report the
+/// delta: how many parallel loops ran, how many helper tasks were
+/// submitted, and how long callers sat waiting for helpers to drain.
+struct PoolStatsSnapshot {
+  int64_t parallel_loops = 0;
+  int64_t tasks_submitted = 0;
+  double wait_seconds = 0;
+
+  PoolStatsSnapshot operator-(const PoolStatsSnapshot& o) const {
+    return {parallel_loops - o.parallel_loops,
+            tasks_submitted - o.tasks_submitted,
+            wait_seconds - o.wait_seconds};
+  }
+};
+
+/// Current process-wide pool usage counters (cheap: three relaxed loads).
+PoolStatsSnapshot GlobalPoolStats();
+
 }  // namespace nestra
 
 #endif  // NESTRA_COMMON_THREAD_POOL_H_

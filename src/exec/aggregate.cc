@@ -52,7 +52,7 @@ AggregateNode::AggregateNode(ExecNodePtr child,
   schema_ = Schema(std::move(fields));
 }
 
-Status AggregateNode::Open() {
+Status AggregateNode::OpenImpl() {
   NESTRA_RETURN_NOT_OK(child_->Open());
   const Schema& in = child_->output_schema();
   group_idx_.clear();
@@ -184,7 +184,7 @@ Row AggregateNode::Finalize(const std::vector<Value>& key,
   return out;
 }
 
-Status AggregateNode::Next(Row* out, bool* eof) {
+Status AggregateNode::NextImpl(Row* out, bool* eof) {
   if (pos_ >= results_.size()) {
     *eof = true;
     return Status::OK();
@@ -194,7 +194,7 @@ Status AggregateNode::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void AggregateNode::Close() {
+void AggregateNode::CloseImpl() {
   results_.clear();
   child_->Close();
 }

@@ -36,10 +36,13 @@ class AggregateNode final : public ExecNode {
                 std::vector<AggSpec> aggs);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override { return "Aggregate"; }
+  std::vector<ExecNode*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   struct AggState {

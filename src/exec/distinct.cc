@@ -2,7 +2,7 @@
 
 namespace nestra {
 
-Status DistinctNode::Next(Row* out, bool* eof) {
+Status DistinctNode::NextImpl(Row* out, bool* eof) {
   while (true) {
     NESTRA_RETURN_NOT_OK(child_->Next(out, eof));
     if (*eof) return Status::OK();

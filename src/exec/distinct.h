@@ -19,16 +19,19 @@ class DistinctNode final : public ExecNode {
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
-  Status Open() override {
+  std::string name() const override { return "Distinct"; }
+  std::vector<ExecNode*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override {
     seen_.clear();
     return child_->Open();
   }
-  Status Next(Row* out, bool* eof) override;
-  void Close() override {
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override {
     seen_.clear();
     child_->Close();
   }
-  std::string name() const override { return "Distinct"; }
 
  private:
   ExecNodePtr child_;

@@ -1,6 +1,75 @@
 #include "exec/exec_node.h"
 
+#include <chrono>
+
 namespace nestra {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+const char* QueryPhaseLabel(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kUnattributed:
+      return "unattributed";
+    case QueryPhase::kUnnestJoin:
+      return "unnest-join";
+    case QueryPhase::kNest:
+      return "nest";
+    case QueryPhase::kLinkingSelection:
+      return "linking-selection";
+    case QueryPhase::kPostProcessing:
+      return "post-processing";
+  }
+  return "unknown";
+}
+
+Status ExecNode::Open() {
+  ++stats_.open_calls;
+  if (!timing_) return OpenImpl();
+  const Clock::time_point start = Clock::now();
+  Status s = OpenImpl();
+  stats_.open_seconds += SecondsSince(start);
+  return s;
+}
+
+Status ExecNode::Next(Row* out, bool* eof) {
+  ++stats_.next_calls;
+  if (!timing_) {
+    Status s = NextImpl(out, eof);
+    if (s.ok() && !*eof) ++stats_.rows_out;
+    return s;
+  }
+  const Clock::time_point start = Clock::now();
+  Status s = NextImpl(out, eof);
+  stats_.next_seconds += SecondsSince(start);
+  if (s.ok() && !*eof) ++stats_.rows_out;
+  return s;
+}
+
+void ExecNode::Close() {
+  if (!timing_) {
+    CloseImpl();
+    return;
+  }
+  const Clock::time_point start = Clock::now();
+  CloseImpl();
+  stats_.open_seconds += SecondsSince(start);
+}
+
+void ExecNode::SetPhaseRecursive(QueryPhase phase) {
+  if (phase_ == QueryPhase::kUnattributed) phase_ = phase;
+  for (ExecNode* child : children()) child->SetPhaseRecursive(phase);
+}
+
+void ExecNode::EnableTimingRecursive() {
+  timing_ = true;
+  for (ExecNode* child : children()) child->EnableTimingRecursive();
+}
 
 Result<Table> CollectTable(ExecNode* node) {
   NESTRA_RETURN_NOT_OK(node->Open());
@@ -17,7 +86,7 @@ Result<Table> CollectTable(ExecNode* node) {
   return out;
 }
 
-Status TableSourceNode::Next(Row* out, bool* eof) {
+Status TableSourceNode::NextImpl(Row* out, bool* eof) {
   if (pos_ >= table_.num_rows()) {
     *eof = true;
     return Status::OK();

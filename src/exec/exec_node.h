@@ -3,11 +3,13 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/row.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/table.h"
+#include "exec/operator_stats.h"
 
 namespace nestra {
 
@@ -18,6 +20,13 @@ namespace nestra {
 /// `Close()`. Nodes own their children. Rows flow by value (moved where
 /// possible); pipelined stages never materialize, which is what makes the
 /// paper's fused nest+linking-selection (§4.2.2) a genuine single pass.
+///
+/// The public Open/Next/Close entry points are non-virtual wrappers that
+/// maintain the embedded OperatorStats block and delegate to the protected
+/// `*Impl` virtuals subclasses implement. Row/call counters are always on;
+/// the steady_clock timers only run after EnableTimingRecursive() (i.e.
+/// under `NraOptions::profile`), so unprofiled queries never touch the
+/// clock on the per-row path.
 class ExecNode {
  public:
   virtual ~ExecNode() = default;
@@ -28,19 +37,48 @@ class ExecNode {
   /// Schema of the rows this node produces. Valid after construction.
   virtual const Schema& output_schema() const = 0;
 
-  virtual Status Open() = 0;
-
-  /// Produces the next row. Sets `*eof` to true (leaving `*out` untouched)
-  /// when the stream is exhausted.
-  virtual Status Next(Row* out, bool* eof) = 0;
-
-  virtual void Close() = 0;
-
   /// Operator name for EXPLAIN-style debugging.
   virtual std::string name() const = 0;
 
+  /// Optional one-line annotation (scan target, fused group counts, ...)
+  /// rendered next to the name by EXPLAIN ANALYZE.
+  virtual std::string detail() const { return ""; }
+
+  /// Child operators, left to right. Leaves return {}.
+  virtual std::vector<ExecNode*> children() const { return {}; }
+
+  Status Open();
+
+  /// Produces the next row. Sets `*eof` to true (leaving `*out` untouched)
+  /// when the stream is exhausted.
+  Status Next(Row* out, bool* eof);
+
+  void Close();
+
+  const OperatorStats& stats() const { return stats_; }
+  QueryPhase phase() const { return phase_; }
+  void set_phase(QueryPhase phase) { phase_ = phase; }
+
+  /// Tags this node and every descendant that is still kUnattributed.
+  /// Pre-tagged subtrees (e.g. the sort inside the fused pipeline, which
+  /// belongs to the nest phase) keep their more specific phase.
+  void SetPhaseRecursive(QueryPhase phase);
+
+  /// Turns on the wall-clock timers on this node and every descendant.
+  void EnableTimingRecursive();
+
  protected:
   ExecNode() = default;
+
+  virtual Status OpenImpl() = 0;
+  virtual Status NextImpl(Row* out, bool* eof) = 0;
+  virtual void CloseImpl() = 0;
+
+  OperatorStats stats_;
+  bool timing_ = false;
+
+ private:
+  QueryPhase phase_ = QueryPhase::kUnattributed;
 };
 
 using ExecNodePtr = std::unique_ptr<ExecNode>;
@@ -55,13 +93,15 @@ class TableSourceNode final : public ExecNode {
   explicit TableSourceNode(Table table) : table_(std::move(table)) {}
 
   const Schema& output_schema() const override { return table_.schema(); }
-  Status Open() override {
+  std::string name() const override { return "TableSource"; }
+
+ protected:
+  Status OpenImpl() override {
     pos_ = 0;
     return Status::OK();
   }
-  Status Next(Row* out, bool* eof) override;
-  void Close() override {}
-  std::string name() const override { return "TableSource"; }
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override {}
 
  private:
   Table table_;

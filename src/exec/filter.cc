@@ -2,14 +2,14 @@
 
 namespace nestra {
 
-Status FilterNode::Open() {
+Status FilterNode::OpenImpl() {
   NESTRA_RETURN_NOT_OK(child_->Open());
   NESTRA_ASSIGN_OR_RETURN(
       bound_, BoundPredicate::Make(predicate_.get(), child_->output_schema()));
   return Status::OK();
 }
 
-Status FilterNode::Next(Row* out, bool* eof) {
+Status FilterNode::NextImpl(Row* out, bool* eof) {
   while (true) {
     NESTRA_RETURN_NOT_OK(child_->Next(out, eof));
     if (*eof) return Status::OK();

@@ -1,6 +1,8 @@
 #ifndef NESTRA_EXEC_FILTER_H_
 #define NESTRA_EXEC_FILTER_H_
 
+#include <vector>
+
 #include "exec/exec_node.h"
 #include "expr/evaluator.h"
 #include "expr/expr.h"
@@ -17,10 +19,13 @@ class FilterNode final : public ExecNode {
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
-  Status Open() override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override { child_->Close(); }
   std::string name() const override { return "Filter"; }
+  std::vector<ExecNode*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   ExecNodePtr child_;

@@ -34,7 +34,7 @@ HashJoinNode::HashJoinNode(ExecNodePtr left, ExecNodePtr right,
   right_width_ = rs.num_fields();
 }
 
-Status HashJoinNode::Open() {
+Status HashJoinNode::OpenImpl() {
   NESTRA_RETURN_NOT_OK(left_->Open());
   NESTRA_RETURN_NOT_OK(right_->Open());
 
@@ -245,7 +245,7 @@ Status HashJoinNode::ParallelProbe() {
   return Status::OK();
 }
 
-Status HashJoinNode::Next(Row* out, bool* eof) {
+Status HashJoinNode::NextImpl(Row* out, bool* eof) {
   while (pending_pos_ >= pending_.size()) {
     if (left_done_) {
       *eof = true;
@@ -268,7 +268,9 @@ Status HashJoinNode::Next(Row* out, bool* eof) {
   return Status::OK();
 }
 
-void HashJoinNode::Close() {
+void HashJoinNode::CloseImpl() {
+  stats_.build_rows = build_rows_;
+  stats_.probe_rows = probe_count_;
   partitions_.clear();
   pending_.clear();
   left_->Close();

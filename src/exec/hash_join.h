@@ -46,15 +46,20 @@ class HashJoinNode final : public ExecNode {
                int num_threads = 1);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override {
     return std::string("HashJoin[") + JoinTypeToString(join_type_) + "]";
+  }
+  std::vector<ExecNode*> children() const override {
+    return {left_.get(), right_.get()};
   }
 
   /// Number of probe-side rows processed so far (for bench counters).
   int64_t probe_count() const { return probe_count_; }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   using Buckets = std::unordered_map<std::vector<Value>, std::vector<Row>,

@@ -15,7 +15,8 @@ IndexJoinNode::IndexJoinNode(ExecNodePtr left, const Table* right_table,
       index_(index),
       left_probe_column_(std::move(left_probe_column)),
       join_type_(join_type),
-      residual_(std::move(residual)) {
+      residual_(std::move(residual)),
+      alias_(std::move(alias)) {
   const Schema& ls = left_->output_schema();
   if (join_type_ == JoinType::kInner || join_type_ == JoinType::kLeftOuter) {
     std::vector<Field> fields = right_schema_.fields();
@@ -28,7 +29,7 @@ IndexJoinNode::IndexJoinNode(ExecNodePtr left, const Table* right_table,
   }
 }
 
-Status IndexJoinNode::Open() {
+Status IndexJoinNode::OpenImpl() {
   NESTRA_RETURN_NOT_OK(left_->Open());
   NESTRA_ASSIGN_OR_RETURN(left_probe_idx_,
                           left_->output_schema().Resolve(left_probe_column_));
@@ -42,7 +43,7 @@ Status IndexJoinNode::Open() {
   return Status::OK();
 }
 
-Status IndexJoinNode::Next(Row* out, bool* eof) {
+Status IndexJoinNode::NextImpl(Row* out, bool* eof) {
   const int right_width = right_schema_.num_fields();
   while (true) {
     if (!left_valid_) {
@@ -61,7 +62,21 @@ Status IndexJoinNode::Next(Row* out, bool* eof) {
 
     while (cand_pos_ < candidates_->size()) {
       const int64_t row_id = (*candidates_)[cand_pos_++];
-      if (IoSim* sim = IoSim::Get()) sim->RandomRow(right_table_, row_id);
+      if (IoSim* sim = IoSim::Get()) {
+        switch (sim->RandomRow(right_table_, row_id)) {
+          case IoAccess::kHit:
+            ++stats_.io_hits;
+            break;
+          case IoAccess::kRandomMiss:
+            ++stats_.io_random_misses;
+            break;
+          case IoAccess::kSeqMiss:
+            ++stats_.io_seq_misses;
+            break;
+          case IoAccess::kNone:
+            break;
+        }
+      }
       const Row& right_row = right_table_->rows()[row_id];
       Row combined = Row::Concat(left_row_, right_row);
       if (!bound_.Matches(combined)) continue;

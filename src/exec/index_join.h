@@ -28,15 +28,22 @@ class IndexJoinNode final : public ExecNode {
                 JoinType join_type, ExprPtr residual);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override { left_->Close(); }
   std::string name() const override {
     return std::string("IndexJoin[") + JoinTypeToString(join_type_) + "]";
   }
+  std::string detail() const override { return alias_; }
+  std::vector<ExecNode*> children() const override { return {left_.get()}; }
 
   /// Total index probes so far (bench counter).
   int64_t probe_count() const { return probe_count_; }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override {
+    stats_.probe_rows = probe_count_;
+    left_->Close();
+  }
 
  private:
   ExecNodePtr left_;
@@ -46,6 +53,7 @@ class IndexJoinNode final : public ExecNode {
   std::string left_probe_column_;
   JoinType join_type_;
   ExprPtr residual_;
+  std::string alias_;
 
   Schema schema_;
   int left_probe_idx_ = -1;

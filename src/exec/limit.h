@@ -15,11 +15,15 @@ class LimitNode final : public ExecNode {
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
-  Status Open() override {
+  std::string name() const override { return "Limit"; }
+  std::vector<ExecNode*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override {
     emitted_ = 0;
     return child_->Open();
   }
-  Status Next(Row* out, bool* eof) override {
+  Status NextImpl(Row* out, bool* eof) override {
     if (emitted_ >= limit_) {
       *eof = true;
       return Status::OK();
@@ -28,8 +32,7 @@ class LimitNode final : public ExecNode {
     if (!*eof) ++emitted_;
     return Status::OK();
   }
-  void Close() override { child_->Close(); }
-  std::string name() const override { return "Limit"; }
+  void CloseImpl() override { child_->Close(); }
 
  private:
   ExecNodePtr child_;

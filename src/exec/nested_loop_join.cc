@@ -22,7 +22,7 @@ NestedLoopJoinNode::NestedLoopJoinNode(ExecNodePtr left, ExecNodePtr right,
   right_width_ = rs.num_fields();
 }
 
-Status NestedLoopJoinNode::Open() {
+Status NestedLoopJoinNode::OpenImpl() {
   NESTRA_RETURN_NOT_OK(left_->Open());
   NESTRA_RETURN_NOT_OK(right_->Open());
   NESTRA_ASSIGN_OR_RETURN(
@@ -43,7 +43,7 @@ Status NestedLoopJoinNode::Open() {
   return Status::OK();
 }
 
-Status NestedLoopJoinNode::Next(Row* out, bool* eof) {
+Status NestedLoopJoinNode::NextImpl(Row* out, bool* eof) {
   while (true) {
     if (!left_valid_) {
       bool left_eof = false;
@@ -109,7 +109,8 @@ Status NestedLoopJoinNode::Next(Row* out, bool* eof) {
   }
 }
 
-void NestedLoopJoinNode::Close() {
+void NestedLoopJoinNode::CloseImpl() {
+  stats_.build_rows = static_cast<int64_t>(right_rows_.size());
   right_rows_.clear();
   left_->Close();
   right_->Close();

@@ -22,12 +22,17 @@ class NestedLoopJoinNode final : public ExecNode {
                      ExprPtr condition);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override;
   std::string name() const override {
     return std::string("NestedLoopJoin[") + JoinTypeToString(join_type_) + "]";
   }
+  std::vector<ExecNode*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override;
 
  private:
   ExecNodePtr left_;

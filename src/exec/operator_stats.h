@@ -1,0 +1,58 @@
+#ifndef NESTRA_EXEC_OPERATOR_STATS_H_
+#define NESTRA_EXEC_OPERATOR_STATS_H_
+
+#include <cstdint>
+
+namespace nestra {
+
+/// \brief Paper phase an operator is attributed to when profiling.
+///
+/// The paper's evaluation (§5.2) reports "processing time" — nest plus
+/// linking selection — separately from the unnesting joins and the final
+/// output pass. The NRA executor tags every operator it builds with one of
+/// these so the §5.2 split falls out of any profiled run.
+enum class QueryPhase {
+  kUnattributed = 0,
+  kUnnestJoin,        ///< base-relation eval + top-down outer joins (§4.1)
+  kNest,              ///< group formation: Nest / the fused pipeline's sort
+  kLinkingSelection,  ///< linking-predicate evaluation, incl. the fused pass
+  kPostProcessing,    ///< root finish: group-by / order-by / distinct / limit
+};
+
+/// Stable lower-case label ("unnest-join", "nest", ...), used by both the
+/// EXPLAIN ANALYZE renderer and the JSON profile sink.
+const char* QueryPhaseLabel(QueryPhase phase);
+
+/// \brief Per-operator counters embedded in every ExecNode.
+///
+/// The call/row counters are always maintained — they are a couple of
+/// increments per row and never read the clock. The wall-time and byte
+/// fields are only filled in when profiling is enabled on the node
+/// (ExecNode::EnableTimingRecursive), so `NraOptions::profile = false`
+/// costs nothing measurable.
+struct OperatorStats {
+  // Always on.
+  int64_t open_calls = 0;
+  int64_t next_calls = 0;
+  int64_t rows_out = 0;
+
+  // Timing (profiling only). Inclusive of children — the renderers subtract
+  // child time to report exclusive ("self") time.
+  double open_seconds = 0;
+  double next_seconds = 0;
+
+  // Operator-specific extras; zero where not applicable.
+  int64_t build_rows = 0;   ///< hash-join build-side rows inserted
+  int64_t probe_rows = 0;   ///< hash-/index-join probe count
+  int64_t sort_rows = 0;    ///< rows physically sorted
+  int64_t sort_bytes = 0;   ///< approximate sorted payload (profiling only)
+  int64_t io_hits = 0;      ///< IoSim buffer-pool hits charged by this node
+  int64_t io_seq_misses = 0;
+  int64_t io_random_misses = 0;
+
+  double total_seconds() const { return open_seconds + next_seconds; }
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_OPERATOR_STATS_H_

@@ -8,7 +8,7 @@ ProjectNode::ProjectNode(ExecNodePtr child, std::vector<std::string> columns,
       columns_(std::move(columns)),
       output_names_(std::move(output_names)) {}
 
-Status ProjectNode::Open() {
+Status ProjectNode::OpenImpl() {
   NESTRA_RETURN_NOT_OK(child_->Open());
   if (!output_names_.empty() && output_names_.size() != columns_.size()) {
     return Status::InvalidArgument(
@@ -28,7 +28,7 @@ Status ProjectNode::Open() {
   return Status::OK();
 }
 
-Status ProjectNode::Next(Row* out, bool* eof) {
+Status ProjectNode::NextImpl(Row* out, bool* eof) {
   Row in;
   NESTRA_RETURN_NOT_OK(child_->Next(&in, eof));
   if (*eof) return Status::OK();

@@ -19,10 +19,13 @@ class ProjectNode final : public ExecNode {
               std::vector<std::string> output_names = {});
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override { child_->Close(); }
   std::string name() const override { return "Project"; }
+  std::vector<ExecNode*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   ExecNodePtr child_;

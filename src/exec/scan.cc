@@ -7,15 +7,30 @@ namespace nestra {
 ScanNode::ScanNode(const Table* table, const std::string& alias)
     : table_(table),
       schema_(alias.empty() ? table->schema()
-                            : table->schema().Qualify(alias)) {}
+                            : table->schema().Qualify(alias)),
+      alias_(alias) {}
 
-Status ScanNode::Next(Row* out, bool* eof) {
+Status ScanNode::NextImpl(Row* out, bool* eof) {
   if (pos_ >= table_->num_rows()) {
     *eof = true;
     return Status::OK();
   }
   *eof = false;
-  if (IoSim* sim = IoSim::Get()) sim->SeqRow(table_, pos_);
+  if (IoSim* sim = IoSim::Get()) {
+    switch (sim->SeqRow(table_, pos_)) {
+      case IoAccess::kHit:
+        ++stats_.io_hits;
+        break;
+      case IoAccess::kSeqMiss:
+        ++stats_.io_seq_misses;
+        break;
+      case IoAccess::kRandomMiss:
+        ++stats_.io_random_misses;
+        break;
+      case IoAccess::kNone:
+        break;
+    }
+  }
   *out = table_->rows()[pos_++];
   return Status::OK();
 }

@@ -17,17 +17,21 @@ class ScanNode final : public ExecNode {
   ScanNode(const Table* table, const std::string& alias);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override {
+  std::string name() const override { return "Scan"; }
+  std::string detail() const override { return alias_; }
+
+ protected:
+  Status OpenImpl() override {
     pos_ = 0;
     return Status::OK();
   }
-  Status Next(Row* out, bool* eof) override;
-  void Close() override {}
-  std::string name() const override { return "Scan"; }
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override {}
 
  private:
   const Table* table_;
   Schema schema_;
+  std::string alias_;
   int64_t pos_ = 0;
 };
 

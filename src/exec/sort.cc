@@ -6,7 +6,20 @@
 
 namespace nestra {
 
-Status SortNode::Open() {
+namespace {
+// Rough in-memory footprint of a row: variant header per value plus string
+// payload. Only computed when profiling is on (it walks every value).
+int64_t ApproxRowBytes(const Row& row) {
+  int64_t bytes = 0;
+  for (const Value& v : row.values()) {
+    bytes += static_cast<int64_t>(sizeof(Value));
+    if (v.is_string()) bytes += static_cast<int64_t>(v.string().size());
+  }
+  return bytes;
+}
+}  // namespace
+
+Status SortNode::OpenImpl() {
   NESTRA_RETURN_NOT_OK(child_->Open());
   key_indices_.clear();
   key_asc_.clear();
@@ -39,10 +52,14 @@ Status SortNode::Open() {
         return false;
       },
       num_threads_);
+  stats_.sort_rows += static_cast<int64_t>(rows_.size());
+  if (timing_) {
+    for (const Row& r : rows_) stats_.sort_bytes += ApproxRowBytes(r);
+  }
   return Status::OK();
 }
 
-Status SortNode::Next(Row* out, bool* eof) {
+Status SortNode::NextImpl(Row* out, bool* eof) {
   if (pos_ >= rows_.size()) {
     *eof = true;
     return Status::OK();

@@ -32,13 +32,16 @@ class SortNode final : public ExecNode {
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
-  Status Open() override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override {
+  std::string name() const override { return "Sort"; }
+  std::vector<ExecNode*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override {
     rows_.clear();
     child_->Close();
   }
-  std::string name() const override { return "Sort"; }
 
  private:
   ExecNodePtr child_;

@@ -20,7 +20,7 @@ FusedNestSelectNode::FusedNestSelectNode(ExecNodePtr child,
   schema_ = Schema(std::move(fields));
 }
 
-Status FusedNestSelectNode::Open() {
+Status FusedNestSelectNode::OpenImpl() {
   NESTRA_RETURN_NOT_OK(child_->Open());
   if (specs_.empty()) {
     return Status::InvalidArgument("FusedNestSelect requires >= 1 level");
@@ -119,7 +119,7 @@ bool FusedNestSelectNode::FinalizeLevel(int i) {
   return false;
 }
 
-Status FusedNestSelectNode::Next(Row* out, bool* eof) {
+Status FusedNestSelectNode::NextImpl(Row* out, bool* eof) {
   const int m = static_cast<int>(levels_.size());
   while (true) {
     if (pending_valid_) {
@@ -176,6 +176,16 @@ Status FusedNestSelectNode::Next(Row* out, bool* eof) {
                                         : Value::Null());
     prev_row_ = std::move(row);
   }
+}
+
+std::string FusedNestSelectNode::detail() const {
+  std::string d = "levels=" + std::to_string(specs_.size()) + " groups=[";
+  for (size_t i = 0; i < groups_closed_.size(); ++i) {
+    if (i > 0) d += ',';
+    d += std::to_string(groups_closed_[i]);
+  }
+  d += ']';
+  return d;
 }
 
 }  // namespace nestra

@@ -58,13 +58,17 @@ class FusedNestSelectNode final : public ExecNode {
   FusedNestSelectNode(ExecNodePtr child, std::vector<FusedLevelSpec> levels);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Status Next(Row* out, bool* eof) override;
-  void Close() override { child_->Close(); }
   std::string name() const override { return "FusedNestSelect"; }
+  std::string detail() const override;
+  std::vector<ExecNode*> children() const override { return {child_.get()}; }
 
   /// Groups closed at each level so far (bench counter; index 0 = outermost).
   const std::vector<int64_t>& groups_closed() const { return groups_closed_; }
+
+ protected:
+  Status OpenImpl() override;
+  Status NextImpl(Row* out, bool* eof) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   struct LevelState {

@@ -13,8 +13,10 @@
 #include "nested/linking_selection.h"
 #include "nested/nest.h"
 #include "nra/planner.h"
+#include "nra/profile.h"
 #include "nra/rewrites.h"
 #include "plan/binder.h"
+#include "storage/io_sim.h"
 #include "verify/verifier.h"
 
 namespace nestra {
@@ -50,10 +52,32 @@ std::vector<SortKey> SortKeysFor(const std::vector<std::string>& attrs) {
 
 }  // namespace
 
-Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats) {
+Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
+                                   QueryProfile* profile) {
   NraStats local;
   if (stats == nullptr) stats = &local;
   *stats = NraStats();
+
+  // Profiling is opt-in twice over: the caller must pass a sink AND set
+  // options.profile. Otherwise `prof` stays null and every stage helper
+  // degenerates to the unprofiled code path.
+  QueryProfile* prof =
+      (options_.profile && profile != nullptr) ? profile : nullptr;
+  IoSim* sim = prof != nullptr ? IoSim::Get() : nullptr;
+  int64_t io_hits0 = 0, io_seq0 = 0, io_rand0 = 0;
+  double sim_ms0 = 0;
+  Clock::time_point query_start;
+  if (prof != nullptr) {
+    prof->Clear();
+    if (sim != nullptr) {
+      io_hits0 = sim->hits();
+      io_seq0 = sim->seq_misses();
+      io_rand0 = sim->random_misses();
+      sim_ms0 = sim->SimMillis();
+    }
+    prof->pool = GlobalPoolStats();  // baseline; delta taken at the end
+    query_start = Clock::now();
+  }
 
   // Static invariant check before any table is touched: a plan that would
   // violate the paper's nest / selection-mode / key-survival rules must not
@@ -65,15 +89,16 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats) {
   Result<Table> result = [&]() -> Result<Table> {
     if (root.children.empty()) {
       const auto t0 = Clock::now();
-      NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(root, catalog_, num_threads_));
+      NESTRA_ASSIGN_OR_RETURN(
+          Table rel, EvalBlockBase(root, catalog_, num_threads_, prof));
       stats->join_seconds += Seconds(t0);
       stats->intermediate_rows = rel.num_rows();
-      return FinishRoot(root, std::move(rel));
+      return FinishRoot(root, std::move(rel), prof);
     }
     if (options_.bottom_up_linear && root.IsLinearCorrelated()) {
       NESTRA_ASSIGN_OR_RETURN(std::vector<const QueryBlock*> chain,
                               LinearChain(root));
-      return ExecuteBottomUpLinear(chain, stats);
+      return ExecuteBottomUpLinear(chain, stats, prof);
     }
     // The single-sort fused path folds every level into one pass, but it
     // bypasses the per-child rewrites; when those are requested, route
@@ -90,37 +115,64 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats) {
       for (size_t i = 1; i < chain.size(); ++i) {
         all_correlated = all_correlated && !chain[i]->correlated_preds.empty();
       }
-      if (all_correlated) return ExecuteFusedLinear(chain, stats);
+      if (all_correlated) return ExecuteFusedLinear(chain, stats, prof);
     }
     const auto t0 = Clock::now();
-    NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(root, catalog_, num_threads_));
+    NESTRA_ASSIGN_OR_RETURN(Table rel,
+                            EvalBlockBase(root, catalog_, num_threads_, prof));
     stats->join_seconds += Seconds(t0);
     std::vector<const QueryBlock*> path{&root};
-    NESTRA_ASSIGN_OR_RETURN(
-        rel, ComputeNode(root, std::move(rel), root.attributes, &path, stats));
-    return FinishRoot(root, std::move(rel));
+    NESTRA_ASSIGN_OR_RETURN(rel, ComputeNode(root, std::move(rel),
+                                             root.attributes, &path, stats,
+                                             prof));
+    return FinishRoot(root, std::move(rel), prof);
   }();
 
   if (result.ok()) stats->output_rows = result->num_rows();
+  if (prof != nullptr && result.ok()) {
+    prof->output_rows = result->num_rows();
+    prof->total_seconds = Seconds(query_start);
+    if (sim != nullptr) {
+      prof->io_hits = sim->hits() - io_hits0;
+      prof->io_seq_misses = sim->seq_misses() - io_seq0;
+      prof->io_random_misses = sim->random_misses() - io_rand0;
+      prof->sim_io_millis = sim->SimMillis() - sim_ms0;
+    }
+    prof->pool = GlobalPoolStats() - prof->pool;
+  }
   return result;
 }
 
-Result<Table> NraExecutor::ExecuteSql(const std::string& sql,
-                                      NraStats* stats) {
+Result<Table> NraExecutor::ExecuteSql(const std::string& sql, NraStats* stats,
+                                      QueryProfile* profile) {
   NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr root, ParseAndBind(sql, catalog_));
-  return Execute(*root, stats);
+  return Execute(*root, stats, profile);
 }
 
 Result<Table> NraExecutor::ExecuteStatementSql(const std::string& sql,
-                                               NraStats* stats) {
+                                               NraStats* stats,
+                                               QueryProfile* profile) {
   NESTRA_ASSIGN_OR_RETURN(AstStatementPtr stmt, ParseStatement(sql));
+  QueryProfile* prof =
+      (options_.profile && profile != nullptr) ? profile : nullptr;
+  const bool multi_branch = stmt->selects.size() > 1;
+  if (prof != nullptr) prof->Clear();
   NraStats total;
   Table combined;
   for (size_t i = 0; i < stmt->selects.size(); ++i) {
     NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr root,
                             BindQuery(*stmt->selects[i], catalog_));
     NraStats branch;
-    NESTRA_ASSIGN_OR_RETURN(Table result, Execute(*root, &branch));
+    // Execute Clears the profile it is handed, so each branch profiles into
+    // its own sink and the stages merge afterwards under a branch prefix.
+    QueryProfile branch_profile;
+    NESTRA_ASSIGN_OR_RETURN(
+        Table result,
+        Execute(*root, &branch, prof != nullptr ? &branch_profile : nullptr));
+    if (prof != nullptr) {
+      prof->Absorb(branch_profile,
+                   multi_branch ? "branch" + std::to_string(i) + ": " : "");
+    }
     total.join_seconds += branch.join_seconds;
     total.nest_select_seconds += branch.nest_select_seconds;
     total.intermediate_rows =
@@ -151,26 +203,33 @@ Result<Table> NraExecutor::ExecuteStatementSql(const std::string& sql,
   }
   total.output_rows = combined.num_rows();
   if (stats != nullptr) *stats = total;
+  if (prof != nullptr) prof->output_rows = combined.num_rows();
   return combined;
 }
 
 Result<Table> NraExecutor::ExecuteFusedLinear(
-    const std::vector<const QueryBlock*>& chain, NraStats* stats) {
+    const std::vector<const QueryBlock*>& chain, NraStats* stats,
+    QueryProfile* profile) {
   const int n = static_cast<int>(chain.size());
 
   // Top-down join phase: one wide relation W over all blocks.
   auto t0 = Clock::now();
-  NESTRA_ASSIGN_OR_RETURN(Table rel, EvalBlockBase(*chain[0], catalog_, num_threads_));
+  NESTRA_ASSIGN_OR_RETURN(
+      Table rel, EvalBlockBase(*chain[0], catalog_, num_threads_, profile));
   for (int k = 1; k < n; ++k) {
-    NESTRA_ASSIGN_OR_RETURN(Table base, EvalBlockBase(*chain[k], catalog_, num_threads_));
+    NESTRA_ASSIGN_OR_RETURN(
+        Table base, EvalBlockBase(*chain[k], catalog_, num_threads_, profile));
     if (options_.magic_restriction) {
+      StageTimer magic_timer(profile, QueryPhase::kUnnestJoin,
+                             "magic[b" + std::to_string(chain[k]->id) + "]");
       NESTRA_ASSIGN_OR_RETURN(base,
                               MagicRestrict(rel, std::move(base), *chain[k]));
+      magic_timer.Finish(base.num_rows());
     }
     NESTRA_ASSIGN_OR_RETURN(
         rel, JoinWithChild(std::move(rel), std::move(base), *chain[k],
                            JoinType::kLeftOuter, /*extra_condition=*/nullptr,
-                           num_threads_));
+                           num_threads_, profile));
   }
   stats->join_seconds += Seconds(t0);
   stats->intermediate_rows = rel.num_rows();
@@ -190,27 +249,36 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
   auto sort = std::make_unique<SortNode>(
       std::make_unique<TableSourceNode>(std::move(rel)),
       SortKeysFor(levels.back().nesting_attrs), num_threads_);
+  // Pre-tag the sort subtree as the nest phase: CollectProfiled only fills
+  // in still-unattributed nodes, so the fused evaluator itself lands in
+  // linking-selection while its sort input counts as nesting work.
+  sort->SetPhaseRecursive(QueryPhase::kNest);
   auto fused =
       std::make_unique<FusedNestSelectNode>(std::move(sort), std::move(levels));
-  NESTRA_ASSIGN_OR_RETURN(Table reduced, CollectTable(fused.get()));
+  NESTRA_ASSIGN_OR_RETURN(
+      Table reduced, CollectProfiled(fused.get(), QueryPhase::kLinkingSelection,
+                                     "fused nest+select", profile));
   stats->nest_select_seconds += Seconds(t0);
 
-  return FinishRoot(*chain[0], std::move(reduced));
+  return FinishRoot(*chain[0], std::move(reduced), profile);
 }
 
 Result<Table> NraExecutor::ExecuteBottomUpLinear(
-    const std::vector<const QueryBlock*>& chain, NraStats* stats) {
+    const std::vector<const QueryBlock*>& chain, NraStats* stats,
+    QueryProfile* profile) {
   const int n = static_cast<int>(chain.size());
 
   auto t0 = Clock::now();
-  NESTRA_ASSIGN_OR_RETURN(Table cur, EvalBlockBase(*chain[n - 1], catalog_, num_threads_));
+  NESTRA_ASSIGN_OR_RETURN(
+      Table cur, EvalBlockBase(*chain[n - 1], catalog_, num_threads_, profile));
   stats->join_seconds += Seconds(t0);
 
   for (int k = n - 2; k >= 0; --k) {
     const QueryBlock& outer = *chain[k];
     const QueryBlock& child = *chain[k + 1];
     t0 = Clock::now();
-    NESTRA_ASSIGN_OR_RETURN(Table outer_base, EvalBlockBase(outer, catalog_, num_threads_));
+    NESTRA_ASSIGN_OR_RETURN(
+        Table outer_base, EvalBlockBase(outer, catalog_, num_threads_, profile));
     stats->join_seconds += Seconds(t0);
 
     // In the bottom-up order only (outer, child) tuples exist when the
@@ -221,9 +289,12 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
     if (AllEquiCorrelation(child, outer_base.schema(), cur.schema(), &okeys,
                            &ikeys)) {
       t0 = Clock::now();
+      StageTimer link_timer(profile, QueryPhase::kLinkingSelection,
+                            "link-select[b" + std::to_string(child.id) + "]");
       NESTRA_ASSIGN_OR_RETURN(
           cur, HashLinkSelect(std::move(outer_base), cur, okeys, ikeys, child,
                               SelectionMode::kStrict, {}, num_threads_));
+      link_timer.Finish(cur.num_rows());
       stats->nest_select_seconds += Seconds(t0);
     } else {
       t0 = Clock::now();
@@ -231,33 +302,42 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
           Table joined, JoinWithChild(std::move(outer_base), std::move(cur),
                                       child, JoinType::kLeftOuter,
                                       /*extra_condition=*/nullptr,
-                                      num_threads_));
+                                      num_threads_, profile));
       stats->join_seconds += Seconds(t0);
       stats->intermediate_rows =
           std::max(stats->intermediate_rows, joined.num_rows());
       t0 = Clock::now();
+      StageTimer nest_timer(profile, QueryPhase::kNest,
+                            "nest[b" + std::to_string(child.id) + "]");
       NESTRA_ASSIGN_OR_RETURN(
           NestedRelation nested,
           Nest(joined, outer.attributes, NestedAttrsFor(child), "g",
                options_.nest_method, num_threads_));
+      nest_timer.Finish(nested.num_tuples());
+      StageTimer select_timer(profile, QueryPhase::kLinkingSelection,
+                              "select[b" + std::to_string(child.id) + "]");
       NESTRA_ASSIGN_OR_RETURN(
           cur, LinkingSelect(nested, PredFor(child, "g"),
                              SelectionMode::kStrict));
+      select_timer.Finish(cur.num_rows());
       stats->nest_select_seconds += Seconds(t0);
     }
   }
-  return FinishRoot(*chain[0], std::move(cur));
+  return FinishRoot(*chain[0], std::move(cur), profile);
 }
 
 Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
                                        const std::vector<std::string>& retained,
                                        std::vector<const QueryBlock*>* path,
-                                       NraStats* stats) {
+                                       NraStats* stats,
+                                       QueryProfile* profile) {
   for (const auto& child_ptr : node.children) {
     const QueryBlock& child = *child_ptr;
+    const std::string bid = std::to_string(child.id);
 
     auto t0 = Clock::now();
-    NESTRA_ASSIGN_OR_RETURN(Table base, EvalBlockBase(child, catalog_, num_threads_));
+    NESTRA_ASSIGN_OR_RETURN(
+        Table base, EvalBlockBase(child, catalog_, num_threads_, profile));
     stats->join_seconds += Seconds(t0);
 
     const bool strict_safe = StrictSafe(*path);
@@ -272,7 +352,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       NESTRA_ASSIGN_OR_RETURN(
           rel, JoinWithChild(std::move(rel), std::move(base), child,
                              JoinType::kLeftSemi, std::move(extra),
-                             num_threads_));
+                             num_threads_, profile));
       stats->join_seconds += Seconds(t0);
       continue;
     }
@@ -284,10 +364,13 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
     // that: one group holding the whole subquery result.
     if (child.IsLeaf() && child.correlated_preds.empty()) {
       t0 = Clock::now();
+      StageTimer link_timer(profile, QueryPhase::kLinkingSelection,
+                            "link-select[b" + bid + "]");
       NESTRA_ASSIGN_OR_RETURN(
           rel, HashLinkSelect(std::move(rel), base, /*outer_key_cols=*/{},
                               /*inner_key_cols=*/{}, child, mode,
                               node.attributes, num_threads_));
+      link_timer.Finish(rel.num_rows());
       stats->nest_select_seconds += Seconds(t0);
       continue;
     }
@@ -299,9 +382,12 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
           AllEquiCorrelation(child, rel.schema(), base.schema(), &okeys,
                              &ikeys)) {
         t0 = Clock::now();
+        StageTimer link_timer(profile, QueryPhase::kLinkingSelection,
+                              "link-select[b" + bid + "]");
         NESTRA_ASSIGN_OR_RETURN(
             rel, HashLinkSelect(std::move(rel), base, okeys, ikeys, child,
                                 mode, node.attributes, num_threads_));
+        link_timer.Finish(rel.num_rows());
         stats->nest_select_seconds += Seconds(t0);
         continue;
       }
@@ -310,13 +396,16 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
     // Algorithm 1, way down: outer join on the correlated predicates.
     t0 = Clock::now();
     if (options_.magic_restriction) {
+      StageTimer magic_timer(profile, QueryPhase::kUnnestJoin,
+                             "magic[b" + bid + "]");
       NESTRA_ASSIGN_OR_RETURN(base, MagicRestrict(rel, std::move(base), child));
+      magic_timer.Finish(base.num_rows());
     }
     NESTRA_ASSIGN_OR_RETURN(rel,
                             JoinWithChild(std::move(rel), std::move(base),
                                           child, JoinType::kLeftOuter,
                                           /*extra_condition=*/nullptr,
-                                          num_threads_));
+                                          num_threads_, profile));
     stats->join_seconds += Seconds(t0);
     stats->intermediate_rows =
         std::max(stats->intermediate_rows, rel.num_rows());
@@ -327,8 +416,9 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       retained_child.push_back(a);
     }
     path->push_back(&child);
-    NESTRA_ASSIGN_OR_RETURN(rel, ComputeNode(child, std::move(rel),
-                                             retained_child, path, stats));
+    NESTRA_ASSIGN_OR_RETURN(
+        rel, ComputeNode(child, std::move(rel), retained_child, path, stats,
+                         profile));
     path->pop_back();
 
     // Algorithm 1, way up: nest by the retained prefix and apply the
@@ -344,30 +434,40 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       auto sort = std::make_unique<SortNode>(
           std::make_unique<TableSourceNode>(std::move(rel)),
           SortKeysFor(retained), num_threads_);
+      sort->SetPhaseRecursive(QueryPhase::kNest);
       std::vector<FusedLevelSpec> levels;
       levels.push_back(std::move(spec));
       auto fused = std::make_unique<FusedNestSelectNode>(std::move(sort),
                                                          std::move(levels));
-      NESTRA_ASSIGN_OR_RETURN(rel, CollectTable(fused.get()));
+      NESTRA_ASSIGN_OR_RETURN(
+          rel, CollectProfiled(fused.get(), QueryPhase::kLinkingSelection,
+                               "fused[b" + bid + "]", profile));
     } else {
+      StageTimer nest_timer(profile, QueryPhase::kNest, "nest[b" + bid + "]");
       NESTRA_ASSIGN_OR_RETURN(
           NestedRelation nested,
           Nest(rel, retained, NestedAttrsFor(child), "g",
                options_.nest_method, num_threads_));
+      nest_timer.Finish(nested.num_tuples());
+      StageTimer select_timer(profile, QueryPhase::kLinkingSelection,
+                              "select[b" + bid + "]");
       NESTRA_ASSIGN_OR_RETURN(
           rel, LinkingSelect(nested, PredFor(child, "g"), mode,
                              node.attributes));
+      select_timer.Finish(rel.num_rows());
     }
     stats->nest_select_seconds += Seconds(t0);
   }
   return rel;
 }
 
-Result<Table> NraExecutor::FinishRoot(const QueryBlock& root, Table rel) {
+Result<Table> NraExecutor::FinishRoot(const QueryBlock& root, Table rel,
+                                      QueryProfile* profile) {
   // The root-key guard drops pseudo-padded root tuples (only produced by
   // tree queries with negative sibling links): a padded key marks failure.
   return FinalizeRootOutput(root, std::move(rel),
-                            /*key_filter_attr=*/root.key_attr, num_threads_);
+                            /*key_filter_attr=*/root.key_attr, num_threads_,
+                            profile);
 }
 
 }  // namespace nestra

@@ -11,6 +11,8 @@
 
 namespace nestra {
 
+class QueryProfile;
+
 /// \brief The nested relational approach (Algorithm 1) with the paper's
 /// optimizations, selected through NraOptions:
 ///
@@ -38,25 +40,33 @@ class NraExecutor {
 
   /// Executes a bound query. `stats`, when non-null, receives the
   /// join-phase/nest-phase timing split and the intermediate result size.
-  Result<Table> Execute(const QueryBlock& root, NraStats* stats = nullptr);
+  /// `profile`, when non-null AND `options.profile` is set, is cleared and
+  /// filled with the per-stage operator-level profile (EXPLAIN ANALYZE);
+  /// otherwise it is left untouched and profiling adds no work.
+  Result<Table> Execute(const QueryBlock& root, NraStats* stats = nullptr,
+                        QueryProfile* profile = nullptr);
 
   /// Parse + bind + execute.
-  Result<Table> ExecuteSql(const std::string& sql, NraStats* stats = nullptr);
+  Result<Table> ExecuteSql(const std::string& sql, NraStats* stats = nullptr,
+                           QueryProfile* profile = nullptr);
 
   /// Like ExecuteSql but also accepts compound statements
   /// (`UNION [ALL] | INTERSECT | EXCEPT`); branches execute independently
   /// and combine left-associatively with SQL set semantics. Stats aggregate
-  /// across branches.
+  /// across branches; profile stages are prefixed "branch<i>: " when the
+  /// statement has more than one branch.
   Result<Table> ExecuteStatementSql(const std::string& sql,
-                                    NraStats* stats = nullptr);
+                                    NraStats* stats = nullptr,
+                                    QueryProfile* profile = nullptr);
 
   const NraOptions& options() const { return options_; }
 
  private:
-  Result<Table> ExecuteFusedLinear(
-      const std::vector<const QueryBlock*>& chain, NraStats* stats);
+  Result<Table> ExecuteFusedLinear(const std::vector<const QueryBlock*>& chain,
+                                   NraStats* stats, QueryProfile* profile);
   Result<Table> ExecuteBottomUpLinear(
-      const std::vector<const QueryBlock*>& chain, NraStats* stats);
+      const std::vector<const QueryBlock*>& chain, NraStats* stats,
+      QueryProfile* profile);
 
   /// The recursive body of Algorithm 1 (original / tree-query path).
   /// `retained` lists the qualified attributes of blocks root..node;
@@ -64,10 +74,11 @@ class NraExecutor {
   Result<Table> ComputeNode(const QueryBlock& node, Table rel,
                             const std::vector<std::string>& retained,
                             std::vector<const QueryBlock*>* path,
-                            NraStats* stats);
+                            NraStats* stats, QueryProfile* profile);
 
   /// Final projection (+ DISTINCT, + root-key NOT NULL guard).
-  Result<Table> FinishRoot(const QueryBlock& root, Table rel);
+  Result<Table> FinishRoot(const QueryBlock& root, Table rel,
+                           QueryProfile* profile);
 
   const Catalog& catalog_;
   NraOptions options_;

@@ -3,7 +3,9 @@
 #include <sstream>
 
 #include "baseline/native_optimizer.h"
+#include "nra/executor.h"
 #include "nra/planner.h"
+#include "nra/profile.h"
 #include "nra/rewrites.h"
 #include "plan/binder.h"
 #include "plan/tree_expr.h"
@@ -148,6 +150,35 @@ Result<std::string> ExplainSql(const std::string& sql, const Catalog& catalog,
                                const NraOptions& options) {
   NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr root, ParseAndBind(sql, catalog));
   return ExplainQuery(*root, catalog, options);
+}
+
+Result<std::string> ExplainAnalyzeQuery(const QueryBlock& root,
+                                        const Catalog& catalog,
+                                        const NraOptions& options) {
+  NraOptions opts = options;
+  opts.profile = true;
+  NraExecutor executor(catalog, opts);
+  QueryProfile profile;
+  NESTRA_RETURN_NOT_OK(executor.Execute(root, nullptr, &profile).status());
+  return ExplainQuery(root, catalog, opts) + "=== Execution profile ===\n" +
+         profile.ToString();
+}
+
+Result<std::string> ExplainAnalyzeSql(const std::string& sql,
+                                      const Catalog& catalog,
+                                      const NraOptions& options) {
+  NraOptions opts = options;
+  opts.profile = true;
+  NraExecutor executor(catalog, opts);
+  QueryProfile profile;
+  NESTRA_RETURN_NOT_OK(
+      executor.ExecuteStatementSql(sql, nullptr, &profile).status());
+  // Compound statements have no single block tree to render; fall back to
+  // the first branch's static plan when the statement is a plain SELECT.
+  std::string head;
+  const Result<std::string> static_plan = ExplainSql(sql, catalog, opts);
+  if (static_plan.ok()) head = *static_plan;
+  return head + "=== Execution profile ===\n" + profile.ToString();
 }
 
 }  // namespace nestra

@@ -26,6 +26,22 @@ Result<std::string> ExplainSql(const std::string& sql, const Catalog& catalog,
                                const NraOptions& options =
                                    NraOptions::Optimized());
 
+/// \brief EXPLAIN ANALYZE: renders the static plan, then executes the query
+/// with profiling enabled (options.profile is forced on) and appends the
+/// per-stage operator profile — rows in/out, Next() calls, wall time, hash
+/// build/probe and sort volumes, simulated-I/O attribution, thread-pool
+/// usage, and the paper-phase (unnest-join / nest / linking-selection /
+/// post-processing) time and row split.
+Result<std::string> ExplainAnalyzeQuery(
+    const QueryBlock& root, const Catalog& catalog,
+    const NraOptions& options = NraOptions::Optimized());
+
+/// Parse + bind + execute + profile. Accepts compound statements
+/// (UNION/INTERSECT/EXCEPT), profiling each branch.
+Result<std::string> ExplainAnalyzeSql(
+    const std::string& sql, const Catalog& catalog,
+    const NraOptions& options = NraOptions::Optimized());
+
 }  // namespace nestra
 
 #endif  // NESTRA_NRA_EXPLAIN_H_

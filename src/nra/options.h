@@ -52,6 +52,12 @@ struct NraOptions {
   /// Results are byte-identical for every setting.
   int num_threads = 0;
 
+  /// Collect a per-operator QueryProfile (pass one to Execute*/ExplainAnalyze
+  /// to receive it). Off by default: the engine then keeps only the cheap
+  /// per-operator row/call counters and never reads the clock on the
+  /// per-row path — near-zero overhead.
+  bool profile = false;
+
   /// Run the static plan verifier (src/verify/) over the bound block tree
   /// before execution; any error-severity diagnostic fails the query with
   /// InvalidArgument instead of executing a plan that would silently break

@@ -11,8 +11,90 @@
 #include "exec/scan.h"
 #include "exec/sort.h"
 #include "expr/evaluator.h"
+#include "nra/profile.h"
+#include "storage/io_sim.h"
 
 namespace nestra {
+
+namespace {
+
+// "base[o l]" — aliases (or table names) of the block, thread-count
+// independent so profile stage lists compare across runs.
+std::string BlockLabel(const QueryBlock& block) {
+  std::string label = "base[";
+  for (size_t i = 0; i < block.tables.size(); ++i) {
+    if (i > 0) label += ' ';
+    const QueryBlock::TableRef& ref = block.tables[i];
+    label += ref.alias.empty() ? ref.table : ref.alias;
+  }
+  label += ']';
+  return label;
+}
+
+// Fused morsel-parallel scan+filter over one base table: each morsel
+// charges its rows to the (thread-safe) IoSim and filters into its own
+// slot; slots concatenate in morsel order, so output — and the simulator's
+// totals — equal the serial ScanNode/FilterNode pass exactly.
+Result<Table> ParallelScanFilter(const Table* table, const Schema& schema,
+                                 const Expr* pred, int num_threads,
+                                 ProfiledOperator* op_out) {
+  BoundPredicate bound;
+  if (pred != nullptr) {
+    NESTRA_ASSIGN_OR_RETURN(bound, BoundPredicate::Make(pred, schema));
+  }
+  const int64_t n = table->num_rows();
+  const int64_t morsels = MorselCount(n, num_threads);
+  std::vector<std::vector<Row>> slots(static_cast<size_t>(morsels));
+  struct IoCounts {
+    int64_t hits = 0;
+    int64_t seq_misses = 0;
+    int64_t random_misses = 0;
+  };
+  std::vector<IoCounts> io(static_cast<size_t>(morsels));
+  ParallelForMorsels(n, num_threads, [&](int64_t m, int64_t begin,
+                                         int64_t end) {
+    std::vector<Row>& slot = slots[static_cast<size_t>(m)];
+    IoCounts& counts = io[static_cast<size_t>(m)];
+    IoSim* sim = IoSim::Get();
+    for (int64_t i = begin; i < end; ++i) {
+      if (sim != nullptr) {
+        switch (sim->SeqRow(table, i)) {
+          case IoAccess::kHit:
+            ++counts.hits;
+            break;
+          case IoAccess::kSeqMiss:
+            ++counts.seq_misses;
+            break;
+          case IoAccess::kRandomMiss:
+            ++counts.random_misses;
+            break;
+          case IoAccess::kNone:
+            break;
+        }
+      }
+      const Row& r = table->rows()[static_cast<size_t>(i)];
+      if (pred == nullptr || bound.Matches(r)) slot.push_back(r);
+    }
+  });
+  Table out{schema};
+  for (std::vector<Row>& slot : slots) {
+    for (Row& r : slot) out.AppendUnchecked(std::move(r));
+  }
+  if (op_out != nullptr) {
+    op_out->name = pred == nullptr ? "ParallelScan" : "ParallelScanFilter";
+    op_out->phase = QueryPhase::kUnnestJoin;
+    op_out->rows_in = n;
+    op_out->stats.rows_out = out.num_rows();
+    for (const IoCounts& counts : io) {
+      op_out->stats.io_hits += counts.hits;
+      op_out->stats.io_seq_misses += counts.seq_misses;
+      op_out->stats.io_random_misses += counts.random_misses;
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 Result<Table> ParallelFilterTable(Table in, const Expr* pred,
                                   int num_threads) {
@@ -39,12 +121,33 @@ Result<Table> ParallelFilterTable(Table in, const Expr* pred,
 }
 
 Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
-                            int num_threads) {
+                            int num_threads, QueryProfile* profile) {
   // Split local conjuncts once; they are attached to the first join where
   // both sides are available, remaining ones become a final filter.
   std::vector<ExprPtr> conjuncts;
   if (block.local_pred != nullptr) {
     conjuncts = SplitConjunction(block.local_pred->Clone());
+  }
+
+  if (block.tables.size() == 1 && num_threads > 1) {
+    // Single-table block: one fused morsel-parallel scan+filter. The IoSim
+    // is charged from whichever worker owns the morsel (it is thread-safe),
+    // and morsel-ordered slots keep the rows identical to the serial scan.
+    const QueryBlock::TableRef& ref = block.tables[0];
+    NESTRA_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(ref.table));
+    const Schema schema = ref.alias.empty()
+                              ? table->schema()
+                              : table->schema().Qualify(ref.alias);
+    const ExprPtr pred =
+        conjuncts.empty() ? nullptr : MakeAnd(std::move(conjuncts));
+    StageTimer timer(profile, QueryPhase::kUnnestJoin, BlockLabel(block));
+    ProfiledOperator op;
+    NESTRA_ASSIGN_OR_RETURN(
+        Table out,
+        ParallelScanFilter(table, schema, pred.get(), num_threads,
+                           timer.active() ? &op : nullptr));
+    timer.Finish(out.num_rows(), std::move(op));
+    return out;
   }
 
   ExecNodePtr node;
@@ -74,19 +177,39 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
           std::move(cond.equi), std::move(cond.residual), num_threads);
     }
   }
-  if (!conjuncts.empty()) {
-    if (num_threads > 1) {
-      // Scan serially (simulated I/O is charged per pulled row and must
-      // stay identical to the serial plan), then filter the materialized
-      // rows in parallel morsels.
-      NESTRA_ASSIGN_OR_RETURN(Table scanned, CollectTable(node.get()));
-      const ExprPtr pred = MakeAnd(std::move(conjuncts));
-      return ParallelFilterTable(std::move(scanned), pred.get(), num_threads);
+  if (!conjuncts.empty() && num_threads > 1) {
+    // Multi-table block with leftover conjuncts: the join tree drains
+    // serially (Next is a serial protocol; its hash joins parallelize
+    // internally), then the materialized rows filter in parallel morsels.
+    StageTimer timer(profile, QueryPhase::kUnnestJoin, BlockLabel(block));
+    if (timer.active()) {
+      node->SetPhaseRecursive(QueryPhase::kUnnestJoin);
+      node->EnableTimingRecursive();
     }
+    NESTRA_ASSIGN_OR_RETURN(Table scanned, CollectTable(node.get()));
+    ProfiledOperator tree;
+    if (timer.active()) tree = ProfiledOperator::Snapshot(*node);
+    const ExprPtr pred = MakeAnd(std::move(conjuncts));
+    NESTRA_ASSIGN_OR_RETURN(
+        Table out,
+        ParallelFilterTable(std::move(scanned), pred.get(), num_threads));
+    if (timer.active()) {
+      ProfiledOperator wrapper;
+      wrapper.name = "ParallelFilter";
+      wrapper.phase = QueryPhase::kUnnestJoin;
+      wrapper.rows_in = tree.stats.rows_out;
+      wrapper.stats.rows_out = out.num_rows();
+      wrapper.children.push_back(std::move(tree));
+      timer.Finish(out.num_rows(), std::move(wrapper));
+    }
+    return out;
+  }
+  if (!conjuncts.empty()) {
     node = std::make_unique<FilterNode>(std::move(node),
                                         MakeAnd(std::move(conjuncts)));
   }
-  return CollectTable(node.get());
+  return CollectProfiled(node.get(), QueryPhase::kUnnestJoin,
+                         BlockLabel(block), profile);
 }
 
 ExprPtr CloneCorrelatedPreds(const QueryBlock& child) {
@@ -101,7 +224,9 @@ ExprPtr CloneCorrelatedPreds(const QueryBlock& child) {
 
 Result<Table> JoinWithChild(Table rel, Table child_base,
                             const QueryBlock& child, JoinType join_type,
-                            ExprPtr extra_condition, int num_threads) {
+                            ExprPtr extra_condition, int num_threads,
+                            QueryProfile* profile) {
+  const std::string label = "join[b" + std::to_string(child.id) + "]";
   auto left = std::make_unique<TableSourceNode>(std::move(rel));
   auto right = std::make_unique<TableSourceNode>(std::move(child_base));
 
@@ -122,7 +247,8 @@ Result<Table> JoinWithChild(Table rel, Table child_base,
     // cross join keeps padding behaviour for empty subqueries.
     auto join = std::make_unique<NestedLoopJoinNode>(
         std::move(left), std::move(right), join_type, nullptr);
-    return CollectTable(join.get());
+    return CollectProfiled(join.get(), QueryPhase::kUnnestJoin, label,
+                           profile);
   }
 
   JoinCondition cond = DecomposeJoinCondition(
@@ -134,12 +260,13 @@ Result<Table> JoinWithChild(Table rel, Table child_base,
     auto join = std::make_unique<NestedLoopJoinNode>(
         std::move(left), std::move(right), join_type,
         std::move(cond.residual));
-    return CollectTable(join.get());
+    return CollectProfiled(join.get(), QueryPhase::kUnnestJoin, label,
+                           profile);
   }
   auto join = std::make_unique<HashJoinNode>(
       std::move(left), std::move(right), join_type, std::move(cond.equi),
       std::move(cond.residual), num_threads);
-  return CollectTable(join.get());
+  return CollectProfiled(join.get(), QueryPhase::kUnnestJoin, label, profile);
 }
 
 Result<std::vector<const QueryBlock*>> LinearChain(const QueryBlock& root) {
@@ -182,7 +309,11 @@ AggFunc ToAggFunc(LinkAgg agg) {
 
 Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
                                  const std::string& key_filter_attr,
-                                 int num_threads) {
+                                 int num_threads, QueryProfile* profile) {
+  // One "finish" stage regardless of thread count: the parallel key-filter
+  // pre-pass (when taken) is folded into the stage's wall time, and the
+  // stage's rows_out is the final output either way.
+  StageTimer timer(profile, QueryPhase::kPostProcessing, "finish");
   if (!key_filter_attr.empty() && num_threads > 1) {
     const ExprPtr pred = IsNotNull(Col(key_filter_attr));
     NESTRA_ASSIGN_OR_RETURN(
@@ -224,7 +355,15 @@ Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
   if (root.limit >= 0) {
     node = std::make_unique<LimitNode>(std::move(node), root.limit);
   }
-  return CollectTable(node.get());
+  if (timer.active()) {
+    node->SetPhaseRecursive(QueryPhase::kPostProcessing);
+    node->EnableTimingRecursive();
+  }
+  NESTRA_ASSIGN_OR_RETURN(Table out, CollectTable(node.get()));
+  if (timer.active()) {
+    timer.Finish(out.num_rows(), ProfiledOperator::Snapshot(*node));
+  }
+  return out;
 }
 
 bool AllEquiCorrelation(const QueryBlock& child, const Schema& outer_schema,

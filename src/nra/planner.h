@@ -11,17 +11,26 @@
 
 namespace nestra {
 
+class QueryProfile;
+
 /// \brief Shared plan-construction helpers used by the nested relational
 /// executor and the baselines.
+///
+/// Every entry point that executes takes an optional QueryProfile: when
+/// non-null it appends exactly one stage (label and row count independent
+/// of `num_threads`) with phase attribution and, where an operator tree
+/// ran, its stats snapshot.
 
 /// Builds T_i = σ_i(R_i): scans the block's tables under their aliases,
 /// joins them on the local equality predicates (hash join; remaining local
 /// conjuncts become filters) and returns the materialized result with fully
-/// qualified column names. `num_threads > 1` runs the hash joins and the
-/// single-table filter in parallel (scans stay serial so simulated I/O
-/// accounting is unchanged); results are identical to the serial pass.
+/// qualified column names. `num_threads > 1` runs the hash joins in
+/// parallel, and single-table blocks as one fused morsel-parallel
+/// scan+filter (IoSim is thread-safe, and per-morsel slots concatenated in
+/// morsel order keep results identical to the serial pass).
 Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
-                            int num_threads = 1);
+                            int num_threads = 1,
+                            QueryProfile* profile = nullptr);
 
 /// Filters `in` down to the rows matching `pred` using row-range morsels
 /// (serial when `num_threads <= 1`); row order is preserved, so the result
@@ -40,7 +49,8 @@ Result<Table> ParallelFilterTable(Table in, const Expr* pred,
 Result<Table> JoinWithChild(Table rel, Table child_base,
                             const QueryBlock& child, JoinType join_type,
                             ExprPtr extra_condition = nullptr,
-                            int num_threads = 1);
+                            int num_threads = 1,
+                            QueryProfile* profile = nullptr);
 
 /// Clones and conjoins the child's correlated predicates (nullptr when it
 /// has none).
@@ -56,7 +66,8 @@ Result<std::vector<const QueryBlock*>> LinearChain(const QueryBlock& root);
 /// select-list projection, DISTINCT (order-preserving), and LIMIT.
 Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
                                  const std::string& key_filter_attr = "",
-                                 int num_threads = 1);
+                                 int num_threads = 1,
+                                 QueryProfile* profile = nullptr);
 
 /// True when every correlated predicate of `child` is a plain equality
 /// `outer_col = child_col` (the §4.2.4 push-down precondition); fills

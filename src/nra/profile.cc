@@ -1,0 +1,326 @@
+#include "nra/profile.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace nestra {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr QueryPhase kAllPhases[] = {
+    QueryPhase::kUnnestJoin, QueryPhase::kNest, QueryPhase::kLinkingSelection,
+    QueryPhase::kPostProcessing, QueryPhase::kUnattributed};
+
+void SumPhase(const ProfiledOperator& op, QueryPhase phase, double* seconds) {
+  if (op.phase == phase) *seconds += op.exclusive_seconds();
+  for (const ProfiledOperator& child : op.children) {
+    SumPhase(child, phase, seconds);
+  }
+}
+
+// Fixed-precision seconds (µs resolution) keeps the text output compact.
+std::string FormatSeconds(double seconds) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(6);
+  oss << seconds << "s";
+  return oss.str();
+}
+
+void RenderOperator(const ProfiledOperator& op, int depth,
+                    std::ostringstream* oss) {
+  *oss << std::string(static_cast<size_t>(depth) * 2, ' ') << op.name;
+  if (!op.detail.empty()) *oss << "(" << op.detail << ")";
+  *oss << "  phase=" << QueryPhaseLabel(op.phase)
+       << " rows_in=" << op.rows_in << " rows_out=" << op.stats.rows_out
+       << " next_calls=" << op.stats.next_calls;
+  if (op.stats.total_seconds() > 0) {
+    *oss << " time=" << FormatSeconds(op.stats.total_seconds())
+         << " self=" << FormatSeconds(op.exclusive_seconds());
+  }
+  if (op.stats.build_rows > 0) *oss << " build_rows=" << op.stats.build_rows;
+  if (op.stats.probe_rows > 0) *oss << " probes=" << op.stats.probe_rows;
+  if (op.stats.sort_rows > 0) *oss << " sort_rows=" << op.stats.sort_rows;
+  if (op.stats.sort_bytes > 0) *oss << " sort_bytes=" << op.stats.sort_bytes;
+  if (op.stats.io_hits + op.stats.io_seq_misses + op.stats.io_random_misses >
+      0) {
+    *oss << " io=" << op.stats.io_hits << "h/" << op.stats.io_seq_misses
+         << "sm/" << op.stats.io_random_misses << "rm";
+  }
+  *oss << "\n";
+  for (const ProfiledOperator& child : op.children) {
+    RenderOperator(child, depth + 1, oss);
+  }
+}
+
+void JsonEscape(const std::string& in, std::ostringstream* oss) {
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        *oss << "\\\"";
+        break;
+      case '\\':
+        *oss << "\\\\";
+        break;
+      case '\n':
+        *oss << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *oss << buf;
+        } else {
+          *oss << c;
+        }
+    }
+  }
+}
+
+void OperatorToJson(const ProfiledOperator& op, std::ostringstream* oss) {
+  *oss << "{\"name\":\"";
+  JsonEscape(op.name, oss);
+  *oss << "\"";
+  if (!op.detail.empty()) {
+    *oss << ",\"detail\":\"";
+    JsonEscape(op.detail, oss);
+    *oss << "\"";
+  }
+  *oss << ",\"phase\":\"" << QueryPhaseLabel(op.phase) << "\""
+       << ",\"rows_in\":" << op.rows_in
+       << ",\"rows_out\":" << op.stats.rows_out
+       << ",\"next_calls\":" << op.stats.next_calls
+       << ",\"seconds\":" << op.stats.total_seconds()
+       << ",\"self_seconds\":" << op.exclusive_seconds();
+  if (op.stats.build_rows > 0) {
+    *oss << ",\"build_rows\":" << op.stats.build_rows;
+  }
+  if (op.stats.probe_rows > 0) *oss << ",\"probes\":" << op.stats.probe_rows;
+  if (op.stats.sort_rows > 0) {
+    *oss << ",\"sort_rows\":" << op.stats.sort_rows
+         << ",\"sort_bytes\":" << op.stats.sort_bytes;
+  }
+  if (op.stats.io_hits + op.stats.io_seq_misses + op.stats.io_random_misses >
+      0) {
+    *oss << ",\"io_hits\":" << op.stats.io_hits
+         << ",\"io_seq_misses\":" << op.stats.io_seq_misses
+         << ",\"io_random_misses\":" << op.stats.io_random_misses;
+  }
+  if (!op.children.empty()) {
+    *oss << ",\"children\":[";
+    for (size_t i = 0; i < op.children.size(); ++i) {
+      if (i > 0) *oss << ",";
+      OperatorToJson(op.children[i], oss);
+    }
+    *oss << "]";
+  }
+  *oss << "}";
+}
+
+}  // namespace
+
+ProfiledOperator ProfiledOperator::Snapshot(const ExecNode& node) {
+  ProfiledOperator op;
+  op.name = node.name();
+  op.detail = node.detail();
+  op.phase = node.phase();
+  op.stats = node.stats();
+  for (const ExecNode* child : node.children()) {
+    op.children.push_back(Snapshot(*child));
+    op.rows_in += op.children.back().stats.rows_out;
+  }
+  return op;
+}
+
+double ProfiledOperator::exclusive_seconds() const {
+  double self = stats.total_seconds();
+  for (const ProfiledOperator& child : children) {
+    self -= child.stats.total_seconds();
+  }
+  return self < 0 ? 0 : self;
+}
+
+void QueryProfile::Clear() {
+  stages_.clear();
+  output_rows = 0;
+  total_seconds = 0;
+  io_hits = 0;
+  io_seq_misses = 0;
+  io_random_misses = 0;
+  sim_io_millis = 0;
+  pool = PoolStatsSnapshot{};
+}
+
+double QueryProfile::PhaseSeconds(QueryPhase phase) const {
+  double seconds = 0;
+  for (const ProfiledStage& stage : stages_) {
+    if (stage.has_tree) {
+      SumPhase(stage.tree, phase, &seconds);
+    } else if (stage.phase == phase) {
+      seconds += stage.seconds;
+    }
+  }
+  return seconds;
+}
+
+int64_t QueryProfile::PhaseRows(QueryPhase phase) const {
+  int64_t rows = 0;
+  for (const ProfiledStage& stage : stages_) {
+    if (stage.phase == phase) rows += stage.rows_out;
+  }
+  return rows;
+}
+
+void QueryProfile::Absorb(const QueryProfile& other,
+                          const std::string& label_prefix) {
+  for (ProfiledStage stage : other.stages_) {
+    stage.label = label_prefix + stage.label;
+    stages_.push_back(std::move(stage));
+  }
+  total_seconds += other.total_seconds;
+  io_hits += other.io_hits;
+  io_seq_misses += other.io_seq_misses;
+  io_random_misses += other.io_random_misses;
+  sim_io_millis += other.sim_io_millis;
+  pool.parallel_loops += other.pool.parallel_loops;
+  pool.tasks_submitted += other.pool.tasks_submitted;
+  pool.wait_seconds += other.pool.wait_seconds;
+}
+
+std::string QueryProfile::ToString() const {
+  std::ostringstream oss;
+  oss << "Query profile: " << output_rows << " rows in "
+      << FormatSeconds(total_seconds);
+  if (io_hits + io_seq_misses + io_random_misses > 0) {
+    oss << "  (io " << io_hits << " hits, " << io_seq_misses
+        << " seq misses, " << io_random_misses << " random misses, sim "
+        << sim_io_millis << "ms)";
+  }
+  oss << "\n";
+  oss << "phases:";
+  for (const QueryPhase phase : kAllPhases) {
+    const double seconds = PhaseSeconds(phase);
+    const int64_t rows = PhaseRows(phase);
+    if (seconds == 0 && rows == 0 && phase == QueryPhase::kUnattributed) {
+      continue;
+    }
+    oss << "  " << QueryPhaseLabel(phase) << "=" << FormatSeconds(seconds)
+        << "/" << rows << " rows";
+  }
+  oss << "\n";
+  if (pool.parallel_loops > 0) {
+    oss << "thread pool: " << pool.parallel_loops << " parallel loops, "
+        << pool.tasks_submitted << " tasks, wait "
+        << FormatSeconds(pool.wait_seconds) << "\n";
+  }
+  for (const ProfiledStage& stage : stages_) {
+    oss << "stage " << stage.label << "  phase="
+        << QueryPhaseLabel(stage.phase) << " rows_out=" << stage.rows_out
+        << " time=" << FormatSeconds(stage.seconds);
+    if (stage.pool.parallel_loops > 0) {
+      oss << " pool_loops=" << stage.pool.parallel_loops
+          << " pool_tasks=" << stage.pool.tasks_submitted;
+    }
+    oss << "\n";
+    if (stage.has_tree) RenderOperator(stage.tree, 1, &oss);
+  }
+  return oss.str();
+}
+
+std::string QueryProfile::ToJson() const {
+  std::ostringstream oss;
+  oss << "{\"schema\":\"nestra-query-profile-v1\""
+      << ",\"output_rows\":" << output_rows
+      << ",\"total_seconds\":" << total_seconds << ",\"phases\":{";
+  bool first = true;
+  for (const QueryPhase phase : kAllPhases) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << QueryPhaseLabel(phase)
+        << "\":{\"seconds\":" << PhaseSeconds(phase)
+        << ",\"rows\":" << PhaseRows(phase) << "}";
+  }
+  oss << "},\"io\":{\"hits\":" << io_hits
+      << ",\"seq_misses\":" << io_seq_misses
+      << ",\"random_misses\":" << io_random_misses
+      << ",\"sim_millis\":" << sim_io_millis << "}"
+      << ",\"pool\":{\"parallel_loops\":" << pool.parallel_loops
+      << ",\"tasks\":" << pool.tasks_submitted
+      << ",\"wait_seconds\":" << pool.wait_seconds << "}"
+      << ",\"stages\":[";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const ProfiledStage& stage = stages_[i];
+    if (i > 0) oss << ",";
+    oss << "{\"label\":\"";
+    JsonEscape(stage.label, &oss);
+    oss << "\",\"phase\":\"" << QueryPhaseLabel(stage.phase) << "\""
+        << ",\"seconds\":" << stage.seconds
+        << ",\"rows_out\":" << stage.rows_out;
+    if (stage.has_tree) {
+      oss << ",\"tree\":";
+      OperatorToJson(stage.tree, &oss);
+    }
+    oss << "}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+StageTimer::StageTimer(QueryProfile* profile, QueryPhase phase,
+                       std::string label)
+    : profile_(profile), phase_(phase), label_(std::move(label)) {
+  if (profile_ == nullptr) return;
+  pool_before_ = GlobalPoolStats();
+  start_ = Clock::now();
+}
+
+ProfiledStage StageTimer::Build(int64_t rows_out) {
+  ProfiledStage stage;
+  stage.label = std::move(label_);
+  stage.phase = phase_;
+  stage.seconds =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  stage.rows_out = rows_out;
+  stage.pool = GlobalPoolStats() - pool_before_;
+  return stage;
+}
+
+void StageTimer::Finish(int64_t rows_out) {
+  if (profile_ == nullptr) return;
+  profile_->AddStage(Build(rows_out));
+}
+
+void StageTimer::Finish(int64_t rows_out, ProfiledOperator tree) {
+  if (profile_ == nullptr) return;
+  ProfiledStage stage = Build(rows_out);
+  stage.has_tree = true;
+  stage.tree = std::move(tree);
+  profile_->AddStage(std::move(stage));
+}
+
+Result<Table> CollectProfiled(ExecNode* node, QueryPhase phase,
+                              const std::string& label,
+                              QueryProfile* profile) {
+  if (profile == nullptr) return CollectTable(node);
+  node->SetPhaseRecursive(phase);
+  node->EnableTimingRecursive();
+  const PoolStatsSnapshot pool_before = GlobalPoolStats();
+  const Clock::time_point start = Clock::now();
+  Result<Table> result = CollectTable(node);
+  if (!result.ok()) return result;
+  ProfiledStage stage;
+  stage.label = label;
+  stage.phase = phase;
+  stage.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  stage.rows_out = result->num_rows();
+  stage.has_tree = true;
+  stage.tree = ProfiledOperator::Snapshot(*node);
+  stage.pool = GlobalPoolStats() - pool_before;
+  profile->AddStage(std::move(stage));
+  return result;
+}
+
+}  // namespace nestra

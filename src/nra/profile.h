@@ -1,0 +1,129 @@
+#ifndef NESTRA_NRA_PROFILE_H_
+#define NESTRA_NRA_PROFILE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "exec/exec_node.h"
+#include "exec/operator_stats.h"
+
+namespace nestra {
+
+/// \brief Immutable snapshot of one operator (and its subtree) taken after
+/// the stage that ran it finished. `rows_in` is derived from the children's
+/// `rows_out`, so renderers can show in/out per operator without threading
+/// extra state through the pull protocol.
+struct ProfiledOperator {
+  std::string name;
+  std::string detail;
+  QueryPhase phase = QueryPhase::kUnattributed;
+  OperatorStats stats;
+  int64_t rows_in = 0;
+  std::vector<ProfiledOperator> children;
+
+  static ProfiledOperator Snapshot(const ExecNode& node);
+
+  /// Inclusive time minus the children's inclusive time ("self" time).
+  double exclusive_seconds() const;
+};
+
+/// \brief One executor stage: either an operator tree drained by
+/// CollectProfiled (has_tree), or a table-function stage (Nest,
+/// LinkingSelect, HashLinkSelect, MagicRestrict) described only by its
+/// label, phase, wall time and output cardinality.
+struct ProfiledStage {
+  std::string label;
+  QueryPhase phase = QueryPhase::kUnattributed;
+  double seconds = 0;  // stage wall time, executor-measured
+  int64_t rows_out = 0;
+  bool has_tree = false;
+  ProfiledOperator tree;
+  PoolStatsSnapshot pool;  // shared-pool usage delta across this stage
+};
+
+/// \brief Per-query profile assembled by NraExecutor when
+/// `NraOptions::profile` is set and the caller passes a QueryProfile out
+/// parameter. Stage labels and row counts are deterministic — identical
+/// across `num_threads` settings — which the profile property tests rely
+/// on; only the timings vary.
+class QueryProfile {
+ public:
+  void Clear();
+  void AddStage(ProfiledStage stage) { stages_.push_back(std::move(stage)); }
+
+  const std::vector<ProfiledStage>& stages() const { return stages_; }
+
+  /// Wall time attributed to a paper phase: the self time of every operator
+  /// tagged with it, plus the stage time of non-tree stages tagged with it.
+  double PhaseSeconds(QueryPhase phase) const;
+
+  /// Rows produced by the stages attributed to a paper phase.
+  int64_t PhaseRows(QueryPhase phase) const;
+
+  /// Merges another profile's stages (set-operation branches), prefixing
+  /// stage labels with `label_prefix` and accumulating the totals.
+  void Absorb(const QueryProfile& other, const std::string& label_prefix);
+
+  /// EXPLAIN ANALYZE rendering: totals, phase split, then each stage with
+  /// its annotated operator tree.
+  std::string ToString() const;
+
+  /// JSON object (schema "nestra-query-profile-v1") for the bench sink.
+  std::string ToJson() const;
+
+  // Query-level totals, filled by the executor.
+  int64_t output_rows = 0;
+  double total_seconds = 0;
+  int64_t io_hits = 0;
+  int64_t io_seq_misses = 0;
+  int64_t io_random_misses = 0;
+  double sim_io_millis = 0;
+  PoolStatsSnapshot pool;  // shared-pool usage delta across the whole query
+
+ private:
+  std::vector<ProfiledStage> stages_;
+};
+
+/// Drains `node` into a table. When `profile` is non-null the node tree is
+/// phase-tagged (pre-tagged subtrees keep their phase), timers are enabled,
+/// and a stage snapshot is appended; when null this is exactly
+/// CollectTable.
+Result<Table> CollectProfiled(ExecNode* node, QueryPhase phase,
+                              const std::string& label,
+                              QueryProfile* profile);
+
+/// \brief Scoped helper for stages that are not a single CollectTable —
+/// table functions (Nest, LinkingSelect, HashLinkSelect) and composite
+/// planner stages. Captures start time and pool counters on construction;
+/// one of the Finish overloads appends the stage. No-op when constructed
+/// with a null profile.
+class StageTimer {
+ public:
+  StageTimer(QueryProfile* profile, QueryPhase phase, std::string label);
+
+  bool active() const { return profile_ != nullptr; }
+
+  /// Appends a tree-less stage.
+  void Finish(int64_t rows_out);
+
+  /// Appends a stage carrying an operator-tree snapshot.
+  void Finish(int64_t rows_out, ProfiledOperator tree);
+
+ private:
+  ProfiledStage Build(int64_t rows_out);
+
+  QueryProfile* profile_;
+  QueryPhase phase_;
+  std::string label_;
+  PoolStatsSnapshot pool_before_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_NRA_PROFILE_H_

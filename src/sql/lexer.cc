@@ -1,6 +1,8 @@
 #include "sql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 
@@ -163,10 +165,28 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       tok.text = sql.substr(i, j - i);
       if (is_float) {
         tok.kind = TokenKind::kFloatLiteral;
+        errno = 0;
         tok.float_value = std::strtod(tok.text.c_str(), nullptr);
+        // strtod sets ERANGE for subnormal underflow too; only genuine
+        // overflow (±HUGE_VAL) loses the value.
+        if (errno == ERANGE && (tok.float_value == HUGE_VAL ||
+                                tok.float_value == -HUGE_VAL)) {
+          return Status::InvalidArgument(
+              "float literal out of range at position " + std::to_string(i) +
+              ": '" + tok.text + "'");
+        }
       } else {
         tok.kind = TokenKind::kIntLiteral;
+        // Without the errno check strtoll silently saturates to INT64_MAX,
+        // turning an over-long literal into a wrong answer instead of an
+        // error.
+        errno = 0;
         tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return Status::InvalidArgument(
+              "integer literal out of range at position " + std::to_string(i) +
+              ": '" + tok.text + "'");
+        }
       }
       i = j;
     } else if (c == '\'') {

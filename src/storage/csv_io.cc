@@ -1,5 +1,7 @@
 #include "storage/csv_io.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -81,17 +83,31 @@ Result<Value> ParseCell(const std::string& cell, bool was_quoted,
   switch (field.type) {
     case TypeId::kInt64: {
       char* end = nullptr;
+      errno = 0;
       const long long v = std::strtoll(cell.c_str(), &end, 10);
       if (end == cell.c_str() || *end != '\0') {
         return Status::ParseError("invalid integer '" + cell + "'" + where);
+      }
+      // strtoll saturates to ±INT64_MAX/MIN on overflow; loading the
+      // saturated value would silently corrupt the column.
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("integer out of range '" + cell + "'" +
+                                       where);
       }
       return Value::Int64(v);
     }
     case TypeId::kFloat64: {
       char* end = nullptr;
+      errno = 0;
       const double v = std::strtod(cell.c_str(), &end);
       if (end == cell.c_str() || *end != '\0') {
         return Status::ParseError("invalid float '" + cell + "'" + where);
+      }
+      // ERANGE with ±HUGE_VAL is overflow; ERANGE on a subnormal result is
+      // underflow, which strtod still represents as closely as possible.
+      if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+        return Status::InvalidArgument("float out of range '" + cell + "'" +
+                                       where);
       }
       return Value::Float64(v);
     }
@@ -163,8 +179,13 @@ Result<Table> ReadCsv(const std::string& text, const Schema& schema) {
     ++line;
     NESTRA_ASSIGN_OR_RETURN(std::vector<std::string> cells,
                             ParseRecord(text, &pos, &quoted));
-    if (cells.size() == 1 && cells[0].empty() && pos >= text.size()) {
-      break;  // trailing newline
+    // A file ending in a newline yields one spurious empty record — but
+    // only when the field was NOT quoted: `""` as the last line is a real
+    // one-column row holding an empty string, and dropping it would break
+    // the write/read round trip for single-string-column tables.
+    if (cells.size() == 1 && cells[0].empty() && !quoted[0] &&
+        pos >= text.size()) {
+      break;
     }
     if (static_cast<int>(cells.size()) != schema.num_fields()) {
       return Status::ParseError("CSV line " + std::to_string(line) + " has " +

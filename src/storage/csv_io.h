@@ -11,13 +11,17 @@ namespace nestra {
 /// double-quote quoting with "" escapes, a mandatory header row).
 ///
 /// Cell syntax on read, driven by the declared schema:
-///  * an empty unquoted cell is NULL;
-///  * kInt64 cells parse as decimal integers, kFloat64 as doubles;
+///  * an empty unquoted cell is NULL (a quoted empty cell is the empty
+///    string — including as the file's final record);
+///  * kInt64 cells parse as decimal integers, kFloat64 as doubles; a value
+///    outside the representable range is InvalidArgument, never silently
+///    saturated;
 ///  * kDate cells parse as YYYY-MM-DD;
 ///  * kString cells are taken verbatim (after unquoting).
 ///
 /// On write, NULLs become empty cells, dates render as YYYY-MM-DD, and
-/// strings are quoted when they contain a comma, quote or newline.
+/// strings are quoted when empty or containing a comma, quote, newline or
+/// carriage return. WriteCsv ∘ ReadCsv round-trips every table exactly.
 
 /// Parses CSV text whose header must match `schema`'s field names
 /// (unqualified comparison) in order.

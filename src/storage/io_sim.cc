@@ -7,9 +7,33 @@
 
 namespace nestra {
 
+namespace {
+
+// Per-thread access cache: a repeat access to the page this thread touched
+// last is a guaranteed hit in serial execution, so it can be counted with
+// one relaxed increment and no lock. `generation` ties the cache to one
+// pool generation — construction and Reset() draw fresh ids, invalidating
+// every thread's cache.
+struct SimTlsCache {
+  uint64_t generation = 0;  // 0 never matches a live pool
+  const void* table = nullptr;
+  int64_t base = 0;
+  int64_t page = -1;
+};
+
+thread_local SimTlsCache tls_cache;
+
+}  // namespace
+
+uint64_t IoSim::NextGeneration() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 IoSim* IoSim::current_ = nullptr;
 
 void IoSim::RegisterTable(const Table* table) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (region_base_.count(table) > 0) return;
   region_base_[table] = next_page_base_;
   const int64_t pages =
@@ -18,23 +42,32 @@ void IoSim::RegisterTable(const Table* table) {
 }
 
 int64_t IoSim::PoolCapacity() const {
+  // At least one page: the Access fast path relies on the most recently
+  // touched page never being evicted by its own insertion.
   return std::max<int64_t>(
-      config_.min_pool_pages,
+      std::max<int64_t>(1, config_.min_pool_pages),
       static_cast<int64_t>(static_cast<double>(next_page_base_) *
                            config_.pool_fraction));
 }
 
-void IoSim::Access(int64_t page, bool sequential) {
+IoAccess IoSim::Access(int64_t page, bool sequential) {
+  if (page == last_page_) {
+    // The page touched last is at the LRU front and cannot have been
+    // evicted since, so this is a hit and the splice would be a no-op.
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return IoAccess::kHit;
+  }
+  last_page_ = page;
   const auto it = in_pool_.find(page);
   if (it != in_pool_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    return IoAccess::kHit;
   }
   if (sequential) {
-    ++seq_misses_;
+    seq_misses_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++random_misses_;
+    random_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   lru_.push_front(page);
   in_pool_[page] = lru_.begin();
@@ -43,22 +76,46 @@ void IoSim::Access(int64_t page, bool sequential) {
     in_pool_.erase(lru_.back());
     lru_.pop_back();
   }
+  return sequential ? IoAccess::kSeqMiss : IoAccess::kRandomMiss;
 }
 
-void IoSim::SeqRow(const Table* table, int64_t row) {
-  const auto it = region_base_.find(table);
-  if (it == region_base_.end()) return;
-  Access(it->second + row / config_.rows_per_page, /*sequential=*/true);
+int64_t IoSim::RegionBase(const void* key) {
+  if (key == last_region_key_) return last_region_base_;
+  const auto it = region_base_.find(key);
+  if (it == region_base_.end()) return -1;
+  last_region_key_ = key;
+  last_region_base_ = it->second;
+  return it->second;
 }
 
-void IoSim::RandomRow(const Table* table, int64_t row) {
-  const auto it = region_base_.find(table);
-  if (it == region_base_.end()) return;
-  Access(it->second + row / config_.rows_per_page, /*sequential=*/false);
+IoAccess IoSim::Row(const Table* table, int64_t row, bool sequential) {
+  SimTlsCache& cache = tls_cache;
+  if (cache.table == table &&
+      cache.generation == generation_.load(std::memory_order_relaxed) &&
+      cache.page == cache.base + row / config_.rows_per_page) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return IoAccess::kHit;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t base = RegionBase(table);
+  if (base < 0) return IoAccess::kNone;
+  const int64_t page = base + row / config_.rows_per_page;
+  const IoAccess access = Access(page, sequential);
+  cache = {generation_.load(std::memory_order_relaxed), table, base, page};
+  return access;
 }
 
-void IoSim::IndexProbe(const void* index_id, size_t bucket,
-                       int64_t num_keys) {
+IoAccess IoSim::SeqRow(const Table* table, int64_t row) {
+  return Row(table, row, /*sequential=*/true);
+}
+
+IoAccess IoSim::RandomRow(const Table* table, int64_t row) {
+  return Row(table, row, /*sequential=*/false);
+}
+
+IoAccess IoSim::IndexProbe(const void* index_id, size_t bucket,
+                           int64_t num_keys) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = region_base_.find(index_id);
   if (it == region_base_.end()) {
     // Lazily allocate an index region sized by its key count.
@@ -70,23 +127,33 @@ void IoSim::IndexProbe(const void* index_id, size_t bucket,
   }
   const int64_t pages =
       std::max<int64_t>(1, num_keys / config_.keys_per_page);
-  Access(it->second + static_cast<int64_t>(bucket % pages),
-         /*sequential=*/false);
+  return Access(it->second + static_cast<int64_t>(bucket % pages),
+                /*sequential=*/false);
 }
 
 void IoSim::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   in_pool_.clear();
-  random_misses_ = 0;
-  seq_misses_ = 0;
-  hits_ = 0;
+  last_page_ = -1;
+  generation_.store(NextGeneration(), std::memory_order_relaxed);
+  random_misses_.store(0, std::memory_order_relaxed);
+  seq_misses_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
 }
 
 std::string IoSim::ToString() const {
+  int64_t pages = 0;
+  int64_t capacity = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pages = next_page_base_;
+    capacity = PoolCapacity();
+  }
   std::ostringstream oss;
-  oss << "IoSim{pages=" << next_page_base_ << ", pool=" << PoolCapacity()
-      << ", random_misses=" << random_misses_
-      << ", seq_misses=" << seq_misses_ << ", hits=" << hits_
+  oss << "IoSim{pages=" << pages << ", pool=" << capacity
+      << ", random_misses=" << random_misses()
+      << ", seq_misses=" << seq_misses() << ", hits=" << hits()
       << ", sim=" << SimMillis() << "ms}";
   return oss.str();
 }

@@ -1,14 +1,21 @@
 #ifndef NESTRA_STORAGE_IO_SIM_H_
 #define NESTRA_STORAGE_IO_SIM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
 namespace nestra {
 
 class Table;
+
+/// Outcome of one simulated page access, so instrumented operators can
+/// attribute buffer-pool behaviour to themselves (OperatorStats). kNone
+/// means the target was not registered with the simulator.
+enum class IoAccess { kNone, kHit, kSeqMiss, kRandomMiss };
 
 /// \brief Configuration of the simulated storage stack.
 ///
@@ -35,12 +42,21 @@ struct IoSimConfig {
 /// (benchmarks do; unit tests leave it uninstalled so the engine is
 /// unaffected) and register the base tables whose pages should be modelled.
 ///
+/// Thread-safe: the counters are atomics and the pool state (LRU list,
+/// page map, region map) is guarded by a mutex, so morsel-parallel scans
+/// may charge accesses concurrently. A per-thread cache short-circuits
+/// repeat accesses to the page a thread touched last (a hit, with no LRU
+/// movement) without taking the lock. Eviction order under concurrent
+/// access depends on scheduling — like a real buffer pool — but totals
+/// are exact and single-threaded behaviour is unchanged.
+///
 /// Intermediate results (TableSourceNode and friends) are intentionally NOT
 /// modelled: the paper's measurements equally keep intermediate processing
 /// in memory / the cache.
 class IoSim {
  public:
-  explicit IoSim(IoSimConfig config = {}) : config_(config) {}
+  explicit IoSim(IoSimConfig config = {})
+      : config_(config), generation_(NextGeneration()) {}
 
   /// Global instance used by instrumented access paths; nullptr (the
   /// default) disables all accounting.
@@ -51,46 +67,74 @@ class IoSim {
   void RegisterTable(const Table* table);
 
   /// Sequential access to row `row` of a registered table (scans).
-  void SeqRow(const Table* table, int64_t row);
+  IoAccess SeqRow(const Table* table, int64_t row);
 
   /// Random access to row `row` of a registered table (rowid fetch).
-  void RandomRow(const Table* table, int64_t row);
+  IoAccess RandomRow(const Table* table, int64_t row);
 
   /// One probe of an index structure with `num_keys` entries; `bucket`
   /// selects the leaf page. `index_id` distinguishes index structures.
-  void IndexProbe(const void* index_id, size_t bucket, int64_t num_keys);
+  IoAccess IndexProbe(const void* index_id, size_t bucket, int64_t num_keys);
 
   /// Clears pool contents and counters (page ranges stay registered).
   void Reset();
 
-  int64_t random_misses() const { return random_misses_; }
-  int64_t seq_misses() const { return seq_misses_; }
-  int64_t hits() const { return hits_; }
+  int64_t random_misses() const {
+    return random_misses_.load(std::memory_order_relaxed);
+  }
+  int64_t seq_misses() const {
+    return seq_misses_.load(std::memory_order_relaxed);
+  }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
 
   /// Simulated I/O time for the accesses since the last Reset().
   double SimMillis() const {
-    return static_cast<double>(random_misses_) * config_.random_miss_ms +
-           static_cast<double>(seq_misses_) * config_.seq_miss_ms;
+    return static_cast<double>(random_misses()) * config_.random_miss_ms +
+           static_cast<double>(seq_misses()) * config_.seq_miss_ms;
   }
 
   std::string ToString() const;
 
  private:
+  // Draws a process-unique pool-generation id. Fresh per constructed sim
+  // and per Reset(), so a stale per-thread cache can never match a new
+  // pool — not even one reusing the same address.
+  static uint64_t NextGeneration();
   // Touches a global page id; `sequential` picks the miss cost.
-  void Access(int64_t page, bool sequential);
+  IoAccess Access(int64_t page, bool sequential);
+  // Shared implementation of SeqRow / RandomRow.
+  IoAccess Row(const Table* table, int64_t row, bool sequential);
+  // Page base of a registered region, or -1 if unregistered.
+  int64_t RegionBase(const void* key);
   int64_t PoolCapacity() const;
 
   IoSimConfig config_;
+
+  // Guards region_base_, next_page_base_, lru_, in_pool_, and the
+  // last_* caches.
+  mutable std::mutex mu_;
   std::unordered_map<const void*, int64_t> region_base_;
   int64_t next_page_base_ = 0;
+
+  // Hot-path caches. A repeat access to the page touched last is always a
+  // hit with the page already at the LRU front, so it can skip the pool
+  // lookup and splice without changing counters or eviction order; the
+  // region cache skips the region_base_ lookup for runs against one table.
+  int64_t last_page_ = -1;
+  const void* last_region_key_ = nullptr;
+  int64_t last_region_base_ = 0;
 
   // LRU: most-recent at front.
   std::list<int64_t> lru_;
   std::unordered_map<int64_t, std::list<int64_t>::iterator> in_pool_;
 
-  int64_t random_misses_ = 0;
-  int64_t seq_misses_ = 0;
-  int64_t hits_ = 0;
+  std::atomic<int64_t> random_misses_{0};
+  std::atomic<int64_t> seq_misses_{0};
+  std::atomic<int64_t> hits_{0};
+
+  // Pool generation; construction and Reset() draw a fresh process-unique
+  // value to invalidate per-thread caches.
+  std::atomic<uint64_t> generation_;
 
   static IoSim* current_;
 };

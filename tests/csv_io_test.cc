@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "common/date.h"
 #include "storage/csv_io.h"
@@ -126,6 +128,68 @@ TEST(CsvIoTest, CrlfLineEndings) {
       Table t, ReadCsv("id,name,price,day\r\n1,a,2.0,1993-01-01\r\n",
                        MixedSchema()));
   EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(CsvIoTest, IntOverflowIsAnError) {
+  // One past INT64_MAX: strtoll would saturate; the reader must refuse
+  // instead of loading a silently-wrong value.
+  const Result<Table> r = ReadCsv(
+      "id,name,price,day\n9223372036854775808,a,1.0,1993-01-01\n",
+      MixedSchema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The boundary values themselves load fine.
+  ASSERT_OK_AND_ASSIGN(
+      Table ok,
+      ReadCsv("id,name,price,day\n9223372036854775807,a,1.0,1993-01-01\n"
+              "-9223372036854775808,b,1.0,1993-01-01\n",
+              MixedSchema()));
+  EXPECT_EQ(ok.rows()[0][0].int64(), INT64_MAX);
+  EXPECT_EQ(ok.rows()[1][0].int64(), INT64_MIN);
+}
+
+TEST(CsvIoTest, FloatOverflowIsAnError) {
+  const Result<Table> r = ReadCsv(
+      "id,name,price,day\n1,a,1" + std::string(400, '0') + ".0,1993-01-01\n",
+      MixedSchema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Underflow to subnormal/zero is not an error.
+  ASSERT_OK_AND_ASSIGN(Table ok,
+                       ReadCsv("id,name,price,day\n1,a,1e-400,1993-01-01\n",
+                               MixedSchema()));
+  EXPECT_EQ(ok.num_rows(), 1);
+}
+
+TEST(CsvIoTest, CarriageReturnInStringRoundTrips) {
+  Table t{MixedSchema()};
+  t.AppendUnchecked(Row({I(1), Value::String("line\rwith\r\nreturns"), N(),
+                         N()}));
+  const std::string csv = WriteCsv(t);
+  // A bare \r inside an unquoted cell would terminate the record early, so
+  // the writer must have quoted it.
+  ASSERT_NE(csv.find("\"line\rwith\r\nreturns\""), std::string::npos) << csv;
+  ASSERT_OK_AND_ASSIGN(Table back, ReadCsv(csv, MixedSchema()));
+  ASSERT_EQ(back.num_rows(), 1);
+  EXPECT_EQ(back.rows()[0][1].string(), "line\rwith\r\nreturns");
+}
+
+TEST(CsvIoTest, FinalQuotedEmptyStringRowSurvives) {
+  // Regression: the trailing-newline heuristic used to swallow a final
+  // record consisting of one quoted empty string, silently dropping a row
+  // on round trip of single-string-column tables.
+  const Schema one_string{{{"s", TypeId::kString, true}}};
+  Table t{one_string};
+  t.AppendUnchecked(Row({Value::String("x")}));
+  t.AppendUnchecked(Row({Value::String("")}));
+  const std::string csv = WriteCsv(t);
+  ASSERT_OK_AND_ASSIGN(Table back, ReadCsv(csv, one_string));
+  ASSERT_EQ(back.num_rows(), 2);
+  EXPECT_TRUE(Table::BagEquals(t, back)) << csv;
+  // A genuine trailing newline still doesn't create a phantom row, and an
+  // unquoted empty final line still reads as NULL elsewhere in the file.
+  ASSERT_OK_AND_ASSIGN(Table just_x, ReadCsv("s\nx\n", one_string));
+  EXPECT_EQ(just_x.num_rows(), 1);
 }
 
 }  // namespace

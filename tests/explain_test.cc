@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "nra/executor.h"
 #include "nra/explain.h"
 #include "test_util.h"
 
@@ -98,6 +101,60 @@ TEST_F(ExplainTest, FinishDecorations) {
 
 TEST_F(ExplainTest, InvalidSqlPropagates) {
   EXPECT_FALSE(ExplainSql("select nope from r", catalog_).ok());
+}
+
+// Golden test on the deterministic parts of EXPLAIN ANALYZE: stage labels,
+// phase attribution and row counts are identical on every machine and
+// thread count; timings are not asserted.
+TEST_F(ExplainTest, ExplainAnalyzeQueryQ) {
+  ASSERT_OK_AND_ASSIGN(
+      std::string text,
+      ExplainAnalyzeSql(testing_util::kQueryQ, catalog_,
+                        NraOptions::Optimized()));
+  // Static plan first, then the profile.
+  EXPECT_NE(text.find("single-sort fused pipeline"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("=== Execution profile ==="), std::string::npos)
+      << text;
+  // Block bases with their exact (filtered) cardinalities: r.a > 1 keeps 2
+  // of 4 rows, s.f = 5 keeps all 4, t has no local predicate.
+  EXPECT_NE(text.find("stage base[r]  phase=unnest-join rows_out=2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("stage base[s]  phase=unnest-join rows_out=4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("stage base[t]  phase=unnest-join rows_out=2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("stage join[b2]"), std::string::npos) << text;
+  EXPECT_NE(text.find("stage join[b3]"), std::string::npos) << text;
+  EXPECT_NE(text.find("stage fused nest+select  phase=linking-selection"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("FusedNestSelect"), std::string::npos) << text;
+  EXPECT_NE(text.find("phase=nest"), std::string::npos) << text;
+  EXPECT_NE(text.find("stage finish  phase=post-processing"),
+            std::string::npos)
+      << text;
+  // The profiled output cardinality matches a plain execution.
+  NraExecutor exec(catalog_, NraOptions::Optimized());
+  ASSERT_OK_AND_ASSIGN(Table expected, exec.ExecuteSql(testing_util::kQueryQ));
+  EXPECT_NE(text.find("Query profile: " +
+                      std::to_string(expected.num_rows()) + " rows"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeCompoundStatement) {
+  ASSERT_OK_AND_ASSIGN(
+      std::string text,
+      ExplainAnalyzeSql("select b from r union all select c from r",
+                        catalog_));
+  // Each branch's stages carry a branch prefix.
+  EXPECT_NE(text.find("stage branch0: base[r]"), std::string::npos) << text;
+  EXPECT_NE(text.find("stage branch1: base[r]"), std::string::npos) << text;
+  EXPECT_NE(text.find("Query profile: 8 rows"), std::string::npos) << text;
 }
 
 }  // namespace

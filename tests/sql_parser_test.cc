@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "test_util.h"
@@ -31,6 +34,35 @@ TEST(LexerTest, StringLiteralsAndEscapes) {
   ASSERT_OK_AND_ASSIGN(std::vector<Token> toks, Tokenize("'it''s'"));
   EXPECT_EQ(toks[0].kind, TokenKind::kStringLiteral);
   EXPECT_EQ(toks[0].text, "it's");
+}
+
+TEST(LexerTest, IntLiteralOverflowIsAnError) {
+  // INT64_MAX is 9223372036854775807; one past it used to lex as a
+  // saturated INT64_MAX and produce silently wrong comparisons.
+  const Result<std::vector<Token>> r = Tokenize("9223372036854775808");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("out of range"), std::string::npos)
+      << r.status().ToString();
+  // The boundary value itself still lexes.
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> toks,
+                       Tokenize("9223372036854775807"));
+  EXPECT_EQ(toks[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(toks[0].int_value, INT64_MAX);
+  // Grossly over-long literals are rejected too.
+  EXPECT_FALSE(Tokenize("select a from t where a = 99999999999999999999999")
+                   .ok());
+}
+
+TEST(LexerTest, FloatLiteralOverflowIsAnError) {
+  const Result<std::vector<Token>> r = Tokenize("1" + std::string(400, '0') +
+                                                ".0");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Values merely losing precision (or underflowing to subnormals) are not
+  // errors — strtod represents them as closely as a double can.
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> toks, Tokenize("0.1"));
+  EXPECT_EQ(toks[0].kind, TokenKind::kFloatLiteral);
 }
 
 TEST(LexerTest, NotEqualsVariants) {

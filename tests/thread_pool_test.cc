@@ -35,7 +35,12 @@ TEST(ThreadPoolTest, RunsSubmittedTasks) {
   constexpr int kTasks = 64;
   for (int i = 0; i < kTasks; ++i) {
     pool.Submit([&] {
-      if (counter.fetch_add(1) + 1 == kTasks) cv.notify_all();
+      if (counter.fetch_add(1) + 1 == kTasks) {
+        // Notify under the lock: the waiter may otherwise destroy cv
+        // between its predicate check and this call.
+        std::lock_guard<std::mutex> guard(mu);
+        cv.notify_all();
+      }
     });
   }
   std::unique_lock<std::mutex> lock(mu);
