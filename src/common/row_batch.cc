@@ -1,0 +1,77 @@
+#include "common/row_batch.h"
+
+#include <utility>
+
+namespace nestra {
+
+void ColumnVector::Reset(TypeId type) {
+  type_ = type;
+  Clear();
+}
+
+void ColumnVector::Clear() {
+  generic_ = false;
+  nulls_.clear();
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  values_.clear();
+}
+
+void ColumnVector::ConvertToGeneric() {
+  values_.clear();
+  values_.reserve(nulls_.size());
+  for (size_t i = 0; i < nulls_.size(); ++i) {
+    if (nulls_[i] != 0) {
+      values_.push_back(Value::Null());
+      continue;
+    }
+    switch (type_) {
+      case TypeId::kInt64:
+      case TypeId::kDate:
+        values_.push_back(Value::Int64(ints_[i]));
+        break;
+      case TypeId::kFloat64:
+        values_.push_back(Value::Float64(doubles_[i]));
+        break;
+      case TypeId::kString:
+        values_.push_back(Value::String(std::move(strings_[i])));
+        break;
+    }
+  }
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  generic_ = true;
+}
+
+void RowBatch::Reset(const Schema& schema) {
+  if (schema_ == &schema &&
+      columns_.size() == static_cast<size_t>(schema.num_fields())) {
+    Clear();
+    return;
+  }
+  schema_ = &schema;
+  columns_.resize(schema.num_fields());
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    columns_[i].Reset(schema.field(i).type);
+  }
+  num_rows_ = 0;
+}
+
+void RowBatch::Clear() {
+  for (ColumnVector& col : columns_) col.Clear();
+  num_rows_ = 0;
+}
+
+std::string RowBatch::ToString(int64_t max_rows) const {
+  std::string out = "RowBatch(" + std::to_string(num_rows_) + " rows)";
+  const int64_t n = num_rows_ < max_rows ? num_rows_ : max_rows;
+  for (int64_t i = 0; i < n; ++i) {
+    out += "\n  " + MaterializeRow(i).ToString();
+  }
+  if (n < num_rows_) out += "\n  ...";
+  return out;
+}
+
+}  // namespace nestra

@@ -1,0 +1,305 @@
+#ifndef NESTRA_COMMON_ROW_BATCH_H_
+#define NESTRA_COMMON_ROW_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace nestra {
+
+/// \brief One column of a RowBatch: type-specialized storage plus a
+/// per-entry null byte.
+///
+/// The declared schema type picks the storage vector (int64 for kInt64 and
+/// kDate, double for kFloat64, std::string for kString). Values are not
+/// type-checked at the Table layer, so a cell whose runtime type disagrees
+/// with the declaration (e.g. a double in an int column) flips the column
+/// into generic mode — a plain std::vector<Value> — preserving the exact
+/// Value that a row-at-a-time pipeline would have carried. Reconstructed
+/// Values are bit-identical either way: kDate storage round-trips through
+/// Value::Int64, whose representation Value::Date shares.
+///
+/// The append/read methods are defined inline: they run once per cell on
+/// the hot path of every vectorized operator.
+class ColumnVector {
+ public:
+  ColumnVector() = default;
+
+  /// Re-types the column and clears it; storage capacity is kept.
+  void Reset(TypeId type);
+  void Clear();
+
+  TypeId type() const { return type_; }
+  bool generic() const { return generic_; }
+  int64_t size() const { return static_cast<int64_t>(nulls_.size()); }
+
+  void Append(const Value& v) {
+    if (v.is_null()) {
+      AppendNull();
+      return;
+    }
+    if (!generic_ && !MatchesStorage(type_, v)) ConvertToGeneric();
+    if (generic_) {
+      values_.push_back(v);
+      nulls_.push_back(0);
+      return;
+    }
+    switch (type_) {
+      case TypeId::kInt64:
+      case TypeId::kDate:
+        ints_.push_back(v.int64());
+        break;
+      case TypeId::kFloat64:
+        doubles_.push_back(v.float64());
+        break;
+      case TypeId::kString:
+        strings_.push_back(v.string());
+        break;
+    }
+    nulls_.push_back(0);
+  }
+
+  void Append(Value&& v) {
+    if (v.is_null()) {
+      AppendNull();
+      return;
+    }
+    if (!generic_ && !MatchesStorage(type_, v)) ConvertToGeneric();
+    if (generic_) {
+      values_.push_back(std::move(v));
+      nulls_.push_back(0);
+      return;
+    }
+    switch (type_) {
+      case TypeId::kInt64:
+      case TypeId::kDate:
+        ints_.push_back(v.int64());
+        break;
+      case TypeId::kFloat64:
+        doubles_.push_back(v.float64());
+        break;
+      case TypeId::kString:
+        strings_.push_back(std::move(const_cast<std::string&>(v.string())));
+        break;
+    }
+    nulls_.push_back(0);
+  }
+
+  void AppendNull() {
+    if (generic_) {
+      values_.push_back(Value::Null());
+      nulls_.push_back(1);
+      return;
+    }
+    switch (type_) {
+      case TypeId::kInt64:
+      case TypeId::kDate:
+        ints_.push_back(0);
+        break;
+      case TypeId::kFloat64:
+        doubles_.push_back(0.0);
+        break;
+      case TypeId::kString:
+        strings_.emplace_back();
+        break;
+    }
+    nulls_.push_back(1);
+  }
+
+  /// Typed appends for kernels that already know the storage class. The
+  /// caller must have checked `!generic()` and the column type.
+  void AppendInt64(int64_t v) {
+    ints_.push_back(v);
+    nulls_.push_back(0);
+  }
+  void AppendFloat64(double v) {
+    doubles_.push_back(v);
+    nulls_.push_back(0);
+  }
+
+  /// Copies cell `i` of `src` into this column without routing through a
+  /// Value when both sides share typed storage (the compaction / join
+  /// emission fast path).
+  void AppendFrom(const ColumnVector& src, int64_t i) {
+    if (src.nulls_[i] != 0) {
+      AppendNull();
+      return;
+    }
+    if (generic_ || src.generic_ || type_ != src.type_) {
+      Append(src.GetValue(i));
+      return;
+    }
+    switch (type_) {
+      case TypeId::kInt64:
+      case TypeId::kDate:
+        ints_.push_back(src.ints_[i]);
+        break;
+      case TypeId::kFloat64:
+        doubles_.push_back(src.doubles_[i]);
+        break;
+      case TypeId::kString:
+        strings_.push_back(src.strings_[i]);
+        break;
+    }
+    nulls_.push_back(0);
+  }
+
+  bool IsNull(int64_t i) const { return nulls_[i] != 0; }
+  const std::vector<uint8_t>& nulls() const { return nulls_; }
+
+  /// Raw typed storage; valid only when `!generic()` and the type matches.
+  /// Null slots hold a zero/empty placeholder.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Reconstructs the i-th cell as a Value (deep copy for strings).
+  Value GetValue(int64_t i) const {
+    if (nulls_[i] != 0) return Value::Null();
+    if (generic_) return values_[i];
+    switch (type_) {
+      case TypeId::kInt64:
+      case TypeId::kDate:
+        // Value::Date shares Value::Int64's representation, so this is
+        // bit-identical for both declared types.
+        return Value::Int64(ints_[i]);
+      case TypeId::kFloat64:
+        return Value::Float64(doubles_[i]);
+      case TypeId::kString:
+        return Value::String(strings_[i]);
+    }
+    return Value::Null();
+  }
+
+  /// Like GetValue but transfers ownership of string payloads out of the
+  /// column (cell `i` is left empty). For sinks that materialize each batch
+  /// row exactly once and then Reset the batch.
+  Value TakeValue(int64_t i) {
+    if (nulls_[i] != 0) return Value::Null();
+    if (generic_) return std::move(values_[i]);
+    switch (type_) {
+      case TypeId::kInt64:
+      case TypeId::kDate:
+        return Value::Int64(ints_[i]);
+      case TypeId::kFloat64:
+        return Value::Float64(doubles_[i]);
+      case TypeId::kString:
+        return Value::String(std::move(strings_[i]));
+    }
+    return Value::Null();
+  }
+
+ private:
+  // True when `v` can live in the typed storage for declared type `type`.
+  static bool MatchesStorage(TypeId type, const Value& v) {
+    switch (type) {
+      case TypeId::kInt64:
+      case TypeId::kDate:
+        return v.is_int();
+      case TypeId::kFloat64:
+        return v.is_float();
+      case TypeId::kString:
+        return v.is_string();
+    }
+    return false;
+  }
+
+  // Moves the already-appended typed entries into values_ so mixed-type
+  // columns keep exact row semantics. Out of line: cold by design.
+  void ConvertToGeneric();
+
+  TypeId type_ = TypeId::kInt64;
+  bool generic_ = false;
+  std::vector<uint8_t> nulls_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<Value> values_;
+};
+
+/// \brief A batch of rows in columnar layout, the unit of vectorized
+/// execution (ExecNode::NextBatch).
+///
+/// A batch targets kDefaultCapacity rows; operators may emit fewer (a
+/// filter after compaction) or occasionally more (a join finishing the
+/// match list of its last probe row). Columns are positionally aligned
+/// with the producing node's output schema.
+class RowBatch {
+ public:
+  static constexpr int64_t kDefaultCapacity = 1024;
+
+  RowBatch() = default;
+
+  /// Points the batch at `schema` and clears it. The schema must outlive
+  /// the batch. Cheap when the batch already uses the same schema object —
+  /// the common case of one scratch batch per operator.
+  void Reset(const Schema& schema);
+
+  /// Drops all rows, keeping schema and storage capacity.
+  void Clear();
+
+  const Schema* schema() const { return schema_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  ColumnVector& column(int i) { return columns_[i]; }
+  const ColumnVector& column(int i) const { return columns_[i]; }
+
+  /// After kernels appended cells directly to the columns, records the
+  /// resulting row count. Every column must have exactly `n` entries.
+  void set_num_rows(int64_t n) { num_rows_ = n; }
+
+  void AppendRow(const Row& row) {
+    for (int c = 0; c < static_cast<int>(columns_.size()); ++c) {
+      columns_[c].Append(row[c]);
+    }
+    ++num_rows_;
+  }
+
+  void AppendRow(Row&& row) {
+    for (int c = 0; c < static_cast<int>(columns_.size()); ++c) {
+      columns_[c].Append(std::move(row[c]));
+    }
+    ++num_rows_;
+  }
+
+  /// Reconstructs row `i`; cell-for-cell identical to what the row
+  /// pipeline would have produced.
+  Row MaterializeRow(int64_t i) const {
+    std::vector<Value> values;
+    values.reserve(columns_.size());
+    for (const ColumnVector& col : columns_) {
+      values.push_back(col.GetValue(i));
+    }
+    return Row(std::move(values));
+  }
+
+  /// Like MaterializeRow but moves string payloads out of the batch. Only
+  /// for sinks that take every row at most once before the next Reset.
+  Row TakeRow(int64_t i) {
+    std::vector<Value> values;
+    values.reserve(columns_.size());
+    for (ColumnVector& col : columns_) {
+      values.push_back(col.TakeValue(i));
+    }
+    return Row(std::move(values));
+  }
+
+  std::string ToString(int64_t max_rows = 10) const;
+
+ private:
+  const Schema* schema_ = nullptr;
+  std::vector<ColumnVector> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_COMMON_ROW_BATCH_H_

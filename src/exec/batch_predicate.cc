@@ -1,0 +1,286 @@
+#include "exec/batch_predicate.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace nestra {
+
+namespace {
+
+bool CmpHolds(CmpOp op, int c) {
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+// The engine's numeric comparison result: NaN compares "equal" to
+// everything here, exactly as Value::Compare's double path does.
+int CompareDoubles(double x, double y) { return x < y ? -1 : (x > y ? 1 : 0); }
+
+int CompareInts(int64_t x, int64_t y) { return x < y ? -1 : (x > y ? 1 : 0); }
+
+// Runs `pred(i)` over the batch (first term) or the current selection
+// (later terms), keeping the matching indices in `sel`.
+template <typename Pred>
+void ApplyPred(int64_t num_rows, bool first, std::vector<int32_t>* sel,
+               Pred pred) {
+  if (first) {
+    sel->clear();
+    sel->reserve(num_rows);
+    for (int64_t i = 0; i < num_rows; ++i) {
+      if (pred(i)) sel->push_back(static_cast<int32_t>(i));
+    }
+    return;
+  }
+  size_t w = 0;
+  for (const int32_t i : *sel) {
+    if (pred(i)) (*sel)[w++] = i;
+  }
+  sel->resize(w);
+}
+
+// Storage classes a non-generic ColumnVector can expose to the kernels.
+enum class StorageClass { kInt, kDouble, kString, kGeneric };
+
+StorageClass ClassOf(const ColumnVector& col) {
+  if (col.generic()) return StorageClass::kGeneric;
+  switch (col.type()) {
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      return StorageClass::kInt;
+    case TypeId::kFloat64:
+      return StorageClass::kDouble;
+    case TypeId::kString:
+      return StorageClass::kString;
+  }
+  return StorageClass::kGeneric;
+}
+
+}  // namespace
+
+bool VectorizedPredicate::Compile(const Expr* expr, const Schema& schema,
+                                  VectorizedPredicate* out) {
+  out->terms_.clear();
+  if (expr == nullptr) return true;
+
+  if (const auto* conj = dynamic_cast<const AndExpr*>(expr)) {
+    for (const ExprPtr& child : conj->children()) {
+      VectorizedPredicate scratch;
+      if (!Compile(child.get(), schema, &scratch)) return false;
+      for (Term& t : scratch.terms_) out->terms_.push_back(std::move(t));
+    }
+    return true;
+  }
+
+  if (const auto* cmp = dynamic_cast<const Comparison*>(expr)) {
+    const auto* lcol = dynamic_cast<const ColumnRef*>(&cmp->lhs());
+    const auto* rcol = dynamic_cast<const ColumnRef*>(&cmp->rhs());
+    const auto* llit = dynamic_cast<const Literal*>(&cmp->lhs());
+    const auto* rlit = dynamic_cast<const Literal*>(&cmp->rhs());
+    Term term;
+    term.op = cmp->op();
+    if (lcol != nullptr && rcol != nullptr) {
+      Result<int> li = schema.Resolve(lcol->name());
+      Result<int> ri = schema.Resolve(rcol->name());
+      if (!li.ok() || !ri.ok()) return false;
+      term.kind = TermKind::kCmpColCol;
+      term.lhs = *li;
+      term.rhs = *ri;
+    } else if (lcol != nullptr && rlit != nullptr) {
+      Result<int> li = schema.Resolve(lcol->name());
+      if (!li.ok()) return false;
+      term.kind = TermKind::kCmpColLit;
+      term.lhs = *li;
+      term.literal = rlit->value();
+    } else if (llit != nullptr && rcol != nullptr) {
+      Result<int> ri = schema.Resolve(rcol->name());
+      if (!ri.ok()) return false;
+      term.kind = TermKind::kCmpColLit;
+      term.op = FlipCmpOp(cmp->op());
+      term.lhs = *ri;
+      term.literal = llit->value();
+    } else {
+      return false;
+    }
+    out->terms_.push_back(std::move(term));
+    return true;
+  }
+
+  if (const auto* isnull = dynamic_cast<const IsNullExpr*>(expr)) {
+    // Only over a bare column; IS NULL over arithmetic falls back.
+    const auto* col = dynamic_cast<const ColumnRef*>(&isnull->child());
+    if (col == nullptr) return false;
+    Result<int> idx = schema.Resolve(col->name());
+    if (!idx.ok()) return false;
+    Term term;
+    term.kind = TermKind::kIsNull;
+    term.lhs = *idx;
+    term.negated = isnull->negated();
+    out->terms_.push_back(std::move(term));
+    return true;
+  }
+
+  return false;
+}
+
+void VectorizedPredicate::SelectTerm(const RowBatch& batch, const Term& term,
+                                     bool first,
+                                     std::vector<int32_t>* sel) const {
+  const int64_t n = batch.num_rows();
+  const ColumnVector& lhs = batch.column(term.lhs);
+  const std::vector<uint8_t>& lnull = lhs.nulls();
+
+  if (term.kind == TermKind::kIsNull) {
+    const bool want_null = !term.negated;
+    ApplyPred(n, first, sel,
+              [&](int64_t i) { return (lnull[i] != 0) == want_null; });
+    return;
+  }
+
+  if (term.kind == TermKind::kCmpColLit) {
+    const Value& lit = term.literal;
+    const StorageClass cls = ClassOf(lhs);
+    if (lit.is_null()) {
+      // Comparison with NULL is Unknown for every row.
+      ApplyPred(n, first, sel, [](int64_t) { return false; });
+      return;
+    }
+    const CmpOp op = term.op;
+    if (cls == StorageClass::kGeneric) {
+      ApplyPred(n, first, sel, [&](int64_t i) {
+        return IsTrue(Value::Apply(op, lhs.GetValue(i), lit));
+      });
+      return;
+    }
+    if (cls == StorageClass::kInt) {
+      const std::vector<int64_t>& data = lhs.ints();
+      if (lit.is_int()) {
+        const int64_t y = lit.int64();
+        ApplyPred(n, first, sel, [&](int64_t i) {
+          return lnull[i] == 0 && CmpHolds(op, CompareInts(data[i], y));
+        });
+      } else if (lit.is_float()) {
+        const double y = lit.float64();
+        ApplyPred(n, first, sel, [&](int64_t i) {
+          return lnull[i] == 0 &&
+                 CmpHolds(op, CompareDoubles(static_cast<double>(data[i]), y));
+        });
+      } else {  // string vs numeric: incomparable -> Unknown
+        ApplyPred(n, first, sel, [](int64_t) { return false; });
+      }
+      return;
+    }
+    if (cls == StorageClass::kDouble) {
+      const std::vector<double>& data = lhs.doubles();
+      if (lit.is_int() || lit.is_float()) {
+        const double y = *lit.AsDouble();
+        ApplyPred(n, first, sel, [&](int64_t i) {
+          return lnull[i] == 0 && CmpHolds(op, CompareDoubles(data[i], y));
+        });
+      } else {
+        ApplyPred(n, first, sel, [](int64_t) { return false; });
+      }
+      return;
+    }
+    // kString storage.
+    const std::vector<std::string>& data = lhs.strings();
+    if (lit.is_string()) {
+      const std::string& y = lit.string();
+      ApplyPred(n, first, sel, [&](int64_t i) {
+        return lnull[i] == 0 && CmpHolds(op, data[i].compare(y));
+      });
+    } else {
+      ApplyPred(n, first, sel, [](int64_t) { return false; });
+    }
+    return;
+  }
+
+  // kCmpColCol.
+  const ColumnVector& rhs = batch.column(term.rhs);
+  const std::vector<uint8_t>& rnull = rhs.nulls();
+  const CmpOp op = term.op;
+  const StorageClass lcls = ClassOf(lhs);
+  const StorageClass rcls = ClassOf(rhs);
+  if (lcls == StorageClass::kGeneric || rcls == StorageClass::kGeneric) {
+    ApplyPred(n, first, sel, [&](int64_t i) {
+      return IsTrue(Value::Apply(op, lhs.GetValue(i), rhs.GetValue(i)));
+    });
+    return;
+  }
+  if (lcls == StorageClass::kInt && rcls == StorageClass::kInt) {
+    const std::vector<int64_t>& a = lhs.ints();
+    const std::vector<int64_t>& b = rhs.ints();
+    ApplyPred(n, first, sel, [&](int64_t i) {
+      return lnull[i] == 0 && rnull[i] == 0 &&
+             CmpHolds(op, CompareInts(a[i], b[i]));
+    });
+    return;
+  }
+  if (lcls == StorageClass::kString && rcls == StorageClass::kString) {
+    const std::vector<std::string>& a = lhs.strings();
+    const std::vector<std::string>& b = rhs.strings();
+    ApplyPred(n, first, sel, [&](int64_t i) {
+      return lnull[i] == 0 && rnull[i] == 0 &&
+             CmpHolds(op, a[i].compare(b[i]));
+    });
+    return;
+  }
+  if (lcls == StorageClass::kString || rcls == StorageClass::kString) {
+    // string vs numeric: incomparable for every row.
+    ApplyPred(n, first, sel, [](int64_t) { return false; });
+    return;
+  }
+  // Mixed numeric (at least one double): compare through doubles.
+  ApplyPred(n, first, sel, [&](int64_t i) {
+    if (lnull[i] != 0 || rnull[i] != 0) return false;
+    const double x = lcls == StorageClass::kInt
+                         ? static_cast<double>(lhs.ints()[i])
+                         : lhs.doubles()[i];
+    const double y = rcls == StorageClass::kInt
+                         ? static_cast<double>(rhs.ints()[i])
+                         : rhs.doubles()[i];
+    return CmpHolds(op, CompareDoubles(x, y));
+  });
+}
+
+std::vector<int> VectorizedPredicate::used_columns() const {
+  std::vector<int> cols;
+  for (const Term& term : terms_) {
+    cols.push_back(term.lhs);
+    if (term.kind == TermKind::kCmpColCol) cols.push_back(term.rhs);
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+void VectorizedPredicate::Select(const RowBatch& batch,
+                                 std::vector<int32_t>* sel) const {
+  const int64_t n = batch.num_rows();
+  if (terms_.empty()) {
+    sel->clear();
+    sel->reserve(n);
+    for (int64_t i = 0; i < n; ++i) sel->push_back(static_cast<int32_t>(i));
+    return;
+  }
+  bool first = true;
+  for (const Term& term : terms_) {
+    SelectTerm(batch, term, first, sel);
+    first = false;
+    if (sel->empty()) return;
+  }
+}
+
+}  // namespace nestra

@@ -1,0 +1,63 @@
+#ifndef NESTRA_EXEC_BATCH_PREDICATE_H_
+#define NESTRA_EXEC_BATCH_PREDICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/row_batch.h"
+#include "common/schema.h"
+#include "common/value.h"
+#include "expr/expr.h"
+
+namespace nestra {
+
+/// \brief A predicate compiled to column-at-a-time kernels over a RowBatch.
+///
+/// Covers the filter shapes the planner actually produces on hot paths —
+/// conjunctions of comparisons (column vs column / column vs literal) and
+/// IS [NOT] NULL tests. Anything else (OR, NOT, arithmetic, nested
+/// subexpressions) fails to compile and the caller falls back to the
+/// row-at-a-time BoundPredicate, so semantics never fork: each kernel
+/// reproduces Value::Apply exactly, including three-valued logic (NULL or
+/// string-vs-numeric comparisons are Unknown → row dropped) and the
+/// double-promotion rules for mixed numeric comparisons.
+class VectorizedPredicate {
+ public:
+  VectorizedPredicate() = default;
+
+  /// Compiles `expr` against `schema`. Returns false when some
+  /// subexpression has no vectorized kernel; `*out` is then unusable.
+  /// A null `expr` compiles to "TRUE" (every row selected).
+  static bool Compile(const Expr* expr, const Schema& schema,
+                      VectorizedPredicate* out);
+
+  /// Fills `sel` with the indices (ascending) of the rows of `batch` for
+  /// which the predicate is true.
+  void Select(const RowBatch& batch, std::vector<int32_t>* sel) const;
+
+  /// Column indices the compiled terms read, ascending and deduplicated.
+  /// Select only touches these columns, so a caller that owns the batch may
+  /// leave every other column empty (late materialization).
+  std::vector<int> used_columns() const;
+
+ private:
+  enum class TermKind { kCmpColCol, kCmpColLit, kIsNull };
+
+  struct Term {
+    TermKind kind = TermKind::kCmpColLit;
+    CmpOp op = CmpOp::kEq;
+    int lhs = -1;        // column index
+    int rhs = -1;        // column index (kCmpColCol)
+    Value literal;       // kCmpColLit
+    bool negated = false;  // kIsNull: IS NOT NULL
+  };
+
+  void SelectTerm(const RowBatch& batch, const Term& term, bool first,
+                  std::vector<int32_t>* sel) const;
+
+  std::vector<Term> terms_;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_EXEC_BATCH_PREDICATE_H_

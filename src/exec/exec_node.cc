@@ -30,6 +30,7 @@ const char* QueryPhaseLabel(QueryPhase phase) {
 
 Status ExecNode::Open() {
   ++stats_.open_calls;
+  adapter_saw_eof_ = false;
   if (!timing_) return OpenImpl();
   const Clock::time_point start = Clock::now();
   Status s = OpenImpl();
@@ -49,6 +50,48 @@ Status ExecNode::Next(Row* out, bool* eof) {
   stats_.next_seconds += SecondsSince(start);
   if (s.ok() && !*eof) ++stats_.rows_out;
   return s;
+}
+
+Status ExecNode::NextBatch(RowBatch* out, bool* eof) {
+  ++stats_.next_calls;
+  out->Reset(output_schema());
+  if (!timing_) {
+    Status s = NextBatchImpl(out, eof);
+    if (s.ok() && !out->empty()) {
+      stats_.rows_out += out->num_rows();
+      ++stats_.batches_out;
+    }
+    return s;
+  }
+  const Clock::time_point start = Clock::now();
+  Status s = NextBatchImpl(out, eof);
+  stats_.next_seconds += SecondsSince(start);
+  if (s.ok() && !out->empty()) {
+    stats_.rows_out += out->num_rows();
+    ++stats_.batches_out;
+  }
+  return s;
+}
+
+Status ExecNode::NextBatchImpl(RowBatch* out, bool* eof) {
+  *eof = false;
+  if (adapter_saw_eof_) {
+    *eof = true;
+    return Status::OK();
+  }
+  Row row;
+  bool row_eof = false;
+  while (out->num_rows() < RowBatch::kDefaultCapacity) {
+    NESTRA_RETURN_NOT_OK(NextImpl(&row, &row_eof));
+    if (row_eof) {
+      adapter_saw_eof_ = true;
+      break;
+    }
+    out->AppendRow(std::move(row));
+    row = Row();
+  }
+  *eof = out->empty();
+  return Status::OK();
 }
 
 void ExecNode::Close() {
@@ -71,9 +114,52 @@ void ExecNode::EnableTimingRecursive() {
   for (ExecNode* child : children()) child->EnableTimingRecursive();
 }
 
-Result<Table> CollectTable(ExecNode* node) {
+Status DrainAllRows(ExecNode* node, bool vectorized, std::vector<Row>* rows) {
+  if (vectorized) {
+    // A TableSource already holds materialized rows; pulling them through
+    // a batch would transpose and re-materialize every one. The batch
+    // protocol hands over rows in bulk, so take them directly.
+    if (auto* source = dynamic_cast<TableSourceNode*>(node)) {
+      if (source->TakeAllRows(rows)) return Status::OK();
+    }
+    RowBatch batch;
+    bool eof = false;
+    while (true) {
+      NESTRA_RETURN_NOT_OK(node->NextBatch(&batch, &eof));
+      if (eof) break;
+      for (int64_t i = 0; i < batch.num_rows(); ++i) {
+        rows->push_back(batch.TakeRow(i));
+      }
+    }
+    return Status::OK();
+  }
+  Row row;
+  bool eof = false;
+  while (true) {
+    NESTRA_RETURN_NOT_OK(node->Next(&row, &eof));
+    if (eof) break;
+    rows->push_back(std::move(row));
+    row = Row();
+  }
+  return Status::OK();
+}
+
+Result<Table> CollectTable(ExecNode* node, bool vectorized) {
   NESTRA_RETURN_NOT_OK(node->Open());
   Table out(node->output_schema());
+  if (vectorized) {
+    RowBatch batch;
+    bool eof = false;
+    while (true) {
+      NESTRA_RETURN_NOT_OK(node->NextBatch(&batch, &eof));
+      if (eof) break;
+      for (int64_t i = 0; i < batch.num_rows(); ++i) {
+        out.AppendUnchecked(batch.TakeRow(i));
+      }
+    }
+    node->Close();
+    return out;
+  }
   Row row;
   bool eof = false;
   while (true) {
@@ -93,6 +179,18 @@ Status TableSourceNode::NextImpl(Row* out, bool* eof) {
   }
   *eof = false;
   *out = table_.rows()[pos_++];
+  return Status::OK();
+}
+
+Status TableSourceNode::NextBatchImpl(RowBatch* out, bool* eof) {
+  const int64_t total = table_.num_rows();
+  int64_t end = pos_ + RowBatch::kDefaultCapacity;
+  if (end > total) end = total;
+  const std::vector<Row>& rows = table_.rows();
+  for (; pos_ < end; ++pos_) {
+    out->AppendRow(rows[pos_]);
+  }
+  *eof = out->empty();
   return Status::OK();
 }
 

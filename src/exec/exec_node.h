@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/row.h"
+#include "common/row_batch.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/table.h"
@@ -53,6 +54,17 @@ class ExecNode {
   /// when the stream is exhausted.
   Status Next(Row* out, bool* eof);
 
+  /// Produces the next batch of rows (vectorized mode). `*out` is reset to
+  /// this node's output schema and filled with up to ~RowBatch's capacity
+  /// rows (operators finishing a unit of work — e.g. a join completing one
+  /// probe row's matches — may emit slightly more). `*eof` is set exactly
+  /// when the batch comes back empty; a stream's batches are all non-empty
+  /// until the final empty one. Like Next(), this maintains OperatorStats.
+  /// Operators without a native NextBatchImpl run through a row-at-a-time
+  /// adapter, so the two protocols are freely interleavable per node edge
+  /// (but pick one per edge: both consume the same underlying stream).
+  Status NextBatch(RowBatch* out, bool* eof);
+
   void Close();
 
   const OperatorStats& stats() const { return stats_; }
@@ -74,17 +86,34 @@ class ExecNode {
   virtual Status NextImpl(Row* out, bool* eof) = 0;
   virtual void CloseImpl() = 0;
 
+  /// Default adapter: fills `out` by looping NextImpl. Operators with a
+  /// profitable columnar form override this (scan, filter, sort, project,
+  /// hash join, fused nest+select).
+  virtual Status NextBatchImpl(RowBatch* out, bool* eof);
+
   OperatorStats stats_;
   bool timing_ = false;
 
  private:
   QueryPhase phase_ = QueryPhase::kUnattributed;
+  // The row adapter must not call NextImpl again after it reported eof
+  // (operators are not required to be re-callable past the end).
+  bool adapter_saw_eof_ = false;
 };
 
 using ExecNodePtr = std::unique_ptr<ExecNode>;
 
-/// Drains a node (Open/Next*/Close) into a materialized table.
-Result<Table> CollectTable(ExecNode* node);
+/// Drains a node (Open/Next*/Close) into a materialized table. With
+/// `vectorized` the drain runs over NextBatch instead; the resulting table
+/// is cell-for-cell identical either way.
+Result<Table> CollectTable(ExecNode* node, bool vectorized = false);
+
+/// Appends the full output of an already-opened node to `rows`, identical
+/// rows in identical order for both engines. With `vectorized` the drain
+/// runs over NextBatch, and a TableSourceNode child is drained by moving
+/// its rows out in bulk instead of round-tripping them through a batch.
+/// Used by materializing operators (hash join build/probe, sort).
+Status DrainAllRows(ExecNode* node, bool vectorized, std::vector<Row>* rows);
 
 /// \brief Leaf node replaying an owned, already-materialized table.
 /// Used wherever an intermediate result re-enters the pipeline.
@@ -95,12 +124,31 @@ class TableSourceNode final : public ExecNode {
   const Schema& output_schema() const override { return table_.schema(); }
   std::string name() const override { return "TableSource"; }
 
+  /// Moves the not-yet-emitted rows out in one bulk transfer, as if the
+  /// caller had drained them one call at a time (rows_out advances the
+  /// same way). Returns false — leaving the node untouched — when rows
+  /// were already emitted through Next/NextBatch. One-shot consumers that
+  /// materialize the whole input anyway (hash join build/probe) use this
+  /// to skip a per-row deep copy; afterwards the node replays empty.
+  bool TakeAllRows(std::vector<Row>* out) {
+    if (pos_ != 0) return false;
+    stats_.rows_out += table_.num_rows();
+    if (out->empty()) {
+      *out = std::move(table_.rows());
+    } else {
+      for (Row& row : table_.rows()) out->push_back(std::move(row));
+    }
+    table_.rows().clear();
+    return true;
+  }
+
  protected:
   Status OpenImpl() override {
     pos_ = 0;
     return Status::OK();
   }
   Status NextImpl(Row* out, bool* eof) override;
+  Status NextBatchImpl(RowBatch* out, bool* eof) override;
   void CloseImpl() override {}
 
  private:

@@ -1,8 +1,10 @@
 #ifndef NESTRA_EXEC_FILTER_H_
 #define NESTRA_EXEC_FILTER_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "exec/batch_predicate.h"
 #include "exec/exec_node.h"
 #include "expr/evaluator.h"
 #include "expr/expr.h"
@@ -25,12 +27,19 @@ class FilterNode final : public ExecNode {
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* out, bool* eof) override;
+  Status NextBatchImpl(RowBatch* out, bool* eof) override;
   void CloseImpl() override { child_->Close(); }
 
  private:
   ExecNodePtr child_;
   ExprPtr predicate_;
   BoundPredicate bound_;
+  // Vectorized path: compiled kernels plus a scratch input batch and
+  // selection vector, reused across NextBatch calls.
+  bool vectorizable_ = false;
+  VectorizedPredicate vectorized_;
+  RowBatch input_;
+  std::vector<int32_t> sel_;
 };
 
 }  // namespace nestra

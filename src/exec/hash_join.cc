@@ -1,5 +1,8 @@
 #include "exec/hash_join.h"
 
+#include <cstdint>
+#include <functional>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -9,13 +12,14 @@ namespace nestra {
 
 HashJoinNode::HashJoinNode(ExecNodePtr left, ExecNodePtr right,
                            JoinType join_type, std::vector<EquiPair> equi,
-                           ExprPtr residual, int num_threads)
+                           ExprPtr residual, int num_threads, bool vectorized)
     : left_(std::move(left)),
       right_(std::move(right)),
       join_type_(join_type),
       equi_(std::move(equi)),
       residual_(std::move(residual)),
       num_threads_(num_threads < 1 ? 1 : num_threads) {
+  vectorized_ = vectorized;
   // Schema is known at construction: joins never rename.
   const Schema& ls = left_->output_schema();
   const Schema& rs = right_->output_schema();
@@ -60,6 +64,8 @@ Status HashJoinNode::OpenImpl() {
   pending_pos_ = 0;
   left_done_ = false;
   probe_count_ = 0;
+  probe_batch_.Clear();
+  probe_pos_ = 0;
   if (num_threads_ > 1) {
     NESTRA_RETURN_NOT_OK(ParallelProbe());
   }
@@ -69,20 +75,12 @@ Status HashJoinNode::OpenImpl() {
 Status HashJoinNode::BuildTable() {
   build_has_null_key_ = false;
   build_rows_ = 0;
+  flat_built_ = false;
 
-  // Drain the child serially (Next is a serial protocol), then hash and
-  // partition the materialized rows in parallel.
+  // Drain the child serially (Next/NextBatch is a serial protocol), then
+  // hash and partition the materialized rows in parallel.
   std::vector<Row> rows;
-  {
-    Row row;
-    bool eof = false;
-    while (true) {
-      NESTRA_RETURN_NOT_OK(right_->Next(&row, &eof));
-      if (eof) break;
-      rows.push_back(std::move(row));
-      row = Row();
-    }
-  }
+  NESTRA_RETURN_NOT_OK(DrainAllRows(right_.get(), vectorized_, &rows));
   build_rows_ = static_cast<int64_t>(rows.size());
 
   const int64_t n = build_rows_;
@@ -113,12 +111,40 @@ Status HashJoinNode::BuildTable() {
     if (has_null[static_cast<size_t>(i)] != 0) build_has_null_key_ = true;
   }
 
+  if (vectorized_ && num_threads_ == 1) {
+    // Serial vectorized build: index chains over the materialized rows.
+    // partitions_ would pay three allocations per insert (map node, key
+    // vector, bucket vector); the chains pay none.
+    flat_built_ = true;
+    flat_rows_ = std::move(rows);
+    flat_hash_ = std::move(hashes);
+    size_t num_buckets = 16;
+    while (num_buckets < static_cast<size_t>(n) * 2) num_buckets <<= 1;
+    flat_mask_ = num_buckets - 1;
+    flat_head_.assign(num_buckets, -1);
+    flat_next_.assign(static_cast<size_t>(n), -1);
+    // Reverse insertion order: each push-front then leaves every chain in
+    // arrival order, matching the bucketed build's candidate order.
+    for (int64_t i = n - 1; i >= 0; --i) {
+      const size_t si = static_cast<size_t>(i);
+      if (has_null[si] != 0) continue;
+      const size_t b = flat_hash_[si] & flat_mask_;
+      flat_next_[si] = flat_head_[b];
+      flat_head_[b] = static_cast<int32_t>(i);
+    }
+    return Status::OK();
+  }
+
   // Each partition owner scans the rows in arrival order and inserts the
   // ones hashing to it, so bucket candidate order is identical to a serial
   // build no matter how partitions are scheduled.
   ParallelForEach(static_cast<int64_t>(num_parts), num_threads_,
                   [&](int64_t p) {
                     Buckets& buckets = partitions_[static_cast<size_t>(p)];
+                    // Size for the worst case (all keys distinct) up front
+                    // so large builds never rehash mid-insert.
+                    buckets.max_load_factor(0.7F);
+                    buckets.reserve(static_cast<size_t>(n) / num_parts + 1);
                     for (int64_t i = 0; i < n; ++i) {
                       const size_t si = static_cast<size_t>(i);
                       if (has_null[si] != 0) continue;
@@ -138,7 +164,84 @@ Status HashJoinNode::BuildTable() {
   return Status::OK();
 }
 
+void HashJoinNode::GatherFlatCandidates(const std::vector<Value>& key,
+                                        size_t h) const {
+  flat_candidates_.clear();
+  for (int32_t j = flat_head_[h & flat_mask_]; j >= 0; j = flat_next_[j]) {
+    const size_t sj = static_cast<size_t>(j);
+    // Equal keys always hash equal (SqlHash is consistent with
+    // TotalOrderCompare), so a hash mismatch can never hide a match.
+    if (flat_hash_[sj] != h) continue;
+    const Row& row = flat_rows_[sj];
+    bool equal = true;
+    for (size_t k = 0; k < right_key_idx_.size(); ++k) {
+      if (Value::TotalOrderCompare(key[k], row[right_key_idx_[k]]) != 0) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) flat_candidates_.push_back(&row);
+  }
+}
+
+void HashJoinNode::ProbeRowFlat(const Row& left_row, bool probe_null,
+                                std::vector<Row>* out) const {
+  // Mirrors ProbeRow below over flat_candidates_ (already gathered).
+  bool matched = false;
+  for (const Row* right_row : flat_candidates_) {
+    Row combined = Row::Concat(left_row, *right_row);
+    if (!bound_residual_.Matches(combined)) continue;
+    matched = true;
+    if (join_type_ == JoinType::kInner ||
+        join_type_ == JoinType::kLeftOuter) {
+      NESTRA_DCHECK(combined.size() == schema_.num_fields());
+      out->push_back(std::move(combined));
+      continue;
+    }
+    break;
+  }
+
+  switch (join_type_) {
+    case JoinType::kInner:
+      break;
+    case JoinType::kLeftSemi:
+      if (matched) out->push_back(left_row);
+      break;
+    case JoinType::kLeftOuter:
+      if (!matched) {
+        NESTRA_DCHECK(left_row.size() + right_width_ == schema_.num_fields());
+        out->push_back(Row::Concat(left_row, Row::Nulls(right_width_)));
+      }
+      break;
+    case JoinType::kLeftAnti:
+      if (!matched) out->push_back(left_row);
+      break;
+    case JoinType::kLeftAntiNullAware: {
+      if (matched) break;
+      if (build_rows_ == 0) {
+        out->push_back(left_row);
+        break;
+      }
+      if (!probe_null && !build_has_null_key_) out->push_back(left_row);
+      break;
+    }
+  }
+}
+
 void HashJoinNode::ProbeRow(const Row& left_row, std::vector<Row>* out) const {
+  if (flat_built_) {
+    bool probe_null = false;
+    std::vector<Value> key;
+    key.reserve(left_key_idx_.size());
+    for (const int idx : left_key_idx_) {
+      if (left_row[idx].is_null()) probe_null = true;
+      key.push_back(left_row[idx]);
+    }
+    flat_candidates_.clear();
+    if (!probe_null) GatherFlatCandidates(key, SqlValueKeyHash{}(key));
+    ProbeRowFlat(left_row, probe_null, out);
+    return;
+  }
   const std::vector<Row>* candidates = nullptr;
   bool probe_null = false;
   {
@@ -208,16 +311,7 @@ void HashJoinNode::ProbeRow(const Row& left_row, std::vector<Row>* out) const {
 
 Status HashJoinNode::ParallelProbe() {
   std::vector<Row> probe_rows;
-  {
-    Row row;
-    bool eof = false;
-    while (true) {
-      NESTRA_RETURN_NOT_OK(left_->Next(&row, &eof));
-      if (eof) break;
-      probe_rows.push_back(std::move(row));
-      row = Row();
-    }
-  }
+  NESTRA_RETURN_NOT_OK(DrainAllRows(left_.get(), vectorized_, &probe_rows));
   const int64_t n = static_cast<int64_t>(probe_rows.size());
   probe_count_ = n;
   left_done_ = true;
@@ -268,11 +362,203 @@ Status HashJoinNode::NextImpl(Row* out, bool* eof) {
   return Status::OK();
 }
 
+void HashJoinNode::HashProbeBatch() {
+  // One SqlHash key combine per row, column-at-a-time; byte-identical to
+  // SqlKeyHashOn over the materialized row (kFnvOffsetBasis, then per key
+  // column h ^= SqlHash; h *= kFnvPrime).
+  constexpr size_t kNullHash = 0x9e3779b97f4a7c15ULL;
+  constexpr size_t kNumericMix = 0xc4ceb9fe1a85ec53ULL;
+  const size_t n = static_cast<size_t>(probe_batch_.num_rows());
+  probe_hashes_.assign(n, kFnvOffsetBasis);
+  probe_null_.assign(n, 0);
+  for (const int idx : left_key_idx_) {
+    const ColumnVector& col = probe_batch_.column(idx);
+    const std::vector<uint8_t>& nulls = col.nulls();
+    const bool generic = col.generic();
+    for (size_t i = 0; i < n; ++i) {
+      size_t vh = 0;
+      if (nulls[i] != 0) {
+        probe_null_[i] = 1;
+        vh = kNullHash;
+      } else if (generic) {
+        vh = col.GetValue(static_cast<int64_t>(i)).SqlHash();
+      } else {
+        switch (col.type()) {
+          case TypeId::kInt64:
+          case TypeId::kDate: {
+            const double d = static_cast<double>(col.ints()[i]);
+            vh = std::hash<double>()(d) ^ kNumericMix;
+            break;
+          }
+          case TypeId::kFloat64: {
+            double d = col.doubles()[i];
+            if (d == 0.0) d = 0.0;  // canonicalize -0.0, like SqlHash
+            vh = std::hash<double>()(d) ^ kNumericMix;
+            break;
+          }
+          case TypeId::kString:
+            vh = std::hash<std::string>()(col.strings()[i]);
+            break;
+        }
+      }
+      probe_hashes_[i] ^= vh;
+      probe_hashes_[i] *= kFnvPrime;
+    }
+  }
+}
+
+int64_t HashJoinNode::ProbeBatchRow(int64_t i, RowBatch* out) {
+  const bool probe_null = probe_null_[static_cast<size_t>(i)] != 0;
+  flat_candidates_.clear();
+  if (!probe_null) {
+    scratch_key_.clear();
+    for (const int idx : left_key_idx_) {
+      scratch_key_.push_back(probe_batch_.column(idx).GetValue(i));
+    }
+    const size_t h = probe_hashes_[static_cast<size_t>(i)];
+    if (flat_built_) {
+      GatherFlatCandidates(scratch_key_, h);
+    } else {
+      const Buckets& buckets = partitions_[h % partitions_.size()];
+      const auto it = buckets.find(scratch_key_);
+      if (it != buckets.end()) {
+        for (const Row& r : it->second) flat_candidates_.push_back(&r);
+      }
+    }
+  }
+
+  const int left_width = probe_batch_.num_columns();
+  int64_t emitted = 0;
+  bool matched = false;
+  const bool combining = join_type_ == JoinType::kInner ||
+                         join_type_ == JoinType::kLeftOuter;
+  if (!flat_candidates_.empty()) {
+    if (combining && bound_residual_.always_true()) {
+      // Hot path: no residual — left cells copy typed storage to typed
+      // storage, right cells come straight from the build rows.
+      for (const Row* right_row : flat_candidates_) {
+        matched = true;
+        for (int c = 0; c < left_width; ++c) {
+          out->column(c).AppendFrom(probe_batch_.column(c), i);
+        }
+        for (int c = 0; c < right_width_; ++c) {
+          out->column(left_width + c).Append((*right_row)[c]);
+        }
+        ++emitted;
+      }
+    } else if (combining) {
+      const Row left_row = probe_batch_.MaterializeRow(i);
+      for (const Row* right_row : flat_candidates_) {
+        Row combined = Row::Concat(left_row, *right_row);
+        if (!bound_residual_.Matches(combined)) continue;
+        matched = true;
+        NESTRA_DCHECK(combined.size() == schema_.num_fields());
+        for (int c = 0; c < combined.size(); ++c) {
+          out->column(c).Append(std::move(combined[c]));
+        }
+        ++emitted;
+      }
+    } else if (bound_residual_.always_true()) {
+      matched = true;
+    } else {
+      const Row left_row = probe_batch_.MaterializeRow(i);
+      for (const Row* right_row : flat_candidates_) {
+        if (bound_residual_.Matches(Row::Concat(left_row, *right_row))) {
+          matched = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Per-row epilogue, mirroring ProbeRow exactly.
+  bool emit_left_only = false;
+  switch (join_type_) {
+    case JoinType::kInner:
+      break;
+    case JoinType::kLeftSemi:
+      emit_left_only = matched;
+      break;
+    case JoinType::kLeftOuter:
+      if (!matched) {
+        for (int c = 0; c < left_width; ++c) {
+          out->column(c).AppendFrom(probe_batch_.column(c), i);
+        }
+        for (int c = 0; c < right_width_; ++c) {
+          out->column(left_width + c).AppendNull();
+        }
+        ++emitted;
+      }
+      break;
+    case JoinType::kLeftAnti:
+      emit_left_only = !matched;
+      break;
+    case JoinType::kLeftAntiNullAware:
+      if (matched) break;
+      if (build_rows_ == 0) {
+        emit_left_only = true;
+        break;
+      }
+      emit_left_only = !probe_null && !build_has_null_key_;
+      break;
+  }
+  if (emit_left_only) {
+    for (int c = 0; c < left_width; ++c) {
+      out->column(c).AppendFrom(probe_batch_.column(c), i);
+    }
+    ++emitted;
+  }
+  return emitted;
+}
+
+Status HashJoinNode::NextBatchImpl(RowBatch* out, bool* eof) {
+  if (num_threads_ > 1) {
+    // The parallel probe already materialized the whole result; emit it in
+    // batch-sized slices.
+    size_t end = pending_pos_ + static_cast<size_t>(RowBatch::kDefaultCapacity);
+    if (end > pending_.size()) end = pending_.size();
+    for (; pending_pos_ < end; ++pending_pos_) {
+      out->AppendRow(std::move(pending_[pending_pos_]));
+    }
+    *eof = out->empty();
+    return Status::OK();
+  }
+  int64_t emitted = 0;
+  while (emitted < RowBatch::kDefaultCapacity) {
+    if (probe_pos_ >= probe_batch_.num_rows()) {
+      if (left_done_) break;
+      bool left_eof = false;
+      NESTRA_RETURN_NOT_OK(left_->NextBatch(&probe_batch_, &left_eof));
+      if (left_eof) {
+        left_done_ = true;
+        break;
+      }
+      probe_pos_ = 0;
+      probe_count_ += probe_batch_.num_rows();
+      HashProbeBatch();
+    }
+    while (probe_pos_ < probe_batch_.num_rows() &&
+           emitted < RowBatch::kDefaultCapacity) {
+      emitted += ProbeBatchRow(probe_pos_, out);
+      ++probe_pos_;
+    }
+  }
+  out->set_num_rows(emitted);
+  *eof = out->empty();
+  return Status::OK();
+}
+
 void HashJoinNode::CloseImpl() {
   stats_.build_rows = build_rows_;
   stats_.probe_rows = probe_count_;
   partitions_.clear();
   pending_.clear();
+  flat_built_ = false;
+  flat_rows_.clear();
+  flat_hash_.clear();
+  flat_head_.clear();
+  flat_next_.clear();
+  flat_candidates_.clear();
   left_->Close();
   right_->Close();
 }

@@ -41,9 +41,13 @@ namespace nestra {
 /// byte-identical to the serial `num_threads == 1` streaming path.
 class HashJoinNode final : public ExecNode {
  public:
+  /// With `vectorized` the build and probe inputs are drained via
+  /// NextBatch (so batch-capable children stay columnar end-to-end) and
+  /// the streaming probe runs batch-at-a-time with one key-hash array per
+  /// probe batch. Output order and content are identical either way.
   HashJoinNode(ExecNodePtr left, ExecNodePtr right, JoinType join_type,
                std::vector<EquiPair> equi, ExprPtr residual,
-               int num_threads = 1);
+               int num_threads = 1, bool vectorized = false);
 
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override {
@@ -59,6 +63,7 @@ class HashJoinNode final : public ExecNode {
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* out, bool* eof) override;
+  Status NextBatchImpl(RowBatch* out, bool* eof) override;
   void CloseImpl() override;
 
  private:
@@ -70,8 +75,20 @@ class HashJoinNode final : public ExecNode {
   // Emits every output row produced by one probe row (matches in build
   // order, then the per-row outer/anti epilogue). Thread-safe.
   void ProbeRow(const Row& left_row, std::vector<Row>* out) const;
+  // ProbeRow against the flat table (serial vectorized build only).
+  void ProbeRowFlat(const Row& left_row, bool probe_null,
+                    std::vector<Row>* out) const;
+  // Fills flat_candidates_ with the build rows whose key equals `key`
+  // (combined hash `h`), in arrival order.
+  void GatherFlatCandidates(const std::vector<Value>& key, size_t h) const;
   // Materializes the left input and probes it with row-range morsels.
   Status ParallelProbe();
+  // Fills probe_hashes_ / probe_null_ for the current probe batch, one
+  // SqlHash key combine per row, column-at-a-time.
+  void HashProbeBatch();
+  // Probes row `i` of probe_batch_, appending outputs to `out` columns
+  // (without touching the batch row count); returns rows appended.
+  int64_t ProbeBatchRow(int64_t i, RowBatch* out);
 
   ExecNodePtr left_;
   ExecNodePtr right_;
@@ -91,6 +108,22 @@ class HashJoinNode final : public ExecNode {
   bool build_has_null_key_ = false;  // for kLeftAntiNullAware
   int64_t build_rows_ = 0;
 
+  // Flat chained hash table used by the serial vectorized build: the
+  // drained rows stay in flat_rows_ and buckets are index chains
+  // (flat_head_ per bucket, flat_next_ per row) kept in arrival order, so
+  // candidate enumeration — and therefore output order — matches the
+  // bucketed build exactly, without a node/key/bucket allocation per
+  // insert. partitions_ stays empty while this is active.
+  bool flat_built_ = false;
+  std::vector<Row> flat_rows_;
+  std::vector<size_t> flat_hash_;
+  std::vector<int32_t> flat_head_;
+  std::vector<int32_t> flat_next_;
+  size_t flat_mask_ = 0;
+  // Scratch for the current probe's key-equal candidates; the flat table
+  // only exists in serial execution, so one shared scratch is safe.
+  mutable std::vector<const Row*> flat_candidates_;
+
   // Probe state: pending_ holds the not-yet-emitted outputs — one probe
   // row's worth when streaming serially, the whole join result after a
   // parallel probe (left_done_ is then already set).
@@ -98,6 +131,14 @@ class HashJoinNode final : public ExecNode {
   size_t pending_pos_ = 0;
   bool left_done_ = false;
   int64_t probe_count_ = 0;
+
+  // Vectorized streaming-probe state.
+  bool vectorized_ = false;
+  RowBatch probe_batch_;
+  std::vector<size_t> probe_hashes_;
+  std::vector<uint8_t> probe_null_;
+  int64_t probe_pos_ = 0;
+  std::vector<Value> scratch_key_;
 };
 
 }  // namespace nestra

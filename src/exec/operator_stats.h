@@ -35,6 +35,7 @@ struct OperatorStats {
   int64_t open_calls = 0;
   int64_t next_calls = 0;
   int64_t rows_out = 0;
+  int64_t batches_out = 0;  ///< non-empty RowBatches produced via NextBatch
 
   // Timing (profiling only). Inclusive of children — the renderers subtract
   // child time to report exclusive ("self") time.

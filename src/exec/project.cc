@@ -36,4 +36,22 @@ Status ProjectNode::NextImpl(Row* out, bool* eof) {
   return Status::OK();
 }
 
+Status ProjectNode::NextBatchImpl(RowBatch* out, bool* eof) {
+  bool child_eof = false;
+  NESTRA_RETURN_NOT_OK(child_->NextBatch(&input_, &child_eof));
+  if (child_eof) {
+    *eof = true;
+    return Status::OK();
+  }
+  const int64_t n = input_.num_rows();
+  for (size_t c = 0; c < indices_.size(); ++c) {
+    const ColumnVector& in = input_.column(indices_[c]);
+    ColumnVector& dst = out->column(static_cast<int>(c));
+    for (int64_t i = 0; i < n; ++i) dst.AppendFrom(in, i);
+  }
+  out->set_num_rows(n);
+  *eof = out->empty();
+  return Status::OK();
+}
+
 }  // namespace nestra

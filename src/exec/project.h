@@ -25,6 +25,7 @@ class ProjectNode final : public ExecNode {
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* out, bool* eof) override;
+  Status NextBatchImpl(RowBatch* out, bool* eof) override;
   void CloseImpl() override { child_->Close(); }
 
  private:
@@ -33,6 +34,7 @@ class ProjectNode final : public ExecNode {
   std::vector<std::string> output_names_;
   std::vector<int> indices_;
   Schema schema_;
+  RowBatch input_;
 };
 
 }  // namespace nestra

@@ -7,6 +7,8 @@
 
 namespace nestra {
 
+class IoSim;
+
 /// \brief Full scan over a borrowed base table, qualifying column names with
 /// an alias ("orders.o_orderkey" or "o.o_orderkey").
 ///
@@ -26,7 +28,12 @@ class ScanNode final : public ExecNode {
     return Status::OK();
   }
   Status NextImpl(Row* out, bool* eof) override;
+  Status NextBatchImpl(RowBatch* out, bool* eof) override;
   void CloseImpl() override {}
+
+ private:
+  // Charges one sequential page access for row `row` to this node's stats.
+  void ChargeIo(IoSim* sim, int64_t row);
 
  private:
   const Table* table_;

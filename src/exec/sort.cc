@@ -30,14 +30,7 @@ Status SortNode::OpenImpl() {
   }
   rows_.clear();
   pos_ = 0;
-  Row row;
-  bool eof = false;
-  while (true) {
-    NESTRA_RETURN_NOT_OK(child_->Next(&row, &eof));
-    if (eof) break;
-    rows_.push_back(std::move(row));
-    row = Row();
-  }
+  NESTRA_RETURN_NOT_OK(DrainAllRows(child_.get(), vectorized_, &rows_));
   // Stable sort keeps input order within equal keys, which makes nested
   // groups deterministic for tests — and makes the parallel sort's output
   // identical to the serial one.
@@ -66,6 +59,16 @@ Status SortNode::NextImpl(Row* out, bool* eof) {
   }
   *eof = false;
   *out = std::move(rows_[pos_++]);
+  return Status::OK();
+}
+
+Status SortNode::NextBatchImpl(RowBatch* out, bool* eof) {
+  size_t end = pos_ + static_cast<size_t>(RowBatch::kDefaultCapacity);
+  if (end > rows_.size()) end = rows_.size();
+  for (; pos_ < end; ++pos_) {
+    out->AppendRow(std::move(rows_[pos_]));
+  }
+  *eof = out->empty();
   return Status::OK();
 }
 

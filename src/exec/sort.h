@@ -24,10 +24,14 @@ struct SortKey {
 /// element-for-element identical to the serial sort.
 class SortNode final : public ExecNode {
  public:
-  SortNode(ExecNodePtr child, std::vector<SortKey> keys, int num_threads = 1)
+  /// With `vectorized` the input is drained via NextBatch, so batch-capable
+  /// children run columnar; the materialized rows are identical either way.
+  SortNode(ExecNodePtr child, std::vector<SortKey> keys, int num_threads = 1,
+           bool vectorized = false)
       : child_(std::move(child)),
         keys_(std::move(keys)),
-        num_threads_(num_threads < 1 ? 1 : num_threads) {}
+        num_threads_(num_threads < 1 ? 1 : num_threads),
+        vectorized_(vectorized) {}
 
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -38,6 +42,7 @@ class SortNode final : public ExecNode {
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* out, bool* eof) override;
+  Status NextBatchImpl(RowBatch* out, bool* eof) override;
   void CloseImpl() override {
     rows_.clear();
     child_->Close();
@@ -47,6 +52,7 @@ class SortNode final : public ExecNode {
   ExecNodePtr child_;
   std::vector<SortKey> keys_;
   int num_threads_ = 1;
+  bool vectorized_ = false;
   std::vector<int> key_indices_;
   std::vector<bool> key_asc_;
   std::vector<Row> rows_;

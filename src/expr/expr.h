@@ -243,6 +243,7 @@ class IsNullExpr final : public Expr {
   }
 
   bool negated() const { return negated_; }
+  const Expr& child() const { return *child_; }
 
  private:
   ExprPtr child_;

@@ -1,8 +1,38 @@
 #include "nested/fused_nest_select.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/check.h"
 
 namespace nestra {
+
+namespace {
+// Group-boundary test between two cells of the same column, matching
+// Value::TotalOrderCompare equality (double equality is !(x<y) && !(x>y),
+// so NaNs compare "equal"; int cells compare exactly).
+bool CellsDiffer(const ColumnVector& col, int64_t a, int64_t b) {
+  const bool an = col.IsNull(a);
+  const bool bn = col.IsNull(b);
+  if (an || bn) return an != bn;
+  if (col.generic()) {
+    return Value::TotalOrderCompare(col.values()[a], col.values()[b]) != 0;
+  }
+  switch (col.type()) {
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      return col.ints()[a] != col.ints()[b];
+    case TypeId::kFloat64: {
+      const double x = col.doubles()[a];
+      const double y = col.doubles()[b];
+      return x < y || x > y;
+    }
+    case TypeId::kString:
+      return col.strings()[a] != col.strings()[b];
+  }
+  return false;
+}
+}  // namespace
 
 FusedNestSelectNode::FusedNestSelectNode(ExecNodePtr child,
                                          std::vector<FusedLevelSpec> levels)
@@ -77,6 +107,21 @@ Status FusedNestSelectNode::OpenImpl() {
   has_prev_ = false;
   input_done_ = false;
   pending_valid_ = false;
+
+  // Batched consumption: map each level's key columns to their position in
+  // the innermost key list (a superset of every level's keys, per the
+  // containment check above), so cross-batch boundary state is just the
+  // innermost key values of the last row seen.
+  prev_keys_.clear();
+  key_slot_.assign(levels_.size(), {});
+  const std::vector<int>& inner_keys = levels_.back().key_idx;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    for (const int k : levels_[i].key_idx) {
+      const auto it = std::find(inner_keys.begin(), inner_keys.end(), k);
+      NESTRA_DCHECK(it != inner_keys.end());
+      key_slot_[i].push_back(static_cast<size_t>(it - inner_keys.begin()));
+    }
+  }
   return Status::OK();
 }
 
@@ -176,6 +221,116 @@ Status FusedNestSelectNode::NextImpl(Row* out, bool* eof) {
                                         : Value::Null());
     prev_row_ = std::move(row);
   }
+}
+
+void FusedNestSelectNode::OpenLevelBatch(int i, int64_t r) {
+  LevelState& st = levels_[i];
+  st.open = true;
+  st.acc.Reset(st.linking_idx >= 0 ? input_.column(st.linking_idx).GetValue(r)
+                                   : specs_[i].pred.linking_const);
+  if (i == 0) {
+    st.rep_out.clear();
+    for (const int k : output_idx_) {
+      st.rep_out.push_back(input_.column(k).GetValue(r));
+    }
+    return;
+  }
+  const LevelState& parent = levels_[i - 1];
+  st.rep_member = input_.column(parent.member_key_idx).GetValue(r);
+  st.rep_linked = parent.linked_idx >= 0
+                      ? input_.column(parent.linked_idx).GetValue(r)
+                      : Value::Null();
+}
+
+void FusedNestSelectNode::FinalizeLevelBatch(int i, RowBatch* out) {
+  LevelState& st = levels_[i];
+  st.open = false;
+  ++groups_closed_[i];
+  const TriBool r = st.acc.Result();
+  if (i == 0) {
+    const bool pass = IsTrue(r);
+    if (!pass && specs_[0].mode != SelectionMode::kPseudo) return;
+    Row row(std::vector<Value>(st.rep_out.begin(), st.rep_out.end()));
+    if (!pass) {
+      for (const int k : st.pad_idx) row[k] = Value::Null();
+    }
+    out->AppendRow(std::move(row));
+    return;
+  }
+  LevelState& parent = levels_[i - 1];
+  if (IsTrue(r)) parent.acc.Add(st.rep_member, st.rep_linked);
+}
+
+bool FusedNestSelectNode::KeyChangedBatch(int i, int64_t r) const {
+  const LevelState& st = levels_[i];
+  if (r > 0) {
+    for (const int k : st.key_idx) {
+      if (CellsDiffer(input_.column(k), r - 1, r)) return true;
+    }
+    return false;
+  }
+  // First row of a batch: compare against the saved innermost key values
+  // of the previous batch's last row.
+  for (size_t j = 0; j < st.key_idx.size(); ++j) {
+    const Value& prev = prev_keys_[key_slot_[i][j]];
+    if (Value::TotalOrderCompare(prev,
+                                 input_.column(st.key_idx[j]).GetValue(r)) !=
+        0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FusedNestSelectNode::ProcessBatchRow(int64_t r, RowBatch* out) {
+  const int m = static_cast<int>(levels_.size());
+  if (!has_prev_) {
+    for (int i = 0; i < m; ++i) OpenLevelBatch(i, r);
+    has_prev_ = true;
+  } else {
+    int boundary = m;
+    for (int i = 0; i < m; ++i) {
+      if (KeyChangedBatch(i, r)) {
+        boundary = i;
+        break;
+      }
+    }
+    if (boundary < m) {
+      for (int i = m - 1; i >= boundary; --i) FinalizeLevelBatch(i, out);
+      for (int i = boundary; i < m; ++i) OpenLevelBatch(i, r);
+    }
+  }
+  LevelState& inner = levels_[m - 1];
+  inner.acc.Add(input_.column(inner.member_key_idx).GetValue(r),
+                inner.linked_idx >= 0
+                    ? input_.column(inner.linked_idx).GetValue(r)
+                    : Value::Null());
+}
+
+Status FusedNestSelectNode::NextBatchImpl(RowBatch* out, bool* eof) {
+  const int m = static_cast<int>(levels_.size());
+  while (out->empty()) {
+    if (input_done_) break;
+    bool child_eof = false;
+    NESTRA_RETURN_NOT_OK(child_->NextBatch(&input_, &child_eof));
+    if (child_eof) {
+      input_done_ = true;
+      if (has_prev_) {
+        for (int i = m - 1; i >= 0; --i) FinalizeLevelBatch(i, out);
+      }
+      break;
+    }
+    const int64_t n = input_.num_rows();
+    for (int64_t r = 0; r < n; ++r) ProcessBatchRow(r, out);
+    // Boundary state for the next batch's first row.
+    const LevelState& inner = levels_[m - 1];
+    prev_keys_.clear();
+    for (const int k : inner.key_idx) {
+      prev_keys_.push_back(input_.column(k).GetValue(n - 1));
+    }
+  }
+  *eof = out->empty();
+  return Status::OK();
 }
 
 std::string FusedNestSelectNode::detail() const {

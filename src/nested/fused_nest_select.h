@@ -68,6 +68,7 @@ class FusedNestSelectNode final : public ExecNode {
  protected:
   Status OpenImpl() override;
   Status NextImpl(Row* out, bool* eof) override;
+  Status NextBatchImpl(RowBatch* out, bool* eof) override;
   void CloseImpl() override { child_->Close(); }
 
  private:
@@ -80,6 +81,14 @@ class FusedNestSelectNode final : public ExecNode {
     LinkingAccumulator acc;
     Row rep;                     // representative (first) row of open group
     bool open = false;
+
+    // Batched form: instead of copying the full (wide) representative row,
+    // each open group keeps only the values FinalizeLevel actually reads —
+    // the level-0 output prefix, or the member key/linked value fed to the
+    // enclosing accumulator.
+    std::vector<Value> rep_out;  // level 0: values at output_idx_
+    Value rep_member;            // level > 0: value at parent member_key_idx
+    Value rep_linked;            // level > 0: value at parent linked_idx
   };
 
   // Closes level `i`, feeding the member upward or emitting at level 0.
@@ -88,6 +97,14 @@ class FusedNestSelectNode final : public ExecNode {
 
   // Opens a group at level `i` with `row` as representative.
   void OpenLevel(int i, const Row& row);
+
+  // Batched equivalents, reading cells of input_ / emitting into `out`.
+  void FinalizeLevelBatch(int i, RowBatch* out);
+  void OpenLevelBatch(int i, int64_t r);
+  // True when level `i`'s group key differs between row `r` of input_ and
+  // the previous stream row (row r-1, or prev_keys_ across batches).
+  bool KeyChangedBatch(int i, int64_t r) const;
+  void ProcessBatchRow(int64_t r, RowBatch* out);
 
   ExecNodePtr child_;
   std::vector<FusedLevelSpec> specs_;
@@ -101,6 +118,15 @@ class FusedNestSelectNode final : public ExecNode {
   bool pending_valid_ = false;
   Row pending_;
   std::vector<int64_t> groups_closed_;
+
+  // Batched-consumption state. The innermost level's nesting attributes
+  // contain every level's (§4.2.1 prefix property), so prev_keys_ holds
+  // just those columns' values for the last row of the previous batch;
+  // per-level key compares go through key_slot_ (position of each level
+  // key in the innermost key list).
+  RowBatch input_;
+  std::vector<Value> prev_keys_;
+  std::vector<std::vector<size_t>> key_slot_;
 };
 
 }  // namespace nestra

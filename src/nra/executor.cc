@@ -90,7 +90,9 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
     if (root.children.empty()) {
       const auto t0 = Clock::now();
       NESTRA_ASSIGN_OR_RETURN(
-          Table rel, EvalBlockBase(root, catalog_, num_threads_, prof));
+          Table rel,
+          EvalBlockBase(root, catalog_, num_threads_, prof,
+                        options_.vectorized));
       stats->join_seconds += Seconds(t0);
       stats->intermediate_rows = rel.num_rows();
       return FinishRoot(root, std::move(rel), prof);
@@ -118,8 +120,9 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
       if (all_correlated) return ExecuteFusedLinear(chain, stats, prof);
     }
     const auto t0 = Clock::now();
-    NESTRA_ASSIGN_OR_RETURN(Table rel,
-                            EvalBlockBase(root, catalog_, num_threads_, prof));
+    NESTRA_ASSIGN_OR_RETURN(
+        Table rel, EvalBlockBase(root, catalog_, num_threads_, prof,
+                                 options_.vectorized));
     stats->join_seconds += Seconds(t0);
     std::vector<const QueryBlock*> path{&root};
     NESTRA_ASSIGN_OR_RETURN(rel, ComputeNode(root, std::move(rel),
@@ -215,10 +218,12 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
   // Top-down join phase: one wide relation W over all blocks.
   auto t0 = Clock::now();
   NESTRA_ASSIGN_OR_RETURN(
-      Table rel, EvalBlockBase(*chain[0], catalog_, num_threads_, profile));
+      Table rel, EvalBlockBase(*chain[0], catalog_, num_threads_, profile,
+                              options_.vectorized));
   for (int k = 1; k < n; ++k) {
     NESTRA_ASSIGN_OR_RETURN(
-        Table base, EvalBlockBase(*chain[k], catalog_, num_threads_, profile));
+        Table base, EvalBlockBase(*chain[k], catalog_, num_threads_, profile,
+                                  options_.vectorized));
     if (options_.magic_restriction) {
       StageTimer magic_timer(profile, QueryPhase::kUnnestJoin,
                              "magic[b" + std::to_string(chain[k]->id) + "]");
@@ -229,7 +234,7 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
     NESTRA_ASSIGN_OR_RETURN(
         rel, JoinWithChild(std::move(rel), std::move(base), *chain[k],
                            JoinType::kLeftOuter, /*extra_condition=*/nullptr,
-                           num_threads_, profile));
+                           num_threads_, profile, options_.vectorized));
   }
   stats->join_seconds += Seconds(t0);
   stats->intermediate_rows = rel.num_rows();
@@ -248,7 +253,8 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
   }
   auto sort = std::make_unique<SortNode>(
       std::make_unique<TableSourceNode>(std::move(rel)),
-      SortKeysFor(levels.back().nesting_attrs), num_threads_);
+      SortKeysFor(levels.back().nesting_attrs), num_threads_,
+      options_.vectorized);
   // Pre-tag the sort subtree as the nest phase: CollectProfiled only fills
   // in still-unattributed nodes, so the fused evaluator itself lands in
   // linking-selection while its sort input counts as nesting work.
@@ -256,8 +262,9 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
   auto fused =
       std::make_unique<FusedNestSelectNode>(std::move(sort), std::move(levels));
   NESTRA_ASSIGN_OR_RETURN(
-      Table reduced, CollectProfiled(fused.get(), QueryPhase::kLinkingSelection,
-                                     "fused nest+select", profile));
+      Table reduced,
+      CollectProfiled(fused.get(), QueryPhase::kLinkingSelection,
+                      "fused nest+select", profile, options_.vectorized));
   stats->nest_select_seconds += Seconds(t0);
 
   return FinishRoot(*chain[0], std::move(reduced), profile);
@@ -270,7 +277,8 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
 
   auto t0 = Clock::now();
   NESTRA_ASSIGN_OR_RETURN(
-      Table cur, EvalBlockBase(*chain[n - 1], catalog_, num_threads_, profile));
+      Table cur, EvalBlockBase(*chain[n - 1], catalog_, num_threads_, profile,
+                              options_.vectorized));
   stats->join_seconds += Seconds(t0);
 
   for (int k = n - 2; k >= 0; --k) {
@@ -278,7 +286,9 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
     const QueryBlock& child = *chain[k + 1];
     t0 = Clock::now();
     NESTRA_ASSIGN_OR_RETURN(
-        Table outer_base, EvalBlockBase(outer, catalog_, num_threads_, profile));
+        Table outer_base,
+        EvalBlockBase(outer, catalog_, num_threads_, profile,
+                      options_.vectorized));
     stats->join_seconds += Seconds(t0);
 
     // In the bottom-up order only (outer, child) tuples exist when the
@@ -299,10 +309,10 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
     } else {
       t0 = Clock::now();
       NESTRA_ASSIGN_OR_RETURN(
-          Table joined, JoinWithChild(std::move(outer_base), std::move(cur),
-                                      child, JoinType::kLeftOuter,
-                                      /*extra_condition=*/nullptr,
-                                      num_threads_, profile));
+          Table joined,
+          JoinWithChild(std::move(outer_base), std::move(cur), child,
+                        JoinType::kLeftOuter, /*extra_condition=*/nullptr,
+                        num_threads_, profile, options_.vectorized));
       stats->join_seconds += Seconds(t0);
       stats->intermediate_rows =
           std::max(stats->intermediate_rows, joined.num_rows());
@@ -337,7 +347,8 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
 
     auto t0 = Clock::now();
     NESTRA_ASSIGN_OR_RETURN(
-        Table base, EvalBlockBase(child, catalog_, num_threads_, profile));
+        Table base, EvalBlockBase(child, catalog_, num_threads_, profile,
+                                  options_.vectorized));
     stats->join_seconds += Seconds(t0);
 
     const bool strict_safe = StrictSafe(*path);
@@ -352,7 +363,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       NESTRA_ASSIGN_OR_RETURN(
           rel, JoinWithChild(std::move(rel), std::move(base), child,
                              JoinType::kLeftSemi, std::move(extra),
-                             num_threads_, profile));
+                             num_threads_, profile, options_.vectorized));
       stats->join_seconds += Seconds(t0);
       continue;
     }
@@ -401,11 +412,10 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       NESTRA_ASSIGN_OR_RETURN(base, MagicRestrict(rel, std::move(base), child));
       magic_timer.Finish(base.num_rows());
     }
-    NESTRA_ASSIGN_OR_RETURN(rel,
-                            JoinWithChild(std::move(rel), std::move(base),
-                                          child, JoinType::kLeftOuter,
-                                          /*extra_condition=*/nullptr,
-                                          num_threads_, profile));
+    NESTRA_ASSIGN_OR_RETURN(
+        rel, JoinWithChild(std::move(rel), std::move(base), child,
+                           JoinType::kLeftOuter, /*extra_condition=*/nullptr,
+                           num_threads_, profile, options_.vectorized));
     stats->join_seconds += Seconds(t0);
     stats->intermediate_rows =
         std::max(stats->intermediate_rows, rel.num_rows());
@@ -433,15 +443,17 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       spec.pad_attrs = node.attributes;
       auto sort = std::make_unique<SortNode>(
           std::make_unique<TableSourceNode>(std::move(rel)),
-          SortKeysFor(retained), num_threads_);
+          SortKeysFor(retained), num_threads_, options_.vectorized);
       sort->SetPhaseRecursive(QueryPhase::kNest);
       std::vector<FusedLevelSpec> levels;
       levels.push_back(std::move(spec));
       auto fused = std::make_unique<FusedNestSelectNode>(std::move(sort),
                                                          std::move(levels));
       NESTRA_ASSIGN_OR_RETURN(
-          rel, CollectProfiled(fused.get(), QueryPhase::kLinkingSelection,
-                               "fused[b" + bid + "]", profile));
+          rel,
+          CollectProfiled(fused.get(), QueryPhase::kLinkingSelection,
+                          "fused[b" + bid + "]", profile,
+                          options_.vectorized));
     } else {
       StageTimer nest_timer(profile, QueryPhase::kNest, "nest[b" + bid + "]");
       NESTRA_ASSIGN_OR_RETURN(
@@ -467,7 +479,7 @@ Result<Table> NraExecutor::FinishRoot(const QueryBlock& root, Table rel,
   // tree queries with negative sibling links): a padded key marks failure.
   return FinalizeRootOutput(root, std::move(rel),
                             /*key_filter_attr=*/root.key_attr, num_threads_,
-                            profile);
+                            profile, options_.vectorized);
 }
 
 }  // namespace nestra

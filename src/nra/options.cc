@@ -19,7 +19,8 @@ std::string NraOptions::ToString() const {
   } else {
     oss << num_threads;
   }
-  oss << ", profile=" << (profile ? "true" : "false")
+  oss << ", vectorized=" << (vectorized ? "true" : "false")
+      << ", profile=" << (profile ? "true" : "false")
       << ", verify_plans=" << (verify_plans ? "true" : "false") << "}";
   return oss.str();
 }

@@ -52,6 +52,15 @@ struct NraOptions {
   /// Results are byte-identical for every setting.
   int num_threads = 0;
 
+  /// Vectorized batch execution: operators exchange columnar RowBatches
+  /// (RowBatch::kDefaultCapacity rows) instead of one Row per Next() call
+  /// on the paths with native batch implementations — base-table
+  /// scan+filter, hash-join build/probe, sort drains, and the fused
+  /// nest+linking-selection pass. Row mode (`false`) is the reference
+  /// engine; results, EXPLAIN ANALYZE stage lists, and IoSim totals are
+  /// identical for either setting.
+  bool vectorized = true;
+
   /// Collect a per-operator QueryProfile (pass one to Execute*/ExplainAnalyze
   /// to receive it). Off by default: the engine then keeps only the cheap
   /// per-operator row/call counters and never reads the clock on the

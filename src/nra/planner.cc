@@ -94,6 +94,66 @@ Result<Table> ParallelScanFilter(const Table* table, const Schema& schema,
   return out;
 }
 
+// Fused vectorized scan+filter over one base table (serial). Late
+// materialization: only the predicate's columns are transposed into the
+// batch; Select then picks the survivors and only those rows are copied
+// out of the table. Rows the filter rejects are never deep-copied, which
+// is where this beats both the row pipeline (copies every row out of the
+// scan) and the generic batch pipeline (transposes every column).
+// IoSim charging stays per row in table order, so the simulator's totals
+// and LRU state match the serial row engine exactly.
+Result<Table> VectorizedScanFilter(const Table* table, const Schema& schema,
+                                   const VectorizedPredicate& pred,
+                                   ProfiledOperator* op_out) {
+  const int64_t n = table->num_rows();
+  const std::vector<Row>& rows = table->rows();
+  const std::vector<int> cols = pred.used_columns();
+  Table out{schema};
+  // Worst case every row survives; one up-front allocation of the row
+  // headers beats log(n) grow-and-move cycles of the output vector.
+  out.Reserve(static_cast<size_t>(n));
+  RowBatch batch;
+  batch.Reset(schema);
+  std::vector<int32_t> sel;
+  int64_t hits = 0;
+  int64_t seq_misses = 0;
+  int64_t random_misses = 0;
+  int64_t batches = 0;
+  IoSim* sim = IoSim::Get();
+  for (int64_t begin = 0; begin < n; begin += RowBatch::kDefaultCapacity) {
+    int64_t end = begin + RowBatch::kDefaultCapacity;
+    if (end > n) end = n;
+    if (sim != nullptr) {
+      const IoSim::RangeCounts counts = sim->SeqRange(table, begin, end);
+      hits += counts.hits;
+      seq_misses += counts.seq_misses;
+      random_misses += counts.random_misses;
+    }
+    batch.Clear();
+    for (int64_t i = begin; i < end; ++i) {
+      const Row& r = rows[static_cast<size_t>(i)];
+      for (const int c : cols) batch.column(c).Append(r[c]);
+    }
+    batch.set_num_rows(end - begin);
+    ++batches;
+    pred.Select(batch, &sel);
+    for (const int32_t s : sel) {
+      out.AppendUnchecked(rows[static_cast<size_t>(begin + s)]);
+    }
+  }
+  if (op_out != nullptr) {
+    op_out->name = "VectorizedScanFilter";
+    op_out->phase = QueryPhase::kUnnestJoin;
+    op_out->rows_in = n;
+    op_out->stats.rows_out = out.num_rows();
+    op_out->stats.batches_out = batches;
+    op_out->stats.io_hits = hits;
+    op_out->stats.io_seq_misses = seq_misses;
+    op_out->stats.io_random_misses = random_misses;
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<Table> ParallelFilterTable(Table in, const Expr* pred,
@@ -121,7 +181,8 @@ Result<Table> ParallelFilterTable(Table in, const Expr* pred,
 }
 
 Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
-                            int num_threads, QueryProfile* profile) {
+                            int num_threads, QueryProfile* profile,
+                            bool vectorized) {
   // Split local conjuncts once; they are attached to the first join where
   // both sides are available, remaining ones become a final filter.
   std::vector<ExprPtr> conjuncts;
@@ -150,6 +211,31 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
     return out;
   }
 
+  if (block.tables.size() == 1 && vectorized) {
+    // Single-table block, serial vectorized engine: fuse scan and filter
+    // with late materialization when the predicate compiles to kernels.
+    // Non-vectorizable predicates fall through to the node pipeline below
+    // (whose FilterNode takes the row-at-a-time fallback).
+    const QueryBlock::TableRef& ref = block.tables[0];
+    NESTRA_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(ref.table));
+    const Schema schema = ref.alias.empty()
+                              ? table->schema()
+                              : table->schema().Qualify(ref.alias);
+    const ExprPtr pred =
+        conjuncts.empty() ? nullptr : MakeAnd(std::move(conjuncts));
+    VectorizedPredicate vpred;
+    if (VectorizedPredicate::Compile(pred.get(), schema, &vpred)) {
+      StageTimer timer(profile, QueryPhase::kUnnestJoin, BlockLabel(block));
+      ProfiledOperator op;
+      NESTRA_ASSIGN_OR_RETURN(
+          Table out, VectorizedScanFilter(table, schema, vpred,
+                                          timer.active() ? &op : nullptr));
+      timer.Finish(out.num_rows(), std::move(op));
+      return out;
+    }
+    if (pred != nullptr) conjuncts = SplitConjunction(pred->Clone());
+  }
+
   ExecNodePtr node;
   for (const QueryBlock::TableRef& ref : block.tables) {
     NESTRA_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(ref.table));
@@ -174,7 +260,8 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
           std::move(usable), node->output_schema(), scan->output_schema());
       node = std::make_unique<HashJoinNode>(
           std::move(node), std::move(scan), JoinType::kInner,
-          std::move(cond.equi), std::move(cond.residual), num_threads);
+          std::move(cond.equi), std::move(cond.residual), num_threads,
+          vectorized);
     }
   }
   if (!conjuncts.empty() && num_threads > 1) {
@@ -186,7 +273,8 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
       node->SetPhaseRecursive(QueryPhase::kUnnestJoin);
       node->EnableTimingRecursive();
     }
-    NESTRA_ASSIGN_OR_RETURN(Table scanned, CollectTable(node.get()));
+    NESTRA_ASSIGN_OR_RETURN(Table scanned,
+                            CollectTable(node.get(), vectorized));
     ProfiledOperator tree;
     if (timer.active()) tree = ProfiledOperator::Snapshot(*node);
     const ExprPtr pred = MakeAnd(std::move(conjuncts));
@@ -209,7 +297,7 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
                                         MakeAnd(std::move(conjuncts)));
   }
   return CollectProfiled(node.get(), QueryPhase::kUnnestJoin,
-                         BlockLabel(block), profile);
+                         BlockLabel(block), profile, vectorized);
 }
 
 ExprPtr CloneCorrelatedPreds(const QueryBlock& child) {
@@ -225,7 +313,7 @@ ExprPtr CloneCorrelatedPreds(const QueryBlock& child) {
 Result<Table> JoinWithChild(Table rel, Table child_base,
                             const QueryBlock& child, JoinType join_type,
                             ExprPtr extra_condition, int num_threads,
-                            QueryProfile* profile) {
+                            QueryProfile* profile, bool vectorized) {
   const std::string label = "join[b" + std::to_string(child.id) + "]";
   auto left = std::make_unique<TableSourceNode>(std::move(rel));
   auto right = std::make_unique<TableSourceNode>(std::move(child_base));
@@ -265,8 +353,9 @@ Result<Table> JoinWithChild(Table rel, Table child_base,
   }
   auto join = std::make_unique<HashJoinNode>(
       std::move(left), std::move(right), join_type, std::move(cond.equi),
-      std::move(cond.residual), num_threads);
-  return CollectProfiled(join.get(), QueryPhase::kUnnestJoin, label, profile);
+      std::move(cond.residual), num_threads, vectorized);
+  return CollectProfiled(join.get(), QueryPhase::kUnnestJoin, label, profile,
+                         vectorized);
 }
 
 Result<std::vector<const QueryBlock*>> LinearChain(const QueryBlock& root) {
@@ -309,7 +398,8 @@ AggFunc ToAggFunc(LinkAgg agg) {
 
 Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
                                  const std::string& key_filter_attr,
-                                 int num_threads, QueryProfile* profile) {
+                                 int num_threads, QueryProfile* profile,
+                                 bool vectorized) {
   // One "finish" stage regardless of thread count: the parallel key-filter
   // pre-pass (when taken) is folded into the stage's wall time, and the
   // stage's rows_out is the final output either way.
@@ -344,7 +434,7 @@ Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
       keys.push_back({item.column, item.ascending});
     }
     node = std::make_unique<SortNode>(std::move(node), std::move(keys),
-                                      num_threads);
+                                      num_threads, vectorized);
   }
   node = std::make_unique<ProjectNode>(std::move(node), root.select_list);
   if (root.distinct) {
@@ -359,7 +449,7 @@ Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
     node->SetPhaseRecursive(QueryPhase::kPostProcessing);
     node->EnableTimingRecursive();
   }
-  NESTRA_ASSIGN_OR_RETURN(Table out, CollectTable(node.get()));
+  NESTRA_ASSIGN_OR_RETURN(Table out, CollectTable(node.get(), vectorized));
   if (timer.active()) {
     timer.Finish(out.num_rows(), ProfiledOperator::Snapshot(*node));
   }

@@ -27,10 +27,13 @@ class QueryProfile;
 /// qualified column names. `num_threads > 1` runs the hash joins in
 /// parallel, and single-table blocks as one fused morsel-parallel
 /// scan+filter (IoSim is thread-safe, and per-morsel slots concatenated in
-/// morsel order keep results identical to the serial pass).
+/// morsel order keep results identical to the serial pass). `vectorized`
+/// drains the serial operator trees in columnar RowBatches (identical rows,
+/// identical IoSim charges).
 Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
                             int num_threads = 1,
-                            QueryProfile* profile = nullptr);
+                            QueryProfile* profile = nullptr,
+                            bool vectorized = false);
 
 /// Filters `in` down to the rows matching `pred` using row-range morsels
 /// (serial when `num_threads <= 1`); row order is preserved, so the result
@@ -50,7 +53,8 @@ Result<Table> JoinWithChild(Table rel, Table child_base,
                             const QueryBlock& child, JoinType join_type,
                             ExprPtr extra_condition = nullptr,
                             int num_threads = 1,
-                            QueryProfile* profile = nullptr);
+                            QueryProfile* profile = nullptr,
+                            bool vectorized = false);
 
 /// Clones and conjoins the child's correlated predicates (nullptr when it
 /// has none).
@@ -67,7 +71,8 @@ Result<std::vector<const QueryBlock*>> LinearChain(const QueryBlock& root);
 Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
                                  const std::string& key_filter_attr = "",
                                  int num_threads = 1,
-                                 QueryProfile* profile = nullptr);
+                                 QueryProfile* profile = nullptr,
+                                 bool vectorized = false);
 
 /// True when every correlated predicate of `child` is a plain equality
 /// `outer_col = child_col` (the §4.2.4 push-down precondition); fills

@@ -37,6 +37,7 @@ void RenderOperator(const ProfiledOperator& op, int depth,
   *oss << "  phase=" << QueryPhaseLabel(op.phase)
        << " rows_in=" << op.rows_in << " rows_out=" << op.stats.rows_out
        << " next_calls=" << op.stats.next_calls;
+  if (op.stats.batches_out > 0) *oss << " batches=" << op.stats.batches_out;
   if (op.stats.total_seconds() > 0) {
     *oss << " time=" << FormatSeconds(op.stats.total_seconds())
          << " self=" << FormatSeconds(op.exclusive_seconds());
@@ -95,6 +96,9 @@ void OperatorToJson(const ProfiledOperator& op, std::ostringstream* oss) {
        << ",\"next_calls\":" << op.stats.next_calls
        << ",\"seconds\":" << op.stats.total_seconds()
        << ",\"self_seconds\":" << op.exclusive_seconds();
+  if (op.stats.batches_out > 0) {
+    *oss << ",\"batches_out\":" << op.stats.batches_out;
+  }
   if (op.stats.build_rows > 0) {
     *oss << ",\"build_rows\":" << op.stats.build_rows;
   }
@@ -302,14 +306,14 @@ void StageTimer::Finish(int64_t rows_out, ProfiledOperator tree) {
 }
 
 Result<Table> CollectProfiled(ExecNode* node, QueryPhase phase,
-                              const std::string& label,
-                              QueryProfile* profile) {
-  if (profile == nullptr) return CollectTable(node);
+                              const std::string& label, QueryProfile* profile,
+                              bool vectorized) {
+  if (profile == nullptr) return CollectTable(node, vectorized);
   node->SetPhaseRecursive(phase);
   node->EnableTimingRecursive();
   const PoolStatsSnapshot pool_before = GlobalPoolStats();
   const Clock::time_point start = Clock::now();
-  Result<Table> result = CollectTable(node);
+  Result<Table> result = CollectTable(node, vectorized);
   if (!result.ok()) return result;
   ProfiledStage stage;
   stage.label = label;

@@ -92,10 +92,11 @@ class QueryProfile {
 /// Drains `node` into a table. When `profile` is non-null the node tree is
 /// phase-tagged (pre-tagged subtrees keep their phase), timers are enabled,
 /// and a stage snapshot is appended; when null this is exactly
-/// CollectTable.
+/// CollectTable. `vectorized` drains via NextBatch — same rows, and
+/// `batches_out` shows up in the snapshot for batch-native operators.
 Result<Table> CollectProfiled(ExecNode* node, QueryPhase phase,
-                              const std::string& label,
-                              QueryProfile* profile);
+                              const std::string& label, QueryProfile* profile,
+                              bool vectorized = false);
 
 /// \brief Scoped helper for stages that are not a single CollectTable —
 /// table functions (Nest, LinkingSelect, HashLinkSelect) and composite

@@ -63,6 +63,10 @@ Result<Table> HashLinkSelect(Table outer, const Table& inner,
   std::unordered_map<std::vector<Value>, std::vector<Member>, SqlValueKeyHash,
                      SqlValueKeyEq>
       groups;
+  // Sized for the worst case (every inner row its own group) up front: one
+  // allocation instead of log(n) rehashes of Value-vector keys.
+  groups.max_load_factor(0.7F);
+  groups.reserve(inner.rows().size());
   for (const Row& r : inner.rows()) {
     std::vector<Value> key;
     key.reserve(ikeys.size());
@@ -93,12 +97,13 @@ Result<Table> HashLinkSelect(Table outer, const Table& inner,
                                          int64_t end) {
     std::vector<Row>& slot = slots[static_cast<size_t>(morsel)];
     LinkingAccumulator acc(pred);
+    std::vector<Value> key;  // reused across rows; find() never keeps it
+    key.reserve(okeys.size());
     for (int64_t i = begin; i < end; ++i) {
       Row& r = outer.rows()[static_cast<size_t>(i)];
       const std::vector<Member>* members = &kEmpty;
       bool probe_null = false;
-      std::vector<Value> key;
-      key.reserve(okeys.size());
+      key.clear();
       for (int idx : okeys) {
         if (r[idx].is_null()) probe_null = true;
         key.push_back(r[idx]);

@@ -174,6 +174,13 @@ Result<Table> ReadCsv(const std::string& text, const Schema& schema) {
   }
 
   Table out{schema};
+  // Size the row vector up front from the newline count — exact for files
+  // without quoted embedded newlines, a harmless overestimate otherwise.
+  size_t newlines = 0;
+  for (size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == '\n') ++newlines;
+  }
+  out.Reserve(newlines + 1);
   int64_t line = 1;
   while (pos < text.size()) {
     ++line;

@@ -109,6 +109,61 @@ IoAccess IoSim::SeqRow(const Table* table, int64_t row) {
   return Row(table, row, /*sequential=*/true);
 }
 
+IoSim::RangeCounts IoSim::SeqRange(const Table* table, int64_t begin_row,
+                                   int64_t end_row) {
+  RangeCounts counts;
+  if (begin_row >= end_row) return counts;
+  const int64_t rpp = config_.rows_per_page;
+  int64_t row = begin_row;
+
+  // Leading rows on the thread's cached page are lock-free hits, exactly
+  // as SeqRow's fast path counts them one by one.
+  SimTlsCache& cache = tls_cache;
+  if (cache.table == table &&
+      cache.generation == generation_.load(std::memory_order_relaxed) &&
+      cache.page == cache.base + begin_row / rpp) {
+    const int64_t page_end = (begin_row / rpp + 1) * rpp;
+    const int64_t n = std::min(end_row, page_end) - begin_row;
+    hits_.fetch_add(n, std::memory_order_relaxed);
+    counts.hits += n;
+    row += n;
+  }
+  if (row >= end_row) return counts;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t base = RegionBase(table);
+  if (base < 0) return counts;  // unregistered: every row would be kNone
+  int64_t page = 0;
+  while (row < end_row) {
+    page = base + row / rpp;
+    const int64_t page_end = (row / rpp + 1) * rpp;
+    const int64_t n = std::min(end_row, page_end) - row;
+    // First row of the page goes through the pool; the remaining n-1 rows
+    // are guaranteed hits on the page just touched (SeqRow's per-thread
+    // cache path) and never move the LRU.
+    switch (Access(page, /*sequential=*/true)) {
+      case IoAccess::kHit:
+        ++counts.hits;
+        break;
+      case IoAccess::kSeqMiss:
+        ++counts.seq_misses;
+        break;
+      case IoAccess::kRandomMiss:
+        ++counts.random_misses;
+        break;
+      case IoAccess::kNone:
+        break;
+    }
+    if (n > 1) {
+      hits_.fetch_add(n - 1, std::memory_order_relaxed);
+      counts.hits += n - 1;
+    }
+    row += n;
+  }
+  cache = {generation_.load(std::memory_order_relaxed), table, base, page};
+  return counts;
+}
+
 IoAccess IoSim::RandomRow(const Table* table, int64_t row) {
   return Row(table, row, /*sequential=*/false);
 }

@@ -69,6 +69,22 @@ class IoSim {
   /// Sequential access to row `row` of a registered table (scans).
   IoAccess SeqRow(const Table* table, int64_t row);
 
+  /// Outcome totals of one SeqRange call; see below.
+  struct RangeCounts {
+    int64_t hits = 0;
+    int64_t seq_misses = 0;
+    int64_t random_misses = 0;
+  };
+
+  /// Bulk equivalent of calling SeqRow for every row in [begin_row,
+  /// end_row): pages are charged once with the per-page row count added in
+  /// bulk, so the returned totals, the global counters, the LRU state and
+  /// the per-thread cache all end up exactly as the per-row loop would
+  /// leave them — at a fraction of the per-call cost. Batched scans use
+  /// this; row-at-a-time scans keep paying per row.
+  RangeCounts SeqRange(const Table* table, int64_t begin_row,
+                       int64_t end_row);
+
   /// Random access to row `row` of a registered table (rowid fetch).
   IoAccess RandomRow(const Table* table, int64_t row);
 

@@ -1,0 +1,193 @@
+// Equivalence of the vectorized batch engine and the row engine: for every
+// query, every option set, and every parallelism degree, running with
+// `NraOptions::vectorized` must produce results ROW-EXACTLY equal to the
+// row-at-a-time run — same row order, same value representations (int64 vs
+// float64), not merely bag-equal — and an identical EXPLAIN ANALYZE stage
+// list. This is the engine's contract (DESIGN.md): batches are a transport
+// between the same logical stages, so the choice of protocol can never
+// leak into results or into the profile's (label, phase, rows_out) shape.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/date.h"
+#include "nra/executor.h"
+#include "nra/profile.h"
+#include "query_generator.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_gen.h"
+#include "test_util.h"
+
+namespace nestra {
+namespace {
+
+using testing_util::QueryGenerator;
+
+constexpr int kThreadDegrees[] = {1, 2, 8};
+
+// Row-exact equality: deep Value::operator== per cell, so a result that
+// drifted to a different-but-numerically-equal representation (or a
+// different row order) fails.
+void ExpectRowExact(const Table& row_result, const Table& vec_result,
+                    const std::string& context) {
+  ASSERT_EQ(row_result.num_rows(), vec_result.num_rows()) << context;
+  for (int64_t i = 0; i < row_result.num_rows(); ++i) {
+    ASSERT_TRUE(row_result.rows()[static_cast<size_t>(i)] ==
+                vec_result.rows()[static_cast<size_t>(i)])
+        << context << "\nfirst divergence at row " << i << "\nrow engine:\n"
+        << row_result.ToString() << "vectorized:\n"
+        << vec_result.ToString();
+  }
+}
+
+// The engines may use different operator trees inside a stage (the
+// vectorized engine fuses scan+filter, the parallel engine runs morsels),
+// but the stage list itself — label, paper phase, and row count per stage —
+// is part of the deterministic query shape and must match exactly.
+void ExpectSameStages(const QueryProfile& row_profile,
+                      const QueryProfile& vec_profile,
+                      const std::string& context) {
+  ASSERT_EQ(row_profile.stages().size(), vec_profile.stages().size())
+      << context;
+  for (size_t i = 0; i < row_profile.stages().size(); ++i) {
+    const ProfiledStage& r = row_profile.stages()[i];
+    const ProfiledStage& v = vec_profile.stages()[i];
+    EXPECT_EQ(r.label, v.label) << context << " (stage " << i << ")";
+    EXPECT_EQ(r.phase, v.phase) << context << " (stage " << i << ")";
+    EXPECT_EQ(r.rows_out, v.rows_out) << context << " (stage " << i << ")";
+  }
+}
+
+std::vector<std::pair<std::string, NraOptions>> OptionVariants() {
+  std::vector<std::pair<std::string, NraOptions>> configs;
+  configs.emplace_back("optimized", NraOptions::Optimized());
+  configs.emplace_back("original", NraOptions::Original());
+  {
+    NraOptions o = NraOptions::Optimized();
+    o.push_down_nest = true;
+    o.rewrite_positive = true;
+    o.bottom_up_linear = true;
+    configs.emplace_back("all-rewrites", o);
+  }
+  {
+    NraOptions o = NraOptions::Optimized();
+    o.magic_restriction = true;
+    configs.emplace_back("magic", o);
+  }
+  return configs;
+}
+
+void CheckVectorizedMatchesRow(const Catalog& catalog,
+                               const std::string& sql) {
+  for (const auto& [name, base] : OptionVariants()) {
+    for (const int threads : kThreadDegrees) {
+      const std::string context =
+          name + "/threads=" + std::to_string(threads) + "\n" + sql;
+
+      NraOptions row_opts = base;
+      row_opts.num_threads = threads;
+      row_opts.vectorized = false;
+      row_opts.profile = true;
+      NraExecutor row_exec(catalog, row_opts);
+      QueryProfile row_profile;
+      Result<Table> row_result =
+          row_exec.ExecuteSql(sql, nullptr, &row_profile);
+      ASSERT_TRUE(row_result.ok())
+          << context << ": " << row_result.status().ToString();
+
+      NraOptions vec_opts = base;
+      vec_opts.num_threads = threads;
+      vec_opts.vectorized = true;
+      vec_opts.profile = true;
+      NraExecutor vec_exec(catalog, vec_opts);
+      QueryProfile vec_profile;
+      Result<Table> vec_result =
+          vec_exec.ExecuteSql(sql, nullptr, &vec_profile);
+      ASSERT_TRUE(vec_result.ok())
+          << context << ": " << vec_result.status().ToString();
+
+      ExpectRowExact(*row_result, *vec_result, context);
+      ExpectSameStages(row_profile, vec_profile, context);
+    }
+  }
+}
+
+// ---------- The paper's experiment queries on TPC-H data ----------
+
+class VectorizedTpchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchConfig config;
+    config.scale = 0.04;  // 600 orders / 80 parts: seconds, not minutes
+    config.declare_not_null = true;
+    ASSERT_OK(PopulateTpch(&catalog_, config));
+  }
+
+  std::string Query1Sql() {
+    const Table* orders = *catalog_.GetTable("orders");
+    const Value lo = *ColumnQuantile(*orders, "o_orderdate", 0.2);
+    const Value hi = *ColumnQuantile(*orders, "o_orderdate", 0.8);
+    return MakeQuery1(FormatDate(lo.int64()), FormatDate(hi.int64()));
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(VectorizedTpchTest, Query1) {
+  CheckVectorizedMatchesRow(catalog_, Query1Sql());
+}
+
+TEST_F(VectorizedTpchTest, Query2aMixed) {
+  CheckVectorizedMatchesRow(
+      catalog_,
+      MakeQuery2(10, 40, 5000, 25, OuterLink::kAny, InnerLink::kNotExists));
+}
+
+TEST_F(VectorizedTpchTest, Query2bNegative) {
+  CheckVectorizedMatchesRow(
+      catalog_,
+      MakeQuery2(10, 40, 5000, 25, OuterLink::kAll, InnerLink::kNotExists));
+}
+
+TEST_F(VectorizedTpchTest, Query3aMixed) {
+  CheckVectorizedMatchesRow(
+      catalog_, MakeQuery3(10, 40, 5000, 25, OuterLink::kAll,
+                           InnerLink::kExists, Query3Variant::kVariantA));
+}
+
+TEST_F(VectorizedTpchTest, Query3bNegative) {
+  CheckVectorizedMatchesRow(
+      catalog_, MakeQuery3(10, 40, 5000, 25, OuterLink::kAll,
+                           InnerLink::kNotExists, Query3Variant::kVariantB));
+}
+
+TEST_F(VectorizedTpchTest, Query3cPositive) {
+  CheckVectorizedMatchesRow(
+      catalog_, MakeQuery3(10, 40, 5000, 25, OuterLink::kAny,
+                           InnerLink::kExists, Query3Variant::kVariantC));
+}
+
+// ---------- Fuzzed query corpus ----------
+
+class VectorizedFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VectorizedFuzzTest, VectorizedIsBitIdenticalToRowEngine) {
+  QueryGenerator gen(GetParam());
+  Catalog catalog;
+  gen.PopulateTables(&catalog);
+
+  for (int i = 0; i < 8; ++i) {
+    const std::string sql = gen.RandomQuery();
+    SCOPED_TRACE(sql);
+    CheckVectorizedMatchesRow(catalog, sql);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorizedFuzzTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace nestra
