@@ -9,7 +9,9 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,11 +24,36 @@
 #include "plan/binder.h"
 #include "storage/catalog.h"
 #include "storage/io_sim.h"
+#include "telemetry/metrics.h"
 #include "tpch/queries.h"
 #include "tpch/tpch_gen.h"
 
+// Build provenance comes in as compile definitions from bench/CMakeLists.txt;
+// defaults keep the header compilable from other targets.
+#ifndef NESTRA_GIT_SHA
+#define NESTRA_GIT_SHA "unknown"
+#endif
+#ifndef NESTRA_BUILD_TYPE
+#define NESTRA_BUILD_TYPE "unknown"
+#endif
+#ifndef NESTRA_COMPILER
+#define NESTRA_COMPILER "unknown"
+#endif
+
 namespace nestra {
 namespace bench {
+
+/// The "meta" object stamped into every bench JSON artifact: which build
+/// produced the numbers and on how many hardware threads. Schema documented
+/// in bench/README.md.
+inline std::string BuildMetaJson() {
+  std::ostringstream oss;
+  oss << "{\"git_sha\": \"" << NESTRA_GIT_SHA << "\", \"build_type\": \""
+      << NESTRA_BUILD_TYPE << "\", \"compiler\": \"" << NESTRA_COMPILER
+      << "\", \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << "}";
+  return oss.str();
+}
 
 // ---------- BENCH_2.json trajectory recorder ----------
 
@@ -66,6 +93,7 @@ class BenchJsonRecorder {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) return;
     std::fprintf(f, "{\n  \"schema\": \"nestra-bench-trajectory-v1\",\n");
+    std::fprintf(f, "  \"meta\": %s,\n", BuildMetaJson().c_str());
     std::fprintf(f, "  \"entries\": [");
     for (size_t i = 0; i < self.entries_.size(); ++i) {
       const Entry& e = self.entries_[i];
@@ -76,7 +104,11 @@ class BenchJsonRecorder {
       }
       std::fprintf(f, "}");
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    // The process metrics registry rides along: with metrics enabled for
+    // the bench run (SharedCatalog turns them on) this shows cumulative
+    // engine counters across every benchmark in the binary.
+    std::fprintf(f, "\n  ],\n  \"metrics\": %s\n}\n",
+                 telemetry::DumpMetricsJson().c_str());
     std::fclose(f);
   }
 
@@ -121,6 +153,7 @@ class CompareJsonRecorder {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) return;
     std::fprintf(f, "{\n  \"schema\": \"nestra-bench-compare-v1\",\n");
+    std::fprintf(f, "  \"meta\": %s,\n", BuildMetaJson().c_str());
     std::fprintf(f, "  \"entries\": [");
     for (size_t i = 0; i < self.entries_.size(); ++i) {
       const Entry& e = self.entries_[i];
@@ -183,6 +216,7 @@ class ProfileJsonRecorder {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) return;
     std::fprintf(f, "{\n  \"schema\": \"nestra-profile-trajectory-v1\",\n");
+    std::fprintf(f, "  \"meta\": %s,\n", BuildMetaJson().c_str());
     std::fprintf(f, "  \"entries\": [");
     for (size_t i = 0; i < self.entries_.size(); ++i) {
       const Entry& e = self.entries_[i];
@@ -224,6 +258,11 @@ inline const Catalog& SharedCatalog(bool declare_not_null = false,
   for (const Entry& e : *cache) {
     if (e.key == key) return *e.catalog;
   }
+  // Benches always run with live metrics: the registry lands in the
+  // BENCH_*.json "metrics" block, and the counter upkeep (one relaxed
+  // fetch_add per stage/query, nothing per-row) is noise at bench scale.
+  telemetry::SetMetricsEnabled(true);
+
   TpchConfig config;
   config.num_orders = 15000;
   config.num_parts = 6000;      // p_size in 1..50: width w selects 120*w rows

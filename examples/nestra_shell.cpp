@@ -19,6 +19,9 @@
 //   \mode original|optimized   switch the NRA executor configuration
 //   \oracle on|off             cross-check results against nested iteration
 //   \explain <sql>             show the plan without running
+//   \metrics [json]            dump the process metrics registry
+//                              (Prometheus text by default)
+//   \slow <ms>                 log queries slower than <ms> (0 disables)
 //   \quit                      exit
 // Anything else is SQL, terminated by ';'. A statement may start with
 // `EXPLAIN <select...>` (plan only) or `EXPLAIN ANALYZE <select...>`
@@ -36,6 +39,7 @@
 #include "storage/catalog.h"
 #include "storage/catalog_io.h"
 #include "storage/csv_io.h"
+#include "telemetry/metrics.h"
 #include "tpch/tpch_gen.h"
 
 using namespace nestra;
@@ -196,6 +200,22 @@ class Shell {
                 << "\n";
       return true;
     }
+    if (cmd == "\\metrics") {
+      std::cout << (words.size() > 1 && words[1] == "json"
+                        ? telemetry::DumpMetricsJson()
+                        : telemetry::DumpMetricsPrometheus());
+      return true;
+    }
+    if (cmd == "\\slow" && words.size() >= 2) {
+      options_.slow_query_ms = std::atof(words[1].c_str());
+      if (options_.slow_query_ms > 0) {
+        std::cout << "logging queries slower than " << options_.slow_query_ms
+                  << " ms\n";
+      } else {
+        std::cout << "slow-query log off\n";
+      }
+      return true;
+    }
     if (cmd == "\\explain") {
       const size_t sql_at = line.find(' ');
       if (sql_at == std::string::npos) {
@@ -250,6 +270,9 @@ class Shell {
 }  // namespace
 
 int main() {
+  // The shell is interactive, so counter upkeep is never the bottleneck;
+  // keeping the registry live makes \metrics useful out of the box.
+  telemetry::SetMetricsEnabled(true);
   Shell shell;
   return shell.Run();
 }

@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "telemetry/trace.h"
+
 namespace nestra {
 
 namespace {
@@ -71,6 +73,9 @@ ThreadPool* ThreadPool::Shared() {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Names the worker's track in trace output ("pool-worker" vs the default
+  // registration-ordered "thread-<n>"), so pool-task spans are attributable.
+  telemetry::SetCurrentThreadName("pool-worker");
   while (true) {
     std::function<void()> task;
     {
@@ -128,13 +133,18 @@ void ParallelForEach(int64_t units, int num_threads,
   g_parallel_loops.fetch_add(1, std::memory_order_relaxed);
   g_tasks_submitted.fetch_add(helpers, std::memory_order_relaxed);
 
+  telemetry::TraceSpan loop_span("pool", "parallel-for");
+  loop_span.set_rows(units);
+
   auto state = std::make_shared<FanOutState>();
   state->body = body;
   state->units = units;
   state->pending_helpers = helpers;
   for (int i = 0; i < helpers; ++i) {
     pool->Submit([state] {
+      telemetry::TraceSpan task_span("pool", "pool-task");
       state->RunLoop();
+      task_span.End();
       state->HelperExit();
     });
   }

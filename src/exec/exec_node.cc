@@ -29,7 +29,12 @@ const char* QueryPhaseLabel(QueryPhase phase) {
 }
 
 Status ExecNode::Open() {
-  ++stats_.open_calls;
+  // A node re-used across Open() calls must not leak the previous run's
+  // counters (or its timings) into this run's profile snapshot; open_calls
+  // is the one cumulative field, so re-use stays visible.
+  const int64_t open_calls = stats_.open_calls;
+  stats_ = OperatorStats{};
+  stats_.open_calls = open_calls + 1;
   adapter_saw_eof_ = false;
   if (!timing_) return OpenImpl();
   const Clock::time_point start = Clock::now();
@@ -90,6 +95,7 @@ Status ExecNode::NextBatchImpl(RowBatch* out, bool* eof) {
     out->AppendRow(std::move(row));
     row = Row();
   }
+  if (!out->empty()) ++stats_.adapter_batches;
   *eof = out->empty();
   return Status::OK();
 }

@@ -36,6 +36,8 @@ struct OperatorStats {
   int64_t next_calls = 0;
   int64_t rows_out = 0;
   int64_t batches_out = 0;  ///< non-empty RowBatches produced via NextBatch
+  int64_t adapter_batches = 0;  ///< batches_out filled by the row adapter
+                                ///< (operator has no native NextBatchImpl)
 
   // Timing (profiling only). Inclusive of children — the renderers subtract
   // child time to report exclusive ("self") time.

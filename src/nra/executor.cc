@@ -17,6 +17,9 @@
 #include "nra/rewrites.h"
 #include "plan/binder.h"
 #include "storage/io_sim.h"
+#include "telemetry/engine_metrics.h"
+#include "telemetry/slow_query.h"
+#include "telemetry/trace.h"
 #include "verify/verifier.h"
 
 namespace nestra {
@@ -27,6 +30,30 @@ using Clock = std::chrono::steady_clock;
 
 double Seconds(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Parse/bind failures never reach Execute's error accounting, so the SQL
+// entry points bump the error counter themselves on those paths.
+void CountQueryError() {
+  if (telemetry::MetricsEnabled()) {
+    telemetry::Metrics().query_errors_total->Add(1);
+  }
+}
+
+void MaybeLogSlowQuery(const std::string& sql, double threshold_ms,
+                       double total_ms, const NraStats& stats, bool ok,
+                       int num_threads, bool vectorized) {
+  if (total_ms <= threshold_ms) return;
+  telemetry::SlowQueryRecord rec;
+  rec.sql = sql;
+  rec.total_ms = total_ms;
+  rec.join_ms = stats.join_seconds * 1e3;
+  rec.nest_select_ms = stats.nest_select_seconds * 1e3;
+  rec.output_rows = stats.output_rows;
+  rec.num_threads = num_threads;
+  rec.vectorized = vectorized;
+  rec.ok = ok;
+  telemetry::LogSlowQuery(rec);
 }
 
 // N2 of the nest for a child link: (linked attribute, key attribute),
@@ -58,34 +85,60 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
   if (stats == nullptr) stats = &local;
   *stats = NraStats();
 
+  // Per-executor trace opt-in: equivalent to NESTRA_TRACE_JSON, installed
+  // lazily (idempotent when the sink is already at this path).
+  if (!options_.trace_path.empty()) {
+    telemetry::InstallTraceSink(options_.trace_path);
+  }
+
   // Profiling is opt-in twice over: the caller must pass a sink AND set
   // options.profile. Otherwise `prof` stays null and every stage helper
-  // degenerates to the unprofiled code path.
+  // degenerates to the unprofiled code path. The process-wide metrics
+  // registry is an independent consumer of the same baselines.
   QueryProfile* prof =
       (options_.profile && profile != nullptr) ? profile : nullptr;
-  IoSim* sim = prof != nullptr ? IoSim::Get() : nullptr;
+  const bool metrics = telemetry::MetricsEnabled();
+  IoSim* sim = (prof != nullptr || metrics) ? IoSim::Get() : nullptr;
   int64_t io_hits0 = 0, io_seq0 = 0, io_rand0 = 0;
   double sim_ms0 = 0;
+  PoolStatsSnapshot pool0;
   Clock::time_point query_start;
-  if (prof != nullptr) {
-    prof->Clear();
+  if (prof != nullptr || metrics) {
     if (sim != nullptr) {
       io_hits0 = sim->hits();
       io_seq0 = sim->seq_misses();
       io_rand0 = sim->random_misses();
       sim_ms0 = sim->SimMillis();
     }
-    prof->pool = GlobalPoolStats();  // baseline; delta taken at the end
+    pool0 = GlobalPoolStats();  // baseline; delta taken at the end
     query_start = Clock::now();
+  }
+  if (prof != nullptr) {
+    prof->Clear();
+    prof->pool = pool0;
   }
 
   // Static invariant check before any table is touched: a plan that would
   // violate the paper's nest / selection-mode / key-survival rules must not
   // run (it could silently return wrong answers, not just fail).
   if (options_.verify_plans) {
-    NESTRA_RETURN_NOT_OK(VerifyPlan(root, catalog_, options_));
+    Status verified;
+    {
+      telemetry::TraceSpan verify_span("query", "verify");
+      verified = VerifyPlan(root, catalog_, options_);
+    }
+    if (metrics) {
+      const telemetry::EngineMetrics& m = telemetry::Metrics();
+      m.plans_verified_total->Add(1);
+      if (!verified.ok()) {
+        m.verify_failures_total->Add(1);
+        m.query_errors_total->Add(1);
+      }
+    }
+    NESTRA_RETURN_NOT_OK(verified);
   }
 
+  telemetry::TraceSpan exec_span("query", "execute");
   Result<Table> result = [&]() -> Result<Table> {
     if (root.children.empty()) {
       const auto t0 = Clock::now();
@@ -131,7 +184,11 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
     return FinishRoot(root, std::move(rel), prof);
   }();
 
-  if (result.ok()) stats->output_rows = result->num_rows();
+  if (result.ok()) {
+    stats->output_rows = result->num_rows();
+    exec_span.set_rows(result->num_rows());
+  }
+  exec_span.End();
   if (prof != nullptr && result.ok()) {
     prof->output_rows = result->num_rows();
     prof->total_seconds = Seconds(query_start);
@@ -141,21 +198,93 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
       prof->io_random_misses = sim->random_misses() - io_rand0;
       prof->sim_io_millis = sim->SimMillis() - sim_ms0;
     }
-    prof->pool = GlobalPoolStats() - prof->pool;
+    prof->pool = GlobalPoolStats() - pool0;
+  }
+  if (metrics) {
+    const telemetry::EngineMetrics& m = telemetry::Metrics();
+    if (result.ok()) {
+      m.queries_total->Add(1);
+      m.rows_out_total->Add(static_cast<double>(result->num_rows()));
+      m.intermediate_rows_total->Add(
+          static_cast<double>(stats->intermediate_rows));
+      m.query_ms->Observe(Seconds(query_start) * 1e3);
+      if (sim != nullptr) {
+        m.io_hits_total->Add(static_cast<double>(sim->hits() - io_hits0));
+        m.io_seq_misses_total->Add(
+            static_cast<double>(sim->seq_misses() - io_seq0));
+        m.io_random_misses_total->Add(
+            static_cast<double>(sim->random_misses() - io_rand0));
+        m.io_sim_millis_total->Add(sim->SimMillis() - sim_ms0);
+      }
+      const PoolStatsSnapshot pool_delta = GlobalPoolStats() - pool0;
+      m.pool_parallel_loops_total->Add(
+          static_cast<double>(pool_delta.parallel_loops));
+      m.pool_tasks_total->Add(static_cast<double>(pool_delta.tasks_submitted));
+      m.pool_wait_seconds_total->Add(pool_delta.wait_seconds);
+    } else {
+      m.query_errors_total->Add(1);
+    }
   }
   return result;
 }
 
 Result<Table> NraExecutor::ExecuteSql(const std::string& sql, NraStats* stats,
                                       QueryProfile* profile) {
-  NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr root, ParseAndBind(sql, catalog_));
-  return Execute(*root, stats, profile);
+  if (!options_.trace_path.empty()) {
+    telemetry::InstallTraceSink(options_.trace_path);
+  }
+  NraStats local;
+  if (stats == nullptr) stats = &local;
+  const bool slow_log = options_.slow_query_ms > 0;
+  Clock::time_point sql_start;
+  if (slow_log) sql_start = Clock::now();
+
+  Result<Table> result = [&]() -> Result<Table> {
+    Result<AstSelectPtr> ast = [&] {
+      telemetry::TraceSpan parse_span("query", "parse");
+      return ParseSelect(sql);
+    }();
+    if (!ast.ok()) {
+      CountQueryError();
+      return ast.status();
+    }
+    Result<QueryBlockPtr> root = [&] {
+      telemetry::TraceSpan plan_span("query", "plan");
+      return BindQuery(**ast, catalog_);
+    }();
+    if (!root.ok()) {
+      CountQueryError();
+      return root.status();
+    }
+    return Execute(**root, stats, profile);
+  }();
+
+  if (slow_log) {
+    MaybeLogSlowQuery(sql, options_.slow_query_ms, Seconds(sql_start) * 1e3,
+                      *stats, result.ok(), num_threads_, options_.vectorized);
+  }
+  return result;
 }
 
 Result<Table> NraExecutor::ExecuteStatementSql(const std::string& sql,
                                                NraStats* stats,
                                                QueryProfile* profile) {
-  NESTRA_ASSIGN_OR_RETURN(AstStatementPtr stmt, ParseStatement(sql));
+  if (!options_.trace_path.empty()) {
+    telemetry::InstallTraceSink(options_.trace_path);
+  }
+  const bool slow_log = options_.slow_query_ms > 0;
+  Clock::time_point sql_start;
+  if (slow_log) sql_start = Clock::now();
+
+  Result<AstStatementPtr> parsed = [&] {
+    telemetry::TraceSpan parse_span("query", "parse");
+    return ParseStatement(sql);
+  }();
+  if (!parsed.ok()) {
+    CountQueryError();
+    return parsed.status();
+  }
+  AstStatementPtr stmt = std::move(*parsed);
   QueryProfile* prof =
       (options_.profile && profile != nullptr) ? profile : nullptr;
   const bool multi_branch = stmt->selects.size() > 1;
@@ -163,8 +292,15 @@ Result<Table> NraExecutor::ExecuteStatementSql(const std::string& sql,
   NraStats total;
   Table combined;
   for (size_t i = 0; i < stmt->selects.size(); ++i) {
-    NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr root,
-                            BindQuery(*stmt->selects[i], catalog_));
+    Result<QueryBlockPtr> bound = [&] {
+      telemetry::TraceSpan plan_span("query", "plan");
+      return BindQuery(*stmt->selects[i], catalog_);
+    }();
+    if (!bound.ok()) {
+      CountQueryError();
+      return bound.status();
+    }
+    QueryBlockPtr root = std::move(*bound);
     NraStats branch;
     // Execute Clears the profile it is handed, so each branch profiles into
     // its own sink and the stages merge afterwards under a branch prefix.
@@ -207,6 +343,10 @@ Result<Table> NraExecutor::ExecuteStatementSql(const std::string& sql,
   total.output_rows = combined.num_rows();
   if (stats != nullptr) *stats = total;
   if (prof != nullptr) prof->output_rows = combined.num_rows();
+  if (slow_log) {
+    MaybeLogSlowQuery(sql, options_.slow_query_ms, Seconds(sql_start) * 1e3,
+                      total, /*ok=*/true, num_threads_, options_.vectorized);
+  }
   return combined;
 }
 

@@ -21,7 +21,12 @@ std::string NraOptions::ToString() const {
   }
   oss << ", vectorized=" << (vectorized ? "true" : "false")
       << ", profile=" << (profile ? "true" : "false")
-      << ", verify_plans=" << (verify_plans ? "true" : "false") << "}";
+      << ", verify_plans=" << (verify_plans ? "true" : "false");
+  // Telemetry knobs print only when set, keeping the common rendering (and
+  // any golden output built on it) unchanged.
+  if (slow_query_ms > 0) oss << ", slow_query_ms=" << slow_query_ms;
+  if (!trace_path.empty()) oss << ", trace=" << trace_path;
+  oss << "}";
   return oss.str();
 }
 

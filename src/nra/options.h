@@ -73,6 +73,20 @@ struct NraOptions {
   /// the paper's invariants.
   bool verify_plans = true;
 
+  /// Slow-query log threshold in milliseconds: a query whose wall time
+  /// (parse + execute) exceeds this emits one structured-JSON line to the
+  /// telemetry slow-query sink (NESTRA_SLOW_QUERY_LOG file, else stderr —
+  /// see src/telemetry/slow_query.h). 0 (default) disables the log and its
+  /// clock reads entirely.
+  double slow_query_ms = 0;
+
+  /// When non-empty, installs the Chrome trace_event sink at this path and
+  /// records parse/verify/plan/execute-stage spans (plus thread-pool task
+  /// spans) for every query this executor runs; the JSON is written at
+  /// process exit (or telemetry::FlushTrace). Equivalent to setting
+  /// NESTRA_TRACE_JSON in the environment. Empty (default) records nothing.
+  std::string trace_path;
+
   /// The paper's two measured configurations.
   static NraOptions Original() {
     NraOptions o;

@@ -275,6 +275,7 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
     }
     NESTRA_ASSIGN_OR_RETURN(Table scanned,
                             CollectTable(node.get(), vectorized));
+    FlushOperatorMetrics(*node);
     ProfiledOperator tree;
     if (timer.active()) tree = ProfiledOperator::Snapshot(*node);
     const ExprPtr pred = MakeAnd(std::move(conjuncts));
@@ -289,6 +290,8 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
       wrapper.stats.rows_out = out.num_rows();
       wrapper.children.push_back(std::move(tree));
       timer.Finish(out.num_rows(), std::move(wrapper));
+    } else {
+      timer.Finish(out.num_rows());
     }
     return out;
   }
@@ -450,8 +453,11 @@ Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
     node->EnableTimingRecursive();
   }
   NESTRA_ASSIGN_OR_RETURN(Table out, CollectTable(node.get(), vectorized));
+  FlushOperatorMetrics(*node);
   if (timer.active()) {
     timer.Finish(out.num_rows(), ProfiledOperator::Snapshot(*node));
+  } else {
+    timer.Finish(out.num_rows());
   }
   return out;
 }

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "telemetry/engine_metrics.h"
+#include "telemetry/trace.h"
+
 namespace nestra {
 
 namespace {
@@ -37,7 +40,14 @@ void RenderOperator(const ProfiledOperator& op, int depth,
   *oss << "  phase=" << QueryPhaseLabel(op.phase)
        << " rows_in=" << op.rows_in << " rows_out=" << op.stats.rows_out
        << " next_calls=" << op.stats.next_calls;
-  if (op.stats.batches_out > 0) *oss << " batches=" << op.stats.batches_out;
+  if (op.stats.batches_out > 0) {
+    *oss << " batches=" << op.stats.batches_out;
+    // Which of those came through the row-at-a-time adapter (operator has
+    // no native NextBatchImpl) — the vectorized engine's seams.
+    if (op.stats.adapter_batches > 0) {
+      *oss << " (adapter=" << op.stats.adapter_batches << ")";
+    }
+  }
   if (op.stats.total_seconds() > 0) {
     *oss << " time=" << FormatSeconds(op.stats.total_seconds())
          << " self=" << FormatSeconds(op.exclusive_seconds());
@@ -98,6 +108,9 @@ void OperatorToJson(const ProfiledOperator& op, std::ostringstream* oss) {
        << ",\"self_seconds\":" << op.exclusive_seconds();
   if (op.stats.batches_out > 0) {
     *oss << ",\"batches_out\":" << op.stats.batches_out;
+    if (op.stats.adapter_batches > 0) {
+      *oss << ",\"adapter_batches\":" << op.stats.adapter_batches;
+    }
   }
   if (op.stats.build_rows > 0) {
     *oss << ",\"build_rows\":" << op.stats.build_rows;
@@ -275,55 +288,111 @@ std::string QueryProfile::ToJson() const {
 
 StageTimer::StageTimer(QueryProfile* profile, QueryPhase phase,
                        std::string label)
-    : profile_(profile), phase_(phase), label_(std::move(label)) {
-  if (profile_ == nullptr) return;
-  pool_before_ = GlobalPoolStats();
+    : profile_(profile),
+      phase_(phase),
+      label_(std::move(label)),
+      metrics_(telemetry::MetricsEnabled()),
+      trace_(telemetry::TraceEnabled()) {
+  if (!recording()) return;
+  if (profile_ != nullptr) pool_before_ = GlobalPoolStats();
   start_ = Clock::now();
 }
 
-ProfiledStage StageTimer::Build(int64_t rows_out) {
+void StageTimer::FinishImpl(int64_t rows_out, ProfiledOperator* tree) {
+  if (!recording()) return;
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  if (metrics_) {
+    const telemetry::EngineMetrics& m = telemetry::Metrics();
+    const int p = static_cast<int>(phase_);
+    m.phase_rows_total[p]->Add(static_cast<double>(rows_out));
+    m.phase_stages_total[p]->Add(1);
+    m.phase_seconds_total[p]->Add(seconds);
+    if (phase_ == QueryPhase::kNest) {
+      m.nest_groups_peak->UpdateMax(static_cast<double>(rows_out));
+    }
+  }
+  if (trace_) {
+    telemetry::RecordCompleteEvent("execute", label_,
+                                   telemetry::TraceTimeUs(start_),
+                                   seconds * 1e6, rows_out,
+                                   QueryPhaseLabel(phase_));
+  }
+  if (profile_ == nullptr) return;
   ProfiledStage stage;
   stage.label = std::move(label_);
   stage.phase = phase_;
-  stage.seconds =
-      std::chrono::duration<double>(Clock::now() - start_).count();
+  stage.seconds = seconds;
   stage.rows_out = rows_out;
   stage.pool = GlobalPoolStats() - pool_before_;
-  return stage;
+  if (tree != nullptr) {
+    stage.has_tree = true;
+    stage.tree = std::move(*tree);
+  }
+  profile_->AddStage(std::move(stage));
 }
 
-void StageTimer::Finish(int64_t rows_out) {
-  if (profile_ == nullptr) return;
-  profile_->AddStage(Build(rows_out));
-}
+void StageTimer::Finish(int64_t rows_out) { FinishImpl(rows_out, nullptr); }
 
 void StageTimer::Finish(int64_t rows_out, ProfiledOperator tree) {
-  if (profile_ == nullptr) return;
-  ProfiledStage stage = Build(rows_out);
-  stage.has_tree = true;
-  stage.tree = std::move(tree);
-  profile_->AddStage(std::move(stage));
+  FinishImpl(rows_out, &tree);
+}
+
+namespace {
+
+void AccumulateTreeStats(const ExecNode& node, OperatorStats* total) {
+  const OperatorStats& s = node.stats();
+  total->batches_out += s.batches_out;
+  total->adapter_batches += s.adapter_batches;
+  total->build_rows += s.build_rows;
+  total->probe_rows += s.probe_rows;
+  total->sort_rows += s.sort_rows;
+  for (const ExecNode* child : node.children()) {
+    AccumulateTreeStats(*child, total);
+  }
+}
+
+}  // namespace
+
+void FlushOperatorMetrics(const ExecNode& node) {
+  if (!telemetry::MetricsEnabled()) return;
+  OperatorStats total;
+  AccumulateTreeStats(node, &total);
+  const telemetry::EngineMetrics& m = telemetry::Metrics();
+  if (total.batches_out > 0) {
+    m.batches_total->Add(static_cast<double>(total.batches_out));
+  }
+  if (total.adapter_batches > 0) {
+    m.adapter_batches_total->Add(static_cast<double>(total.adapter_batches));
+  }
+  if (total.build_rows > 0) {
+    m.join_build_rows_total->Add(static_cast<double>(total.build_rows));
+  }
+  if (total.probe_rows > 0) {
+    m.join_probe_rows_total->Add(static_cast<double>(total.probe_rows));
+  }
+  if (total.sort_rows > 0) {
+    m.sort_rows_total->Add(static_cast<double>(total.sort_rows));
+  }
 }
 
 Result<Table> CollectProfiled(ExecNode* node, QueryPhase phase,
                               const std::string& label, QueryProfile* profile,
                               bool vectorized) {
-  if (profile == nullptr) return CollectTable(node, vectorized);
-  node->SetPhaseRecursive(phase);
-  node->EnableTimingRecursive();
-  const PoolStatsSnapshot pool_before = GlobalPoolStats();
-  const Clock::time_point start = Clock::now();
+  StageTimer timer(profile, phase, label);
+  if (!timer.recording()) return CollectTable(node, vectorized);
+  if (timer.active()) {
+    node->SetPhaseRecursive(phase);
+    node->EnableTimingRecursive();
+  }
   Result<Table> result = CollectTable(node, vectorized);
   if (!result.ok()) return result;
-  ProfiledStage stage;
-  stage.label = label;
-  stage.phase = phase;
-  stage.seconds = std::chrono::duration<double>(Clock::now() - start).count();
-  stage.rows_out = result->num_rows();
-  stage.has_tree = true;
-  stage.tree = ProfiledOperator::Snapshot(*node);
-  stage.pool = GlobalPoolStats() - pool_before;
-  profile->AddStage(std::move(stage));
+  FlushOperatorMetrics(*node);
+  if (timer.active()) {
+    timer.Finish(result->num_rows(), ProfiledOperator::Snapshot(*node));
+  } else {
+    timer.Finish(result->num_rows());
+  }
   return result;
 }
 

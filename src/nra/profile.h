@@ -94,33 +94,57 @@ class QueryProfile {
 /// and a stage snapshot is appended; when null this is exactly
 /// CollectTable. `vectorized` drains via NextBatch — same rows, and
 /// `batches_out` shows up in the snapshot for batch-native operators.
+/// Independently of the profile, when process telemetry is on the stage
+/// also feeds the global metrics registry and trace sink (see StageTimer).
 Result<Table> CollectProfiled(ExecNode* node, QueryPhase phase,
                               const std::string& label, QueryProfile* profile,
                               bool vectorized = false);
 
-/// \brief Scoped helper for stages that are not a single CollectTable —
-/// table functions (Nest, LinkingSelect, HashLinkSelect) and composite
-/// planner stages. Captures start time and pool counters on construction;
-/// one of the Finish overloads appends the stage. No-op when constructed
-/// with a null profile.
+/// Rolls a drained operator tree's non-deterministic extras (batches,
+/// adapter batches, join build/probe rows, sort rows) into the global
+/// metrics registry. No-op when metrics are disabled. Called once per
+/// drained stage tree — each node belongs to exactly one stage, so nothing
+/// double-counts.
+void FlushOperatorMetrics(const ExecNode& node);
+
+/// \brief Scoped helper timing one executor stage. Captures start time and
+/// pool counters on construction; one of the Finish overloads reports the
+/// stage to every enabled consumer:
+///
+///  * the QueryProfile (stage list, when constructed with a non-null one),
+///  * the global metrics registry (per-phase rows/stages/seconds counters
+///    and the nest-groups-peak gauge, when telemetry::MetricsEnabled()),
+///  * the trace sink (one "execute"-category span, when
+///    telemetry::TraceEnabled()).
+///
+/// With all three off, construction and Finish read no clock and do no
+/// work beyond three relaxed flag loads.
 class StageTimer {
  public:
   StageTimer(QueryProfile* profile, QueryPhase phase, std::string label);
 
+  /// True when a profile sink is attached (callers gate the tree snapshot
+  /// and phase tagging on this — those exist only for the profile).
   bool active() const { return profile_ != nullptr; }
 
-  /// Appends a tree-less stage.
+  /// True when any consumer (profile, metrics, trace) is enabled.
+  bool recording() const { return profile_ != nullptr || metrics_ || trace_; }
+
+  /// Reports a tree-less stage.
   void Finish(int64_t rows_out);
 
-  /// Appends a stage carrying an operator-tree snapshot.
+  /// Reports a stage carrying an operator-tree snapshot (profile only; the
+  /// tree is ignored without a profile sink).
   void Finish(int64_t rows_out, ProfiledOperator tree);
 
  private:
-  ProfiledStage Build(int64_t rows_out);
+  void FinishImpl(int64_t rows_out, ProfiledOperator* tree);
 
   QueryProfile* profile_;
   QueryPhase phase_;
   std::string label_;
+  bool metrics_ = false;
+  bool trace_ = false;
   PoolStatsSnapshot pool_before_;
   std::chrono::steady_clock::time_point start_;
 };

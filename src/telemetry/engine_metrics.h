@@ -1,0 +1,65 @@
+#ifndef NESTRA_TELEMETRY_ENGINE_METRICS_H_
+#define NESTRA_TELEMETRY_ENGINE_METRICS_H_
+
+#include "telemetry/metrics.h"
+
+namespace nestra {
+namespace telemetry {
+
+/// Number of QueryPhase values (exec/operator_stats.h). The phase-labelled
+/// families below are indexed by static_cast<int>(QueryPhase); the label
+/// strings mirror QueryPhaseLabel() (telemetry sits below exec in the link
+/// order, so the labels are duplicated here and pinned by a test).
+constexpr int kNumPhases = 5;
+extern const char* const kPhaseLabels[kNumPhases];
+
+/// \brief Pre-registered handles for every process-lifetime metric the
+/// engine feeds, so hot paths pay one pointer indirection instead of a
+/// registry lookup. Obtain via Metrics(); handles live forever.
+///
+/// `deterministic` metrics (see MetricsRegistry) carry counts that are
+/// bit-identical across num_threads and row/vectorized engines for the
+/// same query sequence; timing-, pool- and batch-shaped metrics are not.
+struct EngineMetrics {
+  // Query lifecycle (executor).
+  Counter* queries_total;             // det
+  Counter* query_errors_total;        // det
+  Counter* rows_out_total;            // det
+  Counter* intermediate_rows_total;   // det
+  Counter* plans_verified_total;      // det
+  Counter* verify_failures_total;     // det
+  Histogram* query_ms;                // latency distribution
+
+  // Per-phase stage accounting (§5.2 split), fed by StageTimer.
+  Counter* phase_rows_total[kNumPhases];     // det
+  Counter* phase_stages_total[kNumPhases];   // det
+  Counter* phase_seconds_total[kNumPhases];  // wall time, non-det
+  Gauge* nest_groups_peak;                   // det (max nest-stage groups)
+
+  // IoSim page accounting (executor-sampled deltas). Totals are exact under
+  // concurrency (relaxed atomics, every access charged once).
+  Counter* io_hits_total;           // det
+  Counter* io_seq_misses_total;     // det
+  Counter* io_random_misses_total;  // det
+  Counter* io_sim_millis_total;     // simulated latency, non-det (fp order)
+
+  // Shared thread pool (executor-sampled deltas of GlobalPoolStats).
+  Counter* pool_parallel_loops_total;  // non-det (depends on num_threads)
+  Counter* pool_tasks_total;           // non-det
+  Counter* pool_wait_seconds_total;    // non-det
+
+  // Operator-tree roll-ups (flushed per stage from OperatorStats).
+  Counter* batches_total;          // non-det (row engine produces none)
+  Counter* adapter_batches_total;  // non-det
+  Counter* join_build_rows_total;  // non-det (fused scan paths skip trees)
+  Counter* join_probe_rows_total;  // non-det
+  Counter* sort_rows_total;        // non-det
+};
+
+/// The lazily-registered global handles.
+const EngineMetrics& Metrics();
+
+}  // namespace telemetry
+}  // namespace nestra
+
+#endif  // NESTRA_TELEMETRY_ENGINE_METRICS_H_

@@ -1,0 +1,340 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json_escape.h"
+
+namespace nestra {
+namespace telemetry {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+// %.17g round-trips doubles exactly while printing integral values (the
+// common case for counters) without a trailing mantissa.
+std::string FormatNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+int ThisThreadShard() {
+  // Threads take sequential slots mod kMetricShards. Slots are stable for a
+  // thread's lifetime, so a thread always hits the same cache line.
+  static std::atomic<int> next{0};
+  thread_local const int slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+}  // namespace internal
+
+double Counter::Value() const {
+  double total = 0;
+  for (const internal::MetricShard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::ResetValue() {
+  for (internal::MetricShard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::UpdateMax(double value) {
+  if (!MetricsEnabled()) return;
+  double cur = value_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !value_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      shards_(internal::kMetricShards) {
+  for (Shard& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<int64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  Shard& shard = shards_[static_cast<size_t>(internal::ThisThreadShard())];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::CumulativeCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  // Per-bucket -> cumulative (Prometheus `le` semantics).
+  for (size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  return counts;
+}
+
+double Histogram::Sum() const {
+  double total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    for (const std::atomic<int64_t>& b : shard.buckets) {
+      total += b.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+void Histogram::ResetValue() {
+  for (Shard& shard : shards_) {
+    for (std::atomic<int64_t>& b : shard.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+struct MetricsRegistry::Entry {
+  enum Kind { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+  std::string name;
+  std::string labels;  // pre-rendered, e.g. `phase="nest"`; may be empty
+  std::string help;
+  int kind = kCounter;
+  bool deterministic = false;
+  Counter counter;
+  Gauge gauge;
+  std::unique_ptr<Histogram> histogram;
+
+  std::string SampleName() const {
+    return labels.empty() ? name : name + "{" + labels + "}";
+  }
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked: worker threads may still update counters during static
+  // destruction.
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    const char* json = std::getenv("NESTRA_METRICS_JSON");
+    const char* prom = std::getenv("NESTRA_METRICS_PROM");
+    if ((json != nullptr && json[0] != '\0') ||
+        (prom != nullptr && prom[0] != '\0')) {
+      SetMetricsEnabled(true);
+      std::atexit([] {
+        auto write = [](const char* env, const std::string& text) {
+          const char* path = std::getenv(env);
+          if (path == nullptr || path[0] == '\0') return;
+          std::FILE* f = std::fopen(path, "w");
+          if (f == nullptr) return;
+          std::fwrite(text.data(), 1, text.size(), f);
+          std::fclose(f);
+        };
+        write("NESTRA_METRICS_JSON", DumpMetricsJson());
+        write("NESTRA_METRICS_PROM", DumpMetricsPrometheus());
+      });
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const std::string& name, const std::string& labels,
+    const std::string& help, int kind, bool deterministic,
+    std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->name == name && e->labels == labels) return e.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->help = help;
+  entry->kind = kind;
+  entry->deterministic = deterministic;
+  if (kind == Entry::kHistogram) {
+    entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels,
+                                     const std::string& help,
+                                     bool deterministic) {
+  return &FindOrCreate(name, labels, help, Entry::kCounter, deterministic, {})
+              ->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels,
+                                 const std::string& help,
+                                 bool deterministic) {
+  return &FindOrCreate(name, labels, help, Entry::kGauge, deterministic, {})
+              ->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& labels,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  return FindOrCreate(name, labels, help, Entry::kHistogram,
+                      /*deterministic=*/false, std::move(bounds))
+      ->histogram.get();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream oss;
+  std::string last_family;
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->name != last_family) {
+      last_family = e->name;
+      oss << "# HELP " << e->name << " " << e->help << "\n";
+      oss << "# TYPE " << e->name << " "
+          << (e->kind == Entry::kCounter
+                  ? "counter"
+                  : e->kind == Entry::kGauge ? "gauge" : "histogram")
+          << "\n";
+    }
+    switch (e->kind) {
+      case Entry::kCounter:
+        oss << e->SampleName() << " " << FormatNumber(e->counter.Value())
+            << "\n";
+        break;
+      case Entry::kGauge:
+        oss << e->SampleName() << " " << FormatNumber(e->gauge.Value())
+            << "\n";
+        break;
+      case Entry::kHistogram: {
+        const Histogram& h = *e->histogram;
+        const std::vector<int64_t> counts = h.CumulativeCounts();
+        const std::string comma = e->labels.empty() ? "" : ",";
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          oss << e->name << "_bucket{" << e->labels << comma
+              << "le=\"" << FormatNumber(h.bounds()[i]) << "\"} " << counts[i]
+              << "\n";
+        }
+        oss << e->name << "_bucket{" << e->labels << comma << "le=\"+Inf\"} "
+            << counts.back() << "\n";
+        oss << e->name << "_sum" << (e->labels.empty() ? "" : "{" + e->labels + "}")
+            << " " << FormatNumber(h.Sum()) << "\n";
+        oss << e->name << "_count"
+            << (e->labels.empty() ? "" : "{" + e->labels + "}") << " "
+            << h.Count() << "\n";
+        break;
+      }
+    }
+  }
+  return oss.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream oss;
+  oss << "{\"schema\":\"nestra-metrics-v1\",\"metrics\":[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = *entries_[i];
+    if (i > 0) oss << ",";
+    oss << "{\"name\":\"";
+    internal::JsonEscapeTo(e.SampleName(), &oss);
+    oss << "\",\"kind\":\""
+        << (e.kind == Entry::kCounter
+                ? "counter"
+                : e.kind == Entry::kGauge ? "gauge" : "histogram")
+        << "\",\"deterministic\":" << (e.deterministic ? "true" : "false");
+    switch (e.kind) {
+      case Entry::kCounter:
+        oss << ",\"value\":" << FormatNumber(e.counter.Value());
+        break;
+      case Entry::kGauge:
+        oss << ",\"value\":" << FormatNumber(e.gauge.Value());
+        break;
+      case Entry::kHistogram: {
+        const Histogram& h = *e.histogram;
+        const std::vector<int64_t> counts = h.CumulativeCounts();
+        oss << ",\"buckets\":[";
+        for (size_t b = 0; b < h.bounds().size(); ++b) {
+          if (b > 0) oss << ",";
+          oss << "{\"le\":" << FormatNumber(h.bounds()[b])
+              << ",\"count\":" << counts[b] << "}";
+        }
+        oss << "],\"sum\":" << FormatNumber(h.Sum())
+            << ",\"count\":" << h.Count();
+        break;
+      }
+    }
+    oss << "}";
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+std::map<std::string, double> MetricsRegistry::DeterministicValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> values;
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (!e->deterministic) continue;
+    if (e->kind == Entry::kCounter) {
+      values[e->SampleName()] = e->counter.Value();
+    } else if (e->kind == Entry::kGauge) {
+      values[e->SampleName()] = e->gauge.Value();
+    }
+  }
+  return values;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    e->counter.ResetValue();
+    e->gauge.ResetValue();
+    if (e->histogram != nullptr) e->histogram->ResetValue();
+  }
+}
+
+std::string DumpMetricsPrometheus() {
+  return MetricsRegistry::Global().ToPrometheusText();
+}
+
+std::string DumpMetricsJson() { return MetricsRegistry::Global().ToJson(); }
+
+}  // namespace telemetry
+}  // namespace nestra

@@ -1,0 +1,219 @@
+#include "telemetry/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json_escape.h"
+
+namespace nestra {
+namespace telemetry {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceEvent {
+  const char* category;
+  std::string name;
+  double ts_us;
+  double dur_us;
+  int64_t rows;        // -1 = omit
+  const char* phase;   // nullptr = omit
+};
+
+/// Per-thread span buffer. Heap-allocated and registered once per thread,
+/// never freed: events must survive the thread (pool workers park between
+/// queries, and a worker could in principle exit before the flush).
+struct ThreadBuffer {
+  std::mutex mu;  // uncontended except against Flush/Clear
+  int tid = 0;
+  std::string name;
+  std::vector<TraceEvent> events;
+};
+
+std::atomic<bool> g_trace_enabled{false};
+
+struct TraceState {
+  std::mutex mu;
+  std::string path;
+  Clock::time_point origin;
+  bool atexit_registered = false;
+  std::vector<ThreadBuffer*> buffers;  // registration order == tid order
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // leaked, like the pool
+  return *state;
+}
+
+ThreadBuffer& ThisThreadBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer();
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    b->tid = static_cast<int>(state.buffers.size());
+    b->name = "thread-" + std::to_string(b->tid);
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+// Auto-install from the environment at load time, so any binary can be
+// traced without code changes: NESTRA_TRACE_JSON=/tmp/trace.json ./bench_x
+struct TraceEnvInit {
+  TraceEnvInit() {
+    const char* path = std::getenv("NESTRA_TRACE_JSON");
+    if (path != nullptr && path[0] != '\0') InstallTraceSink(path);
+  }
+};
+TraceEnvInit g_trace_env_init;
+
+void AppendEventJson(const TraceEvent& e, int tid, std::ostringstream* oss) {
+  *oss << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"cat\":\""
+       << e.category << "\",\"name\":\"";
+  internal::JsonEscapeTo(e.name, oss);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\",\"ts\":%.3f,\"dur\":%.3f", e.ts_us,
+                e.dur_us);
+  *oss << buf;
+  if (e.rows >= 0 || e.phase != nullptr) {
+    *oss << ",\"args\":{";
+    if (e.rows >= 0) *oss << "\"rows\":" << e.rows;
+    if (e.phase != nullptr) {
+      if (e.rows >= 0) *oss << ",";
+      *oss << "\"phase\":\"" << e.phase << "\"";
+    }
+    *oss << "}";
+  }
+  *oss << "}";
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void InstallTraceSink(const std::string& path) {
+  TraceState& state = State();
+  bool clear = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (g_trace_enabled.load(std::memory_order_relaxed) &&
+        state.path == path) {
+      return;  // idempotent per-query re-install from NraOptions::trace_path
+    }
+    clear = state.path != path && !state.path.empty();
+    state.path = path;
+    state.origin = Clock::now();
+    if (!state.atexit_registered) {
+      state.atexit_registered = true;
+      std::atexit(&FlushTrace);
+    }
+  }
+  if (clear) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (ThreadBuffer* b : state.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(b->mu);
+      b->events.clear();
+    }
+  }
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void UninstallTraceSink() {
+  g_trace_enabled.store(false, std::memory_order_relaxed);
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.path.clear();
+  for (ThreadBuffer* b : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mu);
+    b->events.clear();
+  }
+}
+
+double TraceTimeUs(Clock::time_point tp) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return std::chrono::duration<double, std::micro>(tp - state.origin).count();
+}
+
+void SetCurrentThreadName(const std::string& name) {
+  ThreadBuffer& buffer = ThisThreadBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.name = name;
+}
+
+void RecordCompleteEvent(const char* category, const std::string& name,
+                         double ts_us, double dur_us, int64_t rows,
+                         const char* phase_label) {
+  if (!TraceEnabled()) return;
+  ThreadBuffer& buffer = ThisThreadBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(
+      {category, name, ts_us, dur_us, rows, phase_label});
+}
+
+void FlushTrace() {
+  TraceState& state = State();
+  std::string path;
+  std::vector<ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.path.empty()) return;
+    path = state.path;
+    buffers = state.buffers;
+  }
+  std::ostringstream oss;
+  oss << "{\"traceEvents\":[";
+  bool first = true;
+  for (ThreadBuffer* b : buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mu);
+    if (b->events.empty()) continue;
+    oss << (first ? "\n" : ",\n")
+        << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << b->tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    internal::JsonEscapeTo(b->name, &oss);
+    oss << "\"}}";
+    first = false;
+    for (const TraceEvent& e : b->events) {
+      oss << ",\n";
+      AppendEventJson(e, b->tid, &oss);
+    }
+  }
+  oss << "\n]}\n";
+  const std::string text = oss.str();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+TraceSpan::TraceSpan(const char* category, std::string name) {
+  if (!TraceEnabled()) return;
+  active_ = true;
+  category_ = category;
+  name_ = std::move(name);
+  start_ = Clock::now();
+}
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  const Clock::time_point end = Clock::now();
+  const double dur_us =
+      std::chrono::duration<double, std::micro>(end - start_).count();
+  RecordCompleteEvent(category_, name_, TraceTimeUs(start_), dur_us, rows_,
+                      nullptr);
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+}  // namespace telemetry
+}  // namespace nestra

@@ -1,0 +1,89 @@
+#ifndef NESTRA_TELEMETRY_TRACE_H_
+#define NESTRA_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace nestra {
+namespace telemetry {
+
+/// \brief Chrome trace_event sink: begin/end spans rendered as complete
+/// ("ph":"X") events, one JSON object per line, loadable in Perfetto /
+/// chrome://tracing.
+///
+/// Tracks map to threads: every thread that records a span gets a small
+/// sequential tid (0 = first recording thread, typically the query thread;
+/// pool workers land on their own tracks), plus a thread_name metadata
+/// event so the viewer labels the lanes. Timestamps are steady-clock
+/// microseconds since the first InstallTraceSink call, so spans from all
+/// threads share one timebase.
+///
+/// Like metrics, tracing is globally gated: TraceEnabled() is one relaxed
+/// atomic load, and a disabled TraceSpan constructor does no clock read and
+/// no allocation. Spans buffer in per-thread arrays (one mutex per thread
+/// buffer, uncontended except against Flush) and FlushTrace() rewrites the
+/// whole file, so the JSON on disk is always complete and well-formed.
+/// Flush runs automatically at process exit.
+
+/// True when a sink is installed. One relaxed atomic load.
+bool TraceEnabled();
+
+/// Enables tracing into `path` (JSON written by FlushTrace / at exit).
+/// Re-installing the same path is a cheap no-op; a new path starts a new
+/// trace. Also installed automatically from NESTRA_TRACE_JSON on first
+/// TraceEnabled() check when the variable is set.
+void InstallTraceSink(const std::string& path);
+
+/// Disables tracing and drops buffered events (test hygiene).
+void UninstallTraceSink();
+
+/// Writes every buffered event to the installed path. Idempotent; called
+/// at process exit automatically.
+void FlushTrace();
+
+/// Microseconds since the trace timebase origin for a caller-held steady
+/// clock timestamp (lets callers reuse a timestamp they already took).
+double TraceTimeUs(std::chrono::steady_clock::time_point tp);
+
+/// Labels the calling thread's track in the trace viewer ("pool-worker",
+/// ...). Threads that never call this show as "thread-<tid>".
+void SetCurrentThreadName(const std::string& name);
+
+/// Records one complete event directly (callers that time a region
+/// themselves, e.g. stage timers). `phase_label` and `rows` annotate the
+/// event's args; pass nullptr / -1 to omit.
+void RecordCompleteEvent(const char* category, const std::string& name,
+                         double ts_us, double dur_us, int64_t rows,
+                         const char* phase_label);
+
+/// \brief RAII span: records a complete event covering construction to
+/// End() (or destruction). When tracing is off, construction is a single
+/// relaxed load.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, std::string name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  bool active() const { return active_; }
+
+  /// Annotates the event with an output-row count.
+  void set_rows(int64_t rows) { rows_ = rows; }
+
+  /// Ends the span now (destructor becomes a no-op).
+  void End();
+
+ private:
+  bool active_ = false;
+  const char* category_ = nullptr;
+  std::string name_;
+  int64_t rows_ = -1;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace telemetry
+}  // namespace nestra
+
+#endif  // NESTRA_TELEMETRY_TRACE_H_
