@@ -19,6 +19,9 @@
 //   \mode original|optimized   switch the NRA executor configuration
 //   \oracle on|off             cross-check results against nested iteration
 //   \explain <sql>             show the plan without running
+//   \verify [sql]              static verification + inferred properties
+//                              (nullability / keys / cardinality) for <sql>,
+//                              or for the last executed statement
 //   \metrics [json]            dump the process metrics registry
 //                              (Prometheus text by default)
 //   \slow <ms>                 log queries slower than <ms> (0 disables)
@@ -228,6 +231,19 @@ class Shell {
       std::cout << (plan.ok() ? *plan : plan.status().ToString()) << "\n";
       return true;
     }
+    if (cmd == "\\verify") {
+      const size_t sql_at = line.find(' ');
+      std::string sql =
+          sql_at == std::string::npos ? last_sql_ : line.substr(sql_at + 1);
+      if (!sql.empty() && sql.back() == ';') sql.pop_back();
+      if (sql.find_first_not_of(" \t\n\r") == std::string::npos) {
+        std::cout << "usage: \\verify <sql>  (or run a statement first)\n";
+        return true;
+      }
+      const Result<std::string> text = ExplainVerifySql(sql, catalog_, options_);
+      std::cout << (text.ok() ? *text : text.status().ToString()) << "\n";
+      return true;
+    }
     std::cout << "unknown command: " << line << "\n";
     return true;
   }
@@ -235,12 +251,14 @@ class Shell {
   void RunSql(std::string sql) {
     if (ConsumeKeyword(&sql, "EXPLAIN")) {
       const bool analyze = ConsumeKeyword(&sql, "ANALYZE");
+      last_sql_ = sql;  // the bare SELECT, so \verify replays it
       const Result<std::string> text =
           analyze ? ExplainAnalyzeSql(sql, catalog_, options_)
                   : ExplainSql(sql, catalog_, options_);
       std::cout << (text.ok() ? *text : text.status().ToString()) << "\n";
       return;
     }
+    last_sql_ = sql;
     NraExecutor exec(catalog_, options_);
     NraStats stats;
     const Result<Table> result = exec.ExecuteStatementSql(sql, &stats);
@@ -265,6 +283,7 @@ class Shell {
   Catalog catalog_;
   NraOptions options_ = NraOptions::Optimized();
   bool oracle_check_ = false;
+  std::string last_sql_;  // for bare \verify
 };
 
 }  // namespace

@@ -51,6 +51,40 @@ void ApplyPred(int64_t num_rows, bool first, std::vector<int32_t>* sel,
   sel->resize(w);
 }
 
+// One-sided NULL guard: when the operand is proven non-NULL the check (and
+// the null-vector load) disappears from the kernel.
+template <typename Pred>
+void Apply1(int64_t n, bool first, bool non_null,
+            const std::vector<uint8_t>& nulls, std::vector<int32_t>* sel,
+            Pred body) {
+  if (non_null) {
+    ApplyPred(n, first, sel, body);
+  } else {
+    ApplyPred(n, first, sel,
+              [&](int64_t i) { return nulls[i] == 0 && body(i); });
+  }
+}
+
+// Two-sided NULL guard for column-vs-column kernels.
+template <typename Pred>
+void Apply2(int64_t n, bool first, bool l_non_null, bool r_non_null,
+            const std::vector<uint8_t>& ln, const std::vector<uint8_t>& rn,
+            std::vector<int32_t>* sel, Pred body) {
+  if (l_non_null && r_non_null) {
+    ApplyPred(n, first, sel, body);
+  } else if (l_non_null) {
+    ApplyPred(n, first, sel,
+              [&](int64_t i) { return rn[i] == 0 && body(i); });
+  } else if (r_non_null) {
+    ApplyPred(n, first, sel,
+              [&](int64_t i) { return ln[i] == 0 && body(i); });
+  } else {
+    ApplyPred(n, first, sel, [&](int64_t i) {
+      return ln[i] == 0 && rn[i] == 0 && body(i);
+    });
+  }
+}
+
 // Storage classes a non-generic ColumnVector can expose to the kernels.
 enum class StorageClass { kInt, kDouble, kString, kGeneric };
 
@@ -135,15 +169,36 @@ bool VectorizedPredicate::Compile(const Expr* expr, const Schema& schema,
   return false;
 }
 
+bool VectorizedPredicate::Compile(const Expr* expr, const Schema& schema,
+                                  const std::vector<bool>& non_null_cols,
+                                  VectorizedPredicate* out) {
+  if (!Compile(expr, schema, out)) return false;
+  const auto proven = [&](int col) {
+    return col >= 0 && col < static_cast<int>(non_null_cols.size()) &&
+           non_null_cols[col];
+  };
+  for (Term& t : out->terms_) {
+    t.lhs_non_null = proven(t.lhs);
+    if (t.kind == TermKind::kCmpColCol) t.rhs_non_null = proven(t.rhs);
+  }
+  return true;
+}
+
 void VectorizedPredicate::SelectTerm(const RowBatch& batch, const Term& term,
                                      bool first,
                                      std::vector<int32_t>* sel) const {
   const int64_t n = batch.num_rows();
   const ColumnVector& lhs = batch.column(term.lhs);
   const std::vector<uint8_t>& lnull = lhs.nulls();
+  const bool lnn = term.lhs_non_null;
 
   if (term.kind == TermKind::kIsNull) {
     const bool want_null = !term.negated;
+    if (lnn) {
+      // Proven non-NULL: IS NULL selects nothing, IS NOT NULL everything.
+      ApplyPred(n, first, sel, [&](int64_t) { return !want_null; });
+      return;
+    }
     ApplyPred(n, first, sel,
               [&](int64_t i) { return (lnull[i] != 0) == want_null; });
     return;
@@ -168,14 +223,13 @@ void VectorizedPredicate::SelectTerm(const RowBatch& batch, const Term& term,
       const std::vector<int64_t>& data = lhs.ints();
       if (lit.is_int()) {
         const int64_t y = lit.int64();
-        ApplyPred(n, first, sel, [&](int64_t i) {
-          return lnull[i] == 0 && CmpHolds(op, CompareInts(data[i], y));
+        Apply1(n, first, lnn, lnull, sel, [&](int64_t i) {
+          return CmpHolds(op, CompareInts(data[i], y));
         });
       } else if (lit.is_float()) {
         const double y = lit.float64();
-        ApplyPred(n, first, sel, [&](int64_t i) {
-          return lnull[i] == 0 &&
-                 CmpHolds(op, CompareDoubles(static_cast<double>(data[i]), y));
+        Apply1(n, first, lnn, lnull, sel, [&](int64_t i) {
+          return CmpHolds(op, CompareDoubles(static_cast<double>(data[i]), y));
         });
       } else {  // string vs numeric: incomparable -> Unknown
         ApplyPred(n, first, sel, [](int64_t) { return false; });
@@ -186,8 +240,8 @@ void VectorizedPredicate::SelectTerm(const RowBatch& batch, const Term& term,
       const std::vector<double>& data = lhs.doubles();
       if (lit.is_int() || lit.is_float()) {
         const double y = *lit.AsDouble();
-        ApplyPred(n, first, sel, [&](int64_t i) {
-          return lnull[i] == 0 && CmpHolds(op, CompareDoubles(data[i], y));
+        Apply1(n, first, lnn, lnull, sel, [&](int64_t i) {
+          return CmpHolds(op, CompareDoubles(data[i], y));
         });
       } else {
         ApplyPred(n, first, sel, [](int64_t) { return false; });
@@ -198,8 +252,8 @@ void VectorizedPredicate::SelectTerm(const RowBatch& batch, const Term& term,
     const std::vector<std::string>& data = lhs.strings();
     if (lit.is_string()) {
       const std::string& y = lit.string();
-      ApplyPred(n, first, sel, [&](int64_t i) {
-        return lnull[i] == 0 && CmpHolds(op, data[i].compare(y));
+      Apply1(n, first, lnn, lnull, sel, [&](int64_t i) {
+        return CmpHolds(op, data[i].compare(y));
       });
     } else {
       ApplyPred(n, first, sel, [](int64_t) { return false; });
@@ -210,6 +264,7 @@ void VectorizedPredicate::SelectTerm(const RowBatch& batch, const Term& term,
   // kCmpColCol.
   const ColumnVector& rhs = batch.column(term.rhs);
   const std::vector<uint8_t>& rnull = rhs.nulls();
+  const bool rnn = term.rhs_non_null;
   const CmpOp op = term.op;
   const StorageClass lcls = ClassOf(lhs);
   const StorageClass rcls = ClassOf(rhs);
@@ -222,18 +277,16 @@ void VectorizedPredicate::SelectTerm(const RowBatch& batch, const Term& term,
   if (lcls == StorageClass::kInt && rcls == StorageClass::kInt) {
     const std::vector<int64_t>& a = lhs.ints();
     const std::vector<int64_t>& b = rhs.ints();
-    ApplyPred(n, first, sel, [&](int64_t i) {
-      return lnull[i] == 0 && rnull[i] == 0 &&
-             CmpHolds(op, CompareInts(a[i], b[i]));
+    Apply2(n, first, lnn, rnn, lnull, rnull, sel, [&](int64_t i) {
+      return CmpHolds(op, CompareInts(a[i], b[i]));
     });
     return;
   }
   if (lcls == StorageClass::kString && rcls == StorageClass::kString) {
     const std::vector<std::string>& a = lhs.strings();
     const std::vector<std::string>& b = rhs.strings();
-    ApplyPred(n, first, sel, [&](int64_t i) {
-      return lnull[i] == 0 && rnull[i] == 0 &&
-             CmpHolds(op, a[i].compare(b[i]));
+    Apply2(n, first, lnn, rnn, lnull, rnull, sel, [&](int64_t i) {
+      return CmpHolds(op, a[i].compare(b[i]));
     });
     return;
   }
@@ -243,8 +296,7 @@ void VectorizedPredicate::SelectTerm(const RowBatch& batch, const Term& term,
     return;
   }
   // Mixed numeric (at least one double): compare through doubles.
-  ApplyPred(n, first, sel, [&](int64_t i) {
-    if (lnull[i] != 0 || rnull[i] != 0) return false;
+  Apply2(n, first, lnn, rnn, lnull, rnull, sel, [&](int64_t i) {
     const double x = lcls == StorageClass::kInt
                          ? static_cast<double>(lhs.ints()[i])
                          : lhs.doubles()[i];

@@ -31,6 +31,16 @@ class VectorizedPredicate {
   static bool Compile(const Expr* expr, const Schema& schema,
                       VectorizedPredicate* out);
 
+  /// Proven-2VL variant: `non_null_cols[i]` asserts column `i` can never
+  /// hold NULL (statically proven by the caller — see
+  /// PropertyAnalyzer / Catalog::ProvenNotNull). Terms over proven columns
+  /// select kernels without per-value NULL checks, and IS [NOT] NULL over
+  /// a proven column degenerates to select-none / select-all. Bit-identical
+  /// to the 3VL kernels whenever the proofs hold.
+  static bool Compile(const Expr* expr, const Schema& schema,
+                      const std::vector<bool>& non_null_cols,
+                      VectorizedPredicate* out);
+
   /// Fills `sel` with the indices (ascending) of the rows of `batch` for
   /// which the predicate is true.
   void Select(const RowBatch& batch, std::vector<int32_t>* sel) const;
@@ -50,6 +60,10 @@ class VectorizedPredicate {
     int rhs = -1;        // column index (kCmpColCol)
     Value literal;       // kCmpColLit
     bool negated = false;  // kIsNull: IS NOT NULL
+    // Proven non-NULL operands (2VL compile): the kernel skips the
+    // corresponding NULL load entirely.
+    bool lhs_non_null = false;
+    bool rhs_non_null = false;
   };
 
   void SelectTerm(const RowBatch& batch, const Term& term, bool first,

@@ -17,6 +17,7 @@
 #include "nra/rewrites.h"
 #include "plan/binder.h"
 #include "storage/io_sim.h"
+#include "verify/properties.h"
 #include "telemetry/engine_metrics.h"
 #include "telemetry/slow_query.h"
 #include "telemetry/trace.h"
@@ -145,7 +146,7 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
       NESTRA_ASSIGN_OR_RETURN(
           Table rel,
           EvalBlockBase(root, catalog_, num_threads_, prof,
-                        options_.vectorized));
+                        options_.vectorized, options_.two_valued));
       stats->join_seconds += Seconds(t0);
       stats->intermediate_rows = rel.num_rows();
       return FinishRoot(root, std::move(rel), prof);
@@ -170,12 +171,22 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
       for (size_t i = 1; i < chain.size(); ++i) {
         all_correlated = all_correlated && !chain[i]->correlated_preds.empty();
       }
+      // Proven-2VL bypass: when the chain's leaf link can run as a plain
+      // antijoin (see NegativeLinkRunsTwoValued), the recursive path takes
+      // it; the fused pipeline would push the same link through 3VL member
+      // handling. Mirrored by PlanVerifier::Outline and ExplainQuery.
+      const std::vector<const QueryBlock*> leaf_path(chain.begin(),
+                                                     chain.end() - 1);
+      if (options_.two_valued &&
+          NegativeLinkRunsTwoValued(*chain.back(), leaf_path, catalog_)) {
+        all_correlated = false;
+      }
       if (all_correlated) return ExecuteFusedLinear(chain, stats, prof);
     }
     const auto t0 = Clock::now();
     NESTRA_ASSIGN_OR_RETURN(
         Table rel, EvalBlockBase(root, catalog_, num_threads_, prof,
-                                 options_.vectorized));
+                                 options_.vectorized, options_.two_valued));
     stats->join_seconds += Seconds(t0);
     std::vector<const QueryBlock*> path{&root};
     NESTRA_ASSIGN_OR_RETURN(rel, ComputeNode(root, std::move(rel),
@@ -359,11 +370,11 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
   auto t0 = Clock::now();
   NESTRA_ASSIGN_OR_RETURN(
       Table rel, EvalBlockBase(*chain[0], catalog_, num_threads_, profile,
-                              options_.vectorized));
+                              options_.vectorized, options_.two_valued));
   for (int k = 1; k < n; ++k) {
     NESTRA_ASSIGN_OR_RETURN(
         Table base, EvalBlockBase(*chain[k], catalog_, num_threads_, profile,
-                                  options_.vectorized));
+                                  options_.vectorized, options_.two_valued));
     if (options_.magic_restriction) {
       StageTimer magic_timer(profile, QueryPhase::kUnnestJoin,
                              "magic[b" + std::to_string(chain[k]->id) + "]");
@@ -418,7 +429,7 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
   auto t0 = Clock::now();
   NESTRA_ASSIGN_OR_RETURN(
       Table cur, EvalBlockBase(*chain[n - 1], catalog_, num_threads_, profile,
-                              options_.vectorized));
+                              options_.vectorized, options_.two_valued));
   stats->join_seconds += Seconds(t0);
 
   for (int k = n - 2; k >= 0; --k) {
@@ -428,7 +439,7 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
     NESTRA_ASSIGN_OR_RETURN(
         Table outer_base,
         EvalBlockBase(outer, catalog_, num_threads_, profile,
-                      options_.vectorized));
+                      options_.vectorized, options_.two_valued));
     stats->join_seconds += Seconds(t0);
 
     // In the bottom-up order only (outer, child) tuples exist when the
@@ -488,7 +499,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
     auto t0 = Clock::now();
     NESTRA_ASSIGN_OR_RETURN(
         Table base, EvalBlockBase(child, catalog_, num_threads_, profile,
-                                  options_.vectorized));
+                                  options_.vectorized, options_.two_valued));
     stats->join_seconds += Seconds(t0);
 
     const bool strict_safe = StrictSafe(*path);
@@ -503,6 +514,22 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       NESTRA_ASSIGN_OR_RETURN(
           rel, JoinWithChild(std::move(rel), std::move(base), child,
                              JoinType::kLeftSemi, std::move(extra),
+                             num_threads_, profile, options_.vectorized));
+      stats->join_seconds += Seconds(t0);
+      continue;
+    }
+
+    // Proven-2VL fast path: a negative leaf link whose member comparison
+    // can never go UNKNOWN (or NOT EXISTS, which has none) runs as a plain
+    // antijoin — bit-identical to nest + pseudo-selection here because the
+    // path is strict-safe and no member comparison can be UNKNOWN.
+    if (options_.two_valued &&
+        NegativeLinkRunsTwoValued(child, *path, catalog_)) {
+      NESTRA_ASSIGN_OR_RETURN(ExprPtr extra, AntiLinkJoinCondition(child));
+      t0 = Clock::now();
+      NESTRA_ASSIGN_OR_RETURN(
+          rel, JoinWithChild(std::move(rel), std::move(base), child,
+                             JoinType::kLeftAnti, std::move(extra),
                              num_threads_, profile, options_.vectorized));
       stats->join_seconds += Seconds(t0);
       continue;

@@ -9,6 +9,7 @@
 #include "nra/rewrites.h"
 #include "plan/binder.h"
 #include "plan/tree_expr.h"
+#include "verify/properties.h"
 #include "verify/verifier.h"
 
 namespace nestra {
@@ -30,7 +31,8 @@ bool LooksEquiCorrelated(const QueryBlock& child) {
   return true;
 }
 
-void ExplainNode(const QueryBlock& node, const NraOptions& options,
+void ExplainNode(const QueryBlock& node, const Catalog& catalog,
+                 const NraOptions& options,
                  std::vector<const QueryBlock*>* path, int indent,
                  std::ostringstream* oss) {
   const std::string pad(static_cast<size_t>(indent) * 2, ' ');
@@ -43,6 +45,11 @@ void ExplainNode(const QueryBlock& node, const NraOptions& options,
     if (options.rewrite_positive && child.IsLeaf() &&
         child.LinkIsPositive() && strict_safe) {
       *oss << "semijoin rewrite (4.2.5)\n";
+      continue;
+    }
+    // Mirrors NraExecutor::ComputeNode and PlanVerifier::OutlineNode.
+    if (options.two_valued && NegativeLinkRunsTwoValued(child, *path, catalog)) {
+      *oss << "two-valued antijoin (proven non-NULL member comparison)\n";
       continue;
     }
     if (child.IsLeaf() && child.correlated_preds.empty()) {
@@ -58,9 +65,37 @@ void ExplainNode(const QueryBlock& node, const NraOptions& options,
          << (options.fused ? "fused nest+select" : "nest then select")
          << ", " << mode << " mode\n";
     path->push_back(&child);
-    ExplainNode(child, options, path, indent + 1, oss);
+    ExplainNode(child, catalog, options, path, indent + 1, oss);
     path->pop_back();
   }
+}
+
+// Preorder render of the inferred static facts: per block the nullability /
+// key / cardinality line, per link whether the member comparison is proven
+// two-valued, possibly three-valued, or constant UNKNOWN. `path` holds the
+// enclosing blocks (root first) and ends at `node` after the push below.
+void ExplainProperties(const QueryBlock& node, const PropertyAnalyzer& analyzer,
+                       std::vector<const QueryBlock*>* path,
+                       std::ostringstream* oss) {
+  *oss << "block " << node.id << " properties: "
+       << analyzer.Analyze(node).ToString() << "\n";
+  path->push_back(&node);
+  for (const auto& child_ptr : node.children) {
+    const QueryBlock& child = *child_ptr;
+    const LinkFacts facts = analyzer.AnalyzeLink(child, *path);
+    *oss << "link " << LinkingLabel(child) << ": ";
+    if (facts.always_unknown) {
+      *oss << "always UNKNOWN";
+    } else if (facts.two_valued) {
+      *oss << "two-valued";
+    } else {
+      *oss << "three-valued";
+    }
+    if (!facts.reason.empty()) *oss << " (" << facts.reason << ")";
+    *oss << "\n";
+    ExplainProperties(child, analyzer, path, oss);
+  }
+  path->pop_back();
 }
 
 }  // namespace
@@ -98,6 +133,16 @@ std::string ExplainQuery(const QueryBlock& root, const Catalog& catalog,
           fused_whole_chain =
               fused_whole_chain && !(*chain)[i]->correlated_preds.empty();
         }
+        // Mirrors the executor's fused-pipeline bypass: a chain whose leaf
+        // link runs as a proven two-valued antijoin takes the recursive
+        // route instead of the single-sort pipeline.
+        if (fused_whole_chain && options.two_valued && chain->size() >= 2) {
+          const std::vector<const QueryBlock*> leaf_path(chain->begin(),
+                                                         chain->end() - 1);
+          if (NegativeLinkRunsTwoValued(*chain->back(), leaf_path, catalog)) {
+            fused_whole_chain = false;
+          }
+        }
       }
     }
     if (fused_whole_chain) {
@@ -116,7 +161,7 @@ std::string ExplainQuery(const QueryBlock& root, const Catalog& catalog,
     } else {
       oss << "recursive Algorithm 1:\n";
       std::vector<const QueryBlock*> path{&root};
-      ExplainNode(root, options, &path, 1, &oss);
+      ExplainNode(root, catalog, options, &path, 1, &oss);
     }
   }
   if (!root.order_by.empty() || root.limit >= 0 || root.distinct ||
@@ -135,15 +180,49 @@ std::string ExplainQuery(const QueryBlock& root, const Catalog& catalog,
   const NativePlanChoice native = ChooseNativePlan(root, catalog);
   oss << "=== Native (System A) plan ===\n" << native.explanation << "\n";
 
+  oss << "=== Inferred properties ===\n";
+  {
+    const PropertyAnalyzer analyzer(catalog);
+    std::vector<const QueryBlock*> path;
+    ExplainProperties(root, analyzer, &path, &oss);
+  }
+
   const PlanVerifier verifier(catalog, options);
   const VerifyReport report = verifier.Verify(root);
-  oss << "=== Plan verification ===\n";
+  oss << "=== Plan verification ===\n" << report.Summary() << "\n";
   if (report.clean()) {
     oss << "clean (0 diagnostics)\n";
   } else {
     oss << report.ToString();
   }
   return oss.str();
+}
+
+std::string ExplainVerifyQuery(const QueryBlock& root, const Catalog& catalog,
+                               const NraOptions& options) {
+  std::ostringstream oss;
+  oss << "=== Inferred properties ===\n";
+  {
+    const PropertyAnalyzer analyzer(catalog);
+    std::vector<const QueryBlock*> path;
+    ExplainProperties(root, analyzer, &path, &oss);
+  }
+  const PlanVerifier verifier(catalog, options);
+  const VerifyReport report = verifier.Verify(root);
+  oss << "=== Plan verification ===\n" << report.Summary() << "\n";
+  if (report.clean()) {
+    oss << "clean (0 diagnostics)\n";
+  } else {
+    oss << report.ToString();
+  }
+  return oss.str();
+}
+
+Result<std::string> ExplainVerifySql(const std::string& sql,
+                                     const Catalog& catalog,
+                                     const NraOptions& options) {
+  NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr root, ParseAndBind(sql, catalog));
+  return ExplainVerifyQuery(*root, catalog, options);
 }
 
 Result<std::string> ExplainSql(const std::string& sql, const Catalog& catalog,

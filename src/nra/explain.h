@@ -26,6 +26,20 @@ Result<std::string> ExplainSql(const std::string& sql, const Catalog& catalog,
                                const NraOptions& options =
                                    NraOptions::Optimized());
 
+/// \brief Only the static-analysis sections of EXPLAIN: the per-block
+/// inferred properties (nullability / keys / cardinality, per-link
+/// two-valued facts) and the plan-verification report with its rule and
+/// diagnostic counts. Backs the shell's \verify meta-command.
+std::string ExplainVerifyQuery(const QueryBlock& root, const Catalog& catalog,
+                               const NraOptions& options =
+                                   NraOptions::Optimized());
+
+/// Parse + bind + ExplainVerifyQuery.
+Result<std::string> ExplainVerifySql(const std::string& sql,
+                                     const Catalog& catalog,
+                                     const NraOptions& options =
+                                         NraOptions::Optimized());
+
 /// \brief EXPLAIN ANALYZE: renders the static plan, then executes the query
 /// with profiling enabled (options.profile is forced on) and appends the
 /// per-stage operator profile — rows in/out, Next() calls, wall time, hash

@@ -61,6 +61,15 @@ struct NraOptions {
   /// identical for either setting.
   bool vectorized = true;
 
+  /// Proven-2VL fast path: when the static property analyzer
+  /// (src/verify/properties.h) proves a predicate or negative linking
+  /// operator can never evaluate to UNKNOWN, skip the 3VL machinery —
+  /// scan filters select vectorized kernels without per-value NULL checks,
+  /// and an eligible negative leaf link runs as a plain hash/NL antijoin
+  /// instead of nest + pseudo-selection. Bit-identical results either way
+  /// (enforced by the property suites); off = always use the 3VL paths.
+  bool two_valued = true;
+
   /// Collect a per-operator QueryProfile (pass one to Execute*/ExplainAnalyze
   /// to receive it). Off by default: the engine then keeps only the cheap
   /// per-operator row/call counters and never reads the clock on the

@@ -182,7 +182,7 @@ Result<Table> ParallelFilterTable(Table in, const Expr* pred,
 
 Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
                             int num_threads, QueryProfile* profile,
-                            bool vectorized) {
+                            bool vectorized, bool two_valued) {
   // Split local conjuncts once; they are attached to the first join where
   // both sides are available, remaining ones become a final filter.
   std::vector<ExprPtr> conjuncts;
@@ -224,7 +224,24 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
     const ExprPtr pred =
         conjuncts.empty() ? nullptr : MakeAnd(std::move(conjuncts));
     VectorizedPredicate vpred;
-    if (VectorizedPredicate::Compile(pred.get(), schema, &vpred)) {
+    bool compiled = false;
+    if (two_valued) {
+      // Proven-2VL fast path: columns the catalog proves non-NULL (declared
+      // NOT NULL or scanned NULL-free at registration) compile to kernels
+      // with no per-value NULL loads. Tables are immutable once registered,
+      // so the proof cannot be invalidated under us.
+      std::vector<bool> non_null(static_cast<size_t>(schema.num_fields()),
+                                 false);
+      for (int i = 0; i < schema.num_fields(); ++i) {
+        non_null[static_cast<size_t>(i)] =
+            catalog.ProvenNotNull(ref.table, table->schema().fields()[i].name);
+      }
+      compiled =
+          VectorizedPredicate::Compile(pred.get(), schema, non_null, &vpred);
+    } else {
+      compiled = VectorizedPredicate::Compile(pred.get(), schema, &vpred);
+    }
+    if (compiled) {
       StageTimer timer(profile, QueryPhase::kUnnestJoin, BlockLabel(block));
       ProfiledOperator op;
       NESTRA_ASSIGN_OR_RETURN(

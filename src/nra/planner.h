@@ -29,11 +29,16 @@ class QueryProfile;
 /// scan+filter (IoSim is thread-safe, and per-morsel slots concatenated in
 /// morsel order keep results identical to the serial pass). `vectorized`
 /// drains the serial operator trees in columnar RowBatches (identical rows,
-/// identical IoSim charges).
+/// identical IoSim charges). `two_valued` lets the serial vectorized
+/// scan+filter compile predicates against Catalog::ProvenNotNull facts: terms
+/// whose operands are proven non-NULL pick kernels with no per-value NULL
+/// checks (bit-identical output whenever the proofs hold, which registration
+/// guarantees for immutable tables).
 Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
                             int num_threads = 1,
                             QueryProfile* profile = nullptr,
-                            bool vectorized = false);
+                            bool vectorized = false,
+                            bool two_valued = false);
 
 /// Filters `in` down to the rows matching `pred` using row-range morsels
 /// (serial when `num_threads <= 1`); row order is preserved, so the result

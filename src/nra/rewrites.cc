@@ -150,6 +150,45 @@ Result<ExprPtr> PositiveLinkJoinCondition(const QueryBlock& child) {
   return Status::Internal("unreachable");
 }
 
+Result<ExprPtr> AntiLinkJoinCondition(const QueryBlock& child) {
+  // The comparison negation (¬θ), not the operand swap of FlipCmpOp.
+  const auto negate = [](CmpOp op) {
+    switch (op) {
+      case CmpOp::kEq:
+        return CmpOp::kNe;
+      case CmpOp::kNe:
+        return CmpOp::kEq;
+      case CmpOp::kLt:
+        return CmpOp::kGe;
+      case CmpOp::kLe:
+        return CmpOp::kGt;
+      case CmpOp::kGt:
+        return CmpOp::kLe;
+      case CmpOp::kGe:
+        return CmpOp::kLt;
+    }
+    return CmpOp::kEq;
+  };
+  switch (child.link_op) {
+    case LinkOp::kNotExists:
+      return ExprPtr(nullptr);
+    case LinkOp::kNotIn:
+      return Cmp(CmpOp::kEq, child.LinkingExpr(), Col(child.linked_attr));
+    case LinkOp::kAll:
+      // A θ ALL {B} fails exactly on a member with A ¬θ B (two-valued
+      // comparison assumed; the empty set passes both sides).
+      return Cmp(negate(child.link_cmp), child.LinkingExpr(),
+                 Col(child.linked_attr));
+    case LinkOp::kExists:
+    case LinkOp::kIn:
+    case LinkOp::kSome:
+      return Status::InvalidArgument(
+          "anti-link rewrite requested for positive operator " +
+          std::string(LinkOpToString(child.link_op)));
+  }
+  return Status::Internal("unreachable");
+}
+
 Result<Table> MagicRestrict(const Table& outer, Table child_base,
                             const QueryBlock& child) {
   std::vector<std::string> okeys, ikeys;

@@ -40,6 +40,17 @@ Result<Table> HashLinkSelect(Table outer, const Table& inner,
 /// σ_{AθSOME{B}}(υ_{A,B}(R ⟕_C S)) ≡ R ⋉_{C ∧ AθB} S.
 Result<ExprPtr> PositiveLinkJoinCondition(const QueryBlock& child);
 
+/// \brief Proven-2VL negative-operator rewrite: builds the extra antijoin
+/// condition that matches inner rows *violating* the negative link —
+/// `A = B` for NOT IN, `A ¬θ B` for θ ALL, nullptr for NOT EXISTS (the
+/// correlation alone). The caller combines it with the correlated
+/// predicates and runs a LeftAnti join:
+/// σ_{AθALL{B}}(υ_{A,B}(R ⟕_C S)) ≡ R ▷_{C ∧ A¬θB} S — equivalent only
+/// when the member comparison is two-valued (see
+/// NegativeLinkRunsTwoValued); an UNKNOWN member makes 3VL NOT IN / ALL
+/// reject the tuple while the antijoin would keep it.
+Result<ExprPtr> AntiLinkJoinCondition(const QueryBlock& child);
+
 /// Magic-set restriction: semijoins `child_base` with the distinct
 /// equality-correlation keys of `outer`, discarding inner tuples that
 /// cannot match any outer tuple. Returns the input unchanged when the

@@ -310,6 +310,7 @@ class Binder {
     LinkOp op = LinkOp::kExists;
     CmpOp cmp = CmpOp::kEq;
     bool is_aggregate = false;
+    bool is_scalar = false;
     switch (c.kind) {
       case AstCond::Kind::kExistsSubquery:
         op = c.negated ? LinkOp::kNotExists : LinkOp::kExists;
@@ -322,12 +323,18 @@ class Binder {
         cmp = c.op;
         break;
       case AstCond::Kind::kScalarSubquery:
-        if (!c.subquery->IsSingleAggregate()) {
-          return Status::BindError(
-              "a scalar subquery must select a single aggregate "
-              "(agg(col) or count(*))");
+        if (c.subquery->IsSingleAggregate()) {
+          is_aggregate = true;
+        } else {
+          // Non-aggregate scalar subquery `A θ (SELECT B ...)`: bound as
+          // `A θ SOME` plus is_scalar_link. Equivalent in conjunct position
+          // when the subquery yields at most one row (empty set: the SQL
+          // comparison is UNKNOWN, SOME is FALSE — both drop the tuple);
+          // the verifier's scalar-card rule rejects plans where the
+          // at-most-one bound is not statically provable.
+          op = LinkOp::kSome;
+          is_scalar = true;
         }
-        is_aggregate = true;
         cmp = c.op;
         break;
       default:
@@ -366,6 +373,7 @@ class Binder {
     child->linking_is_const = linking_is_const;
     child->linking_const = std::move(linking_const);
     child->is_aggregate_link = is_aggregate;
+    child->is_scalar_link = is_scalar;
 
     // Linked attribute: the subquery's single select item, resolved within
     // the child only.

@@ -52,6 +52,12 @@ struct QueryBlock {
   /// ignored and `agg`/`link_cmp` describe the predicate.
   bool is_aggregate_link = false;
   LinkAgg agg = LinkAgg::kCount;
+  /// Non-aggregate scalar link `A θ (SELECT B ...)`: bound as `A θ SOME`
+  /// (equivalent in conjunct position when the subquery yields at most one
+  /// row — an empty set makes the SQL comparison UNKNOWN and SOME FALSE,
+  /// both dropping the tuple). The verifier's scalar-card rule rejects the
+  /// plan unless the at-most-one bound is statically provable.
+  bool is_scalar_link = false;
 
   // --- Root block only ---
   struct OrderItem {

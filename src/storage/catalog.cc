@@ -23,6 +23,25 @@ Status Catalog::RegisterTable(const std::string& name, Table table,
   e.table = std::move(table);
   e.meta.primary_key = primary_key;
   e.meta.not_null_columns = std::move(not_null_columns);
+  // One-pass observed-non-NULL scan. Tables are immutable once registered,
+  // so "no NULL seen at load time" is a sound execution-time proof even for
+  // columns with no declared constraint.
+  const Schema& schema = e.table.schema();
+  const size_t num_cols = schema.fields().size();
+  std::vector<bool> maybe(num_cols, true);
+  size_t remaining = num_cols;
+  for (const Row& row : e.table.rows()) {
+    if (remaining == 0) break;
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (maybe[c] && row[c].is_null()) {
+        maybe[c] = false;
+        --remaining;
+      }
+    }
+  }
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (maybe[c]) e.meta.observed_not_null.insert(schema.fields()[c].name);
+  }
   tables_.emplace(name, std::move(e));
   return Status::OK();
 }
@@ -64,6 +83,14 @@ bool Catalog::IsNotNull(const std::string& table_name,
   const TableMetadata& meta = it->second.meta;
   if (!meta.primary_key.empty() && meta.primary_key == column) return true;
   return meta.not_null_columns.count(column) > 0;
+}
+
+bool Catalog::ProvenNotNull(const std::string& table_name,
+                            const std::string& column) const {
+  if (IsNotNull(table_name, column)) return true;
+  const auto it = tables_.find(table_name);
+  if (it == tables_.end()) return false;
+  return it->second.meta.observed_not_null.count(column) > 0;
 }
 
 Status Catalog::AddNotNull(const std::string& table_name,

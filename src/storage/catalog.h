@@ -24,6 +24,11 @@ struct TableMetadata {
   /// antijoin rewrite is only legal when the relevant columns appear here —
   /// exactly System A's behaviour in Section 5.2.
   std::set<std::string> not_null_columns;
+  /// Columns observed entirely non-NULL by the one-pass scan RegisterTable
+  /// runs at load time. Sound for execution-time proofs because catalog
+  /// tables are immutable after registration; advisory verifier rules use
+  /// declared constraints only (see PropertyAnalyzer).
+  std::set<std::string> observed_not_null;
 };
 
 /// \brief Named base tables plus lazily built and cached indexes.
@@ -58,6 +63,12 @@ class Catalog {
   /// either the PK or listed in not_null_columns.
   bool IsNotNull(const std::string& table_name,
                  const std::string& column) const;
+
+  /// True if `column` (unqualified) of `table_name` is provably non-NULL for
+  /// execution purposes: declared NOT NULL (per IsNotNull) or observed
+  /// entirely non-NULL by the registration-time column scan.
+  bool ProvenNotNull(const std::string& table_name,
+                     const std::string& column) const;
 
   /// Declares a column NOT NULL after registration (used by benches to
   /// toggle the paper's "NOT NULL constraint" scenarios).

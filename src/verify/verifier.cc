@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "verify/properties.h"
 
 namespace nestra {
 
@@ -113,8 +114,7 @@ std::vector<const QueryBlock*> FlattenLinear(const QueryBlock& root) {
 
 void AddDiagnostic(VerifyReport* report, VerifySeverity severity, int block_id,
                    const char* rule_id, std::string message) {
-  report->diagnostics.push_back(
-      {severity, block_id, rule_id, std::move(message)});
+  report->Add({severity, block_id, rule_id, std::move(message)});
 }
 
 void AddError(VerifyReport* report, int block_id, const char* rule_id,
@@ -142,26 +142,32 @@ std::string VerifyDiagnostic::ToString() const {
   return oss.str();
 }
 
-bool VerifyReport::ok() const { return num_errors() == 0; }
-
-int VerifyReport::num_errors() const {
-  int n = 0;
-  for (const VerifyDiagnostic& d : diagnostics) {
-    if (d.severity == VerifySeverity::kError) ++n;
+void VerifyReport::Add(VerifyDiagnostic d) {
+  if (d.severity == VerifySeverity::kError) {
+    ++num_errors_;
+  } else {
+    ++num_warnings_;
   }
-  return n;
+  ++rule_counts_[d.rule_id];
+  diagnostics_.push_back(std::move(d));
 }
 
-bool VerifyReport::HasRule(const std::string& rule_id) const {
-  for (const VerifyDiagnostic& d : diagnostics) {
-    if (d.rule_id == rule_id) return true;
-  }
-  return false;
+int VerifyReport::CountRule(const std::string& rule_id) const {
+  const auto it = rule_counts_.find(rule_id);
+  return it == rule_counts_.end() ? 0 : it->second;
+}
+
+std::string VerifyReport::Summary() const {
+  std::ostringstream oss;
+  oss << "verify: " << verify_rules::kNumRules << " rules, " << num_errors_
+      << (num_errors_ == 1 ? " error, " : " errors, ") << num_warnings_
+      << (num_warnings_ == 1 ? " warning" : " warnings");
+  return oss.str();
 }
 
 std::string VerifyReport::ToString() const {
   std::ostringstream oss;
-  for (const VerifyDiagnostic& d : diagnostics) oss << d.ToString() << "\n";
+  for (const VerifyDiagnostic& d : diagnostics_) oss << d.ToString() << "\n";
   return oss.str();
 }
 
@@ -170,7 +176,7 @@ Status VerifyReport::ToStatus() const {
   std::ostringstream oss;
   oss << "plan verification failed: ";
   bool first = true;
-  for (const VerifyDiagnostic& d : diagnostics) {
+  for (const VerifyDiagnostic& d : diagnostics_) {
     if (d.severity != VerifySeverity::kError) continue;
     if (!first) oss << "; ";
     first = false;
@@ -229,7 +235,9 @@ VerifyReport PlanVerifier::Verify(const QueryBlock& root) const {
     }
   }
 
-  CheckOutline(Outline(root), &report);
+  const std::vector<PlanStep> outline = Outline(root);
+  CheckOutline(outline, &report);
+  CheckDeadPseudo(outline, &report);
   return report;
 }
 
@@ -343,6 +351,7 @@ void PlanVerifier::CheckTree(const QueryBlock& block,
 
   if (!ancestors->empty()) {
     CheckLink(block, *ancestors, report);
+    CheckLinkProperties(block, *ancestors, report);
     CheckRewritePreconditions(block, *ancestors, report);
     if (block.correlated_preds.empty() && !block.IsLeaf()) {
       AddWarning(report, block.id, verify_rules::kCartesianProduct,
@@ -492,14 +501,111 @@ void PlanVerifier::CheckLink(const QueryBlock& block,
   }
 }
 
+void PlanVerifier::CheckLinkProperties(
+    const QueryBlock& block, const std::vector<const QueryBlock*>& ancestors,
+    VerifyReport* report) const {
+  const PropertyAnalyzer analyzer(catalog_);
+  const LinkFacts facts = analyzer.AnalyzeLink(block, ancestors);
+  if (facts.always_unknown) {
+    AddWarning(report, block.id, verify_rules::kNullLinking,
+               "linking predicate can only ever evaluate to UNKNOWN (" +
+                   facts.reason +
+                   "); the link is constant-valued regardless of the data");
+  }
+  // scalar-card guards the binder's non-aggregate scalar-subquery binding:
+  // it is evaluated as `θ SOME`, which silently diverges from SQL scalar
+  // semantics if the subquery ever yields two rows — so reject the plan
+  // unless the at-most-one bound is provable.
+  if (block.is_scalar_link && !analyzer.AtMostOneMember(block)) {
+    AddError(report, block.id, verify_rules::kScalarCard,
+             "scalar subquery is not provably limited to one row per outer "
+             "binding: no key of block " +
+                 std::to_string(block.id) +
+                 " is pinned by equality predicates; it may yield multiple "
+                 "rows at runtime");
+  }
+}
+
+void PlanVerifier::CheckDeadPseudo(const std::vector<PlanStep>& steps,
+                                   VerifyReport* report) const {
+  if (steps.empty()) return;
+
+  // Conservative upward read set: every attribute any linking selection,
+  // correlated predicate, key probe, or root output phase might read after
+  // the padding happened. Local predicates run strictly before any padding
+  // and are deliberately excluded.
+  std::set<std::string> read;
+  const QueryBlock* root =
+      steps[0].path.empty() ? steps[0].parent : steps[0].path[0];
+  std::vector<const QueryBlock*> stack{root};
+  while (!stack.empty()) {
+    const QueryBlock* b = stack.back();
+    stack.pop_back();
+    for (const ExprPtr& p : b->correlated_preds) {
+      std::vector<std::string> cols;
+      p->CollectColumns(&cols);
+      read.insert(cols.begin(), cols.end());
+    }
+    if (!b->linking_attr.empty()) read.insert(b->linking_attr);
+    if (!b->linked_attr.empty()) read.insert(b->linked_attr);
+    if (!b->key_attr.empty()) read.insert(b->key_attr);
+    read.insert(b->select_list.begin(), b->select_list.end());
+    read.insert(b->group_by.begin(), b->group_by.end());
+    for (const QueryBlock::RootAgg& a : b->aggregates) {
+      if (!a.column.empty()) read.insert(a.column);
+    }
+    for (const QueryBlock::OrderItem& o : b->order_by) read.insert(o.column);
+    if (b->having != nullptr) {
+      std::vector<std::string> cols;
+      b->having->CollectColumns(&cols);
+      read.insert(cols.begin(), cols.end());
+    }
+    for (const auto& c : b->children) stack.push_back(c.get());
+  }
+
+  // Declared constraints only (not the load-time observed scans): the
+  // "remove this pad attribute" advice must stay valid when data changes.
+  const auto declared_non_null = [&](const QueryBlock& owner,
+                                     const std::string& attr) {
+    for (const QueryBlock::TableRef& ref : owner.tables) {
+      const std::string prefix = ref.alias + ".";
+      if (attr.compare(0, prefix.size(), prefix) == 0) {
+        return catalog_.IsNotNull(ref.table, attr.substr(prefix.size()));
+      }
+    }
+    return false;
+  };
+
+  for (const PlanStep& s : steps) {
+    if (s.mode != SelectionMode::kPseudo || s.streaming) continue;
+    std::vector<std::string> removable;
+    for (const std::string& a : s.pad_attrs) {
+      if (read.count(a) > 0) continue;
+      if (!declared_non_null(*s.parent, a)) continue;
+      removable.push_back(a);
+    }
+    if (removable.empty()) continue;
+    std::ostringstream list;
+    for (size_t i = 0; i < removable.size(); ++i) {
+      if (i > 0) list << ", ";
+      list << removable[i];
+    }
+    AddWarning(report, s.child->id, verify_rules::kDeadPseudo,
+               "pseudo-selection for the link of block " +
+                   std::to_string(s.child->id) +
+                   " pads declared NOT NULL attributes {" + list.str() +
+                   "} that nothing upward reads; they are removable from "
+                   "the pad set A");
+  }
+}
+
 void PlanVerifier::CheckRewritePreconditions(
     const QueryBlock& block, const std::vector<const QueryBlock*>& ancestors,
     VerifyReport* report) const {
   // §4.2.5 positive-semijoin rewrite: when the executor would take it, the
   // extra join condition A θ B must be constructible.
   if (options_.rewrite_positive && block.IsLeaf() && block.LinkIsPositive()) {
-    std::vector<const QueryBlock*> path = ancestors;
-    const bool strict_safe = PathStrictSafe(path);
+    const bool strict_safe = PathStrictSafe(ancestors);
     if (strict_safe && !block.is_aggregate_link &&
         (block.link_op == LinkOp::kIn || block.link_op == LinkOp::kSome)) {
       if (block.linked_attr.empty()) {
@@ -567,6 +673,15 @@ std::vector<PlanStep> PlanVerifier::Outline(const QueryBlock& root) const {
     for (size_t i = 1; i < chain.size(); ++i) {
       all_correlated = all_correlated && !chain[i]->correlated_preds.empty();
     }
+    // Proven-2VL bypass: when the chain's leaf link can run as a plain
+    // antijoin, the recursive route (below) takes it; the fused pipeline
+    // would evaluate the same link through 3VL member handling.
+    const std::vector<const QueryBlock*> leaf_path(chain.begin(),
+                                                   chain.end() - 1);
+    if (options_.two_valued &&
+        NegativeLinkRunsTwoValued(*chain.back(), leaf_path, catalog_)) {
+      all_correlated = false;
+    }
     if (all_correlated) {
       std::vector<std::string> prefix;
       for (size_t k = 0; k + 1 < chain.size(); ++k) {
@@ -618,6 +733,14 @@ void PlanVerifier::OutlineNode(const QueryBlock& node,
       continue;
     }
 
+    if (options_.two_valued &&
+        NegativeLinkRunsTwoValued(child, *path, catalog_)) {
+      s.kind = PlanStepKind::kAntijoin;
+      s.mode = SelectionMode::kStrict;
+      steps->push_back(std::move(s));
+      continue;
+    }
+
     if (child.IsLeaf() && child.correlated_preds.empty()) {
       // Virtual Cartesian product: one shared group, no grouping key.
       s.kind = PlanStepKind::kHashLinkSelect;
@@ -662,6 +785,25 @@ void PlanVerifier::CheckOutline(const std::vector<PlanStep>& steps,
     NESTRA_DCHECK(s.parent != nullptr && s.child != nullptr);
     const QueryBlock& child = *s.child;
     const QueryBlock& parent = *s.parent;
+
+    if (s.kind == PlanStepKind::kAntijoin) {
+      // The antijoin evaluates a negative link with 2VL member handling and
+      // drops failing tuples outright. Sound only on a strict-safe path,
+      // and only when the member comparison can never go UNKNOWN.
+      if (child.LinkIsPositive() || !PathStrictSafe(s.path)) {
+        AddError(report, child.id, verify_rules::kLinkMode,
+                 "two-valued antijoin rewrite applies to a negative link on "
+                 "a strict-safe path, but the link is positive or an "
+                 "enclosing negative linking operator is pending");
+      } else if (!NegativeLinkRunsTwoValued(child, s.path, catalog_)) {
+        AddError(report, child.id, verify_rules::kRewritePrecond,
+                 "two-valued antijoin rewrite requires a proven two-valued "
+                 "member comparison (non-NULL operands), which does not "
+                 "hold for the link of block " +
+                     std::to_string(child.id));
+      }
+      continue;
+    }
 
     if (s.kind == PlanStepKind::kSemijoin) {
       // The semijoin drops failing tuples outright — it is a strict

@@ -1,6 +1,7 @@
 #ifndef NESTRA_VERIFY_VERIFIER_H_
 #define NESTRA_VERIFY_VERIFIER_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,29 @@ inline constexpr const char kRewritePrecond[] = "rewrite-precond";
 /// A non-correlated, non-leaf block forces a materialized Cartesian
 /// product (warning: legal but expensive).
 inline constexpr const char kCartesianProduct[] = "cartesian-product";
+/// A linking predicate whose member comparison can only ever evaluate to
+/// UNKNOWN (an operand is provably NULL, or the operand types are
+/// incomparable): the link is constant-valued regardless of the data
+/// (warning — legal SQL, almost certainly a query bug).
+inline constexpr const char kNullLinking[] = "null-linking";
+/// A scalar (non-aggregate) subquery whose cardinality bound is not
+/// provably <= 1 per outer binding: it may yield more than one row at
+/// runtime (error; SQL requires at most one).
+inline constexpr const char kScalarCard[] = "scalar-card";
+/// A pseudo-selection pads attributes that are declared NOT NULL and play
+/// no role upward (not the key, not read by any enclosing predicate or
+/// link): the padding is dead weight and the attribute is removable from
+/// the pad set (warning, advisory). Uses declared constraints only, so the
+/// advice survives data changes.
+inline constexpr const char kDeadPseudo[] = "dead-pseudo";
+
+/// Every registered rule id, in documentation order. EXPLAIN's summary line
+/// and tools/lint_engine_invariants.py consume this registry.
+inline constexpr const char* kAllRules[] = {
+    kLinkMode,   kLinkSchema,     kNestSets,   kKeySurvival, kSchemaResolve,
+    kRewritePrecond, kCartesianProduct, kNullLinking, kScalarCard, kDeadPseudo,
+};
+inline constexpr int kNumRules = sizeof(kAllRules) / sizeof(kAllRules[0]);
 }  // namespace verify_rules
 
 enum class VerifySeverity { kWarning, kError };
@@ -55,20 +79,40 @@ struct VerifyDiagnostic {
   std::string ToString() const;
 };
 
-struct VerifyReport {
-  std::vector<VerifyDiagnostic> diagnostics;
+/// \brief Diagnostics container, indexed by rule id: Add() maintains
+/// severity tallies and per-rule counts so HasRule / the EXPLAIN summary
+/// line are O(log #distinct-rules) instead of a scan per query.
+class VerifyReport {
+ public:
+  void Add(VerifyDiagnostic d);
 
+  const std::vector<VerifyDiagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
   /// No error-severity diagnostics (warnings allowed).
-  bool ok() const;
+  bool ok() const { return num_errors_ == 0; }
   /// No diagnostics at all.
-  bool clean() const { return diagnostics.empty(); }
-  int num_errors() const;
-  bool HasRule(const std::string& rule_id) const;
+  bool clean() const { return diagnostics_.empty(); }
+  int num_errors() const { return num_errors_; }
+  int num_warnings() const { return num_warnings_; }
+  bool HasRule(const std::string& rule_id) const {
+    return rule_counts_.count(rule_id) > 0;
+  }
+  int CountRule(const std::string& rule_id) const;
 
+  /// "verify: 10 rules, 0 errors, 2 warnings" — the cheap one-liner EXPLAIN
+  /// prints (rule count = the registry size, not the rules that fired).
+  std::string Summary() const;
   /// One diagnostic per line.
   std::string ToString() const;
   /// OK when ok(); otherwise an InvalidArgument carrying every error.
   Status ToStatus() const;
+
+ private:
+  std::vector<VerifyDiagnostic> diagnostics_;
+  std::map<std::string, int> rule_counts_;
+  int num_errors_ = 0;
+  int num_warnings_ = 0;
 };
 
 /// How one linking selection of the plan evaluates its nest + selection.
@@ -76,6 +120,7 @@ enum class PlanStepKind {
   kNestSelect,      // nest by the retained prefix, then linking selection
   kHashLinkSelect,  // §4.2.4 push-down / virtual Cartesian product
   kSemijoin,        // §4.2.5 positive rewrite (no nest at all)
+  kAntijoin,        // proven-2VL negative-link rewrite (no nest at all)
 };
 
 /// Evaluation order of the step relative to its enclosing links. In the
@@ -138,6 +183,15 @@ class PlanVerifier {
   void CheckLink(const QueryBlock& block,
                  const std::vector<const QueryBlock*>& ancestors,
                  VerifyReport* report) const;
+  /// Property-driven rules: null-linking (member comparison provably always
+  /// UNKNOWN) and scalar-card (scalar subquery not provably <= 1 row).
+  void CheckLinkProperties(const QueryBlock& block,
+                           const std::vector<const QueryBlock*>& ancestors,
+                           VerifyReport* report) const;
+  /// dead-pseudo over the derived outline: pad attributes that are declared
+  /// NOT NULL and unread upward are flagged removable.
+  void CheckDeadPseudo(const std::vector<PlanStep>& steps,
+                       VerifyReport* report) const;
   void CheckRewritePreconditions(const QueryBlock& block,
                                  const std::vector<const QueryBlock*>& ancestors,
                                  VerifyReport* report) const;

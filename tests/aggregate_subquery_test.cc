@@ -14,6 +14,7 @@
 #include "plan/tree_expr.h"
 #include "sql/parser.h"
 #include "test_util.h"
+#include "verify/verifier.h"
 
 namespace nestra {
 namespace {
@@ -205,11 +206,23 @@ TEST_F(AggregateSubqueryTest, BinderErrors) {
                             "(select max(e) from s)",
                             catalog_)
                    .ok());
-  // Bare scalar subquery without an aggregate.
-  EXPECT_FALSE(ParseAndBind("select d from r where b > "
-                            "(select e from s)",
-                            catalog_)
-                   .ok());
+  // A bare scalar subquery without an aggregate binds as a θ SOME link with
+  // the scalar flag set; the verifier's scalar-card rule then reports that
+  // nothing pins the subquery to one row (SOME would silently accept any
+  // matching member where SQL requires a runtime cardinality error).
+  {
+    ASSERT_OK_AND_ASSIGN(QueryBlockPtr scalar,
+                         ParseAndBind("select d from r where b > "
+                                      "(select e from s)",
+                                      catalog_));
+    ASSERT_EQ(scalar->children.size(), 1u);
+    EXPECT_TRUE(scalar->children[0]->is_scalar_link);
+    EXPECT_EQ(scalar->children[0]->link_op, LinkOp::kSome);
+    const PlanVerifier verifier(catalog_, NraOptions::Optimized());
+    const VerifyReport report = verifier.Verify(*scalar);
+    EXPECT_TRUE(report.HasRule(verify_rules::kScalarCard)) << report.ToString();
+    EXPECT_FALSE(report.ok());
+  }
   // Unknown aggregate argument.
   EXPECT_FALSE(ParseAndBind("select d from r where b > "
                             "(select max(zz) from s)",

@@ -84,6 +84,47 @@ TEST_F(ExplainTest, BottomUpReported) {
       << plan;
 }
 
+TEST_F(ExplainTest, InferredPropertiesReported) {
+  const std::string plan = Explain(testing_util::kQueryQ);
+  EXPECT_NE(plan.find("=== Inferred properties ==="), std::string::npos)
+      << plan;
+  // r.c and r.d are NULL-free at load (d is the key); r.a and r.b are not.
+  EXPECT_NE(plan.find("block 1 properties: non-null={r.a, r.c, r.d}"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("keys={r.d}"), std::string::npos) << plan;
+  // Query Q's middle link compares the nullable r.b: three-valued.
+  EXPECT_NE(plan.find("link r.b <> ALL {s.e}: three-valued "
+                      "(linking attribute 'r.b' may be NULL)"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("=== Plan verification ===\nverify: 10 rules, "
+                      "0 errors, 0 warnings"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, TwoValuedAntijoinReported) {
+  const std::string sql =
+      "select r.a from r where r.d not in (select s.e from s where s.g = r.d)";
+  const std::string plan = Explain(sql);
+  EXPECT_NE(plan.find("two-valued antijoin "
+                      "(proven non-NULL member comparison)"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("link r.d <> ALL {s.e}: two-valued "
+                      "(both operands proven non-NULL)"),
+            std::string::npos)
+      << plan;
+  // Disabling the fast path restores the fused 3VL pipeline.
+  NraOptions three_valued = NraOptions::Optimized();
+  three_valued.two_valued = false;
+  const std::string slow = Explain(sql, three_valued);
+  EXPECT_EQ(slow.find("two-valued antijoin"), std::string::npos) << slow;
+  EXPECT_NE(slow.find("single-sort fused pipeline"), std::string::npos)
+      << slow;
+}
+
 TEST_F(ExplainTest, NativePlanReported) {
   const std::string plan = Explain(
       "select b from r where exists (select * from s where s.g = r.d)");

@@ -179,6 +179,11 @@ TEST_F(ProfileTpchTest, PhaseSplitCoversNestAndLinkingSelection) {
   NraOptions opts = NraOptions::Optimized();
   opts.num_threads = 1;
   opts.profile = true;
+  // This test asserts the 3VL fused pipeline's phase attribution. The fixture
+  // declares NOT NULL columns and TPC-H data is NULL-free, so with the
+  // default two_valued=true Query 1's `> all` link would instead run as a
+  // proven-2VL antijoin with no nest phase at all.
+  opts.two_valued = false;
   NraExecutor exec(catalog_, opts);
   QueryProfile profile;
   ASSERT_OK_AND_ASSIGN(Table result,

@@ -21,7 +21,12 @@ namespace testing_util {
 
 class QueryGenerator {
  public:
-  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
+  /// `key_links` biases the generated queries toward the proven-2VL fast
+  /// path: linking and linked columns are sometimes the NULL-free primary
+  /// keys instead of the usual nullable data columns. The default keeps the
+  /// historical corpora byte-identical per seed (no extra RNG draws).
+  explicit QueryGenerator(uint64_t seed, bool key_links = false)
+      : rng_(seed), key_links_(key_links) {}
 
   void PopulateTables(Catalog* catalog) {
     for (const char* name : {"u", "v", "w", "x"}) {
@@ -56,6 +61,14 @@ class QueryGenerator {
   }
 
  private:
+  // The column a link or subquery select item reads: the usual nullable data
+  // column, or — under key_links_ — half the time the table's primary key,
+  // whose non-NULL proof makes negative links antijoin-eligible.
+  std::string C(const std::string& t, const char* col) {
+    if (key_links_ && rng_.Bernoulli(0.5)) return t + "k";
+    return t + col;
+  }
+
   Value RandomCell() {
     if (rng_.Bernoulli(0.15)) return Value::Null();
     return Value::Int64(rng_.UniformInt(0, 6));
@@ -124,61 +137,73 @@ class QueryGenerator {
   std::string OneLevel() {
     std::ostringstream q;
     q << "select uk from u where uk >= 0" << MaybeLocal("u") << " and "
-      << Link("u1", "select v1 from v where vk >= 0" + MaybeLocal("v") +
-                        MaybeCorrelation("v", "u"));
+      << Link(C("u", "1"), "select " + C("v", "1") +
+                               " from v where vk >= 0" + MaybeLocal("v") +
+                               MaybeCorrelation("v", "u"));
     return q.str();
   }
 
   std::string TwoLevelLinear() {
-    const std::string inner = "select w1 from w where wk >= 0" +
-                              MaybeLocal("w") + MaybeCorrelation("w", "v");
-    const std::string middle = "select v1 from v where vk >= 0" +
-                               MaybeLocal("v") + MaybeCorrelation("v", "u") +
-                               " and " + Link("v2", inner);
+    const std::string inner = "select " + C("w", "1") +
+                              " from w where wk >= 0" + MaybeLocal("w") +
+                              MaybeCorrelation("w", "v");
+    const std::string middle = "select " + C("v", "1") +
+                               " from v where vk >= 0" + MaybeLocal("v") +
+                               MaybeCorrelation("v", "u") + " and " +
+                               Link(C("v", "2"), inner);
     return "select uk from u where uk >= 0" + MaybeLocal("u") + " and " +
-           Link("u1", middle);
+           Link(C("u", "1"), middle);
   }
 
   // u -> v -> w -> x, including occasional non-adjacent correlation of the
   // innermost block back to u (the Query-3 pattern).
   std::string ThreeLevelLinear() {
-    std::string innermost = "select x1 from x where xk >= 0" +
-                            MaybeLocal("x") + MaybeCorrelation("x", "w");
+    std::string innermost = "select " + C("x", "1") +
+                            " from x where xk >= 0" + MaybeLocal("x") +
+                            MaybeCorrelation("x", "w");
     if (rng_.Bernoulli(0.4)) innermost += " and x2 = u1";
-    const std::string inner = "select w1 from w where wk >= 0" +
-                              MaybeLocal("w") + MaybeCorrelation("w", "v") +
-                              " and " + Link("w2", innermost);
-    const std::string middle = "select v1 from v where vk >= 0" +
-                               MaybeLocal("v") + MaybeCorrelation("v", "u") +
-                               " and " + Link("v2", inner);
+    const std::string inner = "select " + C("w", "1") +
+                              " from w where wk >= 0" + MaybeLocal("w") +
+                              MaybeCorrelation("w", "v") + " and " +
+                              Link(C("w", "2"), innermost);
+    const std::string middle = "select " + C("v", "1") +
+                               " from v where vk >= 0" + MaybeLocal("v") +
+                               MaybeCorrelation("v", "u") + " and " +
+                               Link(C("v", "2"), inner);
     return "select uk from u where uk >= 0" + MaybeLocal("u") + " and " +
-           Link("u1", middle);
+           Link(C("u", "1"), middle);
   }
 
   // Two siblings under the root, one of which has its own nested chain.
   std::string ChainUnderTree() {
-    const std::string deep_inner = "select w1 from w where wk >= 0" +
-                                   MaybeLocal("w") +
+    const std::string deep_inner = "select " + C("w", "1") +
+                                   " from w where wk >= 0" + MaybeLocal("w") +
                                    MaybeCorrelation("w", "v");
-    const std::string chain_child = "select v1 from v where vk >= 0" +
+    const std::string chain_child = "select " + C("v", "1") +
+                                    " from v where vk >= 0" +
                                     MaybeCorrelation("v", "u") + " and " +
-                                    Link("v2", deep_inner);
-    const std::string flat_child = "select x1 from x where xk >= 0" +
-                                   MaybeLocal("x") + MaybeCorrelation("x", "u");
-    return "select uk from u where uk >= 0 and " + Link("u1", chain_child) +
-           " and " + Link("u2", flat_child);
+                                    Link(C("v", "2"), deep_inner);
+    const std::string flat_child = "select " + C("x", "1") +
+                                   " from x where xk >= 0" + MaybeLocal("x") +
+                                   MaybeCorrelation("x", "u");
+    return "select uk from u where uk >= 0 and " +
+           Link(C("u", "1"), chain_child) + " and " +
+           Link(C("u", "2"), flat_child);
   }
 
   std::string TreeQuery() {
-    const std::string sub1 = "select v1 from v where vk >= 0" +
-                             MaybeLocal("v") + MaybeCorrelation("v", "u");
-    const std::string sub2 = "select w1 from w where wk >= 0" +
-                             MaybeLocal("w") + MaybeCorrelation("w", "u");
+    const std::string sub1 = "select " + C("v", "1") +
+                             " from v where vk >= 0" + MaybeLocal("v") +
+                             MaybeCorrelation("v", "u");
+    const std::string sub2 = "select " + C("w", "1") +
+                             " from w where wk >= 0" + MaybeLocal("w") +
+                             MaybeCorrelation("w", "u");
     return "select uk from u where uk >= 0" + MaybeLocal("u") + " and " +
-           Link("u1", sub1) + " and " + Link("u2", sub2);
+           Link(C("u", "1"), sub1) + " and " + Link(C("u", "2"), sub2);
   }
 
   Rng rng_;
+  bool key_links_ = false;
 };
 
 }  // namespace testing_util

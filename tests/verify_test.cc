@@ -61,18 +61,21 @@ TEST(VerifyDiagnosticTest, Formatting) {
   EXPECT_TRUE(report.clean());
   EXPECT_OK(report.ToStatus());
 
-  report.diagnostics.push_back({VerifySeverity::kWarning, 3,
-                                verify_rules::kCartesianProduct, "pricey"});
+  report.Add({VerifySeverity::kWarning, 3,
+              verify_rules::kCartesianProduct, "pricey"});
   EXPECT_TRUE(report.ok());  // warnings do not fail verification
   EXPECT_FALSE(report.clean());
   EXPECT_EQ(report.num_errors(), 0);
+  EXPECT_EQ(report.num_warnings(), 1);
   EXPECT_OK(report.ToStatus());
 
-  report.diagnostics.push_back(d);
+  report.Add(d);
   EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.num_errors(), 1);
   EXPECT_TRUE(report.HasRule(verify_rules::kNestSets));
   EXPECT_FALSE(report.HasRule(verify_rules::kKeySurvival));
+  EXPECT_EQ(report.CountRule(verify_rules::kCartesianProduct), 1);
+  EXPECT_EQ(report.Summary(), "verify: 10 rules, 1 error, 1 warning");
   const Status st = report.ToStatus();
   EXPECT_FALSE(st.ok());
   // Only error-severity diagnostics surface in the status message.
@@ -161,6 +164,175 @@ TEST_F(VerifyTest, CorruptedDroppedKeyAttribute) {
   const VerifyReport report = verifier.Verify(*root);
   EXPECT_FALSE(report.ok()) << report.ToString();
   EXPECT_TRUE(report.HasRule(verify_rules::kKeySurvival)) << report.ToString();
+}
+
+TEST_F(VerifyTest, CorruptedTableNotInCatalog) {
+  const QueryBlockPtr root =
+      Bind("select r.a from r where r.b in (select s.e from s where s.g = r.d)");
+  ASSERT_NE(root, nullptr);
+  ASSERT_EQ(root->children.size(), 1u);
+
+  // Retarget the subquery at a table the catalog has never heard of.
+  root->children[0]->tables[0].table = "phantom";
+
+  const PlanVerifier verifier(catalog_);
+  const VerifyReport report = verifier.Verify(*root);
+  EXPECT_FALSE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.HasRule(verify_rules::kSchemaResolve)) << report.ToString();
+}
+
+TEST_F(VerifyTest, CorruptedLinkingAttributeUnresolvable) {
+  const QueryBlockPtr root =
+      Bind("select r.a from r where r.b in (select s.e from s where s.g = r.d)");
+  ASSERT_NE(root, nullptr);
+  ASSERT_EQ(root->children.size(), 1u);
+
+  // The link's outer operand must resolve in some ancestor block.
+  root->children[0]->linking_attr = "r.zzz";
+
+  const PlanVerifier verifier(catalog_);
+  const VerifyReport report = verifier.Verify(*root);
+  EXPECT_FALSE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.HasRule(verify_rules::kLinkSchema)) << report.ToString();
+}
+
+TEST_F(VerifyTest, CorruptedPositiveRewriteMissingOperand) {
+  const QueryBlockPtr root =
+      Bind("select r.a from r where r.b in (select s.e from s where s.g = r.d)");
+  ASSERT_NE(root, nullptr);
+  ASSERT_EQ(root->children.size(), 1u);
+
+  // With the §4.2.5 positive-semijoin rewrite enabled the executor builds
+  // the extra join condition A θ B from the link operands; blank the inner
+  // one and the precondition check must flag the plan.
+  NraOptions opts = NraOptions::Optimized();
+  opts.rewrite_positive = true;
+  root->children[0]->linked_attr.clear();
+
+  const PlanVerifier verifier(catalog_, opts);
+  const VerifyReport report = verifier.Verify(*root);
+  EXPECT_FALSE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.HasRule(verify_rules::kRewritePrecond))
+      << report.ToString();
+}
+
+TEST_F(VerifyTest, NullLinkingFiresWhenComparisonProvablyUnknown) {
+  // `s.h IS NULL` proves the linked attribute always-NULL among qualifying
+  // rows, so the IN member comparison can only ever evaluate to UNKNOWN: the
+  // link is constant-valued regardless of the data.
+  const QueryBlockPtr root = Bind(
+      "select r.a from r where r.b in (select s.h from s where s.h is null)");
+  ASSERT_NE(root, nullptr);
+  const PlanVerifier verifier(catalog_);
+  const VerifyReport report = verifier.Verify(*root);
+  EXPECT_TRUE(report.HasRule(verify_rules::kNullLinking)) << report.ToString();
+  EXPECT_TRUE(report.ok());  // warning severity: the plan still runs
+}
+
+TEST_F(VerifyTest, NullLinkingSilentWhenComparisonCanDecide) {
+  // Same shape with IS NOT NULL: the member comparison can decide, so the
+  // warning must not fire (the linking side r.b may still be NULL — that
+  // makes the link three-valued, not constant).
+  const QueryBlockPtr root = Bind(
+      "select r.a from r where r.b in "
+      "(select s.h from s where s.h is not null)");
+  ASSERT_NE(root, nullptr);
+  const VerifyReport report = PlanVerifier(catalog_).Verify(*root);
+  EXPECT_FALSE(report.HasRule(verify_rules::kNullLinking)) << report.ToString();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+}
+
+TEST_F(VerifyTest, ScalarCardFiresWhenNoKeyPinned) {
+  // A bare scalar subquery binds as θ SOME; nothing pins a key of s, so the
+  // at-most-one-row requirement is unprovable and SOME would silently accept
+  // where SQL demands a runtime cardinality error.
+  const QueryBlockPtr root =
+      Bind("select d from r where b = (select e from s)");
+  ASSERT_NE(root, nullptr);
+  ASSERT_EQ(root->children.size(), 1u);
+  EXPECT_TRUE(root->children[0]->is_scalar_link);
+  const VerifyReport report = PlanVerifier(catalog_).Verify(*root);
+  EXPECT_TRUE(report.HasRule(verify_rules::kScalarCard)) << report.ToString();
+  EXPECT_FALSE(report.ok());  // error severity
+}
+
+TEST_F(VerifyTest, ScalarCardSilentWhenKeyPinned) {
+  // s.i is the primary key of s: a literal or correlated equality on it
+  // bounds the qualifying set to at most one member per outer binding.
+  for (const char* sql :
+       {"select d from r where b = (select e from s where s.i = 2)",
+        "select d from r where b = (select e from s where s.i = r.d)"}) {
+    const QueryBlockPtr root = Bind(sql);
+    ASSERT_NE(root, nullptr);
+    ASSERT_EQ(root->children.size(), 1u);
+    EXPECT_TRUE(root->children[0]->is_scalar_link) << sql;
+    const VerifyReport report = PlanVerifier(catalog_).Verify(*root);
+    EXPECT_FALSE(report.HasRule(verify_rules::kScalarCard))
+        << sql << "\n" << report.ToString();
+    EXPECT_TRUE(report.ok()) << sql << "\n" << report.ToString();
+  }
+}
+
+TEST_F(VerifyTest, DeadPseudoFiresOnDeclaredNonNullUnreadPad) {
+  // Query Q's inner selection runs in pseudo mode, padding the middle
+  // block's attributes {s.e..s.i}. Nothing upward reads s.f; once s.f is
+  // declared NOT NULL the padding on it is provably dead.
+  ASSERT_OK(catalog_.AddNotNull("s", "f"));
+  const QueryBlockPtr root = Bind(kQueryQ);
+  ASSERT_NE(root, nullptr);
+  const PlanVerifier verifier(catalog_, NraOptions::Original());
+  const VerifyReport report = verifier.Verify(*root);
+  EXPECT_TRUE(report.HasRule(verify_rules::kDeadPseudo)) << report.ToString();
+  EXPECT_TRUE(report.ok());  // advisory warning
+  EXPECT_NE(report.ToString().find("s.f"), std::string::npos)
+      << report.ToString();
+}
+
+TEST_F(VerifyTest, DeadPseudoSilentWithoutDeclaredConstraint) {
+  // Same query, no NOT NULL declaration: s.f happens to be NULL-free in the
+  // data, but the advisory rule deliberately ignores observed facts — the
+  // "remove the pad attribute" advice must stay valid when data changes.
+  const QueryBlockPtr root = Bind(kQueryQ);
+  ASSERT_NE(root, nullptr);
+  const PlanVerifier verifier(catalog_, NraOptions::Original());
+  const VerifyReport report = verifier.Verify(*root);
+  EXPECT_FALSE(report.HasRule(verify_rules::kDeadPseudo)) << report.ToString();
+}
+
+TEST_F(VerifyTest, TwoValuedAntijoinOutlinedAndGuarded) {
+  // r.d (primary key) NOT IN s.e (NULL-free at load): the member comparison
+  // is proven two-valued, so the default plan runs a plain antijoin.
+  const QueryBlockPtr root = Bind(
+      "select r.a from r where r.d not in (select s.e from s where s.g = r.d)");
+  ASSERT_NE(root, nullptr);
+  const PlanVerifier verifier(catalog_, NraOptions::Optimized());
+  const std::vector<PlanStep> steps = verifier.Outline(*root);
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].kind, PlanStepKind::kAntijoin);
+  EXPECT_EQ(steps[0].mode, SelectionMode::kStrict);
+  {
+    VerifyReport before;
+    verifier.CheckOutline(steps, &before);
+    EXPECT_TRUE(before.clean()) << before.ToString();
+  }
+
+  // Corrupt the plan: an antijoin step for a *positive* link is wrong in
+  // every data set (it would keep non-matching rows only).
+  root->children[0]->link_op = LinkOp::kIn;
+  VerifyReport report;
+  verifier.CheckOutline(steps, &report);
+  EXPECT_FALSE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.HasRule(verify_rules::kLinkMode)) << report.ToString();
+
+  // With the fast path disabled the same query outlines as before this
+  // optimization existed — no antijoin step anywhere.
+  root->children[0]->link_op = LinkOp::kNotIn;
+  NraOptions three_valued = NraOptions::Optimized();
+  three_valued.two_valued = false;
+  const PlanVerifier slow(catalog_, three_valued);
+  for (const PlanStep& s : slow.Outline(*root)) {
+    EXPECT_NE(s.kind, PlanStepKind::kAntijoin);
+  }
 }
 
 TEST_F(VerifyTest, ExecutorRejectsCorruptedPlanUpFront) {

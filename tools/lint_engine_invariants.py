@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint, run by the CI repo-lint job.
+
+Three checks, each guarding a convention the engine relies on but the
+compiler cannot enforce:
+
+1. Hot-path purity: no wall-clock or RNG calls (`steady_clock`, `rand(`,
+   `srand(`, `time(`) in `src/` outside the explicit allowlist of files
+   whose timing is behind the profiling / telemetry guards (exec_node's
+   EnableTimingRecursive gate, the trace/metrics sinks, the thread pool's
+   contention counter, profile.cc, and executor.cc's phase timers, which
+   only run when profiling is on). A timing call that sneaks into a kernel
+   or operator loop silently costs a vDSO call per row.
+
+2. Rule-id hygiene: every `verify_rules::k*` string constant declared in
+   src/verify/verifier.h must be documented in DESIGN.md and exercised by
+   tests/verify_test.cc. A rule that fires in production but appears in
+   neither is untested and unexplained.
+
+3. Test registration: every tests/*.cc file must be registered in
+   tests/CMakeLists.txt. An unregistered suite compiles on nobody's
+   machine and silently stops running.
+
+Exit status is the number of violations (0 = clean).
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Files allowed to read the clock / RNG. Everything here is either behind
+# an explicit opt-in (profiling, tracing, metrics) or off the per-row path
+# (pool bring-up, query-level phase stamps).
+CLOCK_ALLOWLIST = {
+    "src/common/thread_pool.cc",   # queue-wait contention counter
+    "src/exec/exec_node.cc",       # per-node timers, gated on EnableTimingRecursive
+    "src/exec/exec_node.h",
+    "src/nra/executor.cc",         # per-query phase stamps (parse/plan/execute)
+    "src/nra/profile.cc",          # EXPLAIN ANALYZE collection
+    "src/nra/profile.h",
+    "src/telemetry/trace.cc",      # trace-event timestamps
+    "src/telemetry/trace.h",
+}
+
+CLOCK_PATTERN = re.compile(r"steady_clock|\b[s]?rand\s*\(|\btime\s*\(")
+
+
+def check_hot_path_purity():
+    violations = []
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in (".cc", ".h"):
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        if rel in CLOCK_ALLOWLIST:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            code = line.split("//", 1)[0]
+            if CLOCK_PATTERN.search(code):
+                violations.append(
+                    f"{rel}:{lineno}: clock/RNG call outside allowlist: "
+                    f"{line.strip()}"
+                )
+    return violations
+
+
+def check_rule_ids():
+    violations = []
+    header = (REPO / "src/verify/verifier.h").read_text()
+    design = (REPO / "DESIGN.md").read_text()
+    tests = (REPO / "tests/verify_test.cc").read_text()
+    # Rule ids are string constants: inline constexpr const char kFoo[] = "foo";
+    decls = re.findall(
+        r"inline constexpr const char (k\w+)\[\]\s*=\s*\"([^\"]+)\"", header
+    )
+    if not decls:
+        violations.append("src/verify/verifier.h: no verify_rules constants found")
+    for const_name, rule_id in decls:
+        if const_name not in design and rule_id not in design:
+            violations.append(
+                f"verify_rules::{const_name} (\"{rule_id}\") not documented "
+                f"in DESIGN.md"
+            )
+        if const_name not in tests:
+            violations.append(
+                f"verify_rules::{const_name} not exercised by "
+                f"tests/verify_test.cc"
+            )
+    return violations
+
+
+def check_test_registration():
+    violations = []
+    cmake = (REPO / "tests/CMakeLists.txt").read_text()
+    registered = set(re.findall(r"nestra_add_test\((\w+)\)", cmake))
+    for path in sorted((REPO / "tests").glob("*.cc")):
+        if path.stem not in registered:
+            violations.append(
+                f"tests/{path.name} not registered in tests/CMakeLists.txt"
+            )
+    return violations
+
+
+def main():
+    violations = []
+    for check in (check_hot_path_purity, check_rule_ids,
+                  check_test_registration):
+        violations.extend(check())
+    for v in violations:
+        print(f"lint: {v}", file=sys.stderr)
+    if not violations:
+        print("lint_engine_invariants: all checks clean")
+    return min(len(violations), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
