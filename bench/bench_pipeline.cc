@@ -1,0 +1,220 @@
+// A/B benchmark for the pipelined stage-DAG scheduler (DESIGN.md §11): the
+// same query with `pipelined=false` (staged execution: one stage at a time,
+// intra-stage morsel parallelism only) versus the default `pipelined=true`
+// (stages become DAG tasks; independent pipelines — every block's base
+// evaluation, sibling subtrees — overlap on the shared pool).
+//
+// Every series is a multi-block query whose plan has at least two
+// independent base pipelines, timed strictly interleaved min-of-N at 1, 2,
+// and 8 threads. At 1 thread the DAG degrades to the staged schedule, so
+// that series doubles as an overhead regression check.
+//
+// Results land in the NESTRA_PIPELINE_JSON sink (BENCH_7.json, schema
+// "nestra-pipeline-compare-v1") with per-entry speedup and a result
+// identity flag. Identity here is ROW-EXACT — order included — because the
+// pipelined engine's contract is bit-identity to the staged run, not mere
+// bag equality.
+
+#include "bench_common.h"
+
+namespace nestra {
+namespace bench {
+namespace {
+
+class PipelineJsonRecorder {
+ public:
+  static PipelineJsonRecorder& Get() {
+    static PipelineJsonRecorder* recorder = [] {
+      auto* r = new PipelineJsonRecorder();
+      std::atexit(&PipelineJsonRecorder::WriteAtExit);
+      return r;
+    }();
+    return *recorder;
+  }
+
+  void Record(const std::string& name, double staged_min_ms,
+              double pipelined_min_ms, bool identical) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The benchmark runner re-invokes each function while calibrating the
+    // iteration count; fold repeat runs into one entry per series.
+    for (Entry& e : entries_) {
+      if (e.name != name) continue;
+      e.staged_min_ms = std::min(e.staged_min_ms, staged_min_ms);
+      e.pipelined_min_ms = std::min(e.pipelined_min_ms, pipelined_min_ms);
+      e.identical = e.identical && identical;
+      return;
+    }
+    entries_.push_back({name, staged_min_ms, pipelined_min_ms, identical});
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double staged_min_ms;
+    double pipelined_min_ms;
+    bool identical;
+  };
+
+  static void WriteAtExit() {
+    const char* path = std::getenv("NESTRA_PIPELINE_JSON");
+    if (path == nullptr || path[0] == '\0') return;
+    PipelineJsonRecorder& self = Get();
+    std::lock_guard<std::mutex> lock(self.mu_);
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"schema\": \"nestra-pipeline-compare-v1\",\n");
+    std::fprintf(f, "  \"meta\": %s,\n", BuildMetaJson().c_str());
+    std::fprintf(f, "  \"entries\": [");
+    for (size_t i = 0; i < self.entries_.size(); ++i) {
+      const Entry& e = self.entries_[i];
+      const double speedup = e.pipelined_min_ms > 0
+                                 ? e.staged_min_ms / e.pipelined_min_ms
+                                 : 0.0;
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", "
+                   "\"staged_min_ms\": %.6f, "
+                   "\"pipelined_min_ms\": %.6f, \"speedup\": %.4f, "
+                   "\"identical\": %s}",
+                   i == 0 ? "" : ",", e.name.c_str(), e.staged_min_ms,
+                   e.pipelined_min_ms, speedup,
+                   e.identical ? "true" : "false");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+  std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+// The pipelined engine must be indistinguishable from the staged one down
+// to row order and value representation.
+bool RowExact(const Table& a, const Table& b) {
+  if (!a.schema().Equals(b.schema()) || a.num_rows() != b.num_rows()) {
+    return false;
+  }
+  for (int64_t i = 0; i < a.num_rows(); ++i) {
+    if (!(a.rows()[static_cast<size_t>(i)] ==
+          b.rows()[static_cast<size_t>(i)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Times `sql` staged and pipelined, strictly interleaved so thermal /
+// noisy-neighbour drift cancels out of the ratio, and records both the
+// benchmark counters and the BENCH_7.json entry.
+void RunPipelineCompare(benchmark::State& state, const Catalog& catalog,
+                        const std::string& sql, const NraOptions& base,
+                        const std::string& bench_name) {
+  NraOptions staged = base;
+  staged.pipelined = false;
+  NraOptions pipelined = base;
+  pipelined.pipelined = true;
+  NraExecutor staged_exec(catalog, staged);
+  NraExecutor pipelined_exec(catalog, pipelined);
+  IoSim* sim = IoSim::Get();
+
+  double staged_min = 0;
+  double pipelined_min = 0;
+  bool identical = true;
+  int iters = 0;
+  for (auto _ : state) {
+    if (sim != nullptr) sim->Reset();
+    auto t0 = std::chrono::steady_clock::now();
+    Result<Table> staged_result = staged_exec.ExecuteSql(sql);
+    const double staged_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+    if (sim != nullptr) sim->Reset();
+    t0 = std::chrono::steady_clock::now();
+    Result<Table> pipelined_result = pipelined_exec.ExecuteSql(sql);
+    const double pipelined_ms = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count();
+    if (!staged_result.ok() || !pipelined_result.ok()) {
+      state.SkipWithError("pipeline comparison run failed");
+      return;
+    }
+    if (iters == 0) {
+      identical = RowExact(*staged_result, *pipelined_result);
+    }
+    staged_min = iters == 0 ? staged_ms : std::min(staged_min, staged_ms);
+    pipelined_min =
+        iters == 0 ? pipelined_ms : std::min(pipelined_min, pipelined_ms);
+    ++iters;
+    benchmark::DoNotOptimize(pipelined_result->num_rows());
+  }
+  if (iters == 0) return;
+  state.counters["staged_min_ms"] = staged_min;
+  state.counters["pipelined_min_ms"] = pipelined_min;
+  state.counters["pipeline_speedup"] =
+      pipelined_min > 0 ? staged_min / pipelined_min : 0;
+  state.counters["results_identical"] = identical ? 1 : 0;
+  PipelineJsonRecorder::Get().Record(bench_name, staged_min, pipelined_min,
+                                     identical);
+}
+
+void Register(const std::string& name, const Catalog& catalog,
+              const std::string& sql, const NraOptions& base) {
+  for (const int threads : {1, 2, 8}) {
+    NraOptions opts = base;
+    opts.num_threads = threads;
+    const std::string full = name + "/threads=" + std::to_string(threads);
+    benchmark::RegisterBenchmark(
+        full.c_str(), [&catalog, sql, opts, full](benchmark::State& state) {
+          RunPipelineCompare(state, catalog, sql, opts, full);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+  }
+}
+
+void RegisterAll() {
+  const Catalog& catalog = SharedCatalog(/*declare_not_null=*/true);
+  const NraOptions base = NraOptions::Optimized();
+
+  // Query 1 (`> ALL` over orders): two independent base pipelines — the
+  // outer orders scan and the subquery's lineitem scan run concurrently.
+  const auto [lo, hi] = OrderDateWindow(catalog, 1200);
+  Register("Pipeline/Query1", catalog, MakeQuery1(lo, hi), base);
+
+  // Query 2a (part -> partsupp -> lineitem chain): three block bases, all
+  // independent of each other; the joins serialize but every scan+filter
+  // overlaps.
+  Register("Pipeline/Query2a", catalog,
+           MakeQuery2(10, 40, 5000, 25, OuterLink::kAny,
+                      InnerLink::kNotExists),
+           base);
+
+  // Query 3a: the tree-shaped plan — sibling subquery pipelines are fully
+  // independent, the strongest overlap case.
+  Register("Pipeline/Query3a", catalog,
+           MakeQuery3(10, 40, 5000, 25, OuterLink::kAll, InnerLink::kExists,
+                      Query3Variant::kVariantA),
+           base);
+
+  // Two sibling NOT IN subqueries over the same table (distinct aliases —
+  // the binder requires repeated tables to be aliased explicitly): both
+  // inner pipelines and the outer base are mutually independent.
+  Register("Pipeline/TwoSiblings", catalog,
+           "select o_orderkey from orders "
+           "where o_orderkey not in (select l1.l_orderkey from lineitem l1 "
+           "where l1.l_quantity > 45) "
+           "and o_orderkey not in (select l2.l_orderkey from lineitem l2 "
+           "where l2.l_extendedprice > 9000)",
+           base);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nestra
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  nestra::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

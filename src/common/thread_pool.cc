@@ -16,6 +16,12 @@ namespace {
 std::atomic<int64_t> g_parallel_loops{0};
 std::atomic<int64_t> g_tasks_submitted{0};
 std::atomic<int64_t> g_wait_nanos{0};
+
+// True on threads whose top frame is ThreadPool::WorkerLoop. Helper tasks
+// drained inline by a waiting caller (TryRunOne) use it to label their trace
+// spans "pool-task-inline", keeping the "pool-task spans appear only on
+// pool-worker tracks" invariant the telemetry smoke checks.
+thread_local bool t_is_pool_worker = false;
 }  // namespace
 
 PoolStatsSnapshot GlobalPoolStats() {
@@ -52,6 +58,18 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool ThreadPool::TryRunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
 int ThreadPool::num_workers() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(workers_.size());
@@ -76,6 +94,7 @@ void ThreadPool::WorkerLoop() {
   // Names the worker's track in trace output ("pool-worker" vs the default
   // registration-ordered "thread-<n>"), so pool-task spans are attributable.
   telemetry::SetCurrentThreadName("pool-worker");
+  t_is_pool_worker = true;
   while (true) {
     std::function<void()> task;
     {
@@ -142,7 +161,10 @@ void ParallelForEach(int64_t units, int num_threads,
   state->pending_helpers = helpers;
   for (int i = 0; i < helpers; ++i) {
     pool->Submit([state] {
-      telemetry::TraceSpan task_span("pool", "pool-task");
+      // A helper picked up by a waiting caller (TryRunOne) runs off the
+      // worker tracks; the distinct span name keeps trace accounting honest.
+      telemetry::TraceSpan task_span(
+          "pool", t_is_pool_worker ? "pool-task" : "pool-task-inline");
       state->RunLoop();
       task_span.End();
       state->HelperExit();
@@ -150,9 +172,21 @@ void ParallelForEach(int64_t units, int num_threads,
   }
   state->RunLoop();
   const auto wait_start = std::chrono::steady_clock::now();
-  {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait(lock, [&] { return state->pending_helpers == 0; });
+  // Helping wait: drain other queued pool tasks while our helpers finish.
+  // Blocking outright here could deadlock a nested loop — with all workers
+  // parked in waits like this one, queued helpers would never run. Once the
+  // queue is empty every still-pending helper is already running on some
+  // thread and will signal done_cv, so the final blocking wait is safe.
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (state->pending_helpers == 0) break;
+    }
+    if (!pool->TryRunOne()) {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->done_cv.wait(lock, [&] { return state->pending_helpers == 0; });
+      break;
+    }
   }
   g_wait_nanos.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - wait_start)

@@ -33,6 +33,14 @@ class ThreadPool {
 
   void Submit(std::function<void()> task);
 
+  /// Pops one queued task and runs it on the calling thread; returns false
+  /// without blocking when the queue is empty. This is how blocked waiters
+  /// help instead of idling: a thread that must wait for pool work it (or a
+  /// task it runs) submitted can drain queued tasks meanwhile, which is what
+  /// makes nested parallel loops and the pipeline DAG scheduler safe on a
+  /// bounded pool.
+  bool TryRunOne();
+
   int num_workers() const;
 
   /// Grows the pool to at least `num_workers` threads (never shrinks).
@@ -58,8 +66,11 @@ class ThreadPool {
 /// threads (the calling thread participates; helpers come from the shared
 /// pool). Units are claimed dynamically, so `body` must be safe to call
 /// concurrently and must not depend on which thread runs which unit; it
-/// must not throw. Blocks until every unit has finished. Do not nest
-/// parallel loops. With num_threads <= 1 this is a plain serial loop.
+/// must not throw. Blocks until every unit has finished. Nesting is safe:
+/// while waiting for its helpers the caller drains other queued pool tasks
+/// (ThreadPool::TryRunOne), so an outer loop blocked on helpers can never
+/// starve them of workers. With num_threads <= 1 this is a plain serial
+/// loop.
 void ParallelForEach(int64_t units, int num_threads,
                      const std::function<void(int64_t)>& body);
 

@@ -37,6 +37,7 @@ class AggregateNode final : public ExecNode {
 
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "Aggregate"; }
+  PipelineRole role() const override { return PipelineRole::kBreaker; }
   std::vector<ExecNode*> children() const override { return {child_.get()}; }
 
  protected:

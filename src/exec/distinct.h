@@ -20,6 +20,9 @@ class DistinctNode final : public ExecNode {
     return child_->output_schema();
   }
   std::string name() const override { return "Distinct"; }
+  PipelineRole role() const override {
+    return PipelineRole::kSerialStreaming;
+  }
   std::vector<ExecNode*> children() const override { return {child_.get()}; }
 
  protected:

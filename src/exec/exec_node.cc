@@ -28,6 +28,20 @@ const char* QueryPhaseLabel(QueryPhase phase) {
   return "unknown";
 }
 
+const char* PipelineRoleLabel(PipelineRole role) {
+  switch (role) {
+    case PipelineRole::kSource:
+      return "source";
+    case PipelineRole::kStreaming:
+      return "streaming";
+    case PipelineRole::kSerialStreaming:
+      return "serial-streaming";
+    case PipelineRole::kBreaker:
+      return "breaker";
+  }
+  return "unknown";
+}
+
 Status ExecNode::Open() {
   // A node re-used across Open() calls must not leak the previous run's
   // counters (or its timings) into this run's profile snapshot; open_calls

@@ -14,6 +14,25 @@
 
 namespace nestra {
 
+/// \brief Pipeline-scheduling classification of an operator (DESIGN.md
+/// §11). The push-based executor decomposes a plan into source→streaming→
+/// sink pipelines; an operator's role decides where pipeline boundaries
+/// fall when the stage DAG is built:
+///
+///  * kSource — emits rows from storage or owned materialized state
+///    (Scan, TableSource); heads a pipeline.
+///  * kStreaming — transforms rows/batches as they flow (Filter, Project);
+///    rides inside a pipeline.
+///  * kSerialStreaming — streaming, but carries cross-row state that pins
+///    it to one in-order lane (Distinct, Limit, the fused nest+select
+///    evaluator).
+///  * kBreaker — must consume its entire input before emitting its first
+///    row (Sort, HashJoin build, Aggregate, the join fallbacks); ends a
+///    pipeline and becomes a sink with explicit dependencies.
+enum class PipelineRole { kSource, kStreaming, kSerialStreaming, kBreaker };
+
+const char* PipelineRoleLabel(PipelineRole role);
+
 /// \brief Volcano-style pull operator.
 ///
 /// Protocol: `Open()` once (binds expressions, builds hash tables, sorts —
@@ -47,6 +66,11 @@ class ExecNode {
 
   /// Child operators, left to right. Leaves return {}.
   virtual std::vector<ExecNode*> children() const { return {}; }
+
+  /// Pipeline-scheduling role (see PipelineRole above). Pure row/batch
+  /// transforms stream by default; sources, breakers, and order-dependent
+  /// streamers override.
+  virtual PipelineRole role() const { return PipelineRole::kStreaming; }
 
   Status Open();
 
@@ -123,15 +147,19 @@ class TableSourceNode final : public ExecNode {
 
   const Schema& output_schema() const override { return table_.schema(); }
   std::string name() const override { return "TableSource"; }
+  PipelineRole role() const override { return PipelineRole::kSource; }
 
   /// Moves the not-yet-emitted rows out in one bulk transfer, as if the
   /// caller had drained them one call at a time (rows_out advances the
   /// same way). Returns false — leaving the node untouched — when rows
   /// were already emitted through Next/NextBatch. One-shot consumers that
   /// materialize the whole input anyway (hash join build/probe) use this
-  /// to skip a per-row deep copy; afterwards the node replays empty.
+  /// to skip a per-row deep copy; afterwards the node cannot be reopened
+  /// (the rows are gone — OpenImpl fails loudly rather than silently
+  /// replaying an emptied table, the stale-stats-on-reopen bug class).
   bool TakeAllRows(std::vector<Row>* out) {
-    if (pos_ != 0) return false;
+    if (pos_ != 0 || taken_) return false;
+    taken_ = true;
     stats_.rows_out += table_.num_rows();
     if (out->empty()) {
       *out = std::move(table_.rows());
@@ -144,6 +172,13 @@ class TableSourceNode final : public ExecNode {
 
  protected:
   Status OpenImpl() override {
+    // TakeAllRows only ever runs against an opened node, so an Open that
+    // sees taken_ is a reopen — and the rows are gone.
+    if (taken_) {
+      return Status::Internal(
+          "TableSource reopened after TakeAllRows moved its rows out; the "
+          "replay would be silently empty");
+    }
     pos_ = 0;
     return Status::OK();
   }
@@ -154,6 +189,7 @@ class TableSourceNode final : public ExecNode {
  private:
   Table table_;
   int64_t pos_ = 0;
+  bool taken_ = false;
 };
 
 }  // namespace nestra

@@ -53,6 +53,9 @@ class HashJoinNode final : public ExecNode {
   std::string name() const override {
     return std::string("HashJoin[") + JoinTypeToString(join_type_) + "]";
   }
+  // The build side is consumed entirely in Open (and probe output begins
+  // only after), which is what pins joins to the breaker role.
+  PipelineRole role() const override { return PipelineRole::kBreaker; }
   std::vector<ExecNode*> children() const override {
     return {left_.get(), right_.get()};
   }

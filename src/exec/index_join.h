@@ -31,6 +31,7 @@ class IndexJoinNode final : public ExecNode {
   std::string name() const override {
     return std::string("IndexJoin[") + JoinTypeToString(join_type_) + "]";
   }
+  PipelineRole role() const override { return PipelineRole::kBreaker; }
   std::string detail() const override { return alias_; }
   std::vector<ExecNode*> children() const override { return {left_.get()}; }
 

@@ -16,6 +16,9 @@ class LimitNode final : public ExecNode {
     return child_->output_schema();
   }
   std::string name() const override { return "Limit"; }
+  PipelineRole role() const override {
+    return PipelineRole::kSerialStreaming;
+  }
   std::vector<ExecNode*> children() const override { return {child_.get()}; }
 
  protected:

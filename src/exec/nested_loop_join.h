@@ -25,6 +25,7 @@ class NestedLoopJoinNode final : public ExecNode {
   std::string name() const override {
     return std::string("NestedLoopJoin[") + JoinTypeToString(join_type_) + "]";
   }
+  PipelineRole role() const override { return PipelineRole::kBreaker; }
   std::vector<ExecNode*> children() const override {
     return {left_.get(), right_.get()};
   }

@@ -20,6 +20,7 @@ class ScanNode final : public ExecNode {
 
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "Scan"; }
+  PipelineRole role() const override { return PipelineRole::kSource; }
   std::string detail() const override { return alias_; }
 
  protected:

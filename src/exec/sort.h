@@ -37,6 +37,7 @@ class SortNode final : public ExecNode {
     return child_->output_schema();
   }
   std::string name() const override { return "Sort"; }
+  PipelineRole role() const override { return PipelineRole::kBreaker; }
   std::vector<ExecNode*> children() const override { return {child_.get()}; }
 
  protected:

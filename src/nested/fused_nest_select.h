@@ -59,6 +59,9 @@ class FusedNestSelectNode final : public ExecNode {
 
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "FusedNestSelect"; }
+  PipelineRole role() const override {
+    return PipelineRole::kSerialStreaming;
+  }
   std::string detail() const override;
   std::vector<ExecNode*> children() const override { return {child_.get()}; }
 

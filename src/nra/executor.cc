@@ -12,6 +12,7 @@
 #include "nested/fused_nest_select.h"
 #include "nested/linking_selection.h"
 #include "nested/nest.h"
+#include "nra/pipeline.h"
 #include "nra/planner.h"
 #include "nra/profile.h"
 #include "nra/rewrites.h"
@@ -154,7 +155,8 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
     if (options_.bottom_up_linear && root.IsLinearCorrelated()) {
       NESTRA_ASSIGN_OR_RETURN(std::vector<const QueryBlock*> chain,
                               LinearChain(root));
-      return ExecuteBottomUpLinear(chain, stats, prof);
+      return options_.pipelined ? ExecuteBottomUpLinearDag(chain, stats, prof)
+                                : ExecuteBottomUpLinear(chain, stats, prof);
     }
     // The single-sort fused path folds every level into one pass, but it
     // bypasses the per-child rewrites; when those are requested, route
@@ -172,16 +174,19 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
         all_correlated = all_correlated && !chain[i]->correlated_preds.empty();
       }
       // Proven-2VL bypass: when the chain's leaf link can run as a plain
-      // antijoin (see NegativeLinkRunsTwoValued), the recursive path takes
-      // it; the fused pipeline would push the same link through 3VL member
-      // handling. Mirrored by PlanVerifier::Outline and ExplainQuery.
-      const std::vector<const QueryBlock*> leaf_path(chain.begin(),
-                                                     chain.end() - 1);
-      if (options_.two_valued &&
-          NegativeLinkRunsTwoValued(*chain.back(), leaf_path, catalog_)) {
+      // antijoin, the recursive path takes it; the fused pipeline would push
+      // the same link through 3VL member handling.
+      if (FusedChainBypassesTwoValued(chain, catalog_, options_)) {
         all_correlated = false;
       }
-      if (all_correlated) return ExecuteFusedLinear(chain, stats, prof);
+      if (all_correlated) {
+        return options_.pipelined
+                   ? ExecuteFusedLinearDag(chain, stats, prof)
+                   : ExecuteFusedLinear(chain, stats, prof);
+      }
+    }
+    if (options_.pipelined) {
+      return ExecutePipelinedRecursive(root, stats, prof);
     }
     const auto t0 = Clock::now();
     NESTRA_ASSIGN_OR_RETURN(
@@ -523,8 +528,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
     // can never go UNKNOWN (or NOT EXISTS, which has none) runs as a plain
     // antijoin — bit-identical to nest + pseudo-selection here because the
     // path is strict-safe and no member comparison can be UNKNOWN.
-    if (options_.two_valued &&
-        NegativeLinkRunsTwoValued(child, *path, catalog_)) {
+    if (TakesTwoValuedAntijoin(child, *path, catalog_, options_)) {
       NESTRA_ASSIGN_OR_RETURN(ExprPtr extra, AntiLinkJoinCondition(child));
       t0 = Clock::now();
       NESTRA_ASSIGN_OR_RETURN(
@@ -638,6 +642,449 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
     stats->nest_select_seconds += Seconds(t0);
   }
   return rel;
+}
+
+Result<Table> NraExecutor::ExecuteFusedLinearDag(
+    const std::vector<const QueryBlock*>& chain, NraStats* stats,
+    QueryProfile* profile) {
+  const int n = static_cast<int>(chain.size());
+  StageDag dag;
+  // Slots the task bodies exchange. Everything here outlives dag.Run(),
+  // which blocks until the last task finished; the DAG's dependency edges
+  // order the accesses.
+  std::vector<Table> bases(static_cast<size_t>(n));
+  Table rel;
+  Table out;
+
+  // The base evaluations are this shape's independent pipelines: every
+  // block's scan+filter(+join tree) can run at once. The wide-join chain
+  // and the single sort+fused pass stay sequential, each joining as soon
+  // as its base (and the previous join) is ready.
+  int prev = dag.AddTask(
+      "base[b" + std::to_string(chain[0]->id) + "]", {},
+      [&](NraStats* s, QueryProfile* p) -> Status {
+        const auto t0 = Clock::now();
+        NESTRA_ASSIGN_OR_RETURN(
+            rel, EvalBlockBase(*chain[0], catalog_, num_threads_, p,
+                               options_.vectorized, options_.two_valued));
+        s->join_seconds += Seconds(t0);
+        return Status::OK();
+      });
+  for (int k = 1; k < n; ++k) {
+    const std::string bid = std::to_string(chain[k]->id);
+    const int base_task = dag.AddTask(
+        "base[b" + bid + "]", {},
+        [&, k](NraStats* s, QueryProfile* p) -> Status {
+          const auto t0 = Clock::now();
+          NESTRA_ASSIGN_OR_RETURN(
+              bases[k], EvalBlockBase(*chain[k], catalog_, num_threads_, p,
+                                      options_.vectorized,
+                                      options_.two_valued));
+          s->join_seconds += Seconds(t0);
+          return Status::OK();
+        });
+    prev = dag.AddTask(
+        "join[b" + bid + "]", {prev, base_task},
+        [&, k, bid](NraStats* s, QueryProfile* p) -> Status {
+          const auto t0 = Clock::now();
+          Table base = std::move(bases[k]);
+          if (options_.magic_restriction) {
+            StageTimer magic_timer(p, QueryPhase::kUnnestJoin,
+                                   "magic[b" + bid + "]");
+            NESTRA_ASSIGN_OR_RETURN(
+                base, MagicRestrict(rel, std::move(base), *chain[k]));
+            magic_timer.Finish(base.num_rows());
+          }
+          NESTRA_ASSIGN_OR_RETURN(
+              rel, JoinWithChild(std::move(rel), std::move(base), *chain[k],
+                                 JoinType::kLeftOuter,
+                                 /*extra_condition=*/nullptr, num_threads_, p,
+                                 options_.vectorized));
+          s->join_seconds += Seconds(t0);
+          // Left-outer joins never shrink rel, so the running max merged
+          // across tasks equals the staged path's final assignment.
+          s->intermediate_rows = std::max(s->intermediate_rows,
+                                          rel.num_rows());
+          return Status::OK();
+        });
+  }
+  dag.AddTask(
+      "fused-finish", {prev}, [&](NraStats* s, QueryProfile* p) -> Status {
+        const auto t0 = Clock::now();
+        std::vector<FusedLevelSpec> levels;
+        std::vector<std::string> prefix;
+        for (int k = 0; k + 1 < n; ++k) {
+          for (const std::string& a : chain[k]->attributes) {
+            prefix.push_back(a);
+          }
+          FusedLevelSpec spec;
+          spec.nesting_attrs = prefix;
+          spec.pred = PredFor(*chain[k + 1], /*group=*/"");
+          spec.mode = k == 0 ? SelectionMode::kStrict : SelectionMode::kPseudo;
+          levels.push_back(std::move(spec));
+        }
+        auto sort = std::make_unique<SortNode>(
+            std::make_unique<TableSourceNode>(std::move(rel)),
+            SortKeysFor(levels.back().nesting_attrs), num_threads_,
+            options_.vectorized);
+        sort->SetPhaseRecursive(QueryPhase::kNest);
+        auto fused = std::make_unique<FusedNestSelectNode>(std::move(sort),
+                                                           std::move(levels));
+        NESTRA_ASSIGN_OR_RETURN(
+            Table reduced,
+            CollectProfiled(fused.get(), QueryPhase::kLinkingSelection,
+                            "fused nest+select", p, options_.vectorized));
+        s->nest_select_seconds += Seconds(t0);
+        NESTRA_ASSIGN_OR_RETURN(out,
+                                FinishRoot(*chain[0], std::move(reduced), p));
+        return Status::OK();
+      });
+  NESTRA_RETURN_NOT_OK(dag.Run(num_threads_, stats, profile));
+  return std::move(out);
+}
+
+Result<Table> NraExecutor::ExecuteBottomUpLinearDag(
+    const std::vector<const QueryBlock*>& chain, NraStats* stats,
+    QueryProfile* profile) {
+  const int n = static_cast<int>(chain.size());
+  StageDag dag;
+  std::vector<Table> bases(static_cast<size_t>(n));
+  Table cur;
+  Table out;
+
+  // Same independence structure as the fused shape: all base evaluations
+  // fan out, the bottom-up reduction chain consumes them leaf to root.
+  int prev = dag.AddTask(
+      "base[b" + std::to_string(chain[n - 1]->id) + "]", {},
+      [&](NraStats* s, QueryProfile* p) -> Status {
+        const auto t0 = Clock::now();
+        NESTRA_ASSIGN_OR_RETURN(
+            cur, EvalBlockBase(*chain[n - 1], catalog_, num_threads_, p,
+                               options_.vectorized, options_.two_valued));
+        s->join_seconds += Seconds(t0);
+        return Status::OK();
+      });
+  for (int k = n - 2; k >= 0; --k) {
+    const int base_task = dag.AddTask(
+        "base[b" + std::to_string(chain[k]->id) + "]", {},
+        [&, k](NraStats* s, QueryProfile* p) -> Status {
+          const auto t0 = Clock::now();
+          NESTRA_ASSIGN_OR_RETURN(
+              bases[k], EvalBlockBase(*chain[k], catalog_, num_threads_, p,
+                                      options_.vectorized,
+                                      options_.two_valued));
+          s->join_seconds += Seconds(t0);
+          return Status::OK();
+        });
+    prev = dag.AddTask(
+        "reduce[b" + std::to_string(chain[k + 1]->id) + "]",
+        {prev, base_task}, [&, k](NraStats* s, QueryProfile* p) -> Status {
+          const QueryBlock& outer = *chain[k];
+          const QueryBlock& child = *chain[k + 1];
+          const std::string bid = std::to_string(child.id);
+          Table outer_base = std::move(bases[k]);
+          // §4.2.3's strict selection is always sound here; whether the
+          // level runs as a pushed-down hash link-select needs both
+          // materialized schemas, so the decision lives inside the task.
+          std::vector<std::string> okeys, ikeys;
+          if (AllEquiCorrelation(child, outer_base.schema(), cur.schema(),
+                                 &okeys, &ikeys)) {
+            const auto t0 = Clock::now();
+            StageTimer link_timer(p, QueryPhase::kLinkingSelection,
+                                  "link-select[b" + bid + "]");
+            NESTRA_ASSIGN_OR_RETURN(
+                cur, HashLinkSelect(std::move(outer_base), cur, okeys, ikeys,
+                                    child, SelectionMode::kStrict, {},
+                                    num_threads_));
+            link_timer.Finish(cur.num_rows());
+            s->nest_select_seconds += Seconds(t0);
+          } else {
+            auto t0 = Clock::now();
+            NESTRA_ASSIGN_OR_RETURN(
+                Table joined,
+                JoinWithChild(std::move(outer_base), std::move(cur), child,
+                              JoinType::kLeftOuter,
+                              /*extra_condition=*/nullptr, num_threads_, p,
+                              options_.vectorized));
+            s->join_seconds += Seconds(t0);
+            s->intermediate_rows =
+                std::max(s->intermediate_rows, joined.num_rows());
+            t0 = Clock::now();
+            StageTimer nest_timer(p, QueryPhase::kNest, "nest[b" + bid + "]");
+            NESTRA_ASSIGN_OR_RETURN(
+                NestedRelation nested,
+                Nest(joined, outer.attributes, NestedAttrsFor(child), "g",
+                     options_.nest_method, num_threads_));
+            nest_timer.Finish(nested.num_tuples());
+            StageTimer select_timer(p, QueryPhase::kLinkingSelection,
+                                    "select[b" + bid + "]");
+            NESTRA_ASSIGN_OR_RETURN(
+                cur, LinkingSelect(nested, PredFor(child, "g"),
+                                   SelectionMode::kStrict));
+            select_timer.Finish(cur.num_rows());
+            s->nest_select_seconds += Seconds(t0);
+          }
+          if (k == 0) {
+            NESTRA_ASSIGN_OR_RETURN(out,
+                                    FinishRoot(*chain[0], std::move(cur), p));
+          }
+          return Status::OK();
+        });
+  }
+  NESTRA_RETURN_NOT_OK(dag.Run(num_threads_, stats, profile));
+  return std::move(out);
+}
+
+Status NraExecutor::ApplyNestSelect(const QueryBlock& node,
+                                    const QueryBlock& child,
+                                    const std::vector<std::string>& retained,
+                                    SelectionMode mode, Table* rel,
+                                    QueryProfile* profile) {
+  const std::string bid = std::to_string(child.id);
+  if (options_.fused) {
+    FusedLevelSpec spec;
+    spec.nesting_attrs = retained;
+    spec.pred = PredFor(child, /*group=*/"");
+    spec.mode = mode;
+    spec.pad_attrs = node.attributes;
+    auto sort = std::make_unique<SortNode>(
+        std::make_unique<TableSourceNode>(std::move(*rel)),
+        SortKeysFor(retained), num_threads_, options_.vectorized);
+    sort->SetPhaseRecursive(QueryPhase::kNest);
+    std::vector<FusedLevelSpec> levels;
+    levels.push_back(std::move(spec));
+    auto fused = std::make_unique<FusedNestSelectNode>(std::move(sort),
+                                                       std::move(levels));
+    NESTRA_ASSIGN_OR_RETURN(
+        *rel, CollectProfiled(fused.get(), QueryPhase::kLinkingSelection,
+                              "fused[b" + bid + "]", profile,
+                              options_.vectorized));
+  } else {
+    StageTimer nest_timer(profile, QueryPhase::kNest, "nest[b" + bid + "]");
+    NESTRA_ASSIGN_OR_RETURN(
+        NestedRelation nested,
+        Nest(*rel, retained, NestedAttrsFor(child), "g", options_.nest_method,
+             num_threads_));
+    nest_timer.Finish(nested.num_tuples());
+    StageTimer select_timer(profile, QueryPhase::kLinkingSelection,
+                            "select[b" + bid + "]");
+    NESTRA_ASSIGN_OR_RETURN(*rel, LinkingSelect(nested, PredFor(child, "g"),
+                                                mode, node.attributes));
+    select_timer.Finish(rel->num_rows());
+  }
+  return Status::OK();
+}
+
+int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
+                                     std::vector<const QueryBlock*>* path,
+                                     const std::vector<std::string>& retained,
+                                     int prev, Table* rel,
+                                     std::deque<Table>* bases) {
+  for (const auto& child_ptr : node.children) {
+    const QueryBlock& child = *child_ptr;
+    const std::string bid = std::to_string(child.id);
+    Table* base = &bases->emplace_back();
+    const int base_task = dag->AddTask(
+        "base[b" + bid + "]", {},
+        [this, &child, base](NraStats* s, QueryProfile* p) -> Status {
+          const auto t0 = Clock::now();
+          NESTRA_ASSIGN_OR_RETURN(
+              *base, EvalBlockBase(child, catalog_, num_threads_, p,
+                                   options_.vectorized, options_.two_valued));
+          s->join_seconds += Seconds(t0);
+          return Status::OK();
+        });
+
+    // Everything but AllEquiCorrelation (which needs materialized schemas)
+    // is a function of the plan and catalog alone, so the branch ladder of
+    // ComputeNode resolves while *building* the DAG; `path` here holds the
+    // same chain the staged recursion would at this point.
+    const bool strict_safe = StrictSafe(*path);
+    const SelectionMode mode =
+        strict_safe ? SelectionMode::kStrict : SelectionMode::kPseudo;
+
+    if (options_.rewrite_positive && child.IsLeaf() &&
+        child.LinkIsPositive() && strict_safe) {
+      prev = dag->AddTask(
+          "semijoin[b" + bid + "]", {prev, base_task},
+          [this, &child, rel, base](NraStats* s, QueryProfile* p) -> Status {
+            NESTRA_ASSIGN_OR_RETURN(ExprPtr extra,
+                                    PositiveLinkJoinCondition(child));
+            const auto t0 = Clock::now();
+            NESTRA_ASSIGN_OR_RETURN(
+                *rel, JoinWithChild(std::move(*rel), std::move(*base), child,
+                                    JoinType::kLeftSemi, std::move(extra),
+                                    num_threads_, p, options_.vectorized));
+            s->join_seconds += Seconds(t0);
+            return Status::OK();
+          });
+      continue;
+    }
+
+    if (TakesTwoValuedAntijoin(child, *path, catalog_, options_)) {
+      prev = dag->AddTask(
+          "antijoin[b" + bid + "]", {prev, base_task},
+          [this, &child, rel, base](NraStats* s, QueryProfile* p) -> Status {
+            NESTRA_ASSIGN_OR_RETURN(ExprPtr extra,
+                                    AntiLinkJoinCondition(child));
+            const auto t0 = Clock::now();
+            NESTRA_ASSIGN_OR_RETURN(
+                *rel, JoinWithChild(std::move(*rel), std::move(*base), child,
+                                    JoinType::kLeftAnti, std::move(extra),
+                                    num_threads_, p, options_.vectorized));
+            s->join_seconds += Seconds(t0);
+            return Status::OK();
+          });
+      continue;
+    }
+
+    if (child.IsLeaf() && child.correlated_preds.empty()) {
+      prev = dag->AddTask(
+          "link-select[b" + bid + "]", {prev, base_task},
+          [this, &child, &node, rel, base, mode,
+           bid](NraStats* s, QueryProfile* p) -> Status {
+            const auto t0 = Clock::now();
+            StageTimer link_timer(p, QueryPhase::kLinkingSelection,
+                                  "link-select[b" + bid + "]");
+            NESTRA_ASSIGN_OR_RETURN(
+                *rel, HashLinkSelect(std::move(*rel), *base,
+                                     /*outer_key_cols=*/{},
+                                     /*inner_key_cols=*/{}, child, mode,
+                                     node.attributes, num_threads_));
+            link_timer.Finish(rel->num_rows());
+            s->nest_select_seconds += Seconds(t0);
+            return Status::OK();
+          });
+      continue;
+    }
+
+    if (child.IsLeaf()) {
+      // One combined task for a leaf taking neither rewrite: §4.2.4
+      // push-down versus join+nest+select is the single run-time decision.
+      prev = dag->AddTask(
+          "reduce[b" + bid + "]", {prev, base_task},
+          [this, &child, &node, rel, base, mode, bid,
+           retained](NraStats* s, QueryProfile* p) -> Status {
+            if (options_.push_down_nest) {
+              std::vector<std::string> okeys, ikeys;
+              if (AllEquiCorrelation(child, rel->schema(), base->schema(),
+                                     &okeys, &ikeys)) {
+                const auto t0 = Clock::now();
+                StageTimer link_timer(p, QueryPhase::kLinkingSelection,
+                                      "link-select[b" + bid + "]");
+                NESTRA_ASSIGN_OR_RETURN(
+                    *rel, HashLinkSelect(std::move(*rel), *base, okeys, ikeys,
+                                         child, mode, node.attributes,
+                                         num_threads_));
+                link_timer.Finish(rel->num_rows());
+                s->nest_select_seconds += Seconds(t0);
+                return Status::OK();
+              }
+            }
+            const auto t0 = Clock::now();
+            if (options_.magic_restriction) {
+              StageTimer magic_timer(p, QueryPhase::kUnnestJoin,
+                                     "magic[b" + bid + "]");
+              NESTRA_ASSIGN_OR_RETURN(
+                  *base, MagicRestrict(*rel, std::move(*base), child));
+              magic_timer.Finish(base->num_rows());
+            }
+            NESTRA_ASSIGN_OR_RETURN(
+                *rel, JoinWithChild(std::move(*rel), std::move(*base), child,
+                                    JoinType::kLeftOuter,
+                                    /*extra_condition=*/nullptr, num_threads_,
+                                    p, options_.vectorized));
+            s->join_seconds += Seconds(t0);
+            s->intermediate_rows =
+                std::max(s->intermediate_rows, rel->num_rows());
+            const auto t1 = Clock::now();
+            NESTRA_RETURN_NOT_OK(
+                ApplyNestSelect(node, child, retained, mode, rel, p));
+            s->nest_select_seconds += Seconds(t1);
+            return Status::OK();
+          });
+      continue;
+    }
+
+    // Non-leaf child: the staged recursion becomes join task -> the
+    // child's own task chain -> nest task.
+    prev = dag->AddTask(
+        "join[b" + bid + "]", {prev, base_task},
+        [this, &child, rel, base, bid](NraStats* s,
+                                       QueryProfile* p) -> Status {
+          const auto t0 = Clock::now();
+          if (options_.magic_restriction) {
+            StageTimer magic_timer(p, QueryPhase::kUnnestJoin,
+                                   "magic[b" + bid + "]");
+            NESTRA_ASSIGN_OR_RETURN(
+                *base, MagicRestrict(*rel, std::move(*base), child));
+            magic_timer.Finish(base->num_rows());
+          }
+          NESTRA_ASSIGN_OR_RETURN(
+              *rel, JoinWithChild(std::move(*rel), std::move(*base), child,
+                                  JoinType::kLeftOuter,
+                                  /*extra_condition=*/nullptr, num_threads_,
+                                  p, options_.vectorized));
+          s->join_seconds += Seconds(t0);
+          s->intermediate_rows =
+              std::max(s->intermediate_rows, rel->num_rows());
+          return Status::OK();
+        });
+
+    std::vector<std::string> retained_child = retained;
+    for (const std::string& a : child.attributes) {
+      retained_child.push_back(a);
+    }
+    path->push_back(&child);
+    prev = BuildComputeTaskDag(dag, child, path, retained_child, prev, rel,
+                               bases);
+    path->pop_back();
+
+    prev = dag->AddTask(
+        "nest[b" + bid + "]", {prev},
+        [this, &child, &node, rel, mode,
+         retained](NraStats* s, QueryProfile* p) -> Status {
+          const auto t0 = Clock::now();
+          NESTRA_RETURN_NOT_OK(
+              ApplyNestSelect(node, child, retained, mode, rel, p));
+          s->nest_select_seconds += Seconds(t0);
+          return Status::OK();
+        });
+  }
+  return prev;
+}
+
+Result<Table> NraExecutor::ExecutePipelinedRecursive(const QueryBlock& root,
+                                                     NraStats* stats,
+                                                     QueryProfile* profile) {
+  StageDag dag;
+  // Base tables live in a deque so the pointers handed to task bodies stay
+  // stable while the recursive builder keeps appending.
+  std::deque<Table> bases;
+  Table rel;
+  Table out;
+
+  const int root_base = dag.AddTask(
+      "base[b" + std::to_string(root.id) + "]", {},
+      [&](NraStats* s, QueryProfile* p) -> Status {
+        const auto t0 = Clock::now();
+        NESTRA_ASSIGN_OR_RETURN(
+            rel, EvalBlockBase(root, catalog_, num_threads_, p,
+                               options_.vectorized, options_.two_valued));
+        s->join_seconds += Seconds(t0);
+        return Status::OK();
+      });
+  std::vector<const QueryBlock*> path{&root};
+  const int last = BuildComputeTaskDag(&dag, root, &path, root.attributes,
+                                       root_base, &rel, &bases);
+  dag.AddTask("finish", {last},
+              [&](NraStats* /*s*/, QueryProfile* p) -> Status {
+                NESTRA_ASSIGN_OR_RETURN(out,
+                                        FinishRoot(root, std::move(rel), p));
+                return Status::OK();
+              });
+  NESTRA_RETURN_NOT_OK(dag.Run(num_threads_, stats, profile));
+  return std::move(out);
 }
 
 Result<Table> NraExecutor::FinishRoot(const QueryBlock& root, Table rel,

@@ -1,10 +1,12 @@
 #ifndef NESTRA_NRA_EXECUTOR_H_
 #define NESTRA_NRA_EXECUTOR_H_
 
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "nested/linking_selection.h"
 #include "nra/options.h"
 #include "plan/query_block.h"
 #include "storage/catalog.h"
@@ -12,6 +14,7 @@
 namespace nestra {
 
 class QueryProfile;
+class StageDag;
 
 /// \brief The nested relational approach (Algorithm 1) with the paper's
 /// optimizations, selected through NraOptions:
@@ -67,6 +70,43 @@ class NraExecutor {
   Result<Table> ExecuteBottomUpLinear(
       const std::vector<const QueryBlock*>& chain, NraStats* stats,
       QueryProfile* profile);
+
+  /// Pipelined (options_.pipelined) counterparts: the same stage sequences
+  /// decomposed into a StageDag whose independent tasks — base-table
+  /// evaluations of different blocks, most importantly — run concurrently
+  /// on the shared pool. Task creation order equals the staged path's
+  /// stage-emission order, so the merged profile (and the result, and
+  /// NraStats' deterministic fields) are bit-identical to the staged
+  /// functions above.
+  Result<Table> ExecuteFusedLinearDag(
+      const std::vector<const QueryBlock*>& chain, NraStats* stats,
+      QueryProfile* profile);
+  Result<Table> ExecuteBottomUpLinearDag(
+      const std::vector<const QueryBlock*>& chain, NraStats* stats,
+      QueryProfile* profile);
+  Result<Table> ExecutePipelinedRecursive(const QueryBlock& root,
+                                          NraStats* stats,
+                                          QueryProfile* profile);
+
+  /// Recursive DAG builder behind ExecutePipelinedRecursive: appends the
+  /// tasks for `node`'s children (mirroring ComputeNode's traversal) to
+  /// `dag` and returns the id of the last transform task. `prev` is the
+  /// task producing the incoming `rel`; `bases` owns the per-block base
+  /// tables (deque: stable addresses across emplace_back).
+  int BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
+                          std::vector<const QueryBlock*>* path,
+                          const std::vector<std::string>& retained, int prev,
+                          Table* rel, std::deque<Table>* bases);
+
+  /// The "way up" of Algorithm 1 for one child link, shared by the
+  /// pipelined task bodies: nest `*rel` by `retained` and apply the linking
+  /// selection (one fused pass when options_.fused), padding `node`'s
+  /// attributes in pseudo mode. Same stages, timers, and labels as the
+  /// corresponding ComputeNode block.
+  Status ApplyNestSelect(const QueryBlock& node, const QueryBlock& child,
+                         const std::vector<std::string>& retained,
+                         SelectionMode mode, Table* rel,
+                         QueryProfile* profile);
 
   /// The recursive body of Algorithm 1 (original / tree-query path).
   /// `retained` lists the qualified attributes of blocks root..node;

@@ -47,8 +47,9 @@ void ExplainNode(const QueryBlock& node, const Catalog& catalog,
       *oss << "semijoin rewrite (4.2.5)\n";
       continue;
     }
-    // Mirrors NraExecutor::ComputeNode and PlanVerifier::OutlineNode.
-    if (options.two_valued && NegativeLinkRunsTwoValued(child, *path, catalog)) {
+    // The shared predicate keeps this in lockstep with NraExecutor and
+    // PlanVerifier::OutlineNode.
+    if (TakesTwoValuedAntijoin(child, *path, catalog, options)) {
       *oss << "two-valued antijoin (proven non-NULL member comparison)\n";
       continue;
     }
@@ -133,15 +134,12 @@ std::string ExplainQuery(const QueryBlock& root, const Catalog& catalog,
           fused_whole_chain =
               fused_whole_chain && !(*chain)[i]->correlated_preds.empty();
         }
-        // Mirrors the executor's fused-pipeline bypass: a chain whose leaf
-        // link runs as a proven two-valued antijoin takes the recursive
-        // route instead of the single-sort pipeline.
-        if (fused_whole_chain && options.two_valued && chain->size() >= 2) {
-          const std::vector<const QueryBlock*> leaf_path(chain->begin(),
-                                                         chain->end() - 1);
-          if (NegativeLinkRunsTwoValued(*chain->back(), leaf_path, catalog)) {
-            fused_whole_chain = false;
-          }
+        // The executor's fused-pipeline bypass, via the shared predicate: a
+        // chain whose leaf link runs as a proven two-valued antijoin takes
+        // the recursive route instead of the single-sort pipeline.
+        if (fused_whole_chain &&
+            FusedChainBypassesTwoValued(*chain, catalog, options)) {
+          fused_whole_chain = false;
         }
       }
     }

@@ -20,6 +20,7 @@ std::string NraOptions::ToString() const {
     oss << num_threads;
   }
   oss << ", vectorized=" << (vectorized ? "true" : "false")
+      << ", pipelined=" << (pipelined ? "true" : "false")
       << ", two_valued=" << (two_valued ? "true" : "false")
       << ", profile=" << (profile ? "true" : "false")
       << ", verify_plans=" << (verify_plans ? "true" : "false");

@@ -158,6 +158,12 @@ Result<Table> ReadCsv(const std::string& text, const Schema& schema) {
 
   // Header.
   if (text.empty()) return Status::ParseError("empty CSV input");
+  // A UTF-8 byte-order mark before the header would otherwise become part
+  // of the first column name and fail the schema match.
+  if (text.size() >= 3 && text[0] == '\xEF' && text[1] == '\xBB' &&
+      text[2] == '\xBF') {
+    pos = 3;
+  }
   NESTRA_ASSIGN_OR_RETURN(std::vector<std::string> header,
                           ParseRecord(text, &pos, &quoted));
   if (static_cast<int>(header.size()) != schema.num_fields()) {

@@ -33,6 +33,12 @@ const EngineMetrics& Metrics() {
     m->verify_failures_total =
         reg.GetCounter("nestra_verify_failures_total", "",
                        "Plans the static verifier rejected", true);
+    m->pipelined_queries_total = reg.GetCounter(
+        "nestra_pipelined_queries_total", "",
+        "Queries scheduled through the pipeline stage DAG", true);
+    m->pipeline_tasks_total =
+        reg.GetCounter("nestra_pipeline_tasks_total", "",
+                       "Pipeline DAG tasks executed (or skipped)", true);
     m->query_ms = reg.GetHistogram(
         "nestra_query_ms", "", "Query wall time in milliseconds",
         {0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,

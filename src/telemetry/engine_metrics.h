@@ -28,6 +28,8 @@ struct EngineMetrics {
   Counter* intermediate_rows_total;   // det
   Counter* plans_verified_total;      // det
   Counter* verify_failures_total;     // det
+  Counter* pipelined_queries_total;   // det
+  Counter* pipeline_tasks_total;      // det
   Histogram* query_ms;                // latency distribution
 
   // Per-phase stage accounting (§5.2 split), fed by StageTimer.

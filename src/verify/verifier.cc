@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "nra/rewrites.h"
 #include "verify/properties.h"
 
 namespace nestra {
@@ -675,11 +676,9 @@ std::vector<PlanStep> PlanVerifier::Outline(const QueryBlock& root) const {
     }
     // Proven-2VL bypass: when the chain's leaf link can run as a plain
     // antijoin, the recursive route (below) takes it; the fused pipeline
-    // would evaluate the same link through 3VL member handling.
-    const std::vector<const QueryBlock*> leaf_path(chain.begin(),
-                                                   chain.end() - 1);
-    if (options_.two_valued &&
-        NegativeLinkRunsTwoValued(*chain.back(), leaf_path, catalog_)) {
+    // would evaluate the same link through 3VL member handling. Shared
+    // predicate — the executor and EXPLAIN call the same function.
+    if (FusedChainBypassesTwoValued(chain, catalog_, options_)) {
       all_correlated = false;
     }
     if (all_correlated) {
@@ -733,8 +732,7 @@ void PlanVerifier::OutlineNode(const QueryBlock& node,
       continue;
     }
 
-    if (options_.two_valued &&
-        NegativeLinkRunsTwoValued(child, *path, catalog_)) {
+    if (TakesTwoValuedAntijoin(child, *path, catalog_, options_)) {
       s.kind = PlanStepKind::kAntijoin;
       s.mode = SelectionMode::kStrict;
       steps->push_back(std::move(s));
@@ -796,6 +794,10 @@ void PlanVerifier::CheckOutline(const std::vector<PlanStep>& steps,
                  "a strict-safe path, but the link is positive or an "
                  "enclosing negative linking operator is pending");
       } else if (!NegativeLinkRunsTwoValued(child, s.path, catalog_)) {
+        // The call above is deliberately NOT the shared TakesTwoValuedAntijoin
+        // predicate: CheckOutline re-validates the property from first
+        // principles so a bug in the shared decision gate cannot also blind
+        // its checker. (Allowlisted in tools/lint_engine_invariants.py.)
         AddError(report, child.id, verify_rules::kRewritePrecond,
                  "two-valued antijoin rewrite requires a proven two-valued "
                  "member comparison (non-NULL operands), which does not "

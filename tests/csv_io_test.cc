@@ -192,5 +192,47 @@ TEST(CsvIoTest, FinalQuotedEmptyStringRowSurvives) {
   EXPECT_EQ(just_x.num_rows(), 1);
 }
 
+TEST(CsvIoTest, SkipsUtf8ByteOrderMark) {
+  // Spreadsheet exports routinely prepend EF BB BF; without the skip the
+  // BOM becomes part of the first header name and the schema match fails.
+  Table t{MixedSchema()};
+  t.AppendUnchecked(Row({I(7), Value::String("bom"), Value::Float64(0.5),
+                         Value::Date(*ParseDate("2001-09-09"))}));
+  const std::string csv = WriteCsv(t);
+  ASSERT_OK_AND_ASSIGN(Table back,
+                       ReadCsv("\xEF\xBB\xBF" + csv, MixedSchema()));
+  EXPECT_TRUE(Table::BagEquals(t, back));
+
+  // The BOM is consumed only at the very start: the same bytes later in
+  // the stream are ordinary cell content.
+  const Schema one_string{{{"s", TypeId::kString, true}}};
+  ASSERT_OK_AND_ASSIGN(Table data,
+                       ReadCsv("s\n\xEF\xBB\xBFx\n", one_string));
+  ASSERT_EQ(data.num_rows(), 1);
+  EXPECT_EQ(data.rows()[0][0].string(), "\xEF\xBB\xBFx");
+
+  // A BOM-only file still degrades to the usual header-mismatch error
+  // instead of crashing or matching an empty header.
+  EXPECT_FALSE(ReadCsv("\xEF\xBB\xBF", MixedSchema()).ok());
+}
+
+TEST(CsvIoTest, BomFileRoundTripsThroughDisk) {
+  Table t{MixedSchema()};
+  t.AppendUnchecked(Row({I(1), Value::String("a"), N(), N()}));
+  t.AppendUnchecked(Row({I(2), N(), Value::Float64(3.5), N()}));
+  const std::string path = ::testing::TempDir() + "nestra_bom_test.csv";
+  {
+    // Write the file the way an external tool would: BOM, then the CSV.
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::string payload = "\xEF\xBB\xBF" + WriteCsv(t);
+    std::fwrite(payload.data(), 1, payload.size(), f);
+    std::fclose(f);
+  }
+  ASSERT_OK_AND_ASSIGN(Table back, ReadCsvFile(path, MixedSchema()));
+  EXPECT_TRUE(Table::BagEquals(t, back));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace nestra

@@ -165,5 +165,54 @@ TEST(ParallelStableSortTest, MoveOnlyElements) {
   }
 }
 
+
+TEST(ThreadPoolTest, TryRunOneDrainsQueuedTasksInline) {
+  // A pool with zero live workers can still make progress: TryRunOne runs
+  // queued tasks on the calling thread, one per call, and reports an empty
+  // queue without blocking.
+  ThreadPool pool(0);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(pool.TryRunOne());
+    EXPECT_EQ(ran.load(), i + 1);
+  }
+  EXPECT_FALSE(pool.TryRunOne());
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPoolTest, NestedParallelForEachCompletes) {
+  // Nested fan-out on the bounded shared pool: every outer unit spawns an
+  // inner ParallelForEach. Before waiting loops helped drain the queue this
+  // deadlocked when all workers sat in outer bodies waiting for inner
+  // helpers nobody was free to run. Completion (and the exact visit count)
+  // is the assertion; a hang fails via the test timeout.
+  constexpr int64_t kOuter = 8;
+  constexpr int64_t kInner = 16;
+  for (const int threads : {2, 4, 8}) {
+    std::atomic<int64_t> visits{0};
+    ParallelForEach(kOuter, threads, [&](int64_t) {
+      ParallelForEach(kInner, threads,
+                      [&](int64_t) { visits.fetch_add(1); });
+    });
+    EXPECT_EQ(visits.load(), kOuter * kInner) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, DoublyNestedParallelForEachCompletes) {
+  // One level deeper, mirroring a pipelined DAG task whose body runs a
+  // morsel loop that itself sorts in parallel.
+  constexpr int64_t kN = 4;
+  std::atomic<int64_t> visits{0};
+  ParallelForEach(kN, 4, [&](int64_t) {
+    ParallelForEach(kN, 4, [&](int64_t) {
+      ParallelForEach(kN, 4, [&](int64_t) { visits.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(visits.load(), kN * kN * kN);
+}
+
 }  // namespace
 }  // namespace nestra

@@ -21,6 +21,15 @@ compiler cannot enforce:
    tests/CMakeLists.txt. An unregistered suite compiles on nobody's
    machine and silently stops running.
 
+4. Plan-decision consolidation: the negative-link two-valued antijoin
+   decision is computed by `NegativeLinkRunsTwoValued`, but call sites are
+   restricted to its home (src/verify/properties.h/.cc), the shared
+   engine predicates (src/nra/rewrites.h), and exactly ONE deliberate
+   re-validation inside src/verify/verifier.cc's CheckOutline. Executor,
+   EXPLAIN, and outline derivation must route through the rewrites.h
+   predicates — a new direct call is a hand-mirrored copy of the decision
+   that will eventually drift (the bug class PR 7 removed).
+
 Exit status is the number of violations (0 = clean).
 """
 
@@ -102,10 +111,48 @@ def check_test_registration():
     return violations
 
 
+# Where the two-valued antijoin decision may be computed directly. The
+# value is the number of permitted call sites (None = unlimited: the
+# definition and the shared predicates that wrap it).
+DECISION_FUNCTION = "NegativeLinkRunsTwoValued"
+DECISION_ALLOWLIST = {
+    "src/verify/properties.h": None,   # declaration + docs
+    "src/verify/properties.cc": None,  # definition
+    "src/nra/rewrites.h": None,        # the shared predicates
+    "src/verify/verifier.cc": 1,       # CheckOutline's independent recheck
+}
+
+
+def check_plan_decision_consolidation():
+    violations = []
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in (".cc", ".h"):
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        allowed = DECISION_ALLOWLIST.get(rel, 0)
+        if allowed is None:
+            continue
+        hits = []
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            code = line.split("//", 1)[0]
+            if DECISION_FUNCTION in code:
+                hits.append(lineno)
+        if len(hits) > allowed:
+            for lineno in hits[allowed:] if allowed else hits:
+                violations.append(
+                    f"{rel}:{lineno}: direct {DECISION_FUNCTION} call site; "
+                    f"use the shared predicates in src/nra/rewrites.h "
+                    f"(TakesTwoValuedAntijoin / FusedChainBypassesTwoValued) "
+                    f"instead of re-deriving the plan decision"
+                )
+    return violations
+
+
 def main():
     violations = []
     for check in (check_hot_path_purity, check_rule_ids,
-                  check_test_registration):
+                  check_test_registration,
+                  check_plan_decision_consolidation):
         violations.extend(check())
     for v in violations:
         print(f"lint: {v}", file=sys.stderr)
