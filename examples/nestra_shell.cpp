@@ -7,6 +7,9 @@
 //             where l_orderkey = o_orderkey) limit 5;
 //   nestra> \explain select ...;
 //
+// The shell is one Session from a ConnectionManager, so everything it runs
+// goes through the same admission gate and schema lock as any other client.
+//
 // Commands:
 //   \gen tpch [scale]          generate + register the TPC-H subset
 //   \load <table> <file.csv> <col:type,...> [pk]
@@ -18,6 +21,12 @@
 //   \schema <table>            show a table's schema and row count
 //   \mode original|optimized   switch the NRA executor configuration
 //   \oracle on|off             cross-check results against nested iteration
+//   \prepare <name> <sql>      parse+bind+verify once; use $1,$2,... in sql
+//   \execute <name> [args]     run a prepared statement (args comma-
+//                              separated literals: 5, 1.5, 'x', NULL)
+//   \deallocate <name>         drop a prepared statement
+//   \session                   session id, options, prepared statements,
+//                              admission-control stats
 //   \explain <sql>             show the plan without running
 //   \verify [sql]              static verification + inferred properties
 //                              (nullability / keys / cardinality) for <sql>,
@@ -27,8 +36,10 @@
 //   \slow <ms>                 log queries slower than <ms> (0 disables)
 //   \quit                      exit
 // Anything else is SQL, terminated by ';'. A statement may start with
-// `EXPLAIN <select...>` (plan only) or `EXPLAIN ANALYZE <select...>`
-// (execute with profiling and print the per-operator profile).
+// `EXPLAIN <select...>` (plan only), `EXPLAIN ANALYZE <select...>`
+// (execute with profiling and print the per-operator profile), or the
+// statement forms `PREPARE <name> AS <select>`, `EXECUTE <name> (args)`,
+// `DEALLOCATE <name>`.
 
 #include <cctype>
 #include <iostream>
@@ -37,8 +48,9 @@
 #include <vector>
 
 #include "baseline/nested_iteration.h"
-#include "nra/executor.h"
 #include "nra/explain.h"
+#include "server/connection_manager.h"
+#include "server/session.h"
 #include "storage/catalog.h"
 #include "storage/catalog_io.h"
 #include "storage/csv_io.h"
@@ -108,6 +120,8 @@ Result<Schema> ParseSchemaSpec(const std::string& spec) {
 
 class Shell {
  public:
+  Shell() : manager_(&catalog_), session_(manager_.Connect()) {}
+
   int Run() {
     std::cout << "nestra shell — \\gen tpch to load data, \\quit to exit\n";
     std::string buffer;
@@ -134,6 +148,21 @@ class Shell {
     std::cout << status.ToString() << "\n";
   }
 
+  NraOptions& options() { return session_->options(); }
+
+  // Rest of `line` after the first `n` whitespace-separated words.
+  static std::string RestAfterWords(const std::string& line, int n) {
+    size_t at = 0;
+    for (int i = 0; i < n; ++i) {
+      at = line.find_first_not_of(" \t", at);
+      if (at == std::string::npos) return "";
+      at = line.find_first_of(" \t", at);
+      if (at == std::string::npos) return "";
+    }
+    at = line.find_first_not_of(" \t", at);
+    return at == std::string::npos ? "" : line.substr(at);
+  }
+
   // Returns false to quit.
   bool HandleCommand(const std::string& line) {
     const std::vector<std::string> words = SplitWords(line);
@@ -150,14 +179,16 @@ class Shell {
       return true;
     }
     if (cmd == "\\open" && words.size() >= 2) {
-      Report(LoadCatalog(words[1], &catalog_));
+      Report(manager_.Ddl(
+          [&](Catalog* catalog) { return LoadCatalog(words[1], catalog); }));
       return true;
     }
     if (cmd == "\\gen") {
       TpchConfig config;
       config.scale = words.size() > 2 ? std::atof(words[2].c_str()) : 0.05;
       config.declare_not_null = true;
-      Report(PopulateTpch(&catalog_, config));
+      Report(manager_.Ddl(
+          [&](Catalog* catalog) { return PopulateTpch(catalog, config); }));
       return true;
     }
     if (cmd == "\\schema" && words.size() >= 2) {
@@ -182,25 +213,58 @@ class Shell {
         return true;
       }
       const std::string pk = words.size() > 4 ? words[4] : "";
-      Report(catalog_.RegisterTable(words[1], std::move(*table), pk));
+      Report(manager_.RegisterTable(words[1], std::move(*table), pk));
       return true;
     }
     if (cmd == "\\mode" && words.size() >= 2) {
       if (words[1] == "original") {
-        options_ = NraOptions::Original();
+        options() = NraOptions::Original();
       } else if (words[1] == "optimized") {
-        options_ = NraOptions::Optimized();
+        options() = NraOptions::Optimized();
       } else {
         std::cout << "unknown mode '" << words[1] << "'\n";
         return true;
       }
-      std::cout << options_.ToString() << "\n";
+      std::cout << options().ToString() << "\n";
       return true;
     }
     if (cmd == "\\oracle" && words.size() >= 2) {
       oracle_check_ = words[1] == "on";
       std::cout << "oracle cross-check " << (oracle_check_ ? "on" : "off")
                 << "\n";
+      return true;
+    }
+    if (cmd == "\\prepare" && words.size() >= 3) {
+      Report(session_->Prepare(words[1], RestAfterWords(line, 2)));
+      return true;
+    }
+    if (cmd == "\\execute" && words.size() >= 2) {
+      const std::string args = RestAfterWords(line, 2);
+      RunSql("EXECUTE " + words[1] + (args.empty() ? "" : " (" + args + ")"));
+      return true;
+    }
+    if (cmd == "\\deallocate" && words.size() >= 2) {
+      Report(session_->Deallocate(words[1]));
+      return true;
+    }
+    if (cmd == "\\session") {
+      const Session::Stats& stats = session_->stats();
+      const AdmissionController& admission = manager_.admission();
+      std::cout << "session " << session_->label() << "\n  "
+                << options().ToString() << "\n  statements ok=" << stats.queries
+                << " errors=" << stats.errors
+                << " prepares=" << stats.prepares
+                << " prepared_executions=" << stats.prepared_executions
+                << "\n  prepared:";
+      for (const std::string& name : session_->PreparedNames()) {
+        std::cout << " " << name;
+      }
+      std::cout << "\n  admission: max_in_flight="
+                << admission.max_in_flight()
+                << " admitted=" << admission.admitted_total()
+                << " peak_in_flight=" << admission.peak_in_flight()
+                << " peak_queue=" << admission.peak_queue_depth()
+                << "; active_sessions=" << manager_.active_sessions() << "\n";
       return true;
     }
     if (cmd == "\\metrics") {
@@ -210,9 +274,9 @@ class Shell {
       return true;
     }
     if (cmd == "\\slow" && words.size() >= 2) {
-      options_.slow_query_ms = std::atof(words[1].c_str());
-      if (options_.slow_query_ms > 0) {
-        std::cout << "logging queries slower than " << options_.slow_query_ms
+      options().slow_query_ms = std::atof(words[1].c_str());
+      if (options().slow_query_ms > 0) {
+        std::cout << "logging queries slower than " << options().slow_query_ms
                   << " ms\n";
       } else {
         std::cout << "slow-query log off\n";
@@ -227,7 +291,7 @@ class Shell {
       }
       std::string sql = line.substr(sql_at + 1);
       if (!sql.empty() && sql.back() == ';') sql.pop_back();
-      const Result<std::string> plan = ExplainSql(sql, catalog_, options_);
+      const Result<std::string> plan = ExplainSql(sql, catalog_, options());
       std::cout << (plan.ok() ? *plan : plan.status().ToString()) << "\n";
       return true;
     }
@@ -240,7 +304,8 @@ class Shell {
         std::cout << "usage: \\verify <sql>  (or run a statement first)\n";
         return true;
       }
-      const Result<std::string> text = ExplainVerifySql(sql, catalog_, options_);
+      const Result<std::string> text =
+          ExplainVerifySql(sql, catalog_, options());
       std::cout << (text.ok() ? *text : text.status().ToString()) << "\n";
       return true;
     }
@@ -253,18 +318,27 @@ class Shell {
       const bool analyze = ConsumeKeyword(&sql, "ANALYZE");
       last_sql_ = sql;  // the bare SELECT, so \verify replays it
       const Result<std::string> text =
-          analyze ? ExplainAnalyzeSql(sql, catalog_, options_)
-                  : ExplainSql(sql, catalog_, options_);
+          analyze ? ExplainAnalyzeSql(sql, catalog_, options())
+                  : ExplainSql(sql, catalog_, options());
       std::cout << (text.ok() ? *text : text.status().ToString()) << "\n";
       return;
     }
     last_sql_ = sql;
-    NraExecutor exec(catalog_, options_);
     NraStats stats;
-    const Result<Table> result = exec.ExecuteStatementSql(sql, &stats);
+    const Result<Table> result = session_->Query(sql, &stats);
     if (!result.ok()) {
       std::cout << result.status().ToString() << "\n";
       return;
+    }
+    {
+      // PREPARE / DEALLOCATE return an empty columnless table; a result
+      // print would just be noise.
+      std::string head = sql;
+      if (ConsumeKeyword(&head, "PREPARE") ||
+          ConsumeKeyword(&head, "DEALLOCATE")) {
+        std::cout << "OK\n";
+        return;
+      }
     }
     std::cout << result->ToString(25);
     std::cout << result->num_rows() << " row(s); " << stats.ToString() << "\n";
@@ -281,7 +355,8 @@ class Shell {
   }
 
   Catalog catalog_;
-  NraOptions options_ = NraOptions::Optimized();
+  ConnectionManager manager_;
+  std::unique_ptr<Session> session_;
   bool oracle_check_ = false;
   std::string last_sql_;  // for bare \verify
 };

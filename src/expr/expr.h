@@ -92,6 +92,47 @@ class Literal final : public Expr {
   Value value_;
 };
 
+/// \brief A prepared-statement parameter `$n`.
+///
+/// Holds a pointer to the slot vector owned by the PreparedStatement; Eval
+/// reads the current slot value, so re-executing a prepared plan only stores
+/// new values into the slots — no re-parse, re-bind, or re-verify. Clone
+/// shares the slots (plans clone predicates per execution, and every clone
+/// must see the values bound for that execution). A missing slot evaluates
+/// to NULL, matching an unbound parameter.
+///
+/// Analyzers that pattern-match expression shapes (plan verifier, property
+/// analyzer, vectorized predicate compiler) see ParamExpr as an opaque
+/// scalar and degrade to conservative three-valued row-wise evaluation —
+/// parameters never unlock constant-based fast paths.
+class ParamExpr final : public Expr {
+ public:
+  ParamExpr(int index, std::shared_ptr<const std::vector<Value>> slots)
+      : index_(index), slots_(std::move(slots)) {}
+
+  Status Bind(const Schema&) override { return Status::OK(); }
+  Value Eval(const Row&) const override {
+    if (index_ < 0 || static_cast<size_t>(index_) >= slots_->size()) {
+      return Value::Null();
+    }
+    return (*slots_)[index_];
+  }
+  void CollectColumns(std::vector<std::string>*) const override {}
+  std::string ToString() const override {
+    return "$" + std::to_string(index_ + 1);
+  }
+  std::unique_ptr<Expr> Clone() const override {
+    return std::make_unique<ParamExpr>(index_, slots_);
+  }
+
+  /// 0-based slot index ($1 -> 0).
+  int index() const { return index_; }
+
+ private:
+  int index_;
+  std::shared_ptr<const std::vector<Value>> slots_;
+};
+
 /// \brief Binary arithmetic under SQL semantics: a NULL (or non-numeric)
 /// operand yields NULL, int ∘ int stays int64 for + - *, division always
 /// produces float64, and division by zero yields NULL.

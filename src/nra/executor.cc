@@ -44,7 +44,8 @@ void CountQueryError() {
 
 void MaybeLogSlowQuery(const std::string& sql, double threshold_ms,
                        double total_ms, const NraStats& stats, bool ok,
-                       int num_threads, bool vectorized) {
+                       int num_threads, bool vectorized,
+                       const std::string& session) {
   if (total_ms <= threshold_ms) return;
   telemetry::SlowQueryRecord rec;
   rec.sql = sql;
@@ -55,7 +56,23 @@ void MaybeLogSlowQuery(const std::string& sql, double threshold_ms,
   rec.num_threads = num_threads;
   rec.vectorized = vectorized;
   rec.ok = ok;
+  rec.session = session;
   telemetry::LogSlowQuery(rec);
+}
+
+// Per-phase statement counters: the prepared-statement layer proves its
+// "parse+plan once" contract by observing these stay flat across
+// re-executions (see tests/server_test.cc).
+void CountStatementParsed() {
+  if (telemetry::MetricsEnabled()) {
+    telemetry::Metrics().statements_parsed_total->Add(1);
+  }
+}
+
+void CountStatementBound(int selects) {
+  if (telemetry::MetricsEnabled()) {
+    telemetry::Metrics().statements_bound_total->Add(selects);
+  }
 }
 
 // N2 of the nest for a child link: (linked attribute, key attribute),
@@ -264,6 +281,7 @@ Result<Table> NraExecutor::ExecuteSql(const std::string& sql, NraStats* stats,
       CountQueryError();
       return ast.status();
     }
+    CountStatementParsed();
     Result<QueryBlockPtr> root = [&] {
       telemetry::TraceSpan plan_span("query", "plan");
       return BindQuery(**ast, catalog_);
@@ -272,12 +290,14 @@ Result<Table> NraExecutor::ExecuteSql(const std::string& sql, NraStats* stats,
       CountQueryError();
       return root.status();
     }
+    CountStatementBound(1);
     return Execute(**root, stats, profile);
   }();
 
   if (slow_log) {
     MaybeLogSlowQuery(sql, options_.slow_query_ms, Seconds(sql_start) * 1e3,
-                      *stats, result.ok(), num_threads_, options_.vectorized);
+                      *stats, result.ok(), num_threads_, options_.vectorized,
+                      options_.session_label);
   }
   return result;
 }
@@ -300,6 +320,7 @@ Result<Table> NraExecutor::ExecuteStatementSql(const std::string& sql,
     CountQueryError();
     return parsed.status();
   }
+  CountStatementParsed();
   AstStatementPtr stmt = std::move(*parsed);
   QueryProfile* prof =
       (options_.profile && profile != nullptr) ? profile : nullptr;
@@ -316,6 +337,7 @@ Result<Table> NraExecutor::ExecuteStatementSql(const std::string& sql,
       CountQueryError();
       return bound.status();
     }
+    CountStatementBound(1);
     QueryBlockPtr root = std::move(*bound);
     NraStats branch;
     // Execute Clears the profile it is handed, so each branch profiles into
@@ -361,7 +383,8 @@ Result<Table> NraExecutor::ExecuteStatementSql(const std::string& sql,
   if (prof != nullptr) prof->output_rows = combined.num_rows();
   if (slow_log) {
     MaybeLogSlowQuery(sql, options_.slow_query_ms, Seconds(sql_start) * 1e3,
-                      total, /*ok=*/true, num_threads_, options_.vectorized);
+                      total, /*ok=*/true, num_threads_, options_.vectorized,
+                      options_.session_label);
   }
   return combined;
 }

@@ -109,6 +109,13 @@ struct NraOptions {
   /// NESTRA_TRACE_JSON in the environment. Empty (default) records nothing.
   std::string trace_path;
 
+  /// Session label ("s3") stamped into telemetry this executor emits —
+  /// slow-query log lines and trace spans — so concurrent sessions' output
+  /// is attributable. Set by the server Session layer; empty (default) for
+  /// direct library callers, which keeps their telemetry byte-identical to
+  /// the pre-session format.
+  std::string session_label;
+
   /// The paper's two measured configurations.
   static NraOptions Original() {
     NraOptions o;

@@ -24,9 +24,14 @@ struct ResolvedColumn {
   int block_id;
 };
 
+// Parameter numbers are bounded so a typo like $999999999 cannot balloon
+// the slot vector.
+constexpr int kMaxParamIndex = 256;
+
 class Binder {
  public:
-  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+  explicit Binder(const Catalog& catalog, ParamBinding* params = nullptr)
+      : catalog_(catalog), params_(params) {}
 
   Result<QueryBlockPtr> Bind(const AstSelect& ast) {
     std::vector<BlockScope*> chain;
@@ -252,6 +257,7 @@ class Binder {
         }
         return Col(qualified);
       }
+      if (o.is_param) return BindParam(o);
       return Lit(o.literal);
     };
     switch (c.kind) {
@@ -352,6 +358,14 @@ class Binder {
     bool linking_is_const = false;
     Value linking_const;
     if (c.kind != AstCond::Kind::kExistsSubquery) {
+      if (c.lhs.is_param) {
+        // The linking constant feeds plan-shape decisions (e.g. the count
+        // bound of "0 = (select count(*) ...)"), so it must be known at
+        // prepare time; a parameter there would silently pick a wrong plan.
+        return Status::BindError(
+            "a parameter cannot be the left side of a subquery predicate; "
+            "use a literal");
+      }
       if (c.lhs.is_column) {
         NESTRA_ASSIGN_OR_RETURN(ResolvedColumn rc,
                                 ResolveColumn(c.lhs.column, *chain));
@@ -419,7 +433,28 @@ class Binder {
     TypeId type;       // column type (is_column only)
     bool is_string_literal;
     std::string text;  // literal text for date coercion
+    bool is_param = false;
+    int param_slot = 0;  // 0-based (is_param only)
   };
+
+  // Creates the shared-slot ParamExpr for `$n` and records the statement's
+  // parameter count. Outside a PREPARE (no ParamBinding) placeholders are a
+  // hard bind error rather than a silently-NULL value.
+  Result<ExprPtr> BindParam(const AstOperand& o) {
+    if (params_ == nullptr) {
+      return Status::BindError(
+          "parameter $" + std::to_string(o.param_index) +
+          " is only allowed in a PREPAREd statement");
+    }
+    if (o.param_index > kMaxParamIndex) {
+      return Status::BindError(
+          "parameter $" + std::to_string(o.param_index) +
+          " exceeds the maximum of $" + std::to_string(kMaxParamIndex));
+    }
+    params_->count = std::max(params_->count, o.param_index);
+    return ExprPtr(std::make_unique<ParamExpr>(o.param_index - 1,
+                                               params_->slots));
+  }
 
   Result<BoundOperand> BindOperand(const AstOperand& o,
                                    const std::vector<BlockScope*>& chain,
@@ -444,6 +479,14 @@ class Binder {
       out.is_column = true;
       out.type = rc.type;
       out.is_string_literal = false;
+      return out;
+    }
+    if (o.is_param) {
+      NESTRA_ASSIGN_OR_RETURN(out.expr, BindParam(o));
+      out.is_column = false;
+      out.is_string_literal = false;
+      out.is_param = true;
+      out.param_slot = o.param_index - 1;
       return out;
     }
     out.expr = Lit(o.literal);
@@ -494,6 +537,15 @@ class Binder {
           NESTRA_ASSIGN_OR_RETURN(int64_t days, ParseDate(rhs.text));
           rhs.expr = Lit(Value::Date(days));
         }
+        // A parameter compared against a date column cannot be coerced here
+        // (its value arrives at EXECUTE time); record the slot so the
+        // session layer date-coerces string arguments then.
+        if (lhs.is_param && rhs.is_column && rhs.type == TypeId::kDate) {
+          params_->date_params.insert(lhs.param_slot);
+        }
+        if (rhs.is_param && lhs.is_column && lhs.type == TypeId::kDate) {
+          params_->date_params.insert(rhs.param_slot);
+        }
         return Cmp(c.op, std::move(lhs.expr), std::move(rhs.expr));
       }
       case AstCond::Kind::kIsNull: {
@@ -507,15 +559,22 @@ class Binder {
   }
 
   const Catalog& catalog_;
+  ParamBinding* params_;  // null outside PREPARE
   std::set<std::string> used_aliases_;
   int next_id_ = 0;
 };
 
 }  // namespace
 
-Result<QueryBlockPtr> BindQuery(const AstSelect& ast, const Catalog& catalog) {
-  Binder binder(catalog);
-  return binder.Bind(ast);
+Result<QueryBlockPtr> BindQuery(const AstSelect& ast, const Catalog& catalog,
+                                ParamBinding* params) {
+  Binder binder(catalog, params);
+  NESTRA_ASSIGN_OR_RETURN(QueryBlockPtr block, binder.Bind(ast));
+  if (params != nullptr) {
+    // One NULL slot per declared parameter; EXECUTE overwrites them all.
+    params->slots->assign(static_cast<size_t>(params->count), Value::Null());
+  }
+  return block;
 }
 
 Result<QueryBlockPtr> ParseAndBind(const std::string& sql,

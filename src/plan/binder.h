@@ -1,11 +1,35 @@
 #ifndef NESTRA_PLAN_BINDER_H_
 #define NESTRA_PLAN_BINDER_H_
 
+#include <memory>
+#include <set>
+#include <vector>
+
 #include "plan/query_block.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
 
 namespace nestra {
+
+/// \brief Parameter-binding context for PREPAREd statements.
+///
+/// Pass a ParamBinding to BindQuery to allow `$n` placeholders: every
+/// ParamExpr the binder creates shares `slots`, so the prepared statement
+/// stores per-execution values there and the bound tree (including its
+/// per-execution predicate clones) reads them without re-binding. After a
+/// successful bind, `slots` is resized to `count` NULLs.
+struct ParamBinding {
+  std::shared_ptr<std::vector<Value>> slots =
+      std::make_shared<std::vector<Value>>();
+  /// Highest $n seen (parameters are 1-based; gaps are allowed and the
+  /// unreferenced slots simply stay unread).
+  int count = 0;
+  /// 0-based slot indices compared against a DATE column somewhere in the
+  /// statement. String literals get date-coerced at bind time; parameter
+  /// values are unknown until EXECUTE, so the session layer uses this set to
+  /// coerce string arguments to dates at execution time instead.
+  std::set<int> date_params;
+};
 
 /// \brief Binds a parsed SELECT against the catalog, producing the
 /// QueryBlock tree consumed by the nested relational planner and the
@@ -26,7 +50,10 @@ namespace nestra {
 ///  * block key attribution: each block's first table must have a primary
 ///    key registered in the catalog (the paper's "unique non-null
 ///    attribute" assumption).
-Result<QueryBlockPtr> BindQuery(const AstSelect& ast, const Catalog& catalog);
+/// When `params` is null (the default), `$n` placeholders are a bind error —
+/// parameters only make sense under PREPARE.
+Result<QueryBlockPtr> BindQuery(const AstSelect& ast, const Catalog& catalog,
+                                ParamBinding* params = nullptr);
 
 /// Convenience: parse + bind.
 Result<QueryBlockPtr> ParseAndBind(const std::string& sql,

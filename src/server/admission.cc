@@ -1,0 +1,54 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace nestra {
+
+void AdmissionController::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  const int depth = static_cast<int>(next_ticket_ - serving_);
+  peak_queue_depth_ = std::max(peak_queue_depth_, depth);
+  cv_.wait(lock, [&] {
+    return ticket == serving_ && (max_ <= 0 || in_flight_ < max_);
+  });
+  ++serving_;
+  ++in_flight_;
+  ++admitted_total_;
+  peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+  // The next ticket holder may also fit under the limit — let it check.
+  cv_.notify_all();
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  cv_.notify_all();
+}
+
+int AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(next_ticket_ - serving_);
+}
+
+int64_t AdmissionController::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_total_;
+}
+
+int AdmissionController::peak_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_in_flight_;
+}
+
+int AdmissionController::peak_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_queue_depth_;
+}
+
+}  // namespace nestra

@@ -1,0 +1,73 @@
+#ifndef NESTRA_SERVER_ADMISSION_H_
+#define NESTRA_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace nestra {
+
+/// \brief FIFO admission gate bounding the number of in-flight queries.
+///
+/// Sessions acquire a slot before executing a query and release it after.
+/// Admission is strictly first-come-first-served by ticket number: a waiter
+/// is only admitted when every earlier ticket has been admitted AND the
+/// in-flight count is below the limit, so a burst of cheap queries cannot
+/// starve an earlier expensive one (fair queueing, not a bare semaphore).
+/// The engine-internal morsel/pipeline tasks a query spawns on the shared
+/// ThreadPool are not admission-controlled — the gate bounds *queries*, and
+/// the pool's fixed worker count bounds CPU.
+///
+/// A non-positive limit admits everything immediately (stats still track).
+class AdmissionController {
+ public:
+  explicit AdmissionController(int max_in_flight) : max_(max_in_flight) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until admitted. Pair every Acquire with one Release (or use
+  /// Slot below).
+  void Acquire();
+  void Release();
+
+  /// RAII admission slot.
+  class Slot {
+   public:
+    explicit Slot(AdmissionController* controller) : controller_(controller) {
+      if (controller_ != nullptr) controller_->Acquire();
+    }
+    ~Slot() {
+      if (controller_ != nullptr) controller_->Release();
+    }
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+
+   private:
+    AdmissionController* controller_;
+  };
+
+  int max_in_flight() const { return max_; }
+  int in_flight() const;
+  /// Waiters not yet admitted.
+  int queue_depth() const;
+  int64_t admitted_total() const;
+  /// High-water marks, for asserting the limit actually bound execution.
+  int peak_in_flight() const;
+  int peak_queue_depth() const;
+
+ private:
+  const int max_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_ticket_ = 0;  // issued to the next Acquire
+  uint64_t serving_ = 0;      // tickets below this have been admitted
+  int in_flight_ = 0;
+  int64_t admitted_total_ = 0;
+  int peak_in_flight_ = 0;
+  int peak_queue_depth_ = 0;
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_SERVER_ADMISSION_H_

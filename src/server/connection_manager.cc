@@ -1,0 +1,56 @@
+#include "server/connection_manager.h"
+
+#include <mutex>
+#include <utility>
+
+#include "server/session.h"
+
+namespace nestra {
+
+ConnectionManager::ConnectionManager(Catalog* catalog, ServerOptions options)
+    : catalog_(catalog),
+      options_(std::move(options)),
+      admission_(options_.max_in_flight) {}
+
+ConnectionManager::~ConnectionManager() = default;
+
+std::unique_ptr<Session> ConnectionManager::Connect() {
+  const int64_t id = next_session_id_.fetch_add(1, std::memory_order_acq_rel)
+                     + 1;
+  active_sessions_.fetch_add(1, std::memory_order_acq_rel);
+  sessions_opened_.fetch_add(1, std::memory_order_acq_rel);
+  // Session's constructor is private; it friend-declares the manager.
+  return std::unique_ptr<Session>(new Session(this, id));
+}
+
+Status ConnectionManager::RegisterTable(const std::string& name, Table table,
+                                        const std::string& primary_key,
+                                        std::set<std::string> not_null_columns) {
+  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  return catalog_->RegisterTable(name, std::move(table), primary_key,
+                                 std::move(not_null_columns));
+}
+
+Status ConnectionManager::DropTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  return catalog_->DropTable(name);
+}
+
+Status ConnectionManager::AddNotNull(const std::string& table_name,
+                                     const std::string& column) {
+  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  return catalog_->AddNotNull(table_name, column);
+}
+
+Status ConnectionManager::DropNotNull(const std::string& table_name,
+                                      const std::string& column) {
+  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  return catalog_->DropNotNull(table_name, column);
+}
+
+Status ConnectionManager::Ddl(const std::function<Status(Catalog*)>& fn) {
+  std::unique_lock<std::shared_mutex> lock(schema_mu_);
+  return fn(catalog_);
+}
+
+}  // namespace nestra

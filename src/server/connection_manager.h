@@ -1,0 +1,97 @@
+#ifndef NESTRA_SERVER_CONNECTION_MANAGER_H_
+#define NESTRA_SERVER_CONNECTION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <shared_mutex>
+#include <string>
+
+#include "nra/options.h"
+#include "server/admission.h"
+#include "storage/catalog.h"
+
+namespace nestra {
+
+class Session;
+
+/// \brief Server-level configuration shared by every session.
+struct ServerOptions {
+  /// Maximum concurrently executing queries across all sessions; waiters
+  /// queue FIFO (see AdmissionController). <= 0 means unlimited.
+  int max_in_flight = 0;
+  /// Template for each new session's NraOptions (the session's label is
+  /// stamped on top).
+  NraOptions session_defaults;
+};
+
+/// \brief Owns the concurrency policy around one shared Catalog: hands out
+/// sessions, gates query admission, and serializes DDL against running
+/// queries.
+///
+/// The manager does not own the catalog (benches and the shell keep theirs
+/// on the stack); it owns the locks that make sharing it safe:
+///  * `schema lock` — every query executes under a shared lock, every DDL
+///    wrapper under an exclusive one, so a DropTable can never free storage
+///    an in-flight query is scanning. The Catalog's own shared_mutex guards
+///    its map against torn reads; this coarser lock guards the *duration of
+///    a query* against table storage vanishing.
+///  * admission — a FIFO gate bounding in-flight queries (ServerOptions).
+///
+/// All DDL must go through the manager once sessions exist (enforced
+/// repo-wide by tools/lint_engine_invariants.py's catalog-mutation check).
+/// Do not call Session::Query from inside a Ddl callback — the exclusive
+/// schema lock is held and the query's shared acquisition would deadlock.
+class ConnectionManager {
+ public:
+  explicit ConnectionManager(Catalog* catalog, ServerOptions options = {});
+  ~ConnectionManager();
+
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  /// Opens a session with a fresh id ("s1", "s2", ...). Sessions must not
+  /// outlive the manager. A Session is single-threaded; open one per client
+  /// thread.
+  std::unique_ptr<Session> Connect();
+
+  // DDL wrappers: exclusive against every running query.
+  Status RegisterTable(const std::string& name, Table table,
+                       const std::string& primary_key = "",
+                       std::set<std::string> not_null_columns = {});
+  Status DropTable(const std::string& name);
+  Status AddNotNull(const std::string& table_name, const std::string& column);
+  Status DropNotNull(const std::string& table_name, const std::string& column);
+  /// Bulk catalog mutation (PopulateTpch, LoadCatalog, ...) under the
+  /// exclusive schema lock.
+  Status Ddl(const std::function<Status(Catalog*)>& fn);
+
+  const Catalog& catalog() const { return *catalog_; }
+  AdmissionController& admission() { return admission_; }
+  const ServerOptions& options() const { return options_; }
+
+  int active_sessions() const {
+    return active_sessions_.load(std::memory_order_acquire);
+  }
+  int64_t sessions_opened_total() const {
+    return sessions_opened_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Session;
+
+  Catalog* catalog_;
+  ServerOptions options_;
+  AdmissionController admission_;
+  // Queries shared, DDL exclusive (see class comment).
+  std::shared_mutex schema_mu_;
+  std::atomic<int64_t> next_session_id_{0};
+  std::atomic<int> active_sessions_{0};
+  std::atomic<int64_t> sessions_opened_{0};
+};
+
+}  // namespace nestra
+
+#endif  // NESTRA_SERVER_CONNECTION_MANAGER_H_

@@ -1,0 +1,123 @@
+#include "server/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace nestra {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint64_t kHashOffset = 1469598103934665603ULL;
+constexpr uint64_t kHashPrime = 1099511628211ULL;
+
+void HashBytes(const std::string& s, uint64_t* h) {
+  for (const char c : s) {
+    *h ^= static_cast<unsigned char>(c);
+    *h *= kHashPrime;
+  }
+  // Field separator so {"ab","c"} and {"a","bc"} differ.
+  *h ^= 0xff;
+  *h *= kHashPrime;
+}
+
+}  // namespace
+
+uint64_t HashTable(const Table& table) {
+  uint64_t h = kHashOffset;
+  for (const Field& f : table.schema().fields()) {
+    HashBytes(f.name, &h);
+    HashBytes(std::to_string(static_cast<int>(f.type)), &h);
+  }
+  for (const Row& row : table.rows()) {
+    for (const Value& v : row.values()) {
+      HashBytes(v.is_null() ? "\x01NULL" : v.ToString(), &h);
+    }
+    h ^= 0xfe;
+    h *= kHashPrime;
+  }
+  HashBytes(std::to_string(table.num_rows()), &h);
+  return h;
+}
+
+HarnessResult RunConcurrentClients(ConnectionManager& manager,
+                                   const std::vector<ClientScript>& clients) {
+  HarnessResult result;
+  result.per_client.resize(clients.size());
+  std::vector<std::string> setup_errors(clients.size());
+
+  const Clock::time_point wall_start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (size_t c = 0; c < clients.size(); ++c) {
+    threads.emplace_back([&, c] {
+      const ClientScript& script = clients[c];
+      std::vector<HarnessResult::Outcome>& outcomes = result.per_client[c];
+      std::unique_ptr<Session> session = manager.Connect();
+      if (script.setup) {
+        const Status s = script.setup(*session);
+        if (!s.ok()) {
+          setup_errors[c] = s.message();
+          return;
+        }
+      }
+      outcomes.reserve(script.statements.size() *
+                       static_cast<size_t>(std::max(1, script.repeat)));
+      for (int r = 0; r < std::max(1, script.repeat); ++r) {
+        for (const std::string& sql : script.statements) {
+          HarnessResult::Outcome out;
+          const Clock::time_point start = Clock::now();
+          Result<Table> table = session->Query(sql);
+          out.latency_ms =
+              std::chrono::duration<double>(Clock::now() - start).count() *
+              1e3;
+          if (table.ok()) {
+            out.ok = true;
+            out.hash = HashTable(*table);
+            out.rows = table->num_rows();
+          } else {
+            out.error = table.status().message();
+          }
+          outcomes.push_back(std::move(out));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  std::vector<double> latencies;
+  for (size_t c = 0; c < result.per_client.size(); ++c) {
+    if (!setup_errors[c].empty()) {
+      // Surface a failed setup as one failed statement so callers notice.
+      HarnessResult::Outcome out;
+      out.error = "setup: " + setup_errors[c];
+      result.per_client[c].push_back(std::move(out));
+    }
+    for (const HarnessResult::Outcome& out : result.per_client[c]) {
+      ++result.total_statements;
+      if (!out.ok) ++result.errors;
+      latencies.push_back(out.latency_ms);
+    }
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto pct = [&](double p) {
+      const size_t idx = static_cast<size_t>(
+          p * static_cast<double>(latencies.size() - 1) + 0.5);
+      return latencies[std::min(idx, latencies.size() - 1)];
+    };
+    result.p50_ms = pct(0.50);
+    result.p99_ms = pct(0.99);
+  }
+  if (result.wall_seconds > 0) {
+    result.qps =
+        static_cast<double>(result.total_statements) / result.wall_seconds;
+  }
+  return result;
+}
+
+}  // namespace nestra

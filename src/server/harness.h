@@ -1,0 +1,60 @@
+#ifndef NESTRA_SERVER_HARNESS_H_
+#define NESTRA_SERVER_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "server/connection_manager.h"
+#include "server/session.h"
+
+namespace nestra {
+
+/// \brief One simulated client: a statement script run through its own
+/// Session, in order, `repeat` times.
+struct ClientScript {
+  std::vector<std::string> statements;
+  int repeat = 1;
+  /// Optional per-session setup (engine options, PREPAREs) run right after
+  /// Connect, before timing starts.
+  std::function<Status(Session&)> setup;
+};
+
+/// \brief Per-statement outcome plus aggregate load metrics for one
+/// concurrent run.
+struct HarnessResult {
+  struct Outcome {
+    bool ok = false;
+    std::string error;    // status message when !ok
+    uint64_t hash = 0;    // result fingerprint (HashTable) when ok
+    int64_t rows = 0;
+    double latency_ms = 0;
+  };
+  /// per_client[c][i]: client c's i-th statement execution (scripts repeat
+  /// back-to-back, so i runs over repeat * statements.size() entries).
+  std::vector<std::vector<Outcome>> per_client;
+  int64_t total_statements = 0;
+  int64_t errors = 0;
+  double wall_seconds = 0;
+  double qps = 0;     // completed statements / wall
+  double p50_ms = 0;  // statement latency percentiles across all clients —
+  double p99_ms = 0;  // tail latency, not min-of-N
+};
+
+/// Order-sensitive fingerprint of a result table: schema + every value, so
+/// two tables hash equal iff they are bit-identical (same rows, same order,
+/// same types). Used by the bit-identical-to-serial gates.
+uint64_t HashTable(const Table& table);
+
+/// Runs every client script on its own thread, each with its own Session
+/// from `manager`, and aggregates latency/throughput. The harness only
+/// drives sessions — admission control and the schema lock come from the
+/// manager, exactly as for any other caller.
+HarnessResult RunConcurrentClients(ConnectionManager& manager,
+                                   const std::vector<ClientScript>& clients);
+
+}  // namespace nestra
+
+#endif  // NESTRA_SERVER_HARNESS_H_

@@ -13,6 +13,7 @@ std::string AstOperand::ToString() const {
     if (agg == LinkAgg::kCountStar) return "count(*)";
     return std::string(LinkAggToString(agg)) + "(" + column + ")";
   }
+  if (is_param) return "$" + std::to_string(param_index);
   if (is_column) return column;
   if (literal.is_string()) return "'" + literal.string() + "'";
   return literal.ToString();

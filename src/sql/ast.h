@@ -28,6 +28,8 @@ struct AstOperand {
   ArithOp arith_op = ArithOp::kAdd;
   std::shared_ptr<AstOperand> lhs;  // is_arith only
   std::shared_ptr<AstOperand> rhs;
+  bool is_param = false;  // $n prepared-statement parameter
+  int param_index = 0;    // 1-based, as written in the SQL
 
   static AstOperand Column(std::string name) {
     AstOperand o;
@@ -45,6 +47,12 @@ struct AstOperand {
     o.is_agg = true;
     o.agg = func;
     o.column = std::move(column);  // empty for COUNT(*)
+    return o;
+  }
+  static AstOperand Param(int index) {
+    AstOperand o;
+    o.is_param = true;
+    o.param_index = index;
     return o;
   }
   static AstOperand Arith(ArithOp op, AstOperand lhs_in, AstOperand rhs_in) {

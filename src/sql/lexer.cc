@@ -20,6 +20,8 @@ const char* TokenKindToString(TokenKind kind) {
       return "float literal";
     case TokenKind::kStringLiteral:
       return "string literal";
+    case TokenKind::kParam:
+      return "parameter";
     case TokenKind::kComma:
       return ",";
     case TokenKind::kDot:
@@ -215,6 +217,30 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       i = j;
     } else {
       switch (c) {
+        case '$': {
+          // $n prepared-statement parameter, 1-based (PostgreSQL style).
+          size_t j = i + 1;
+          while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+            ++j;
+          }
+          if (j == i + 1) {
+            return Status::ParseError(
+                "expected parameter number after '$' at position " +
+                std::to_string(i));
+          }
+          tok.kind = TokenKind::kParam;
+          tok.text = sql.substr(i, j - i);
+          errno = 0;
+          tok.int_value = std::strtoll(tok.text.c_str() + 1, nullptr, 10);
+          if (errno == ERANGE || tok.int_value < 1) {
+            return Status::ParseError("parameter number out of range at "
+                                      "position " +
+                                      std::to_string(i) + ": '" + tok.text +
+                                      "'");
+          }
+          i = j;
+          break;
+        }
         case ',':
           tok.kind = TokenKind::kComma;
           ++i;

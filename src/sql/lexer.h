@@ -16,6 +16,7 @@ enum class TokenKind {
   kIntLiteral,
   kFloatLiteral,
   kStringLiteral,  // single-quoted; also used for date literals
+  kParam,          // $n prepared-statement parameter (int_value = n, 1-based)
   kComma,
   kDot,
   kLParen,

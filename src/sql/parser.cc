@@ -478,6 +478,9 @@ class Parser {
       Advance();
       return AstOperand::Lit(Value::Null());
     }
+    if (Check(TokenKind::kParam)) {
+      return AstOperand::Param(static_cast<int>(Advance().int_value));
+    }
     if (Check(TokenKind::kLParen) && Peek2().kind != TokenKind::kSelect) {
       Advance();
       NESTRA_ASSIGN_OR_RETURN(AstOperand inner, ParseOperand());

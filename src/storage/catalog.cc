@@ -5,9 +5,6 @@ namespace nestra {
 Status Catalog::RegisterTable(const std::string& name, Table table,
                               const std::string& primary_key,
                               std::set<std::string> not_null_columns) {
-  if (tables_.count(name) > 0) {
-    return Status::AlreadyExists("table already registered: " + name);
-  }
   if (!primary_key.empty() &&
       table.schema().IndexOfExact(primary_key) < 0) {
     return Status::InvalidArgument("primary key column '" + primary_key +
@@ -19,18 +16,20 @@ Status Catalog::RegisterTable(const std::string& name, Table table,
                                      "' not in schema of table " + name);
     }
   }
-  Entry e;
-  e.table = std::move(table);
-  e.meta.primary_key = primary_key;
-  e.meta.not_null_columns = std::move(not_null_columns);
-  // One-pass observed-non-NULL scan. Tables are immutable once registered,
-  // so "no NULL seen at load time" is a sound execution-time proof even for
-  // columns with no declared constraint.
-  const Schema& schema = e.table.schema();
+  // One-pass observed-non-NULL scan, run on the argument BEFORE taking the
+  // exclusive lock: the scan only reads `table`, which no other thread can
+  // see yet, so concurrent lookups of other tables proceed unblocked while
+  // a large load is scanned. Tables are immutable once registered, so "no
+  // NULL seen at load time" is a sound execution-time proof even for columns
+  // with no declared constraint.
+  TableMetadata meta;
+  meta.primary_key = primary_key;
+  meta.not_null_columns = std::move(not_null_columns);
+  const Schema& schema = table.schema();
   const size_t num_cols = schema.fields().size();
   std::vector<bool> maybe(num_cols, true);
   size_t remaining = num_cols;
-  for (const Row& row : e.table.rows()) {
+  for (const Row& row : table.rows()) {
     if (remaining == 0) break;
     for (size_t c = 0; c < num_cols; ++c) {
       if (maybe[c] && row[c].is_null()) {
@@ -40,24 +39,38 @@ Status Catalog::RegisterTable(const std::string& name, Table table,
     }
   }
   for (size_t c = 0; c < num_cols; ++c) {
-    if (maybe[c]) e.meta.observed_not_null.insert(schema.fields()[c].name);
+    if (maybe[c]) meta.observed_not_null.insert(schema.fields()[c].name);
   }
-  tables_.emplace(name, std::move(e));
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Entries own a mutex and are not movable, so construct in place and fill.
+  auto [it, inserted] = tables_.try_emplace(name);
+  if (!inserted) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  Entry& e = it->second;
+  e.table = std::move(table);
+  e.meta = std::move(meta);
+  e.version = ddl_generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
   return Status::OK();
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.erase(name) == 0) {
     return Status::NotFound("table not found: " + name);
   }
+  ddl_generation_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return tables_.count(name) > 0;
 }
 
-Result<Catalog::Entry*> Catalog::GetEntry(const std::string& name) const {
+Result<Catalog::Entry*> Catalog::GetEntryLocked(
+    const std::string& name) const {
   const auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table not found: " + name);
@@ -66,18 +79,21 @@ Result<Catalog::Entry*> Catalog::GetEntry(const std::string& name) const {
 }
 
 Result<const Table*> Catalog::GetTable(const std::string& name) const {
-  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(name));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntryLocked(name));
   return const_cast<const Table*>(&e->table);
 }
 
 Result<const TableMetadata*> Catalog::GetMetadata(
     const std::string& name) const {
-  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(name));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntryLocked(name));
   return const_cast<const TableMetadata*>(&e->meta);
 }
 
 bool Catalog::IsNotNull(const std::string& table_name,
                         const std::string& column) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = tables_.find(table_name);
   if (it == tables_.end()) return false;
   const TableMetadata& meta = it->second.meta;
@@ -87,33 +103,47 @@ bool Catalog::IsNotNull(const std::string& table_name,
 
 bool Catalog::ProvenNotNull(const std::string& table_name,
                             const std::string& column) const {
-  if (IsNotNull(table_name, column)) return true;
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = tables_.find(table_name);
   if (it == tables_.end()) return false;
-  return it->second.meta.observed_not_null.count(column) > 0;
+  const TableMetadata& meta = it->second.meta;
+  if (!meta.primary_key.empty() && meta.primary_key == column) return true;
+  if (meta.not_null_columns.count(column) > 0) return true;
+  return meta.observed_not_null.count(column) > 0;
 }
 
 Status Catalog::AddNotNull(const std::string& table_name,
                            const std::string& column) {
-  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(table_name));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntryLocked(table_name));
   if (e->table.schema().IndexOfExact(column) < 0) {
     return Status::InvalidArgument("NOT NULL column '" + column +
                                    "' not in schema of table " + table_name);
   }
   e->meta.not_null_columns.insert(column);
+  // Constraint edits flip plan decisions (two-valued fast path, antijoin
+  // rewrites), so prepared plans must see them as schema changes.
+  e->version = ddl_generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
   return Status::OK();
 }
 
 Status Catalog::DropNotNull(const std::string& table_name,
                             const std::string& column) {
-  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(table_name));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntryLocked(table_name));
   e->meta.not_null_columns.erase(column);
+  e->version = ddl_generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
   return Status::OK();
 }
 
 Result<const HashIndex*> Catalog::GetHashIndex(const std::string& table_name,
                                                const std::string& column) const {
-  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(table_name));
+  // Shared lock held for the whole build: DropTable needs the exclusive
+  // lock, so the entry cannot be erased while the index is constructed;
+  // index_mu makes racing builders construct the index exactly once.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntryLocked(table_name));
+  std::lock_guard<std::mutex> index_lock(e->index_mu);
   auto it = e->hash_indexes.find(column);
   if (it == e->hash_indexes.end()) {
     const int col = e->table.schema().IndexOfExact(column);
@@ -130,7 +160,9 @@ Result<const HashIndex*> Catalog::GetHashIndex(const std::string& table_name,
 
 Result<const SortedIndex*> Catalog::GetSortedIndex(
     const std::string& table_name, const std::string& column) const {
-  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(table_name));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntryLocked(table_name));
+  std::lock_guard<std::mutex> index_lock(e->index_mu);
   auto it = e->sorted_indexes.find(column);
   if (it == e->sorted_indexes.end()) {
     const int col = e->table.schema().IndexOfExact(column);
@@ -147,7 +179,9 @@ Result<const SortedIndex*> Catalog::GetSortedIndex(
 
 Result<const BTreeIndex*> Catalog::GetBTreeIndex(
     const std::string& table_name, const std::string& column) const {
-  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntry(table_name));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntryLocked(table_name));
+  std::lock_guard<std::mutex> index_lock(e->index_mu);
   auto it = e->btree_indexes.find(column);
   if (it == e->btree_indexes.end()) {
     const int col = e->table.schema().IndexOfExact(column);
@@ -163,10 +197,18 @@ Result<const BTreeIndex*> Catalog::GetBTreeIndex(
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, _] : tables_) out.push_back(name);
   return out;
+}
+
+uint64_t Catalog::TableVersion(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) return 0;
+  return it->second.version;
 }
 
 }  // namespace nestra

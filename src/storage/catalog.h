@@ -1,9 +1,13 @@
 #ifndef NESTRA_STORAGE_CATALOG_H_
 #define NESTRA_STORAGE_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -35,19 +39,32 @@ struct TableMetadata {
 ///
 /// The catalog owns table storage; execution operators reference tables by
 /// pointer and must not outlive the catalog.
+///
+/// Thread safety: name lookups take a shared lock on `mu_`; the DDL mutators
+/// (RegisterTable / DropTable / AddNotNull / DropNotNull) take it exclusively.
+/// Lazy index construction is serialized per table by `Entry::index_mu`, so
+/// concurrent queries may race to the same index and still build it exactly
+/// once. Per-row execution never touches the catalog: operators cache the
+/// `const Table*` / index pointers they obtain once per query, and std::map
+/// node addresses are stable until erase, so those pointers stay valid as
+/// long as no DropTable races a running query (the session layer's schema
+/// lock in src/server/ guarantees that for managed sessions).
 class Catalog {
  public:
   Catalog() = default;
 
-  // Non-copyable (indexes hold row ids into owned tables).
+  // Non-copyable and non-movable (indexes hold row ids into owned tables;
+  // entries own mutexes, and concurrent readers hold pointers into us).
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
-  Catalog(Catalog&&) = default;
-  Catalog& operator=(Catalog&&) = default;
+  Catalog(Catalog&&) = delete;
+  Catalog& operator=(Catalog&&) = delete;
 
   /// Registers a table. `primary_key` must name a column of `table` (may be
   /// empty for keyless test tables — then NRA plans add a synthetic row-id
   /// key at scan time). Fails on duplicate names or unknown PK columns.
+  /// The load-time NULL scan runs on the argument before the exclusive lock
+  /// is taken, keeping the critical section to the map insert itself.
   Status RegisterTable(const std::string& name, Table table,
                        const std::string& primary_key = "",
                        std::set<std::string> not_null_columns = {});
@@ -92,21 +109,41 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Monotonic per-table schema version, bumped on every DDL that affects
+  /// the table: (re-)registration, drop, and NOT NULL changes (constraint
+  /// edits flip plan decisions such as the two-valued fast path, so prepared
+  /// plans must treat them as schema changes). Returns 0 for tables that do
+  /// not currently exist — registered tables always have version >= 1, so a
+  /// version recorded at PREPARE time never matches after a drop.
+  uint64_t TableVersion(const std::string& name) const;
+
+  /// Catalog-wide DDL generation: bumped by every successful mutator call.
+  uint64_t ddl_generation() const {
+    return ddl_generation_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Entry {
     Table table;
     TableMetadata meta;
-    // Cached indexes keyed by column name. mutable access via const methods;
-    // single-threaded by design.
+    uint64_t version = 0;  // snapshot of ddl_generation_ at last change
+    // Serializes lazy index construction for this table; cached index reads
+    // and builds via const methods are safe from concurrent queries.
+    mutable std::mutex index_mu;
     std::map<std::string, std::unique_ptr<HashIndex>> hash_indexes;
     std::map<std::string, std::unique_ptr<SortedIndex>> sorted_indexes;
     std::map<std::string, std::unique_ptr<BTreeIndex>> btree_indexes;
   };
 
-  Result<Entry*> GetEntry(const std::string& name) const;
+  // Callers must hold mu_ (shared suffices: entry mutation beyond this point
+  // is guarded by index_mu or happens under the exclusive DDL lock).
+  Result<Entry*> GetEntryLocked(const std::string& name) const;
 
+  // Guards tables_ map shape and entry table/meta/version fields.
+  mutable std::shared_mutex mu_;
   // map (not unordered) for deterministic TableNames() output.
   mutable std::map<std::string, Entry> tables_;
+  std::atomic<uint64_t> ddl_generation_{0};
 };
 
 }  // namespace nestra

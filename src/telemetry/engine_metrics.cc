@@ -39,6 +39,19 @@ const EngineMetrics& Metrics() {
     m->pipeline_tasks_total =
         reg.GetCounter("nestra_pipeline_tasks_total", "",
                        "Pipeline DAG tasks executed (or skipped)", true);
+    m->statements_parsed_total =
+        reg.GetCounter("nestra_statements_parsed_total", "",
+                       "SQL statements parsed successfully", true);
+    m->statements_bound_total =
+        reg.GetCounter("nestra_statements_bound_total", "",
+                       "SELECT blocks bound against the catalog", true);
+    m->statements_prepared_total =
+        reg.GetCounter("nestra_statements_prepared_total", "",
+                       "PREPAREs completed (parse+bind+verify paid once)",
+                       true);
+    m->prepared_executions_total = reg.GetCounter(
+        "nestra_prepared_executions_total", "",
+        "EXECUTEs of prepared statements (bind values + run only)", true);
     m->query_ms = reg.GetHistogram(
         "nestra_query_ms", "", "Query wall time in milliseconds",
         {0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,

@@ -32,6 +32,15 @@ struct EngineMetrics {
   Counter* pipeline_tasks_total;      // det
   Histogram* query_ms;                // latency distribution
 
+  // Statement lifecycle phases (SQL entry points + the server session
+  // layer). Prepared-statement re-execution must leave parsed/bound/
+  // prepared flat while prepared_executions_total grows — the observable
+  // proof that EXECUTE skips parse+plan+verify.
+  Counter* statements_parsed_total;    // det
+  Counter* statements_bound_total;     // det
+  Counter* statements_prepared_total;  // det
+  Counter* prepared_executions_total;  // det
+
   // Per-phase stage accounting (§5.2 split), fed by StageTimer.
   Counter* phase_rows_total[kNumPhases];     // det
   Counter* phase_stages_total[kNumPhases];   // det

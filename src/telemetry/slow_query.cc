@@ -25,6 +25,12 @@ SinkState& State() {
 }
 
 void DefaultSink(const std::string& line) {
+  // Serialize whole-line writes: concurrent sessions logging through the
+  // append-mode FILE* would otherwise tear lines (fprintf is not atomic for
+  // lines longer than the stdio buffer), corrupting the one-JSON-object-
+  // per-line contract downstream parsers rely on.
+  static std::mutex* write_mu = new std::mutex();
+  std::lock_guard<std::mutex> lock(*write_mu);
   const char* path = std::getenv("NESTRA_SLOW_QUERY_LOG");
   if (path != nullptr && path[0] != '\0') {
     std::FILE* f = std::fopen(path, "a");
@@ -43,7 +49,13 @@ std::string SlowQueryJsonLine(const SlowQueryRecord& record) {
   std::ostringstream oss;
   oss.setf(std::ios::fixed);
   oss.precision(3);
-  oss << "{\"event\":\"slow_query\",\"sql\":\"";
+  oss << "{\"event\":\"slow_query\",";
+  if (!record.session.empty()) {
+    oss << "\"session\":\"";
+    internal::JsonEscapeTo(record.session, &oss);
+    oss << "\",";
+  }
+  oss << "\"sql\":\"";
   internal::JsonEscapeTo(record.sql, &oss);
   oss << "\",\"total_ms\":" << record.total_ms
       << ",\"join_ms\":" << record.join_ms
@@ -72,6 +84,12 @@ void LogSlowQuery(const SlowQueryRecord& record) {
     sink = state.sink;
   }
   if (sink) {
+    // Custom sinks get the same one-writer-at-a-time guarantee as the
+    // default file sink. A dedicated mutex (not state.mu) keeps a sink that
+    // calls SetSlowQuerySink or LogSlowQuery re-entrantly from deadlocking
+    // against sink replacement.
+    static std::mutex* call_mu = new std::mutex();
+    std::lock_guard<std::mutex> call_lock(*call_mu);
     sink(line);
   } else {
     DefaultSink(line);

@@ -19,12 +19,16 @@ struct SlowQueryRecord {
   int num_threads = 1;
   bool vectorized = false;
   bool ok = true;  ///< false when the query errored after the threshold
+  /// Session label ("s3") when the query ran through a server Session;
+  /// empty for direct library callers (then the JSON omits the field, so
+  /// pre-session log consumers see byte-identical lines).
+  std::string session;
 };
 
 /// The record as one line of structured JSON (no trailing newline):
-/// {"event":"slow_query","sql":...,"total_ms":...,"join_ms":...,
-///  "nest_select_ms":...,"rows":...,"threads":...,"engine":"row|vectorized",
-///  "ok":true}
+/// {"event":"slow_query","session":...,"sql":...,"total_ms":...,
+///  "join_ms":...,"nest_select_ms":...,"rows":...,"threads":...,
+///  "engine":"row|vectorized","ok":true}
 std::string SlowQueryJsonLine(const SlowQueryRecord& record);
 
 /// Routes the record to the configured sink and bumps the

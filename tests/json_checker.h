@@ -1,0 +1,117 @@
+// Minimal JSON validity checker shared by the telemetry tests.
+//
+// Enough of RFC 8259 to confirm trace / metrics / slow-query documents
+// parse: objects, arrays, strings with escapes, numbers, true/false/null.
+// Returns false on any syntax error. No DOM — callers that need values use
+// string probes on the (already validated) text.
+
+#ifndef NESTRA_TESTS_JSON_CHECKER_H_
+#define NESTRA_TESTS_JSON_CHECKER_H_
+
+#include <cctype>
+#include <string>
+
+namespace nestra {
+namespace testing_util {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    Ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void Ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    Ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::string(".eE+-").find(text_[pos_]) != std::string::npos)) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    Ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      if (Eat('}')) return true;
+      do {
+        Ws();
+        if (!String() || !Eat(':') || !Value()) return false;
+      } while (Eat(','));
+      return Eat('}');
+    }
+    if (c == '[') {
+      ++pos_;
+      if (Eat(']')) return true;
+      do {
+        if (!Value()) return false;
+      } while (Eat(','));
+      return Eat(']');
+    }
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace testing_util
+}  // namespace nestra
+
+#endif  // NESTRA_TESTS_JSON_CHECKER_H_

@@ -30,6 +30,16 @@ compiler cannot enforce:
    predicates — a new direct call is a hand-mirrored copy of the decision
    that will eventually drift (the bug class PR 7 removed).
 
+5. Catalog-mutation layering: once sessions exist, DDL must be serialized
+   against running queries by ConnectionManager's schema lock, so direct
+   Catalog mutation calls (`RegisterTable(` / `DropTable(` / `AddNotNull(`
+   / `DropNotNull(`) in `src/` are restricted to the storage layer itself,
+   the server layer (whose DDL wrappers take the exclusive schema lock),
+   and the TPC-H generator (bulk-load helper invoked via
+   ConnectionManager::Ddl or before any session opens). A mutation call
+   sneaking into the executor or an operator would bypass the schema lock
+   and reintroduce the drop-under-a-running-query race.
+
 Exit status is the number of violations (0 = clean).
 """
 
@@ -51,6 +61,8 @@ CLOCK_ALLOWLIST = {
     "src/nra/profile.h",
     "src/telemetry/trace.cc",      # trace-event timestamps
     "src/telemetry/trace.h",
+    "src/server/session.cc",       # prepared-exec slow-query stamp, gated on slow_query_ms
+    "src/server/harness.cc",       # per-statement latency measurement (the harness IS a load meter)
 }
 
 CLOCK_PATTERN = re.compile(r"steady_clock|\b[s]?rand\s*\(|\btime\s*\(")
@@ -148,11 +160,44 @@ def check_plan_decision_consolidation():
     return violations
 
 
+# Where Catalog mutation calls may appear in src/. Everything else must go
+# through ConnectionManager's DDL wrappers (exclusive schema lock).
+CATALOG_MUTATION_PATTERN = re.compile(
+    r"\b(?:RegisterTable|DropTable|AddNotNull|DropNotNull)\s*\("
+)
+CATALOG_MUTATION_ALLOWED_PREFIXES = (
+    "src/storage/",        # the Catalog itself + persistence (catalog_io)
+    "src/server/",         # ConnectionManager's lock-taking wrappers
+    "src/tpch/tpch_gen.cc",  # bulk loader, run via Ddl() or pre-session
+)
+
+
+def check_catalog_mutation_layer():
+    violations = []
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in (".cc", ".h"):
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith(CATALOG_MUTATION_ALLOWED_PREFIXES):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            code = line.split("//", 1)[0]
+            if CATALOG_MUTATION_PATTERN.search(code):
+                violations.append(
+                    f"{rel}:{lineno}: direct Catalog mutation outside the "
+                    f"storage/server/bulk-load layers; route DDL through "
+                    f"ConnectionManager so it serializes against running "
+                    f"queries: {line.strip()}"
+                )
+    return violations
+
+
 def main():
     violations = []
     for check in (check_hot_path_purity, check_rule_ids,
                   check_test_registration,
-                  check_plan_decision_consolidation):
+                  check_plan_decision_consolidation,
+                  check_catalog_mutation_layer):
         violations.extend(check())
     for v in violations:
         print(f"lint: {v}", file=sys.stderr)
