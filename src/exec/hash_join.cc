@@ -1,5 +1,6 @@
 #include "exec/hash_join.h"
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -12,13 +13,15 @@ namespace nestra {
 
 HashJoinNode::HashJoinNode(ExecNodePtr left, ExecNodePtr right,
                            JoinType join_type, std::vector<EquiPair> equi,
-                           ExprPtr residual, int num_threads, bool vectorized)
+                           ExprPtr residual, int num_threads, bool vectorized,
+                           const JoinBuildHints& hints)
     : left_(std::move(left)),
       right_(std::move(right)),
       join_type_(join_type),
       equi_(std::move(equi)),
       residual_(std::move(residual)),
-      num_threads_(num_threads < 1 ? 1 : num_threads) {
+      num_threads_(num_threads < 1 ? 1 : num_threads),
+      hints_(hints) {
   vectorized_ = vectorized;
   // Schema is known at construction: joins never rename.
   const Schema& ls = left_->output_schema();
@@ -36,6 +39,16 @@ HashJoinNode::HashJoinNode(ExecNodePtr left, ExecNodePtr right,
     schema_ = ls;
   }
   right_width_ = rs.num_fields();
+}
+
+std::string HashJoinNode::detail() const {
+  std::string d;
+  if (hints_.build_left) d = "build=left";
+  if (hints_.perfect) {
+    if (!d.empty()) d += ",";
+    d += "perfect";
+  }
+  return d;
 }
 
 Status HashJoinNode::OpenImpl() {
@@ -58,14 +71,19 @@ Status HashJoinNode::OpenImpl() {
       bound_residual_,
       BoundPredicate::Make(residual_.get(), Schema::Concat(ls, rs)));
 
-  NESTRA_RETURN_NOT_OK(BuildTable());
-
   pending_.clear();
   pending_pos_ = 0;
   left_done_ = false;
+  materialized_ = false;
   probe_count_ = 0;
   probe_batch_.Clear();
   probe_pos_ = 0;
+
+  if (hints_.build_left) {
+    return MirroredBuildProbe();
+  }
+
+  NESTRA_RETURN_NOT_OK(BuildTable());
   if (num_threads_ > 1) {
     NESTRA_RETURN_NOT_OK(ParallelProbe());
   }
@@ -76,6 +94,8 @@ Status HashJoinNode::BuildTable() {
   build_has_null_key_ = false;
   build_rows_ = 0;
   flat_built_ = false;
+  perfect_built_ = false;
+  perfect_head_.clear();
 
   // Drain the child serially (Next/NextBatch is a serial protocol), then
   // hash and partition the materialized rows in parallel.
@@ -109,6 +129,13 @@ Status HashJoinNode::BuildTable() {
     // A NULL build key can never satisfy an equality; remember it for the
     // null-aware antijoin, drop it otherwise.
     if (has_null[static_cast<size_t>(i)] != 0) build_has_null_key_ = true;
+  }
+
+  // Perfect (dense-array) keying: single equality key over a hinted dense
+  // int range. Validated against the actual rows, so a wrong hint falls
+  // through to the generic builds below instead of corrupting results.
+  if (hints_.perfect && equi_.size() == 1 && TryPerfectBuild(&rows, has_null)) {
+    return Status::OK();
   }
 
   if (vectorized_ && num_threads_ == 1) {
@@ -164,6 +191,57 @@ Status HashJoinNode::BuildTable() {
   return Status::OK();
 }
 
+bool HashJoinNode::TryPerfectBuild(std::vector<Row>* rows,
+                                   const std::vector<uint8_t>& has_null) {
+  const int64_t n = static_cast<int64_t>(rows->size());
+  const int64_t min = hints_.perfect_min;
+  const int64_t max = hints_.perfect_max;
+  if (max < min) return false;
+  const int64_t span = max - min + 1;  // the estimator caps this at 2^22
+  const int key_idx = right_key_idx_[0];
+  // Validate before committing: every non-NULL build key must be an int64
+  // inside the hinted range. Load-time stats guarantee this for immutable
+  // catalog tables; anything else (a stale hint) degrades to the generic
+  // build, never to wrong results.
+  for (int64_t i = 0; i < n; ++i) {
+    if (has_null[static_cast<size_t>(i)] != 0) continue;
+    const Value& v = (*rows)[static_cast<size_t>(i)][key_idx];
+    if (!v.is_int() || v.int64() < min || v.int64() > max) return false;
+  }
+  perfect_built_ = true;
+  flat_rows_ = std::move(*rows);
+  perfect_head_.assign(static_cast<size_t>(span), -1);
+  flat_next_.assign(static_cast<size_t>(n), -1);
+  // Reverse insertion order, like the flat build: push-front leaves every
+  // chain in arrival order, so candidate order matches the generic table.
+  for (int64_t i = n - 1; i >= 0; --i) {
+    const size_t si = static_cast<size_t>(i);
+    if (has_null[si] != 0) continue;
+    const size_t slot =
+        static_cast<size_t>(flat_rows_[si][key_idx].int64() - min);
+    flat_next_[si] = perfect_head_[slot];
+    perfect_head_[slot] = static_cast<int32_t>(i);
+  }
+  return true;
+}
+
+bool HashJoinNode::DenseKeyOf(const Value& v, int64_t* key) const {
+  if (v.is_int()) {
+    *key = v.int64();
+    return *key >= hints_.perfect_min && *key <= hints_.perfect_max;
+  }
+  // SQL key equality: a float equal to an integer matches it, so integral
+  // in-range doubles index the array; everything else matches nothing.
+  const auto d = v.AsDouble();  // nullopt for NULL / string
+  if (!d.has_value() || *d != std::floor(*d)) return false;
+  if (*d < static_cast<double>(hints_.perfect_min) ||
+      *d > static_cast<double>(hints_.perfect_max)) {
+    return false;
+  }
+  *key = static_cast<int64_t>(*d);
+  return true;
+}
+
 void HashJoinNode::GatherFlatCandidates(const std::vector<Value>& key,
                                         size_t h) const {
   flat_candidates_.clear();
@@ -184,11 +262,31 @@ void HashJoinNode::GatherFlatCandidates(const std::vector<Value>& key,
   }
 }
 
-void HashJoinNode::ProbeRowFlat(const Row& left_row, bool probe_null,
-                                std::vector<Row>* out) const {
-  // Mirrors ProbeRow below over flat_candidates_ (already gathered).
+void HashJoinNode::ProbeRowPerfect(const Row& left_row,
+                                   std::vector<const Row*>* scratch,
+                                   std::vector<Row>* out) const {
+  // Caller-owned scratch: the perfect probe runs under ParallelProbe too,
+  // where concurrent morsels must not share a candidate buffer.
+  const Value& v = left_row[left_key_idx_[0]];
+  scratch->clear();
+  const bool probe_null = v.is_null();
+  int64_t key = 0;
+  if (!probe_null && DenseKeyOf(v, &key)) {
+    for (int32_t j = perfect_head_[static_cast<size_t>(key -
+                                                       hints_.perfect_min)];
+         j >= 0; j = flat_next_[j]) {
+      scratch->push_back(&flat_rows_[static_cast<size_t>(j)]);
+    }
+  }
+  EmitMatches(left_row, probe_null, *scratch, out);
+}
+
+void HashJoinNode::EmitMatches(const Row& left_row, bool probe_null,
+                               const std::vector<const Row*>& candidates,
+                               std::vector<Row>* out) const {
+  // Mirrors ProbeRow below over an already-gathered candidate list.
   bool matched = false;
-  for (const Row* right_row : flat_candidates_) {
+  for (const Row* right_row : candidates) {
     Row combined = Row::Concat(left_row, *right_row);
     if (!bound_residual_.Matches(combined)) continue;
     matched = true;
@@ -229,6 +327,12 @@ void HashJoinNode::ProbeRowFlat(const Row& left_row, bool probe_null,
 }
 
 void HashJoinNode::ProbeRow(const Row& left_row, std::vector<Row>* out) const {
+  if (perfect_built_) {
+    // Serial callers share flat_candidates_ as scratch; ParallelProbe calls
+    // ProbeRowPerfect directly with a per-morsel buffer instead.
+    ProbeRowPerfect(left_row, &flat_candidates_, out);
+    return;
+  }
   if (flat_built_) {
     bool probe_null = false;
     std::vector<Value> key;
@@ -239,7 +343,7 @@ void HashJoinNode::ProbeRow(const Row& left_row, std::vector<Row>* out) const {
     }
     flat_candidates_.clear();
     if (!probe_null) GatherFlatCandidates(key, SqlValueKeyHash{}(key));
-    ProbeRowFlat(left_row, probe_null, out);
+    EmitMatches(left_row, probe_null, flat_candidates_, out);
     return;
   }
   const std::vector<Row>* candidates = nullptr;
@@ -323,8 +427,16 @@ Status HashJoinNode::ParallelProbe() {
   ParallelForMorsels(n, num_threads_,
                      [&](int64_t m, int64_t begin, int64_t end) {
                        std::vector<Row>& out = slots[static_cast<size_t>(m)];
+                       // Per-morsel candidate scratch: the shared
+                       // flat_candidates_ buffer is serial-only.
+                       std::vector<const Row*> scratch;
                        for (int64_t i = begin; i < end; ++i) {
-                         ProbeRow(probe_rows[static_cast<size_t>(i)], &out);
+                         const Row& row = probe_rows[static_cast<size_t>(i)];
+                         if (perfect_built_) {
+                           ProbeRowPerfect(row, &scratch, &out);
+                         } else {
+                           ProbeRow(row, &out);
+                         }
                        }
                      });
 
@@ -336,6 +448,231 @@ Status HashJoinNode::ParallelProbe() {
     for (Row& r : s) pending_.push_back(std::move(r));
   }
   pending_pos_ = 0;
+  materialized_ = true;
+  return Status::OK();
+}
+
+Status HashJoinNode::MirroredBuildProbe() {
+  // Build-side swap: the estimator says the right input dwarfs the left,
+  // so hash the LEFT rows and stream the right input past them. Join
+  // semantics stay probe-side (left): matches are collected in right
+  // arrival order, then stably regrouped by left row, which reproduces the
+  // default plan's output — per left row in arrival order, that row's
+  // matches in right arrival order — byte for byte.
+  materialized_ = true;
+  left_done_ = true;
+  flat_built_ = false;
+  perfect_built_ = false;
+  build_has_null_key_ = false;
+  partitions_.clear();
+
+  // Drain right first, left second — the same child order as the default
+  // build+probe, so IoSim sees an identical scan sequence.
+  std::vector<Row> right_rows;
+  std::vector<Row> left_rows;
+  NESTRA_RETURN_NOT_OK(DrainAllRows(right_.get(), vectorized_, &right_rows));
+  NESTRA_RETURN_NOT_OK(DrainAllRows(left_.get(), vectorized_, &left_rows));
+  const int64_t nl = static_cast<int64_t>(left_rows.size());
+  const int64_t nr = static_cast<int64_t>(right_rows.size());
+  // The counters keep their logical meaning (build = right input, probe =
+  // left input) so EXPLAIN/bench numbers compare across strategies.
+  build_rows_ = nr;
+  probe_count_ = nl;
+
+  std::vector<uint8_t> left_null(static_cast<size_t>(nl), 0);
+  for (int64_t i = 0; i < nl; ++i) {
+    for (const int idx : left_key_idx_) {
+      if (left_rows[static_cast<size_t>(i)][idx].is_null()) {
+        left_null[static_cast<size_t>(i)] = 1;
+      }
+    }
+  }
+  std::vector<uint8_t> right_null(static_cast<size_t>(nr), 0);
+  for (int64_t j = 0; j < nr; ++j) {
+    for (const int idx : right_key_idx_) {
+      if (right_rows[static_cast<size_t>(j)][idx].is_null()) {
+        right_null[static_cast<size_t>(j)] = 1;
+      }
+    }
+  }
+  for (int64_t j = 0; j < nr; ++j) {
+    if (right_null[static_cast<size_t>(j)] != 0) build_has_null_key_ = true;
+  }
+
+  // Key table over the LEFT rows: key -> left indices in arrival order —
+  // a dense array chain when the perfect hint validates, a hash map
+  // otherwise. NULL left keys match nothing and are only tracked for the
+  // null-aware epilogue.
+  using LeftBuckets =
+      std::unordered_map<std::vector<Value>, std::vector<int64_t>,
+                         SqlValueKeyHash, SqlValueKeyEq>;
+  LeftBuckets left_map;
+  std::vector<int32_t> head;
+  std::vector<int32_t> next;
+  bool perfect = hints_.perfect && equi_.size() == 1 &&
+                 hints_.perfect_max >= hints_.perfect_min;
+  if (perfect) {
+    const int key_idx = left_key_idx_[0];
+    for (int64_t i = 0; i < nl && perfect; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      if (left_null[si] != 0) continue;
+      const Value& v = left_rows[si][key_idx];
+      if (!v.is_int() || v.int64() < hints_.perfect_min ||
+          v.int64() > hints_.perfect_max) {
+        perfect = false;
+      }
+    }
+  }
+  if (perfect) {
+    const int key_idx = left_key_idx_[0];
+    const size_t span = static_cast<size_t>(hints_.perfect_max -
+                                            hints_.perfect_min + 1);
+    head.assign(span, -1);
+    next.assign(static_cast<size_t>(nl), -1);
+    for (int64_t i = nl - 1; i >= 0; --i) {
+      const size_t si = static_cast<size_t>(i);
+      if (left_null[si] != 0) continue;
+      const size_t slot = static_cast<size_t>(
+          left_rows[si][key_idx].int64() - hints_.perfect_min);
+      next[si] = head[slot];
+      head[slot] = static_cast<int32_t>(i);
+    }
+  } else {
+    left_map.max_load_factor(0.7F);
+    left_map.reserve(static_cast<size_t>(nl) + 1);
+    for (int64_t i = 0; i < nl; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      if (left_null[si] != 0) continue;
+      std::vector<Value> key;
+      key.reserve(left_key_idx_.size());
+      for (const int idx : left_key_idx_) {
+        key.push_back(left_rows[si][idx]);
+      }
+      left_map[std::move(key)].push_back(i);
+    }
+  }
+
+  const bool combining = join_type_ == JoinType::kInner ||
+                         join_type_ == JoinType::kLeftOuter;
+
+  // Stream the right rows in morsels; per-morsel slots concatenated in
+  // morsel order keep the global match stream in right arrival order.
+  struct Match {
+    int64_t left;
+    Row combined;
+  };
+  const int64_t morsels = MorselCount(nr, num_threads_);
+  std::vector<std::vector<Match>> match_slots(static_cast<size_t>(morsels));
+  std::vector<std::vector<int64_t>> flag_slots(static_cast<size_t>(morsels));
+  ParallelForMorsels(nr, num_threads_, [&](int64_t m, int64_t begin,
+                                           int64_t end) {
+    std::vector<Match>& matches = match_slots[static_cast<size_t>(m)];
+    std::vector<int64_t>& flags = flag_slots[static_cast<size_t>(m)];
+    std::vector<Value> key;
+    for (int64_t j = begin; j < end; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      if (right_null[sj] != 0) continue;
+      const Row& right_row = right_rows[sj];
+      const std::vector<int64_t>* idx_list = nullptr;
+      int32_t chain = -1;
+      if (perfect) {
+        int64_t k = 0;
+        if (!DenseKeyOf(right_row[right_key_idx_[0]], &k)) continue;
+        chain = head[static_cast<size_t>(k - hints_.perfect_min)];
+      } else {
+        key.clear();
+        for (const int idx : right_key_idx_) key.push_back(right_row[idx]);
+        const auto it = left_map.find(key);
+        if (it == left_map.end()) continue;
+        idx_list = &it->second;
+      }
+      const auto probe_one = [&](int64_t li) {
+        Row combined =
+            Row::Concat(left_rows[static_cast<size_t>(li)], right_row);
+        if (!bound_residual_.Matches(combined)) return;
+        if (combining) {
+          matches.push_back(Match{li, std::move(combined)});
+        } else {
+          flags.push_back(li);
+        }
+      };
+      if (perfect) {
+        for (int32_t i = chain; i >= 0; i = next[static_cast<size_t>(i)]) {
+          probe_one(i);
+        }
+      } else {
+        for (const int64_t li : *idx_list) probe_one(li);
+      }
+    }
+  });
+
+  pending_.clear();
+  pending_pos_ = 0;
+  if (combining) {
+    // Stable regroup by left index (counting sort): per left row, its
+    // matches stay in right arrival order.
+    int64_t total = 0;
+    for (const std::vector<Match>& s : match_slots) {
+      total += static_cast<int64_t>(s.size());
+    }
+    std::vector<int64_t> offsets(static_cast<size_t>(nl) + 1, 0);
+    for (const std::vector<Match>& s : match_slots) {
+      for (const Match& m : s) ++offsets[static_cast<size_t>(m.left) + 1];
+    }
+    for (int64_t i = 0; i < nl; ++i) {
+      offsets[static_cast<size_t>(i) + 1] += offsets[static_cast<size_t>(i)];
+    }
+    std::vector<Row> ordered(static_cast<size_t>(total));
+    std::vector<int64_t> pos(offsets.begin(), offsets.end() - 1);
+    for (std::vector<Match>& s : match_slots) {
+      for (Match& m : s) {
+        ordered[static_cast<size_t>(pos[static_cast<size_t>(m.left)]++)] =
+            std::move(m.combined);
+      }
+    }
+    pending_.reserve(static_cast<size_t>(total));
+    for (int64_t li = 0; li < nl; ++li) {
+      const int64_t b = offsets[static_cast<size_t>(li)];
+      const int64_t e = offsets[static_cast<size_t>(li) + 1];
+      if (b == e) {
+        if (join_type_ == JoinType::kLeftOuter) {
+          pending_.push_back(Row::Concat(left_rows[static_cast<size_t>(li)],
+                                         Row::Nulls(right_width_)));
+        }
+        continue;
+      }
+      for (int64_t k = b; k < e; ++k) {
+        pending_.push_back(std::move(ordered[static_cast<size_t>(k)]));
+      }
+    }
+  } else {
+    std::vector<uint8_t> matched(static_cast<size_t>(nl), 0);
+    for (const std::vector<int64_t>& s : flag_slots) {
+      for (const int64_t li : s) matched[static_cast<size_t>(li)] = 1;
+    }
+    for (int64_t li = 0; li < nl; ++li) {
+      const size_t si = static_cast<size_t>(li);
+      const bool hit = matched[si] != 0;
+      bool emit = false;
+      switch (join_type_) {
+        case JoinType::kInner:
+        case JoinType::kLeftOuter:
+          break;  // handled above
+        case JoinType::kLeftSemi:
+          emit = hit;
+          break;
+        case JoinType::kLeftAnti:
+          emit = !hit;
+          break;
+        case JoinType::kLeftAntiNullAware:
+          // Same formula as the per-row epilogue in EmitMatches.
+          emit = !hit && (build_rows_ == 0 ||
+                          (left_null[si] == 0 && !build_has_null_key_));
+          break;
+      }
+      if (emit) pending_.push_back(std::move(left_rows[si]));
+    }
+  }
   return Status::OK();
 }
 
@@ -369,6 +706,20 @@ void HashJoinNode::HashProbeBatch() {
   constexpr size_t kNullHash = 0x9e3779b97f4a7c15ULL;
   constexpr size_t kNumericMix = 0xc4ceb9fe1a85ec53ULL;
   const size_t n = static_cast<size_t>(probe_batch_.num_rows());
+  if (perfect_built_) {
+    // The perfect probe indexes by value, not hash — only the NULL flags
+    // are needed. Skipping the hash pass is most of the perfect join's win
+    // on the batch path.
+    probe_hashes_.assign(n, 0);
+    probe_null_.assign(n, 0);
+    for (const int idx : left_key_idx_) {
+      const std::vector<uint8_t>& nulls = probe_batch_.column(idx).nulls();
+      for (size_t i = 0; i < n; ++i) {
+        if (nulls[i] != 0) probe_null_[i] = 1;
+      }
+    }
+    return;
+  }
   probe_hashes_.assign(n, kFnvOffsetBasis);
   probe_null_.assign(n, 0);
   for (const int idx : left_key_idx_) {
@@ -411,18 +762,38 @@ int64_t HashJoinNode::ProbeBatchRow(int64_t i, RowBatch* out) {
   const bool probe_null = probe_null_[static_cast<size_t>(i)] != 0;
   flat_candidates_.clear();
   if (!probe_null) {
-    scratch_key_.clear();
-    for (const int idx : left_key_idx_) {
-      scratch_key_.push_back(probe_batch_.column(idx).GetValue(i));
-    }
-    const size_t h = probe_hashes_[static_cast<size_t>(i)];
-    if (flat_built_) {
-      GatherFlatCandidates(scratch_key_, h);
+    if (perfect_built_) {
+      const ColumnVector& col = probe_batch_.column(left_key_idx_[0]);
+      int64_t key = 0;
+      bool in_range;
+      if (!col.generic() && (col.type() == TypeId::kInt64 ||
+                             col.type() == TypeId::kDate)) {
+        key = col.ints()[static_cast<size_t>(i)];
+        in_range = key >= hints_.perfect_min && key <= hints_.perfect_max;
+      } else {
+        in_range = DenseKeyOf(col.GetValue(i), &key);
+      }
+      if (in_range) {
+        for (int32_t j = perfect_head_[static_cast<size_t>(
+                 key - hints_.perfect_min)];
+             j >= 0; j = flat_next_[j]) {
+          flat_candidates_.push_back(&flat_rows_[static_cast<size_t>(j)]);
+        }
+      }
     } else {
-      const Buckets& buckets = partitions_[h % partitions_.size()];
-      const auto it = buckets.find(scratch_key_);
-      if (it != buckets.end()) {
-        for (const Row& r : it->second) flat_candidates_.push_back(&r);
+      scratch_key_.clear();
+      for (const int idx : left_key_idx_) {
+        scratch_key_.push_back(probe_batch_.column(idx).GetValue(i));
+      }
+      const size_t h = probe_hashes_[static_cast<size_t>(i)];
+      if (flat_built_) {
+        GatherFlatCandidates(scratch_key_, h);
+      } else {
+        const Buckets& buckets = partitions_[h % partitions_.size()];
+        const auto it = buckets.find(scratch_key_);
+        if (it != buckets.end()) {
+          for (const Row& r : it->second) flat_candidates_.push_back(&r);
+        }
       }
     }
   }
@@ -512,9 +883,9 @@ int64_t HashJoinNode::ProbeBatchRow(int64_t i, RowBatch* out) {
 }
 
 Status HashJoinNode::NextBatchImpl(RowBatch* out, bool* eof) {
-  if (num_threads_ > 1) {
-    // The parallel probe already materialized the whole result; emit it in
-    // batch-sized slices.
+  if (materialized_) {
+    // The parallel probe (or mirrored build) already materialized the whole
+    // result; emit it in batch-sized slices.
     size_t end = pending_pos_ + static_cast<size_t>(RowBatch::kDefaultCapacity);
     if (end > pending_.size()) end = pending_.size();
     for (; pending_pos_ < end; ++pending_pos_) {
@@ -559,6 +930,9 @@ void HashJoinNode::CloseImpl() {
   flat_head_.clear();
   flat_next_.clear();
   flat_candidates_.clear();
+  perfect_built_ = false;
+  perfect_head_.clear();
+  materialized_ = false;
   left_->Close();
   right_->Close();
 }

@@ -7,6 +7,7 @@
 
 #include "common/hash_key.h"
 #include "exec/exec_node.h"
+#include "exec/join_hints.h"
 #include "exec/join_type.h"
 #include "expr/evaluator.h"
 
@@ -45,14 +46,23 @@ class HashJoinNode final : public ExecNode {
   /// NextBatch (so batch-capable children stay columnar end-to-end) and
   /// the streaming probe runs batch-at-a-time with one key-hash array per
   /// probe batch. Output order and content are identical either way.
+  /// `hints` carries the planner's cost-based physical strategy
+  /// (exec/join_hints.h): build-side swap and/or perfect (dense-array)
+  /// keying. Default hints reproduce the pre-stats behaviour bit for bit;
+  /// non-default hints change only the internal table layout and work
+  /// order, never output rows or their order.
   HashJoinNode(ExecNodePtr left, ExecNodePtr right, JoinType join_type,
                std::vector<EquiPair> equi, ExprPtr residual,
-               int num_threads = 1, bool vectorized = false);
+               int num_threads = 1, bool vectorized = false,
+               const JoinBuildHints& hints = {});
 
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override {
     return std::string("HashJoin[") + JoinTypeToString(join_type_) + "]";
   }
+  /// Physical strategy annotation for EXPLAIN ANALYZE ("build=left",
+  /// "perfect", comma separated); empty for the default plan.
+  std::string detail() const override;
   // The build side is consumed entirely in Open (and probe output begins
   // only after), which is what pins joins to the breaker role.
   PipelineRole role() const override { return PipelineRole::kBreaker; }
@@ -75,17 +85,35 @@ class HashJoinNode final : public ExecNode {
 
   // Drains the right child and builds the partitioned hash table.
   Status BuildTable();
+  // Dense-array build over the single equality key; false (leaving the
+  // rows untouched) when a key violates the hinted [min, max] int range.
+  bool TryPerfectBuild(std::vector<Row>* rows,
+                       const std::vector<uint8_t>& has_null);
+  // Maps a probe key value to its dense array key; false when the value
+  // cannot equal any build key (NULL-free non-integral or out of range).
+  bool DenseKeyOf(const Value& v, int64_t* key) const;
   // Emits every output row produced by one probe row (matches in build
   // order, then the per-row outer/anti epilogue). Thread-safe.
   void ProbeRow(const Row& left_row, std::vector<Row>* out) const;
-  // ProbeRow against the flat table (serial vectorized build only).
-  void ProbeRowFlat(const Row& left_row, bool probe_null,
-                    std::vector<Row>* out) const;
+  // ProbeRow against the perfect array; `scratch` holds the candidate list
+  // so concurrent morsels never share state.
+  void ProbeRowPerfect(const Row& left_row,
+                       std::vector<const Row*>* scratch,
+                       std::vector<Row>* out) const;
+  // The shared per-probe-row epilogue over an already-gathered candidate
+  // list (matches in candidate order, then outer/anti handling).
+  void EmitMatches(const Row& left_row, bool probe_null,
+                   const std::vector<const Row*>& candidates,
+                   std::vector<Row>* out) const;
   // Fills flat_candidates_ with the build rows whose key equals `key`
   // (combined hash `h`), in arrival order.
   void GatherFlatCandidates(const std::vector<Value>& key, size_t h) const;
   // Materializes the left input and probes it with row-range morsels.
   Status ParallelProbe();
+  // hints_.build_left: hashes the left input instead and streams the right
+  // past it, re-emitting in left order; fills pending_ with the whole
+  // result (byte-identical to the default build).
+  Status MirroredBuildProbe();
   // Fills probe_hashes_ / probe_null_ for the current probe batch, one
   // SqlHash key combine per row, column-at-a-time.
   void HashProbeBatch();
@@ -99,6 +127,7 @@ class HashJoinNode final : public ExecNode {
   std::vector<EquiPair> equi_;
   ExprPtr residual_;
   int num_threads_ = 1;
+  JoinBuildHints hints_;
 
   Schema schema_;
   int right_width_ = 0;
@@ -127,12 +156,21 @@ class HashJoinNode final : public ExecNode {
   // only exists in serial execution, so one shared scratch is safe.
   mutable std::vector<const Row*> flat_candidates_;
 
+  // Perfect (dense-array) table: build rows stay in flat_rows_ and each
+  // array slot heads an arrival-order index chain through flat_next_ —
+  // direct indexing by key - perfect_min, no hashing. Engages only when
+  // TryPerfectBuild validated every build key against the hinted range.
+  bool perfect_built_ = false;
+  std::vector<int32_t> perfect_head_;
+
   // Probe state: pending_ holds the not-yet-emitted outputs — one probe
-  // row's worth when streaming serially, the whole join result after a
-  // parallel probe (left_done_ is then already set).
+  // row's worth when streaming serially, the whole join result when
+  // materialized_ is set (parallel probe or mirrored build; left_done_ is
+  // then already set).
   std::vector<Row> pending_;
   size_t pending_pos_ = 0;
   bool left_done_ = false;
+  bool materialized_ = false;
   int64_t probe_count_ = 0;
 
   // Vectorized streaming-probe state.

@@ -12,6 +12,7 @@
 #include "nested/fused_nest_select.h"
 #include "nested/linking_selection.h"
 #include "nested/nest.h"
+#include "nra/cost.h"
 #include "nra/pipeline.h"
 #include "nra/planner.h"
 #include "nra/profile.h"
@@ -135,6 +136,9 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
   if (prof != nullptr) {
     prof->Clear();
     prof->pool = pool0;
+    // Planner-side row estimates, keyed by the stage labels the execution
+    // paths emit; EXPLAIN ANALYZE prints them next to the actual counts.
+    prof->estimates = EstimateStages(root, catalog_);
   }
 
   // Static invariant check before any table is touched: a plan that would
@@ -164,7 +168,8 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
       NESTRA_ASSIGN_OR_RETURN(
           Table rel,
           EvalBlockBase(root, catalog_, num_threads_, prof,
-                        options_.vectorized, options_.two_valued));
+                        options_.vectorized, options_.two_valued,
+                        options_.cost_based));
       stats->join_seconds += Seconds(t0);
       stats->intermediate_rows = rel.num_rows();
       return FinishRoot(root, std::move(rel), prof);
@@ -196,6 +201,11 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
       if (FusedChainBypassesTwoValued(chain, catalog_, options_)) {
         all_correlated = false;
       }
+      // Cost-gated rewrites (§4.2.5 / §4.2.4) likewise only fire on the
+      // recursive path; route there when the estimator says one applies.
+      if (FusedChainBypassesForCost(chain, catalog_, options_)) {
+        all_correlated = false;
+      }
       if (all_correlated) {
         return options_.pipelined
                    ? ExecuteFusedLinearDag(chain, stats, prof)
@@ -208,7 +218,8 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
     const auto t0 = Clock::now();
     NESTRA_ASSIGN_OR_RETURN(
         Table rel, EvalBlockBase(root, catalog_, num_threads_, prof,
-                                 options_.vectorized, options_.two_valued));
+                                 options_.vectorized, options_.two_valued,
+                        options_.cost_based));
     stats->join_seconds += Seconds(t0);
     std::vector<const QueryBlock*> path{&root};
     NESTRA_ASSIGN_OR_RETURN(rel, ComputeNode(root, std::move(rel),
@@ -398,11 +409,13 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
   auto t0 = Clock::now();
   NESTRA_ASSIGN_OR_RETURN(
       Table rel, EvalBlockBase(*chain[0], catalog_, num_threads_, profile,
-                              options_.vectorized, options_.two_valued));
+                              options_.vectorized, options_.two_valued,
+                        options_.cost_based));
   for (int k = 1; k < n; ++k) {
     NESTRA_ASSIGN_OR_RETURN(
         Table base, EvalBlockBase(*chain[k], catalog_, num_threads_, profile,
-                                  options_.vectorized, options_.two_valued));
+                                  options_.vectorized, options_.two_valued,
+                        options_.cost_based));
     if (options_.magic_restriction) {
       StageTimer magic_timer(profile, QueryPhase::kUnnestJoin,
                              "magic[b" + std::to_string(chain[k]->id) + "]");
@@ -410,10 +423,14 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
                               MagicRestrict(rel, std::move(base), *chain[k]));
       magic_timer.Finish(base.num_rows());
     }
+    const std::vector<const QueryBlock*> jpath(chain.begin(),
+                                               chain.begin() + k);
     NESTRA_ASSIGN_OR_RETURN(
         rel, JoinWithChild(std::move(rel), std::move(base), *chain[k],
                            JoinType::kLeftOuter, /*extra_condition=*/nullptr,
-                           num_threads_, profile, options_.vectorized));
+                           num_threads_, profile, options_.vectorized,
+                           JoinStrategyFor(*chain[k], jpath, catalog_,
+                                           options_)));
   }
   stats->join_seconds += Seconds(t0);
   stats->intermediate_rows = rel.num_rows();
@@ -457,7 +474,8 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
   auto t0 = Clock::now();
   NESTRA_ASSIGN_OR_RETURN(
       Table cur, EvalBlockBase(*chain[n - 1], catalog_, num_threads_, profile,
-                              options_.vectorized, options_.two_valued));
+                              options_.vectorized, options_.two_valued,
+                        options_.cost_based));
   stats->join_seconds += Seconds(t0);
 
   for (int k = n - 2; k >= 0; --k) {
@@ -467,7 +485,8 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
     NESTRA_ASSIGN_OR_RETURN(
         Table outer_base,
         EvalBlockBase(outer, catalog_, num_threads_, profile,
-                      options_.vectorized, options_.two_valued));
+                      options_.vectorized, options_.two_valued,
+                        options_.cost_based));
     stats->join_seconds += Seconds(t0);
 
     // In the bottom-up order only (outer, child) tuples exist when the
@@ -527,7 +546,8 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
     auto t0 = Clock::now();
     NESTRA_ASSIGN_OR_RETURN(
         Table base, EvalBlockBase(child, catalog_, num_threads_, profile,
-                                  options_.vectorized, options_.two_valued));
+                                  options_.vectorized, options_.two_valued,
+                        options_.cost_based));
     stats->join_seconds += Seconds(t0);
 
     const bool strict_safe = StrictSafe(*path);
@@ -535,14 +555,17 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
         strict_safe ? SelectionMode::kStrict : SelectionMode::kPseudo;
 
     // §4.2.5: positive leaf link -> semijoin, when dropping is safe.
-    if (options_.rewrite_positive && child.IsLeaf() &&
-        child.LinkIsPositive() && strict_safe) {
+    // Flag-forced, or cost-gated when the estimated join intermediate is
+    // large (nra/cost.h mirrors this predicate for EXPLAIN/verify).
+    if (TakesSemijoinRewrite(child, *path, strict_safe, catalog_, options_)) {
       NESTRA_ASSIGN_OR_RETURN(ExprPtr extra, PositiveLinkJoinCondition(child));
       t0 = Clock::now();
       NESTRA_ASSIGN_OR_RETURN(
           rel, JoinWithChild(std::move(rel), std::move(base), child,
                              JoinType::kLeftSemi, std::move(extra),
-                             num_threads_, profile, options_.vectorized));
+                             num_threads_, profile, options_.vectorized,
+                             JoinStrategyFor(child, *path, catalog_,
+                                             options_)));
       stats->join_seconds += Seconds(t0);
       continue;
     }
@@ -557,7 +580,9 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       NESTRA_ASSIGN_OR_RETURN(
           rel, JoinWithChild(std::move(rel), std::move(base), child,
                              JoinType::kLeftAnti, std::move(extra),
-                             num_threads_, profile, options_.vectorized));
+                             num_threads_, profile, options_.vectorized,
+                             JoinStrategyFor(child, *path, catalog_,
+                                             options_)));
       stats->join_seconds += Seconds(t0);
       continue;
     }
@@ -583,7 +608,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
     // §4.2.4: equi-correlated leaf -> nest pushed below the join.
     {
       std::vector<std::string> okeys, ikeys;
-      if (options_.push_down_nest && child.IsLeaf() &&
+      if (TakesNestPushDown(child, *path, catalog_, options_) &&
           AllEquiCorrelation(child, rel.schema(), base.schema(), &okeys,
                              &ikeys)) {
         t0 = Clock::now();
@@ -609,7 +634,9 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
     NESTRA_ASSIGN_OR_RETURN(
         rel, JoinWithChild(std::move(rel), std::move(base), child,
                            JoinType::kLeftOuter, /*extra_condition=*/nullptr,
-                           num_threads_, profile, options_.vectorized));
+                           num_threads_, profile, options_.vectorized,
+                           JoinStrategyFor(child, *path, catalog_,
+                                           options_)));
     stats->join_seconds += Seconds(t0);
     stats->intermediate_rows =
         std::max(stats->intermediate_rows, rel.num_rows());
@@ -689,7 +716,8 @@ Result<Table> NraExecutor::ExecuteFusedLinearDag(
         const auto t0 = Clock::now();
         NESTRA_ASSIGN_OR_RETURN(
             rel, EvalBlockBase(*chain[0], catalog_, num_threads_, p,
-                               options_.vectorized, options_.two_valued));
+                               options_.vectorized, options_.two_valued,
+                        options_.cost_based));
         s->join_seconds += Seconds(t0);
         return Status::OK();
       });
@@ -702,13 +730,20 @@ Result<Table> NraExecutor::ExecuteFusedLinearDag(
           NESTRA_ASSIGN_OR_RETURN(
               bases[k], EvalBlockBase(*chain[k], catalog_, num_threads_, p,
                                       options_.vectorized,
-                                      options_.two_valued));
+                                      options_.two_valued,
+                        options_.cost_based));
           s->join_seconds += Seconds(t0);
           return Status::OK();
         });
+    // Hints are plan+catalog functions, so they can be decided at DAG build
+    // time and captured by value (chain is only borrowed until Run()).
+    const JoinBuildHints hints = JoinStrategyFor(
+        *chain[k],
+        std::vector<const QueryBlock*>(chain.begin(), chain.begin() + k),
+        catalog_, options_);
     prev = dag.AddTask(
         "join[b" + bid + "]", {prev, base_task},
-        [&, k, bid](NraStats* s, QueryProfile* p) -> Status {
+        [&, k, bid, hints](NraStats* s, QueryProfile* p) -> Status {
           const auto t0 = Clock::now();
           Table base = std::move(bases[k]);
           if (options_.magic_restriction) {
@@ -722,7 +757,7 @@ Result<Table> NraExecutor::ExecuteFusedLinearDag(
               rel, JoinWithChild(std::move(rel), std::move(base), *chain[k],
                                  JoinType::kLeftOuter,
                                  /*extra_condition=*/nullptr, num_threads_, p,
-                                 options_.vectorized));
+                                 options_.vectorized, hints));
           s->join_seconds += Seconds(t0);
           // Left-outer joins never shrink rel, so the running max merged
           // across tasks equals the staged path's final assignment.
@@ -783,7 +818,8 @@ Result<Table> NraExecutor::ExecuteBottomUpLinearDag(
         const auto t0 = Clock::now();
         NESTRA_ASSIGN_OR_RETURN(
             cur, EvalBlockBase(*chain[n - 1], catalog_, num_threads_, p,
-                               options_.vectorized, options_.two_valued));
+                               options_.vectorized, options_.two_valued,
+                        options_.cost_based));
         s->join_seconds += Seconds(t0);
         return Status::OK();
       });
@@ -795,7 +831,8 @@ Result<Table> NraExecutor::ExecuteBottomUpLinearDag(
           NESTRA_ASSIGN_OR_RETURN(
               bases[k], EvalBlockBase(*chain[k], catalog_, num_threads_, p,
                                       options_.vectorized,
-                                      options_.two_valued));
+                                      options_.two_valued,
+                        options_.cost_based));
           s->join_seconds += Seconds(t0);
           return Status::OK();
         });
@@ -913,7 +950,8 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
           const auto t0 = Clock::now();
           NESTRA_ASSIGN_OR_RETURN(
               *base, EvalBlockBase(child, catalog_, num_threads_, p,
-                                   options_.vectorized, options_.two_valued));
+                                   options_.vectorized, options_.two_valued,
+                        options_.cost_based));
           s->join_seconds += Seconds(t0);
           return Status::OK();
         });
@@ -925,19 +963,26 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
     const bool strict_safe = StrictSafe(*path);
     const SelectionMode mode =
         strict_safe ? SelectionMode::kStrict : SelectionMode::kPseudo;
+    // Cost decisions (join strategy, rewrite gates) are plan+catalog
+    // functions too, so they resolve here and are captured by value — the
+    // borrowed `path` vector is only valid during DAG construction.
+    const JoinBuildHints hints =
+        JoinStrategyFor(child, *path, catalog_, options_);
 
-    if (options_.rewrite_positive && child.IsLeaf() &&
-        child.LinkIsPositive() && strict_safe) {
+    if (TakesSemijoinRewrite(child, *path, strict_safe, catalog_,
+                             options_)) {
       prev = dag->AddTask(
           "semijoin[b" + bid + "]", {prev, base_task},
-          [this, &child, rel, base](NraStats* s, QueryProfile* p) -> Status {
+          [this, &child, rel, base,
+           hints](NraStats* s, QueryProfile* p) -> Status {
             NESTRA_ASSIGN_OR_RETURN(ExprPtr extra,
                                     PositiveLinkJoinCondition(child));
             const auto t0 = Clock::now();
             NESTRA_ASSIGN_OR_RETURN(
                 *rel, JoinWithChild(std::move(*rel), std::move(*base), child,
                                     JoinType::kLeftSemi, std::move(extra),
-                                    num_threads_, p, options_.vectorized));
+                                    num_threads_, p, options_.vectorized,
+                                    hints));
             s->join_seconds += Seconds(t0);
             return Status::OK();
           });
@@ -947,14 +992,16 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
     if (TakesTwoValuedAntijoin(child, *path, catalog_, options_)) {
       prev = dag->AddTask(
           "antijoin[b" + bid + "]", {prev, base_task},
-          [this, &child, rel, base](NraStats* s, QueryProfile* p) -> Status {
+          [this, &child, rel, base,
+           hints](NraStats* s, QueryProfile* p) -> Status {
             NESTRA_ASSIGN_OR_RETURN(ExprPtr extra,
                                     AntiLinkJoinCondition(child));
             const auto t0 = Clock::now();
             NESTRA_ASSIGN_OR_RETURN(
                 *rel, JoinWithChild(std::move(*rel), std::move(*base), child,
                                     JoinType::kLeftAnti, std::move(extra),
-                                    num_threads_, p, options_.vectorized));
+                                    num_threads_, p, options_.vectorized,
+                                    hints));
             s->join_seconds += Seconds(t0);
             return Status::OK();
           });
@@ -983,12 +1030,16 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
 
     if (child.IsLeaf()) {
       // One combined task for a leaf taking neither rewrite: §4.2.4
-      // push-down versus join+nest+select is the single run-time decision.
+      // push-down versus join+nest+select is the single run-time decision
+      // (AllEquiCorrelation needs materialized schemas); whether push-down
+      // is even on the table is decided here at build time.
+      const bool take_push_down =
+          TakesNestPushDown(child, *path, catalog_, options_);
       prev = dag->AddTask(
           "reduce[b" + bid + "]", {prev, base_task},
-          [this, &child, &node, rel, base, mode, bid,
-           retained](NraStats* s, QueryProfile* p) -> Status {
-            if (options_.push_down_nest) {
+          [this, &child, &node, rel, base, mode, bid, retained,
+           take_push_down, hints](NraStats* s, QueryProfile* p) -> Status {
+            if (take_push_down) {
               std::vector<std::string> okeys, ikeys;
               if (AllEquiCorrelation(child, rel->schema(), base->schema(),
                                      &okeys, &ikeys)) {
@@ -1016,7 +1067,7 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
                 *rel, JoinWithChild(std::move(*rel), std::move(*base), child,
                                     JoinType::kLeftOuter,
                                     /*extra_condition=*/nullptr, num_threads_,
-                                    p, options_.vectorized));
+                                    p, options_.vectorized, hints));
             s->join_seconds += Seconds(t0);
             s->intermediate_rows =
                 std::max(s->intermediate_rows, rel->num_rows());
@@ -1033,8 +1084,8 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
     // child's own task chain -> nest task.
     prev = dag->AddTask(
         "join[b" + bid + "]", {prev, base_task},
-        [this, &child, rel, base, bid](NraStats* s,
-                                       QueryProfile* p) -> Status {
+        [this, &child, rel, base, bid, hints](NraStats* s,
+                                              QueryProfile* p) -> Status {
           const auto t0 = Clock::now();
           if (options_.magic_restriction) {
             StageTimer magic_timer(p, QueryPhase::kUnnestJoin,
@@ -1047,7 +1098,7 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
               *rel, JoinWithChild(std::move(*rel), std::move(*base), child,
                                   JoinType::kLeftOuter,
                                   /*extra_condition=*/nullptr, num_threads_,
-                                  p, options_.vectorized));
+                                  p, options_.vectorized, hints));
           s->join_seconds += Seconds(t0);
           s->intermediate_rows =
               std::max(s->intermediate_rows, rel->num_rows());
@@ -1093,7 +1144,8 @@ Result<Table> NraExecutor::ExecutePipelinedRecursive(const QueryBlock& root,
         const auto t0 = Clock::now();
         NESTRA_ASSIGN_OR_RETURN(
             rel, EvalBlockBase(root, catalog_, num_threads_, p,
-                               options_.vectorized, options_.two_valued));
+                               options_.vectorized, options_.two_valued,
+                        options_.cost_based));
         s->join_seconds += Seconds(t0);
         return Status::OK();
       });

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "baseline/native_optimizer.h"
+#include "exec/join_hints.h"
+#include "nra/cost.h"
 #include "nra/executor.h"
 #include "nra/planner.h"
 #include "nra/profile.h"
@@ -31,6 +33,16 @@ bool LooksEquiCorrelated(const QueryBlock& child) {
   return true;
 }
 
+// Human-readable suffix for a cost-chosen hash-join strategy; empty for the
+// default plan so pre-stats EXPLAIN output is unchanged. Computed through
+// the same JoinStrategyFor the executor passes to JoinWithChild.
+std::string JoinStrategySuffix(const JoinBuildHints& hints) {
+  std::string s;
+  if (hints.build_left) s += ", build=left (est swap)";
+  if (hints.perfect) s += ", perfect dense-array hash";
+  return s;
+}
+
 void ExplainNode(const QueryBlock& node, const Catalog& catalog,
                  const NraOptions& options,
                  std::vector<const QueryBlock*>* path, int indent,
@@ -41,28 +53,30 @@ void ExplainNode(const QueryBlock& node, const Catalog& catalog,
     const bool strict_safe = StrictSafe(*path);
     const char* mode = strict_safe ? "strict" : "pseudo";
 
+    // The shared predicates (nra/cost.h, nra/rewrites.h) keep every branch
+    // here in lockstep with NraExecutor and PlanVerifier::OutlineNode.
+    const std::string strategy =
+        JoinStrategySuffix(JoinStrategyFor(child, *path, catalog, options));
     *oss << pad << "- link " << LinkingLabel(child) << ": ";
-    if (options.rewrite_positive && child.IsLeaf() &&
-        child.LinkIsPositive() && strict_safe) {
-      *oss << "semijoin rewrite (4.2.5)\n";
+    if (TakesSemijoinRewrite(child, *path, strict_safe, catalog, options)) {
+      *oss << "semijoin rewrite (4.2.5)" << strategy << "\n";
       continue;
     }
-    // The shared predicate keeps this in lockstep with NraExecutor and
-    // PlanVerifier::OutlineNode.
     if (TakesTwoValuedAntijoin(child, *path, catalog, options)) {
-      *oss << "two-valued antijoin (proven non-NULL member comparison)\n";
+      *oss << "two-valued antijoin (proven non-NULL member comparison)"
+           << strategy << "\n";
       continue;
     }
     if (child.IsLeaf() && child.correlated_preds.empty()) {
       *oss << "virtual Cartesian product, " << mode << " selection\n";
       continue;
     }
-    if (options.push_down_nest && child.IsLeaf() &&
+    if (TakesNestPushDown(child, *path, catalog, options) &&
         LooksEquiCorrelated(child)) {
       *oss << "nest pushed below join (4.2.4), " << mode << " selection\n";
       continue;
     }
-    *oss << "left outer hash join on correlation, "
+    *oss << "left outer hash join on correlation" << strategy << ", "
          << (options.fused ? "fused nest+select" : "nest then select")
          << ", " << mode << " mode\n";
     path->push_back(&child);
@@ -141,6 +155,11 @@ std::string ExplainQuery(const QueryBlock& root, const Catalog& catalog,
             FusedChainBypassesTwoValued(*chain, catalog, options)) {
           fused_whole_chain = false;
         }
+        // Same for a cost-gated §4.2.5/§4.2.4 rewrite on the chain's leaf.
+        if (fused_whole_chain &&
+            FusedChainBypassesForCost(*chain, catalog, options)) {
+          fused_whole_chain = false;
+        }
       }
     }
     if (fused_whole_chain) {
@@ -151,8 +170,13 @@ std::string ExplainQuery(const QueryBlock& root, const Catalog& catalog,
       const QueryBlock* node = &root;
       while (!node->children.empty()) {
         const QueryBlock& child = *node->children[0];
+        // Same build-time hints ExecuteFusedLinear passes to JoinWithChild
+        // at this level (path = the chain prefix above the child).
         oss << "  - level: " << LinkingLabel(child) << " ("
-            << (StrictSafe(path) ? "strict" : "pseudo") << ")\n";
+            << (StrictSafe(path) ? "strict" : "pseudo") << ")"
+            << JoinStrategySuffix(
+                   JoinStrategyFor(child, path, catalog, options))
+            << "\n";
         path.push_back(&child);
         node = &child;
       }

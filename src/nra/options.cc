@@ -22,6 +22,7 @@ std::string NraOptions::ToString() const {
   oss << ", vectorized=" << (vectorized ? "true" : "false")
       << ", pipelined=" << (pipelined ? "true" : "false")
       << ", two_valued=" << (two_valued ? "true" : "false")
+      << ", cost_based=" << (cost_based ? "true" : "false")
       << ", profile=" << (profile ? "true" : "false")
       << ", verify_plans=" << (verify_plans ? "true" : "false");
   // Telemetry knobs print only when set, keeping the common rendering (and

@@ -1,5 +1,7 @@
 #include "nra/planner.h"
 
+#include <cmath>
+
 #include "common/thread_pool.h"
 #include "exec/aggregate.h"
 #include "exec/distinct.h"
@@ -11,8 +13,11 @@
 #include "exec/scan.h"
 #include "exec/sort.h"
 #include "expr/evaluator.h"
+#include "nra/cost.h"
 #include "nra/profile.h"
 #include "storage/io_sim.h"
+#include "storage/table_stats.h"
+#include "telemetry/engine_metrics.h"
 
 namespace nestra {
 
@@ -154,6 +159,163 @@ Result<Table> VectorizedScanFilter(const Table* table, const Schema& schema,
   return out;
 }
 
+// One local-predicate conjunct usable for zone-map pruning: a column
+// compared to a numeric literal (normalized to `col op lit`), or an
+// IS NOT NULL guard. Pruning only ever uses NECESSARY conditions — a
+// granule is skipped when the term proves no row in it can pass — so
+// conjuncts this misses just cost nothing.
+struct ZoneTerm {
+  int col = 0;
+  bool not_null_only = false;
+  CmpOp op = CmpOp::kEq;
+  double lit = 0.0;
+};
+
+// Doubles represent integers exactly only up to 2^53; literals at or beyond
+// 2^52 stay out of pruning so a rounded bound can never misjudge a granule.
+constexpr double kZoneLiteralLimit = 4503599627370496.0;  // 2^52
+
+void CollectZoneTerms(const std::vector<ExprPtr>& conjuncts,
+                      const Schema& schema, std::vector<ZoneTerm>* out) {
+  for (const ExprPtr& e : conjuncts) {
+    if (const auto* is_null = dynamic_cast<const IsNullExpr*>(e.get())) {
+      // IS NULL cannot prune (zones don't count NULLs per granule); IS NOT
+      // NULL prunes all-NULL granules.
+      if (!is_null->negated()) continue;
+      const auto* col = dynamic_cast<const ColumnRef*>(&is_null->child());
+      if (col == nullptr) continue;
+      Result<int> idx = schema.Resolve(col->name());
+      if (!idx.ok()) continue;
+      ZoneTerm t;
+      t.col = *idx;
+      t.not_null_only = true;
+      out->push_back(t);
+      continue;
+    }
+    const auto* cmp = dynamic_cast<const Comparison*>(e.get());
+    if (cmp == nullptr) continue;
+    const auto* l_col = dynamic_cast<const ColumnRef*>(&cmp->lhs());
+    const auto* r_col = dynamic_cast<const ColumnRef*>(&cmp->rhs());
+    const auto* l_lit = dynamic_cast<const Literal*>(&cmp->lhs());
+    const auto* r_lit = dynamic_cast<const Literal*>(&cmp->rhs());
+    const ColumnRef* col = l_col != nullptr ? l_col : r_col;
+    const Literal* lit = l_col != nullptr ? r_lit : l_lit;
+    if (col == nullptr || lit == nullptr) continue;
+    const auto num = lit->value().AsDouble();
+    if (!num.has_value() || std::abs(*num) >= kZoneLiteralLimit) continue;
+    Result<int> idx = schema.Resolve(col->name());
+    if (!idx.ok()) continue;
+    ZoneTerm t;
+    t.col = *idx;
+    t.op = l_col != nullptr ? cmp->op() : FlipCmpOp(cmp->op());
+    t.lit = *num;
+    out->push_back(t);
+  }
+}
+
+// True when the zone entry proves no row of the granule satisfies `t`.
+bool GranuleRejected(const ZoneEntry& z, const ZoneTerm& t) {
+  // NULL operands fail comparisons and IS NOT NULL alike.
+  if (z.all_null) return true;
+  if (t.not_null_only) return false;
+  // No numeric range (e.g. a string column): nothing provable.
+  if (!z.has_range) return false;
+  switch (t.op) {
+    case CmpOp::kEq:
+      return t.lit < z.min || t.lit > z.max;
+    case CmpOp::kNe:
+      return false;
+    case CmpOp::kLt:
+      return z.min >= t.lit;
+    case CmpOp::kLe:
+      return z.min > t.lit;
+    case CmpOp::kGt:
+      return z.max <= t.lit;
+    case CmpOp::kGe:
+      return z.max < t.lit;
+  }
+  return false;
+}
+
+// Scan+filter over the kept granules only (morsel = granule, kept order =
+// table order). ONE implementation for every engine combination — serial or
+// parallel, row or vectorized — so rows and IoSim charges are identical
+// across all of them by construction; SeqRange charges exactly what the
+// unpruned pass would charge for these rows.
+Result<Table> PrunedScanFilter(const Table* table, const Schema& schema,
+                               const Expr* pred,
+                               const std::vector<int64_t>& kept,
+                               int64_t total_granules, int num_threads,
+                               ProfiledOperator* op_out) {
+  BoundPredicate bound;
+  if (pred != nullptr) {
+    NESTRA_ASSIGN_OR_RETURN(bound, BoundPredicate::Make(pred, schema));
+  }
+  const int64_t n = table->num_rows();
+  const int64_t g = static_cast<int64_t>(kept.size());
+  std::vector<std::vector<Row>> slots(static_cast<size_t>(g));
+  struct IoCounts {
+    int64_t hits = 0;
+    int64_t seq_misses = 0;
+    int64_t random_misses = 0;
+  };
+  std::vector<IoCounts> io(static_cast<size_t>(g));
+  int64_t scanned_rows = 0;
+  ParallelForEach(g, num_threads, [&](int64_t k) {
+    const int64_t gi = kept[static_cast<size_t>(k)];
+    const int64_t begin = gi * kZoneGranuleRows;
+    int64_t end = begin + kZoneGranuleRows;
+    if (end > n) end = n;
+    IoSim* sim = IoSim::Get();
+    if (sim != nullptr) {
+      const IoSim::RangeCounts counts = sim->SeqRange(table, begin, end);
+      IoCounts& c = io[static_cast<size_t>(k)];
+      c.hits = counts.hits;
+      c.seq_misses = counts.seq_misses;
+      c.random_misses = counts.random_misses;
+    }
+    std::vector<Row>& slot = slots[static_cast<size_t>(k)];
+    for (int64_t i = begin; i < end; ++i) {
+      const Row& r = table->rows()[static_cast<size_t>(i)];
+      if (pred == nullptr || bound.Matches(r)) slot.push_back(r);
+    }
+  });
+  Table out{schema};
+  for (std::vector<Row>& slot : slots) {
+    for (Row& r : slot) out.AppendUnchecked(std::move(r));
+  }
+  for (const int64_t gi : kept) {
+    const int64_t begin = gi * kZoneGranuleRows;
+    scanned_rows += std::min(n, begin + kZoneGranuleRows) - begin;
+  }
+  if (telemetry::MetricsEnabled()) {
+    const telemetry::EngineMetrics& m = telemetry::Metrics();
+    m.zone_granules_scanned_total->Add(static_cast<double>(g));
+    m.zone_granules_pruned_total->Add(
+        static_cast<double>(total_granules - g));
+  }
+  if (op_out != nullptr) {
+    op_out->name = "ZoneMapScanFilter";
+    op_out->detail = "granules=" + std::to_string(g) + "/" +
+                     std::to_string(total_granules);
+    op_out->phase = QueryPhase::kUnnestJoin;
+    op_out->rows_in = scanned_rows;
+    op_out->stats.rows_out = out.num_rows();
+    for (const IoCounts& counts : io) {
+      op_out->stats.io_hits += counts.hits;
+      op_out->stats.io_seq_misses += counts.seq_misses;
+      op_out->stats.io_random_misses += counts.random_misses;
+    }
+  }
+  return out;
+}
+
+// Zone-map pruning pays off on big tables; below this many granules the
+// whole scan fits a few pages anyway and plan stability matters more (the
+// gate keeps every tier-1 test workload on the byte-identical unpruned
+// paths, same reasoning as kCostMinJoinRows).
+constexpr int64_t kMinPruneGranules = 8;
+
 }  // namespace
 
 Result<Table> ParallelFilterTable(Table in, const Expr* pred,
@@ -182,12 +344,58 @@ Result<Table> ParallelFilterTable(Table in, const Expr* pred,
 
 Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
                             int num_threads, QueryProfile* profile,
-                            bool vectorized, bool two_valued) {
+                            bool vectorized, bool two_valued,
+                            bool cost_based) {
   // Split local conjuncts once; they are attached to the first join where
   // both sides are available, remaining ones become a final filter.
   std::vector<ExprPtr> conjuncts;
   if (block.local_pred != nullptr) {
     conjuncts = SplitConjunction(block.local_pred->Clone());
+  }
+
+  if (block.tables.size() == 1 && cost_based && !conjuncts.empty()) {
+    // Zone-map pruning: when per-granule min/max from load-time stats prove
+    // some granules can't contribute, scan only the kept ones. The pruned
+    // path runs for EVERY engine combination, so rows and IoSim charges
+    // stay identical across threads and row/vectorized; when nothing is
+    // provably prunable the pre-stats paths below run byte for byte.
+    const QueryBlock::TableRef& ref = block.tables[0];
+    NESTRA_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(ref.table));
+    const Result<const TableStats*> stats = catalog.GetStats(ref.table);
+    if (stats.ok() && (*stats)->zones.num_granules >= kMinPruneGranules) {
+      const Schema schema = ref.alias.empty()
+                                ? table->schema()
+                                : table->schema().Qualify(ref.alias);
+      std::vector<ZoneTerm> terms;
+      CollectZoneTerms(conjuncts, schema, &terms);
+      const TableZoneMap& zones = (*stats)->zones;
+      std::vector<int64_t> kept;
+      if (!terms.empty()) {
+        for (int64_t gi = 0; gi < zones.num_granules; ++gi) {
+          bool keep = true;
+          for (const ZoneTerm& t : terms) {
+            if (GranuleRejected(zones.At(gi, t.col), t)) {
+              keep = false;
+              break;
+            }
+          }
+          if (keep) kept.push_back(gi);
+        }
+      }
+      if (!terms.empty() &&
+          static_cast<int64_t>(kept.size()) < zones.num_granules) {
+        const ExprPtr pred = MakeAnd(std::move(conjuncts));
+        StageTimer timer(profile, QueryPhase::kUnnestJoin, BlockLabel(block));
+        ProfiledOperator op;
+        NESTRA_ASSIGN_OR_RETURN(
+            Table out,
+            PrunedScanFilter(table, schema, pred.get(), kept,
+                             zones.num_granules, num_threads,
+                             timer.active() ? &op : nullptr));
+        timer.Finish(out.num_rows(), std::move(op));
+        return out;
+      }
+    }
   }
 
   if (block.tables.size() == 1 && num_threads > 1) {
@@ -275,10 +483,21 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
       conjuncts = std::move(rest);
       JoinCondition cond = DecomposeJoinCondition(
           std::move(usable), node->output_schema(), scan->output_schema());
+      JoinBuildHints hints;
+      if (cost_based && cond.equi.size() == 1) {
+        // The build side is the freshly scanned `ref`; its single key column
+        // arrives qualified by the alias, which the stats lookup strips.
+        std::string key = cond.equi[0].right;
+        if (!ref.alias.empty() &&
+            key.rfind(ref.alias + ".", 0) == 0) {
+          key = key.substr(ref.alias.size() + 1);
+        }
+        hints = BaseJoinStrategyFor(catalog, ref, key, cost_based);
+      }
       node = std::make_unique<HashJoinNode>(
           std::move(node), std::move(scan), JoinType::kInner,
           std::move(cond.equi), std::move(cond.residual), num_threads,
-          vectorized);
+          vectorized, hints);
     }
   }
   if (!conjuncts.empty() && num_threads > 1) {
@@ -333,7 +552,8 @@ ExprPtr CloneCorrelatedPreds(const QueryBlock& child) {
 Result<Table> JoinWithChild(Table rel, Table child_base,
                             const QueryBlock& child, JoinType join_type,
                             ExprPtr extra_condition, int num_threads,
-                            QueryProfile* profile, bool vectorized) {
+                            QueryProfile* profile, bool vectorized,
+                            const JoinBuildHints& hints) {
   const std::string label = "join[b" + std::to_string(child.id) + "]";
   auto left = std::make_unique<TableSourceNode>(std::move(rel));
   auto right = std::make_unique<TableSourceNode>(std::move(child_base));
@@ -373,7 +593,7 @@ Result<Table> JoinWithChild(Table rel, Table child_base,
   }
   auto join = std::make_unique<HashJoinNode>(
       std::move(left), std::move(right), join_type, std::move(cond.equi),
-      std::move(cond.residual), num_threads, vectorized);
+      std::move(cond.residual), num_threads, vectorized, hints);
   return CollectProfiled(join.get(), QueryPhase::kUnnestJoin, label, profile,
                          vectorized);
 }

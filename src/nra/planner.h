@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exec/exec_node.h"
+#include "exec/join_hints.h"
 #include "exec/join_type.h"
 #include "plan/query_block.h"
 #include "storage/catalog.h"
@@ -33,12 +34,19 @@ class QueryProfile;
 /// scan+filter compile predicates against Catalog::ProvenNotNull facts: terms
 /// whose operands are proven non-NULL pick kernels with no per-value NULL
 /// checks (bit-identical output whenever the proofs hold, which registration
-/// guarantees for immutable tables).
+/// guarantees for immutable tables). `cost_based` enables the stats-driven
+/// physical choices (DESIGN.md §13): zone-map granule pruning on
+/// single-table scans whose local predicate provably rejects whole granules
+/// (the pruned path then runs for every engine combination, so rows AND
+/// IoSim charges stay identical across threads/row/vectorized), and perfect
+/// (dense-array) keying hints for intra-block hash joins. When pruning
+/// skips nothing the pre-stats paths run byte for byte.
 Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
                             int num_threads = 1,
                             QueryProfile* profile = nullptr,
                             bool vectorized = false,
-                            bool two_valued = false);
+                            bool two_valued = false,
+                            bool cost_based = false);
 
 /// Filters `in` down to the rows matching `pred` using row-range morsels
 /// (serial when `num_threads <= 1`); row order is preserved, so the result
@@ -53,13 +61,16 @@ Result<Table> ParallelFilterTable(Table in, const Expr* pred,
 ///  * no correlated predicates at all yields the paper's "virtual Cartesian
 ///    product" (a left outer cross join so an empty subquery still pads).
 /// `join_type` is kLeftOuter for the NRA pipeline, kLeftSemi / kLeftAnti for
-/// the rewrite and baseline plans.
+/// the rewrite and baseline plans. `hints` carries the cost-based physical
+/// strategy for the hash-join form (src/nra/cost.h JoinStrategyFor); the
+/// defaults reproduce the pre-stats plan exactly.
 Result<Table> JoinWithChild(Table rel, Table child_base,
                             const QueryBlock& child, JoinType join_type,
                             ExprPtr extra_condition = nullptr,
                             int num_threads = 1,
                             QueryProfile* profile = nullptr,
-                            bool vectorized = false);
+                            bool vectorized = false,
+                            const JoinBuildHints& hints = {});
 
 /// Clones and conjoins the child's correlated predicates (nullptr when it
 /// has none).

@@ -162,6 +162,7 @@ double ProfiledOperator::exclusive_seconds() const {
 
 void QueryProfile::Clear() {
   stages_.clear();
+  estimates.clear();
   output_rows = 0;
   total_seconds = 0;
   io_hits = 0;
@@ -196,6 +197,9 @@ void QueryProfile::Absorb(const QueryProfile& other,
   for (ProfiledStage stage : other.stages_) {
     stage.label = label_prefix + stage.label;
     stages_.push_back(std::move(stage));
+  }
+  for (const auto& [label, est] : other.estimates) {
+    estimates.emplace(label_prefix + label, est);
   }
   total_seconds += other.total_seconds;
   io_hits += other.io_hits;
@@ -235,8 +239,18 @@ std::string QueryProfile::ToString() const {
   }
   for (const ProfiledStage& stage : stages_) {
     oss << "stage " << stage.label << "  phase="
-        << QueryPhaseLabel(stage.phase) << " rows_out=" << stage.rows_out
-        << " time=" << FormatSeconds(stage.seconds);
+        << QueryPhaseLabel(stage.phase) << " rows_out=" << stage.rows_out;
+    const auto est = estimates.find(stage.label);
+    if (est != estimates.end()) {
+      // Point estimate when the planner had one, otherwise an upper bound
+      // (`est<=`), so est vs. actual reads off one line per stage.
+      if (est->second.rows >= 0) {
+        oss << " est=" << est->second.rows;
+      } else if (est->second.bound >= 0) {
+        oss << " est<=" << est->second.bound;
+      }
+    }
+    oss << " time=" << FormatSeconds(stage.seconds);
     if (stage.pool.parallel_loops > 0) {
       oss << " pool_loops=" << stage.pool.parallel_loops
           << " pool_tasks=" << stage.pool.tasks_submitted;
@@ -276,6 +290,14 @@ std::string QueryProfile::ToJson() const {
     oss << "\",\"phase\":\"" << QueryPhaseLabel(stage.phase) << "\""
         << ",\"seconds\":" << stage.seconds
         << ",\"rows_out\":" << stage.rows_out;
+    const auto est = estimates.find(stage.label);
+    if (est != estimates.end()) {
+      if (est->second.rows >= 0) {
+        oss << ",\"est_rows\":" << est->second.rows;
+      } else if (est->second.bound >= 0) {
+        oss << ",\"est_rows_bound\":" << est->second.bound;
+      }
+    }
     if (stage.has_tree) {
       oss << ",\"tree\":";
       OperatorToJson(stage.tree, &oss);

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "exec/exec_node.h"
 #include "exec/operator_stats.h"
+#include "plan/stats/estimator.h"
 
 namespace nestra {
 
@@ -84,6 +86,11 @@ class QueryProfile {
   int64_t io_random_misses = 0;
   double sim_io_millis = 0;
   PoolStatsSnapshot pool;  // shared-pool usage delta across the whole query
+
+  // Planner row estimates keyed by stage label (EstimateStages), filled
+  // before execution so ToString/ToJson can print est vs. actual per stage.
+  // Labels with no stats-backed estimate are simply absent.
+  std::map<std::string, StageEstimate> estimates;
 
  private:
   std::vector<ProfiledStage> stages_;

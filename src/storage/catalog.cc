@@ -16,30 +16,24 @@ Status Catalog::RegisterTable(const std::string& name, Table table,
                                      "' not in schema of table " + name);
     }
   }
-  // One-pass observed-non-NULL scan, run on the argument BEFORE taking the
-  // exclusive lock: the scan only reads `table`, which no other thread can
-  // see yet, so concurrent lookups of other tables proceed unblocked while
-  // a large load is scanned. Tables are immutable once registered, so "no
-  // NULL seen at load time" is a sound execution-time proof even for columns
-  // with no declared constraint.
+  // One-pass stats scan (null counts, numeric min/max, distinct estimates,
+  // zone map), run on the argument BEFORE taking the exclusive lock: the
+  // scan only reads `table`, which no other thread can see yet, so
+  // concurrent lookups of other tables proceed unblocked while a large load
+  // is scanned. Tables are immutable once registered, so both the
+  // observed-non-NULL proof and the planner stats stay sound for the
+  // entry's lifetime; re-registration replaces them and bumps the version,
+  // which is what invalidates prepared plans that baked in stats decisions.
   TableMetadata meta;
   meta.primary_key = primary_key;
   meta.not_null_columns = std::move(not_null_columns);
   const Schema& schema = table.schema();
   const size_t num_cols = schema.fields().size();
-  std::vector<bool> maybe(num_cols, true);
-  size_t remaining = num_cols;
-  for (const Row& row : table.rows()) {
-    if (remaining == 0) break;
-    for (size_t c = 0; c < num_cols; ++c) {
-      if (maybe[c] && row[c].is_null()) {
-        maybe[c] = false;
-        --remaining;
-      }
-    }
-  }
+  TableStats stats = CollectTableStats(table);
   for (size_t c = 0; c < num_cols; ++c) {
-    if (maybe[c]) meta.observed_not_null.insert(schema.fields()[c].name);
+    if (stats.columns[c].null_count == 0) {
+      meta.observed_not_null.insert(schema.fields()[c].name);
+    }
   }
 
   std::unique_lock<std::shared_mutex> lock(mu_);
@@ -51,6 +45,7 @@ Status Catalog::RegisterTable(const std::string& name, Table table,
   Entry& e = it->second;
   e.table = std::move(table);
   e.meta = std::move(meta);
+  e.stats = std::move(stats);
   e.version = ddl_generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
   return Status::OK();
 }
@@ -89,6 +84,12 @@ Result<const TableMetadata*> Catalog::GetMetadata(
   std::shared_lock<std::shared_mutex> lock(mu_);
   NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntryLocked(name));
   return const_cast<const TableMetadata*>(&e->meta);
+}
+
+Result<const TableStats*> Catalog::GetStats(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  NESTRA_ASSIGN_OR_RETURN(Entry * e, GetEntryLocked(name));
+  return const_cast<const TableStats*>(&e->stats);
 }
 
 bool Catalog::IsNotNull(const std::string& table_name,

@@ -15,6 +15,7 @@
 #include "storage/btree_index.h"
 #include "storage/hash_index.h"
 #include "storage/sorted_index.h"
+#include "storage/table_stats.h"
 
 namespace nestra {
 
@@ -76,6 +77,14 @@ class Catalog {
   Result<const Table*> GetTable(const std::string& name) const;
   Result<const TableMetadata*> GetMetadata(const std::string& name) const;
 
+  /// Load-time statistics (per-column min/max, null counts, distinct
+  /// estimates, zone map) collected by RegisterTable. Same lifetime contract
+  /// as GetTable: the pointer stays valid as long as no DropTable races a
+  /// running query. Stats die with the entry — a drop + re-register yields
+  /// fresh stats AND a new TableVersion, so prepared plans cannot reuse
+  /// decisions derived from the old data.
+  Result<const TableStats*> GetStats(const std::string& name) const;
+
   /// True if `column` (unqualified) of `table_name` is declared NOT NULL —
   /// either the PK or listed in not_null_columns.
   bool IsNotNull(const std::string& table_name,
@@ -126,6 +135,7 @@ class Catalog {
   struct Entry {
     Table table;
     TableMetadata meta;
+    TableStats stats;      // collected at registration, immutable afterwards
     uint64_t version = 0;  // snapshot of ddl_generation_ at last change
     // Serializes lazy index construction for this table; cached index reads
     // and builds via const methods are safe from concurrent queries.

@@ -1,0 +1,199 @@
+#include "storage/table_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <unordered_set>
+
+namespace nestra {
+
+namespace {
+
+// splitmix64 finalizer over Value::SqlHash: SqlHash is consistent with SQL
+// key equality (int 1 collides with float 1.0, as distinct-counting wants)
+// but is not guaranteed uniform in its high bits, which HyperLogLog needs.
+uint64_t MixHash(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+// Deterministic HyperLogLog with 2^12 registers (~1.6% standard error).
+// Only consulted once the exact hash set overflows kExactDistinctCap.
+class Hll {
+ public:
+  static constexpr int kBits = 12;
+  static constexpr int kRegisters = 1 << kBits;
+
+  void Add(uint64_t hash) {
+    const uint32_t idx = static_cast<uint32_t>(hash >> (64 - kBits));
+    const uint64_t rest = hash << kBits;
+    // Rank = leading zeros of the remaining 52 bits, + 1. An all-zero rest
+    // gets the max rank.
+    uint8_t rank = 1;
+    if (rest == 0) {
+      rank = 64 - kBits + 1;
+    } else {
+      uint64_t r = rest;
+      while ((r & (1ULL << 63)) == 0) {
+        ++rank;
+        r <<= 1;
+      }
+    }
+    if (rank > registers_[idx]) registers_[idx] = rank;
+  }
+
+  int64_t Estimate() const {
+    const double m = kRegisters;
+    double sum = 0;
+    int zeros = 0;
+    for (const uint8_t r : registers_) {
+      sum += std::ldexp(1.0, -static_cast<int>(r));
+      if (r == 0) ++zeros;
+    }
+    constexpr double kAlpha = 0.7213 / (1.0 + 1.079 / kRegisters);
+    double estimate = kAlpha * m * m / sum;
+    if (estimate <= 2.5 * m && zeros > 0) {
+      estimate = m * std::log(m / zeros);  // small-range correction
+    }
+    return static_cast<int64_t>(estimate + 0.5);
+  }
+
+ private:
+  uint8_t registers_[kRegisters] = {};
+};
+
+// Exact distinct counting switches to the sketch past this many distinct
+// hashes; well above every test table and far below bench-scale lineitem.
+constexpr size_t kExactDistinctCap = 1 << 16;
+
+struct ColumnAccumulator {
+  ColumnStats stats;
+  std::unordered_set<uint64_t> exact;
+  std::unique_ptr<Hll> sketch;
+  bool saw_non_numeric = false;
+
+  void Add(const Value& v) {
+    if (v.is_null()) {
+      ++stats.null_count;
+      return;
+    }
+    ++stats.non_null_count;
+    const uint64_t h = MixHash(static_cast<uint64_t>(v.SqlHash()));
+    if (sketch == nullptr) {
+      exact.insert(h);
+      if (exact.size() > kExactDistinctCap) {
+        sketch = std::make_unique<Hll>();
+        for (const uint64_t e : exact) sketch->Add(e);
+        exact.clear();
+      }
+    } else {
+      sketch->Add(h);
+    }
+    if (v.is_string()) {
+      saw_non_numeric = true;
+      return;
+    }
+    const double d = *v.AsDouble();
+    if (!stats.has_range) {
+      stats.has_range = true;
+      stats.min = stats.max = d;
+      stats.integer_only = v.is_int();
+      if (v.is_int()) stats.min_i64 = stats.max_i64 = v.int64();
+    } else {
+      stats.min = std::min(stats.min, d);
+      stats.max = std::max(stats.max, d);
+      if (v.is_int()) {
+        if (stats.integer_only) {
+          stats.min_i64 = std::min(stats.min_i64, v.int64());
+          stats.max_i64 = std::max(stats.max_i64, v.int64());
+        }
+      } else {
+        stats.integer_only = false;
+      }
+    }
+  }
+
+  ColumnStats Finish() {
+    if (saw_non_numeric) {
+      stats.has_range = false;
+      stats.integer_only = false;
+    }
+    if (sketch != nullptr) {
+      stats.distinct = sketch->Estimate();
+      stats.distinct_exact = false;
+    } else {
+      stats.distinct = static_cast<int64_t>(exact.size());
+      stats.distinct_exact = true;
+    }
+    if (!stats.integer_only) {
+      stats.min_i64 = 0;
+      stats.max_i64 = 0;
+    }
+    return stats;
+  }
+};
+
+}  // namespace
+
+TableStats CollectTableStats(const Table& table) {
+  TableStats out;
+  const int num_cols = table.schema().num_fields();
+  out.row_count = table.num_rows();
+  std::vector<ColumnAccumulator> accs(static_cast<size_t>(num_cols));
+
+  TableZoneMap& zones = out.zones;
+  zones.num_columns = num_cols;
+  zones.num_granules =
+      (out.row_count + kZoneGranuleRows - 1) / kZoneGranuleRows;
+  zones.entries.assign(
+      static_cast<size_t>(zones.num_granules * num_cols), ZoneEntry{});
+
+  const std::vector<Row>& rows = table.rows();
+  for (int64_t i = 0; i < out.row_count; ++i) {
+    const Row& row = rows[static_cast<size_t>(i)];
+    const int64_t g = i / kZoneGranuleRows;
+    for (int c = 0; c < num_cols; ++c) {
+      const Value& v = row[c];
+      accs[static_cast<size_t>(c)].Add(v);
+      if (v.is_null()) continue;
+      ZoneEntry& zone = zones.entries[static_cast<size_t>(g * num_cols + c)];
+      zone.all_null = false;
+      if (v.is_string()) continue;
+      const double d = *v.AsDouble();
+      if (!zone.has_range) {
+        zone.has_range = true;
+        zone.min = zone.max = d;
+      } else {
+        zone.min = std::min(zone.min, d);
+        zone.max = std::max(zone.max, d);
+      }
+    }
+  }
+
+  out.columns.reserve(static_cast<size_t>(num_cols));
+  for (ColumnAccumulator& acc : accs) out.columns.push_back(acc.Finish());
+  return out;
+}
+
+std::string TableStats::ToString() const {
+  std::ostringstream oss;
+  oss << "rows=" << row_count << " granules=" << zones.num_granules;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const ColumnStats& s = columns[c];
+    oss << "\n  col " << c << ": nulls=" << s.null_count
+        << " distinct" << (s.distinct_exact ? "=" : "~=") << s.distinct;
+    if (s.has_range) {
+      if (s.integer_only) {
+        oss << " range=[" << s.min_i64 << ", " << s.max_i64 << "]";
+      } else {
+        oss << " range=[" << s.min << ", " << s.max << "]";
+      }
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace nestra

@@ -85,6 +85,14 @@ const EngineMetrics& Metrics() {
     m->io_sim_millis_total =
         reg.GetCounter("nestra_io_sim_millis_total", "",
                        "IoSim simulated I/O latency in milliseconds", false);
+    m->zone_granules_scanned_total =
+        reg.GetCounter("nestra_zone_granules_scanned_total", "",
+                       "Base-scan granules actually scanned after zone-map "
+                       "pruning", true);
+    m->zone_granules_pruned_total =
+        reg.GetCounter("nestra_zone_granules_pruned_total", "",
+                       "Base-scan granules skipped by zone-map min/max "
+                       "pruning", true);
 
     m->pool_parallel_loops_total =
         reg.GetCounter("nestra_pool_parallel_loops_total", "",

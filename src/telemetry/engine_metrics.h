@@ -54,6 +54,12 @@ struct EngineMetrics {
   Counter* io_random_misses_total;  // det
   Counter* io_sim_millis_total;     // simulated latency, non-det (fp order)
 
+  // Zone-map pruning on base scans (cost_based planner). Granule counts are
+  // decided from load-time stats, so they are identical across engines and
+  // thread counts for the same query sequence.
+  Counter* zone_granules_scanned_total;  // det
+  Counter* zone_granules_pruned_total;   // det
+
   // Shared thread pool (executor-sampled deltas of GlobalPoolStats).
   Counter* pool_parallel_loops_total;  // non-det (depends on num_threads)
   Counter* pool_tasks_total;           // non-det

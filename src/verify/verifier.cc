@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "nra/cost.h"
 #include "nra/rewrites.h"
 #include "verify/properties.h"
 
@@ -603,11 +604,14 @@ void PlanVerifier::CheckDeadPseudo(const std::vector<PlanStep>& steps,
 void PlanVerifier::CheckRewritePreconditions(
     const QueryBlock& block, const std::vector<const QueryBlock*>& ancestors,
     VerifyReport* report) const {
-  // §4.2.5 positive-semijoin rewrite: when the executor would take it, the
-  // extra join condition A θ B must be constructible.
-  if (options_.rewrite_positive && block.IsLeaf() && block.LinkIsPositive()) {
+  // §4.2.5 positive-semijoin rewrite: when the executor would take it
+  // (flag-forced or cost-gated — shared predicate), the extra join
+  // condition A θ B must be constructible.
+  {
     const bool strict_safe = PathStrictSafe(ancestors);
-    if (strict_safe && !block.is_aggregate_link &&
+    if (TakesSemijoinRewrite(block, ancestors, strict_safe, catalog_,
+                             options_) &&
+        !block.is_aggregate_link &&
         (block.link_op == LinkOp::kIn || block.link_op == LinkOp::kSome)) {
       if (block.linked_attr.empty()) {
         AddError(report, block.id, verify_rules::kRewritePrecond,
@@ -623,10 +627,11 @@ void PlanVerifier::CheckRewritePreconditions(
     }
   }
 
-  // §4.2.4 nest push-down: enabled + equality-shaped correlation that does
-  // not split cleanly into outer/inner sides silently falls back to the
-  // outer-join plan — worth a warning, not an error.
-  if (options_.push_down_nest && block.IsLeaf() && LooksEquiCorrelated(block)) {
+  // §4.2.4 nest push-down: enabled (flag or cost gate) + equality-shaped
+  // correlation that does not split cleanly into outer/inner sides silently
+  // falls back to the outer-join plan — worth a warning, not an error.
+  if (TakesNestPushDown(block, ancestors, catalog_, options_) &&
+      LooksEquiCorrelated(block)) {
     std::vector<std::string> outer_cols;
     if (!EquiCorrelationSplit(block, ancestors, &outer_cols)) {
       AddWarning(report, block.id, verify_rules::kRewritePrecond,
@@ -681,6 +686,10 @@ std::vector<PlanStep> PlanVerifier::Outline(const QueryBlock& root) const {
     if (FusedChainBypassesTwoValued(chain, catalog_, options_)) {
       all_correlated = false;
     }
+    // Same routing for a cost-gated §4.2.5/§4.2.4 rewrite on the leaf.
+    if (FusedChainBypassesForCost(chain, catalog_, options_)) {
+      all_correlated = false;
+    }
     if (all_correlated) {
       std::vector<std::string> prefix;
       for (size_t k = 0; k + 1 < chain.size(); ++k) {
@@ -724,8 +733,8 @@ void PlanVerifier::OutlineNode(const QueryBlock& node,
     s.mode = mode;
     s.path = *path;
 
-    if (options_.rewrite_positive && child.IsLeaf() &&
-        child.LinkIsPositive() && strict_safe) {
+    if (TakesSemijoinRewrite(child, *path, strict_safe, catalog_,
+                             options_)) {
       s.kind = PlanStepKind::kSemijoin;
       s.mode = SelectionMode::kStrict;
       steps->push_back(std::move(s));
@@ -748,7 +757,7 @@ void PlanVerifier::OutlineNode(const QueryBlock& node,
       continue;
     }
 
-    if (options_.push_down_nest && child.IsLeaf()) {
+    if (TakesNestPushDown(child, *path, catalog_, options_)) {
       std::vector<std::string> outer_cols;
       if (EquiCorrelationSplit(child, *path, &outer_cols)) {
         s.kind = PlanStepKind::kHashLinkSelect;

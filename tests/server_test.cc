@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/date.h"
+#include "nra/explain.h"
 #include "server/admission.h"
 #include "server/connection_manager.h"
 #include "server/harness.h"
@@ -257,6 +258,69 @@ TEST_F(ServerTest, NotNullEditInvalidatesPreparedPlan) {
   const Result<Table> stale = session->ExecutePrepared("q", {Value::Int64(2)});
   ASSERT_FALSE(stale.ok());
   EXPECT_NE(stale.status().message().find("'s' changed"), std::string::npos);
+}
+
+TEST_F(ServerTest, StatsChangeFlipsJoinStrategyAfterRePrepare) {
+  // Cost-based planning bakes load-time statistics into the prepared plan.
+  // Re-registering a table with the same schema but a different key density
+  // flips the perfect (dense-array) hash-join decision, so the staleness
+  // check must force a re-plan rather than run the old physical plan on the
+  // new data.
+  auto make_build = [](bool dense) {
+    Table t = MakeTable({"bk", "b1"}, {});
+    for (int64_t i = 1; i <= 2000; ++i) {
+      Row r;
+      r.Append(Value::Int64(dense ? i : i * 1000));
+      r.Append(Value::Int64(i));
+      t.AppendUnchecked(std::move(r));
+    }
+    return t;
+  };
+  Table probe = MakeTable({"pk", "p1"}, {});
+  for (int64_t i = 1; i <= 3000; ++i) {
+    Row r;
+    r.Append(Value::Int64(i));
+    r.Append(Value::Int64(i));
+    probe.AppendUnchecked(std::move(r));
+  }
+  ASSERT_OK(catalog_.RegisterTable("probe", std::move(probe), "pk"));
+  ASSERT_OK(catalog_.RegisterTable("build", make_build(/*dense=*/true), "bk"));
+  ConnectionManager manager(&catalog_);
+  std::unique_ptr<Session> session = manager.Connect();
+
+  const std::string sql =
+      "select p.pk from probe p where p.p1 in "
+      "(select b.b1 from build b where b.bk = p.pk)";
+  // Dense key 1..2000: the plan uses perfect dense-array keying.
+  ASSERT_OK_AND_ASSIGN(
+      std::string dense_plan,
+      ExplainSql(sql, manager.catalog(), session->options()));
+  EXPECT_NE(dense_plan.find("perfect dense-array hash"), std::string::npos)
+      << dense_plan;
+  ASSERT_OK(session->Prepare("q", sql));
+  ASSERT_OK_AND_ASSIGN(Table dense_result, session->ExecutePrepared("q", {}));
+  EXPECT_EQ(dense_result.num_rows(), 2000);
+
+  // Sparse key i*1000: same schema, but the span/rows ratio now exceeds
+  // kPerfectMaxSparsity — fresh plans must drop the dense array.
+  ASSERT_OK(manager.DropTable("build"));
+  ASSERT_OK(manager.RegisterTable("build", make_build(/*dense=*/false), "bk"));
+  const Result<Table> stale = session->ExecutePrepared("q", {});
+  ASSERT_FALSE(stale.ok());
+  EXPECT_NE(stale.status().message().find("stale"), std::string::npos)
+      << stale.status().ToString();
+  ASSERT_OK_AND_ASSIGN(
+      std::string sparse_plan,
+      ExplainSql(sql, manager.catalog(), session->options()));
+  EXPECT_EQ(sparse_plan.find("perfect dense-array hash"), std::string::npos)
+      << sparse_plan;
+
+  // Re-prepare re-plans from the fresh stats; the new result matches an ad
+  // hoc query over the sparse data.
+  ASSERT_OK(session->Prepare("q", sql));
+  ASSERT_OK_AND_ASSIGN(Table reprepared, session->ExecutePrepared("q", {}));
+  ASSERT_OK_AND_ASSIGN(Table adhoc, session->Query(sql));
+  testing_util::ExpectTablesEqual(adhoc, reprepared);
 }
 
 // ---------- telemetry: parse/plan-once proof + attribution ----------

@@ -40,6 +40,17 @@ compiler cannot enforce:
    sneaking into the executor or an operator would bypass the schema lock
    and reintroduce the drop-under-a-running-query race.
 
+6. Cost-decision consolidation: the stats-driven estimator gates
+   (`CostGatesSemijoinRewrite` / `CostGatesNestPushDown` /
+   `ChoosesJoinStrategy` / `ChoosesScanJoinStrategy`) may be called only
+   from their home (src/plan/stats/) and the shared engine predicates in
+   src/nra/cost.h. Executor, EXPLAIN, and verifier consume the decisions
+   through those shared predicates, and the lint requires each consumer to
+   actually do so — the same one-predicate-many-mirrors rule as check 4,
+   extended to the cost model: a direct estimator call in an engine file
+   is a hand-mirrored copy of a plan decision that will drift. (src/ only;
+   tests may call the gates directly to pin their behavior.)
+
 Exit status is the number of violations (0 = clean).
 """
 
@@ -192,12 +203,72 @@ def check_catalog_mutation_layer():
     return violations
 
 
+# Stats-driven cost gates: callable only from the estimator's home and the
+# shared predicates that wrap it for the engine.
+COST_GATE_PATTERN = re.compile(
+    r"\b(?:CostGatesSemijoinRewrite|CostGatesNestPushDown"
+    r"|ChoosesJoinStrategy|ChoosesScanJoinStrategy)\s*\("
+)
+COST_GATE_ALLOWED_PREFIXES = (
+    "src/plan/stats/",  # declarations + definitions
+    "src/nra/cost.h",   # the shared predicates
+)
+
+# Every engine surface that acts on a cost decision must consume it through
+# the same shared predicate, so the three mirrors cannot drift. Word-bounded
+# so BaseJoinStrategyFor (the hint builder cost.h itself wraps) doesn't
+# satisfy the JoinStrategyFor requirement.
+COST_PREDICATE_CONSUMERS = {
+    "TakesSemijoinRewrite": (
+        "src/nra/executor.cc", "src/nra/explain.cc", "src/verify/verifier.cc",
+    ),
+    "TakesNestPushDown": (
+        "src/nra/executor.cc", "src/nra/explain.cc", "src/verify/verifier.cc",
+    ),
+    # The verifier checks rewrite shape, not join physics, so it has no
+    # JoinStrategyFor mirror to keep in sync.
+    "JoinStrategyFor": ("src/nra/executor.cc", "src/nra/explain.cc"),
+}
+
+
+def check_cost_decision_consolidation():
+    violations = []
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in (".cc", ".h"):
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith(COST_GATE_ALLOWED_PREFIXES):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            code = line.split("//", 1)[0]
+            if COST_GATE_PATTERN.search(code):
+                violations.append(
+                    f"{rel}:{lineno}: direct estimator gate call site; use "
+                    f"the shared predicates in src/nra/cost.h "
+                    f"(TakesSemijoinRewrite / TakesNestPushDown / "
+                    f"JoinStrategyFor) instead of re-deriving the cost "
+                    f"decision: {line.strip()}"
+                )
+    for predicate, consumers in COST_PREDICATE_CONSUMERS.items():
+        pattern = re.compile(rf"\b{predicate}\s*\(")
+        for rel in consumers:
+            if not pattern.search((REPO / rel).read_text()):
+                violations.append(
+                    f"{rel}: expected a {predicate}(...) call (the shared "
+                    f"cost predicate from src/nra/cost.h); this surface "
+                    f"must mirror the engine's cost decision through the "
+                    f"shared predicate, not a local copy"
+                )
+    return violations
+
+
 def main():
     violations = []
     for check in (check_hot_path_purity, check_rule_ids,
                   check_test_registration,
                   check_plan_decision_consolidation,
-                  check_catalog_mutation_layer):
+                  check_catalog_mutation_layer,
+                  check_cost_decision_consolidation):
         violations.extend(check())
     for v in violations:
         print(f"lint: {v}", file=sys.stderr)
