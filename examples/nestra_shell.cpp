@@ -26,7 +26,10 @@
 //                              separated literals: 5, 1.5, 'x', NULL)
 //   \deallocate <name>         drop a prepared statement
 //   \session                   session id, options, prepared statements,
-//                              admission-control stats
+//                              admission-control stats, cumulative memory
+//   \memory                    live process -> session memory hierarchy
+//                              (accounted logical bytes; see
+//                              src/common/memory_tracker.h)
 //   \explain <sql>             show the plan without running
 //   \verify [sql]              static verification + inferred properties
 //                              (nullability / keys / cardinality) for <sql>,
@@ -265,6 +268,14 @@ class Shell {
                 << " peak_in_flight=" << admission.peak_in_flight()
                 << " peak_queue=" << admission.peak_queue_depth()
                 << "; active_sessions=" << manager_.active_sessions() << "\n";
+      const SessionMemoryTracker& mem = session_->memory();
+      std::cout << "  memory: peak=" << mem.peak() << "B cumulative="
+                << mem.cumulative() << "B over " << mem.queries()
+                << " queries\n";
+      return true;
+    }
+    if (cmd == "\\memory") {
+      std::cout << DumpMemoryHierarchy();
       return true;
     }
     if (cmd == "\\metrics") {

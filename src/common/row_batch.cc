@@ -45,6 +45,38 @@ void ColumnVector::ConvertToGeneric() {
   generic_ = true;
 }
 
+int64_t ColumnVector::ByteSize() const {
+  int64_t bytes = static_cast<int64_t>(nulls_.size());  // null bytes
+  if (generic_) {
+    for (const Value& v : values_) {
+      bytes += static_cast<int64_t>(sizeof(Value));
+      if (v.is_string()) bytes += static_cast<int64_t>(v.string().size());
+    }
+    return bytes;
+  }
+  switch (type_) {
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      bytes += static_cast<int64_t>(ints_.size() * sizeof(int64_t));
+      break;
+    case TypeId::kFloat64:
+      bytes += static_cast<int64_t>(doubles_.size() * sizeof(double));
+      break;
+    case TypeId::kString:
+      for (const std::string& s : strings_) {
+        bytes += static_cast<int64_t>(sizeof(std::string) + s.size());
+      }
+      break;
+  }
+  return bytes;
+}
+
+int64_t RowBatch::ByteSize() const {
+  int64_t bytes = 0;
+  for (const ColumnVector& col : columns_) bytes += col.ByteSize();
+  return bytes;
+}
+
 void RowBatch::Reset(const Schema& schema) {
   if (schema_ == &schema &&
       columns_.size() == static_cast<size_t>(schema.num_fields())) {

@@ -177,6 +177,13 @@ class ColumnVector {
     return Value::Null();
   }
 
+  /// Logical byte footprint of the column: O(1) for typed numeric storage,
+  /// O(n) over payloads for strings and generic columns. Deterministic —
+  /// computed from entry counts and payload lengths, never from allocator
+  /// capacity. Called once per batch at accounting boundaries, not per
+  /// cell.
+  int64_t ByteSize() const;
+
   /// Like GetValue but transfers ownership of string payloads out of the
   /// column (cell `i` is left empty). For sinks that materialize each batch
   /// row exactly once and then Reset the batch.
@@ -291,6 +298,10 @@ class RowBatch {
     }
     return Row(std::move(values));
   }
+
+  /// Sum of the columns' logical byte footprints (see
+  /// ColumnVector::ByteSize).
+  int64_t ByteSize() const;
 
   std::string ToString(int64_t max_rows = 10) const;
 

@@ -22,6 +22,7 @@ enum class StatusCode {
   kBindError,
   kNotImplemented,
   kInternal,
+  kResourceExhausted,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -64,6 +65,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/memory_tracker.h"
+
 namespace nestra {
 
 namespace {
@@ -79,6 +81,7 @@ Status ExecNode::NextBatch(RowBatch* out, bool* eof) {
     if (s.ok() && !out->empty()) {
       stats_.rows_out += out->num_rows();
       ++stats_.batches_out;
+      RecordBatchBytes(*out);
     }
     return s;
   }
@@ -88,8 +91,17 @@ Status ExecNode::NextBatch(RowBatch* out, bool* eof) {
   if (s.ok() && !out->empty()) {
     stats_.rows_out += out->num_rows();
     ++stats_.batches_out;
+    RecordBatchBytes(*out);
   }
   return s;
+}
+
+void ExecNode::RecordBatchBytes(const RowBatch& batch) {
+  // The column vectors this node just filled are its transient working
+  // set; the largest one is the node's batch-level memory peak. One
+  // ByteSize walk per ~1024-row batch, never per row.
+  const int64_t bytes = batch.ByteSize();
+  if (bytes > stats_.peak_mem_bytes) stats_.peak_mem_bytes = bytes;
 }
 
 Status ExecNode::NextBatchImpl(RowBatch* out, bool* eof) {
@@ -134,7 +146,9 @@ void ExecNode::EnableTimingRecursive() {
   for (ExecNode* child : children()) child->EnableTimingRecursive();
 }
 
-Status DrainAllRows(ExecNode* node, bool vectorized, std::vector<Row>* rows) {
+namespace {
+Status DrainAllRowsImpl(ExecNode* node, bool vectorized,
+                        std::vector<Row>* rows) {
   if (vectorized) {
     // A TableSource already holds materialized rows; pulling them through
     // a batch would transpose and re-materialize every one. The batch
@@ -163,8 +177,24 @@ Status DrainAllRows(ExecNode* node, bool vectorized, std::vector<Row>* rows) {
   }
   return Status::OK();
 }
+}  // namespace
 
-Result<Table> CollectTable(ExecNode* node, bool vectorized) {
+Status DrainAllRows(ExecNode* node, bool vectorized, std::vector<Row>* rows,
+                    int64_t* bytes) {
+  const size_t before = rows->size();
+  Status s = DrainAllRowsImpl(node, vectorized, rows);
+  if (s.ok() && bytes != nullptr) {
+    // One suffix walk per drain (a materialization boundary, never a
+    // per-row path). RowBytes is a pure function of row content, so both
+    // engines report identical drain bytes.
+    for (size_t i = before; i < rows->size(); ++i) {
+      *bytes += RowBytes((*rows)[i]);
+    }
+  }
+  return s;
+}
+
+Result<Table> CollectTable(ExecNode* node, bool vectorized, int64_t* bytes) {
   NESTRA_RETURN_NOT_OK(node->Open());
   Table out(node->output_schema());
   if (vectorized) {
@@ -175,6 +205,7 @@ Result<Table> CollectTable(ExecNode* node, bool vectorized) {
       if (eof) break;
       for (int64_t i = 0; i < batch.num_rows(); ++i) {
         out.AppendUnchecked(batch.TakeRow(i));
+        if (bytes != nullptr) *bytes += RowBytes(out.rows().back());
       }
     }
     node->Close();
@@ -186,10 +217,42 @@ Result<Table> CollectTable(ExecNode* node, bool vectorized) {
     NESTRA_RETURN_NOT_OK(node->Next(&row, &eof));
     if (eof) break;
     out.AppendUnchecked(std::move(row));
+    if (bytes != nullptr) *bytes += RowBytes(out.rows().back());
     row = Row();
   }
   node->Close();
   return out;
+}
+
+Status TableSourceNode::OpenImpl() {
+  // TakeAllRows only ever runs against an opened node, so an Open that
+  // sees taken_ is a reopen — and the rows are gone.
+  if (taken_) {
+    return Status::Internal(
+        "TableSource reopened after TakeAllRows moved its rows out; the "
+        "replay would be silently empty");
+  }
+  pos_ = 0;
+  if (charged_bytes_ == 0) {
+    charged_bytes_ = TableBytes(table_);
+    if (QueryMemoryTracker* mem = CurrentQueryMemory()) {
+      NESTRA_RETURN_NOT_OK(mem->Charge(charged_bytes_));
+    }
+  }
+  stats_.mem_bytes = charged_bytes_;
+  stats_.peak_mem_bytes = charged_bytes_;
+  return Status::OK();
+}
+
+void TableSourceNode::CloseImpl() { ReleaseCharge(); }
+
+void TableSourceNode::ReleaseCharge() {
+  if (charged_bytes_ == 0) return;
+  if (QueryMemoryTracker* mem = CurrentQueryMemory()) {
+    mem->Release(charged_bytes_);
+  }
+  charged_bytes_ = 0;
+  stats_.mem_bytes = 0;
 }
 
 Status TableSourceNode::NextImpl(Row* out, bool* eof) {

@@ -119,6 +119,10 @@ class ExecNode {
   bool timing_ = false;
 
  private:
+  // Folds one emitted batch's column-vector footprint into
+  // peak_mem_bytes (always on; see OperatorStats).
+  void RecordBatchBytes(const RowBatch& batch);
+
   QueryPhase phase_ = QueryPhase::kUnattributed;
   // The row adapter must not call NextImpl again after it reported eof
   // (operators are not required to be re-callable past the end).
@@ -129,15 +133,22 @@ using ExecNodePtr = std::unique_ptr<ExecNode>;
 
 /// Drains a node (Open/Next*/Close) into a materialized table. With
 /// `vectorized` the drain runs over NextBatch instead; the resulting table
-/// is cell-for-cell identical either way.
-Result<Table> CollectTable(ExecNode* node, bool vectorized = false);
+/// is cell-for-cell identical either way. When `bytes` is non-null it
+/// accumulates the logical byte footprint (RowBytes) of the collected rows
+/// during the existing drain loop — no extra pass.
+Result<Table> CollectTable(ExecNode* node, bool vectorized = false,
+                           int64_t* bytes = nullptr);
 
 /// Appends the full output of an already-opened node to `rows`, identical
 /// rows in identical order for both engines. With `vectorized` the drain
 /// runs over NextBatch, and a TableSourceNode child is drained by moving
 /// its rows out in bulk instead of round-tripping them through a batch.
-/// Used by materializing operators (hash join build/probe, sort).
-Status DrainAllRows(ExecNode* node, bool vectorized, std::vector<Row>* rows);
+/// Used by materializing operators (hash join build/probe, sort). When
+/// `bytes` is non-null it accumulates the logical byte footprint of the
+/// rows appended by this call (identical for both engines — it is a pure
+/// function of row content).
+Status DrainAllRows(ExecNode* node, bool vectorized, std::vector<Row>* rows,
+                    int64_t* bytes = nullptr);
 
 /// \brief Leaf node replaying an owned, already-materialized table.
 /// Used wherever an intermediate result re-enters the pipeline.
@@ -167,28 +178,29 @@ class TableSourceNode final : public ExecNode {
       for (Row& row : table_.rows()) out->push_back(std::move(row));
     }
     table_.rows().clear();
+    // The rows (and their byte charge) now belong to the consumer, which
+    // accounts them through its own drain; releasing here keeps every byte
+    // charged exactly once.
+    ReleaseCharge();
     return true;
   }
 
  protected:
-  Status OpenImpl() override {
-    // TakeAllRows only ever runs against an opened node, so an Open that
-    // sees taken_ is a reopen — and the rows are gone.
-    if (taken_) {
-      return Status::Internal(
-          "TableSource reopened after TakeAllRows moved its rows out; the "
-          "replay would be silently empty");
-    }
-    pos_ = 0;
-    return Status::OK();
-  }
+  /// Charges the table's logical bytes to the current query tracker (and
+  /// fails with ResourceExhausted past the soft limit). A reopen after
+  /// TakeAllRows fails loudly — the rows are gone and the replay would be
+  /// silently empty.
+  Status OpenImpl() override;
   Status NextImpl(Row* out, bool* eof) override;
   Status NextBatchImpl(RowBatch* out, bool* eof) override;
-  void CloseImpl() override {}
+  void CloseImpl() override;
 
  private:
+  void ReleaseCharge();
+
   Table table_;
   int64_t pos_ = 0;
+  int64_t charged_bytes_ = 0;
   bool taken_ = false;
 };
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/memory_tracker.h"
 #include "common/thread_pool.h"
 
 namespace nestra {
@@ -49,6 +50,28 @@ std::string HashJoinNode::detail() const {
     d += "perfect";
   }
   return d;
+}
+
+Status HashJoinNode::ChargeMem(int64_t bytes) {
+  if (bytes == 0) return Status::OK();
+  charged_mem_ += bytes;
+  stats_.mem_bytes += bytes;
+  if (stats_.mem_bytes > stats_.peak_mem_bytes) {
+    stats_.peak_mem_bytes = stats_.mem_bytes;
+  }
+  if (QueryMemoryTracker* mem = CurrentQueryMemory()) {
+    return mem->Charge(bytes);
+  }
+  return Status::OK();
+}
+
+void HashJoinNode::ReleaseMem(int64_t bytes) {
+  if (bytes == 0) return;
+  charged_mem_ -= bytes;
+  stats_.mem_bytes -= bytes;
+  if (QueryMemoryTracker* mem = CurrentQueryMemory()) {
+    mem->Release(bytes);
+  }
 }
 
 Status HashJoinNode::OpenImpl() {
@@ -100,8 +123,11 @@ Status HashJoinNode::BuildTable() {
   // Drain the child serially (Next/NextBatch is a serial protocol), then
   // hash and partition the materialized rows in parallel.
   std::vector<Row> rows;
-  NESTRA_RETURN_NOT_OK(DrainAllRows(right_.get(), vectorized_, &rows));
+  int64_t build_bytes = 0;
+  NESTRA_RETURN_NOT_OK(
+      DrainAllRows(right_.get(), vectorized_, &rows, &build_bytes));
   build_rows_ = static_cast<int64_t>(rows.size());
+  NESTRA_RETURN_NOT_OK(ChargeMem(build_bytes));
 
   const int64_t n = build_rows_;
   const size_t num_parts = num_threads_ > 1 ? static_cast<size_t>(num_threads_)
@@ -125,17 +151,28 @@ Status HashJoinNode::BuildTable() {
       }
     }
   });
+  // One serial pass: null-key detection for the null-aware antijoin, plus
+  // the logical size of the key copies the partitioned build will make
+  // (only that build duplicates keys out of the rows).
+  int64_t key_bytes = 0;
   for (int64_t i = 0; i < n; ++i) {
-    // A NULL build key can never satisfy an equality; remember it for the
-    // null-aware antijoin, drop it otherwise.
-    if (has_null[static_cast<size_t>(i)] != 0) build_has_null_key_ = true;
+    const size_t si = static_cast<size_t>(i);
+    if (has_null[si] != 0) {
+      build_has_null_key_ = true;
+      continue;
+    }
+    for (const int idx : right_key_idx_) {
+      key_bytes += ValueBytes(rows[si][idx]);
+    }
   }
 
   // Perfect (dense-array) keying: single equality key over a hinted dense
   // int range. Validated against the actual rows, so a wrong hint falls
   // through to the generic builds below instead of corrupting results.
   if (hints_.perfect && equi_.size() == 1 && TryPerfectBuild(&rows, has_null)) {
-    return Status::OK();
+    return ChargeMem(
+        static_cast<int64_t>(perfect_head_.size() * sizeof(int32_t) +
+                             flat_next_.size() * sizeof(int32_t)));
   }
 
   if (vectorized_ && num_threads_ == 1) {
@@ -159,7 +196,10 @@ Status HashJoinNode::BuildTable() {
       flat_next_[si] = flat_head_[b];
       flat_head_[b] = static_cast<int32_t>(i);
     }
-    return Status::OK();
+    return ChargeMem(
+        static_cast<int64_t>(flat_head_.size() * sizeof(int32_t) +
+                             flat_next_.size() * sizeof(int32_t) +
+                             flat_hash_.size() * sizeof(size_t)));
   }
 
   // Each partition owner scans the rows in arrival order and inserts the
@@ -188,7 +228,7 @@ Status HashJoinNode::BuildTable() {
                       buckets[std::move(key)].push_back(std::move(row));
                     }
                   });
-  return Status::OK();
+  return ChargeMem(key_bytes);
 }
 
 bool HashJoinNode::TryPerfectBuild(std::vector<Row>* rows,
@@ -415,7 +455,10 @@ void HashJoinNode::ProbeRow(const Row& left_row, std::vector<Row>* out) const {
 
 Status HashJoinNode::ParallelProbe() {
   std::vector<Row> probe_rows;
-  NESTRA_RETURN_NOT_OK(DrainAllRows(left_.get(), vectorized_, &probe_rows));
+  int64_t probe_bytes = 0;
+  NESTRA_RETURN_NOT_OK(
+      DrainAllRows(left_.get(), vectorized_, &probe_rows, &probe_bytes));
+  NESTRA_RETURN_NOT_OK(ChargeMem(probe_bytes));
   const int64_t n = static_cast<int64_t>(probe_rows.size());
   probe_count_ = n;
   left_done_ = true;
@@ -449,7 +492,14 @@ Status HashJoinNode::ParallelProbe() {
   }
   pending_pos_ = 0;
   materialized_ = true;
-  return Status::OK();
+  // The materialized join result replaces the probe-side rows as live
+  // state: charge it, then return the drained probe rows' bytes (the
+  // vector dies with this frame). One RowBytes walk at a fold point.
+  int64_t pending_bytes = 0;
+  for (const Row& r : pending_) pending_bytes += RowBytes(r);
+  Status charged = ChargeMem(pending_bytes);
+  ReleaseMem(probe_bytes);
+  return charged;
 }
 
 Status HashJoinNode::MirroredBuildProbe() {
@@ -470,8 +520,12 @@ Status HashJoinNode::MirroredBuildProbe() {
   // build+probe, so IoSim sees an identical scan sequence.
   std::vector<Row> right_rows;
   std::vector<Row> left_rows;
-  NESTRA_RETURN_NOT_OK(DrainAllRows(right_.get(), vectorized_, &right_rows));
-  NESTRA_RETURN_NOT_OK(DrainAllRows(left_.get(), vectorized_, &left_rows));
+  int64_t input_bytes = 0;
+  NESTRA_RETURN_NOT_OK(
+      DrainAllRows(right_.get(), vectorized_, &right_rows, &input_bytes));
+  NESTRA_RETURN_NOT_OK(
+      DrainAllRows(left_.get(), vectorized_, &left_rows, &input_bytes));
+  NESTRA_RETURN_NOT_OK(ChargeMem(input_bytes));
   const int64_t nl = static_cast<int64_t>(left_rows.size());
   const int64_t nr = static_cast<int64_t>(right_rows.size());
   // The counters keep their logical meaning (build = right input, probe =
@@ -673,7 +727,13 @@ Status HashJoinNode::MirroredBuildProbe() {
       if (emit) pending_.push_back(std::move(left_rows[si]));
     }
   }
-  return Status::OK();
+  // Same hand-over as ParallelProbe: the pending result becomes the live
+  // state, the drained inputs die with this frame.
+  int64_t pending_bytes = 0;
+  for (const Row& r : pending_) pending_bytes += RowBytes(r);
+  Status charged = ChargeMem(pending_bytes);
+  ReleaseMem(input_bytes);
+  return charged;
 }
 
 Status HashJoinNode::NextImpl(Row* out, bool* eof) {
@@ -922,6 +982,7 @@ Status HashJoinNode::NextBatchImpl(RowBatch* out, bool* eof) {
 void HashJoinNode::CloseImpl() {
   stats_.build_rows = build_rows_;
   stats_.probe_rows = probe_count_;
+  ReleaseMem(charged_mem_);
   partitions_.clear();
   pending_.clear();
   flat_built_ = false;

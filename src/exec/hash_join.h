@@ -120,6 +120,12 @@ class HashJoinNode final : public ExecNode {
   // Probes row `i` of probe_batch_, appending outputs to `out` columns
   // (without touching the batch row count); returns rows appended.
   int64_t ProbeBatchRow(int64_t i, RowBatch* out);
+  // Accounts `bytes` of build/probe state against OperatorStats and the
+  // current query tracker (ResourceExhausted past the soft limit); called
+  // at serial fold points only, never inside morsel workers.
+  Status ChargeMem(int64_t bytes);
+  // Returns previously charged bytes (peak stays).
+  void ReleaseMem(int64_t bytes);
 
   ExecNodePtr left_;
   ExecNodePtr right_;
@@ -172,6 +178,8 @@ class HashJoinNode final : public ExecNode {
   bool left_done_ = false;
   bool materialized_ = false;
   int64_t probe_count_ = 0;
+  // Bytes currently charged to the query tracker (released in CloseImpl).
+  int64_t charged_mem_ = 0;
 
   // Vectorized streaming-probe state.
   bool vectorized_ = false;

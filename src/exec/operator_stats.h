@@ -53,6 +53,12 @@ struct OperatorStats {
   int64_t io_seq_misses = 0;
   int64_t io_random_misses = 0;
 
+  // Memory accounting (always on — plain integer adds at materialization
+  // boundaries, no clocks; see src/common/memory_tracker.h). Logical bytes
+  // of state this operator holds materialized right now / at its peak.
+  int64_t mem_bytes = 0;
+  int64_t peak_mem_bytes = 0;
+
   double total_seconds() const { return open_seconds + next_seconds; }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/memory_tracker.h"
 #include "common/parallel_sort.h"
 
 namespace nestra {
@@ -30,7 +31,16 @@ Status SortNode::OpenImpl() {
   }
   rows_.clear();
   pos_ = 0;
-  NESTRA_RETURN_NOT_OK(DrainAllRows(child_.get(), vectorized_, &rows_));
+  charged_bytes_ = 0;
+  NESTRA_RETURN_NOT_OK(
+      DrainAllRows(child_.get(), vectorized_, &rows_, &charged_bytes_));
+  // Always-on byte accounting for the sort buffer: the drain already
+  // computed the logical footprint, so this is just bookkeeping.
+  stats_.mem_bytes = charged_bytes_;
+  stats_.peak_mem_bytes = charged_bytes_;
+  if (QueryMemoryTracker* mem = CurrentQueryMemory()) {
+    NESTRA_RETURN_NOT_OK(mem->Charge(charged_bytes_));
+  }
   // Stable sort keeps input order within equal keys, which makes nested
   // groups deterministic for tests — and makes the parallel sort's output
   // identical to the serial one.
@@ -50,6 +60,18 @@ Status SortNode::OpenImpl() {
     for (const Row& r : rows_) stats_.sort_bytes += ApproxRowBytes(r);
   }
   return Status::OK();
+}
+
+void SortNode::CloseImpl() {
+  rows_.clear();
+  if (charged_bytes_ != 0) {
+    if (QueryMemoryTracker* mem = CurrentQueryMemory()) {
+      mem->Release(charged_bytes_);
+    }
+    charged_bytes_ = 0;
+    stats_.mem_bytes = 0;
+  }
+  child_->Close();
 }
 
 Status SortNode::NextImpl(Row* out, bool* eof) {

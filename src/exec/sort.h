@@ -44,10 +44,7 @@ class SortNode final : public ExecNode {
   Status OpenImpl() override;
   Status NextImpl(Row* out, bool* eof) override;
   Status NextBatchImpl(RowBatch* out, bool* eof) override;
-  void CloseImpl() override {
-    rows_.clear();
-    child_->Close();
-  }
+  void CloseImpl() override;
 
  private:
   ExecNodePtr child_;
@@ -58,6 +55,7 @@ class SortNode final : public ExecNode {
   std::vector<bool> key_asc_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
+  int64_t charged_bytes_ = 0;
 };
 
 }  // namespace nestra

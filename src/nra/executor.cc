@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/memory_tracker.h"
 #include "exec/distinct.h"
 #include "exec/filter.h"
 #include "exec/project.h"
@@ -58,7 +59,26 @@ void MaybeLogSlowQuery(const std::string& sql, double threshold_ms,
   rec.vectorized = vectorized;
   rec.ok = ok;
   rec.session = session;
+  rec.peak_mem_bytes = stats.peak_mem_bytes;
   telemetry::LogSlowQuery(rec);
+}
+
+// Logical bytes of a nested relation: the atom rows plus every group tuple,
+// recursively. Lives here (not in common/) because common/ sits below
+// nested/ in the link order.
+int64_t NestedTupleBytes(const NestedTuple& tuple) {
+  int64_t bytes = static_cast<int64_t>(sizeof(NestedTuple)) -
+                  static_cast<int64_t>(sizeof(Row)) + RowBytes(tuple.atoms);
+  for (const auto& group : tuple.groups) {
+    for (const NestedTuple& nt : group) bytes += NestedTupleBytes(nt);
+  }
+  return bytes;
+}
+
+int64_t NestedRelationBytes(const NestedRelation& rel) {
+  int64_t bytes = 0;
+  for (const NestedTuple& t : rel.tuples()) bytes += NestedTupleBytes(t);
+  return bytes;
 }
 
 // Per-phase statement counters: the prepared-statement layer proves its
@@ -104,6 +124,14 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
   NraStats local;
   if (stats == nullptr) stats = &local;
   *stats = NraStats();
+
+  // Query-scoped memory accounting: every materializing site below charges
+  // into this tracker (via the thread-local installed here), and each stage
+  // folds its footprint at a serial point, so the peak is deterministic at
+  // fixed (engine, threads, options). The soft limit (options_.max_query_mem)
+  // is enforced inside Charge/FoldStage.
+  QueryMemoryTracker mem_tracker(options_.max_query_mem);
+  ScopedQueryMemory scoped_mem(&mem_tracker);
 
   // Per-executor trace opt-in: equivalent to NESTRA_TRACE_JSON, installed
   // lazily (idempotent when the sink is already at this path).
@@ -228,12 +256,17 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
     return FinishRoot(root, std::move(rel), prof);
   }();
 
+  // Peak is meaningful on every outcome (a memory-failed query reports how
+  // far it got); stage folds have all happened by now — the lambda above ran
+  // every stage to completion or returned early.
+  stats->peak_mem_bytes = mem_tracker.peak();
   if (result.ok()) {
     stats->output_rows = result->num_rows();
     exec_span.set_rows(result->num_rows());
   }
   exec_span.End();
   if (prof != nullptr && result.ok()) {
+    prof->peak_mem_bytes = stats->peak_mem_bytes;
     prof->output_rows = result->num_rows();
     prof->total_seconds = Seconds(query_start);
     if (sim != nullptr) {
@@ -265,8 +298,13 @@ Result<Table> NraExecutor::Execute(const QueryBlock& root, NraStats* stats,
           static_cast<double>(pool_delta.parallel_loops));
       m.pool_tasks_total->Add(static_cast<double>(pool_delta.tasks_submitted));
       m.pool_wait_seconds_total->Add(pool_delta.wait_seconds);
+      m.query_peak_mem_bytes->Observe(
+          static_cast<double>(stats->peak_mem_bytes));
     } else {
       m.query_errors_total->Add(1);
+      if (result.status().code() == StatusCode::kResourceExhausted) {
+        m.mem_limit_exceeded_total->Add(1);
+      }
     }
   }
   return result;
@@ -365,6 +403,10 @@ Result<Table> NraExecutor::ExecuteStatementSql(const std::string& sql,
     total.nest_select_seconds += branch.nest_select_seconds;
     total.intermediate_rows =
         std::max(total.intermediate_rows, branch.intermediate_rows);
+    // Branches run sequentially, each with its own tracker, so the
+    // statement's peak is the largest branch peak — not the sum.
+    total.peak_mem_bytes =
+        std::max(total.peak_mem_bytes, branch.peak_mem_bytes);
     if (i == 0) {
       combined = std::move(result);
       continue;
@@ -421,6 +463,7 @@ Result<Table> NraExecutor::ExecuteFusedLinear(
                              "magic[b" + std::to_string(chain[k]->id) + "]");
       NESTRA_ASSIGN_OR_RETURN(base,
                               MagicRestrict(rel, std::move(base), *chain[k]));
+      NESTRA_RETURN_NOT_OK(FoldStageMem(&magic_timer, TableBytes(base)));
       magic_timer.Finish(base.num_rows());
     }
     const std::vector<const QueryBlock*> jpath(chain.begin(),
@@ -502,6 +545,7 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
       NESTRA_ASSIGN_OR_RETURN(
           cur, HashLinkSelect(std::move(outer_base), cur, okeys, ikeys, child,
                               SelectionMode::kStrict, {}, num_threads_));
+      NESTRA_RETURN_NOT_OK(FoldStageMem(&link_timer, TableBytes(cur)));
       link_timer.Finish(cur.num_rows());
       stats->nest_select_seconds += Seconds(t0);
     } else {
@@ -521,12 +565,15 @@ Result<Table> NraExecutor::ExecuteBottomUpLinear(
           NestedRelation nested,
           Nest(joined, outer.attributes, NestedAttrsFor(child), "g",
                options_.nest_method, num_threads_));
+      NESTRA_RETURN_NOT_OK(
+          FoldStageMem(&nest_timer, NestedRelationBytes(nested)));
       nest_timer.Finish(nested.num_tuples());
       StageTimer select_timer(profile, QueryPhase::kLinkingSelection,
                               "select[b" + std::to_string(child.id) + "]");
       NESTRA_ASSIGN_OR_RETURN(
           cur, LinkingSelect(nested, PredFor(child, "g"),
                              SelectionMode::kStrict));
+      NESTRA_RETURN_NOT_OK(FoldStageMem(&select_timer, TableBytes(cur)));
       select_timer.Finish(cur.num_rows());
       stats->nest_select_seconds += Seconds(t0);
     }
@@ -600,6 +647,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
           rel, HashLinkSelect(std::move(rel), base, /*outer_key_cols=*/{},
                               /*inner_key_cols=*/{}, child, mode,
                               node.attributes, num_threads_));
+      NESTRA_RETURN_NOT_OK(FoldStageMem(&link_timer, TableBytes(rel)));
       link_timer.Finish(rel.num_rows());
       stats->nest_select_seconds += Seconds(t0);
       continue;
@@ -617,6 +665,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
         NESTRA_ASSIGN_OR_RETURN(
             rel, HashLinkSelect(std::move(rel), base, okeys, ikeys, child,
                                 mode, node.attributes, num_threads_));
+        NESTRA_RETURN_NOT_OK(FoldStageMem(&link_timer, TableBytes(rel)));
         link_timer.Finish(rel.num_rows());
         stats->nest_select_seconds += Seconds(t0);
         continue;
@@ -629,6 +678,7 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
       StageTimer magic_timer(profile, QueryPhase::kUnnestJoin,
                              "magic[b" + bid + "]");
       NESTRA_ASSIGN_OR_RETURN(base, MagicRestrict(rel, std::move(base), child));
+      NESTRA_RETURN_NOT_OK(FoldStageMem(&magic_timer, TableBytes(base)));
       magic_timer.Finish(base.num_rows());
     }
     NESTRA_ASSIGN_OR_RETURN(
@@ -681,12 +731,15 @@ Result<Table> NraExecutor::ComputeNode(const QueryBlock& node, Table rel,
           NestedRelation nested,
           Nest(rel, retained, NestedAttrsFor(child), "g",
                options_.nest_method, num_threads_));
+      NESTRA_RETURN_NOT_OK(
+          FoldStageMem(&nest_timer, NestedRelationBytes(nested)));
       nest_timer.Finish(nested.num_tuples());
       StageTimer select_timer(profile, QueryPhase::kLinkingSelection,
                               "select[b" + bid + "]");
       NESTRA_ASSIGN_OR_RETURN(
           rel, LinkingSelect(nested, PredFor(child, "g"), mode,
                              node.attributes));
+      NESTRA_RETURN_NOT_OK(FoldStageMem(&select_timer, TableBytes(rel)));
       select_timer.Finish(rel.num_rows());
     }
     stats->nest_select_seconds += Seconds(t0);
@@ -751,6 +804,7 @@ Result<Table> NraExecutor::ExecuteFusedLinearDag(
                                    "magic[b" + bid + "]");
             NESTRA_ASSIGN_OR_RETURN(
                 base, MagicRestrict(rel, std::move(base), *chain[k]));
+            NESTRA_RETURN_NOT_OK(FoldStageMem(&magic_timer, TableBytes(base)));
             magic_timer.Finish(base.num_rows());
           }
           NESTRA_ASSIGN_OR_RETURN(
@@ -856,6 +910,7 @@ Result<Table> NraExecutor::ExecuteBottomUpLinearDag(
                 cur, HashLinkSelect(std::move(outer_base), cur, okeys, ikeys,
                                     child, SelectionMode::kStrict, {},
                                     num_threads_));
+            NESTRA_RETURN_NOT_OK(FoldStageMem(&link_timer, TableBytes(cur)));
             link_timer.Finish(cur.num_rows());
             s->nest_select_seconds += Seconds(t0);
           } else {
@@ -875,12 +930,15 @@ Result<Table> NraExecutor::ExecuteBottomUpLinearDag(
                 NestedRelation nested,
                 Nest(joined, outer.attributes, NestedAttrsFor(child), "g",
                      options_.nest_method, num_threads_));
+            NESTRA_RETURN_NOT_OK(
+                FoldStageMem(&nest_timer, NestedRelationBytes(nested)));
             nest_timer.Finish(nested.num_tuples());
             StageTimer select_timer(p, QueryPhase::kLinkingSelection,
                                     "select[b" + bid + "]");
             NESTRA_ASSIGN_OR_RETURN(
                 cur, LinkingSelect(nested, PredFor(child, "g"),
                                    SelectionMode::kStrict));
+            NESTRA_RETURN_NOT_OK(FoldStageMem(&select_timer, TableBytes(cur)));
             select_timer.Finish(cur.num_rows());
             s->nest_select_seconds += Seconds(t0);
           }
@@ -925,11 +983,14 @@ Status NraExecutor::ApplyNestSelect(const QueryBlock& node,
         NestedRelation nested,
         Nest(*rel, retained, NestedAttrsFor(child), "g", options_.nest_method,
              num_threads_));
+    NESTRA_RETURN_NOT_OK(
+        FoldStageMem(&nest_timer, NestedRelationBytes(nested)));
     nest_timer.Finish(nested.num_tuples());
     StageTimer select_timer(profile, QueryPhase::kLinkingSelection,
                             "select[b" + bid + "]");
     NESTRA_ASSIGN_OR_RETURN(*rel, LinkingSelect(nested, PredFor(child, "g"),
                                                 mode, node.attributes));
+    NESTRA_RETURN_NOT_OK(FoldStageMem(&select_timer, TableBytes(*rel)));
     select_timer.Finish(rel->num_rows());
   }
   return Status::OK();
@@ -1021,6 +1082,7 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
                                      /*outer_key_cols=*/{},
                                      /*inner_key_cols=*/{}, child, mode,
                                      node.attributes, num_threads_));
+            NESTRA_RETURN_NOT_OK(FoldStageMem(&link_timer, TableBytes(*rel)));
             link_timer.Finish(rel->num_rows());
             s->nest_select_seconds += Seconds(t0);
             return Status::OK();
@@ -1050,6 +1112,8 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
                     *rel, HashLinkSelect(std::move(*rel), *base, okeys, ikeys,
                                          child, mode, node.attributes,
                                          num_threads_));
+                NESTRA_RETURN_NOT_OK(
+                    FoldStageMem(&link_timer, TableBytes(*rel)));
                 link_timer.Finish(rel->num_rows());
                 s->nest_select_seconds += Seconds(t0);
                 return Status::OK();
@@ -1061,6 +1125,8 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
                                      "magic[b" + bid + "]");
               NESTRA_ASSIGN_OR_RETURN(
                   *base, MagicRestrict(*rel, std::move(*base), child));
+              NESTRA_RETURN_NOT_OK(
+                  FoldStageMem(&magic_timer, TableBytes(*base)));
               magic_timer.Finish(base->num_rows());
             }
             NESTRA_ASSIGN_OR_RETURN(
@@ -1092,6 +1158,8 @@ int NraExecutor::BuildComputeTaskDag(StageDag* dag, const QueryBlock& node,
                                    "magic[b" + bid + "]");
             NESTRA_ASSIGN_OR_RETURN(
                 *base, MagicRestrict(*rel, std::move(*base), child));
+            NESTRA_RETURN_NOT_OK(
+                FoldStageMem(&magic_timer, TableBytes(*base)));
             magic_timer.Finish(base->num_rows());
           }
           NESTRA_ASSIGN_OR_RETURN(

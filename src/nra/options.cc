@@ -28,6 +28,7 @@ std::string NraOptions::ToString() const {
   // Telemetry knobs print only when set, keeping the common rendering (and
   // any golden output built on it) unchanged.
   if (slow_query_ms > 0) oss << ", slow_query_ms=" << slow_query_ms;
+  if (max_query_mem > 0) oss << ", max_query_mem=" << max_query_mem;
   if (!trace_path.empty()) oss << ", trace=" << trace_path;
   if (!session_label.empty()) oss << ", session=" << session_label;
   oss << "}";

@@ -112,6 +112,16 @@ struct NraOptions {
   /// clock reads entirely.
   double slow_query_ms = 0;
 
+  /// Soft per-query memory limit in bytes, checked against the query's
+  /// accounted logical bytes at materialization fold points (hash-join
+  /// builds, sort buffers, nest/linking stage results — see
+  /// src/common/memory_tracker.h). A query that exceeds it fails loudly
+  /// with a ResourceExhausted status and no partial results; its admission
+  /// ticket is released like any other failure. 0 (default) disables the
+  /// check entirely — accounting still runs (it is a few integer adds),
+  /// but no query can fail on memory.
+  int64_t max_query_mem = 0;
+
   /// When non-empty, installs the Chrome trace_event sink at this path and
   /// records parse/verify/plan/execute-stage spans (plus thread-pool task
   /// spans) for every query this executor runs; the JSON is written at
@@ -145,6 +155,10 @@ struct NraStats {
   double nest_select_seconds = 0;
   int64_t intermediate_rows = 0;
   int64_t output_rows = 0;
+  /// Deterministic peak accounted bytes of the query: the largest
+  /// single-stage logical footprint (max across set-operation branches).
+  /// Always filled — memory accounting does not require profiling.
+  int64_t peak_mem_bytes = 0;
 
   double total_seconds() const { return join_seconds + nest_select_seconds; }
   std::string ToString() const;

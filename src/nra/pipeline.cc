@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/memory_tracker.h"
 #include "common/thread_pool.h"
 #include "telemetry/engine_metrics.h"
 #include "telemetry/trace.h"
@@ -29,6 +30,10 @@ struct RunState {
   };
   std::vector<TaskRun> tasks;
   bool profile_enabled = false;
+  // The query's memory tracker, captured from the thread that called Run():
+  // task bodies execute on pool threads whose thread-local tracker slot is
+  // empty, so each task re-installs this one for its own duration.
+  QueryMemoryTracker* query_memory = nullptr;
   // False for the inline num_threads <= 1 mode, where the creation-order
   // loop runs every task itself: publishing ready tasks to the pool there
   // would run them a second time.
@@ -77,6 +82,7 @@ void RunTask(const std::shared_ptr<RunState>& state, int id) {
     state->skipped[static_cast<size_t>(id)] = 1;
   } else {
     telemetry::TraceSpan span("pipeline", task.label);
+    ScopedQueryMemory scoped_mem(state->query_memory);
     state->status[static_cast<size_t>(id)] = task.body(
         &state->stats[static_cast<size_t>(id)],
         state->profile_enabled ? &state->profiles[static_cast<size_t>(id)]
@@ -133,6 +139,7 @@ Status StageDag::Run(int num_threads, NraStats* stats,
   state->stats.resize(n);
   state->profiles.resize(n);
   state->profile_enabled = profile != nullptr;
+  state->query_memory = CurrentQueryMemory();
   state->unfinished = static_cast<int>(n);
   for (size_t id = 0; id < n; ++id) {
     Task& t = tasks_[id];

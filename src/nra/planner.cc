@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/memory_tracker.h"
 #include "common/thread_pool.h"
 #include "exec/aggregate.h"
 #include "exec/distinct.h"
@@ -392,6 +393,7 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
             PrunedScanFilter(table, schema, pred.get(), kept,
                              zones.num_granules, num_threads,
                              timer.active() ? &op : nullptr));
+        NESTRA_RETURN_NOT_OK(FoldStageMem(&timer, TableBytes(out)));
         timer.Finish(out.num_rows(), std::move(op));
         return out;
       }
@@ -415,6 +417,7 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
         Table out,
         ParallelScanFilter(table, schema, pred.get(), num_threads,
                            timer.active() ? &op : nullptr));
+    NESTRA_RETURN_NOT_OK(FoldStageMem(&timer, TableBytes(out)));
     timer.Finish(out.num_rows(), std::move(op));
     return out;
   }
@@ -455,6 +458,7 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
       NESTRA_ASSIGN_OR_RETURN(
           Table out, VectorizedScanFilter(table, schema, vpred,
                                           timer.active() ? &op : nullptr));
+      NESTRA_RETURN_NOT_OK(FoldStageMem(&timer, TableBytes(out)));
       timer.Finish(out.num_rows(), std::move(op));
       return out;
     }
@@ -509,15 +513,21 @@ Result<Table> EvalBlockBase(const QueryBlock& block, const Catalog& catalog,
       node->SetPhaseRecursive(QueryPhase::kUnnestJoin);
       node->EnableTimingRecursive();
     }
-    NESTRA_ASSIGN_OR_RETURN(Table scanned,
-                            CollectTable(node.get(), vectorized));
+    int64_t scanned_bytes = 0;
+    NESTRA_ASSIGN_OR_RETURN(
+        Table scanned, CollectTable(node.get(), vectorized, &scanned_bytes));
     FlushOperatorMetrics(*node);
     ProfiledOperator tree;
     if (timer.active()) tree = ProfiledOperator::Snapshot(*node);
     const ExprPtr pred = MakeAnd(std::move(conjuncts));
+    // Stage peak: operator charges plus the drained intermediate, which is
+    // still live while the parallel filter builds its output.
+    const int64_t tree_peak = TreePeakMemBytes(*node) + scanned_bytes;
     NESTRA_ASSIGN_OR_RETURN(
         Table out,
         ParallelFilterTable(std::move(scanned), pred.get(), num_threads));
+    const int64_t out_bytes = TableBytes(out);
+    NESTRA_RETURN_NOT_OK(FoldStageMem(&timer, out_bytes, tree_peak + out_bytes));
     if (timer.active()) {
       ProfiledOperator wrapper;
       wrapper.name = "ParallelFilter";
@@ -689,8 +699,12 @@ Result<Table> FinalizeRootOutput(const QueryBlock& root, Table rel,
     node->SetPhaseRecursive(QueryPhase::kPostProcessing);
     node->EnableTimingRecursive();
   }
-  NESTRA_ASSIGN_OR_RETURN(Table out, CollectTable(node.get(), vectorized));
+  int64_t out_bytes = 0;
+  NESTRA_ASSIGN_OR_RETURN(Table out,
+                          CollectTable(node.get(), vectorized, &out_bytes));
   FlushOperatorMetrics(*node);
+  NESTRA_RETURN_NOT_OK(
+      FoldStageMem(&timer, out_bytes, TreePeakMemBytes(*node) + out_bytes));
   if (timer.active()) {
     timer.Finish(out.num_rows(), ProfiledOperator::Snapshot(*node));
   } else {

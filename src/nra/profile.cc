@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/memory_tracker.h"
 #include "telemetry/engine_metrics.h"
 #include "telemetry/trace.h"
 
@@ -56,6 +57,10 @@ void RenderOperator(const ProfiledOperator& op, int depth,
   if (op.stats.probe_rows > 0) *oss << " probes=" << op.stats.probe_rows;
   if (op.stats.sort_rows > 0) *oss << " sort_rows=" << op.stats.sort_rows;
   if (op.stats.sort_bytes > 0) *oss << " sort_bytes=" << op.stats.sort_bytes;
+  if (op.stats.peak_mem_bytes > 0) {
+    *oss << " mem=" << op.stats.mem_bytes
+         << " peak=" << op.stats.peak_mem_bytes;
+  }
   if (op.stats.io_hits + op.stats.io_seq_misses + op.stats.io_random_misses >
       0) {
     *oss << " io=" << op.stats.io_hits << "h/" << op.stats.io_seq_misses
@@ -120,6 +125,10 @@ void OperatorToJson(const ProfiledOperator& op, std::ostringstream* oss) {
     *oss << ",\"sort_rows\":" << op.stats.sort_rows
          << ",\"sort_bytes\":" << op.stats.sort_bytes;
   }
+  if (op.stats.peak_mem_bytes > 0) {
+    *oss << ",\"mem_bytes\":" << op.stats.mem_bytes
+         << ",\"peak_bytes\":" << op.stats.peak_mem_bytes;
+  }
   if (op.stats.io_hits + op.stats.io_seq_misses + op.stats.io_random_misses >
       0) {
     *oss << ",\"io_hits\":" << op.stats.io_hits
@@ -169,6 +178,7 @@ void QueryProfile::Clear() {
   io_seq_misses = 0;
   io_random_misses = 0;
   sim_io_millis = 0;
+  peak_mem_bytes = 0;
   pool = PoolStatsSnapshot{};
 }
 
@@ -206,6 +216,11 @@ void QueryProfile::Absorb(const QueryProfile& other,
   io_seq_misses += other.io_seq_misses;
   io_random_misses += other.io_random_misses;
   sim_io_millis += other.sim_io_millis;
+  // Branches run one after another, so the query's peak is the largest
+  // branch peak, not the sum.
+  if (other.peak_mem_bytes > peak_mem_bytes) {
+    peak_mem_bytes = other.peak_mem_bytes;
+  }
   pool.parallel_loops += other.pool.parallel_loops;
   pool.tasks_submitted += other.pool.tasks_submitted;
   pool.wait_seconds += other.pool.wait_seconds;
@@ -215,6 +230,7 @@ std::string QueryProfile::ToString() const {
   std::ostringstream oss;
   oss << "Query profile: " << output_rows << " rows in "
       << FormatSeconds(total_seconds);
+  if (peak_mem_bytes > 0) oss << "  peak_mem=" << peak_mem_bytes << "B";
   if (io_hits + io_seq_misses + io_random_misses > 0) {
     oss << "  (io " << io_hits << " hits, " << io_seq_misses
         << " seq misses, " << io_random_misses << " random misses, sim "
@@ -251,6 +267,9 @@ std::string QueryProfile::ToString() const {
       }
     }
     oss << " time=" << FormatSeconds(stage.seconds);
+    if (stage.peak_mem_bytes > 0) {
+      oss << " mem=" << stage.mem_bytes << " peak=" << stage.peak_mem_bytes;
+    }
     if (stage.pool.parallel_loops > 0) {
       oss << " pool_loops=" << stage.pool.parallel_loops
           << " pool_tasks=" << stage.pool.tasks_submitted;
@@ -265,7 +284,8 @@ std::string QueryProfile::ToJson() const {
   std::ostringstream oss;
   oss << "{\"schema\":\"nestra-query-profile-v1\""
       << ",\"output_rows\":" << output_rows
-      << ",\"total_seconds\":" << total_seconds << ",\"phases\":{";
+      << ",\"total_seconds\":" << total_seconds
+      << ",\"peak_mem_bytes\":" << peak_mem_bytes << ",\"phases\":{";
   bool first = true;
   for (const QueryPhase phase : kAllPhases) {
     if (!first) oss << ",";
@@ -289,7 +309,9 @@ std::string QueryProfile::ToJson() const {
     JsonEscape(stage.label, &oss);
     oss << "\",\"phase\":\"" << QueryPhaseLabel(stage.phase) << "\""
         << ",\"seconds\":" << stage.seconds
-        << ",\"rows_out\":" << stage.rows_out;
+        << ",\"rows_out\":" << stage.rows_out
+        << ",\"mem_bytes\":" << stage.mem_bytes
+        << ",\"peak_bytes\":" << stage.peak_mem_bytes;
     const auto est = estimates.find(stage.label);
     if (est != estimates.end()) {
       if (est->second.rows >= 0) {
@@ -346,6 +368,8 @@ void StageTimer::FinishImpl(int64_t rows_out, ProfiledOperator* tree) {
   stage.phase = phase_;
   stage.seconds = seconds;
   stage.rows_out = rows_out;
+  stage.mem_bytes = mem_bytes_;
+  stage.peak_mem_bytes = peak_mem_bytes_;
   stage.pool = GlobalPoolStats() - pool_before_;
   if (tree != nullptr) {
     stage.has_tree = true;
@@ -398,18 +422,46 @@ void FlushOperatorMetrics(const ExecNode& node) {
   }
 }
 
+int64_t TreePeakMemBytes(const ExecNode& node) {
+  int64_t total = node.stats().peak_mem_bytes;
+  for (const ExecNode* child : node.children()) {
+    total += TreePeakMemBytes(*child);
+  }
+  return total;
+}
+
+Status FoldStageMem(StageTimer* timer, int64_t mem_bytes,
+                    int64_t peak_mem_bytes) {
+  if (peak_mem_bytes < 0) peak_mem_bytes = mem_bytes;
+  if (timer != nullptr) timer->set_mem(mem_bytes, peak_mem_bytes);
+  if (QueryMemoryTracker* mem = CurrentQueryMemory()) {
+    return mem->FoldStage(peak_mem_bytes);
+  }
+  return Status::OK();
+}
+
 Result<Table> CollectProfiled(ExecNode* node, QueryPhase phase,
                               const std::string& label, QueryProfile* profile,
                               bool vectorized) {
   StageTimer timer(profile, phase, label);
-  if (!timer.recording()) return CollectTable(node, vectorized);
   if (timer.active()) {
     node->SetPhaseRecursive(phase);
     node->EnableTimingRecursive();
   }
-  Result<Table> result = CollectTable(node, vectorized);
+  int64_t out_bytes = 0;
+  Result<Table> result = CollectTable(node, vectorized, &out_bytes);
   if (!result.ok()) return result;
+  // Always-on memory fold (independent of profiling): the stage footprint
+  // is the operators' accounted peaks plus the materialized result. Folded
+  // with a commutative max, so the query peak is deterministic no matter
+  // how pipeline tasks interleave; the same fold applies the soft limit.
+  const int64_t stage_peak = TreePeakMemBytes(*node) + out_bytes;
+  if (QueryMemoryTracker* mem = CurrentQueryMemory()) {
+    NESTRA_RETURN_NOT_OK(mem->FoldStage(stage_peak));
+  }
+  if (!timer.recording()) return result;
   FlushOperatorMetrics(*node);
+  timer.set_mem(out_bytes, stage_peak);
   if (timer.active()) {
     timer.Finish(result->num_rows(), ProfiledOperator::Snapshot(*node));
   } else {

@@ -43,6 +43,11 @@ struct ProfiledStage {
   QueryPhase phase = QueryPhase::kUnattributed;
   double seconds = 0;  // stage wall time, executor-measured
   int64_t rows_out = 0;
+  // Logical byte accounting (always deterministic): bytes the stage's
+  // result holds live at the fold point, and the stage's peak footprint
+  // (operators' peaks plus the result). See src/common/memory_tracker.h.
+  int64_t mem_bytes = 0;
+  int64_t peak_mem_bytes = 0;
   bool has_tree = false;
   ProfiledOperator tree;
   PoolStatsSnapshot pool;  // shared-pool usage delta across this stage
@@ -85,6 +90,9 @@ class QueryProfile {
   int64_t io_seq_misses = 0;
   int64_t io_random_misses = 0;
   double sim_io_millis = 0;
+  // Deterministic query peak (largest stage footprint), from the query's
+  // memory tracker; max across absorbed set-operation branches.
+  int64_t peak_mem_bytes = 0;
   PoolStatsSnapshot pool;  // shared-pool usage delta across the whole query
 
   // Planner row estimates keyed by stage label (EstimateStages), filled
@@ -137,6 +145,14 @@ class StageTimer {
   /// True when any consumer (profile, metrics, trace) is enabled.
   bool recording() const { return profile_ != nullptr || metrics_ || trace_; }
 
+  /// Records the stage's byte accounting (live result bytes + peak
+  /// footprint) to be attached to the ProfiledStage by Finish. Call before
+  /// Finish; harmless without a profile sink.
+  void set_mem(int64_t mem_bytes, int64_t peak_mem_bytes) {
+    mem_bytes_ = mem_bytes;
+    peak_mem_bytes_ = peak_mem_bytes;
+  }
+
   /// Reports a tree-less stage.
   void Finish(int64_t rows_out);
 
@@ -152,9 +168,25 @@ class StageTimer {
   std::string label_;
   bool metrics_ = false;
   bool trace_ = false;
+  int64_t mem_bytes_ = 0;
+  int64_t peak_mem_bytes_ = 0;
   PoolStatsSnapshot pool_before_;
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Sum of the subtree's per-operator accounted peak footprints
+/// (O(#operators), run once per stage fold).
+int64_t TreePeakMemBytes(const ExecNode& node);
+
+/// Records a stage's byte accounting on `timer` (nullptr ok) and folds the
+/// peak into the ambient query memory tracker, applying the soft limit.
+/// Used by stages that materialize a result outside CollectProfiled
+/// (table-function stages, fused scan+filter fast paths). When
+/// `peak_mem_bytes` is negative the stage's peak is taken to equal its
+/// live result (`mem_bytes`) — the common case for stages that build
+/// exactly their output.
+Status FoldStageMem(StageTimer* timer, int64_t mem_bytes,
+                    int64_t peak_mem_bytes = -1);
 
 }  // namespace nestra
 

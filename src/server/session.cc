@@ -59,8 +59,28 @@ Session::Session(ConnectionManager* manager, int64_t id)
     : manager_(manager),
       id_(id),
       label_("s" + std::to_string(id)),
+      mem_(label_),
       options_(manager->options().session_defaults) {
   options_.session_label = label_;
+}
+
+// Publishes one finished statement's memory numbers: the session gauge
+// keeps the largest per-query peak, the counter accumulates peaks so
+// rate() shows memory pressure per session over time.
+void Session::RecordQueryMemory(const NraStats& stats) {
+  if (!telemetry::MetricsEnabled()) return;
+  telemetry::MetricsRegistry::Global()
+      .GetGauge("nestra_session_peak_mem_bytes",
+                telemetry::PrometheusLabel("session", label_),
+                "Largest per-query peak accounted bytes, by session",
+                /*deterministic=*/true)
+      ->UpdateMax(static_cast<double>(stats.peak_mem_bytes));
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("nestra_session_mem_bytes_total",
+                  telemetry::PrometheusLabel("session", label_),
+                  "Sum of per-query peak accounted bytes, by session",
+                  /*deterministic=*/true)
+      ->Add(static_cast<double>(stats.peak_mem_bytes));
 }
 
 Session::~Session() {
@@ -76,17 +96,24 @@ Result<Table> Session::Query(const std::string& sql, NraStats* stats) {
   if (word == "EXECUTE") return QueryExecuteForm(sql, stats);
   if (word == "DEALLOCATE") return QueryDeallocateForm(sql);
 
+  NraStats local;
+  if (stats == nullptr) stats = &local;
   AdmissionController::Slot slot(&manager_->admission_);
   std::shared_lock<std::shared_mutex> schema_lock(manager_->schema_mu_);
   telemetry::TraceSpan span("session", label_ + ":query");
+  // The executor's query tracker (created inside Execute) picks up this
+  // session as its parent via the thread-local installed here, folding the
+  // query's bytes into the session totals on destruction.
+  ScopedSessionMemory scoped_mem(&mem_);
   NraExecutor executor(*manager_->catalog_, options_);
   Result<Table> result = executor.ExecuteStatementSql(sql, stats);
+  RecordQueryMemory(*stats);
   if (result.ok()) {
     ++stats_.queries;
     if (telemetry::MetricsEnabled()) {
       telemetry::MetricsRegistry::Global()
           .GetCounter("nestra_session_queries_total",
-                      "session=\"" + label_ + "\"",
+                      telemetry::PrometheusLabel("session", label_),
                       "Statements executed OK, by session",
                       /*deterministic=*/false)
           ->Add(1);
@@ -179,7 +206,7 @@ Result<Table> Session::ExecutePrepared(const std::string& name,
       m.prepared_executions_total->Add(1);
       telemetry::MetricsRegistry::Global()
           .GetCounter("nestra_session_queries_total",
-                      "session=\"" + label_ + "\"",
+                      telemetry::PrometheusLabel("session", label_),
                       "Statements executed OK, by session",
                       /*deterministic=*/false)
           ->Add(1);
@@ -238,8 +265,10 @@ Result<Table> Session::RunPrepared(Prepared& ps,
   if (slow_log) start = Clock::now();
   NraStats local;
   if (stats == nullptr) stats = &local;
+  ScopedSessionMemory scoped_mem(&mem_);
   NraExecutor executor(*manager_->catalog_, exec_options);
   Result<Table> result = executor.Execute(*ps.root, stats);
+  RecordQueryMemory(*stats);
   if (slow_log) {
     const double total_ms =
         std::chrono::duration<double>(Clock::now() - start).count() * 1e3;
@@ -250,6 +279,7 @@ Result<Table> Session::RunPrepared(Prepared& ps,
       rec.join_ms = stats->join_seconds * 1e3;
       rec.nest_select_ms = stats->nest_select_seconds * 1e3;
       rec.output_rows = stats->output_rows;
+      rec.peak_mem_bytes = stats->peak_mem_bytes;
       rec.num_threads = ResolveNumThreads(exec_options.num_threads);
       rec.vectorized = exec_options.vectorized;
       rec.ok = result.ok();

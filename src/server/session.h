@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "nra/executor.h"
 #include "nra/options.h"
 #include "plan/query_block.h"
@@ -85,6 +86,12 @@ class Session {
   };
   const Stats& stats() const { return stats_; }
 
+  /// The session's node in the process memory hierarchy: live/peak/
+  /// cumulative accounted bytes and query count across every statement this
+  /// session ran. Registered for the session's lifetime, so `\memory` in
+  /// the shell (DumpMemoryHierarchy) lists it even when idle.
+  const SessionMemoryTracker& memory() const { return mem_; }
+
  private:
   friend class ConnectionManager;
 
@@ -104,6 +111,8 @@ class Session {
 
   Result<Table> RunPrepared(Prepared& ps, const std::vector<Value>& args,
                             NraStats* stats);
+  // Feeds the per-session memory metrics from one finished statement.
+  void RecordQueryMemory(const NraStats& stats);
   // Query() helpers for the PREPARE/EXECUTE/DEALLOCATE statement forms.
   Result<Table> QueryPrepareForm(const std::string& sql);
   Result<Table> QueryExecuteForm(const std::string& sql, NraStats* stats);
@@ -112,6 +121,7 @@ class Session {
   ConnectionManager* manager_;
   const int64_t id_;
   const std::string label_;
+  SessionMemoryTracker mem_;  // after label_: constructed from it
   NraOptions options_;
   std::map<std::string, Prepared> prepared_;
   Stats stats_;

@@ -52,10 +52,18 @@ const EngineMetrics& Metrics() {
     m->prepared_executions_total = reg.GetCounter(
         "nestra_prepared_executions_total", "",
         "EXECUTEs of prepared statements (bind values + run only)", true);
+    m->mem_limit_exceeded_total = reg.GetCounter(
+        "nestra_mem_limit_exceeded_total", "",
+        "Queries failed by the max_query_mem soft limit", true);
     m->query_ms = reg.GetHistogram(
         "nestra_query_ms", "", "Query wall time in milliseconds",
         {0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
          10000});
+    m->query_peak_mem_bytes = reg.GetHistogram(
+        "nestra_query_peak_mem_bytes", "",
+        "Deterministic per-query peak accounted bytes",
+        {4096, 16384, 65536, 262144, 1048576, 4194304, 16777216, 67108864,
+         268435456, 1073741824});
 
     for (int p = 0; p < kNumPhases; ++p) {
       const std::string label =

@@ -30,7 +30,10 @@ struct EngineMetrics {
   Counter* verify_failures_total;     // det
   Counter* pipelined_queries_total;   // det
   Counter* pipeline_tasks_total;      // det
+  Counter* mem_limit_exceeded_total;  // det
   Histogram* query_ms;                // latency distribution
+  Histogram* query_peak_mem_bytes;    // det (logical bytes, see
+                                      // common/memory_tracker.h)
 
   // Statement lifecycle phases (SQL entry points + the server session
   // layer). Prepared-statement re-execution must leave parsed/bound/

@@ -334,6 +334,28 @@ std::string DumpMetricsPrometheus() {
   return MetricsRegistry::Global().ToPrometheusText();
 }
 
+std::string PrometheusLabel(const std::string& key, const std::string& value) {
+  std::string out = key;
+  out += "=\"";
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 std::string DumpMetricsJson() { return MetricsRegistry::Global().ToJson(); }
 
 }  // namespace telemetry

@@ -185,6 +185,13 @@ class MetricsRegistry {
 std::string DumpMetricsPrometheus();
 std::string DumpMetricsJson();
 
+/// Renders one label pair `key="value"`, escaping the value per the
+/// Prometheus text exposition format (backslash, double quote, and newline
+/// become \\, \", and \n). Use for any label value that is not a
+/// compile-time literal — the registry stores label sets pre-rendered and
+/// never re-escapes them.
+std::string PrometheusLabel(const std::string& key, const std::string& value);
+
 }  // namespace telemetry
 }  // namespace nestra
 

@@ -61,6 +61,7 @@ std::string SlowQueryJsonLine(const SlowQueryRecord& record) {
       << ",\"join_ms\":" << record.join_ms
       << ",\"nest_select_ms\":" << record.nest_select_ms
       << ",\"rows\":" << record.output_rows
+      << ",\"peak_mem_bytes\":" << record.peak_mem_bytes
       << ",\"threads\":" << record.num_threads << ",\"engine\":\""
       << (record.vectorized ? "vectorized" : "row") << "\",\"ok\":"
       << (record.ok ? "true" : "false") << "}";

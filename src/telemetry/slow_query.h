@@ -16,6 +16,9 @@ struct SlowQueryRecord {
   double join_ms = 0;         ///< unnest-join phase (NraStats::join_seconds)
   double nest_select_ms = 0;  ///< nest + linking-selection phase
   int64_t output_rows = 0;
+  /// Deterministic peak accounted bytes (NraStats::peak_mem_bytes); 0 when
+  /// the query failed before any stage folded.
+  int64_t peak_mem_bytes = 0;
   int num_threads = 1;
   bool vectorized = false;
   bool ok = true;  ///< false when the query errored after the threshold
@@ -27,8 +30,11 @@ struct SlowQueryRecord {
 
 /// The record as one line of structured JSON (no trailing newline):
 /// {"event":"slow_query","session":...,"sql":...,"total_ms":...,
-///  "join_ms":...,"nest_select_ms":...,"rows":...,"threads":...,
-///  "engine":"row|vectorized","ok":true}
+///  "join_ms":...,"nest_select_ms":...,"rows":...,"peak_mem_bytes":...,
+///  "threads":...,"engine":"row|vectorized","ok":true}
+/// `session` appears only when set; every other field is always present.
+/// The line schema is documented for external consumers in bench/README.md
+/// and pinned by tests/telemetry_test.cc.
 std::string SlowQueryJsonLine(const SlowQueryRecord& record);
 
 /// Routes the record to the configured sink and bumps the

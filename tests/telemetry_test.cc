@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <set>
@@ -167,6 +168,58 @@ TEST(MetricsRegistryTest, PhaseLabelsMatchQueryPhaseLabel) {
                  QueryPhaseLabel(static_cast<QueryPhase>(p)))
         << "phase " << p;
   }
+}
+
+TEST(MetricsRegistryTest, PrometheusLabelEscapesValue) {
+  EXPECT_EQ(telemetry::PrometheusLabel("session", "s1"), "session=\"s1\"");
+  EXPECT_EQ(telemetry::PrometheusLabel("q", "a\"b\\c\nd"),
+            "q=\"a\\\"b\\\\c\\nd\"");
+  // Round trip through the exposition: a hostile label value renders as one
+  // sample line with the escapes intact.
+  TelemetryOffGuard guard;
+  telemetry::SetMetricsEnabled(true);
+  telemetry::Counter* c = MetricsRegistry::Global().GetCounter(
+      "test_escaped_total", telemetry::PrometheusLabel("q", "x\"y\\z\nw"),
+      "test", false);
+  c->ResetValue();
+  c->Add(1);
+  const std::string prom = telemetry::DumpMetricsPrometheus();
+  EXPECT_NE(prom.find("test_escaped_total{q=\"x\\\"y\\\\z\\nw\"} 1"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(MetricsRegistryTest, HistogramEdgeValuesLandInTheirBucket) {
+  // Prometheus `le` buckets are inclusive: an observation exactly at a
+  // bound counts in that bound's bucket, not the next one up.
+  TelemetryOffGuard guard;
+  telemetry::SetMetricsEnabled(true);
+  telemetry::Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test_edges_ms", "", "test", {1.0, 10.0, 100.0});
+  h->ResetValue();
+  h->Observe(1.0);
+  h->Observe(10.0);
+  h->Observe(100.0);
+  const std::vector<int64_t> counts = h->CumulativeCounts();
+  ASSERT_EQ(counts.size(), 4u);  // le=1, le=10, le=100, +Inf
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 3);
+  EXPECT_EQ(counts[3], 3);  // nothing past the last bound
+  // The next representable value past a bound spills to the next bucket.
+  h->Observe(std::nextafter(10.0, 1e18));
+  EXPECT_EQ(h->CumulativeCounts()[1], 2);
+  EXPECT_EQ(h->CumulativeCounts()[2], 4);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryDumpsAreWellFormed) {
+  // A freshly constructed registry renders valid, empty expositions — a
+  // scrape endpoint can come up before the first metric registers.
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.ToPrometheusText(), "");
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_EQ(json, "{\"schema\":\"nestra-metrics-v1\",\"metrics\":[]}");
 }
 
 // ---------- engine integration: determinism contract ----------
@@ -354,6 +407,38 @@ TEST(TelemetrySlowQueryTest, JsonLineEscapesAndLabelsEngine) {
   rec.vectorized = false;
   EXPECT_NE(telemetry::SlowQueryJsonLine(rec).find("\"engine\":\"row\""),
             std::string::npos);
+}
+
+TEST(TelemetrySlowQueryTest, JsonLineSchemaIsPinned) {
+  // Pins the whole line byte-for-byte to the schema documented in
+  // bench/README.md: downstream parsers key on exact field names and order,
+  // so a rename, reorder, or dropped field must break here first.
+  telemetry::SlowQueryRecord rec;
+  rec.session = "s7";
+  rec.sql = "SELECT 1";
+  rec.total_ms = 12.5;
+  rec.join_ms = 3.25;
+  rec.nest_select_ms = 1.125;
+  rec.output_rows = 42;
+  rec.peak_mem_bytes = 65536;
+  rec.num_threads = 8;
+  rec.vectorized = true;
+  rec.ok = true;
+  const std::string line = telemetry::SlowQueryJsonLine(rec);
+  EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+  EXPECT_EQ(line,
+            "{\"event\":\"slow_query\",\"session\":\"s7\",\"sql\":\"SELECT 1\","
+            "\"total_ms\":12.500,\"join_ms\":3.250,\"nest_select_ms\":1.125,"
+            "\"rows\":42,\"peak_mem_bytes\":65536,\"threads\":8,"
+            "\"engine\":\"vectorized\",\"ok\":true}");
+  // Without a session the field is omitted entirely (not rendered empty),
+  // keeping pre-session consumers byte-compatible.
+  rec.session.clear();
+  rec.vectorized = false;
+  rec.ok = false;
+  const std::string anon = telemetry::SlowQueryJsonLine(rec);
+  EXPECT_EQ(anon.find("\"session\""), std::string::npos);
+  EXPECT_NE(anon.find("\"engine\":\"row\",\"ok\":false"), std::string::npos);
 }
 
 TEST(TelemetrySlowQueryTest, FiresOnlyAboveThreshold) {
